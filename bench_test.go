@@ -1,0 +1,197 @@
+package nonmask_test
+
+// The benchmark harness regenerates every experiment table of
+// EXPERIMENTS.md (one Benchmark per paper claim, E1..E10 plus ablations
+// A1..A3) and adds microbenchmarks for the core machinery. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark reports the experiment's wall-clock cost per
+// regeneration; the tables themselves are printed by cmd/csbench.
+
+import (
+	"math/rand"
+	"testing"
+
+	"nonmask"
+	"nonmask/internal/daemon"
+	"nonmask/internal/experiments"
+	"nonmask/internal/protocols/diffusing"
+	"nonmask/internal/protocols/tokenring"
+	"nonmask/internal/sim"
+	"nonmask/internal/verify"
+)
+
+// runExperiment benchmarks one registered experiment end to end.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkE1_ConstraintGraphXYZ(b *testing.B)   { runExperiment(b, "E1") }
+func BenchmarkE2_XYZConvergence(b *testing.B)       { runExperiment(b, "E2") }
+func BenchmarkE3_DiffusingStabilizing(b *testing.B) { runExperiment(b, "E3") }
+func BenchmarkE4_DiffusingWave(b *testing.B)        { runExperiment(b, "E4") }
+func BenchmarkE5_DiffusingConvergence(b *testing.B) { runExperiment(b, "E5") }
+func BenchmarkE6_SelfLoopOrdering(b *testing.B)     { runExperiment(b, "E6") }
+func BenchmarkE7_TokenRingStabilizing(b *testing.B) { runExperiment(b, "E7") }
+func BenchmarkE8_TokenRingKBound(b *testing.B)      { runExperiment(b, "E8") }
+func BenchmarkE9_UnfairConvergence(b *testing.B)    { runExperiment(b, "E9") }
+func BenchmarkE10_MessagePassing(b *testing.B)      { runExperiment(b, "E10") }
+func BenchmarkA1_EstablishStatements(b *testing.B)  { runExperiment(b, "A1") }
+func BenchmarkA2_CombinedActions(b *testing.B)      { runExperiment(b, "A2") }
+func BenchmarkA3_DaemonSensitivity(b *testing.B)    { runExperiment(b, "A3") }
+func BenchmarkX1_ComposedFairness(b *testing.B)     { runExperiment(b, "X1") }
+func BenchmarkX2_Availability(b *testing.B)         { runExperiment(b, "X2") }
+func BenchmarkX3_ThreeState(b *testing.B)           { runExperiment(b, "X3") }
+func BenchmarkX4_Synchronous(b *testing.B)          { runExperiment(b, "X4") }
+
+// --- microbenchmarks for the core machinery ---
+
+// BenchmarkActionStep measures one guard evaluation + action application.
+func BenchmarkActionStep(b *testing.B) {
+	inst, err := tokenring.NewRing(31, 33)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := inst.AllZero()
+	a := inst.P.Actions[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if next, fired := a.Step(st); fired {
+			st = next
+		}
+	}
+}
+
+// BenchmarkStateIndex measures mixed-radix state encoding (the model
+// checker's hot path).
+func BenchmarkStateIndex(b *testing.B) {
+	inst, err := diffusing.New(diffusing.Binary(10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	schema := inst.Design.Schema
+	st := inst.AllGreen()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := schema.Index(st)
+		st = schema.StateAt(idx)
+	}
+}
+
+// BenchmarkModelCheckDiffusing measures a full stabilization proof (space
+// construction + closure + convergence) for the binary-7 diffusing tree:
+// 16384 states.
+func BenchmarkModelCheckDiffusing(b *testing.B) {
+	inst, err := diffusing.New(diffusing.Binary(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := inst.Design.Verify(verify.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Unfair.Converges {
+			b.Fatal("not convergent")
+		}
+	}
+}
+
+// BenchmarkTheoremValidation measures the full Theorem 1 antecedent check
+// (projected preservation) for a 31-node diffusing tree.
+func BenchmarkTheoremValidation(b *testing.B) {
+	inst, err := diffusing.New(diffusing.Binary(31))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, _, err := inst.Design.Validate(verify.Projected, verify.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r == nil {
+			b.Fatal("no theorem applies")
+		}
+	}
+}
+
+// BenchmarkSimulationSteps measures raw simulation throughput
+// (steps/second) on a 255-node diffusing tree under the random daemon.
+func BenchmarkSimulationSteps(b *testing.B) {
+	inst, err := diffusing.New(diffusing.Binary(255))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := inst.Design.TolerantProgram()
+	r := &sim.Runner{
+		P: p, S: inst.Design.S,
+		D:        daemon.NewRandom(1),
+		MaxSteps: b.N,
+		StopAtS:  false,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res := r.Run(inst.AllGreen(), rand.New(rand.NewSource(2)))
+	_ = res
+}
+
+// BenchmarkGCLCompile measures parsing + compiling the diffusing program
+// from source.
+func BenchmarkGCLCompile(b *testing.B) {
+	src := `
+program diffusing;
+const N = 5;
+const P = [0, 0, 0, 1, 1];
+var c[N]  : {green, red};
+var sn[N] : bool;
+invariant R for j in 1..N-1 :
+    (c[j] = c[P[j]] && sn[j] = sn[P[j]]) || (c[j] = green && c[P[j]] = red);
+action initiate closure : c[0] = green -> c[0], sn[0] := red, !sn[0];
+action fix for j in 1..N-1 convergence establishes R :
+    !((c[j] = c[P[j]] && sn[j] = sn[P[j]]) || (c[j] = green && c[P[j]] = red))
+        -> c[j], sn[j] := c[P[j]], sn[P[j]];
+`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := nonmask.LoadGCL(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaultInjection measures one whole-system corruption.
+func BenchmarkFaultInjection(b *testing.B) {
+	inst, err := diffusing.New(diffusing.Binary(255))
+	if err != nil {
+		b.Fatal(err)
+	}
+	inj := &nonmask.CorruptGroups{Groups: inst.Groups}
+	st := inst.AllGreen()
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj.Inject(st, rng)
+	}
+}

@@ -1,0 +1,60 @@
+// Command csbench regenerates the paper-claim reproduction suite: every
+// experiment in EXPERIMENTS.md (E1..E10) and every ablation (A1..A3), as
+// indexed in DESIGN.md.
+//
+// Usage:
+//
+//	csbench            # run everything
+//	csbench -e E5      # run one experiment
+//	csbench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nonmask/internal/experiments"
+)
+
+func main() {
+	var (
+		one  = flag.String("e", "", "run a single experiment by id (e.g. E5)")
+		list = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-70s [%s]\n", e.ID, e.Title, e.PaperRef)
+		}
+		return
+	}
+
+	todo := experiments.All()
+	if *one != "" {
+		e, err := experiments.ByID(*one)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		todo = []*experiments.Experiment{e}
+	}
+
+	failed := 0
+	for _, e := range todo {
+		start := time.Now()
+		tbl, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Printf("%s\n", tbl)
+		fmt.Printf("[%s done in %v — %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond), e.PaperRef)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

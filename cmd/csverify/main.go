@@ -1,0 +1,317 @@
+// Command csverify validates and model-checks a built-in protocol
+// instance: it reports which of the paper's theorems (1, 2, 3) applies to
+// the design, the exact closure/convergence verdicts under arbitrary and
+// weakly fair daemons, and the masking/nonmasking classification.
+//
+// Usage:
+//
+//	csverify -protocol diffusing -n 7
+//	csverify -protocol tokenring-path -n 3 -k 4
+//	csverify -protocol tokenring-ring -n 4 -k 6
+//	csverify -protocol spanningtree -n 4 -graph complete
+//	csverify -protocol xyz -variant out-tree
+//	csverify -protocol reset -n 4
+//	csverify -protocol termination -n 5
+//	csverify -protocol snapshot -n 4
+//	csverify -protocol threestate -n 5
+//	csverify -protocol fourstate -n 5
+//	csverify -protocol composed -n 4 -graph ring
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nonmask/internal/core"
+	"nonmask/internal/program"
+	"nonmask/internal/protocols/composed"
+	"nonmask/internal/protocols/diffusing"
+	"nonmask/internal/protocols/fourstate"
+	"nonmask/internal/protocols/reset"
+	"nonmask/internal/protocols/snapshot"
+	"nonmask/internal/protocols/spanningtree"
+	"nonmask/internal/protocols/termination"
+	"nonmask/internal/protocols/threestate"
+	"nonmask/internal/protocols/tokenring"
+	"nonmask/internal/protocols/xyz"
+	"nonmask/internal/verify"
+)
+
+func main() {
+	var (
+		protocol = flag.String("protocol", "diffusing", "protocol: diffusing | tokenring-path | tokenring-ring | threestate | fourstate | spanningtree | composed | xyz | reset | termination | snapshot")
+		n        = flag.Int("n", 5, "instance size (nodes; ring/path: highest index)")
+		k        = flag.Int("k", 0, "counter domain size for token rings (default n+2)")
+		tree     = flag.String("tree", "binary", "tree shape for tree protocols: chain | star | binary | random")
+		graphStr = flag.String("graph", "line", "graph for spanningtree: line | ring | complete | grid")
+		variant  = flag.String("variant", "out-tree", "xyz variant: interfering | out-tree | ordered")
+		seed     = flag.Int64("seed", 1, "seed for random topologies")
+		strategy = flag.String("strategy", "projected", "preservation strategy: projected | exhaustive")
+	)
+	flag.Parse()
+
+	if err := run(*protocol, *n, *k, *tree, *graphStr, *variant, *seed, *strategy); err != nil {
+		fmt.Fprintln(os.Stderr, "csverify:", err)
+		os.Exit(1)
+	}
+}
+
+func pickTree(shape string, n int, seed int64) (diffusing.Tree, error) {
+	switch shape {
+	case "chain":
+		return diffusing.Chain(n), nil
+	case "star":
+		return diffusing.Star(n), nil
+	case "binary":
+		return diffusing.Binary(n), nil
+	case "random":
+		return diffusing.Random(n, seed), nil
+	default:
+		return diffusing.Tree{}, fmt.Errorf("unknown tree shape %q", shape)
+	}
+}
+
+func run(protocol string, n, k int, tree, graphStr, variant string, seed int64, strategy string) error {
+	strat := verify.Projected
+	if strategy == "exhaustive" {
+		strat = verify.Exhaustive
+	}
+	if k == 0 {
+		k = n + 2
+	}
+
+	var design *core.Design
+	switch protocol {
+	case "diffusing":
+		tr, err := pickTree(tree, n, seed)
+		if err != nil {
+			return err
+		}
+		inst, err := diffusing.New(tr)
+		if err != nil {
+			return err
+		}
+		design = inst.Design
+	case "tokenring-path":
+		inst, err := tokenring.NewPath(n, k)
+		if err != nil {
+			return err
+		}
+		design = inst.Design
+	case "tokenring-ring":
+		return verifyRing(n, k)
+	case "spanningtree":
+		var g spanningtree.Graph
+		switch graphStr {
+		case "line":
+			g = spanningtree.Line(n)
+		case "ring":
+			g = spanningtree.Ring(n)
+		case "complete":
+			g = spanningtree.Complete(n)
+		case "grid":
+			g = spanningtree.Grid(n, n)
+		default:
+			return fmt.Errorf("unknown graph %q", graphStr)
+		}
+		inst, err := spanningtree.New(g)
+		if err != nil {
+			return err
+		}
+		design = inst.Design
+	case "xyz":
+		var v xyz.Variant
+		switch variant {
+		case "interfering":
+			v = xyz.Interfering
+		case "out-tree":
+			v = xyz.OutTree
+		case "ordered":
+			v = xyz.Ordered
+		default:
+			return fmt.Errorf("unknown xyz variant %q", variant)
+		}
+		inst, err := xyz.New(v)
+		if err != nil {
+			return err
+		}
+		design = inst.Design
+	case "reset":
+		tr, err := pickTree(tree, n, seed)
+		if err != nil {
+			return err
+		}
+		inst, err := reset.New(tr)
+		if err != nil {
+			return err
+		}
+		design = inst.Design
+	case "termination":
+		tr, err := pickTree(tree, n, seed)
+		if err != nil {
+			return err
+		}
+		inst, err := termination.New(tr)
+		if err != nil {
+			return err
+		}
+		design = inst.Design
+	case "snapshot":
+		tr, err := pickTree(tree, n, seed)
+		if err != nil {
+			return err
+		}
+		inst, err := snapshot.New(tr)
+		if err != nil {
+			return err
+		}
+		design = inst.Design
+	case "threestate":
+		inst, err := threestate.New(n)
+		if err != nil {
+			return err
+		}
+		return verifyPlain(inst.P, inst.S)
+	case "fourstate":
+		inst, err := fourstate.New(n)
+		if err != nil {
+			return err
+		}
+		return verifyPlain(inst.P, inst.S)
+	case "composed":
+		var g spanningtree.Graph
+		switch graphStr {
+		case "line":
+			g = spanningtree.Line(n)
+		case "ring":
+			g = spanningtree.Ring(n)
+		case "complete":
+			g = spanningtree.Complete(n)
+		case "grid":
+			g = spanningtree.Grid(n, n)
+		default:
+			return fmt.Errorf("unknown graph %q", graphStr)
+		}
+		inst, err := composed.New(g)
+		if err != nil {
+			return err
+		}
+		return verifyComposed(inst)
+	default:
+		return fmt.Errorf("unknown protocol %q", protocol)
+	}
+
+	return verifyDesign(design, strat)
+}
+
+func verifyDesign(d *core.Design, strat verify.Strategy) error {
+	fmt.Printf("design %s: %d variables, %d closure actions, %d constraints\n",
+		d.Name, d.Schema.Len(), len(d.Closure), d.Set.Len())
+	fmt.Println()
+
+	fmt.Println("=== theorem validation (sufficient conditions) ===")
+	applicable, all, err := d.Validate(strat, verify.Options{})
+	if err != nil {
+		return err
+	}
+	if applicable != nil {
+		fmt.Printf("%s\n", applicable)
+		if applicable.Graph != nil {
+			fmt.Println("constraint graph:")
+			fmt.Print(applicable.Graph.String(d.Schema))
+		}
+	} else {
+		fmt.Println("no sufficient condition applies; reports:")
+		for _, r := range all {
+			fmt.Printf("%s\n", r)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("=== exact model checking ===")
+	count, ok := d.Schema.StateCount()
+	if !ok || count > verify.DefaultMaxStates {
+		fmt.Printf("state space too large to enumerate (%d states); use cssim instead\n", count)
+		return nil
+	}
+	res, err := d.Verify(verify.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("state space: %d states, classification: %v\n", count, res.Classification)
+	if res.Closure != nil {
+		fmt.Printf("closure: VIOLATED — %v\n", res.Closure)
+	} else {
+		fmt.Println("closure: S and T closed in p ∪ q")
+	}
+	fmt.Printf("convergence: %s\n", res.Unfair.Summary())
+	if !res.Unfair.Converges && res.FairOnly != nil {
+		fmt.Printf("fair convergence: %s\n", res.FairOnly.Summary())
+	}
+	if res.Tolerant() {
+		fmt.Println("verdict: the program is T-tolerant for S")
+	} else {
+		fmt.Println("verdict: the program is NOT T-tolerant for S")
+	}
+	return nil
+}
+
+// verifyRing handles the mod-K ring, which is a plain program with an
+// invariant rather than a layered design.
+func verifyRing(n, k int) error {
+	inst, err := tokenring.NewRing(n, k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("program %s: %d nodes, K=%d\n", inst.P.Name, n+1, k)
+	return verifyPlain(inst.P, inst.S)
+}
+
+// verifyPlain model-checks a plain program against its invariant.
+func verifyPlain(p *program.Program, S *program.Predicate) error {
+	count, ok := p.Schema.StateCount()
+	if !ok || count > verify.DefaultMaxStates {
+		return fmt.Errorf("state space too large to enumerate (%d states)", count)
+	}
+	sp, err := verify.NewSpace(p, S, program.True(), verify.Options{})
+	if err != nil {
+		return err
+	}
+	if v := sp.CheckClosed(S, nil); v != nil {
+		fmt.Printf("closure: VIOLATED — %v\n", v)
+	} else {
+		fmt.Println("closure: S closed")
+	}
+	res := sp.CheckConvergence()
+	fmt.Printf("convergence: %s\n", res.Summary())
+	if !res.Converges {
+		fair := sp.CheckFairConvergence()
+		fmt.Printf("fair convergence: %s\n", fair.Summary())
+	}
+	return nil
+}
+
+// verifyComposed reports the composition's two-daemon story and its stair.
+func verifyComposed(inst *composed.Instance) error {
+	count, ok := inst.P.Schema.StateCount()
+	if !ok || count > verify.DefaultMaxStates {
+		return fmt.Errorf("state space too large to enumerate (%d states)", count)
+	}
+	sp, err := verify.NewSpace(inst.P, inst.S, program.True(), verify.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("program %s: %d states\n", inst.P.Name, count)
+	res := sp.CheckConvergence()
+	fmt.Printf("convergence (arbitrary daemon): %s\n", res.Summary())
+	fair := sp.CheckFairConvergence()
+	fmt.Printf("convergence (weakly fair daemon): %s\n", fair.Summary())
+	stair := sp.CheckStair([]*program.Predicate{inst.TreeOK}, true)
+	fmt.Printf("convergence stair (true -> tree -> S, fair): ok=%v\n", stair.OK)
+	for _, step := range stair.Steps {
+		fmt.Printf("  %s -> %s: closed=%v converges=%v %s\n",
+			step.From, step.To, step.Closed, step.Converges, step.Detail)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+// Command gclrun parses, validates and checks a guarded-command (.gcl)
+// source file written in the paper's Section 2 notation: it prints the
+// compiled program's structure, applies the paper's theorems when the
+// invariants carry establishing convergence actions, and model-checks
+// closure and convergence exactly when the state space is enumerable.
+//
+// Usage:
+//
+//	gclrun testdata/diffusing.gcl
+//	gclrun -print testdata/tokenring.gcl      # pretty-print only
+//	gclrun -strategy exhaustive file.gcl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nonmask/internal/gcl"
+	"nonmask/internal/program"
+	"nonmask/internal/verify"
+)
+
+func main() {
+	var (
+		printOnly = flag.Bool("print", false, "parse and pretty-print, then exit")
+		strategy  = flag.String("strategy", "projected", "preservation strategy: projected | exhaustive")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gclrun [-print] [-strategy s] <file.gcl>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *printOnly, *strategy); err != nil {
+		fmt.Fprintln(os.Stderr, "gclrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, printOnly bool, strategy string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	file, err := gcl.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	if printOnly {
+		fmt.Print(gcl.Print(file))
+		return nil
+	}
+	m, err := gcl.Compile(file)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("program %s: %d variables, %d actions, %d constraints\n",
+		m.Name, m.Schema.Len(), len(m.Program.Actions), m.Set.Len())
+	fmt.Print(m.Program.DescribeActions())
+
+	if m.Design == nil {
+		fmt.Println("\nno complete invariant/convergence pairing (add 'establishes' clauses);")
+		fmt.Println("skipping theorem validation")
+	} else {
+		strat := verify.Projected
+		if strategy == "exhaustive" {
+			strat = verify.Exhaustive
+		}
+		fmt.Println("\n=== theorem validation ===")
+		applicable, all, err := m.Design.Validate(strat, verify.Options{})
+		if err != nil {
+			return err
+		}
+		if applicable != nil {
+			fmt.Printf("%s", applicable)
+			if applicable.Graph != nil {
+				fmt.Println("constraint graph:")
+				fmt.Print(applicable.Graph.String(m.Schema))
+			}
+		} else {
+			fmt.Println("no sufficient condition applies; reports:")
+			for _, r := range all {
+				fmt.Printf("%s\n", r)
+			}
+		}
+	}
+
+	count, ok := m.Schema.StateCount()
+	if !ok || count > verify.DefaultMaxStates {
+		fmt.Printf("\nstate space too large to enumerate (%d states); stopping at validation\n", count)
+		return nil
+	}
+	fmt.Println("\n=== exact model checking ===")
+	sp, err := verify.NewSpace(m.Program, m.S, m.T, verify.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("state space: %d states, |S| = %d, |T| = %d\n", count, sp.CountS(), sp.CountT())
+	if v := sp.CheckClosure(); v != nil {
+		fmt.Printf("closure: VIOLATED — %v\n", v)
+	} else {
+		fmt.Println("closure: S and T closed")
+	}
+	res := sp.CheckConvergence()
+	fmt.Printf("convergence: %s\n", res.Summary())
+	if !res.Converges {
+		fair := sp.CheckFairConvergence()
+		fmt.Printf("fair convergence: %s\n", fair.Summary())
+	}
+	_ = program.True()
+	return nil
+}

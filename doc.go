@@ -1,0 +1,57 @@
+// Package nonmask is a library for designing, validating, verifying, and
+// executing nonmasking fault-tolerant programs by constraint satisfaction,
+// reproducing Arora, Gouda & Varghese, "Constraint Satisfaction as a Basis
+// for Designing Nonmasking Fault-Tolerance" (1994).
+//
+// # The method
+//
+// A program tolerates faults nonmaskingly when its input-output relation is
+// violated only temporarily: formally, a program p with invariant S and
+// fault-span T is T-tolerant for S iff S and T are closed in p and every
+// computation from T reaches S. The paper's design method is:
+//
+//  1. Partition the invariant S into constraints that can each be
+//     independently checked and established (their conjunction with T is S).
+//  2. For each constraint c, add a convergence action
+//     "¬c -> establish c while preserving T".
+//  3. Validate that the convergence actions cannot interfere forever, using
+//     the constraint graph: Theorem 1 (out-trees), Theorem 2 (self-looping
+//     graphs with a per-node linear order), Theorem 3 (layered partitions).
+//
+// # What the library provides
+//
+//   - The guarded-command program model (Design, Builder, Action,
+//     Predicate, Schema) and a textual front end for the paper's notation
+//     (LoadGCL).
+//   - Machine-checked theorem validation (Validate) and exact model
+//     checking of closure and convergence under unfair and weakly fair
+//     daemons (Design.Verify), including fault-span computation.
+//   - Execution: schedulers/daemons, fault injection, a simulator for
+//     large instances, and a goroutine-per-node message-passing runtime
+//     realizing the paper's low-atomicity refinement.
+//   - The paper's worked designs as ready-made protocols: the stabilizing
+//     diffusing computation, Dijkstra's token ring (path and mod-K ring
+//     forms), the x/y/z running example, and the applications it motivates
+//     (spanning tree, distributed reset, mutual exclusion, termination
+//     detection) under internal/protocols, re-exported by examples.
+//
+// # Quickstart
+//
+// Build a design from constraints and validate it:
+//
+//	b := nonmask.NewDesign("example")
+//	x := b.Schema().MustDeclare("x", nonmask.IntRange(0, 4))
+//	y := b.Schema().MustDeclare("y", nonmask.IntRange(0, 4))
+//	neq := nonmask.NewPredicate("x!=y", []nonmask.VarID{x, y},
+//		func(st *nonmask.State) bool { return st.Get(x) != st.Get(y) })
+//	fix := nonmask.NewAction("fix-y", nonmask.Convergence,
+//		[]nonmask.VarID{x, y}, []nonmask.VarID{y},
+//		func(st *nonmask.State) bool { return st.Get(x) == st.Get(y) },
+//		func(st *nonmask.State) { st.Set(y, (st.Get(y)+1)%5) })
+//	b.Constraint(0, neq, fix)
+//	d, err := b.Build()
+//	// d.Validate(...) applies Theorems 1-3; d.Verify(...) model-checks.
+//
+// See examples/ for complete programs and EXPERIMENTS.md for the
+// paper-claim reproduction suite.
+package nonmask

@@ -1,0 +1,56 @@
+// Message-passing demo: the low-atomicity refinement of the paper's
+// Section 8 remark, run as a real concurrent system — one goroutine per
+// node, lossy duplicating links, cached neighbor state — recovering from
+// full-state corruption.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"nonmask/internal/protocols/diffusing"
+	"nonmask/internal/runtime"
+)
+
+func main() {
+	fmt.Println("message-passing refinements (goroutine per node, unreliable links)")
+	fmt.Println()
+
+	fmt.Println("--- Dijkstra ring, 16 nodes, 20% loss, 10% duplication ---")
+	ring := &runtime.RingProtocol{N: 15, K: 17}
+	net := runtime.NewNetwork(ring, runtime.Config{
+		Seed:            1,
+		LossProb:        0.20,
+		DupProb:         0.10,
+		RetransmitEvery: 200 * time.Microsecond,
+	})
+	net.Corrupt(16, runtime.CorruptRing(17))
+	res := net.Run(20 * time.Second)
+	fmt.Printf("converged: %v after %d monitor updates in %v\n",
+		res.Converged, res.Updates, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("final counters: %v\n\n", flat(res.Final))
+
+	fmt.Println("--- diffusing wave, binary tree of 31 nodes, 20% loss ---")
+	tree := diffusing.Binary(31)
+	tnet := runtime.NewNetwork(runtime.NewTreeProtocol(tree.Parent), runtime.Config{
+		Seed:            2,
+		LossProb:        0.20,
+		DupProb:         0.10,
+		RetransmitEvery: 200 * time.Microsecond,
+	})
+	tnet.Corrupt(31, runtime.CorruptTree())
+	tres := tnet.Run(20 * time.Second)
+	fmt.Printf("converged: %v after %d monitor updates in %v\n",
+		tres.Converged, tres.Updates, tres.Elapsed.Round(time.Millisecond))
+	fmt.Println()
+	fmt.Println("each node read only its cached copies of neighbor registers — the")
+	fmt.Println("high-atomicity guarded commands refined to asynchronous message passing")
+}
+
+func flat(all [][]int32) []int32 {
+	out := make([]int32, len(all))
+	for i, regs := range all {
+		out[i] = regs[0]
+	}
+	return out
+}

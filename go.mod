@@ -1,0 +1,3 @@
+module nonmask
+
+go 1.22

@@ -1,0 +1,428 @@
+// Package constraint implements the paper's central modelling device
+// (Sections 3 and 4): the invariant S is partitioned into a set of
+// constraints that can each be independently checked and established by a
+// convergence action, and the interference structure among the convergence
+// actions is captured by a constraint graph.
+//
+// A constraint graph (Section 4) is a directed graph in which
+//
+//	(i)  each node is labeled with a set of variables; labels are mutually
+//	     exclusive, and
+//	(ii) each edge is labeled with a convergence action ac from node v to
+//	     node w such that all variables written by ac are in the label of w
+//	     and all variables read by ac are in the union of the labels of v
+//	     and w.
+//
+// Since there is a bijection between constraints and convergence actions,
+// the edge is equally labeled by the constraint.
+package constraint
+
+import (
+	"fmt"
+	"strings"
+
+	"nonmask/internal/graph"
+	"nonmask/internal/program"
+)
+
+// Constraint pairs one conjunct of the invariant with the convergence
+// action that independently checks and establishes it (paper Section 3:
+// "for each constraint c in S we design a convergence action of the form
+// ¬c -> establish c while preserving T").
+type Constraint struct {
+	// Pred is the constraint predicate (a conjunct of S).
+	Pred *program.Predicate
+	// Action is the convergence action establishing Pred. Its guard must
+	// imply ¬Pred; Set.Validate checks this on sampled states.
+	Action *program.Action
+	// Layer is the hierarchical partition index used by Theorem 3.
+	// Layer 0 is the lowest layer; single-layer designs use 0 throughout.
+	Layer int
+}
+
+// LayerTarget is the predicate a layer's constraints exist to establish.
+// Usually it is simply the conjunction of the layer's constraints, but the
+// paper's token ring (Section 7.1) shows the general case: the layer-2
+// helper constraints "x.j = x.(j+1)" strictly strengthen the actual
+// S-conjunct "x.0 = x.N or x.0 = x.N + 1" ("we propose to satisfy the
+// second conjunct by satisfying the constraints x.j = x.(j+1)"). The
+// preservation obligations of Theorem 3 then apply only while the target is
+// not yet established — once it is, closure of S takes over (the paper:
+// "the first closure action is not enabled when the first conjunct holds
+// but the second does not").
+type LayerTarget struct {
+	// Layer is the partition index the target belongs to.
+	Layer int
+	// Target is the S-conjunct the layer establishes. The conjunction of
+	// the layer's constraints must imply it.
+	Target *program.Predicate
+}
+
+// Name returns the constraint's display name (the predicate's name).
+func (c *Constraint) Name() string {
+	if c.Pred == nil {
+		return "<unnamed>"
+	}
+	return c.Pred.Name
+}
+
+// Set is an ordered collection of constraints, typically all conjuncts of
+// one program invariant.
+type Set struct {
+	Constraints []*Constraint
+	// Targets holds explicit layer targets; layers without an entry use
+	// the conjunction of their constraints.
+	Targets []*LayerTarget
+}
+
+// NewSet returns a set containing the given constraints.
+func NewSet(cs ...*Constraint) *Set {
+	return &Set{Constraints: cs}
+}
+
+// SetTarget declares an explicit target for a layer, replacing any earlier
+// declaration for the same layer. It returns the set for chaining.
+func (s *Set) SetTarget(layer int, target *program.Predicate) *Set {
+	for _, t := range s.Targets {
+		if t.Layer == layer {
+			t.Target = target
+			return s
+		}
+	}
+	s.Targets = append(s.Targets, &LayerTarget{Layer: layer, Target: target})
+	return s
+}
+
+// Target returns layer k's target: the explicit one if declared, otherwise
+// the conjunction of the layer's constraints.
+func (s *Set) Target(k int) *program.Predicate {
+	for _, t := range s.Targets {
+		if t.Layer == k {
+			return t.Target
+		}
+	}
+	var preds []*program.Predicate
+	for _, c := range s.Constraints {
+		if c.Layer == k {
+			preds = append(preds, c.Pred)
+		}
+	}
+	return program.And(fmt.Sprintf("target[layer %d]", k), preds...)
+}
+
+// TargetConjunction returns the conjunction of every layer's target — the
+// constraint-derived part of the invariant S. For sets without explicit
+// targets it equals Conjunction.
+func (s *Set) TargetConjunction(name string) *program.Predicate {
+	layers := s.Layers()
+	preds := make([]*program.Predicate, len(layers))
+	for k := range layers {
+		preds[k] = s.Target(k)
+	}
+	return program.And(name, preds...)
+}
+
+// Add appends a constraint and returns the set for chaining.
+func (s *Set) Add(c *Constraint) *Set {
+	s.Constraints = append(s.Constraints, c)
+	return s
+}
+
+// Len returns the number of constraints.
+func (s *Set) Len() int { return len(s.Constraints) }
+
+// Layers returns the constraints grouped by layer, indexed 0..maxLayer.
+// Empty intermediate layers are preserved as empty slices so that layer
+// numbers used by Theorem 3 stay aligned.
+func (s *Set) Layers() [][]*Constraint {
+	max := -1
+	for _, c := range s.Constraints {
+		if c.Layer > max {
+			max = c.Layer
+		}
+	}
+	out := make([][]*Constraint, max+1)
+	for _, c := range s.Constraints {
+		out[c.Layer] = append(out[c.Layer], c)
+	}
+	return out
+}
+
+// Conjunction returns the conjunction of all constraint predicates.
+// Per Section 3, the invariant S is this conjunction together with the
+// fault-span T.
+func (s *Set) Conjunction(name string) *program.Predicate {
+	preds := make([]*program.Predicate, len(s.Constraints))
+	for i, c := range s.Constraints {
+		preds[i] = c.Pred
+	}
+	return program.And(name, preds...)
+}
+
+// ViolatedCount returns how many constraints do not hold at state st. It is
+// the natural "distance from S" observable used by simulation metrics.
+func (s *Set) ViolatedCount(st *program.State) int {
+	n := 0
+	for _, c := range s.Constraints {
+		if !c.Pred.Holds(st) {
+			n++
+		}
+	}
+	return n
+}
+
+// Violated returns the constraints that do not hold at st.
+func (s *Set) Violated(st *program.State) []*Constraint {
+	var out []*Constraint
+	for _, c := range s.Constraints {
+		if !c.Pred.Holds(st) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ConvergenceActions returns the convergence actions of all constraints in
+// set order.
+func (s *Set) ConvergenceActions() []*program.Action {
+	out := make([]*program.Action, len(s.Constraints))
+	for i, c := range s.Constraints {
+		out[i] = c.Action
+	}
+	return out
+}
+
+// Validate performs structural checks on the set: every constraint has a
+// predicate and a convergence action of kind Convergence, and layer numbers
+// are non-negative.
+func (s *Set) Validate() error {
+	if len(s.Constraints) == 0 {
+		return fmt.Errorf("constraint: empty set")
+	}
+	for i, c := range s.Constraints {
+		if c.Pred == nil || c.Pred.Eval == nil {
+			return fmt.Errorf("constraint %d: missing predicate", i)
+		}
+		if c.Action == nil {
+			return fmt.Errorf("constraint %q: missing convergence action", c.Name())
+		}
+		if c.Action.Kind != program.Convergence {
+			return fmt.Errorf("constraint %q: action %q has kind %s, want convergence",
+				c.Name(), c.Action.Name, c.Action.Kind)
+		}
+		if c.Layer < 0 {
+			return fmt.Errorf("constraint %q: negative layer %d", c.Name(), c.Layer)
+		}
+	}
+	return nil
+}
+
+// Graph is a constraint graph per Section 4, built over a subset of the
+// constraints of a Set (Section 7 refines graphs to subsets of convergence
+// actions, one per layer).
+type Graph struct {
+	// Nodes holds the variable label of each graph node, mutually exclusive
+	// and in canonical order.
+	Nodes [][]program.VarID
+	// NodeOf maps each variable that appears in some label to its node.
+	NodeOf map[program.VarID]int
+	// G is the underlying directed multigraph. Edge i's label is the index
+	// of the constraint (within the slice passed to BuildGraph) it
+	// represents.
+	G *graph.Graph
+	// Constraints are the constraints the edges represent, in edge order.
+	Constraints []*Constraint
+}
+
+// BuildGraph constructs the canonical constraint graph of the given
+// constraints' convergence actions.
+//
+// Construction: the write-set of each action must lie within a single node
+// label, so all variables written by one action are merged into one node
+// (union-find). Any variables an action reads beyond its target node must
+// lie within a single source node, so they are merged likewise. Variables
+// never mentioned by any convergence action do not appear in the graph, as
+// in the paper ("each node is labeled with a set of variables that appear
+// in actions in q").
+//
+// The result is validated against the Section 4 definition; if some action
+// reads variables from more than one node besides its target, construction
+// fails with a descriptive error.
+func BuildGraph(cs []*Constraint) (*Graph, error) {
+	if len(cs) == 0 {
+		return nil, fmt.Errorf("constraint: cannot build graph of zero constraints")
+	}
+	// Collect the variables appearing in the convergence actions.
+	uf := newUnionFind()
+	for _, c := range cs {
+		if c.Action == nil {
+			return nil, fmt.Errorf("constraint %q: missing convergence action", c.Name())
+		}
+		if len(c.Action.Writes) == 0 {
+			return nil, fmt.Errorf("constraint %q: convergence action %q writes nothing",
+				c.Name(), c.Action.Name)
+		}
+		for _, v := range c.Action.Reads {
+			uf.add(v)
+		}
+		// Merge all writes of one action into one node.
+		w0 := c.Action.Writes[0]
+		uf.add(w0)
+		for _, w := range c.Action.Writes[1:] {
+			uf.add(w)
+			uf.union(w0, w)
+		}
+	}
+	// Merge the non-target reads of each action into one source node.
+	for _, c := range cs {
+		target := uf.find(c.Action.Writes[0])
+		var src program.VarID = -1
+		for _, r := range c.Action.Reads {
+			if uf.find(r) == target {
+				continue
+			}
+			if src < 0 {
+				src = r
+			} else {
+				uf.union(src, r)
+			}
+		}
+	}
+	// A merge may have joined a source group with a target group of another
+	// action; recompute roots and verify the defining conditions below.
+	nodes, nodeOf := uf.groups()
+	g := graph.New(len(nodes))
+	cg := &Graph{Nodes: nodes, NodeOf: nodeOf, G: g, Constraints: cs}
+	for i, c := range cs {
+		target := nodeOf[c.Action.Writes[0]]
+		for _, w := range c.Action.Writes {
+			if nodeOf[w] != target {
+				// Cannot happen: writes were unioned. Defensive.
+				return nil, fmt.Errorf("constraint %q: writes span nodes", c.Name())
+			}
+		}
+		src := target
+		for _, r := range c.Action.Reads {
+			n := nodeOf[r]
+			if n == target {
+				continue
+			}
+			if src == target {
+				src = n
+			} else if n != src {
+				return nil, fmt.Errorf(
+					"constraint %q: action %q reads variables from more than two nodes (%s)",
+					c.Name(), c.Action.Name, cg.describeNodes(src, n, target))
+			}
+		}
+		g.AddEdge(src, target, i)
+	}
+	return cg, nil
+}
+
+func (cg *Graph) describeNodes(ids ...int) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("node%d", id)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// NodeLabel renders node n's variable label using the schema's names.
+func (cg *Graph) NodeLabel(schema *program.Schema, n int) string {
+	names := make([]string, len(cg.Nodes[n]))
+	for i, v := range cg.Nodes[n] {
+		names[i] = schema.Spec(v).Name
+	}
+	return "{" + strings.Join(names, ", ") + "}"
+}
+
+// IsOutTree reports whether the constraint graph is an out-tree
+// (Theorem 1's shape condition) and returns the root node when it is.
+func (cg *Graph) IsOutTree() (root int, ok bool) { return cg.G.IsOutTree() }
+
+// IsSelfLooping reports whether every cycle of the constraint graph is a
+// self-loop (Theorem 2's shape condition).
+func (cg *Graph) IsSelfLooping() bool { return cg.G.IsSelfLooping() }
+
+// Ranks returns the node ranks used by the convergence proofs.
+func (cg *Graph) Ranks() ([]int, bool) { return cg.G.Ranks() }
+
+// EdgesInto returns the constraints whose edges target node n, in edge
+// order — the actions that must be linearly ordered by Theorem 2's third
+// antecedent.
+func (cg *Graph) EdgesInto(n int) []*Constraint {
+	var out []*Constraint
+	for _, ei := range cg.G.InEdges(n) {
+		out = append(out, cg.Constraints[cg.G.Edge(ei).Label])
+	}
+	return out
+}
+
+// String renders the graph as "node{vars} -> node{vars} [constraint]" lines
+// for CLI display, given the schema for variable names.
+func (cg *Graph) String(schema *program.Schema) string {
+	var b strings.Builder
+	for _, e := range cg.G.Edges() {
+		fmt.Fprintf(&b, "%s -> %s  [%s]\n",
+			cg.NodeLabel(schema, e.From), cg.NodeLabel(schema, e.To),
+			cg.Constraints[e.Label].Name())
+	}
+	return b.String()
+}
+
+// unionFind is a small union-find over VarIDs, insertion-ordered so graph
+// node numbering is deterministic.
+type unionFind struct {
+	parent map[program.VarID]program.VarID
+	order  []program.VarID
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: make(map[program.VarID]program.VarID)}
+}
+
+func (u *unionFind) add(v program.VarID) {
+	if _, ok := u.parent[v]; !ok {
+		u.parent[v] = v
+		u.order = append(u.order, v)
+	}
+}
+
+func (u *unionFind) find(v program.VarID) program.VarID {
+	for u.parent[v] != v {
+		u.parent[v] = u.parent[u.parent[v]]
+		v = u.parent[v]
+	}
+	return v
+}
+
+func (u *unionFind) union(a, b program.VarID) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[rb] = ra
+	}
+}
+
+// groups returns the variable groups in first-insertion order along with a
+// variable->group index map.
+func (u *unionFind) groups() ([][]program.VarID, map[program.VarID]int) {
+	rootIndex := make(map[program.VarID]int)
+	var nodes [][]program.VarID
+	nodeOf := make(map[program.VarID]int, len(u.order))
+	for _, v := range u.order {
+		r := u.find(v)
+		idx, ok := rootIndex[r]
+		if !ok {
+			idx = len(nodes)
+			rootIndex[r] = idx
+			nodes = append(nodes, nil)
+		}
+		nodes[idx] = append(nodes[idx], v)
+		nodeOf[v] = idx
+	}
+	for i := range nodes {
+		nodes[i] = program.SortVarIDs(nodes[i])
+	}
+	return nodes, nodeOf
+}

@@ -1,0 +1,298 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"nonmask/internal/program"
+)
+
+// xyzFixture builds the paper's Section 4 running example: variables
+// x, y, z with S = (x != y) && (x <= z), over 0..4 domains.
+type xyzFixture struct {
+	schema  *program.Schema
+	x, y, z program.VarID
+	neq     *program.Predicate // x != y
+	leq     *program.Predicate // x <= z
+}
+
+func newXYZ(t *testing.T) *xyzFixture {
+	t.Helper()
+	s := program.NewSchema()
+	f := &xyzFixture{schema: s}
+	f.x = s.MustDeclare("x", program.IntRange(0, 4))
+	f.y = s.MustDeclare("y", program.IntRange(0, 4))
+	f.z = s.MustDeclare("z", program.IntRange(0, 4))
+	f.neq = program.NewPredicate("x != y", []program.VarID{f.x, f.y},
+		func(st *program.State) bool { return st.Get(f.x) != st.Get(f.y) })
+	f.leq = program.NewPredicate("x <= z", []program.VarID{f.x, f.z},
+		func(st *program.State) bool { return st.Get(f.x) <= st.Get(f.z) })
+	return f
+}
+
+// variantB returns the paper's preferred convergence actions: change y if
+// x = y; change z to at least x if x exceeds z. Its constraint graph is the
+// out-tree printed in Section 4.
+func (f *xyzFixture) variantB() []*Constraint {
+	fixY := program.NewAction("fix-y", program.Convergence,
+		[]program.VarID{f.x, f.y}, []program.VarID{f.y},
+		func(st *program.State) bool { return st.Get(f.x) == st.Get(f.y) },
+		func(st *program.State) { st.Set(f.y, (st.Get(f.y)+1)%5) })
+	fixZ := program.NewAction("fix-z", program.Convergence,
+		[]program.VarID{f.x, f.z}, []program.VarID{f.z},
+		func(st *program.State) bool { return st.Get(f.x) > st.Get(f.z) },
+		func(st *program.State) { st.Set(f.z, st.Get(f.x)) })
+	return []*Constraint{
+		{Pred: f.neq, Action: fixY},
+		{Pred: f.leq, Action: fixZ},
+	}
+}
+
+// variantA returns the problematic design from Section 6: both convergence
+// actions write x, so their edges share a target node.
+func (f *xyzFixture) variantA() []*Constraint {
+	fixX1 := program.NewAction("fix-x-neq", program.Convergence,
+		[]program.VarID{f.x, f.y}, []program.VarID{f.x},
+		func(st *program.State) bool { return st.Get(f.x) == st.Get(f.y) },
+		func(st *program.State) { st.Set(f.x, (st.Get(f.x)+1)%5) })
+	fixX2 := program.NewAction("fix-x-leq", program.Convergence,
+		[]program.VarID{f.x, f.z}, []program.VarID{f.x},
+		func(st *program.State) bool { return st.Get(f.x) > st.Get(f.z) },
+		func(st *program.State) { st.Set(f.x, st.Get(f.z)) })
+	return []*Constraint{
+		{Pred: f.neq, Action: fixX1},
+		{Pred: f.leq, Action: fixX2},
+	}
+}
+
+func TestBuildGraphPaperExample(t *testing.T) {
+	f := newXYZ(t)
+	cg, err := BuildGraph(f.variantB())
+	if err != nil {
+		t.Fatalf("BuildGraph: %v", err)
+	}
+	// Paper Section 4 figure: nodes {x}, {y}, {z}; edges x->y (x!=y) and
+	// x->z (x<=z); an out-tree rooted at {x}.
+	if len(cg.Nodes) != 3 {
+		t.Fatalf("got %d nodes, want 3: %v", len(cg.Nodes), cg.Nodes)
+	}
+	root, ok := cg.IsOutTree()
+	if !ok {
+		t.Fatal("paper graph not recognized as out-tree")
+	}
+	if len(cg.Nodes[root]) != 1 || cg.Nodes[root][0] != f.x {
+		t.Errorf("root label = %v, want {x}", cg.Nodes[root])
+	}
+	if cg.G.M() != 2 {
+		t.Errorf("got %d edges, want 2", cg.G.M())
+	}
+	str := cg.String(f.schema)
+	for _, want := range []string{"{x} -> {y}", "{x} -> {z}", "x != y", "x <= z"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() missing %q:\n%s", want, str)
+		}
+	}
+}
+
+func TestBuildGraphSharedTarget(t *testing.T) {
+	f := newXYZ(t)
+	cg, err := BuildGraph(f.variantA())
+	if err != nil {
+		t.Fatalf("BuildGraph: %v", err)
+	}
+	// Both actions write x: edges y->x and z->x. Not an out-tree
+	// (x has indegree 2), but still self-looping (acyclic).
+	if _, ok := cg.IsOutTree(); ok {
+		t.Error("shared-target graph recognized as out-tree")
+	}
+	if !cg.IsSelfLooping() {
+		t.Error("shared-target graph not self-looping")
+	}
+	xNode := cg.NodeOf[f.x]
+	into := cg.EdgesInto(xNode)
+	if len(into) != 2 {
+		t.Errorf("EdgesInto(x) = %d constraints, want 2", len(into))
+	}
+}
+
+func TestBuildGraphRanks(t *testing.T) {
+	f := newXYZ(t)
+	cg, err := BuildGraph(f.variantB())
+	if err != nil {
+		t.Fatalf("BuildGraph: %v", err)
+	}
+	ranks, ok := cg.Ranks()
+	if !ok {
+		t.Fatal("Ranks failed")
+	}
+	if ranks[cg.NodeOf[f.x]] != 1 {
+		t.Errorf("rank of {x} = %d, want 1", ranks[cg.NodeOf[f.x]])
+	}
+	if ranks[cg.NodeOf[f.y]] != 2 || ranks[cg.NodeOf[f.z]] != 2 {
+		t.Errorf("ranks of {y},{z} = %d,%d; want 2,2",
+			ranks[cg.NodeOf[f.y]], ranks[cg.NodeOf[f.z]])
+	}
+}
+
+func TestBuildGraphErrors(t *testing.T) {
+	f := newXYZ(t)
+	t.Run("empty", func(t *testing.T) {
+		if _, err := BuildGraph(nil); err == nil {
+			t.Error("BuildGraph(nil) succeeded")
+		}
+	})
+	t.Run("no writes", func(t *testing.T) {
+		c := &Constraint{Pred: f.neq, Action: program.NewAction(
+			"noop", program.Convergence, []program.VarID{f.x}, nil,
+			func(*program.State) bool { return false }, func(*program.State) {})}
+		if _, err := BuildGraph([]*Constraint{c}); err == nil {
+			t.Error("BuildGraph with write-free action succeeded")
+		}
+	})
+	t.Run("nil action", func(t *testing.T) {
+		if _, err := BuildGraph([]*Constraint{{Pred: f.neq}}); err == nil {
+			t.Error("BuildGraph with nil action succeeded")
+		}
+	})
+}
+
+func TestBuildGraphMergesWriteSets(t *testing.T) {
+	// An action writing two variables forces them into one node
+	// (paper: "all variables written in ac are in the label of w").
+	s := program.NewSchema()
+	a := s.MustDeclare("a", program.Bool())
+	b := s.MustDeclare("b", program.Bool())
+	c := s.MustDeclare("c", program.Bool())
+	pred := program.NewPredicate("a=b", []program.VarID{a, b},
+		func(st *program.State) bool { return st.Get(a) == st.Get(b) })
+	act := program.NewAction("sync", program.Convergence,
+		[]program.VarID{a, b, c}, []program.VarID{a, b},
+		func(st *program.State) bool { return st.Get(a) != st.Get(b) },
+		func(st *program.State) { st.Set(b, st.Get(a)) })
+	cg, err := BuildGraph([]*Constraint{{Pred: pred, Action: act}})
+	if err != nil {
+		t.Fatalf("BuildGraph: %v", err)
+	}
+	if cg.NodeOf[a] != cg.NodeOf[b] {
+		t.Error("written variables a, b not merged into one node")
+	}
+	if cg.NodeOf[c] == cg.NodeOf[a] {
+		t.Error("read-only variable c merged into the write node")
+	}
+	e := cg.G.Edge(0)
+	if e.From != cg.NodeOf[c] || e.To != cg.NodeOf[a] {
+		t.Errorf("edge = %+v, want {c} -> {a,b}", e)
+	}
+}
+
+func TestBuildGraphSelfLoopWhenReadsWithinTarget(t *testing.T) {
+	// An action that reads only what it writes yields a self-loop.
+	s := program.NewSchema()
+	a := s.MustDeclare("a", program.IntRange(0, 3))
+	pred := program.NewPredicate("a=0", []program.VarID{a},
+		func(st *program.State) bool { return st.Get(a) == 0 })
+	act := program.NewAction("reset", program.Convergence,
+		[]program.VarID{a}, []program.VarID{a},
+		func(st *program.State) bool { return st.Get(a) != 0 },
+		func(st *program.State) { st.Set(a, 0) })
+	cg, err := BuildGraph([]*Constraint{{Pred: pred, Action: act}})
+	if err != nil {
+		t.Fatalf("BuildGraph: %v", err)
+	}
+	if cg.G.M() != 1 || cg.G.Edge(0).From != cg.G.Edge(0).To {
+		t.Errorf("expected a single self-loop, got %+v", cg.G.Edges())
+	}
+	if !cg.IsSelfLooping() {
+		t.Error("self-loop graph not self-looping")
+	}
+	if _, ok := cg.IsOutTree(); ok {
+		t.Error("self-loop recognized as out-tree")
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	f := newXYZ(t)
+	set := NewSet(f.variantB()...)
+	if set.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", set.Len())
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	st := f.schema.NewState() // x=y=z=0: x!=y violated, x<=z holds
+	if got := set.ViolatedCount(st); got != 1 {
+		t.Errorf("ViolatedCount = %d, want 1", got)
+	}
+	violated := set.Violated(st)
+	if len(violated) != 1 || violated[0].Name() != "x != y" {
+		t.Errorf("Violated = %v", violated)
+	}
+
+	st.Set(f.y, 1) // S holds
+	S := set.Conjunction("S")
+	if !S.Holds(st) {
+		t.Error("S fails where both constraints hold")
+	}
+	if set.ViolatedCount(st) != 0 {
+		t.Error("ViolatedCount != 0 where S holds")
+	}
+
+	acts := set.ConvergenceActions()
+	if len(acts) != 2 || acts[0].Name != "fix-y" {
+		t.Errorf("ConvergenceActions = %v", acts)
+	}
+}
+
+func TestSetLayers(t *testing.T) {
+	f := newXYZ(t)
+	cs := f.variantB()
+	cs[0].Layer = 0
+	cs[1].Layer = 2
+	set := NewSet(cs...)
+	layers := set.Layers()
+	if len(layers) != 3 {
+		t.Fatalf("got %d layers, want 3", len(layers))
+	}
+	if len(layers[0]) != 1 || len(layers[1]) != 0 || len(layers[2]) != 1 {
+		t.Errorf("layer sizes = %d,%d,%d; want 1,0,1",
+			len(layers[0]), len(layers[1]), len(layers[2]))
+	}
+}
+
+func TestSetValidateErrors(t *testing.T) {
+	f := newXYZ(t)
+	if err := NewSet().Validate(); err == nil {
+		t.Error("empty set passed Validate")
+	}
+
+	cs := f.variantB()
+	cs[0].Pred = nil
+	if err := NewSet(cs...).Validate(); err == nil {
+		t.Error("nil predicate passed Validate")
+	}
+
+	cs = f.variantB()
+	cs[0].Action.Kind = program.Closure
+	if err := NewSet(cs...).Validate(); err == nil {
+		t.Error("closure-kind action passed Validate")
+	}
+
+	cs = f.variantB()
+	cs[1].Layer = -1
+	if err := NewSet(cs...).Validate(); err == nil {
+		t.Error("negative layer passed Validate")
+	}
+}
+
+func TestConstraintName(t *testing.T) {
+	f := newXYZ(t)
+	c := &Constraint{Pred: f.neq}
+	if c.Name() != "x != y" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	unnamed := &Constraint{}
+	if unnamed.Name() != "<unnamed>" {
+		t.Errorf("unnamed Name = %q", unnamed.Name())
+	}
+}

@@ -1,0 +1,95 @@
+package constraint
+
+import (
+	"testing"
+
+	"nonmask/internal/program"
+)
+
+// layerFixture builds two layered constraints over a, b with an explicit
+// weaker target for layer 1.
+func layerFixture(t *testing.T) (*Set, *program.Schema, program.VarID, program.VarID) {
+	t.Helper()
+	s := program.NewSchema()
+	a := s.MustDeclare("a", program.IntRange(0, 3))
+	b := s.MustDeclare("b", program.IntRange(0, 3))
+	aZero := program.NewPredicate("a=0", []program.VarID{a},
+		func(st *program.State) bool { return st.Get(a) == 0 })
+	bEqA := program.NewPredicate("b=a", []program.VarID{a, b},
+		func(st *program.State) bool { return st.Get(b) == st.Get(a) })
+	mk := func(name string, vars []program.VarID) *program.Action {
+		return program.NewAction(name, program.Convergence, vars, vars[:1],
+			func(*program.State) bool { return false }, func(*program.State) {})
+	}
+	set := NewSet(
+		&Constraint{Pred: aZero, Action: mk("fa", []program.VarID{a}), Layer: 0},
+		&Constraint{Pred: bEqA, Action: mk("fb", []program.VarID{b, a}), Layer: 1},
+	)
+	return set, s, a, b
+}
+
+func TestTargetDefaultsToLayerConjunction(t *testing.T) {
+	set, s, a, b := layerFixture(t)
+	t1 := set.Target(1)
+	st := s.NewState()
+	if !t1.Holds(st) {
+		t.Error("default target fails where layer constraint holds")
+	}
+	st.Set(b, 2)
+	if t1.Holds(st) {
+		t.Error("default target holds where layer constraint fails")
+	}
+	_ = a
+}
+
+func TestSetTargetOverrides(t *testing.T) {
+	set, s, a, b := layerFixture(t)
+	// Weaker target: b <= a + 1.
+	weak := program.NewPredicate("b<=a+1", []program.VarID{a, b},
+		func(st *program.State) bool { return st.Get(b) <= st.Get(a)+1 })
+	set.SetTarget(1, weak)
+
+	st := s.NewState()
+	st.Set(b, 1) // b=a+1: helper fails, target holds
+	if !set.Target(1).Holds(st) {
+		t.Error("explicit target not in effect")
+	}
+	// Layer 0's target is untouched.
+	if !set.Target(0).Holds(st) {
+		t.Error("layer 0 target affected")
+	}
+	// Re-setting replaces rather than appends.
+	strict := program.NewPredicate("b=0", []program.VarID{b},
+		func(st *program.State) bool { return st.Get(b) == 0 })
+	set.SetTarget(1, strict)
+	if set.Target(1).Holds(st) {
+		t.Error("re-set target not in effect")
+	}
+	if len(set.Targets) != 1 {
+		t.Errorf("Targets has %d entries, want 1", len(set.Targets))
+	}
+}
+
+func TestTargetConjunction(t *testing.T) {
+	set, s, a, b := layerFixture(t)
+	weak := program.NewPredicate("b<=a+1", []program.VarID{a, b},
+		func(st *program.State) bool { return st.Get(b) <= st.Get(a)+1 })
+	set.SetTarget(1, weak)
+
+	S := set.TargetConjunction("S")
+	st := s.NewState()
+	st.Set(b, 1) // a=0 ✓, b<=a+1 ✓, helper b=a ✗
+	if !S.Holds(st) {
+		t.Error("target conjunction should use the explicit target")
+	}
+	// The plain Conjunction still uses the helpers.
+	C := set.Conjunction("C")
+	if C.Holds(st) {
+		t.Error("plain conjunction should use helper constraints")
+	}
+	st.Set(a, 1)
+	st.Set(b, 3)
+	if S.Holds(st) {
+		t.Error("target conjunction holds where layer 0 fails")
+	}
+}

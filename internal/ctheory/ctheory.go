@@ -1,0 +1,319 @@
+// Package ctheory mechanizes the paper's three sufficient conditions for
+// convergence validation:
+//
+//	Theorem 1 (Section 5): out-tree constraint graphs.
+//	Theorem 2 (Section 6): self-looping constraint graphs with a per-node
+//	                       linear order on same-target convergence actions.
+//	Theorem 3 (Section 7): hierarchical partitions of the convergence
+//	                       actions whose per-layer constraint graphs are
+//	                       self-looping.
+//
+// Each theorem becomes a checker that evaluates every antecedent —
+// structurally on the constraint graph, semantically via internal/verify
+// preservation checks — and returns a Report saying whether the theorem
+// applies and, therefore, whether the augmented program p ∪ q is provably
+// T-tolerant for S.
+package ctheory
+
+import (
+	"fmt"
+	"strings"
+
+	"nonmask/internal/constraint"
+	"nonmask/internal/program"
+	"nonmask/internal/verify"
+)
+
+// TheoremID identifies one of the paper's sufficient conditions.
+type TheoremID int
+
+// The paper's theorems.
+const (
+	Theorem1 TheoremID = iota + 1
+	Theorem2
+	Theorem3
+)
+
+// String returns the theorem's paper name.
+func (t TheoremID) String() string {
+	switch t {
+	case Theorem1:
+		return "Theorem 1 (out-tree)"
+	case Theorem2:
+		return "Theorem 2 (self-looping)"
+	case Theorem3:
+		return "Theorem 3 (layered)"
+	default:
+		return fmt.Sprintf("TheoremID(%d)", int(t))
+	}
+}
+
+// Input is a candidate triple (p, S, T) presented as its parts: the closure
+// actions of p, the fault-span T, and the constraint set whose conjunction
+// with T is S, each constraint carrying its convergence action.
+type Input struct {
+	// Closure holds the candidate program's closure actions.
+	Closure []*program.Action
+	// T is the fault-span; nil means true (stabilization).
+	T *program.Predicate
+	// Set holds the constraints in S with their convergence actions,
+	// layered for Theorem 3 (single-layer sets use layer 0 only).
+	Set *constraint.Set
+	// Schema is the program's variable table.
+	Schema *program.Schema
+	// Strategy selects exhaustive or projected preservation checking;
+	// zero means Projected.
+	Strategy verify.Strategy
+	// Opts bounds enumeration sizes.
+	Opts verify.Options
+}
+
+func (in *Input) strategy() verify.Strategy {
+	if in.Strategy == 0 {
+		return verify.Projected
+	}
+	return in.Strategy
+}
+
+// preserves runs one preservation query under the input's strategy.
+func (in *Input) preserves(a *program.Action, c *program.Predicate,
+	given []*program.Predicate) (*verify.PreserveResult, error) {
+	return verify.Preserves(in.strategy(), in.Schema, a, c, given, in.Opts)
+}
+
+// Condition is one checked antecedent.
+type Condition struct {
+	// Name identifies the antecedent, e.g. "constraint graph is an out-tree".
+	Name string
+	// Holds reports whether the antecedent was verified.
+	Holds bool
+	// Detail carries the witness or counterexample description.
+	Detail string
+}
+
+// Report is the outcome of checking one theorem's antecedents.
+type Report struct {
+	Theorem TheoremID
+	// Applies is the conjunction of all conditions: when true, the theorem
+	// guarantees that p ∪ q is T-tolerant for S.
+	Applies bool
+	// Conditions lists every antecedent with its verdict.
+	Conditions []Condition
+	// Graph is the constraint graph (Theorems 1 and 2; layer graphs for
+	// Theorem 3 are in LayerGraphs).
+	Graph *constraint.Graph
+	// LayerGraphs holds the per-layer constraint graphs for Theorem 3.
+	LayerGraphs []*constraint.Graph
+	// Orders holds, per graph node with multiple incoming edges, a witness
+	// linear order of constraint names (Theorems 2 and 3).
+	Orders map[string][]string
+}
+
+func (r *Report) add(name string, holds bool, detail string) {
+	r.Conditions = append(r.Conditions, Condition{Name: name, Holds: holds, Detail: detail})
+	if !holds {
+		r.Applies = false
+	}
+}
+
+// String renders the report as a checklist.
+func (r *Report) String() string {
+	var b strings.Builder
+	verdict := "APPLIES"
+	if !r.Applies {
+		verdict = "does NOT apply"
+	}
+	fmt.Fprintf(&b, "%s %s\n", r.Theorem, verdict)
+	for _, c := range r.Conditions {
+		mark := "ok  "
+		if !c.Holds {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "  [%s] %s", mark, c.Name)
+		if c.Detail != "" {
+			fmt.Fprintf(&b, " — %s", c.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// checkWellFormed verifies, for every constraint, the Section 3 form of its
+// convergence action "¬c -> establish c while preserving T": the action is
+// enabled only when the constraint is violated, enabled whenever the
+// constraint is violated (modulo the given lower-layer constraints),
+// establishes the constraint in one step, and preserves T. The given
+// predicates condition the completeness and establishment checks
+// (Theorem 3 layers).
+func (in *Input) checkWellFormed(r *Report, cs []*constraint.Constraint, given []*program.Predicate) {
+	for _, c := range cs {
+		name := fmt.Sprintf("convergence action %q well-formed for %q", c.Action.Name, c.Name())
+		st, err := verify.GuardImpliesNot(in.Schema, c.Action, c.Pred, in.Opts)
+		if err != nil {
+			r.add(name, false, err.Error())
+			continue
+		}
+		if st != nil {
+			r.add(name, false, fmt.Sprintf("guard holds where constraint holds: %s", st))
+			continue
+		}
+		// Completeness: (¬c ∧ given) => guard; otherwise a violated
+		// constraint could sit with no convergence action enabled.
+		vars := append(append([]program.VarID{}, c.Action.Reads...), c.Pred.Vars...)
+		for _, g := range given {
+			vars = append(vars, g.Vars...)
+		}
+		act, pred := c.Action, c.Pred
+		stuck, err := verify.FindProjected(in.Schema, vars, in.Opts, func(st *program.State) bool {
+			if pred.Holds(st) || act.Guard(st) {
+				return false
+			}
+			for _, g := range given {
+				if !g.Holds(st) {
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			r.add(name, false, err.Error())
+			continue
+		}
+		if stuck != nil {
+			r.add(name, false, fmt.Sprintf("constraint violated but action disabled at %s", stuck))
+			continue
+		}
+		res, err := verify.CheckEstablishes(in.strategy(), in.Schema, c.Action, c.Pred, given, in.Opts)
+		if err != nil {
+			r.add(name, false, err.Error())
+			continue
+		}
+		if !res.Preserves {
+			r.add(name, false, fmt.Sprintf("does not establish constraint: %s -> %s", res.State, res.Next))
+			continue
+		}
+		if !in.T.IsConstTrue() {
+			pres, err := verify.Preserves(in.strategy(), in.Schema, c.Action, in.T, given, in.Opts)
+			if err != nil {
+				r.add(name, false, err.Error())
+				continue
+			}
+			if !pres.Preserves {
+				r.add(name, false, fmt.Sprintf("does not preserve T: %s -> %s", pres.State, pres.Next))
+				continue
+			}
+		}
+		r.add(name, true, "")
+	}
+}
+
+// checkClosurePreserves verifies that every closure action preserves every
+// constraint in cs, given the predicates (empty for Theorems 1 and 2).
+func (in *Input) checkClosurePreserves(r *Report, cs []*constraint.Constraint,
+	given []*program.Predicate, label string) {
+	for _, a := range in.Closure {
+		for _, c := range cs {
+			res, err := verify.Preserves(in.strategy(), in.Schema, a, c.Pred, given, in.Opts)
+			name := fmt.Sprintf("closure action %q preserves %q%s", a.Name, c.Name(), label)
+			if err != nil {
+				r.add(name, false, err.Error())
+				continue
+			}
+			if !res.Preserves {
+				r.add(name, false, fmt.Sprintf("%s -> %s", res.State, res.Next))
+				continue
+			}
+			r.add(name, true, "")
+		}
+	}
+}
+
+// linearOrder attempts to order the constraints so that each constraint's
+// action preserves the constraints of all predecessors (Theorem 2's third
+// antecedent). It returns the witness order, or nil with an explanation.
+//
+// An order exists iff the precedence relation "a must precede b because a's
+// action does not preserve b's constraint" is acyclic; a topological sort
+// of that relation is a witness.
+func (in *Input) linearOrder(cs []*constraint.Constraint,
+	given []*program.Predicate) ([]*constraint.Constraint, string, error) {
+	n := len(cs)
+	if n <= 1 {
+		return cs, "", nil
+	}
+	// mustPrecede[i][j]: i's action does not preserve j's constraint, so i
+	// must come before j (otherwise i would appear after j and be required
+	// to preserve j's constraint).
+	mustPrecede := make([][]bool, n)
+	for i := range mustPrecede {
+		mustPrecede[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			res, err := verify.Preserves(in.strategy(), in.Schema, cs[i].Action, cs[j].Pred, given, in.Opts)
+			if err != nil {
+				return nil, "", err
+			}
+			if !res.Preserves {
+				mustPrecede[i][j] = true
+			}
+		}
+	}
+	// Kahn's algorithm over the precedence relation.
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if mustPrecede[i][j] {
+				indeg[j]++
+			}
+		}
+	}
+	var queue, order []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for j := 0; j < n; j++ {
+			if mustPrecede[v][j] {
+				indeg[j]--
+				if indeg[j] == 0 {
+					queue = append(queue, j)
+				}
+			}
+		}
+	}
+	if len(order) != n {
+		// Report a mutually-violating pair for the diagnosis.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if mustPrecede[i][j] && mustPrecede[j][i] {
+					return nil, fmt.Sprintf("actions %q and %q violate each other's constraints",
+						cs[i].Action.Name, cs[j].Action.Name), nil
+				}
+			}
+		}
+		return nil, "precedence relation is cyclic", nil
+	}
+	out := make([]*constraint.Constraint, n)
+	for pos, idx := range order {
+		out[pos] = cs[idx]
+	}
+	return out, "", nil
+}
+
+// orderNames renders a witness order.
+func orderNames(cs []*constraint.Constraint) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Name()
+	}
+	return out
+}

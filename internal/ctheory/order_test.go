@@ -1,0 +1,243 @@
+package ctheory
+
+import (
+	"testing"
+
+	"nonmask/internal/constraint"
+	"nonmask/internal/program"
+	"nonmask/internal/verify"
+)
+
+// threeChainFixture builds three nested-threshold constraints whose
+// convergence actions all write w: cA: w >= 1, cB: w >= 2, cC: w >= 3,
+// each fixed by "w < k -> w := k". All three edges share the target node
+// {w} — the maximal same-target case for Theorem 2's third antecedent.
+// Because each action fires only below its own threshold, it never fires
+// while a higher constraint holds, so every pair preserves vacuously and
+// every permutation is a valid order; the checker must still find one and
+// emit it deterministically (insertion order).
+func threeChainFixture(t *testing.T) *Input {
+	t.Helper()
+	s := program.NewSchema()
+	w := s.MustDeclare("w", program.IntRange(0, 4))
+	trigger := s.MustDeclare("t", program.Bool()) // source node for the edges
+	mk := func(name string, threshold int32) (*program.Predicate, *program.Action) {
+		pred := program.NewPredicate(name, []program.VarID{w},
+			func(st *program.State) bool { return st.Get(w) >= threshold })
+		act := program.NewAction("fix-"+name, program.Convergence,
+			[]program.VarID{w, trigger}, []program.VarID{w},
+			func(st *program.State) bool { return st.Get(w) < threshold },
+			func(st *program.State) { st.Set(w, threshold) })
+		return pred, act
+	}
+	pA, fA := mk("w>=1", 1)
+	pB, fB := mk("w>=2", 2)
+	pC, fC := mk("w>=3", 3)
+	return &Input{
+		T: program.True(),
+		Set: constraint.NewSet(
+			&constraint.Constraint{Pred: pA, Action: fA},
+			&constraint.Constraint{Pred: pB, Action: fB},
+			&constraint.Constraint{Pred: pC, Action: fC},
+		),
+		Schema:   s,
+		Strategy: verify.Exhaustive,
+	}
+}
+
+func TestTheorem2ThreeActionOrder(t *testing.T) {
+	in := threeChainFixture(t)
+	r, err := CheckTheorem2(in)
+	if err != nil {
+		t.Fatalf("CheckTheorem2: %v", err)
+	}
+	if !r.Applies {
+		t.Fatalf("Theorem 2 rejected the chain:\n%s", r)
+	}
+	if len(r.Orders) != 1 {
+		t.Fatalf("Orders = %v", r.Orders)
+	}
+	for _, order := range r.Orders {
+		// Every permutation is valid here (vacuous preservation); the
+		// checker emits the deterministic insertion order.
+		want := []string{"w>=1", "w>=2", "w>=3"}
+		if len(order) != 3 {
+			t.Fatalf("order = %v", order)
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Errorf("order = %v, want deterministic %v", order, want)
+				break
+			}
+		}
+	}
+}
+
+// TestTheorem2ChainGroundTruth cross-checks: the three-action design
+// actually converges, even though every pair of actions shares the target
+// node.
+func TestTheorem2ChainGroundTruth(t *testing.T) {
+	in := threeChainFixture(t)
+	p := program.New("chain3", in.Schema)
+	p.Add(in.Set.ConvergenceActions()...)
+	S := in.Set.Conjunction("S")
+	sp, err := verify.NewSpace(p, S, program.True(), verify.Options{})
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	res := sp.CheckConvergence()
+	if !res.Converges {
+		t.Fatalf("chain does not converge: %s", res.Summary())
+	}
+	// Worst case: daemon plays fixA, fixB, fixC in the worst order — the
+	// precedence chain means at most 3 productive steps... the unfair
+	// daemon can stretch: from w=0: fixA(w:=1), fixB(w:=2), fixC(w:=3) is
+	// forced monotone (each action only raises w to its threshold when
+	// below). Worst = 3.
+	if res.WorstSteps != 3 {
+		t.Errorf("worst steps = %d, want 3", res.WorstSteps)
+	}
+}
+
+// forcedOrderFixture builds three same-target constraints whose violation
+// regions overlap so the precedence relation forces a unique order:
+//
+//	c1: w >= 2   fix1: w < 2 -> w := 5   (violates c2 and c3)
+//	c2: w <= 3   fix2: w > 3 -> w := 3   (preserves c1, violates c3)
+//	c3: w even   fix3: w odd -> w := w-1 (preserves c1 and c2)
+//
+// mustPrecede is exactly {1->2, 1->3, 2->3}: the only witness order is
+// [w>=2, w<=3, w even].
+func forcedOrderFixture(t *testing.T) *Input {
+	t.Helper()
+	s := program.NewSchema()
+	w := s.MustDeclare("w", program.IntRange(0, 5))
+	c1 := program.NewPredicate("w>=2", []program.VarID{w},
+		func(st *program.State) bool { return st.Get(w) >= 2 })
+	f1 := program.NewAction("fix1", program.Convergence,
+		[]program.VarID{w}, []program.VarID{w},
+		func(st *program.State) bool { return st.Get(w) < 2 },
+		func(st *program.State) { st.Set(w, 5) })
+	c2 := program.NewPredicate("w<=3", []program.VarID{w},
+		func(st *program.State) bool { return st.Get(w) <= 3 })
+	f2 := program.NewAction("fix2", program.Convergence,
+		[]program.VarID{w}, []program.VarID{w},
+		func(st *program.State) bool { return st.Get(w) > 3 },
+		func(st *program.State) { st.Set(w, 3) })
+	c3 := program.NewPredicate("w even", []program.VarID{w},
+		func(st *program.State) bool { return st.Get(w)%2 == 0 })
+	f3 := program.NewAction("fix3", program.Convergence,
+		[]program.VarID{w}, []program.VarID{w},
+		func(st *program.State) bool { return st.Get(w)%2 == 1 },
+		func(st *program.State) { st.Set(w, st.Get(w)-1) })
+	return &Input{
+		T: program.True(),
+		Set: constraint.NewSet(
+			// Deliberately inserted in the WRONG order: the checker must
+			// reorder them.
+			&constraint.Constraint{Pred: c3, Action: f3},
+			&constraint.Constraint{Pred: c1, Action: f1},
+			&constraint.Constraint{Pred: c2, Action: f2},
+		),
+		Schema:   s,
+		Strategy: verify.Exhaustive,
+	}
+}
+
+func TestTheorem2ForcedUniqueOrder(t *testing.T) {
+	in := forcedOrderFixture(t)
+	r, err := CheckTheorem2(in)
+	if err != nil {
+		t.Fatalf("CheckTheorem2: %v", err)
+	}
+	if !r.Applies {
+		t.Fatalf("Theorem 2 rejected the forced chain:\n%s", r)
+	}
+	for _, order := range r.Orders {
+		want := []string{"w>=2", "w<=3", "w even"}
+		if len(order) != 3 {
+			t.Fatalf("order = %v", order)
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("order = %v, want the forced %v", order, want)
+			}
+		}
+	}
+	// Ground truth: the design converges to the single S state w=2.
+	p := program.New("forced", in.Schema)
+	p.Add(in.Set.ConvergenceActions()...)
+	S := in.Set.Conjunction("S")
+	sp, err := verify.NewSpace(p, S, program.True(), verify.Options{})
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	res := sp.CheckConvergence()
+	if !res.Converges {
+		t.Fatalf("forced chain does not converge: %s", res.Summary())
+	}
+	if sp.CountS() != 1 {
+		t.Errorf("|S| = %d, want 1 (w=2)", sp.CountS())
+	}
+}
+
+// TestStrategyDefaultsToProjected covers the Input.strategy default.
+func TestStrategyDefaultsToProjected(t *testing.T) {
+	in := threeChainFixture(t)
+	in.Strategy = 0
+	if got := in.strategy(); got != verify.Projected {
+		t.Errorf("default strategy = %v, want projected", got)
+	}
+	r, err := CheckTheorem2(in)
+	if err != nil {
+		t.Fatalf("CheckTheorem2 (projected): %v", err)
+	}
+	if !r.Applies {
+		t.Fatalf("projected strategy rejected the chain:\n%s", r)
+	}
+}
+
+// TestTheorem3TargetImplicationFailure covers the target-implication
+// condition: a declared target NOT implied by the layer constraints is
+// rejected.
+func TestTheorem3TargetImplicationFailure(t *testing.T) {
+	s := program.NewSchema()
+	a := s.MustDeclare("a", program.IntRange(0, 3))
+	b := s.MustDeclare("b", program.IntRange(0, 3))
+	aZero := program.NewPredicate("a=0", []program.VarID{a},
+		func(st *program.State) bool { return st.Get(a) == 0 })
+	fixA := program.NewAction("fix-a", program.Convergence,
+		[]program.VarID{a}, []program.VarID{a},
+		func(st *program.State) bool { return st.Get(a) != 0 },
+		func(st *program.State) { st.Set(a, 0) })
+	bZero := program.NewPredicate("b=0", []program.VarID{b},
+		func(st *program.State) bool { return st.Get(b) == 0 })
+	fixB := program.NewAction("fix-b", program.Convergence,
+		[]program.VarID{b}, []program.VarID{b},
+		func(st *program.State) bool { return st.Get(b) != 0 },
+		func(st *program.State) { st.Set(b, 0) })
+	set := constraint.NewSet(
+		&constraint.Constraint{Pred: aZero, Action: fixA, Layer: 0},
+		&constraint.Constraint{Pred: bZero, Action: fixB, Layer: 1},
+	)
+	// Bogus target: b = 3 is not implied by b = 0.
+	set.SetTarget(1, program.NewPredicate("b=3", []program.VarID{b},
+		func(st *program.State) bool { return st.Get(b) == 3 }))
+	in := &Input{T: program.True(), Set: set, Schema: s, Strategy: verify.Exhaustive}
+	r, err := CheckTheorem3(in)
+	if err != nil {
+		t.Fatalf("CheckTheorem3: %v", err)
+	}
+	if r.Applies {
+		t.Fatal("Theorem 3 accepted an unimplied target")
+	}
+	found := false
+	for _, c := range r.Conditions {
+		if !c.Holds && c.Name == "layer constraints imply target [layer 1]" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("target-implication failure not reported:\n%s", r)
+	}
+}

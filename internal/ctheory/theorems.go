@@ -1,0 +1,275 @@
+package ctheory
+
+import (
+	"fmt"
+
+	"nonmask/internal/constraint"
+	"nonmask/internal/program"
+	"nonmask/internal/verify"
+)
+
+// CheckTheorem1 verifies the antecedents of Theorem 1 (Section 5):
+//
+//	If every closure action of p preserves each constraint in S, and the
+//	constraint graph of q is an out-tree, then p ∪ q is T-tolerant for S.
+//
+// Additionally, the well-formedness of each convergence action (Section 3
+// form: ¬c -> establish c while preserving T) is checked, since the proof's
+// rank induction relies on one-step establishment.
+func CheckTheorem1(in *Input) (*Report, error) {
+	if err := in.Set.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Report{Theorem: Theorem1, Applies: true, Orders: map[string][]string{}}
+
+	cs := in.Set.Constraints
+	cg, err := constraint.BuildGraph(cs)
+	if err != nil {
+		r.add("constraint graph construction", false, err.Error())
+		return r, nil
+	}
+	r.Graph = cg
+
+	root, isTree := cg.IsOutTree()
+	detail := ""
+	if isTree {
+		detail = fmt.Sprintf("root %s", cg.NodeLabel(in.Schema, root))
+	}
+	r.add("constraint graph is an out-tree", isTree, detail)
+
+	in.checkWellFormed(r, cs, nil)
+	in.checkClosurePreserves(r, cs, nil, "")
+	return r, nil
+}
+
+// CheckTheorem2 verifies the antecedents of Theorem 2 (Section 6):
+//
+//	If every closure action of p preserves each constraint in S, the
+//	constraint graph of q is self-looping, and for each node j the
+//	convergence actions of edges with target j can be linearly ordered so
+//	that each action in the order preserves the constraints of the
+//	preceding actions, then p ∪ q is T-tolerant for S.
+func CheckTheorem2(in *Input) (*Report, error) {
+	if err := in.Set.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Report{Theorem: Theorem2, Applies: true, Orders: map[string][]string{}}
+
+	cs := in.Set.Constraints
+	cg, err := constraint.BuildGraph(cs)
+	if err != nil {
+		r.add("constraint graph construction", false, err.Error())
+		return r, nil
+	}
+	r.Graph = cg
+
+	r.add("constraint graph is self-looping", cg.IsSelfLooping(), "")
+
+	in.checkOrders(r, cg, nil)
+	in.checkWellFormed(r, cs, nil)
+	in.checkClosurePreserves(r, cs, nil, "")
+	return r, nil
+}
+
+// checkOrders verifies the per-node linear-order antecedent for one
+// constraint graph and records witness orders in the report.
+func (in *Input) checkOrders(r *Report, cg *constraint.Graph, given []*program.Predicate) {
+	for node := 0; node < cg.G.N(); node++ {
+		into := cg.EdgesInto(node)
+		if len(into) <= 1 {
+			continue
+		}
+		label := cg.NodeLabel(in.Schema, node)
+		name := fmt.Sprintf("same-target actions at node %s admit a linear order", label)
+		order, why, err := in.linearOrder(into, given)
+		if err != nil {
+			r.add(name, false, err.Error())
+			continue
+		}
+		if order == nil {
+			r.add(name, false, why)
+			continue
+		}
+		names := orderNames(order)
+		r.Orders[label] = names
+		r.add(name, true, fmt.Sprintf("order: %v", names))
+	}
+}
+
+// CheckTheorem3 verifies the antecedents of Theorem 3 (Section 7) for the
+// layering given by the constraints' Layer fields:
+//
+//	(1) for each partition, each closure action of p preserves each
+//	    constraint in that partition whenever all constraints in lower
+//	    numbered partitions hold,
+//	(2) for each partition, each convergence action in higher numbered
+//	    partitions preserves each constraint in that partition whenever all
+//	    constraints in lower numbered partitions hold,
+//	(3) for each partition, the constraint graph is self-looping, and
+//	(4) for each partition, the convergence actions of edges adjacent to
+//	    each node can be linearly ordered so that each action preserves the
+//	    constraints of the preceding actions.
+//
+// The checker implements the refinement the paper's own token-ring
+// verification uses (Section 7.1): a layer's constraints may strictly
+// strengthen the S-conjunct — the layer *target* — they establish ("we
+// propose to satisfy the second conjunct by satisfying the constraints
+// x.j = x.(j+1)"), and the preservation obligations (1) and (2) apply only
+// while the target is not yet established ("the first closure action is
+// not enabled when the first conjunct holds but the second does not").
+// Lower layers are therefore represented by their targets, which must
+// themselves be closed; two extra conditions make the stage-wise argument
+// sound:
+//
+//	(a) each layer's constraint conjunction implies its target, and
+//	(b) each layer's target, once established, is preserved by every
+//	    program action whenever the lower targets hold.
+func CheckTheorem3(in *Input) (*Report, error) {
+	if err := in.Set.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Report{Theorem: Theorem3, Applies: true, Orders: map[string][]string{}}
+
+	layers := in.Set.Layers()
+	if len(layers) < 2 {
+		r.add("partition has at least two layers", false,
+			fmt.Sprintf("%d layer(s); use Theorem 2 for single-layer designs", len(layers)))
+	}
+
+	// lowerTargets(k) collects the targets of layers < k.
+	lowerTargets := func(k int) []*program.Predicate {
+		var given []*program.Predicate
+		for l := 0; l < k; l++ {
+			given = append(given, in.Set.Target(l))
+		}
+		return given
+	}
+
+	// allActions: closure plus every convergence action, for target closure.
+	allActions := append([]*program.Action{}, in.Closure...)
+	allActions = append(allActions, in.Set.ConvergenceActions()...)
+
+	for k, layer := range layers {
+		if len(layer) == 0 {
+			continue
+		}
+		target := in.Set.Target(k)
+		lower := lowerTargets(k)
+		// Preservation obligations for helper constraints apply only while
+		// the target is not yet established.
+		givenOpen := append(append([]*program.Predicate{}, lower...), program.Not(target))
+		layerLabel := fmt.Sprintf(" [layer %d]", k)
+
+		// (a) Layer constraints imply the target.
+		in.checkTargetImplication(r, layer, target, layerLabel)
+
+		// (b) The target is closed under every action, given lower targets.
+		for _, a := range allActions {
+			name := fmt.Sprintf("action %q preserves target%s", a.Name, layerLabel)
+			res, err := in.preserves(a, target, lower)
+			if err != nil {
+				r.add(name, false, err.Error())
+				continue
+			}
+			if !res.Preserves {
+				r.add(name, false, fmt.Sprintf("%s -> %s", res.State, res.Next))
+				continue
+			}
+			r.add(name, true, "")
+		}
+
+		// (3) Per-layer constraint graph is self-looping.
+		cg, err := constraint.BuildGraph(layer)
+		if err != nil {
+			r.add("constraint graph construction"+layerLabel, false, err.Error())
+			continue
+		}
+		r.LayerGraphs = append(r.LayerGraphs, cg)
+		r.add("constraint graph is self-looping"+layerLabel, cg.IsSelfLooping(), "")
+
+		// (4) Per-node orders within the layer, while the target is open.
+		in.checkOrders(r, cg, givenOpen)
+
+		// Well-formedness of the layer's convergence actions. Establishment
+		// may rely on lower targets; completeness applies while the
+		// target is open.
+		in.checkWellFormed(r, layer, givenOpen)
+
+		// (1) Closure actions preserve the layer's constraints while the
+		// target is open.
+		in.checkClosurePreserves(r, layer, givenOpen, layerLabel)
+
+		// (2) Higher-layer convergence actions preserve this layer's
+		// constraints while the target is open.
+		for l := k + 1; l < len(layers); l++ {
+			for _, hc := range layers[l] {
+				for _, c := range layer {
+					name := fmt.Sprintf("convergence action %q (layer %d) preserves %q%s",
+						hc.Action.Name, l, c.Name(), layerLabel)
+					res, err := in.preserves(hc.Action, c.Pred, givenOpen)
+					if err != nil {
+						r.add(name, false, err.Error())
+						continue
+					}
+					if !res.Preserves {
+						r.add(name, false, fmt.Sprintf("%s -> %s", res.State, res.Next))
+						continue
+					}
+					r.add(name, true, "")
+				}
+			}
+		}
+	}
+	return r, nil
+}
+
+// checkTargetImplication verifies that the conjunction of a layer's
+// constraints implies the layer's target.
+func (in *Input) checkTargetImplication(r *Report, layer []*constraint.Constraint,
+	target *program.Predicate, layerLabel string) {
+	name := "layer constraints imply target" + layerLabel
+	if target.IsConstTrue() {
+		r.add(name, true, "")
+		return
+	}
+	var vars []program.VarID
+	for _, c := range layer {
+		vars = append(vars, c.Pred.Vars...)
+	}
+	vars = append(vars, target.Vars...)
+	ce, err := verify.FindProjected(in.Schema, vars, in.Opts, func(st *program.State) bool {
+		for _, c := range layer {
+			if !c.Pred.Holds(st) {
+				return false
+			}
+		}
+		return !target.Holds(st)
+	})
+	if err != nil {
+		r.add(name, false, err.Error())
+		return
+	}
+	if ce != nil {
+		r.add(name, false, fmt.Sprintf("constraints hold but target fails at %s", ce))
+		return
+	}
+	r.add(name, true, "")
+}
+
+// Validate tries the theorems from most to least specific and returns the
+// first applicable report; if none applies, it returns all reports so the
+// caller can inspect which antecedents failed.
+func Validate(in *Input) (applicable *Report, all []*Report, err error) {
+	checkers := []func(*Input) (*Report, error){CheckTheorem1, CheckTheorem2, CheckTheorem3}
+	for _, check := range checkers {
+		r, err := check(in)
+		if err != nil {
+			return nil, all, err
+		}
+		all = append(all, r)
+		if r.Applies {
+			return r, all, nil
+		}
+	}
+	return nil, all, nil
+}

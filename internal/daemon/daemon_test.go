@@ -1,0 +1,192 @@
+package daemon
+
+import (
+	"testing"
+
+	"nonmask/internal/program"
+)
+
+// threeActions builds a program with three always-enabled counter actions
+// so scheduling choices are fully observable.
+func threeActions(t *testing.T) (*program.Program, []program.VarID) {
+	t.Helper()
+	s := program.NewSchema()
+	ids := s.MustDeclareArray("n", 3, program.IntRange(0, 100))
+	p := program.New("p", s)
+	for i, id := range ids {
+		id := id
+		name := []string{"a", "b", "c"}[i]
+		p.Add(program.NewAction(name, program.Closure,
+			[]program.VarID{id}, []program.VarID{id},
+			func(st *program.State) bool { return st.Get(id) < 100 },
+			func(st *program.State) { st.Set(id, st.Get(id)+1) }))
+	}
+	return p, ids
+}
+
+func TestRoundRobinCyclesInProgramOrder(t *testing.T) {
+	p, _ := threeActions(t)
+	d := NewRoundRobin(p)
+	st := p.Schema.NewState()
+	var got []string
+	for i := 0; i < 6; i++ {
+		a := d.Pick(st, p.Enabled(st), i)
+		got = append(got, a.Name)
+		st = a.Apply(st)
+	}
+	want := []string{"a", "b", "c", "a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round robin order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRoundRobinSkipsDisabled(t *testing.T) {
+	p, ids := threeActions(t)
+	d := NewRoundRobin(p)
+	st := p.Schema.NewState()
+	st.Set(ids[0], 100) // disable action a
+	a := d.Pick(st, p.Enabled(st), 0)
+	if a.Name != "b" {
+		t.Errorf("Pick = %s, want b", a.Name)
+	}
+	a = d.Pick(st, p.Enabled(st), 1)
+	if a.Name != "c" {
+		t.Errorf("Pick = %s, want c", a.Name)
+	}
+	a = d.Pick(st, p.Enabled(st), 2)
+	if a.Name != "b" {
+		t.Errorf("Pick = %s, want b (wrap, a disabled)", a.Name)
+	}
+}
+
+func TestRoundRobinIsWeaklyFair(t *testing.T) {
+	// Every always-enabled action must fire at least once in any window of
+	// len(actions) picks.
+	p, _ := threeActions(t)
+	d := NewRoundRobin(p)
+	st := p.Schema.NewState()
+	counts := map[string]int{}
+	for i := 0; i < 30; i++ {
+		a := d.Pick(st, p.Enabled(st), i)
+		counts[a.Name]++
+		st = a.Apply(st)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if counts[name] != 10 {
+			t.Errorf("action %s fired %d times in 30 picks, want 10", name, counts[name])
+		}
+	}
+}
+
+func TestRandomIsSeededAndCovers(t *testing.T) {
+	p, _ := threeActions(t)
+	st := p.Schema.NewState()
+	enabled := p.Enabled(st)
+
+	d1 := NewRandom(42)
+	d2 := NewRandom(42)
+	for i := 0; i < 20; i++ {
+		if d1.Pick(st, enabled, i) != d2.Pick(st, enabled, i) {
+			t.Fatal("same-seed random daemons diverge")
+		}
+	}
+
+	d := NewRandom(1)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[d.Pick(st, enabled, i).Name] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("random daemon covered %d of 3 actions", len(seen))
+	}
+}
+
+func TestAdversarialMaximizesMetric(t *testing.T) {
+	p, ids := threeActions(t)
+	// Metric: value of n[2]; the adversary should always grow n[2].
+	metric := func(st *program.State) float64 { return float64(st.Get(ids[2])) }
+	d := NewAdversarial("max-n2", metric)
+	st := p.Schema.NewState()
+	for i := 0; i < 5; i++ {
+		a := d.Pick(st, p.Enabled(st), i)
+		if a.Name != "c" {
+			t.Fatalf("adversarial pick = %s, want c", a.Name)
+		}
+		st = a.Apply(st)
+	}
+	if d.Name() != "max-n2" {
+		t.Errorf("Name = %q", d.Name())
+	}
+}
+
+func TestViolationMetric(t *testing.T) {
+	s := program.NewSchema()
+	x := s.MustDeclare("x", program.IntRange(0, 4))
+	y := s.MustDeclare("y", program.IntRange(0, 4))
+	preds := []*program.Predicate{
+		program.NewPredicate("x=0", []program.VarID{x},
+			func(st *program.State) bool { return st.Get(x) == 0 }),
+		program.NewPredicate("y=0", []program.VarID{y},
+			func(st *program.State) bool { return st.Get(y) == 0 }),
+	}
+	m := ViolationMetric(preds)
+	st := s.NewState()
+	if m(st) != 0 {
+		t.Errorf("metric at all-good = %v, want 0", m(st))
+	}
+	st.Set(x, 1)
+	if m(st) != 1 {
+		t.Errorf("metric with one violation = %v, want 1", m(st))
+	}
+	st.Set(y, 2)
+	if m(st) != 2 {
+		t.Errorf("metric with two violations = %v, want 2", m(st))
+	}
+}
+
+func TestDistanceMetric(t *testing.T) {
+	s := program.NewSchema()
+	x := s.MustDeclare("x", program.IntRange(0, 3))
+	dist := []int32{3, 2, 1, 0}
+	m := DistanceMetric(s, dist)
+	st := s.NewState()
+	st.Set(x, 1)
+	if m(st) != 2 {
+		t.Errorf("metric(x=1) = %v, want 2", m(st))
+	}
+}
+
+func TestKindBiased(t *testing.T) {
+	s := program.NewSchema()
+	x := s.MustDeclare("x", program.IntRange(0, 100))
+	p := program.New("p", s)
+	cl := program.NewAction("closure-act", program.Closure,
+		[]program.VarID{x}, []program.VarID{x},
+		func(st *program.State) bool { return true },
+		func(st *program.State) {})
+	cv := program.NewAction("conv-act", program.Convergence,
+		[]program.VarID{x}, []program.VarID{x},
+		func(st *program.State) bool { return st.Get(x) > 50 },
+		func(st *program.State) { st.Set(x, 0) })
+	p.Add(cl, cv)
+
+	d := NewKindBiased(NewRandom(7), program.Closure)
+	st := p.Schema.NewState()
+	st.Set(x, 60) // both enabled
+	for i := 0; i < 10; i++ {
+		if a := d.Pick(st, p.Enabled(st), i); a != cl {
+			t.Fatalf("biased daemon picked %s, want closure-act", a.Name)
+		}
+	}
+	// When no preferred action is enabled, it falls through.
+	st.Set(x, 60)
+	only := []*program.Action{cv}
+	if a := d.Pick(st, only, 0); a != cv {
+		t.Errorf("biased daemon with no preferred enabled picked %s", a.Name)
+	}
+	if d.Name() != "random+prefer-closure" {
+		t.Errorf("Name = %q", d.Name())
+	}
+}

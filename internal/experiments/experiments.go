@@ -1,0 +1,89 @@
+// Package experiments regenerates every claim of the paper as a numbered
+// experiment with a printable table, per the index in DESIGN.md and the
+// recorded results in EXPERIMENTS.md. The paper is a design-methodology
+// paper whose "evaluation" is the set of formal claims made by its
+// theorems and worked designs; each experiment validates one claim by
+// machine-checking the theorem's antecedents, model-checking ground truth
+// exactly on small instances, and measuring convergence behaviour
+// statistically at scale.
+//
+// All experiments are deterministic: fixed seeds drive every random
+// choice.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"nonmask/internal/metrics"
+)
+
+// Experiment is one reproducible paper claim.
+type Experiment struct {
+	// ID is the experiment identifier (E1..E10, A1..A3).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// PaperRef cites the claim's source in the paper.
+	PaperRef string
+	// Run regenerates the experiment's table.
+	Run func() (*metrics.Table, error)
+}
+
+// registry holds all experiments keyed by ID.
+var registry = map[string]*Experiment{}
+
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment in ID order: paper experiments (E*), then
+// ablations (A*), then extensions (X*), numerically within each group.
+func All() []*Experiment {
+	rank := func(id string) int {
+		switch id[0] {
+		case 'E':
+			return 0
+		case 'A':
+			return 1
+		default:
+			return 2
+		}
+	}
+	out := make([]*Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].ID, out[j].ID
+		if rank(a) != rank(b) {
+			return rank(a) < rank(b)
+		}
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (*Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q", id)
+	}
+	return e, nil
+}
+
+// verdict renders a boolean as the table-friendly yes/NO convention
+// (capitals draw the eye to failures).
+func verdict(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+		"A1", "A2", "A3", "X1", "X2", "X3", "X4"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("All()[%d] = %s, want %s", i, all[i].ID, id)
+		}
+	}
+	for _, e := range all {
+		if e.Title == "" || e.PaperRef == "" || e.Run == nil {
+			t.Errorf("experiment %s incompletely registered", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E1")
+	if err != nil || e.ID != "E1" {
+		t.Errorf("ByID(E1) = %v, %v", e, err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("ByID(E99) succeeded")
+	}
+}
+
+// The cheap exact experiments run in full as tests; the expensive
+// simulation experiments (E4, E5, E9, E10, A3, X2) are exercised by the
+// benchmark harness and cmd/csbench instead.
+func TestCheapExperimentsProduceTables(t *testing.T) {
+	for _, id := range []string{"E1", "E2", "E3", "E6", "E7", "E8", "A1", "A2", "X1", "X3", "X4"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl, err := e.Run()
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			out := tbl.String()
+			if !strings.Contains(out, id+":") {
+				t.Errorf("table title missing id:\n%s", out)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Error("table has no rows")
+			}
+			// E2 and E6 include the paper's negative examples, and X1's
+			// expected unfair-daemon failure is the point; everywhere else
+			// a NO is a regression.
+			if id != "E2" && id != "E6" && id != "X1" && strings.Contains(out, "NO") {
+				t.Errorf("experiment %s reports a failed verdict:\n%s", id, out)
+			}
+		})
+	}
+}
+
+// TestE1MatchesPaperFigure pins the exact graph of the Section 4 figure.
+func TestE1MatchesPaperFigure(t *testing.T) {
+	e, _ := ByID("E1")
+	tbl, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"{x}", "{y}", "{z}", "x != y", "x <= z", "out-tree: yes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E1 table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestE2Verdicts pins the three designs' verdict pattern.
+func TestE2Verdicts(t *testing.T) {
+	e, _ := ByID("E2")
+	tbl, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("E2 rows = %d", len(tbl.Rows))
+	}
+	// interfering: no theorem, no convergence.
+	if tbl.Rows[0][1] != "none" || tbl.Rows[0][2] != "NO" {
+		t.Errorf("interfering row = %v", tbl.Rows[0])
+	}
+	// out-tree: Theorem 1, converges.
+	if !strings.Contains(tbl.Rows[1][1], "Theorem 1") || tbl.Rows[1][2] != "yes" {
+		t.Errorf("out-tree row = %v", tbl.Rows[1])
+	}
+	// ordered: Theorem 2, converges.
+	if !strings.Contains(tbl.Rows[2][1], "Theorem 2") || tbl.Rows[2][2] != "yes" {
+		t.Errorf("ordered row = %v", tbl.Rows[2])
+	}
+}
+
+// TestE6Separation pins the Section 6 separation: the ordered pair
+// converges, the mutually-violating pair does not, and the linear-order
+// column is exactly what separates them.
+func TestE6Separation(t *testing.T) {
+	e, _ := ByID("E6")
+	tbl, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("E6 rows = %d", len(tbl.Rows))
+	}
+	ordered, mutual := tbl.Rows[0], tbl.Rows[1]
+	if ordered[2] != "yes" || ordered[3] != "yes" {
+		t.Errorf("ordered row = %v", ordered)
+	}
+	if mutual[2] != "NO" || mutual[3] != "NO" || mutual[4] != "NO" {
+		t.Errorf("mutual row = %v", mutual)
+	}
+}
+
+// TestE8FindsCrossover pins the minimum stabilizing K column to be
+// monotone and within Dijkstra's guarantee.
+func TestE8FindsCrossover(t *testing.T) {
+	e, _ := ByID("E8")
+	tbl, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := 0
+	for _, row := range tbl.Rows {
+		minK := row[len(row)-1]
+		if minK == "-1" {
+			t.Fatalf("no stabilizing K found in row %v", row)
+		}
+		var k int
+		if _, err := fmtSscan(minK, &k); err != nil {
+			t.Fatalf("bad minK %q", minK)
+		}
+		if k < last {
+			t.Errorf("min stabilizing K not monotone: %v", tbl.Rows)
+		}
+		last = k
+	}
+}
+
+// fmtSscan isolates the fmt dependency for the single parse above.
+func fmtSscan(s string, v *int) (int, error) {
+	n := 0
+	neg := false
+	i := 0
+	if len(s) > 0 && s[0] == '-' {
+		neg = true
+		i = 1
+	}
+	for ; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, &parseErr{s}
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	if neg {
+		n = -n
+	}
+	*v = n
+	return 1, nil
+}
+
+type parseErr struct{ s string }
+
+func (e *parseErr) Error() string { return "cannot parse " + e.s }

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nonmask/internal/daemon"
+	"nonmask/internal/fault"
+	"nonmask/internal/metrics"
+	"nonmask/internal/protocols/diffusing"
+	"nonmask/internal/protocols/tokenring"
+	"nonmask/internal/sim"
+)
+
+func init() {
+	register(&Experiment{
+		ID:       "X2",
+		Title:    "Extension: availability under continuous faults",
+		PaperRef: "Section 1/3 (nonmasking = input-output relation violated only temporarily)",
+		Run:      runX2,
+	})
+}
+
+// runX2 quantifies "violated only temporarily": with faults arriving at
+// rate p per step, what fraction of time does the invariant hold? The
+// availability curve is the practical content of nonmasking tolerance —
+// availability degrades smoothly with fault rate instead of collapsing.
+func runX2() (*metrics.Table, error) {
+	t := metrics.NewTable("X2: fraction of steps with S holding, under continuous single-node faults",
+		"protocol", "nodes", "fault rate", "availability", "faults injected")
+	rates := []float64{0, 0.001, 0.005, 0.02, 0.05}
+
+	{
+		inst, err := diffusing.New(diffusing.Binary(31))
+		if err != nil {
+			return nil, err
+		}
+		p := inst.Design.TolerantProgram()
+		for _, rate := range rates {
+			r := &sim.Runner{
+				P: p, S: inst.Design.S,
+				D:            daemon.NewRoundRobin(p),
+				MaxSteps:     60_000,
+				FaultRate:    rate,
+				RateInjector: &fault.CorruptGroups{Groups: inst.Groups, K: 1},
+			}
+			rng := rand.New(rand.NewSource(41))
+			avail, faults := r.Availability(inst.AllGreen(), rng)
+			t.AddRow("diffusing", "31", fmt.Sprintf("%.3f", rate),
+				fmt.Sprintf("%.3f", avail), fmt.Sprintf("%d", faults))
+		}
+	}
+	{
+		inst, err := tokenring.NewRing(15, 17)
+		if err != nil {
+			return nil, err
+		}
+		for _, rate := range rates {
+			r := &sim.Runner{
+				P: inst.P, S: inst.S,
+				D:            daemon.NewRoundRobin(inst.P),
+				MaxSteps:     60_000,
+				FaultRate:    rate,
+				RateInjector: &fault.CorruptGroups{Groups: inst.Groups, K: 1},
+			}
+			rng := rand.New(rand.NewSource(42))
+			avail, faults := r.Availability(inst.AllZero(), rng)
+			t.AddRow("token ring", "16", fmt.Sprintf("%.3f", rate),
+				fmt.Sprintf("%.3f", avail), fmt.Sprintf("%d", faults))
+		}
+	}
+	t.Note("availability = fraction of 60k observed steps satisfying S; single-node")
+	t.Note("corruption per fault; degradation is graceful — the nonmasking guarantee at work")
+	return t, nil
+}

@@ -1,0 +1,188 @@
+// Package fault models faults for nonmasking fault-tolerance experiments.
+// The paper's view (Section 3) is that "all classes of faults can be
+// represented as actions that change the program state"; accordingly this
+// package provides both fault actions (first-class program.Action values of
+// kind Fault, for fault-span computation by the model checker) and fault
+// injectors (state transformers applied by the simulator on a schedule).
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nonmask/internal/program"
+)
+
+// Injector perturbs a state in place. Implementations must keep every value
+// inside its variable's domain — the paper's faults corrupt state, they do
+// not invent values outside the variables' domains.
+type Injector interface {
+	// Name identifies the injector in reports.
+	Name() string
+	// Inject perturbs st in place using rng.
+	Inject(st *program.State, rng *rand.Rand)
+}
+
+// CorruptVars randomizes up to K of the given variables (all declared
+// variables when Vars is nil), drawing fresh uniform values from each
+// variable's domain. It models the paper's "faults that arbitrarily corrupt
+// the state of any number of nodes" (Section 5.1).
+type CorruptVars struct {
+	// Vars limits corruption to these variables; nil means all.
+	Vars []program.VarID
+	// K is the number of variables corrupted per injection; 0 means all of
+	// Vars.
+	K int
+}
+
+// Name implements Injector.
+func (c *CorruptVars) Name() string {
+	if c.K == 0 {
+		return "corrupt-all"
+	}
+	return fmt.Sprintf("corrupt-%d", c.K)
+}
+
+// Inject implements Injector.
+func (c *CorruptVars) Inject(st *program.State, rng *rand.Rand) {
+	schema := st.Schema()
+	vars := c.Vars
+	if vars == nil {
+		vars = make([]program.VarID, schema.Len())
+		for i := range vars {
+			vars[i] = program.VarID(i)
+		}
+	}
+	k := c.K
+	if k <= 0 || k > len(vars) {
+		k = len(vars)
+	}
+	// Partial Fisher-Yates over a scratch copy picks k distinct victims.
+	scratch := make([]program.VarID, len(vars))
+	copy(scratch, vars)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(scratch)-i)
+		scratch[i], scratch[j] = scratch[j], scratch[i]
+		dom := schema.Spec(scratch[i]).Dom
+		st.Set(scratch[i], dom.Min+int32(rng.Int63n(dom.Size())))
+	}
+}
+
+// CorruptGroups randomizes all variables of up to K groups (e.g. the
+// per-node variable groups of a distributed protocol): the "corrupt the
+// state of k nodes" fault model.
+type CorruptGroups struct {
+	// Groups are disjoint variable groups, typically one per process.
+	Groups [][]program.VarID
+	// K is the number of groups corrupted per injection; 0 means all.
+	K int
+}
+
+// Name implements Injector.
+func (c *CorruptGroups) Name() string {
+	if c.K == 0 {
+		return "corrupt-all-nodes"
+	}
+	return fmt.Sprintf("corrupt-%d-nodes", c.K)
+}
+
+// Inject implements Injector.
+func (c *CorruptGroups) Inject(st *program.State, rng *rand.Rand) {
+	schema := st.Schema()
+	k := c.K
+	if k <= 0 || k > len(c.Groups) {
+		k = len(c.Groups)
+	}
+	idx := make([]int, len(c.Groups))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		for _, v := range c.Groups[idx[i]] {
+			dom := schema.Spec(v).Dom
+			st.Set(v, dom.Min+int32(rng.Int63n(dom.Size())))
+		}
+	}
+}
+
+// ResetTo restores chosen variables to a snapshot state — a crash-and-
+// reinitialize fault where a process loses its state and restarts from its
+// initial values.
+type ResetTo struct {
+	// Snapshot supplies the values restored on injection.
+	Snapshot *program.State
+	// Vars limits the reset to these variables; nil means all.
+	Vars []program.VarID
+}
+
+// Name implements Injector.
+func (r *ResetTo) Name() string { return "crash-reset" }
+
+// Inject implements Injector.
+func (r *ResetTo) Inject(st *program.State, rng *rand.Rand) {
+	vars := r.Vars
+	if vars == nil {
+		vars = make([]program.VarID, st.Schema().Len())
+		for i := range vars {
+			vars[i] = program.VarID(i)
+		}
+	}
+	for _, v := range vars {
+		st.Set(v, r.Snapshot.Get(v))
+	}
+}
+
+// Event schedules one injection at a simulation step.
+type Event struct {
+	// Step is the step index before which the injection fires.
+	Step int
+	// Inj performs the perturbation.
+	Inj Injector
+}
+
+// Schedule is a list of injection events, ordered by Step.
+type Schedule []Event
+
+// At returns the injectors scheduled for the given step.
+func (s Schedule) At(step int) []Injector {
+	var out []Injector
+	for _, e := range s {
+		if e.Step == step {
+			out = append(out, e.Inj)
+		}
+	}
+	return out
+}
+
+// Actions converts an injector-free fault description into fault actions
+// usable by the model checker: for each variable in vars and each value in
+// its domain, a fault action that sets the variable to that value. This is
+// the paper's representation of state-corrupting faults as guarded actions.
+func Actions(schema *program.Schema, vars []program.VarID) []*program.Action {
+	var out []*program.Action
+	for _, v := range vars {
+		dom := schema.Spec(v).Dom
+		name := schema.Spec(v).Name
+		for val := dom.Min; val <= dom.Max; val++ {
+			val := val
+			v := v
+			out = append(out, program.NewAction(
+				fmt.Sprintf("fault: %s := %s", name, dom.ValueString(val)),
+				program.Fault,
+				[]program.VarID{v}, []program.VarID{v},
+				func(st *program.State) bool { return st.Get(v) != val },
+				func(st *program.State) { st.Set(v, val) },
+			))
+		}
+	}
+	return out
+}
+
+// interface compliance
+var (
+	_ Injector = (*CorruptVars)(nil)
+	_ Injector = (*CorruptGroups)(nil)
+	_ Injector = (*ResetTo)(nil)
+)

@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"nonmask/internal/program"
+)
+
+func nodeSchema(t *testing.T, n int) (*program.Schema, [][]program.VarID) {
+	t.Helper()
+	s := program.NewSchema()
+	groups := make([][]program.VarID, n)
+	for i := 0; i < n; i++ {
+		c := s.MustDeclare(varName("c", i), program.Enum("green", "red"))
+		sn := s.MustDeclare(varName("sn", i), program.Bool())
+		groups[i] = []program.VarID{c, sn}
+	}
+	return s, groups
+}
+
+func varName(base string, i int) string {
+	return base + "[" + string(rune('0'+i)) + "]"
+}
+
+func TestCorruptVarsAll(t *testing.T) {
+	s, _ := nodeSchema(t, 4)
+	rng := rand.New(rand.NewSource(3))
+	inj := &CorruptVars{}
+	if inj.Name() != "corrupt-all" {
+		t.Errorf("Name = %q", inj.Name())
+	}
+	// Over many injections every variable should change at least once and
+	// all values must stay in domain.
+	changed := make([]bool, s.Len())
+	for trial := 0; trial < 100; trial++ {
+		st := s.NewState()
+		inj.Inject(st, rng)
+		for v := 0; v < s.Len(); v++ {
+			if !s.Spec(program.VarID(v)).Dom.Contains(st.Get(program.VarID(v))) {
+				t.Fatal("corrupted value out of domain")
+			}
+			if st.Get(program.VarID(v)) != s.Spec(program.VarID(v)).Dom.Min {
+				changed[v] = true
+			}
+		}
+	}
+	for v, ch := range changed {
+		if !ch {
+			t.Errorf("variable %d never corrupted", v)
+		}
+	}
+}
+
+func TestCorruptVarsK(t *testing.T) {
+	s := program.NewSchema()
+	ids := s.MustDeclareArray("x", 10, program.IntRange(0, 1000))
+	rng := rand.New(rand.NewSource(5))
+	inj := &CorruptVars{Vars: ids, K: 3}
+	if inj.Name() != "corrupt-3" {
+		t.Errorf("Name = %q", inj.Name())
+	}
+	for trial := 0; trial < 50; trial++ {
+		st := s.NewState()
+		inj.Inject(st, rng)
+		diff := 0
+		for _, id := range ids {
+			if st.Get(id) != 0 {
+				diff++
+			}
+		}
+		// At most K variables may differ (a corruption may redraw the
+		// original value, so fewer is possible).
+		if diff > 3 {
+			t.Fatalf("corrupt-3 changed %d variables", diff)
+		}
+	}
+}
+
+func TestCorruptGroups(t *testing.T) {
+	s, groups := nodeSchema(t, 4)
+	rng := rand.New(rand.NewSource(9))
+	inj := &CorruptGroups{Groups: groups, K: 2}
+	if inj.Name() != "corrupt-2-nodes" {
+		t.Errorf("Name = %q", inj.Name())
+	}
+	for trial := 0; trial < 50; trial++ {
+		st := s.NewState()
+		inj.Inject(st, rng)
+		touched := 0
+		for _, g := range groups {
+			for _, v := range g {
+				if st.Get(v) != s.Spec(v).Dom.Min {
+					touched++
+					break
+				}
+			}
+		}
+		if touched > 2 {
+			t.Fatalf("corrupt-2-nodes touched %d groups", touched)
+		}
+	}
+	all := &CorruptGroups{Groups: groups}
+	if all.Name() != "corrupt-all-nodes" {
+		t.Errorf("Name = %q", all.Name())
+	}
+}
+
+func TestResetTo(t *testing.T) {
+	s, _ := nodeSchema(t, 2)
+	snapshot := s.NewState()
+	snapshot.Set(0, 1) // c[0] = red
+
+	st := s.NewState()
+	st.Set(0, 0)
+	st.Set(2, 1)
+	inj := &ResetTo{Snapshot: snapshot}
+	inj.Inject(st, nil)
+	if !st.Equal(snapshot) {
+		t.Errorf("full reset = %s, want %s", st, snapshot)
+	}
+
+	// Partial reset touches only the listed variables.
+	st2 := s.NewState()
+	st2.Set(0, 0)
+	st2.Set(2, 1)
+	partial := &ResetTo{Snapshot: snapshot, Vars: []program.VarID{0}}
+	partial.Inject(st2, nil)
+	if st2.Get(0) != 1 {
+		t.Error("partial reset did not restore var 0")
+	}
+	if st2.Get(2) != 1 {
+		t.Error("partial reset clobbered var 2")
+	}
+	if inj.Name() != "crash-reset" {
+		t.Errorf("Name = %q", inj.Name())
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	a := &CorruptVars{K: 1}
+	b := &CorruptVars{K: 2}
+	sch := Schedule{{Step: 0, Inj: a}, {Step: 5, Inj: b}, {Step: 5, Inj: a}}
+	if got := sch.At(0); len(got) != 1 || got[0] != a {
+		t.Errorf("At(0) = %v", got)
+	}
+	if got := sch.At(5); len(got) != 2 {
+		t.Errorf("At(5) = %d injectors, want 2", len(got))
+	}
+	if got := sch.At(3); got != nil {
+		t.Errorf("At(3) = %v, want nil", got)
+	}
+}
+
+func TestActionsEnumerateDomain(t *testing.T) {
+	s := program.NewSchema()
+	c := s.MustDeclare("c", program.Enum("green", "red"))
+	acts := Actions(s, []program.VarID{c})
+	if len(acts) != 2 {
+		t.Fatalf("got %d fault actions, want 2", len(acts))
+	}
+	st := s.NewState() // c = green
+	// The "c := green" action is disabled (no-op faults excluded); the
+	// "c := red" action is enabled and sets red.
+	var enabled []*program.Action
+	for _, a := range acts {
+		if a.Kind != program.Fault {
+			t.Errorf("action %q kind = %v, want Fault", a.Name, a.Kind)
+		}
+		if a.Enabled(st) {
+			enabled = append(enabled, a)
+		}
+	}
+	if len(enabled) != 1 {
+		t.Fatalf("%d fault actions enabled at green, want 1", len(enabled))
+	}
+	next := enabled[0].Apply(st)
+	if next.Get(c) != 1 {
+		t.Errorf("fault result c = %d, want 1 (red)", next.Get(c))
+	}
+}

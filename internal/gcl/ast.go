@@ -1,0 +1,152 @@
+package gcl
+
+// File is a parsed gcl source file.
+type File struct {
+	Name    string
+	Consts  []*ConstDecl
+	Vars    []*VarDecl
+	Invs    []*InvariantDecl
+	Targets []*TargetDecl
+	Span    *FaultspanDecl
+	Actions []*ActionDecl
+}
+
+// ConstDecl declares an integer constant or constant array.
+type ConstDecl struct {
+	Pos   Pos
+	Name  string
+	Value Expr   // scalar form; nil for arrays
+	Elems []Expr // array form; nil for scalars
+}
+
+// VarDecl declares a variable or variable array.
+type VarDecl struct {
+	Pos  Pos
+	Name string
+	// Size is the array length expression; nil for scalars.
+	Size Expr
+	Type TypeExpr
+}
+
+// TypeExpr is a variable domain: bool, a range, or an enum label set.
+type TypeExpr struct {
+	Pos Pos
+	// Bool marks the boolean domain.
+	Bool bool
+	// Lo..Hi bound an integer range domain (when Bool is false and Labels
+	// is empty).
+	Lo, Hi Expr
+	// Labels list an enum domain.
+	Labels []string
+}
+
+// InvariantDecl declares one (possibly parameterized) constraint family.
+type InvariantDecl struct {
+	Pos   Pos
+	Name  string
+	Layer int
+	// Param quantifies the family; empty for a single constraint.
+	Param  string
+	Lo, Hi Expr // parameter range (when Param != "")
+	Body   Expr
+}
+
+// TargetDecl declares the S-conjunct a layer establishes when it is weaker
+// than the conjunction of the layer's invariants (the paper's token ring:
+// "we propose to satisfy the second conjunct by satisfying the constraints
+// x.j = x.(j+1)").
+type TargetDecl struct {
+	Pos   Pos
+	Layer int
+	Body  Expr
+}
+
+// FaultspanDecl declares the fault-span predicate T.
+type FaultspanDecl struct {
+	Pos  Pos
+	Body Expr
+}
+
+// ActionDecl declares one (possibly parameterized) action family.
+type ActionDecl struct {
+	Pos  Pos
+	Name string
+	// Param quantifies the family; empty for a single action.
+	Param  string
+	Lo, Hi Expr
+	// Kind is "closure" (default), "convergence" or "fault".
+	Kind string
+	// Establishes names the invariant family this convergence action
+	// establishes (convergence actions only).
+	Establishes string
+	Guard       Expr
+	// LHS/RHS form the multi-assignment; both empty for skip.
+	LHS []*VarRef
+	RHS []Expr
+}
+
+// Expr is an expression node.
+type Expr interface {
+	pos() Pos
+}
+
+// NumLit is an integer literal.
+type NumLit struct {
+	Pos Pos
+	Val int32
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Pos Pos
+	Val bool
+}
+
+// VarRef references a scalar name or an indexed array element. At parse
+// time the name may denote a variable, a constant, an enum label, or a
+// bound parameter; resolution happens in the checker.
+type VarRef struct {
+	Pos   Pos
+	Name  string
+	Index Expr // nil for scalars
+}
+
+// Unary is !x or -x.
+type Unary struct {
+	Pos Pos
+	Op  tokenKind
+	X   Expr
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Pos  Pos
+	Op   tokenKind
+	L, R Expr
+}
+
+// Quant is forall/exists param in lo..hi : (body).
+type Quant struct {
+	Pos    Pos
+	ForAll bool
+	Param  string
+	Lo, Hi Expr
+	Body   Expr
+}
+
+func (e *NumLit) pos() Pos  { return e.Pos }
+func (e *BoolLit) pos() Pos { return e.Pos }
+func (e *VarRef) pos() Pos  { return e.Pos }
+func (e *Unary) pos() Pos   { return e.Pos }
+func (e *Binary) pos() Pos  { return e.Pos }
+func (e *Quant) pos() Pos   { return e.Pos }
+
+// exprs that implement Expr
+var (
+	_ Expr = (*NumLit)(nil)
+	_ Expr = (*BoolLit)(nil)
+	_ Expr = (*VarRef)(nil)
+	_ Expr = (*Unary)(nil)
+	_ Expr = (*Binary)(nil)
+	_ Expr = (*Quant)(nil)
+)

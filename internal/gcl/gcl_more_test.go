@@ -1,0 +1,197 @@
+package gcl
+
+import (
+	"strings"
+	"testing"
+
+	"nonmask/internal/program"
+	"nonmask/internal/verify"
+)
+
+// TestFaultActionsCompile exercises the fault kind end to end: fault
+// actions compile, carry the Fault kind, and drive fault-span computation.
+func TestFaultActionsCompile(t *testing.T) {
+	m := mustLoad(t, `
+program faulty;
+var x : 0..3;
+invariant I : x = 0;
+action fix convergence establishes I : x != 0 -> x := 0;
+action zap fault : x < 3 -> x := 3;
+`)
+	faults := m.Program.OfKind(program.Fault)
+	if len(faults) != 1 || faults[0].Name != "zap" {
+		t.Fatalf("fault actions = %v", faults)
+	}
+	// Span from S under program + fault: {0, 3} (zap jumps to 3, fix
+	// returns to 0).
+	core := program.New("core", m.Schema)
+	core.Add(m.Program.OfKind(program.Convergence)...)
+	res, err := verify.FaultSpan(core, faults, m.S, verify.Options{})
+	if err != nil {
+		t.Fatalf("FaultSpan: %v", err)
+	}
+	if res.States != 2 {
+		t.Errorf("span = %d states, want 2", res.States)
+	}
+}
+
+// TestConstEvalCornerCases covers const-expression evaluation: unary
+// minus, division, mod of negatives (mathematical, non-negative result),
+// boolean consts, nested arrays.
+func TestConstEvalCornerCases(t *testing.T) {
+	m := mustLoad(t, `
+program consts;
+const A = -3;
+const B = 7 / 2;
+const C = (0 - 5) mod 3;
+const D = true && !false;
+const E = [A + 4, B, C];
+var x : 0..9;
+invariant I : x = E[2];
+action fix convergence establishes I : x != E[2] -> x := E[2];
+`)
+	// A = -3, B = 3, C = (-5 mod 3) = 1, E = [1, 3, 1].
+	st := m.Schema.NewState()
+	st.Set(0, 1)
+	if !m.S.Holds(st) {
+		t.Error("S should hold at x = C = 1")
+	}
+	st.Set(0, 2)
+	if m.S.Holds(st) {
+		t.Error("S holds at x = 2")
+	}
+	_ = m
+}
+
+func TestConstEvalErrors(t *testing.T) {
+	tests := []struct{ name, src, substr string }{
+		{"div zero", "program p; const A = 1 / 0; var x : bool;", "division by zero"},
+		{"mod zero", "program p; const A = 1 mod 0; var x : bool;", "mod by zero"},
+		{"const array no index", "program p; const A = [1]; const B = A; var x : bool;", "without index"},
+		{"const array oob", "program p; const A = [1]; const B = A[3]; var x : bool;", "out of range"},
+		{"undefined in const", "program p; const A = Zz + 1; var x : bool;", "undefined name"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Load(tt.src)
+			if err == nil || !strings.Contains(err.Error(), tt.substr) {
+				t.Errorf("Load error = %v, want %q", err, tt.substr)
+			}
+		})
+	}
+}
+
+// TestTargetDeclFlowsToDesign: the target declaration reaches the design's
+// S computation.
+func TestTargetDeclFlowsToDesign(t *testing.T) {
+	m := mustLoad(t, `
+program targeted;
+var x : 0..3;
+var y : 0..3;
+invariant EQ layer 1 for j in 0..0 : x = y;
+target 1 : x <= y;
+invariant BASE : x = 0;
+action fb convergence establishes BASE : x != 0 -> x := 0;
+action fe for j in 0..0 convergence establishes EQ : x != y -> y := x;
+`)
+	st := m.Schema.NewState()
+	st.Set(m.Schema.MustLookup("y"), 2) // x=0, y=2: helper x=y fails, target x<=y holds
+	if !m.S.Holds(st) {
+		t.Error("S should use the declared target, not the helper")
+	}
+	if m.Design == nil {
+		t.Fatal("design missing")
+	}
+	if len(m.Set.Targets) != 1 {
+		t.Errorf("targets = %d", len(m.Set.Targets))
+	}
+}
+
+// TestParserMoreErrors covers declaration-level error paths.
+func TestParserMoreErrors(t *testing.T) {
+	tests := []struct{ name, src string }{
+		{"bad target layer", "program p; target x : true;"},
+		{"bad target colon", "program p; target 1 true;"},
+		{"var missing colon", "program p; var x bool;"},
+		{"var bad size", "program p; var x[ : bool;"},
+		{"bad range dots", "program p; var x : 0...3;"},
+		{"param missing in", "program p; invariant I for j 0..2 : true;"},
+		{"invariant no name", "program p; invariant : true;"},
+		{"faultspan no colon", "program p; faultspan true;"},
+		{"quant missing paren", "program p; var c[2] : bool; action a : forall k in 0..1 : c[k] -> skip;"},
+		{"establishes no name", "program p; var x : bool; action a convergence establishes : x -> skip;"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.src); err == nil {
+				t.Error("Parse succeeded")
+			}
+		})
+	}
+}
+
+// TestTokenKindStrings covers the diagnostic rendering used in parse
+// errors.
+func TestTokenKindStrings(t *testing.T) {
+	kinds := []tokenKind{tokEOF, tokIdent, tokNumber, tokString, tokSemi,
+		tokColon, tokComma, tokLParen, tokRParen, tokLBracket, tokRBracket,
+		tokLBrace, tokRBrace, tokArrow, tokAssign, tokDotDot, tokOr, tokAnd,
+		tokNot, tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe, tokPlus, tokMinus,
+		tokStar, tokSlash, tokProgram, tokConst, tokVar, tokInvariant,
+		tokFaultspan, tokAction, tokFor, tokIn, tokLayer, tokClosure,
+		tokConvergence, tokFault, tokEstablishes, tokTarget, tokTrue,
+		tokFalse, tokSkip, tokForall, tokExists, tokMod, tokBool}
+	for _, k := range kinds {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "token(") {
+			t.Errorf("kind %d has no rendering: %q", int(k), s)
+		}
+	}
+	if !strings.HasPrefix(tokenKind(999).String(), "token(") {
+		t.Error("unknown kind should fall back to token(n)")
+	}
+}
+
+// TestPrinterAllOperators round-trips every operator and construct.
+func TestPrinterAllOperators(t *testing.T) {
+	src := `program ops;
+var x : 0..9;
+var b : bool;
+action a : x + 1 - 2 * 3 / 4 mod 5 >= 0 && (x < 9 || x > 0) && x <= 8 && x != 7 && !b && -x = 0 -> skip;
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	printed := Print(f)
+	f2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("Parse(Print):\n%s\n%v", printed, err)
+	}
+	if Print(f2) != printed {
+		t.Errorf("not a fixed point:\n%s\nvs\n%s", printed, Print(f2))
+	}
+}
+
+// TestCompiledFaultSpanDecl: the faultspan declaration restricts T and the
+// model checker confirms convergence only from T.
+func TestCompiledFaultSpanDecl(t *testing.T) {
+	m := mustLoad(t, `
+program spanny;
+var x : 0..9;
+faultspan : x <= 4;
+invariant I : x <= 1;
+action fix convergence establishes I : x > 1 && x <= 4 -> x := x - 1;
+`)
+	sp, err := verify.NewSpace(m.Program, m.S, m.T, verify.Options{})
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	res := sp.CheckConvergence()
+	if !res.Converges {
+		t.Errorf("not convergent from T: %s", res.Summary())
+	}
+	// Worst case: from x=4 down to x=1 is 3 steps.
+	if res.WorstSteps != 3 {
+		t.Errorf("worst steps = %d, want 3", res.WorstSteps)
+	}
+}

@@ -1,0 +1,180 @@
+package gcl
+
+import (
+	"strconv"
+	"unicode"
+)
+
+// lexer tokenizes gcl source. Comments run from "//" to end of line.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) here() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	pos := l.here()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		start := l.pos
+		for l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+			l.advance()
+		}
+		text := string(l.src[start:l.pos])
+		if kw, ok := keywords[text]; ok {
+			return token{kind: kw, text: text, pos: pos}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: pos}, nil
+
+	case unicode.IsDigit(r):
+		start := l.pos
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+		text := string(l.src[start:l.pos])
+		n, err := strconv.ParseInt(text, 10, 32)
+		if err != nil {
+			return token{}, errf(pos, "number %q out of range", text)
+		}
+		return token{kind: tokNumber, text: text, num: int32(n), pos: pos}, nil
+
+	case r == '"':
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && l.peek() != '"' && l.peek() != '\n' {
+			l.advance()
+		}
+		if l.pos >= len(l.src) || l.peek() != '"' {
+			return token{}, errf(pos, "unterminated string")
+		}
+		text := string(l.src[start:l.pos])
+		l.advance()
+		return token{kind: tokString, text: text, pos: pos}, nil
+	}
+
+	l.advance()
+	two := func(second rune, both, single tokenKind) (token, error) {
+		if l.peek() == second {
+			l.advance()
+			return token{kind: both, pos: pos}, nil
+		}
+		if single == 0 {
+			return token{}, errf(pos, "unexpected character %q", string(r))
+		}
+		return token{kind: single, pos: pos}, nil
+	}
+	switch r {
+	case ';':
+		return token{kind: tokSemi, pos: pos}, nil
+	case ',':
+		return token{kind: tokComma, pos: pos}, nil
+	case '(':
+		return token{kind: tokLParen, pos: pos}, nil
+	case ')':
+		return token{kind: tokRParen, pos: pos}, nil
+	case '[':
+		return token{kind: tokLBracket, pos: pos}, nil
+	case ']':
+		return token{kind: tokRBracket, pos: pos}, nil
+	case '{':
+		return token{kind: tokLBrace, pos: pos}, nil
+	case '}':
+		return token{kind: tokRBrace, pos: pos}, nil
+	case '+':
+		return token{kind: tokPlus, pos: pos}, nil
+	case '*':
+		return token{kind: tokStar, pos: pos}, nil
+	case '/':
+		return token{kind: tokSlash, pos: pos}, nil
+	case '=':
+		return token{kind: tokEq, pos: pos}, nil
+	case '-':
+		return two('>', tokArrow, tokMinus)
+	case ':':
+		return two('=', tokAssign, tokColon)
+	case '.':
+		return two('.', tokDotDot, 0)
+	case '|':
+		return two('|', tokOr, 0)
+	case '&':
+		return two('&', tokAnd, 0)
+	case '!':
+		return two('=', tokNeq, tokNot)
+	case '<':
+		return two('=', tokLe, tokLt)
+	case '>':
+		return two('=', tokGe, tokGt)
+	}
+	return token{}, errf(pos, "unexpected character %q", string(r))
+}
+
+// lexAll tokenizes the whole source, ending with an EOF token.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

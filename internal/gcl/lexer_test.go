@@ -1,0 +1,112 @@
+package gcl
+
+import (
+	"strings"
+	"testing"
+)
+
+func kindsOf(t *testing.T, src string) []tokenKind {
+	t.Helper()
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatalf("lexAll(%q): %v", src, err)
+	}
+	out := make([]tokenKind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	got := kindsOf(t, "program p; var x : 0..4;")
+	want := []tokenKind{tokProgram, tokIdent, tokSemi, tokVar, tokIdent,
+		tokColon, tokNumber, tokDotDot, tokNumber, tokSemi, tokEOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	got := kindsOf(t, "-> := .. || && ! != <= >= < > = + - * / mod")
+	want := []tokenKind{tokArrow, tokAssign, tokDotDot, tokOr, tokAnd,
+		tokNot, tokNeq, tokLe, tokGe, tokLt, tokGt, tokEq,
+		tokPlus, tokMinus, tokStar, tokSlash, tokMod, tokEOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	got := kindsOf(t, "x // all of this ignored ->\n y")
+	want := []tokenKind{tokIdent, tokIdent, tokEOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := lexAll("forall forallx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokForall {
+		t.Errorf("token 0 = %v, want forall keyword", toks[0].kind)
+	}
+	if toks[1].kind != tokIdent || toks[1].text != "forallx" {
+		t.Errorf("token 1 = %v %q", toks[1].kind, toks[1].text)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lexAll("0 42 2147483647")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].num != 0 || toks[1].num != 42 || toks[2].num != 2147483647 {
+		t.Errorf("numbers = %d %d %d", toks[0].num, toks[1].num, toks[2].num)
+	}
+	if _, err := lexAll("99999999999"); err == nil {
+		t.Error("out-of-range number lexed")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := lexAll("x\n  y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].pos.Line != 1 || toks[0].pos.Col != 1 {
+		t.Errorf("x at %v", toks[0].pos)
+	}
+	if toks[1].pos.Line != 2 || toks[1].pos.Col != 3 {
+		t.Errorf("y at %v", toks[1].pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"#", "|x", "&y", "a . b", `"unterminated`} {
+		if _, err := lexAll(src); err == nil {
+			t.Errorf("lexAll(%q) succeeded", src)
+		} else if !strings.Contains(err.Error(), "gcl:") {
+			t.Errorf("error %v lacks position prefix", err)
+		}
+	}
+}
+
+func TestLexString(t *testing.T) {
+	toks, err := lexAll(`"hello world"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokString || toks[0].text != "hello world" {
+		t.Errorf("string token = %v %q", toks[0].kind, toks[0].text)
+	}
+}

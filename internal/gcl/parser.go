@@ -1,0 +1,566 @@
+package gcl
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a gcl source file.
+func Parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.file()
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) at(k tokenKind) bool {
+	return p.cur().kind == k
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k tokenKind) (token, bool) {
+	if p.at(k) {
+		return p.advance(), true
+	}
+	return token{}, false
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.at(k) {
+		return p.advance(), nil
+	}
+	t := p.cur()
+	return token{}, errf(t.pos, "expected %s, found %s", k, describe(t))
+}
+
+func describe(t token) string {
+	switch t.kind {
+	case tokIdent, tokNumber:
+		return "'" + t.text + "'"
+	default:
+		return t.kind.String()
+	}
+}
+
+func (p *parser) file() (*File, error) {
+	f := &File{}
+	if _, err := p.expect(tokProgram); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	f.Name = name.text
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	for !p.at(tokEOF) {
+		switch p.cur().kind {
+		case tokConst:
+			d, err := p.constDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Consts = append(f.Consts, d)
+		case tokVar:
+			d, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Vars = append(f.Vars, d)
+		case tokInvariant:
+			d, err := p.invariantDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Invs = append(f.Invs, d)
+		case tokTarget:
+			d, err := p.targetDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Targets = append(f.Targets, d)
+		case tokFaultspan:
+			d, err := p.faultspanDecl()
+			if err != nil {
+				return nil, err
+			}
+			if f.Span != nil {
+				return nil, errf(d.Pos, "duplicate faultspan declaration")
+			}
+			f.Span = d
+		case tokAction:
+			d, err := p.actionDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Actions = append(f.Actions, d)
+		default:
+			return nil, errf(p.cur().pos, "expected declaration, found %s", describe(p.cur()))
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) constDecl() (*ConstDecl, error) {
+	kw := p.advance() // const
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEq); err != nil {
+		return nil, err
+	}
+	d := &ConstDecl{Pos: kw.pos, Name: name.text}
+	if _, ok := p.accept(tokLBracket); ok {
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.Elems = append(d.Elems, e)
+			if _, ok := p.accept(tokComma); !ok {
+				break
+			}
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+	} else {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.Value = e
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) varDecl() (*VarDecl, error) {
+	kw := p.advance() // var
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Pos: kw.pos, Name: name.text}
+	if _, ok := p.accept(tokLBracket); ok {
+		size, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.Size = size
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	ty, err := p.typeExpr()
+	if err != nil {
+		return nil, err
+	}
+	d.Type = ty
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) typeExpr() (TypeExpr, error) {
+	pos := p.cur().pos
+	if _, ok := p.accept(tokBool); ok {
+		return TypeExpr{Pos: pos, Bool: true}, nil
+	}
+	if _, ok := p.accept(tokLBrace); ok {
+		var labels []string
+		for {
+			id, err := p.expect(tokIdent)
+			if err != nil {
+				return TypeExpr{}, err
+			}
+			labels = append(labels, id.text)
+			if _, ok := p.accept(tokComma); !ok {
+				break
+			}
+		}
+		if _, err := p.expect(tokRBrace); err != nil {
+			return TypeExpr{}, err
+		}
+		return TypeExpr{Pos: pos, Labels: labels}, nil
+	}
+	lo, err := p.expr()
+	if err != nil {
+		return TypeExpr{}, err
+	}
+	if _, err := p.expect(tokDotDot); err != nil {
+		return TypeExpr{}, err
+	}
+	hi, err := p.expr()
+	if err != nil {
+		return TypeExpr{}, err
+	}
+	return TypeExpr{Pos: pos, Lo: lo, Hi: hi}, nil
+}
+
+// paramClause parses an optional "for j in lo..hi".
+func (p *parser) paramClause() (param string, lo, hi Expr, err error) {
+	if _, ok := p.accept(tokFor); !ok {
+		return "", nil, nil, nil
+	}
+	id, err := p.expect(tokIdent)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	if _, err := p.expect(tokIn); err != nil {
+		return "", nil, nil, err
+	}
+	lo, err = p.expr()
+	if err != nil {
+		return "", nil, nil, err
+	}
+	if _, err := p.expect(tokDotDot); err != nil {
+		return "", nil, nil, err
+	}
+	hi, err = p.expr()
+	if err != nil {
+		return "", nil, nil, err
+	}
+	return id.text, lo, hi, nil
+}
+
+func (p *parser) invariantDecl() (*InvariantDecl, error) {
+	kw := p.advance() // invariant
+	d := &InvariantDecl{Pos: kw.pos}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name.text
+	if _, ok := p.accept(tokLayer); ok {
+		n, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		d.Layer = int(n.num)
+	}
+	d.Param, d.Lo, d.Hi, err = p.paramClause()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	d.Body, err = p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) targetDecl() (*TargetDecl, error) {
+	kw := p.advance() // target
+	n, err := p.expect(tokNumber)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	body, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return &TargetDecl{Pos: kw.pos, Layer: int(n.num), Body: body}, nil
+}
+
+func (p *parser) faultspanDecl() (*FaultspanDecl, error) {
+	kw := p.advance() // faultspan
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	body, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return &FaultspanDecl{Pos: kw.pos, Body: body}, nil
+}
+
+func (p *parser) actionDecl() (*ActionDecl, error) {
+	kw := p.advance() // action
+	d := &ActionDecl{Pos: kw.pos, Kind: "closure"}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name.text
+	d.Param, d.Lo, d.Hi, err = p.paramClause()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().kind {
+	case tokClosure:
+		p.advance()
+	case tokConvergence:
+		p.advance()
+		d.Kind = "convergence"
+	case tokFault:
+		p.advance()
+		d.Kind = "fault"
+	}
+	if _, ok := p.accept(tokEstablishes); ok {
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		d.Establishes = id.text
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	d.Guard, err = p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return nil, err
+	}
+	if _, ok := p.accept(tokSkip); !ok {
+		for {
+			lv, err := p.varRef()
+			if err != nil {
+				return nil, err
+			}
+			d.LHS = append(d.LHS, lv)
+			if _, ok := p.accept(tokComma); !ok {
+				break
+			}
+		}
+		if _, err := p.expect(tokAssign); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.RHS = append(d.RHS, e)
+			if _, ok := p.accept(tokComma); !ok {
+				break
+			}
+		}
+		if len(d.LHS) != len(d.RHS) {
+			return nil, errf(d.Pos, "action %q assigns %d targets from %d expressions",
+				d.Name, len(d.LHS), len(d.RHS))
+		}
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) varRef() (*VarRef, error) {
+	id, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	v := &VarRef{Pos: id.pos, Name: id.text}
+	if _, ok := p.accept(tokLBracket); ok {
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		v.Index = idx
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// Expression grammar, loosest to tightest:
+// or -> and -> comparison -> additive -> multiplicative -> unary -> primary.
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOr) {
+		op := p.advance()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Pos: op.pos, Op: tokOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokAnd) {
+		op := p.advance()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Pos: op.pos, Op: tokAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().kind {
+	case tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe:
+		op := p.advance()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Pos: op.pos, Op: op.kind, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPlus) || p.at(tokMinus) {
+		op := p.advance()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Pos: op.pos, Op: op.kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokStar) || p.at(tokSlash) || p.at(tokMod) {
+		op := p.advance()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Pos: op.pos, Op: op.kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch p.cur().kind {
+	case tokNot, tokMinus:
+		op := p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: op.pos, Op: op.kind, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		return &NumLit{Pos: t.pos, Val: t.num}, nil
+	case tokTrue:
+		p.advance()
+		return &BoolLit{Pos: t.pos, Val: true}, nil
+	case tokFalse:
+		p.advance()
+		return &BoolLit{Pos: t.pos, Val: false}, nil
+	case tokIdent:
+		return p.varRef()
+	case tokLParen:
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokForall, tokExists:
+		p.advance()
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokIn); err != nil {
+			return nil, err
+		}
+		lo, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokDotDot); err != nil {
+			return nil, err
+		}
+		hi, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		body, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return &Quant{Pos: t.pos, ForAll: t.kind == tokForall, Param: id.text,
+			Lo: lo, Hi: hi, Body: body}, nil
+	}
+	return nil, errf(t.pos, "expected expression, found %s", describe(t))
+}

@@ -1,0 +1,158 @@
+package gcl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMinimal(t *testing.T) {
+	f, err := Parse("program p; var x : bool; action a : x -> x := false;")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if f.Name != "p" || len(f.Vars) != 1 || len(f.Actions) != 1 {
+		t.Errorf("file = %+v", f)
+	}
+	a := f.Actions[0]
+	if a.Kind != "closure" || len(a.LHS) != 1 || a.LHS[0].Name != "x" {
+		t.Errorf("action = %+v", a)
+	}
+}
+
+func TestParseDeclarations(t *testing.T) {
+	src := `
+program full;
+const N = 3;
+const P = [0, 0, 1];
+var c[N] : {green, red};
+var sn[N] : bool;
+var k : 0..N-1;
+faultspan : k < 2;
+invariant R layer 1 for j in 1..N-1 : c[j] = c[P[j]];
+target 1 : k = 0;
+action fix for j in 1..N-1 convergence establishes R : c[j] != c[P[j]] -> c[j] := c[P[j]];
+action idle : false -> skip;
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(f.Consts) != 2 || f.Consts[1].Elems == nil {
+		t.Errorf("consts = %+v", f.Consts)
+	}
+	if len(f.Vars) != 3 {
+		t.Errorf("vars = %d", len(f.Vars))
+	}
+	if f.Span == nil {
+		t.Error("faultspan missing")
+	}
+	if len(f.Targets) != 1 || f.Targets[0].Layer != 1 {
+		t.Errorf("targets = %+v", f.Targets)
+	}
+	inv := f.Invs[0]
+	if inv.Layer != 1 || inv.Param != "j" {
+		t.Errorf("invariant = %+v", inv)
+	}
+	fix := f.Actions[0]
+	if fix.Kind != "convergence" || fix.Establishes != "R" || fix.Param != "j" {
+		t.Errorf("fix = %+v", fix)
+	}
+	idle := f.Actions[1]
+	if len(idle.LHS) != 0 {
+		t.Errorf("skip action has assignments: %+v", idle)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f, err := Parse("program p; var x : 0..9; action a : x + 2 * 3 = 7 || x < 1 && x > 0 -> skip;")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	// Top must be ||, left (=), right (&&).
+	or, ok := f.Actions[0].Guard.(*Binary)
+	if !ok || or.Op != tokOr {
+		t.Fatalf("top = %T", f.Actions[0].Guard)
+	}
+	eq, ok := or.L.(*Binary)
+	if !ok || eq.Op != tokEq {
+		t.Fatalf("or.L = %+v", or.L)
+	}
+	// eq.L is x + (2*3).
+	add, ok := eq.L.(*Binary)
+	if !ok || add.Op != tokPlus {
+		t.Fatalf("eq.L = %+v", eq.L)
+	}
+	if mul, ok := add.R.(*Binary); !ok || mul.Op != tokStar {
+		t.Fatalf("add.R = %+v", add.R)
+	}
+	if and, ok := or.R.(*Binary); !ok || and.Op != tokAnd {
+		t.Fatalf("or.R = %+v", or.R)
+	}
+}
+
+func TestParseQuantifier(t *testing.T) {
+	f, err := Parse("program p; var c[3] : bool; action a : forall k in 0..2 : (c[k]) -> skip;")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	q, ok := f.Actions[0].Guard.(*Quant)
+	if !ok || !q.ForAll || q.Param != "k" {
+		t.Fatalf("guard = %+v", f.Actions[0].Guard)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, src, substr string
+	}{
+		{"no program", "var x : bool;", "expected 'program'"},
+		{"missing semi", "program p", "expected ';'"},
+		{"bad decl", "program p; flub;", "expected declaration"},
+		{"unbalanced assign", "program p; var x : bool; var y : bool; action a : x -> x, y := true;", "2 targets from 1"},
+		{"duplicate faultspan", "program p; faultspan : true; faultspan : true;", "duplicate faultspan"},
+		{"missing arrow", "program p; action a : true skip;", "expected '->'"},
+		{"bad expression", "program p; action a : -> skip;", "expected expression"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.src)
+			if err == nil {
+				t.Fatal("Parse succeeded")
+			}
+			if !strings.Contains(err.Error(), tt.substr) {
+				t.Errorf("error %q, want substring %q", err, tt.substr)
+			}
+		})
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	srcs := []string{
+		"program p; var x : bool; action a : x -> x := false;",
+		`program q;
+const N = 3;
+const P = [0, 0, 1];
+var c[N] : {green, red};
+var sn[N] : bool;
+faultspan : true;
+invariant R layer 2 for j in 1..N-1 : (c[j] = c[P[j]] && sn[j] = sn[P[j]]) || (c[j] = green && c[P[j]] = red);
+target 2 : c[0] = green;
+action fix for j in 1..N-1 convergence establishes R : c[j] != c[P[j]] -> c[j], sn[j] := c[P[j]], sn[P[j]];
+action probe : exists k in 0..N-1 : (c[k] = red) -> skip;
+action arith : (1 + 2) * 3 - 4 mod 2 = 7 && !(true || false) -> skip;`,
+	}
+	for _, src := range srcs {
+		f1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		printed := Print(f1)
+		f2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("Parse(Print):\n%s\nerror: %v", printed, err)
+		}
+		if Print(f2) != printed {
+			t.Errorf("print not a fixed point:\n%s\nvs\n%s", printed, Print(f2))
+		}
+	}
+}

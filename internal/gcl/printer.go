@@ -1,0 +1,180 @@
+package gcl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a parsed file back to gcl surface syntax. Print and Parse
+// round-trip: Parse(Print(f)) yields a structurally identical file.
+func Print(f *File) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s;\n", f.Name)
+	for _, d := range f.Consts {
+		if d.Value != nil {
+			fmt.Fprintf(&b, "const %s = %s;\n", d.Name, printExpr(d.Value))
+			continue
+		}
+		parts := make([]string, len(d.Elems))
+		for i, e := range d.Elems {
+			parts[i] = printExpr(e)
+		}
+		fmt.Fprintf(&b, "const %s = [%s];\n", d.Name, strings.Join(parts, ", "))
+	}
+	for _, d := range f.Vars {
+		if d.Size != nil {
+			fmt.Fprintf(&b, "var %s[%s] : %s;\n", d.Name, printExpr(d.Size), printType(d.Type))
+		} else {
+			fmt.Fprintf(&b, "var %s : %s;\n", d.Name, printType(d.Type))
+		}
+	}
+	if f.Span != nil {
+		fmt.Fprintf(&b, "faultspan : %s;\n", printExpr(f.Span.Body))
+	}
+	for _, d := range f.Targets {
+		fmt.Fprintf(&b, "target %d : %s;\n", d.Layer, printExpr(d.Body))
+	}
+	for _, d := range f.Invs {
+		fmt.Fprintf(&b, "invariant %s", d.Name)
+		if d.Layer != 0 {
+			fmt.Fprintf(&b, " layer %d", d.Layer)
+		}
+		if d.Param != "" {
+			fmt.Fprintf(&b, " for %s in %s..%s", d.Param, printExpr(d.Lo), printExpr(d.Hi))
+		}
+		fmt.Fprintf(&b, " : %s;\n", printExpr(d.Body))
+	}
+	for _, d := range f.Actions {
+		fmt.Fprintf(&b, "action %s", d.Name)
+		if d.Param != "" {
+			fmt.Fprintf(&b, " for %s in %s..%s", d.Param, printExpr(d.Lo), printExpr(d.Hi))
+		}
+		fmt.Fprintf(&b, " %s", d.Kind)
+		if d.Establishes != "" {
+			fmt.Fprintf(&b, " establishes %s", d.Establishes)
+		}
+		fmt.Fprintf(&b, " : %s ->", printExpr(d.Guard))
+		if len(d.LHS) == 0 {
+			b.WriteString(" skip")
+		} else {
+			lhs := make([]string, len(d.LHS))
+			for i, lv := range d.LHS {
+				lhs[i] = printExpr(lv)
+			}
+			rhs := make([]string, len(d.RHS))
+			for i, e := range d.RHS {
+				rhs[i] = printExpr(e)
+			}
+			fmt.Fprintf(&b, " %s := %s", strings.Join(lhs, ", "), strings.Join(rhs, ", "))
+		}
+		b.WriteString(";\n")
+	}
+	return b.String()
+}
+
+func printType(t TypeExpr) string {
+	switch {
+	case t.Bool:
+		return "bool"
+	case len(t.Labels) > 0:
+		return "{" + strings.Join(t.Labels, ", ") + "}"
+	default:
+		return printExpr(t.Lo) + ".." + printExpr(t.Hi)
+	}
+}
+
+// opText renders an operator token.
+func opText(op tokenKind) string {
+	switch op {
+	case tokOr:
+		return "||"
+	case tokAnd:
+		return "&&"
+	case tokEq:
+		return "="
+	case tokNeq:
+		return "!="
+	case tokLt:
+		return "<"
+	case tokLe:
+		return "<="
+	case tokGt:
+		return ">"
+	case tokGe:
+		return ">="
+	case tokPlus:
+		return "+"
+	case tokMinus:
+		return "-"
+	case tokStar:
+		return "*"
+	case tokSlash:
+		return "/"
+	case tokMod:
+		return "mod"
+	case tokNot:
+		return "!"
+	default:
+		return "?"
+	}
+}
+
+// precedence for parenthesization decisions.
+func prec(op tokenKind) int {
+	switch op {
+	case tokOr:
+		return 1
+	case tokAnd:
+		return 2
+	case tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe:
+		return 3
+	case tokPlus, tokMinus:
+		return 4
+	case tokStar, tokSlash, tokMod:
+		return 5
+	default:
+		return 6
+	}
+}
+
+func printExpr(e Expr) string {
+	return printPrec(e, 0)
+}
+
+func printPrec(e Expr, outer int) string {
+	switch n := e.(type) {
+	case *NumLit:
+		return fmt.Sprintf("%d", n.Val)
+	case *BoolLit:
+		if n.Val {
+			return "true"
+		}
+		return "false"
+	case *VarRef:
+		if n.Index == nil {
+			return n.Name
+		}
+		return fmt.Sprintf("%s[%s]", n.Name, printExpr(n.Index))
+	case *Unary:
+		return opText(n.Op) + printPrec(n.X, 6)
+	case *Binary:
+		p := prec(n.Op)
+		// Comparison operators are non-associative: always wrap compared
+		// comparisons. Same-precedence children print unwrapped on the
+		// left (left associativity) and wrapped on the right.
+		s := printPrec(n.L, p) + " " + opText(n.Op) + " " + printPrec(n.R, p+1)
+		if p < outer {
+			return "(" + s + ")"
+		}
+		return s
+	case *Quant:
+		kw := "exists"
+		if n.ForAll {
+			kw = "forall"
+		}
+		return fmt.Sprintf("%s %s in %s..%s : (%s)",
+			kw, n.Param, printExpr(n.Lo), printExpr(n.Hi), printExpr(n.Body))
+	default:
+		return "?"
+	}
+}

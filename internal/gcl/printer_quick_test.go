@@ -1,0 +1,114 @@
+package gcl
+
+import (
+	"math/rand"
+	"testing"
+
+	"nonmask/internal/program"
+)
+
+// randExpr generates a random expression over variables x (scalar int),
+// b (scalar bool) and c (bool array of 3), with the requested type.
+func randExpr(rng *rand.Rand, depth int, wantBool bool) Expr {
+	if depth <= 0 {
+		if wantBool {
+			switch rng.Intn(3) {
+			case 0:
+				return &BoolLit{Val: rng.Intn(2) == 0}
+			case 1:
+				return &VarRef{Name: "b"}
+			default:
+				return &VarRef{Name: "c", Index: &NumLit{Val: int32(rng.Intn(3))}}
+			}
+		}
+		switch rng.Intn(2) {
+		case 0:
+			return &NumLit{Val: int32(rng.Intn(10))}
+		default:
+			return &VarRef{Name: "x"}
+		}
+	}
+	if wantBool {
+		switch rng.Intn(6) {
+		case 0:
+			return &Unary{Op: tokNot, X: randExpr(rng, depth-1, true)}
+		case 1:
+			return &Binary{Op: tokAnd, L: randExpr(rng, depth-1, true), R: randExpr(rng, depth-1, true)}
+		case 2:
+			return &Binary{Op: tokOr, L: randExpr(rng, depth-1, true), R: randExpr(rng, depth-1, true)}
+		case 3:
+			cmp := []tokenKind{tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe}[rng.Intn(6)]
+			return &Binary{Op: cmp, L: randExpr(rng, depth-1, false), R: randExpr(rng, depth-1, false)}
+		case 4:
+			return &Quant{ForAll: rng.Intn(2) == 0, Param: "q",
+				Lo: &NumLit{Val: 0}, Hi: &NumLit{Val: 2},
+				Body: &VarRef{Name: "c", Index: &VarRef{Name: "q"}}}
+		default:
+			return &BoolLit{Val: true}
+		}
+	}
+	op := []tokenKind{tokPlus, tokMinus, tokStar, tokSlash, tokMod}[rng.Intn(5)]
+	return &Binary{Op: op, L: randExpr(rng, depth-1, false), R: randExpr(rng, depth-1, false)}
+}
+
+// TestPrinterParseRoundTripRandom: for random guard expressions, the file
+// survives Print -> Parse -> Print as a fixed point, and — when it
+// compiles — the original and reparsed programs have identical guard
+// semantics on every state.
+func TestPrinterParseRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 300; trial++ {
+		guard := randExpr(rng, 3, true)
+		f1 := &File{
+			Name: "rt",
+			Vars: []*VarDecl{
+				{Name: "x", Type: TypeExpr{Lo: &NumLit{Val: 0}, Hi: &NumLit{Val: 9}}},
+				{Name: "b", Type: TypeExpr{Bool: true}},
+				{Name: "c", Size: &NumLit{Val: 3}, Type: TypeExpr{Bool: true}},
+			},
+			Actions: []*ActionDecl{{Name: "a", Kind: "closure", Guard: guard}},
+		}
+		printed := Print(f1)
+		f2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("trial %d: Parse(Print) failed:\n%s\nerr: %v", trial, printed, err)
+		}
+		again := Print(f2)
+		if again != printed {
+			t.Fatalf("trial %d: print not a fixed point:\n%s\nvs\n%s", trial, printed, again)
+		}
+		// Semantic agreement. Division/mod by zero may legitimately fail
+		// at compile (const folds) or panic at eval; skip those trials.
+		m1, err1 := Compile(f1)
+		m2, err2 := Compile(f2)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: compile disagreement: %v vs %v\n%s", trial, err1, err2, printed)
+		}
+		if err1 != nil {
+			continue
+		}
+		a1 := m1.Program.Actions[0]
+		a2 := m2.Program.Actions[0]
+		count, _ := m1.Schema.StateCount()
+		for i := int64(0); i < count; i++ {
+			st1 := m1.Schema.StateAt(i)
+			st2 := m2.Schema.StateAt(i)
+			g1, p1 := evalGuard(a1, st1)
+			g2, p2 := evalGuard(a2, st2)
+			if g1 != g2 || p1 != p2 {
+				t.Fatalf("trial %d: guards disagree at state %d:\n%s", trial, i, printed)
+			}
+		}
+	}
+}
+
+// evalGuard evaluates a guard, reporting panics (division by zero in
+// non-constant subexpressions) as a flag rather than failing.
+func evalGuard(a *program.Action, st *program.State) (val, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	return a.Enabled(st), false
+}

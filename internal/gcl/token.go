@@ -1,0 +1,213 @@
+// Package gcl implements the guarded-command language of the paper's
+// Section 2: programs are finite sets of variables over finite domains and
+// finite sets of actions "guard -> statement". The package provides a
+// lexer, parser, static checker, and compiler to program.Program /
+// core.Design values, plus a pretty-printer, so the paper's printed
+// programs can be written down verbatim (see testdata/*.gcl) and fed to the
+// model checker and simulator.
+//
+// The surface syntax follows the paper with ASCII operators:
+//
+//	program diffusing;
+//	const N = 3;
+//	const P = [0, 0, 1];
+//	var c[N] : {green, red};
+//	var sn[N] : bool;
+//
+//	invariant R for j in 1..N-1 :
+//	    (c[j] = c[P[j]] && sn[j] = sn[P[j]]) || (c[j] = green && c[P[j]] = red);
+//
+//	action initiate closure :
+//	    c[0] = green -> c[0], sn[0] := red, !sn[0];
+//	action fix for j in 1..N-1 convergence establishes R :
+//	    !((c[j] = c[P[j]] && sn[j] = sn[P[j]]) || (c[j] = green && c[P[j]] = red))
+//	    -> c[j], sn[j] := c[P[j]], sn[P[j]];
+//
+// Enum labels (green, red) are bound as global integer constants by their
+// declaration order, so expressions compare them like integers.
+package gcl
+
+import "fmt"
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokNumber
+	tokString
+
+	// Keywords.
+	tokProgram
+	tokConst
+	tokVar
+	tokInvariant
+	tokFaultspan
+	tokAction
+	tokFor
+	tokIn
+	tokLayer
+	tokClosure
+	tokConvergence
+	tokFault
+	tokEstablishes
+	tokTarget
+	tokTrue
+	tokFalse
+	tokSkip
+	tokForall
+	tokExists
+	tokMod
+	tokBool
+
+	// Punctuation and operators.
+	tokSemi     // ;
+	tokColon    // :
+	tokComma    // ,
+	tokLParen   // (
+	tokRParen   // )
+	tokLBracket // [
+	tokRBracket // ]
+	tokLBrace   // {
+	tokRBrace   // }
+	tokArrow    // ->
+	tokAssign   // :=
+	tokDotDot   // ..
+	tokOr       // ||
+	tokAnd      // &&
+	tokNot      // !
+	tokEq       // =
+	tokNeq      // !=
+	tokLt       // <
+	tokLe       // <=
+	tokGt       // >
+	tokGe       // >=
+	tokPlus     // +
+	tokMinus    // -
+	tokStar     // *
+	tokSlash    // /
+)
+
+var keywords = map[string]tokenKind{
+	"program":     tokProgram,
+	"const":       tokConst,
+	"var":         tokVar,
+	"invariant":   tokInvariant,
+	"faultspan":   tokFaultspan,
+	"action":      tokAction,
+	"for":         tokFor,
+	"in":          tokIn,
+	"layer":       tokLayer,
+	"closure":     tokClosure,
+	"convergence": tokConvergence,
+	"fault":       tokFault,
+	"establishes": tokEstablishes,
+	"target":      tokTarget,
+	"true":        tokTrue,
+	"false":       tokFalse,
+	"skip":        tokSkip,
+	"forall":      tokForall,
+	"exists":      tokExists,
+	"mod":         tokMod,
+	"bool":        tokBool,
+}
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokSemi:
+		return "';'"
+	case tokColon:
+		return "':'"
+	case tokComma:
+		return "','"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokArrow:
+		return "'->'"
+	case tokAssign:
+		return "':='"
+	case tokDotDot:
+		return "'..'"
+	case tokOr:
+		return "'||'"
+	case tokAnd:
+		return "'&&'"
+	case tokNot:
+		return "'!'"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLe:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGe:
+		return "'>='"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	default:
+		for name, kk := range keywords {
+			if kk == k {
+				return "'" + name + "'"
+			}
+		}
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// token is one lexical token.
+type token struct {
+	kind tokenKind
+	text string
+	num  int32
+	pos  Pos
+}
+
+// Error is a positioned gcl error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("gcl:%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

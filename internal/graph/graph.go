@@ -1,0 +1,380 @@
+// Package graph provides the directed-multigraph algorithms underlying
+// constraint graphs (paper Section 4): out-tree recognition (Theorem 1),
+// self-looping recognition (Theorem 2), node ranks (the induction metric in
+// the proofs of Theorems 1 and 2), strongly connected components (cycle
+// analysis for Theorem 3), topological sorting, and DAG longest paths
+// (worst-case convergence-step bounds).
+//
+// Nodes are dense integers 0..N-1; edges carry an integer label chosen by
+// the caller (constraint graphs label edges with convergence actions).
+package graph
+
+import "fmt"
+
+// Edge is a labeled directed edge.
+type Edge struct {
+	From, To int
+	// Label identifies the edge for the caller (e.g. a constraint index).
+	Label int
+}
+
+// Graph is a directed multigraph over nodes 0..N-1. The zero Graph has no
+// nodes; construct with New.
+type Graph struct {
+	n     int
+	edges []Edge
+	// out[v] and in[v] hold indices into edges.
+	out, in [][]int
+}
+
+// New returns a graph with n nodes and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Graph{n: n, out: make([][]int, n), in: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddEdge adds a labeled edge from -> to. Parallel edges and self-loops are
+// permitted (a constraint graph may have several constraints targeting one
+// node). It returns the edge's index.
+func (g *Graph) AddEdge(from, to, label int) int {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", from, to, g.n))
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, Edge{From: from, To: to, Label: label})
+	g.out[from] = append(g.out[from], idx)
+	g.in[to] = append(g.in[to], idx)
+	return idx
+}
+
+// Edge returns the edge with the given index.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// Edges returns a copy of all edges in insertion order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// OutEdges returns the indices of edges leaving v.
+func (g *Graph) OutEdges(v int) []int { return g.out[v] }
+
+// InEdges returns the indices of edges entering v.
+func (g *Graph) InEdges(v int) []int { return g.in[v] }
+
+// InDegree returns the number of edges entering v, counting self-loops.
+func (g *Graph) InDegree(v int) int { return len(g.in[v]) }
+
+// OutDegree returns the number of edges leaving v, counting self-loops.
+func (g *Graph) OutDegree(v int) int { return len(g.out[v]) }
+
+// HasSelfLoop reports whether v carries a self-loop edge.
+func (g *Graph) HasSelfLoop(v int) bool {
+	for _, ei := range g.out[v] {
+		if g.edges[ei].To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// WeaklyConnected reports whether the graph is weakly connected (connected
+// when edge directions are ignored). The empty graph and the one-node graph
+// are weakly connected.
+func (g *Graph) WeaklyConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visit := func(w int) {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+		for _, ei := range g.out[v] {
+			visit(g.edges[ei].To)
+		}
+		for _, ei := range g.in[v] {
+			visit(g.edges[ei].From)
+		}
+	}
+	return count == g.n
+}
+
+// IsOutTree reports whether the graph is an out-tree in the paper's sense
+// (Section 5): "a weakly connected directed graph one of whose nodes has
+// indegree zero and the remaining of whose nodes have indegree one".
+// When it is, the root node is returned.
+func (g *Graph) IsOutTree() (root int, ok bool) {
+	if g.n == 0 {
+		return 0, false
+	}
+	root = -1
+	for v := 0; v < g.n; v++ {
+		switch g.InDegree(v) {
+		case 0:
+			if root >= 0 {
+				return 0, false // two roots
+			}
+			root = v
+		case 1:
+			// fine
+		default:
+			return 0, false
+		}
+	}
+	if root < 0 {
+		return 0, false // every node has indegree >= 1: a cycle exists
+	}
+	if !g.WeaklyConnected() {
+		return 0, false
+	}
+	return root, true
+}
+
+// IsSelfLooping reports whether every cycle of the graph is a self-loop
+// (paper Section 6): the graph with self-loops removed is acyclic.
+func (g *Graph) IsSelfLooping() bool {
+	_, ok := g.TopoOrder(true)
+	return ok
+}
+
+// TopoOrder returns a topological order of the nodes. If ignoreSelfLoops is
+// true, self-loop edges are disregarded. The boolean result reports whether
+// an order exists (i.e. the considered graph is acyclic).
+func (g *Graph) TopoOrder(ignoreSelfLoops bool) ([]int, bool) {
+	indeg := make([]int, g.n)
+	for _, e := range g.edges {
+		if ignoreSelfLoops && e.From == e.To {
+			continue
+		}
+		indeg[e.To]++
+	}
+	queue := make([]int, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, g.n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, ei := range g.out[v] {
+			e := g.edges[ei]
+			if ignoreSelfLoops && e.From == e.To {
+				continue
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, false
+	}
+	return order, true
+}
+
+// Ranks computes the rank of each node as defined in the proof of
+// Theorem 1: "the rank of node j is 1 + max{rank of node k | there is an
+// edge from k to j and k != j}", with rank 1 for nodes with no incoming
+// edges from other nodes. Ranks exist iff the graph is self-looping; the
+// boolean result reports that.
+func (g *Graph) Ranks() ([]int, bool) {
+	order, ok := g.TopoOrder(true)
+	if !ok {
+		return nil, false
+	}
+	rank := make([]int, g.n)
+	for _, v := range order {
+		rank[v] = 1
+		for _, ei := range g.in[v] {
+			e := g.edges[ei]
+			if e.From == e.To {
+				continue
+			}
+			if r := rank[e.From] + 1; r > rank[v] {
+				rank[v] = r
+			}
+		}
+	}
+	return rank, true
+}
+
+// SCCs returns the strongly connected components of the graph in reverse
+// topological order (Tarjan's algorithm, iterative). Each component is a
+// list of node IDs.
+func (g *Graph) SCCs() [][]int {
+	const unvisited = -1
+	index := make([]int, g.n)
+	low := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		comps   [][]int
+		stack   []int
+		counter int
+	)
+	type frame struct {
+		v  int
+		ei int // next out-edge position to consider
+	}
+	for start := 0; start < g.n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		frames := []frame{{v: start}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(g.out[f.v]) {
+				e := g.edges[g.out[f.v][f.ei]]
+				f.ei++
+				w := e.To
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// All edges of f.v processed: pop frame.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				if p := &frames[len(frames)-1]; low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// LongestPath returns, for each node, the length (in edges) of the longest
+// directed path ending at that node, and the overall maximum. It requires
+// the graph to be acyclic including self-loops; the boolean result reports
+// whether it is.
+func (g *Graph) LongestPath() (dist []int, max int, ok bool) {
+	order, acyclic := g.TopoOrder(false)
+	if !acyclic {
+		return nil, 0, false
+	}
+	dist = make([]int, g.n)
+	for _, v := range order {
+		for _, ei := range g.in[v] {
+			e := g.edges[ei]
+			if d := dist[e.From] + 1; d > dist[v] {
+				dist[v] = d
+			}
+		}
+		if dist[v] > max {
+			max = dist[v]
+		}
+	}
+	return dist, max, true
+}
+
+// FindCycle returns a directed cycle as a list of edge indices, or nil if
+// the graph is acyclic (self-loops count as cycles).
+func (g *Graph) FindCycle() []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, g.n)
+	parentEdge := make([]int, g.n)
+	for i := range parentEdge {
+		parentEdge[i] = -1
+	}
+	type frame struct {
+		v  int
+		ei int
+	}
+	for start := 0; start < g.n; start++ {
+		if color[start] != white {
+			continue
+		}
+		frames := []frame{{v: start}}
+		color[start] = gray
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(g.out[f.v]) {
+				eidx := g.out[f.v][f.ei]
+				e := g.edges[eidx]
+				f.ei++
+				if e.To == f.v {
+					return []int{eidx} // self-loop
+				}
+				switch color[e.To] {
+				case white:
+					color[e.To] = gray
+					parentEdge[e.To] = eidx
+					frames = append(frames, frame{v: e.To})
+				case gray:
+					// Back edge: reconstruct cycle e.To -> ... -> f.v -> e.To.
+					cycle := []int{eidx}
+					for v := f.v; v != e.To; {
+						pe := parentEdge[v]
+						cycle = append(cycle, pe)
+						v = g.edges[pe].From
+					}
+					// Reverse into forward order.
+					for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+						cycle[i], cycle[j] = cycle[j], cycle[i]
+					}
+					return cycle
+				}
+				continue
+			}
+			color[f.v] = black
+			frames = frames[:len(frames)-1]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// build constructs a graph from (from,to) pairs; edge i gets label i.
+func build(n int, edges ...[2]int) *Graph {
+	g := New(n)
+	for i, e := range edges {
+		g.AddEdge(e[0], e[1], i)
+	}
+	return g
+}
+
+func TestBasicAccessors(t *testing.T) {
+	g := build(3, [2]int{0, 1}, [2]int{0, 2}, [2]int{1, 1})
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("N,M = %d,%d; want 3,3", g.N(), g.M())
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(1) != 2 || g.InDegree(0) != 0 {
+		t.Errorf("degrees wrong: out(0)=%d in(1)=%d in(0)=%d",
+			g.OutDegree(0), g.InDegree(1), g.InDegree(0))
+	}
+	if !g.HasSelfLoop(1) || g.HasSelfLoop(0) {
+		t.Error("self-loop detection wrong")
+	}
+	e := g.Edge(1)
+	if e.From != 0 || e.To != 2 || e.Label != 1 {
+		t.Errorf("Edge(1) = %+v", e)
+	}
+	if len(g.Edges()) != 3 {
+		t.Errorf("Edges() len = %d", len(g.Edges()))
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	g := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("AddEdge out of range did not panic")
+		}
+	}()
+	g.AddEdge(0, 2, 0)
+}
+
+func TestWeaklyConnected(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want bool
+	}{
+		{"empty", New(0), true},
+		{"single", New(1), true},
+		{"two isolated", New(2), false},
+		{"edge joins", build(2, [2]int{0, 1}), true},
+		{"direction ignored", build(3, [2]int{1, 0}, [2]int{1, 2}), true},
+		{"partial", build(4, [2]int{0, 1}, [2]int{2, 3}), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.WeaklyConnected(); got != tt.want {
+				t.Errorf("WeaklyConnected() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIsOutTree(t *testing.T) {
+	tests := []struct {
+		name     string
+		g        *Graph
+		wantRoot int
+		wantOK   bool
+	}{
+		{"empty", New(0), 0, false},
+		{"single node", New(1), 0, true},
+		{"paper xyz graph", build(3, [2]int{0, 1}, [2]int{0, 2}), 0, true},
+		{"chain", build(4, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3}), 0, true},
+		{"binary tree", build(7, [2]int{0, 1}, [2]int{0, 2}, [2]int{1, 3}, [2]int{1, 4}, [2]int{2, 5}, [2]int{2, 6}), 0, true},
+		{"root not node 0", build(3, [2]int{2, 0}, [2]int{2, 1}), 2, true},
+		{"two roots / forest", build(4, [2]int{0, 1}, [2]int{2, 3}), 0, false},
+		{"cycle", build(3, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 0}), 0, false},
+		{"indegree two", build(3, [2]int{0, 2}, [2]int{1, 2}), 0, false},
+		{"self-loop breaks it", build(2, [2]int{0, 1}, [2]int{1, 1}), 0, false},
+		{"disconnected with root", build(3, [2]int{0, 1}), 0, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			root, ok := tt.g.IsOutTree()
+			if ok != tt.wantOK {
+				t.Fatalf("IsOutTree() ok = %v, want %v", ok, tt.wantOK)
+			}
+			if ok && root != tt.wantRoot {
+				t.Errorf("root = %d, want %d", root, tt.wantRoot)
+			}
+		})
+	}
+}
+
+func TestIsSelfLooping(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want bool
+	}{
+		{"empty", New(0), true},
+		{"acyclic", build(3, [2]int{0, 1}, [2]int{1, 2}), true},
+		{"self-loops only", build(3, [2]int{0, 1}, [2]int{1, 1}, [2]int{2, 2}), true},
+		{"2-cycle", build(2, [2]int{0, 1}, [2]int{1, 0}), false},
+		{"3-cycle", build(3, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 0}), false},
+		{"diamond dag", build(4, [2]int{0, 1}, [2]int{0, 2}, [2]int{1, 3}, [2]int{2, 3}), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.IsSelfLooping(); got != tt.want {
+				t.Errorf("IsSelfLooping() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRanks(t *testing.T) {
+	// Paper proof of Theorem 1: rank 1 for sources, 1+max over non-self preds.
+	g := build(5,
+		[2]int{0, 1}, // 0 -> 1
+		[2]int{0, 2},
+		[2]int{1, 3},
+		[2]int{2, 3}, // 3 has preds of ranks 2 and 2
+		[2]int{3, 4},
+		[2]int{4, 4}, // self-loop ignored for ranks
+	)
+	ranks, ok := g.Ranks()
+	if !ok {
+		t.Fatal("Ranks() failed on self-looping graph")
+	}
+	want := []int{1, 2, 2, 3, 4}
+	for v, r := range ranks {
+		if r != want[v] {
+			t.Errorf("rank[%d] = %d, want %d", v, r, want[v])
+		}
+	}
+
+	if _, ok := build(2, [2]int{0, 1}, [2]int{1, 0}).Ranks(); ok {
+		t.Error("Ranks() succeeded on a cyclic graph")
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := build(4, [2]int{0, 1}, [2]int{0, 2}, [2]int{1, 3}, [2]int{2, 3})
+	order, ok := g.TopoOrder(false)
+	if !ok {
+		t.Fatal("TopoOrder failed on DAG")
+	}
+	pos := make([]int, 4)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge (%d,%d) violates topological order %v", e.From, e.To, order)
+		}
+	}
+	// Self-loop: fails unless ignored.
+	g2 := build(2, [2]int{0, 1}, [2]int{1, 1})
+	if _, ok := g2.TopoOrder(false); ok {
+		t.Error("TopoOrder(false) succeeded with self-loop")
+	}
+	if _, ok := g2.TopoOrder(true); !ok {
+		t.Error("TopoOrder(true) failed with only self-loops")
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	// Two 2-cycles joined by an edge, plus an isolated node.
+	g := build(5,
+		[2]int{0, 1}, [2]int{1, 0},
+		[2]int{1, 2},
+		[2]int{2, 3}, [2]int{3, 2},
+	)
+	comps := g.SCCs()
+	if len(comps) != 3 {
+		t.Fatalf("got %d SCCs, want 3: %v", len(comps), comps)
+	}
+	var sizes []int
+	for _, c := range comps {
+		sizes = append(sizes, len(c))
+	}
+	sort.Ints(sizes)
+	if sizes[0] != 1 || sizes[1] != 2 || sizes[2] != 2 {
+		t.Errorf("SCC sizes = %v, want [1 2 2]", sizes)
+	}
+	// Reverse topological order: {2,3} must come before {0,1}.
+	posOf := func(node int) int {
+		for i, c := range comps {
+			for _, v := range c {
+				if v == node {
+					return i
+				}
+			}
+		}
+		return -1
+	}
+	if posOf(2) >= posOf(0) {
+		t.Errorf("SCC order not reverse-topological: %v", comps)
+	}
+}
+
+func TestSCCsSingleBigCycle(t *testing.T) {
+	n := 50
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, i)
+	}
+	comps := g.SCCs()
+	if len(comps) != 1 || len(comps[0]) != n {
+		t.Errorf("ring SCCs = %d comps", len(comps))
+	}
+}
+
+func TestLongestPath(t *testing.T) {
+	g := build(5, [2]int{0, 1}, [2]int{1, 2}, [2]int{0, 3}, [2]int{3, 4}, [2]int{4, 2})
+	dist, max, ok := g.LongestPath()
+	if !ok {
+		t.Fatal("LongestPath failed on DAG")
+	}
+	if max != 3 {
+		t.Errorf("max = %d, want 3 (0->3->4->2)", max)
+	}
+	if dist[2] != 3 || dist[1] != 1 || dist[0] != 0 {
+		t.Errorf("dist = %v", dist)
+	}
+	if _, _, ok := build(1, [2]int{0, 0}).LongestPath(); ok {
+		t.Error("LongestPath succeeded with self-loop")
+	}
+}
+
+func TestFindCycle(t *testing.T) {
+	t.Run("acyclic returns nil", func(t *testing.T) {
+		g := build(3, [2]int{0, 1}, [2]int{1, 2})
+		if c := g.FindCycle(); c != nil {
+			t.Errorf("FindCycle = %v, want nil", c)
+		}
+	})
+	t.Run("self-loop", func(t *testing.T) {
+		g := build(2, [2]int{0, 1}, [2]int{1, 1})
+		c := g.FindCycle()
+		if len(c) != 1 || g.Edge(c[0]).From != 1 || g.Edge(c[0]).To != 1 {
+			t.Errorf("FindCycle = %v", c)
+		}
+	})
+	t.Run("proper cycle is closed walk", func(t *testing.T) {
+		g := build(4, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3}, [2]int{3, 1})
+		c := g.FindCycle()
+		if len(c) < 2 {
+			t.Fatalf("FindCycle = %v", c)
+		}
+		for i, ei := range c {
+			next := g.Edge(c[(i+1)%len(c)])
+			if g.Edge(ei).To != next.From {
+				t.Errorf("cycle edges not contiguous: %v", c)
+			}
+		}
+	})
+}
+
+// Property: for random graphs, IsSelfLooping agrees with "FindCycle finds
+// only self-loops after removing them", and SCC count is consistent with
+// TopoOrder success.
+func TestRandomGraphConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := New(n)
+		m := rng.Intn(2 * n)
+		for i := 0; i < m; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), i)
+		}
+		// (1) TopoOrder(false) succeeds iff FindCycle returns nil.
+		_, acyclic := g.TopoOrder(false)
+		if acyclic != (g.FindCycle() == nil) {
+			return false
+		}
+		// (2) Acyclic (incl. self-loops) iff every SCC is a singleton
+		//     without a self-loop.
+		allTrivial := true
+		for _, c := range g.SCCs() {
+			if len(c) > 1 || g.HasSelfLoop(c[0]) {
+				allTrivial = false
+			}
+		}
+		if acyclic != allTrivial {
+			return false
+		}
+		// (3) Ranks exist iff self-looping.
+		_, ranksOK := g.Ranks()
+		return ranksOK == g.IsSelfLooping()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("N/Min/Max = %d/%v/%v", s.N, s.Min, s.Max)
+	}
+	if s.Mean != 3 {
+		t.Errorf("Mean = %v, want 3", s.Mean)
+	}
+	if s.Median != 3 {
+		t.Errorf("Median = %v, want 3", s.Median)
+	}
+	// Sample std of 1..5 is sqrt(2.5).
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("Std = %v, want %v", s.Std, math.Sqrt(2.5))
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Max != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Median != 7 || s.P95 != 7 || s.Std != 0 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {50, 30}, {100, 50}, {25, 20}, {75, 40}, {12.5, 15},
+	}
+	for _, tt := range tests {
+		if got := Percentile(sorted, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+}
+
+func TestIntsToFloats(t *testing.T) {
+	fs := IntsToFloats([]int{1, 2, 3})
+	if len(fs) != 3 || fs[0] != 1 || fs[2] != 3 {
+		t.Errorf("IntsToFloats = %v", fs)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99, -1, 10, 100} {
+		h.Observe(x)
+	}
+	wantCounts := []int{2, 1, 1, 0, 1}
+	for i, w := range wantCounts {
+		if h.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("Under/Over = %d/%d, want 1/2", h.Under, h.Over)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram(1, 0, 5) did not panic")
+		}
+	}()
+	NewHistogram(1, 0, 5)
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("E7: token ring", "N", "K", "worst steps")
+	tbl.AddRow("3", "4", "17")
+	tbl.AddRow("4", "5", "29")
+	tbl.Note("K >= N+1 per Dijkstra")
+	out := tbl.String()
+
+	for _, want := range []string{"E7: token ring", "worst steps", "29", "note: K >= N+1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + rule + 2 rows + note
+	if len(lines) != 6 {
+		t.Errorf("table has %d lines, want 6:\n%s", len(lines), out)
+	}
+	// Columns align: header and rows have the same prefix width before "K".
+	if !strings.Contains(lines[1], "N") || !strings.Contains(lines[2], "-") {
+		t.Errorf("header/rule malformed:\n%s", out)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tbl := NewTable("t", "a", "b", "c")
+	tbl.AddRowf("x", 3.14159, 42)
+	if tbl.Rows[0][0] != "x" || tbl.Rows[0][1] != "3.14" || tbl.Rows[0][2] != "42" {
+		t.Errorf("AddRowf row = %v", tbl.Rows[0])
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tbl := NewTable("t", "a", "b", "c")
+	tbl.AddRow("only")
+	if len(tbl.Rows[0]) != 3 {
+		t.Errorf("short row not padded: %v", tbl.Rows[0])
+	}
+}
+
+// Property: the summary's order statistics bracket correctly.
+func TestSummarizeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true // skip pathological inputs
+			}
+			// Keep magnitudes small enough that the sum cannot overflow.
+			xs[i] = math.Mod(x, 1e9)
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return s.N == 0
+		}
+		return s.Min <= s.Median && s.Median <= s.P95 &&
+			s.P95 <= s.P99 && s.P99 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

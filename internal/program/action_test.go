@@ -1,0 +1,274 @@
+package program
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// incProgram builds the schema and a single action "x<4 -> x:=x+1".
+func incProgram(t *testing.T) (*Program, VarID) {
+	t.Helper()
+	s := NewSchema()
+	x := s.MustDeclare("x", IntRange(0, 4))
+	p := New("inc", s)
+	p.Add(NewAction("inc-x", Closure,
+		[]VarID{x}, []VarID{x},
+		func(st *State) bool { return st.Get(x) < 4 },
+		func(st *State) { st.Set(x, st.Get(x)+1) },
+	))
+	return p, x
+}
+
+func TestActionEnabledAndApply(t *testing.T) {
+	p, x := incProgram(t)
+	a := p.Actions[0]
+	st := p.Schema.NewState()
+	if !a.Enabled(st) {
+		t.Fatal("action disabled at x=0")
+	}
+	next := a.Apply(st)
+	if next.Get(x) != 1 {
+		t.Errorf("after apply x = %d, want 1", next.Get(x))
+	}
+	if st.Get(x) != 0 {
+		t.Error("Apply mutated its input state")
+	}
+	st.Set(x, 4)
+	if a.Enabled(st) {
+		t.Error("action enabled at x=4")
+	}
+}
+
+func TestActionStep(t *testing.T) {
+	p, x := incProgram(t)
+	a := p.Actions[0]
+	st := p.Schema.NewState()
+	st.Set(x, 4)
+	next, fired := a.Step(st)
+	if fired {
+		t.Error("Step fired a disabled action")
+	}
+	if next != st {
+		t.Error("Step on disabled action returned a different state")
+	}
+	st.Set(x, 2)
+	next, fired = a.Step(st)
+	if !fired || next.Get(x) != 3 {
+		t.Errorf("Step = (%v, %v), want x=3 fired", next, fired)
+	}
+}
+
+func TestActionFootprintCanonical(t *testing.T) {
+	a := NewAction("a", Closure, []VarID{3, 1, 3}, []VarID{2, 1}, nil, nil)
+	wantReads := []VarID{1, 3}
+	for i, id := range a.Reads {
+		if id != wantReads[i] {
+			t.Fatalf("Reads = %v, want %v", a.Reads, wantReads)
+		}
+	}
+	fp := a.Footprint()
+	want := []VarID{1, 2, 3}
+	if len(fp) != len(want) {
+		t.Fatalf("Footprint = %v, want %v", fp, want)
+	}
+	for i := range fp {
+		if fp[i] != want[i] {
+			t.Fatalf("Footprint = %v, want %v", fp, want)
+		}
+	}
+}
+
+func TestActionKindString(t *testing.T) {
+	tests := []struct {
+		k    ActionKind
+		want string
+	}{
+		{Closure, "closure"},
+		{Convergence, "convergence"},
+		{Fault, "fault"},
+		{ActionKind(0), "ActionKind(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.k), got, tt.want)
+		}
+	}
+}
+
+func TestProgramOfKindAndEnabled(t *testing.T) {
+	s := NewSchema()
+	x := s.MustDeclare("x", IntRange(0, 4))
+	p := New("p", s)
+	cl := NewAction("up", Closure, []VarID{x}, []VarID{x},
+		func(st *State) bool { return st.Get(x) < 4 },
+		func(st *State) { st.Set(x, st.Get(x)+1) })
+	cv := NewAction("reset", Convergence, []VarID{x}, []VarID{x},
+		func(st *State) bool { return st.Get(x) > 2 },
+		func(st *State) { st.Set(x, 0) })
+	p.Add(cl, cv)
+
+	if got := p.OfKind(Closure); len(got) != 1 || got[0] != cl {
+		t.Errorf("OfKind(Closure) = %v", got)
+	}
+	if got := p.OfKind(Fault); got != nil {
+		t.Errorf("OfKind(Fault) = %v, want nil", got)
+	}
+
+	st := p.Schema.NewState()
+	st.Set(x, 3)
+	enabled := p.Enabled(st)
+	if len(enabled) != 2 {
+		t.Fatalf("Enabled at x=3 = %d actions, want 2", len(enabled))
+	}
+	if p.EnabledCount(st) != 2 {
+		t.Errorf("EnabledCount = %d, want 2", p.EnabledCount(st))
+	}
+	st.Set(x, 4)
+	if got := p.Enabled(st); len(got) != 1 || got[0] != cv {
+		t.Errorf("Enabled at x=4 = %v, want [reset]", got)
+	}
+}
+
+func TestProgramUnion(t *testing.T) {
+	p, x := incProgram(t)
+	extra := NewAction("conv", Convergence, []VarID{x}, []VarID{x},
+		func(st *State) bool { return false },
+		func(st *State) {})
+	q := p.Union("augmented", extra)
+	if len(q.Actions) != 2 {
+		t.Fatalf("union has %d actions, want 2", len(q.Actions))
+	}
+	if len(p.Actions) != 1 {
+		t.Error("Union mutated the original program")
+	}
+	if q.Name != "augmented" || q.Schema != p.Schema {
+		t.Error("Union name/schema wrong")
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	p, x := incProgram(t)
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid program failed Validate: %v", err)
+	}
+
+	tests := []struct {
+		name   string
+		mutate func(*Program)
+		substr string
+	}{
+		{"empty name", func(q *Program) { q.Actions[0].Name = "" }, "no name"},
+		{"nil guard", func(q *Program) { q.Actions[0].Guard = nil }, "lacks guard"},
+		{"bad kind", func(q *Program) { q.Actions[0].Kind = 0 }, "invalid kind"},
+		{"bad var", func(q *Program) { q.Actions[0].Writes = []VarID{99} }, "undeclared"},
+		{"duplicate name", func(q *Program) {
+			q.Add(NewAction("inc-x", Closure, []VarID{x}, []VarID{x},
+				func(*State) bool { return false }, func(*State) {}))
+		}, "duplicate"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			q, _ := incProgram(t)
+			tt.mutate(q)
+			err := q.Validate()
+			if err == nil || !strings.Contains(err.Error(), tt.substr) {
+				t.Errorf("Validate() = %v, want error containing %q", err, tt.substr)
+			}
+		})
+	}
+
+	empty := New("empty", NewSchema())
+	if err := empty.Validate(); err == nil {
+		t.Error("empty-schema program passed Validate")
+	}
+}
+
+func TestAuditActionCatchesUndeclaredWrite(t *testing.T) {
+	s := NewSchema()
+	x := s.MustDeclare("x", IntRange(0, 4))
+	y := s.MustDeclare("y", IntRange(0, 4))
+	// Claims to write only x but also writes y.
+	bad := NewAction("bad", Closure, []VarID{x}, []VarID{x},
+		func(st *State) bool { return true },
+		func(st *State) {
+			st.Set(x, 0)
+			st.Set(y, 0)
+		})
+	rng := rand.New(rand.NewSource(7))
+	err := AuditAction(s, bad, rng, 100)
+	if err == nil || !strings.Contains(err.Error(), "wrote undeclared") {
+		t.Errorf("AuditAction = %v, want undeclared-write error", err)
+	}
+}
+
+func TestAuditActionCatchesUndeclaredGuardRead(t *testing.T) {
+	s := NewSchema()
+	x := s.MustDeclare("x", IntRange(0, 4))
+	y := s.MustDeclare("y", IntRange(0, 4))
+	// Guard reads y but declares only x.
+	bad := NewAction("bad", Closure, []VarID{x}, []VarID{x},
+		func(st *State) bool { return st.Get(y) > 2 },
+		func(st *State) { st.Set(x, 0) })
+	rng := rand.New(rand.NewSource(7))
+	err := AuditAction(s, bad, rng, 500)
+	if err == nil || !strings.Contains(err.Error(), "guard reads undeclared") {
+		t.Errorf("AuditAction = %v, want undeclared-guard-read error", err)
+	}
+}
+
+func TestAuditActionCatchesUndeclaredBodyRead(t *testing.T) {
+	s := NewSchema()
+	x := s.MustDeclare("x", IntRange(0, 4))
+	y := s.MustDeclare("y", IntRange(0, 4))
+	bad := NewAction("bad", Closure, []VarID{x}, []VarID{x},
+		func(st *State) bool { return true },
+		func(st *State) { st.Set(x, st.Get(y)) })
+	rng := rand.New(rand.NewSource(7))
+	err := AuditAction(s, bad, rng, 500)
+	if err == nil || !strings.Contains(err.Error(), "body reads undeclared") {
+		t.Errorf("AuditAction = %v, want undeclared-body-read error", err)
+	}
+}
+
+func TestAuditActionPassesHonestAction(t *testing.T) {
+	p, _ := incProgram(t)
+	rng := rand.New(rand.NewSource(7))
+	if err := p.Audit(rng, 200); err != nil {
+		t.Errorf("honest action failed audit: %v", err)
+	}
+}
+
+func TestAuditPredicate(t *testing.T) {
+	s := NewSchema()
+	x := s.MustDeclare("x", IntRange(0, 4))
+	y := s.MustDeclare("y", IntRange(0, 4))
+	rng := rand.New(rand.NewSource(7))
+
+	honest := NewPredicate("x small", []VarID{x}, func(st *State) bool { return st.Get(x) < 2 })
+	if err := AuditPredicate(s, honest, rng, 300); err != nil {
+		t.Errorf("honest predicate failed audit: %v", err)
+	}
+
+	dishonest := NewPredicate("lies", []VarID{x}, func(st *State) bool { return st.Get(y) < 2 })
+	err := AuditPredicate(s, dishonest, rng, 500)
+	if err == nil || !strings.Contains(err.Error(), "reads undeclared") {
+		t.Errorf("AuditPredicate = %v, want undeclared-read error", err)
+	}
+
+	if err := AuditPredicate(s, nil, rng, 10); err != nil {
+		t.Errorf("nil predicate audit: %v", err)
+	}
+}
+
+func TestDescribeActions(t *testing.T) {
+	p, x := incProgram(t)
+	p.Add(NewAction("conv", Convergence, []VarID{x}, []VarID{x},
+		func(*State) bool { return false }, func(*State) {}))
+	out := p.DescribeActions()
+	for _, want := range []string{"closure actions (1)", "convergence actions (1)", "inc-x", "conv"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DescribeActions missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package program implements the guarded-command program model of
+// Arora, Gouda & Varghese, "Constraint Satisfaction as a Basis for
+// Designing Nonmasking Fault-Tolerance" (1994), Section 2.
+//
+// A program is a finite set of variables over finite domains and a finite
+// set of actions of the form
+//
+//	<guard> -> <statement>
+//
+// where a guard is a boolean expression over the variables and a statement
+// is a terminating multi-assignment. A state assigns a value to every
+// variable; a state predicate is a boolean expression over states; a
+// computation is a fair, maximal interleaving of enabled actions.
+//
+// The package keeps the state space finite and explicitly enumerable so the
+// model checker in internal/verify can decide closure and convergence
+// exactly on paper-sized instances.
+package program
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DomainKind discriminates the three supported variable domain shapes.
+type DomainKind int
+
+// Domain kinds. They start at one so the zero value is detectably invalid.
+const (
+	// KindBool is the two-valued boolean domain {false, true}, encoded 0/1.
+	KindBool DomainKind = iota + 1
+	// KindInt is a contiguous integer range Min..Max inclusive.
+	KindInt
+	// KindEnum is a finite set of named labels encoded 0..len(Labels)-1.
+	KindEnum
+)
+
+// String returns a human-readable kind name.
+func (k DomainKind) String() string {
+	switch k {
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindEnum:
+		return "enum"
+	default:
+		return fmt.Sprintf("DomainKind(%d)", int(k))
+	}
+}
+
+// Domain describes the finite set of values a variable may take.
+// The zero Domain is invalid; construct domains with Bool, IntRange or Enum.
+type Domain struct {
+	Kind DomainKind
+	// Min and Max bound KindInt domains, inclusive on both ends.
+	Min, Max int32
+	// Labels names the values of a KindEnum domain. Labels[i] is the name
+	// of encoded value i.
+	Labels []string
+}
+
+// Bool returns the boolean domain.
+func Bool() Domain { return Domain{Kind: KindBool, Min: 0, Max: 1} }
+
+// IntRange returns the integer domain min..max (inclusive).
+// It panics if max < min; domains must be nonempty per the paper's model.
+func IntRange(min, max int32) Domain {
+	if max < min {
+		panic(fmt.Sprintf("program: empty domain %d..%d", min, max))
+	}
+	return Domain{Kind: KindInt, Min: min, Max: max}
+}
+
+// Enum returns a named finite domain. Encoded values are the label indices.
+// It panics on an empty label list or duplicate labels.
+func Enum(labels ...string) Domain {
+	if len(labels) == 0 {
+		panic("program: enum domain needs at least one label")
+	}
+	seen := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		if seen[l] {
+			panic("program: duplicate enum label " + l)
+		}
+		seen[l] = true
+	}
+	cp := make([]string, len(labels))
+	copy(cp, labels)
+	return Domain{Kind: KindEnum, Min: 0, Max: int32(len(labels) - 1), Labels: cp}
+}
+
+// Size returns the number of values in the domain.
+func (d Domain) Size() int64 {
+	if d.Kind == 0 {
+		return 0
+	}
+	return int64(d.Max) - int64(d.Min) + 1
+}
+
+// Contains reports whether v is a member of the domain.
+func (d Domain) Contains(v int32) bool {
+	return d.Kind != 0 && v >= d.Min && v <= d.Max
+}
+
+// Clamp returns v forced into the domain by saturation. It is used by fault
+// injectors that corrupt values: the paper's fault model perturbs state
+// within the variables' domains.
+func (d Domain) Clamp(v int32) int32 {
+	if v < d.Min {
+		return d.Min
+	}
+	if v > d.Max {
+		return d.Max
+	}
+	return v
+}
+
+// ValueString renders an encoded value of this domain for humans:
+// booleans as true/false, enums by label, integers as decimal.
+func (d Domain) ValueString(v int32) string {
+	switch d.Kind {
+	case KindBool:
+		if v == 0 {
+			return "false"
+		}
+		return "true"
+	case KindEnum:
+		if int(v) >= 0 && int(v) < len(d.Labels) {
+			return d.Labels[int(v)]
+		}
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// Value looks up the encoded value of an enum label. The boolean result
+// reports whether the label names a value of this domain.
+func (d Domain) Value(label string) (int32, bool) {
+	if d.Kind == KindBool {
+		switch label {
+		case "false":
+			return 0, true
+		case "true":
+			return 1, true
+		}
+		return 0, false
+	}
+	for i, l := range d.Labels {
+		if l == label {
+			return int32(i), true
+		}
+	}
+	return 0, false
+}
+
+// String renders the domain in the paper's declaration style,
+// e.g. "bool", "0..4", "{green, red}".
+func (d Domain) String() string {
+	switch d.Kind {
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return fmt.Sprintf("%d..%d", d.Min, d.Max)
+	case KindEnum:
+		return "{" + strings.Join(d.Labels, ", ") + "}"
+	default:
+		return "invalid"
+	}
+}
+
+// Equal reports structural equality of two domains.
+func (d Domain) Equal(o Domain) bool {
+	if d.Kind != o.Kind || d.Min != o.Min || d.Max != o.Max || len(d.Labels) != len(o.Labels) {
+		return false
+	}
+	for i := range d.Labels {
+		if d.Labels[i] != o.Labels[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,171 @@
+package program
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDomainKinds(t *testing.T) {
+	tests := []struct {
+		name     string
+		dom      Domain
+		size     int64
+		contains []int32
+		excludes []int32
+		str      string
+	}{
+		{"bool", Bool(), 2, []int32{0, 1}, []int32{-1, 2}, "bool"},
+		{"int range", IntRange(0, 4), 5, []int32{0, 2, 4}, []int32{-1, 5}, "0..4"},
+		{"negative range", IntRange(-3, 3), 7, []int32{-3, 0, 3}, []int32{-4, 4}, "-3..3"},
+		{"singleton", IntRange(7, 7), 1, []int32{7}, []int32{6, 8}, "7..7"},
+		{"colors", Enum("green", "red"), 2, []int32{0, 1}, []int32{-1, 2}, "{green, red}"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.dom.Size(); got != tt.size {
+				t.Errorf("Size() = %d, want %d", got, tt.size)
+			}
+			for _, v := range tt.contains {
+				if !tt.dom.Contains(v) {
+					t.Errorf("Contains(%d) = false, want true", v)
+				}
+			}
+			for _, v := range tt.excludes {
+				if tt.dom.Contains(v) {
+					t.Errorf("Contains(%d) = true, want false", v)
+				}
+			}
+			if got := tt.dom.String(); got != tt.str {
+				t.Errorf("String() = %q, want %q", got, tt.str)
+			}
+		})
+	}
+}
+
+func TestDomainZeroValueInvalid(t *testing.T) {
+	var d Domain
+	if d.Size() != 0 {
+		t.Errorf("zero Domain Size() = %d, want 0", d.Size())
+	}
+	if d.Contains(0) {
+		t.Error("zero Domain Contains(0) = true, want false")
+	}
+}
+
+func TestIntRangePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("IntRange(3, 2) did not panic")
+		}
+	}()
+	IntRange(3, 2)
+}
+
+func TestEnumPanics(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Enum() did not panic")
+			}
+		}()
+		Enum()
+	})
+	t.Run("duplicate", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Enum with duplicate did not panic")
+			}
+		}()
+		Enum("a", "a")
+	})
+}
+
+func TestDomainClamp(t *testing.T) {
+	d := IntRange(2, 5)
+	tests := []struct{ in, want int32 }{
+		{1, 2}, {2, 2}, {3, 3}, {5, 5}, {6, 5}, {-100, 2}, {100, 5},
+	}
+	for _, tt := range tests {
+		if got := d.Clamp(tt.in); got != tt.want {
+			t.Errorf("Clamp(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestDomainValueString(t *testing.T) {
+	tests := []struct {
+		dom  Domain
+		v    int32
+		want string
+	}{
+		{Bool(), 0, "false"},
+		{Bool(), 1, "true"},
+		{Enum("green", "red"), 0, "green"},
+		{Enum("green", "red"), 1, "red"},
+		{Enum("green", "red"), 5, "5"}, // out of range falls back to decimal
+		{IntRange(0, 9), 7, "7"},
+	}
+	for _, tt := range tests {
+		if got := tt.dom.ValueString(tt.v); got != tt.want {
+			t.Errorf("%s.ValueString(%d) = %q, want %q", tt.dom, tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestDomainValueLookup(t *testing.T) {
+	colors := Enum("green", "red")
+	if v, ok := colors.Value("red"); !ok || v != 1 {
+		t.Errorf("Value(red) = %d, %v; want 1, true", v, ok)
+	}
+	if _, ok := colors.Value("blue"); ok {
+		t.Error("Value(blue) ok = true, want false")
+	}
+	b := Bool()
+	if v, ok := b.Value("true"); !ok || v != 1 {
+		t.Errorf("bool Value(true) = %d, %v; want 1, true", v, ok)
+	}
+	if v, ok := b.Value("false"); !ok || v != 0 {
+		t.Errorf("bool Value(false) = %d, %v; want 0, true", v, ok)
+	}
+	if _, ok := b.Value("maybe"); ok {
+		t.Error("bool Value(maybe) ok = true, want false")
+	}
+}
+
+func TestDomainEqual(t *testing.T) {
+	tests := []struct {
+		a, b Domain
+		want bool
+	}{
+		{Bool(), Bool(), true},
+		{IntRange(0, 4), IntRange(0, 4), true},
+		{IntRange(0, 4), IntRange(0, 5), false},
+		{Enum("a", "b"), Enum("a", "b"), true},
+		{Enum("a", "b"), Enum("a", "c"), false},
+		{Bool(), IntRange(0, 1), false},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Equal(tt.b); got != tt.want {
+			t.Errorf("%s.Equal(%s) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+// Property: Clamp always lands in the domain, and is the identity on
+// members of the domain.
+func TestDomainClampProperty(t *testing.T) {
+	f := func(lo, span uint8, v int32) bool {
+		d := IntRange(int32(lo), int32(lo)+int32(span))
+		c := d.Clamp(v)
+		if !d.Contains(c) {
+			return false
+		}
+		if d.Contains(v) && c != v {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

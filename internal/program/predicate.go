@@ -1,0 +1,139 @@
+package program
+
+import "strings"
+
+// Predicate is a named state predicate: a boolean expression over the
+// variables of a program (paper Section 2). Vars is the declared support —
+// the set of variables the expression may read. An honest support is what
+// lets internal/ctheory decide preservation by enumerating only the
+// variables an action and a constraint touch; AuditPredicate checks honesty
+// dynamically.
+type Predicate struct {
+	Name string
+	Eval func(*State) bool
+	// Vars is the declared support, in canonical sorted order.
+	// An empty support means the predicate is constant.
+	Vars []VarID
+}
+
+// NewPredicate builds a predicate with the given name, support and body.
+// The support is canonicalized (sorted, deduplicated).
+func NewPredicate(name string, vars []VarID, eval func(*State) bool) *Predicate {
+	cp := make([]VarID, len(vars))
+	copy(cp, vars)
+	return &Predicate{Name: name, Eval: eval, Vars: SortVarIDs(cp)}
+}
+
+// True is the constant-true predicate. It is the fault-span of every
+// stabilizing program (paper Section 5: "for stabilizing programs, the
+// program fault-span T is the state predicate true").
+func True() *Predicate {
+	return &Predicate{Name: "true", Eval: func(*State) bool { return true }}
+}
+
+// False is the constant-false predicate.
+func False() *Predicate {
+	return &Predicate{Name: "false", Eval: func(*State) bool { return false }}
+}
+
+// Holds reports whether the predicate holds at s. A nil predicate is
+// interpreted as true, matching the paper's default fault-span.
+func (p *Predicate) Holds(s *State) bool {
+	if p == nil {
+		return true
+	}
+	return p.Eval(s)
+}
+
+// IsConstTrue reports whether the predicate is the literal True (or nil).
+func (p *Predicate) IsConstTrue() bool {
+	return p == nil || (p.Name == "true" && len(p.Vars) == 0)
+}
+
+// And returns the conjunction of the given predicates. The paper's method
+// builds the invariant S as the conjunction of its constraints with the
+// fault-span T ("their conjunction together with T equivales S").
+func And(name string, ps ...*Predicate) *Predicate {
+	kept := make([]*Predicate, 0, len(ps))
+	var vars []VarID
+	for _, p := range ps {
+		if p == nil || p.IsConstTrue() {
+			continue
+		}
+		kept = append(kept, p)
+		vars = append(vars, p.Vars...)
+	}
+	if name == "" {
+		names := make([]string, len(kept))
+		for i, p := range kept {
+			names[i] = p.Name
+		}
+		name = strings.Join(names, " && ")
+		if name == "" {
+			name = "true"
+		}
+	}
+	if len(kept) == 0 {
+		t := True()
+		t.Name = name
+		return t
+	}
+	return NewPredicate(name, vars, func(s *State) bool {
+		for _, p := range kept {
+			if !p.Eval(s) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Or returns the disjunction of the given predicates.
+func Or(name string, ps ...*Predicate) *Predicate {
+	kept := make([]*Predicate, 0, len(ps))
+	var vars []VarID
+	for _, p := range ps {
+		if p == nil || p.IsConstTrue() {
+			t := True()
+			if name != "" {
+				t.Name = name
+			}
+			return t
+		}
+		kept = append(kept, p)
+		vars = append(vars, p.Vars...)
+	}
+	if name == "" {
+		names := make([]string, len(kept))
+		for i, p := range kept {
+			names[i] = "(" + p.Name + ")"
+		}
+		name = strings.Join(names, " || ")
+	}
+	if len(kept) == 0 {
+		f := False()
+		f.Name = name
+		return f
+	}
+	return NewPredicate(name, vars, func(s *State) bool {
+		for _, p := range kept {
+			if p.Eval(s) {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// Not returns the negation of p.
+func Not(p *Predicate) *Predicate {
+	if p == nil {
+		return False()
+	}
+	return NewPredicate("!("+p.Name+")", p.Vars, func(s *State) bool { return !p.Eval(s) })
+}
+
+// Implies returns the predicate p => q.
+func Implies(p, q *Predicate) *Predicate {
+	return Or("("+p.Name+") => ("+q.Name+")", Not(p), q)
+}

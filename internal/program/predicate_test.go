@@ -1,0 +1,145 @@
+package program
+
+import (
+	"testing"
+)
+
+func predSchema(t *testing.T) (*Schema, VarID, VarID) {
+	t.Helper()
+	s := NewSchema()
+	x := s.MustDeclare("x", IntRange(0, 4))
+	y := s.MustDeclare("y", IntRange(0, 4))
+	return s, x, y
+}
+
+func TestPredicateHolds(t *testing.T) {
+	s, x, _ := predSchema(t)
+	p := NewPredicate("x=0", []VarID{x}, func(st *State) bool { return st.Get(x) == 0 })
+	st := s.NewState()
+	if !p.Holds(st) {
+		t.Error("x=0 should hold at initial state")
+	}
+	st.Set(x, 1)
+	if p.Holds(st) {
+		t.Error("x=0 holds at x=1")
+	}
+}
+
+func TestNilPredicateIsTrue(t *testing.T) {
+	s, _, _ := predSchema(t)
+	var p *Predicate
+	if !p.Holds(s.NewState()) {
+		t.Error("nil predicate does not hold")
+	}
+	if !p.IsConstTrue() {
+		t.Error("nil predicate not IsConstTrue")
+	}
+}
+
+func TestTrueFalse(t *testing.T) {
+	s, _, _ := predSchema(t)
+	st := s.NewState()
+	if !True().Holds(st) {
+		t.Error("True() does not hold")
+	}
+	if False().Holds(st) {
+		t.Error("False() holds")
+	}
+	if !True().IsConstTrue() {
+		t.Error("True() not IsConstTrue")
+	}
+	if False().IsConstTrue() {
+		t.Error("False() IsConstTrue")
+	}
+}
+
+func TestAnd(t *testing.T) {
+	s, x, y := predSchema(t)
+	px := NewPredicate("x<2", []VarID{x}, func(st *State) bool { return st.Get(x) < 2 })
+	py := NewPredicate("y<2", []VarID{y}, func(st *State) bool { return st.Get(y) < 2 })
+	conj := And("", px, py)
+
+	st := s.NewState()
+	if !conj.Holds(st) {
+		t.Error("conjunction should hold at (0,0)")
+	}
+	st.Set(y, 3)
+	if conj.Holds(st) {
+		t.Error("conjunction holds at (0,3)")
+	}
+	if conj.Name != "x<2 && y<2" {
+		t.Errorf("auto name = %q", conj.Name)
+	}
+	if len(conj.Vars) != 2 {
+		t.Errorf("conjunction support = %v, want both vars", conj.Vars)
+	}
+
+	// And of nothing (or only true) is true.
+	if !And("", True(), nil).IsConstTrue() {
+		t.Error("And(true, nil) not const true")
+	}
+	named := And("S", px)
+	if named.Name != "S" {
+		t.Errorf("explicit name = %q, want S", named.Name)
+	}
+}
+
+func TestOr(t *testing.T) {
+	s, x, y := predSchema(t)
+	px := NewPredicate("x=4", []VarID{x}, func(st *State) bool { return st.Get(x) == 4 })
+	py := NewPredicate("y=4", []VarID{y}, func(st *State) bool { return st.Get(y) == 4 })
+	disj := Or("", px, py)
+
+	st := s.NewState()
+	if disj.Holds(st) {
+		t.Error("disjunction holds at (0,0)")
+	}
+	st.Set(y, 4)
+	if !disj.Holds(st) {
+		t.Error("disjunction fails at (0,4)")
+	}
+
+	// Or with a true disjunct short-circuits to true.
+	if !Or("", px, True()).IsConstTrue() {
+		t.Error("Or(p, true) not const true")
+	}
+	// Or of nothing is false.
+	if Or("empty").Holds(st) {
+		t.Error("empty Or holds")
+	}
+}
+
+func TestNotAndImplies(t *testing.T) {
+	s, x, _ := predSchema(t)
+	px := NewPredicate("x=0", []VarID{x}, func(st *State) bool { return st.Get(x) == 0 })
+	st := s.NewState()
+
+	np := Not(px)
+	if np.Holds(st) {
+		t.Error("!(x=0) holds at x=0")
+	}
+	st.Set(x, 1)
+	if !np.Holds(st) {
+		t.Error("!(x=0) fails at x=1")
+	}
+	if !Not(nil).Eval(st) == false {
+		// Not(nil) == Not(true) == false
+		t.Error("Not(nil) should be false")
+	}
+
+	// x=0 => x<2 is valid everywhere.
+	small := NewPredicate("x<2", []VarID{x}, func(st *State) bool { return st.Get(x) < 2 })
+	impl := Implies(px, small)
+	for v := int32(0); v <= 4; v++ {
+		st.Set(x, v)
+		if !impl.Holds(st) {
+			t.Errorf("x=0 => x<2 fails at x=%d", v)
+		}
+	}
+	// x<2 => x=0 fails at x=1.
+	rev := Implies(small, px)
+	st.Set(x, 1)
+	if rev.Holds(st) {
+		t.Error("x<2 => x=0 holds at x=1")
+	}
+}

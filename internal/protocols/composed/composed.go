@@ -1,0 +1,259 @@
+// Package composed layers the Section 5.1 diffusing wave over the
+// self-stabilizing spanning tree, yielding a wave protocol for arbitrary
+// connected graphs — the composition the paper's concluding remarks point
+// to ("we present a refinement of this system... We study refinement
+// issues in a companion paper") and the heart of the authors' distributed
+// reset.
+//
+// Layer 0 builds/maintains a BFS spanning tree (d.j, p.j per node); layer
+// 1 runs the diffusing wave (c.j, sn.j) over the *current* parent
+// pointers. Convergence is a stair (Section 7, Gouda & Multari): first the
+// tree stabilizes, then the wave does.
+//
+// The composition exposes a subtlety the paper's single-layer designs
+// avoid. Section 8 remarks that the paper's programs converge without
+// fairness, and E3/E7 confirm it: on a FIXED tree, a violated constraint
+// eventually blocks the wave (the broken node sits on the wave's path), so
+// wave actions cannot cycle outside S. Here the wave runs over the
+// CURRENT pointers, and a corrupted region that is detached from the
+// root's pointer structure never blocks it: the root's wave cycles
+// forever, legitimately, while the detached region stays broken. An
+// unfair daemon can therefore starve the tree's convergence actions and
+// prevent stabilization — the weakly fair daemon of the paper's Section 2
+// computation model becomes genuinely necessary. The model checker
+// demonstrates both facts exactly (see the package tests and experiment
+// X1): arbitrary-daemon convergence fails with a concrete wave-spin
+// witness, weakly-fair convergence holds, and the convergence stair
+// true -> tree-correct -> S verifies stage by stage under fairness.
+package composed
+
+import (
+	"fmt"
+
+	"nonmask/internal/program"
+	"nonmask/internal/protocols/spanningtree"
+)
+
+// Colors of the wave layer.
+const (
+	Green int32 = 0
+	Red   int32 = 1
+)
+
+// Instance is one composed tree+wave protocol.
+type Instance struct {
+	Graph spanningtree.Graph
+	// P is the full program: tree convergence actions plus wave actions.
+	P *program.Program
+	// TreeOK holds when every tree constraint holds (the stair's middle).
+	TreeOK *program.Predicate
+	// S holds when the tree is correct and every wave constraint holds.
+	S *program.Predicate
+	// D, Par are the tree layer's variables; C, Sn the wave layer's.
+	D, Par, C, Sn []program.VarID
+	// Groups lists each node's variables for fault injection.
+	Groups [][]program.VarID
+}
+
+// New builds the composition for a connected graph (root 0).
+func New(g spanningtree.Graph) (*Instance, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	maxD := int32(n)
+	s := program.NewSchema()
+	d := make([]program.VarID, n)
+	par := make([]program.VarID, n)
+	c := make([]program.VarID, n)
+	sn := make([]program.VarID, n)
+	groups := make([][]program.VarID, n)
+	colors := program.Enum("green", "red")
+	for j := 0; j < n; j++ {
+		d[j] = s.MustDeclare(fmt.Sprintf("d[%d]", j), program.IntRange(0, maxD))
+		deg := len(g.Adj[j])
+		if j == 0 || deg == 0 {
+			deg = 1
+		}
+		par[j] = s.MustDeclare(fmt.Sprintf("p[%d]", j), program.IntRange(0, int32(deg-1)))
+		c[j] = s.MustDeclare(fmt.Sprintf("c[%d]", j), colors)
+		sn[j] = s.MustDeclare(fmt.Sprintf("sn[%d]", j), program.Bool())
+		groups[j] = []program.VarID{d[j], par[j], c[j], sn[j]}
+	}
+	inst := &Instance{Graph: g, D: d, Par: par, C: c, Sn: sn, Groups: groups}
+
+	p := program.New(fmt.Sprintf("composed(n=%d)", n), s)
+
+	// --- layer 0: the spanning tree (as in internal/protocols/spanningtree).
+	treeLocal := make([]*program.Predicate, n) // per-node tree constraint
+	treeLocal[0] = program.NewPredicate("tree[0]", []program.VarID{d[0]},
+		func(st *program.State) bool { return st.Get(d[0]) == 0 })
+	p.Add(program.NewAction("fix-root", program.Convergence,
+		[]program.VarID{d[0]}, []program.VarID{d[0], par[0]},
+		func(st *program.State) bool { return st.Get(d[0]) != 0 },
+		func(st *program.State) {
+			st.Set(d[0], 0)
+			st.Set(par[0], 0)
+		}))
+	for j := 1; j < n; j++ {
+		j := j
+		nbrs := g.Adj[j]
+		minNbr := func(st *program.State) (int32, int) {
+			best := st.Get(d[nbrs[0]])
+			arg := 0
+			for i := 1; i < len(nbrs); i++ {
+				if v := st.Get(d[nbrs[i]]); v < best {
+					best = v
+					arg = i
+				}
+			}
+			return best, arg
+		}
+		reads := []program.VarID{d[j], par[j]}
+		for _, k := range nbrs {
+			reads = append(reads, d[k])
+		}
+		ok := func(st *program.State) bool {
+			m, _ := minNbr(st)
+			dj := m + 1
+			if dj > maxD {
+				dj = maxD
+			}
+			return st.Get(d[j]) == dj && st.Get(d[nbrs[st.Get(par[j])]]) == m
+		}
+		treeLocal[j] = program.NewPredicate(fmt.Sprintf("tree[%d]", j), reads, ok)
+		p.Add(program.NewAction(fmt.Sprintf("recompute(%d)", j), program.Convergence,
+			reads, []program.VarID{d[j], par[j]},
+			func(st *program.State) bool { return !ok(st) },
+			func(st *program.State) {
+				m, arg := minNbr(st)
+				dj := m + 1
+				if dj > maxD {
+					dj = maxD
+				}
+				st.Set(d[j], dj)
+				st.Set(par[j], int32(arg))
+			}))
+	}
+
+	// --- layer 1: the wave over the current pointers.
+	// parentOf returns the node j's pointer currently selects.
+	parentOf := func(st *program.State, j int) int {
+		if j == 0 {
+			return 0
+		}
+		return g.Adj[j][st.Get(par[j])]
+	}
+	// Root wave actions.
+	p.Add(program.NewAction("initiate(0)", program.Closure,
+		[]program.VarID{c[0], sn[0]}, []program.VarID{c[0], sn[0]},
+		func(st *program.State) bool { return st.Get(c[0]) == Green },
+		func(st *program.State) {
+			st.Set(c[0], Red)
+			st.SetBool(sn[0], !st.Bool(sn[0]))
+		}))
+	for j := 0; j < n; j++ {
+		j := j
+		nbrs := g.Adj[j]
+		// Wave copy for non-root: fires when the (dynamic) parent's wave
+		// state demands it; reads every neighbor (the pointer may select
+		// any of them) plus p.j.
+		if j != 0 {
+			reads := []program.VarID{c[j], sn[j], par[j]}
+			for _, k := range nbrs {
+				reads = append(reads, c[k], sn[k])
+			}
+			p.Add(program.NewAction(fmt.Sprintf("copy(%d)", j), program.Closure,
+				reads, []program.VarID{c[j], sn[j]},
+				func(st *program.State) bool {
+					pj := parentOf(st, j)
+					if st.Bool(sn[j]) != st.Bool(sn[pj]) {
+						return true
+					}
+					return st.Get(c[j]) == Red && st.Get(c[pj]) == Green
+				},
+				func(st *program.State) {
+					pj := parentOf(st, j)
+					st.Set(c[j], st.Get(c[pj]))
+					st.SetBool(sn[j], st.Bool(sn[pj]))
+				}))
+		}
+		// Reflect: all nodes whose pointer selects j must be green with
+		// matching session; reads all neighbors' wave AND pointer state.
+		reads := []program.VarID{c[j], sn[j]}
+		for _, k := range nbrs {
+			reads = append(reads, c[k], sn[k])
+			if k != 0 {
+				reads = append(reads, par[k])
+			}
+		}
+		reads = program.SortVarIDs(reads)
+		p.Add(program.NewAction(fmt.Sprintf("reflect(%d)", j), program.Closure,
+			reads, []program.VarID{c[j]},
+			func(st *program.State) bool {
+				if st.Get(c[j]) != Red {
+					return false
+				}
+				for _, k := range nbrs {
+					if k == 0 {
+						continue // the root never points at a child
+					}
+					if parentOf(st, k) != j {
+						continue
+					}
+					if st.Get(c[k]) != Green || st.Bool(sn[k]) != st.Bool(sn[j]) {
+						return false
+					}
+				}
+				return true
+			},
+			func(st *program.State) { st.Set(c[j], Green) }))
+	}
+	inst.P = p
+
+	inst.TreeOK = program.And("tree correct", treeLocal...)
+	waveOK := program.NewPredicate("wave consistent", allVars(s),
+		func(st *program.State) bool {
+			for j := 1; j < n; j++ {
+				pj := parentOf(st, j)
+				if st.Get(c[j]) == st.Get(c[pj]) && st.Bool(sn[j]) == st.Bool(sn[pj]) {
+					continue
+				}
+				if st.Get(c[j]) == Green && st.Get(c[pj]) == Red {
+					continue
+				}
+				return false
+			}
+			return true
+		})
+	inst.S = program.And("S(composed)", inst.TreeOK, waveOK)
+	return inst, nil
+}
+
+func allVars(s *program.Schema) []program.VarID {
+	out := make([]program.VarID, s.Len())
+	for i := range out {
+		out[i] = program.VarID(i)
+	}
+	return out
+}
+
+// Correct returns a legitimate state: the BFS tree with all-green wave.
+func (inst *Instance) Correct() *program.State {
+	st := inst.P.Schema.NewState()
+	dist := inst.Graph.BFSDistances()
+	for j := 0; j < inst.Graph.N(); j++ {
+		st.Set(inst.D[j], int32(dist[j]))
+		if j > 0 {
+			for i, k := range inst.Graph.Adj[j] {
+				if dist[k] == dist[j]-1 {
+					st.Set(inst.Par[j], int32(i))
+					break
+				}
+			}
+		}
+		st.Set(inst.C[j], Green)
+		st.SetBool(inst.Sn[j], false)
+	}
+	return st
+}

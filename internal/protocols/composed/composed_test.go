@@ -1,0 +1,188 @@
+package composed
+
+import (
+	"math/rand"
+	"testing"
+
+	"nonmask/internal/daemon"
+	"nonmask/internal/program"
+	"nonmask/internal/protocols/spanningtree"
+	"nonmask/internal/sim"
+	"nonmask/internal/verify"
+)
+
+func mustNew(t *testing.T, g spanningtree.Graph) *Instance {
+	t.Helper()
+	inst, err := New(g)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return inst
+}
+
+func mustSpace(t *testing.T, inst *Instance) *verify.Space {
+	t.Helper()
+	sp, err := verify.NewSpace(inst.P, inst.S, program.True(), verify.Options{})
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	return sp
+}
+
+func TestCorrectStateSatisfiesS(t *testing.T) {
+	for _, g := range []spanningtree.Graph{
+		spanningtree.Line(3), spanningtree.Ring(4), spanningtree.Complete(3),
+	} {
+		inst := mustNew(t, g)
+		st := inst.Correct()
+		if !inst.TreeOK.Holds(st) {
+			t.Errorf("Correct() violates TreeOK: %s", st)
+		}
+		if !inst.S.Holds(st) {
+			t.Errorf("Correct() violates S: %s", st)
+		}
+	}
+}
+
+func TestSIsClosed(t *testing.T) {
+	inst := mustNew(t, spanningtree.Line(3))
+	sp := mustSpace(t, inst)
+	if v := sp.CheckClosed(inst.S, nil); v != nil {
+		t.Errorf("S not closed: %v", v)
+	}
+	if v := sp.CheckClosed(inst.TreeOK, nil); v != nil {
+		t.Errorf("TreeOK not closed: %v", v)
+	}
+}
+
+// TestFairnessRequired is the composition's headline: unlike the paper's
+// single-layer designs (Section 8: fairness unnecessary), the wave over a
+// dynamic tree converges ONLY under the weakly fair daemon. The checker
+// exhibits an unfair livelock — the root's wave cycling while a detached
+// corrupted region never repairs — and proves fair convergence.
+func TestFairnessRequired(t *testing.T) {
+	inst := mustNew(t, spanningtree.Line(3))
+	sp := mustSpace(t, inst)
+
+	unfair := sp.CheckConvergence()
+	if unfair.Converges {
+		t.Fatal("composed protocol converges under the arbitrary daemon; expected a wave-spin livelock")
+	}
+	if len(unfair.Cycle) == 0 {
+		t.Fatalf("no livelock witness: %s", unfair.Summary())
+	}
+	// The witness cycle must keep the tree variables fixed (only wave
+	// actions spin) and the tree broken.
+	first := unfair.Cycle[0]
+	for _, st := range unfair.Cycle {
+		if inst.TreeOK.Holds(st) {
+			t.Errorf("livelock state has a correct tree: %s", st)
+		}
+		for _, dv := range inst.D {
+			if st.Get(dv) != first.Get(dv) {
+				t.Errorf("tree variables change along the wave livelock")
+			}
+		}
+	}
+
+	fair := sp.CheckFairConvergence()
+	if !fair.Converges {
+		t.Fatalf("composed protocol does not converge under the fair daemon: %s", fair.Summary())
+	}
+}
+
+// TestStairVerifies checks the Gouda–Multari stair the paper's Section 7
+// describes: true -> tree-correct -> S, each stage closed and (fairly)
+// convergent.
+func TestStairVerifies(t *testing.T) {
+	inst := mustNew(t, spanningtree.Line(3))
+	sp := mustSpace(t, inst)
+	res := sp.CheckStair([]*program.Predicate{inst.TreeOK}, true)
+	if !res.OK {
+		for _, s := range res.Steps {
+			t.Logf("step %s -> %s: closed=%v conv=%v %s", s.From, s.To, s.Closed, s.Converges, s.Detail)
+		}
+		t.Fatal("stair rejected")
+	}
+	if len(res.Steps) != 2 {
+		t.Fatalf("steps = %d, want 2", len(res.Steps))
+	}
+}
+
+// TestStairSecondStageUnfair: once the tree is correct (the stair's second
+// stage), the wave converges even unfairly — recovering the paper's
+// fixed-tree result within the composition.
+func TestStairSecondStageUnfair(t *testing.T) {
+	inst := mustNew(t, spanningtree.Line(3))
+	sp, err := verify.NewSpace(inst.P, inst.S, inst.TreeOK, verify.Options{})
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	res := sp.CheckConvergence()
+	if !res.Converges {
+		t.Fatalf("wave over the stabilized tree does not converge unfairly: %s", res.Summary())
+	}
+}
+
+// TestConvergesAtScale runs the composition on graphs beyond enumeration
+// under a fair daemon.
+func TestConvergesAtScale(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    spanningtree.Graph
+	}{
+		{"grid4x4", spanningtree.Grid(4, 4)},
+		{"ring16", spanningtree.Ring(16)},
+		{"complete8", spanningtree.Complete(8)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			inst := mustNew(t, tc.g)
+			r := &sim.Runner{
+				P: inst.P, S: inst.S,
+				D:        daemon.NewRoundRobin(inst.P),
+				MaxSteps: 500_000,
+				StopAtS:  true,
+			}
+			rng := rand.New(rand.NewSource(5))
+			batch := r.RunMany(25, rng, sim.RandomStates(inst.P.Schema))
+			if batch.ConvergenceRate() != 1 {
+				t.Fatalf("convergence rate = %.2f", batch.ConvergenceRate())
+			}
+		})
+	}
+}
+
+// TestWaveKeepsRunningInS: after stabilization the wave must keep cycling
+// (liveness of the service), staying within S.
+func TestWaveKeepsRunningInS(t *testing.T) {
+	inst := mustNew(t, spanningtree.Grid(3, 3))
+	left := 0
+	r := &sim.Runner{
+		P: inst.P, S: inst.S,
+		D:        daemon.NewRoundRobin(inst.P),
+		MaxSteps: 5000,
+		OnStep: func(_ int, st *program.State, _ *program.Action) {
+			if !inst.S.Holds(st) {
+				left++
+			}
+		},
+	}
+	res := r.Run(inst.Correct(), nil)
+	if left != 0 {
+		t.Errorf("left S %d times from a correct start", left)
+	}
+	if res.Deadlocked {
+		t.Error("wave deadlocked")
+	}
+	if res.TotalSteps != 5000 {
+		t.Errorf("wave stopped after %d steps", res.TotalSteps)
+	}
+}
+
+func TestFootprintsHonest(t *testing.T) {
+	inst := mustNew(t, spanningtree.Ring(5))
+	rng := rand.New(rand.NewSource(6))
+	if err := inst.P.Audit(rng, 120); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,299 @@
+package diffusing
+
+import (
+	"fmt"
+
+	"nonmask/internal/core"
+	"nonmask/internal/program"
+)
+
+// Color values for the c variables.
+const (
+	Green int32 = 0
+	Red   int32 = 1
+)
+
+// Instance is a diffusing-computation design on one tree.
+type Instance struct {
+	Tree   Tree
+	Design *core.Design
+	// C and Sn hold the per-node color and session-number variable IDs.
+	C, Sn []program.VarID
+	// Groups lists each node's variables, for per-node fault injection.
+	Groups [][]program.VarID
+	// Combined is the paper's final printed program, in which the
+	// propagation closure action and the convergence action are merged
+	// into "sn.j != sn.(P.j) or (c.j = red and c.(P.j) = green) ->
+	// c.j, sn.j := c.(P.j), sn.(P.j)". It has the same reachable behaviour
+	// as Design.TolerantProgram().
+	Combined *program.Program
+}
+
+// EstablishVariant selects among the paper's establishing statements for
+// R.j (Section 5.1: "there are several statements that establish R.j").
+type EstablishVariant int
+
+// The two statements the paper discusses.
+const (
+	// CopyParent is "c.j, sn.j := c.(P.j), sn.(P.j)" — the paper's
+	// preference, "since it is identical to the statement of the
+	// propagation closure action".
+	CopyParent EstablishVariant = iota + 1
+	// ConditionalGreen is "if c.(P.j) = red then c.j := green else
+	// c.j, sn.j := green, sn.(P.j)".
+	ConditionalGreen
+)
+
+// String names the variant.
+func (v EstablishVariant) String() string {
+	if v == ConditionalGreen {
+		return "conditional-green"
+	}
+	return "copy-parent"
+}
+
+// New builds the Section 5.1 design for the given tree with the paper's
+// preferred (CopyParent) establishing statement.
+func New(t Tree) (*Instance, error) { return NewVariant(t, CopyParent) }
+
+// NewVariant builds the design with the chosen establishing statement.
+func NewVariant(t Tree, variant EstablishVariant) (*Instance, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	n := t.N()
+	root := t.Root()
+	children := t.Children()
+
+	b := core.NewDesign(fmt.Sprintf("diffusing(n=%d)", n))
+	s := b.Schema()
+	colors := program.Enum("green", "red")
+	c := make([]program.VarID, n)
+	sn := make([]program.VarID, n)
+	groups := make([][]program.VarID, n)
+	for j := 0; j < n; j++ {
+		c[j] = s.MustDeclare(fmt.Sprintf("c[%d]", j), colors)
+		sn[j] = s.MustDeclare(fmt.Sprintf("sn[%d]", j), program.Bool())
+		groups[j] = []program.VarID{c[j], sn[j]}
+	}
+
+	inst := &Instance{Tree: t, C: c, Sn: sn, Groups: groups}
+
+	// Closure action 1 — initiate at the root:
+	//   c.j = green and P.j = j -> c.j, sn.j := red, not sn.j
+	cRoot, snRoot := c[root], sn[root]
+	initiate := program.NewAction("initiate(root)", program.Closure,
+		[]program.VarID{cRoot, snRoot}, []program.VarID{cRoot, snRoot},
+		func(st *program.State) bool { return st.Get(cRoot) == Green },
+		func(st *program.State) {
+			st.Set(cRoot, Red)
+			st.SetBool(snRoot, !st.Bool(snRoot))
+		})
+	b.Closure(initiate)
+
+	// Per non-root node j: the propagation closure action, the reflection
+	// closure action, the constraint R.j, and its convergence action.
+	for j := 0; j < n; j++ {
+		j := j
+		pj := t.Parent[j]
+		cj, snj := c[j], sn[j]
+		cp, snp := c[pj], sn[pj]
+
+		if j != root {
+			// Closure action 2 — propagate the wave from P.j to j:
+			//   c.j = green and c.(P.j) = red and sn.j != sn.(P.j)
+			//     -> c.j, sn.j := c.(P.j), sn.(P.j)
+			propagate := program.NewAction(fmt.Sprintf("propagate(%d)", j), program.Closure,
+				[]program.VarID{cj, snj, cp, snp}, []program.VarID{cj, snj},
+				func(st *program.State) bool {
+					return st.Get(cj) == Green && st.Get(cp) == Red &&
+						st.Bool(snj) != st.Bool(snp)
+				},
+				func(st *program.State) {
+					st.Set(cj, st.Get(cp))
+					st.SetBool(snj, st.Bool(snp))
+				})
+			b.Closure(propagate)
+		}
+
+		// Closure action 3 — reflect the wave at j once every child has
+		// completed:
+		//   c.j = red and (forall k : P.k = j : c.k = green and
+		//   sn.j == sn.k) -> c.j := green
+		kids := children[j]
+		reads := []program.VarID{cj, snj}
+		for _, k := range kids {
+			reads = append(reads, c[k], sn[k])
+		}
+		reflect := program.NewAction(fmt.Sprintf("reflect(%d)", j), program.Closure,
+			reads, []program.VarID{cj},
+			func(st *program.State) bool {
+				if st.Get(cj) != Red {
+					return false
+				}
+				for _, k := range kids {
+					if st.Get(c[k]) != Green || st.Bool(sn[k]) != st.Bool(snj) {
+						return false
+					}
+				}
+				return true
+			},
+			func(st *program.State) { st.Set(cj, Green) })
+		b.Closure(reflect)
+
+		if j != root {
+			// Constraint R.j:
+			//   (c.j = c.(P.j) and sn.j == sn.(P.j)) or
+			//   (c.j = green and c.(P.j) = red)
+			rj := program.NewPredicate(fmt.Sprintf("R[%d]", j),
+				[]program.VarID{cj, snj, cp, snp},
+				func(st *program.State) bool {
+					if st.Get(cj) == st.Get(cp) && st.Bool(snj) == st.Bool(snp) {
+						return true
+					}
+					return st.Get(cj) == Green && st.Get(cp) == Red
+				})
+			// Convergence action: not R.j -> "establish R.j" with the
+			// chosen statement.
+			body := func(st *program.State) {
+				st.Set(cj, st.Get(cp))
+				st.SetBool(snj, st.Bool(snp))
+			}
+			if variant == ConditionalGreen {
+				body = func(st *program.State) {
+					if st.Get(cp) == Red {
+						st.Set(cj, Green)
+						return
+					}
+					st.Set(cj, Green)
+					st.SetBool(snj, st.Bool(snp))
+				}
+			}
+			establish := program.NewAction(fmt.Sprintf("establish-R(%d)", j), program.Convergence,
+				[]program.VarID{cj, snj, cp, snp}, []program.VarID{cj, snj},
+				func(st *program.State) bool { return !rj.Eval(st) },
+				body)
+			b.Constraint(0, rj, establish)
+		}
+	}
+
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	inst.Design = d
+	inst.Combined = buildCombined(d, inst, root, children)
+	return inst, nil
+}
+
+// buildCombined assembles the paper's printed program: initiate, the merged
+// propagate/convergence action, and reflect.
+func buildCombined(d *core.Design, inst *Instance, root int, children [][]int) *program.Program {
+	p := program.New(d.Name+"/combined", d.Schema)
+	t := inst.Tree
+	for _, a := range d.Closure {
+		// Keep initiate and reflect; drop the separate propagate actions.
+		if len(a.Name) >= 9 && a.Name[:9] == "propagate" {
+			continue
+		}
+		p.Add(a)
+	}
+	for j := 0; j < t.N(); j++ {
+		if j == root {
+			continue
+		}
+		j := j
+		pj := t.Parent[j]
+		cj, snj := inst.C[j], inst.Sn[j]
+		cp, snp := inst.C[pj], inst.Sn[pj]
+		// sn.j != sn.(P.j) or (c.j = red and c.(P.j) = green)
+		//   -> c.j, sn.j := c.(P.j), sn.(P.j)
+		merged := program.NewAction(fmt.Sprintf("copy-parent(%d)", j), program.Closure,
+			[]program.VarID{cj, snj, cp, snp}, []program.VarID{cj, snj},
+			func(st *program.State) bool {
+				if st.Bool(snj) != st.Bool(snp) {
+					return true
+				}
+				return st.Get(cj) == Red && st.Get(cp) == Green
+			},
+			func(st *program.State) {
+				st.Set(cj, st.Get(cp))
+				st.SetBool(snj, st.Bool(snp))
+			})
+		p.Add(merged)
+	}
+	return p
+}
+
+// AllGreen returns the paper's initial state: every node green with equal
+// session numbers.
+func (inst *Instance) AllGreen() *program.State {
+	st := inst.Design.Schema.NewState()
+	for j := range inst.C {
+		st.Set(inst.C[j], Green)
+		st.SetBool(inst.Sn[j], false)
+	}
+	return st
+}
+
+// WaveObserver watches a run of the diffusing computation and counts
+// completed wave cycles: a cycle completes when the tree returns to
+// all-green after the root had been red. Note that the wave need not color
+// the whole tree red simultaneously — leaves reflect to green as soon as
+// they are red — so participation is tracked per node per cycle. Attach
+// Observe to a sim.Runner's OnStep via a closure over the observer.
+type WaveObserver struct {
+	inst   *Instance
+	root   int
+	wasRed bool
+	// Cycles counts completed root-red -> all-green wave cycles.
+	Cycles int
+	// FullCycles counts cycles in which every node was red at some point —
+	// the "diffusing computation completely spans the system" property.
+	FullCycles int
+	// RedMax is the maximum number of simultaneously red nodes seen.
+	RedMax  int
+	seenRed []bool
+}
+
+// NewWaveObserver returns an observer for the instance.
+func NewWaveObserver(inst *Instance) *WaveObserver {
+	return &WaveObserver{
+		inst:    inst,
+		root:    inst.Tree.Root(),
+		seenRed: make([]bool, inst.Tree.N()),
+	}
+}
+
+// Observe processes one post-step state.
+func (w *WaveObserver) Observe(st *program.State) {
+	red := 0
+	for j, cv := range w.inst.C {
+		if st.Get(cv) == Red {
+			red++
+			w.seenRed[j] = true
+		}
+	}
+	if red > w.RedMax {
+		w.RedMax = red
+	}
+	rootRed := st.Get(w.inst.C[w.root]) == Red
+	if w.wasRed && !rootRed && red == 0 {
+		w.Cycles++
+		full := true
+		for j := range w.seenRed {
+			if !w.seenRed[j] {
+				full = false
+			}
+			w.seenRed[j] = false
+		}
+		if full {
+			w.FullCycles++
+		}
+	}
+	if rootRed {
+		w.wasRed = true
+	} else if red == 0 {
+		w.wasRed = false
+	}
+}

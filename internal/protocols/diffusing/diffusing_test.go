@@ -1,0 +1,363 @@
+package diffusing
+
+import (
+	"math/rand"
+	"testing"
+
+	"nonmask/internal/ctheory"
+	"nonmask/internal/daemon"
+	"nonmask/internal/fault"
+	"nonmask/internal/program"
+	"nonmask/internal/sim"
+	"nonmask/internal/verify"
+)
+
+func TestTreeConstructors(t *testing.T) {
+	tests := []struct {
+		name  string
+		tree  Tree
+		n     int
+		depth int
+	}{
+		{"chain", Chain(5), 5, 4},
+		{"star", Star(5), 5, 1},
+		{"binary", Binary(7), 7, 2},
+		{"single", Chain(1), 1, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.tree.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if tt.tree.N() != tt.n {
+				t.Errorf("N = %d, want %d", tt.tree.N(), tt.n)
+			}
+			if tt.tree.Root() != 0 {
+				t.Errorf("Root = %d, want 0", tt.tree.Root())
+			}
+			if d := tt.tree.Depth(); d != tt.depth {
+				t.Errorf("Depth = %d, want %d", d, tt.depth)
+			}
+		})
+	}
+}
+
+func TestTreeValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		tree Tree
+	}{
+		{"empty", Tree{}},
+		{"no root", Tree{Parent: []int{1, 0}}},
+		{"two roots", Tree{Parent: []int{0, 1}}},
+		{"out of range", Tree{Parent: []int{0, 5}}},
+		{"cycle", Tree{Parent: []int{0, 2, 1}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.tree.Validate(); err == nil {
+				t.Error("invalid tree passed Validate")
+			}
+		})
+	}
+}
+
+func TestRandomTreeValid(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		tr := Random(30, seed)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestTreeChildren(t *testing.T) {
+	tr := Binary(7)
+	kids := tr.Children()
+	if len(kids[0]) != 2 || kids[0][0] != 1 || kids[0][1] != 2 {
+		t.Errorf("children of root = %v", kids[0])
+	}
+	if len(kids[3]) != 0 {
+		t.Errorf("leaf has children %v", kids[3])
+	}
+}
+
+// TestTheorem1Validates reproduces the Section 5.1 claim: the constraint
+// graph is an out-tree (mirroring the process tree) and Theorem 1 applies,
+// so the program is stabilizing fault-tolerant.
+func TestTheorem1Validates(t *testing.T) {
+	trees := map[string]Tree{
+		"chain4":  Chain(4),
+		"star5":   Star(5),
+		"binary7": Binary(7),
+		"random6": Random(6, 3),
+	}
+	for name, tr := range trees {
+		t.Run(name, func(t *testing.T) {
+			inst, err := New(tr)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			r, _, err := inst.Design.Validate(verify.Projected, verify.Options{})
+			if err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if r == nil || r.Theorem != ctheory.Theorem1 {
+				t.Fatalf("validated by %v, want Theorem 1", r)
+			}
+			// The constraint graph's root holds the tree root's variables.
+			root, ok := r.Graph.IsOutTree()
+			if !ok {
+				t.Fatal("constraint graph not an out-tree")
+			}
+			if lbl := r.Graph.NodeLabel(inst.Design.Schema, root); lbl != "{c[0], sn[0]}" {
+				t.Errorf("graph root = %s, want {c[0], sn[0]}", lbl)
+			}
+		})
+	}
+}
+
+// TestStabilizing model-checks the headline claim exactly on small trees:
+// from EVERY state (T = true), the program converges to S — even under the
+// arbitrary (unfair) daemon, confirming the Section 8 fairness remark.
+func TestStabilizing(t *testing.T) {
+	trees := map[string]Tree{
+		"chain3":  Chain(3),
+		"chain5":  Chain(5),
+		"star5":   Star(5),
+		"binary7": Binary(7),
+		"random7": Random(7, 11),
+	}
+	for name, tr := range trees {
+		t.Run(name, func(t *testing.T) {
+			inst, err := New(tr)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			res, err := inst.Design.Verify(verify.Options{})
+			if err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+			if res.Closure != nil {
+				t.Fatalf("closure violated: %v", res.Closure)
+			}
+			if !res.Unfair.Converges {
+				t.Fatalf("not stabilizing under arbitrary daemon: %s", res.Unfair.Summary())
+			}
+			if res.Classification != verify.Nonmasking {
+				t.Errorf("classification = %v", res.Classification)
+			}
+			t.Logf("%s: worst %d steps, mean %.2f, |¬S| = %d",
+				name, res.Unfair.WorstSteps, res.Unfair.MeanSteps, res.Unfair.StatesOutsideS)
+		})
+	}
+}
+
+// TestCombinedProgramStabilizes checks the paper's printed program (merged
+// propagation/convergence action) against the same invariant.
+func TestCombinedProgramStabilizes(t *testing.T) {
+	inst, err := New(Binary(7))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sp, err := verify.NewSpace(inst.Combined, inst.Design.S, program.True(), verify.Options{})
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	if v := sp.CheckClosed(inst.Design.S, nil); v != nil {
+		t.Fatalf("combined program: S not closed: %v", v)
+	}
+	res := sp.CheckConvergence()
+	if !res.Converges {
+		t.Fatalf("combined program not stabilizing: %s", res.Summary())
+	}
+}
+
+// TestCombinedEquivalentToDesign verifies the paper's combination claim:
+// merged and separate forms have identical transition relations on every
+// state (the merged action's guard is the union of the two originals and
+// the bodies coincide).
+func TestCombinedEquivalentToDesign(t *testing.T) {
+	inst, err := New(Binary(5))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	full := inst.Design.TolerantProgram()
+	schema := inst.Design.Schema
+	count, _ := schema.StateCount()
+	for i := int64(0); i < count; i++ {
+		st := schema.StateAt(i)
+		succA := successorSet(full, st, schema)
+		succB := successorSet(inst.Combined, st, schema)
+		if !sameSet(succA, succB) {
+			t.Fatalf("transition relations differ at %s: %v vs %v", st, succA, succB)
+		}
+	}
+}
+
+func successorSet(p *program.Program, st *program.State, schema *program.Schema) map[int64]bool {
+	out := map[int64]bool{}
+	for _, a := range p.Actions {
+		if a.Guard(st) {
+			out[schema.Index(a.Apply(st))] = true
+		}
+	}
+	return out
+}
+
+func sameSet(a, b map[int64]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWavePropagates reproduces the fault-free specification: starting all
+// green, the wave turns the tree red from root to leaves and reflects back
+// to green, repeatedly.
+func TestWavePropagates(t *testing.T) {
+	inst, err := New(Binary(15))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	obs := NewWaveObserver(inst)
+	r := &sim.Runner{
+		P:        inst.Design.TolerantProgram(),
+		S:        inst.Design.S,
+		D:        daemon.NewRoundRobin(inst.Design.TolerantProgram()),
+		MaxSteps: 2000,
+		OnStep:   func(_ int, st *program.State, _ *program.Action) { obs.Observe(st) },
+	}
+	res := r.Run(inst.AllGreen(), nil)
+	if res.Deadlocked {
+		t.Fatalf("wave deadlocked: %s", res)
+	}
+	if obs.Cycles < 2 {
+		t.Errorf("observed %d wave cycles in 2000 steps, want >= 2", obs.Cycles)
+	}
+	// Every completed cycle must span the whole tree: each node turned red
+	// at some point ("having completely spanned the system, the computation
+	// then collapses back").
+	if obs.FullCycles != obs.Cycles {
+		t.Errorf("only %d of %d cycles spanned all nodes", obs.FullCycles, obs.Cycles)
+	}
+	if obs.RedMax < 1 {
+		t.Error("wave never colored any node red")
+	}
+	// In the fault-free run no convergence action may fire (closure: the
+	// constraints hold throughout).
+	if res.ActionCounts[program.Convergence] != 0 {
+		t.Errorf("%d convergence actions fired on the fault-free run",
+			res.ActionCounts[program.Convergence])
+	}
+}
+
+// TestConvergenceAfterCorruption is the fault model of Section 5.1:
+// arbitrarily corrupt the state of any number of nodes, then check every
+// run converges and stays in S.
+func TestConvergenceAfterCorruption(t *testing.T) {
+	inst, err := New(Random(31, 7))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	p := inst.Design.TolerantProgram()
+	r := &sim.Runner{
+		P: p, S: inst.Design.S,
+		D:        daemon.NewRandom(99),
+		MaxSteps: 100_000,
+		StopAtS:  true,
+	}
+	rng := rand.New(rand.NewSource(5))
+	batch := r.RunMany(100, rng, sim.RandomStates(inst.Design.Schema))
+	if batch.ConvergenceRate() != 1 {
+		t.Fatalf("convergence rate %.2f, want 1.0", batch.ConvergenceRate())
+	}
+
+	// Corrupting k nodes of a legitimate state must also recover.
+	inj := &fault.CorruptGroups{Groups: inst.Groups, K: 5}
+	batch = r.RunMany(100, rng, sim.CorruptedStates(inst.AllGreen(), inj))
+	if batch.ConvergenceRate() != 1 {
+		t.Fatalf("post-corruption convergence rate %.2f, want 1.0", batch.ConvergenceRate())
+	}
+}
+
+// TestConvergenceUnderAdversarialDaemon exercises the unfair
+// violation-maximizing daemon at a size beyond the model checker.
+func TestConvergenceUnderAdversarialDaemon(t *testing.T) {
+	inst, err := New(Binary(63))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var preds []*program.Predicate
+	for _, c := range inst.Design.Set.Constraints {
+		preds = append(preds, c.Pred)
+	}
+	r := &sim.Runner{
+		P: inst.Design.TolerantProgram(), S: inst.Design.S,
+		D:        daemon.NewAdversarial("max-violations", daemon.ViolationMetric(preds)),
+		MaxSteps: 200_000,
+		StopAtS:  true,
+	}
+	rng := rand.New(rand.NewSource(17))
+	batch := r.RunMany(20, rng, sim.RandomStates(inst.Design.Schema))
+	if batch.ConvergenceRate() != 1 {
+		t.Fatalf("adversarial convergence rate %.2f, want 1.0", batch.ConvergenceRate())
+	}
+}
+
+// TestFootprintsHonest audits all declared read/write sets, on which the
+// projected theorem checking relies.
+func TestFootprintsHonest(t *testing.T) {
+	inst, err := New(Random(9, 2))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	if err := inst.Design.TolerantProgram().Audit(rng, 100); err != nil {
+		t.Error(err)
+	}
+	if err := inst.Combined.Audit(rng, 100); err != nil {
+		t.Error(err)
+	}
+	for _, c := range inst.Design.Set.Constraints {
+		if err := program.AuditPredicate(inst.Design.Schema, c.Pred, rng, 100); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestWorstStepsGrowWithDepth sanity-checks the convergence-cost trend the
+// benchmarks measure: deeper trees take more worst-case steps.
+func TestWorstStepsGrowWithDepth(t *testing.T) {
+	worst := func(tr Tree) int {
+		inst, err := New(tr)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		sp, err := inst.Design.Space(verify.Options{})
+		if err != nil {
+			t.Fatalf("Space: %v", err)
+		}
+		res := sp.CheckConvergence()
+		if !res.Converges {
+			t.Fatalf("not convergent")
+		}
+		return res.WorstSteps
+	}
+	shallow := worst(Star(6)) // depth 1
+	deep := worst(Chain(6))   // depth 5
+	if deep <= shallow {
+		t.Errorf("worst steps: chain %d <= star %d; expected depth to dominate", deep, shallow)
+	}
+}
+
+func TestNewRejectsInvalidTree(t *testing.T) {
+	if _, err := New(Tree{Parent: []int{1, 0}}); err == nil {
+		t.Error("New accepted an invalid tree")
+	}
+}

@@ -1,0 +1,134 @@
+// Package diffusing implements the paper's Section 5.1 worked design: a
+// stabilizing diffusing computation on a finite rooted tree.
+//
+// Starting from a state where all nodes are green, the root initiates a
+// diffusing computation; a red wave propagates to the leaves, is reflected
+// back as a green wave, and the cycle repeats. The program tolerates faults
+// that arbitrarily corrupt the state of any number of nodes: its fault-span
+// is true and Theorem 1 (out-tree constraint graph) validates convergence.
+package diffusing
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Tree is a finite rooted tree given by a parent vector: Parent[j] is the
+// parent of node j, and the root r is the unique node with Parent[r] == r
+// (the paper's convention "if j is the root then P.j is j").
+type Tree struct {
+	Parent []int
+}
+
+// N returns the number of nodes.
+func (t Tree) N() int { return len(t.Parent) }
+
+// Root returns the root node index. It panics on an invalid tree; call
+// Validate first for untrusted input.
+func (t Tree) Root() int {
+	for j, p := range t.Parent {
+		if p == j {
+			return j
+		}
+	}
+	panic("diffusing: tree has no root")
+}
+
+// Validate checks that the parent vector describes a rooted tree: exactly
+// one self-parented root, all parents in range, and no cycles.
+func (t Tree) Validate() error {
+	n := t.N()
+	if n == 0 {
+		return fmt.Errorf("diffusing: empty tree")
+	}
+	root := -1
+	for j, p := range t.Parent {
+		if p < 0 || p >= n {
+			return fmt.Errorf("diffusing: node %d has out-of-range parent %d", j, p)
+		}
+		if p == j {
+			if root >= 0 {
+				return fmt.Errorf("diffusing: nodes %d and %d are both self-parented", root, j)
+			}
+			root = j
+		}
+	}
+	if root < 0 {
+		return fmt.Errorf("diffusing: no root (no self-parented node)")
+	}
+	// Every node must reach the root by following parents.
+	for j := range t.Parent {
+		seen := 0
+		for v := j; v != root; v = t.Parent[v] {
+			seen++
+			if seen > n {
+				return fmt.Errorf("diffusing: parent cycle reachable from node %d", j)
+			}
+		}
+	}
+	return nil
+}
+
+// Children returns the children lists of every node.
+func (t Tree) Children() [][]int {
+	out := make([][]int, t.N())
+	root := t.Root()
+	for j, p := range t.Parent {
+		if j != root {
+			out[p] = append(out[p], j)
+		}
+	}
+	return out
+}
+
+// Depth returns the maximum distance from the root to any node.
+func (t Tree) Depth() int {
+	root := t.Root()
+	max := 0
+	for j := range t.Parent {
+		d := 0
+		for v := j; v != root; v = t.Parent[v] {
+			d++
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Chain returns the path tree 0 -> 1 -> ... -> n-1 rooted at 0.
+func Chain(n int) Tree {
+	parent := make([]int, n)
+	for j := 1; j < n; j++ {
+		parent[j] = j - 1
+	}
+	return Tree{Parent: parent}
+}
+
+// Star returns the tree with root 0 and n-1 leaves.
+func Star(n int) Tree {
+	parent := make([]int, n)
+	return Tree{Parent: parent}
+}
+
+// Binary returns the complete binary tree on n nodes rooted at 0 (node j's
+// parent is (j-1)/2).
+func Binary(n int) Tree {
+	parent := make([]int, n)
+	for j := 1; j < n; j++ {
+		parent[j] = (j - 1) / 2
+	}
+	return Tree{Parent: parent}
+}
+
+// Random returns a random recursive tree on n nodes rooted at 0: node j
+// attaches to a uniformly random earlier node.
+func Random(n int, seed int64) Tree {
+	rng := rand.New(rand.NewSource(seed))
+	parent := make([]int, n)
+	for j := 1; j < n; j++ {
+		parent[j] = rng.Intn(j)
+	}
+	return Tree{Parent: parent}
+}

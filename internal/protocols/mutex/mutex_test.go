@@ -1,0 +1,96 @@
+package mutex
+
+import (
+	"math/rand"
+	"testing"
+
+	"nonmask/internal/daemon"
+	"nonmask/internal/fault"
+	"nonmask/internal/program"
+)
+
+func TestNewRejectsBadParams(t *testing.T) {
+	if _, err := New(0, 3); err == nil {
+		t.Error("New(0,3) succeeded")
+	}
+}
+
+// TestMutualExclusionFaultFree: from the legitimate state, the service
+// never admits two nodes to the critical section, and every node gets in.
+func TestMutualExclusionFaultFree(t *testing.T) {
+	s, err := New(5, 7)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	stats := s.Measure(nil, nil, 600, nil, nil)
+	if !stats.MutualExclusionHolds() {
+		t.Fatalf("%d unsafe steps in a fault-free run", stats.UnsafeSteps)
+	}
+	for j, e := range stats.Entries {
+		if e == 0 {
+			t.Errorf("node %d never eligible for the critical section", j)
+		}
+	}
+	if stats.FirstSafe != 1 {
+		t.Errorf("FirstSafe = %d, want 1", stats.FirstSafe)
+	}
+}
+
+// TestNonmaskingWindow: corrupting the ring can violate mutual exclusion,
+// but only for a bounded prefix; the violation window closes and never
+// reopens.
+func TestNonmaskingWindow(t *testing.T) {
+	s, err := New(7, 9)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rng := rand.New(rand.NewSource(33))
+	sawViolation := false
+	for trial := 0; trial < 25; trial++ {
+		start := program.RandomState(s.Ring.P.Schema, rng)
+		stats := s.Measure(start, daemon.NewRandom(int64(trial)), 3000, nil, rng)
+		if stats.UnsafeSteps > 0 {
+			sawViolation = true
+		}
+		if stats.FirstSafe < 0 {
+			t.Fatalf("trial %d never stabilized (unsafe steps: %d)", trial, stats.UnsafeSteps)
+		}
+	}
+	if !sawViolation {
+		t.Error("no trial violated mutual exclusion; corruption too weak to exercise the window")
+	}
+}
+
+// TestMidRunFault: a fault injected mid-run reopens the window briefly;
+// the service re-stabilizes within the same run.
+func TestMidRunFault(t *testing.T) {
+	s, err := New(5, 7)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rng := rand.New(rand.NewSource(44))
+	faults := fault.Schedule{{Step: 500, Inj: &fault.CorruptGroups{Groups: s.Ring.Groups, K: 3}}}
+	stats := s.Measure(nil, daemon.NewRandom(5), 5000, faults, rng)
+	if stats.FirstSafe < 0 {
+		t.Fatalf("service never re-stabilized after mid-run fault")
+	}
+	if stats.FirstSafe < 500 {
+		t.Errorf("FirstSafe = %d, expected after the fault at step 500", stats.FirstSafe)
+	}
+}
+
+func TestMayEnterMatchesPrivilege(t *testing.T) {
+	s, err := New(3, 5)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st := s.Ring.AllZero() // node 0 privileged
+	if !s.MayEnter(st, 0) {
+		t.Error("node 0 cannot enter at all-zero")
+	}
+	for j := 1; j <= 3; j++ {
+		if s.MayEnter(st, j) {
+			t.Errorf("node %d can enter at all-zero", j)
+		}
+	}
+}

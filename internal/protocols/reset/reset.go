@@ -1,0 +1,193 @@
+// Package reset implements a nonmasking fault-tolerant distributed reset
+// on a rooted tree — the canonical application of diffusing computations
+// the paper cites in Section 5.1 ("applications of diffusing computations
+// include ... distributed reset") and the companion work [12] develops.
+//
+// Each node carries an application version v.j. A reset request at the root
+// starts a diffusing wave (the Section 5.1 program extended to carry the
+// new version): the red wave installs the root's fresh version down the
+// tree; the green reflection acknowledges completion. The design inherits
+// the diffusing computation's constraints, extended with version
+// consistency along the red wave front:
+//
+//	R'.j = R.j  and  (c.j = red => v.j = v.(P.j))
+//
+// Whose convergence action copies color, session and version from the
+// parent. The constraint graph is the same out-tree, so Theorem 1 validates
+// the whole design: the reset is stabilizing fault-tolerant.
+package reset
+
+import (
+	"fmt"
+
+	"nonmask/internal/core"
+	"nonmask/internal/program"
+	"nonmask/internal/protocols/diffusing"
+)
+
+// Versions is the size of the version-number space (versions are counted
+// modulo Versions).
+const Versions = 4
+
+// Instance is a distributed-reset design on one tree.
+type Instance struct {
+	Tree   diffusing.Tree
+	Design *core.Design
+	// C, Sn, V hold per-node color, session and version variables.
+	C, Sn, V []program.VarID
+	// Req is the root's pending-reset flag.
+	Req program.VarID
+	// Groups lists each node's variables for fault injection.
+	Groups [][]program.VarID
+}
+
+// New builds the reset design for the given tree.
+func New(t diffusing.Tree) (*Instance, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	n := t.N()
+	root := t.Root()
+	children := t.Children()
+
+	b := core.NewDesign(fmt.Sprintf("reset(n=%d)", n))
+	s := b.Schema()
+	colors := program.Enum("green", "red")
+	c := make([]program.VarID, n)
+	sn := make([]program.VarID, n)
+	v := make([]program.VarID, n)
+	groups := make([][]program.VarID, n)
+	for j := 0; j < n; j++ {
+		c[j] = s.MustDeclare(fmt.Sprintf("c[%d]", j), colors)
+		sn[j] = s.MustDeclare(fmt.Sprintf("sn[%d]", j), program.Bool())
+		v[j] = s.MustDeclare(fmt.Sprintf("v[%d]", j), program.IntRange(0, Versions-1))
+		groups[j] = []program.VarID{c[j], sn[j], v[j]}
+	}
+	req := s.MustDeclare("req", program.Bool())
+	groups[root] = append(groups[root], req)
+
+	inst := &Instance{Tree: t, C: c, Sn: sn, V: v, Req: req, Groups: groups}
+
+	// Initiate: a pending request starts a wave carrying a fresh version.
+	cR, snR, vR := c[root], sn[root], v[root]
+	initiate := program.NewAction("initiate(root)", program.Closure,
+		[]program.VarID{cR, snR, vR, req}, []program.VarID{cR, snR, vR, req},
+		func(st *program.State) bool { return st.Get(cR) == diffusing.Green && st.Bool(req) },
+		func(st *program.State) {
+			st.Set(cR, diffusing.Red)
+			st.SetBool(snR, !st.Bool(snR))
+			st.Set(vR, (st.Get(vR)+1)%Versions)
+			st.SetBool(req, false)
+		})
+	b.Closure(initiate)
+
+	for j := 0; j < n; j++ {
+		j := j
+		pj := t.Parent[j]
+		cj, snj, vj := c[j], sn[j], v[j]
+		cp, snp, vp := c[pj], sn[pj], v[pj]
+
+		if j != root {
+			// Propagate the wave and install the parent's version.
+			propagate := program.NewAction(fmt.Sprintf("propagate(%d)", j), program.Closure,
+				[]program.VarID{cj, snj, cp, snp, vp}, []program.VarID{cj, snj, vj},
+				func(st *program.State) bool {
+					return st.Get(cj) == diffusing.Green && st.Get(cp) == diffusing.Red &&
+						st.Bool(snj) != st.Bool(snp)
+				},
+				func(st *program.State) {
+					st.Set(cj, st.Get(cp))
+					st.SetBool(snj, st.Bool(snp))
+					st.Set(vj, st.Get(vp))
+				})
+			b.Closure(propagate)
+		}
+
+		// Reflect once every child has completed.
+		kids := children[j]
+		reads := []program.VarID{cj, snj}
+		for _, k := range kids {
+			reads = append(reads, c[k], sn[k])
+		}
+		reflect := program.NewAction(fmt.Sprintf("reflect(%d)", j), program.Closure,
+			reads, []program.VarID{cj},
+			func(st *program.State) bool {
+				if st.Get(cj) != diffusing.Red {
+					return false
+				}
+				for _, k := range kids {
+					if st.Get(c[k]) != diffusing.Green || st.Bool(sn[k]) != st.Bool(snj) {
+						return false
+					}
+				}
+				return true
+			},
+			func(st *program.State) { st.Set(cj, diffusing.Green) })
+		b.Closure(reflect)
+
+		if j != root {
+			// R'.j = R.j and (c.j = red => v.j = v.(P.j)).
+			rj := program.NewPredicate(fmt.Sprintf("R'[%d]", j),
+				[]program.VarID{cj, snj, vj, cp, snp, vp},
+				func(st *program.State) bool {
+					base := (st.Get(cj) == st.Get(cp) && st.Bool(snj) == st.Bool(snp)) ||
+						(st.Get(cj) == diffusing.Green && st.Get(cp) == diffusing.Red)
+					if !base {
+						return false
+					}
+					if st.Get(cj) == diffusing.Red && st.Get(vj) != st.Get(vp) {
+						return false
+					}
+					return true
+				})
+			establish := program.NewAction(fmt.Sprintf("establish-R(%d)", j), program.Convergence,
+				[]program.VarID{cj, snj, vj, cp, snp, vp}, []program.VarID{cj, snj, vj},
+				func(st *program.State) bool { return !rj.Eval(st) },
+				func(st *program.State) {
+					st.Set(cj, st.Get(cp))
+					st.SetBool(snj, st.Bool(snp))
+					st.Set(vj, st.Get(vp))
+				})
+			b.Constraint(0, rj, establish)
+		}
+	}
+
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	inst.Design = d
+	return inst, nil
+}
+
+// Quiet returns the quiescent legitimate state: all green, equal sessions,
+// equal versions, no pending request.
+func (inst *Instance) Quiet() *program.State {
+	st := inst.Design.Schema.NewState()
+	for j := range inst.C {
+		st.Set(inst.C[j], diffusing.Green)
+		st.SetBool(inst.Sn[j], false)
+		st.Set(inst.V[j], 0)
+	}
+	st.SetBool(inst.Req, false)
+	return st
+}
+
+// Request returns a copy of st with the reset request raised.
+func (inst *Instance) Request(st *program.State) *program.State {
+	next := st.Clone()
+	next.SetBool(inst.Req, true)
+	return next
+}
+
+// Completed reports whether a reset has fully installed: all nodes green
+// with the root's version, no wave in flight.
+func (inst *Instance) Completed(st *program.State) bool {
+	rootV := st.Get(inst.V[inst.Tree.Root()])
+	for j := range inst.C {
+		if st.Get(inst.C[j]) != diffusing.Green || st.Get(inst.V[j]) != rootV {
+			return false
+		}
+	}
+	return true
+}

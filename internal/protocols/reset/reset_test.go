@@ -1,0 +1,168 @@
+package reset
+
+import (
+	"math/rand"
+	"testing"
+
+	"nonmask/internal/ctheory"
+	"nonmask/internal/daemon"
+	"nonmask/internal/fault"
+	"nonmask/internal/program"
+	"nonmask/internal/protocols/diffusing"
+	"nonmask/internal/sim"
+	"nonmask/internal/verify"
+)
+
+func mustNew(t *testing.T, tr diffusing.Tree) *Instance {
+	t.Helper()
+	inst, err := New(tr)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return inst
+}
+
+// TestTheorem1Validates: the reset design's constraint graph is the same
+// out-tree as the diffusing computation's, so Theorem 1 applies.
+func TestTheorem1Validates(t *testing.T) {
+	inst := mustNew(t, diffusing.Binary(7))
+	r, _, err := inst.Design.Validate(verify.Projected, verify.Options{})
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if r == nil || r.Theorem != ctheory.Theorem1 {
+		t.Fatalf("validated by %v, want Theorem 1", r)
+	}
+}
+
+// TestStabilizes model-checks stabilization on small trees. The version
+// variables enlarge the space, so trees stay small.
+func TestStabilizes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tr   diffusing.Tree
+	}{
+		{"chain3", diffusing.Chain(3)},
+		{"star4", diffusing.Star(4)},
+		{"binary4", diffusing.Binary(4)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			inst := mustNew(t, tc.tr)
+			res, err := inst.Design.Verify(verify.Options{})
+			if err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+			if res.Closure != nil {
+				t.Fatalf("closure violated: %v", res.Closure)
+			}
+			if !res.Unfair.Converges {
+				t.Fatalf("not stabilizing: %s", res.Unfair.Summary())
+			}
+			t.Logf("%s: worst %d steps", tc.name, res.Unfair.WorstSteps)
+		})
+	}
+}
+
+// TestResetInstallsNewVersion is the service property: requesting a reset
+// from the quiescent state installs a fresh version at every node and
+// completes (root returns to green).
+func TestResetInstallsNewVersion(t *testing.T) {
+	inst := mustNew(t, diffusing.Binary(15))
+	p := inst.Design.TolerantProgram()
+	start := inst.Request(inst.Quiet())
+	oldV := int32(0)
+
+	r := &sim.Runner{
+		P: p, S: inst.Design.S,
+		D:        daemon.NewRoundRobin(p),
+		MaxSteps: 5000,
+	}
+	res := r.Run(start, nil)
+	final := res.Final
+	if !inst.Completed(final) {
+		t.Fatalf("reset did not complete: %s", final)
+	}
+	newV := final.Get(inst.V[0])
+	if newV == oldV {
+		t.Errorf("version not bumped: still %d", newV)
+	}
+	for j := range inst.V {
+		if got := final.Get(inst.V[j]); got != newV {
+			t.Errorf("node %d version = %d, want %d", j, got, newV)
+		}
+	}
+	// No convergence actions on a fault-free run.
+	if res.ActionCounts[program.Convergence] != 0 {
+		t.Errorf("%d convergence actions fired fault-free", res.ActionCounts[program.Convergence])
+	}
+}
+
+// TestRepeatedResets: each request installs a strictly newer version
+// (mod Versions).
+func TestRepeatedResets(t *testing.T) {
+	inst := mustNew(t, diffusing.Chain(6))
+	p := inst.Design.TolerantProgram()
+	st := inst.Quiet()
+	for round := 1; round <= 5; round++ {
+		r := &sim.Runner{P: p, S: inst.Design.S, D: daemon.NewRoundRobin(p), MaxSteps: 2000}
+		res := r.Run(inst.Request(st), nil)
+		if !inst.Completed(res.Final) {
+			t.Fatalf("round %d did not complete", round)
+		}
+		want := int32(round % Versions)
+		if got := res.Final.Get(inst.V[0]); got != want {
+			t.Fatalf("round %d version = %d, want %d", round, got, want)
+		}
+		st = res.Final
+	}
+}
+
+// TestRecoversFromCorruption: corrupt any number of nodes mid-flight; the
+// system reconverges and a subsequent reset still works end-to-end.
+func TestRecoversFromCorruption(t *testing.T) {
+	inst := mustNew(t, diffusing.Random(12, 5))
+	p := inst.Design.TolerantProgram()
+	rng := rand.New(rand.NewSource(9))
+	inj := &fault.CorruptGroups{Groups: inst.Groups, K: 6}
+
+	r := &sim.Runner{
+		P: p, S: inst.Design.S,
+		D:        daemon.NewRandom(31),
+		MaxSteps: 200_000,
+		StopAtS:  true,
+	}
+	batch := r.RunMany(50, rng, sim.CorruptedStates(inst.Request(inst.Quiet()), inj))
+	if batch.ConvergenceRate() != 1 {
+		t.Fatalf("convergence rate = %.2f", batch.ConvergenceRate())
+	}
+
+	// After recovery, a fresh request completes.
+	res := r.Run(sim.CorruptedStates(inst.Quiet(), inj)(0, rng), rng)
+	if !res.Converged {
+		t.Fatal("did not reconverge")
+	}
+	follow := &sim.Runner{P: p, S: inst.Design.S, D: daemon.NewRoundRobin(p), MaxSteps: 5000}
+	res2 := follow.Run(inst.Request(res.Final), nil)
+	if !inst.Completed(res2.Final) {
+		t.Error("post-recovery reset did not complete")
+	}
+}
+
+func TestFootprintsHonest(t *testing.T) {
+	inst := mustNew(t, diffusing.Binary(6))
+	rng := rand.New(rand.NewSource(12))
+	if err := inst.Design.TolerantProgram().Audit(rng, 100); err != nil {
+		t.Error(err)
+	}
+	for _, c := range inst.Design.Set.Constraints {
+		if err := program.AuditPredicate(inst.Design.Schema, c.Pred, rng, 100); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestNewRejectsInvalidTree(t *testing.T) {
+	if _, err := New(diffusing.Tree{Parent: []int{1, 0}}); err == nil {
+		t.Error("New accepted an invalid tree")
+	}
+}

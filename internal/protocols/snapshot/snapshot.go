@@ -1,0 +1,223 @@
+// Package snapshot implements a global-state snapshot service on the
+// diffusing computation — the first application the paper lists for
+// diffusing computations in Section 5.1 ("applications of diffusing
+// computations include, for example, global state snapshot...").
+//
+// Each node j holds an application value a.j that closure actions change
+// freely, and a recording slot rec.j. The Section 5.1 wave is extended so
+// that a node records its value the moment the red wave reaches it
+// (rec.j := a.j at propagation; the root records at initiation). When the
+// wave completes, {rec.j} is a snapshot: every value was recorded during
+// one wave session.
+//
+// The service is nonmasking: after state corruption the wave machinery
+// stabilizes (Theorem 1, inherited from the diffusing design), and every
+// snapshot taken by a wave initiated after stabilization is a true
+// cut — each rec.j equals the value a.j held at j's recording moment.
+// Because values change only by local increments, tests can certify a
+// snapshot's consistency: each recorded value must lie between the value
+// at wave start and the value at wave completion.
+package snapshot
+
+import (
+	"fmt"
+
+	"nonmask/internal/core"
+	"nonmask/internal/program"
+	"nonmask/internal/protocols/diffusing"
+)
+
+// ValueSpace is the application values' domain size (values are counted
+// modulo ValueSpace to keep the space finite and exhaustively checkable:
+// a node contributes 2 x 2 x ValueSpace^2 states).
+const ValueSpace = 4
+
+// Instance is a snapshot design on one tree.
+type Instance struct {
+	Tree   diffusing.Tree
+	Design *core.Design
+	// C, Sn are the wave variables; A the application values; Rec the
+	// recording slots.
+	C, Sn, A, Rec []program.VarID
+	// Groups lists each node's variables for fault injection.
+	Groups [][]program.VarID
+}
+
+// New builds the design for the given tree.
+func New(t diffusing.Tree) (*Instance, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	n := t.N()
+	root := t.Root()
+	children := t.Children()
+
+	b := core.NewDesign(fmt.Sprintf("snapshot(n=%d)", n))
+	s := b.Schema()
+	colors := program.Enum("green", "red")
+	c := make([]program.VarID, n)
+	sn := make([]program.VarID, n)
+	a := make([]program.VarID, n)
+	rec := make([]program.VarID, n)
+	groups := make([][]program.VarID, n)
+	for j := 0; j < n; j++ {
+		c[j] = s.MustDeclare(fmt.Sprintf("c[%d]", j), colors)
+		sn[j] = s.MustDeclare(fmt.Sprintf("sn[%d]", j), program.Bool())
+		a[j] = s.MustDeclare(fmt.Sprintf("a[%d]", j), program.IntRange(0, ValueSpace-1))
+		rec[j] = s.MustDeclare(fmt.Sprintf("rec[%d]", j), program.IntRange(0, ValueSpace-1))
+		groups[j] = []program.VarID{c[j], sn[j], a[j], rec[j]}
+	}
+	inst := &Instance{Tree: t, C: c, Sn: sn, A: a, Rec: rec, Groups: groups}
+
+	// The application: every node increments its value freely.
+	for j := 0; j < n; j++ {
+		aj := a[j]
+		b.Closure(program.NewAction(fmt.Sprintf("work(%d)", j), program.Closure,
+			[]program.VarID{aj}, []program.VarID{aj},
+			func(st *program.State) bool { return true },
+			func(st *program.State) { st.Set(aj, (st.Get(aj)+1)%ValueSpace) }))
+	}
+
+	// The wave, recording on the red front.
+	cR, snR, aR, recR := c[root], sn[root], a[root], rec[root]
+	b.Closure(program.NewAction("initiate(root)", program.Closure,
+		[]program.VarID{cR, snR, aR}, []program.VarID{cR, snR, recR},
+		func(st *program.State) bool { return st.Get(cR) == diffusing.Green },
+		func(st *program.State) {
+			st.Set(cR, diffusing.Red)
+			st.SetBool(snR, !st.Bool(snR))
+			st.Set(recR, st.Get(aR))
+		}))
+
+	for j := 0; j < n; j++ {
+		j := j
+		pj := t.Parent[j]
+		cj, snj, aj, recj := c[j], sn[j], a[j], rec[j]
+		cp, snp := c[pj], sn[pj]
+
+		if j != root {
+			b.Closure(program.NewAction(fmt.Sprintf("propagate(%d)", j), program.Closure,
+				[]program.VarID{cj, snj, aj, cp, snp}, []program.VarID{cj, snj, recj},
+				func(st *program.State) bool {
+					return st.Get(cj) == diffusing.Green && st.Get(cp) == diffusing.Red &&
+						st.Bool(snj) != st.Bool(snp)
+				},
+				func(st *program.State) {
+					st.Set(cj, st.Get(cp))
+					st.SetBool(snj, st.Bool(snp))
+					st.Set(recj, st.Get(aj))
+				}))
+		}
+
+		kids := children[j]
+		reads := []program.VarID{cj, snj}
+		for _, k := range kids {
+			reads = append(reads, c[k], sn[k])
+		}
+		b.Closure(program.NewAction(fmt.Sprintf("reflect(%d)", j), program.Closure,
+			reads, []program.VarID{cj},
+			func(st *program.State) bool {
+				if st.Get(cj) != diffusing.Red {
+					return false
+				}
+				for _, k := range kids {
+					if st.Get(c[k]) != diffusing.Green || st.Bool(sn[k]) != st.Bool(snj) {
+						return false
+					}
+				}
+				return true
+			},
+			func(st *program.State) { st.Set(cj, diffusing.Green) }))
+
+		if j != root {
+			rj := program.NewPredicate(fmt.Sprintf("R[%d]", j),
+				[]program.VarID{cj, snj, cp, snp},
+				func(st *program.State) bool {
+					if st.Get(cj) == st.Get(cp) && st.Bool(snj) == st.Bool(snp) {
+						return true
+					}
+					return st.Get(cj) == diffusing.Green && st.Get(cp) == diffusing.Red
+				})
+			b.Constraint(0, rj, program.NewAction(
+				fmt.Sprintf("establish-R(%d)", j), program.Convergence,
+				[]program.VarID{cj, snj, cp, snp}, []program.VarID{cj, snj},
+				func(st *program.State) bool { return !rj.Eval(st) },
+				func(st *program.State) {
+					st.Set(cj, st.Get(cp))
+					st.SetBool(snj, st.Bool(snp))
+				}))
+		}
+	}
+
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	inst.Design = d
+	return inst, nil
+}
+
+// Initial returns the all-green state with zero values.
+func (inst *Instance) Initial() *program.State {
+	return inst.Design.Schema.NewState()
+}
+
+// Snapshot extracts the recorded values.
+func (inst *Instance) Snapshot(st *program.State) []int32 {
+	out := make([]int32, len(inst.Rec))
+	for j, r := range inst.Rec {
+		out[j] = st.Get(r)
+	}
+	return out
+}
+
+// Values extracts the live application values.
+func (inst *Instance) Values(st *program.State) []int32 {
+	out := make([]int32, len(inst.A))
+	for j, av := range inst.A {
+		out[j] = st.Get(av)
+	}
+	return out
+}
+
+// Collector observes a run and closes a snapshot at each wave completion
+// (root red -> green transition), recording the values before wave start
+// and at completion so tests can certify cut consistency.
+type Collector struct {
+	inst        *Instance
+	root        int
+	prevRootRed bool
+	// atStart holds Values() at the most recent wave initiation.
+	atStart []int32
+	// Snapshots collects one entry per completed wave.
+	Snapshots []CollectedSnapshot
+}
+
+// CollectedSnapshot is one completed wave's snapshot with its bracketing
+// live values.
+type CollectedSnapshot struct {
+	// Before is each node's live value at wave initiation; After at wave
+	// completion; Recorded is the snapshot itself.
+	Before, After, Recorded []int32
+}
+
+// NewCollector returns a collector for the instance.
+func NewCollector(inst *Instance) *Collector {
+	return &Collector{inst: inst, root: inst.Tree.Root()}
+}
+
+// Observe processes one post-step state.
+func (col *Collector) Observe(st *program.State) {
+	rootRed := st.Get(col.inst.C[col.root]) == diffusing.Red
+	if !col.prevRootRed && rootRed {
+		col.atStart = col.inst.Values(st)
+	}
+	if col.prevRootRed && !rootRed && col.atStart != nil {
+		col.Snapshots = append(col.Snapshots, CollectedSnapshot{
+			Before:   col.atStart,
+			After:    col.inst.Values(st),
+			Recorded: col.inst.Snapshot(st),
+		})
+	}
+	col.prevRootRed = rootRed
+}

@@ -1,0 +1,184 @@
+package snapshot
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nonmask/internal/ctheory"
+	"nonmask/internal/daemon"
+	"nonmask/internal/program"
+	"nonmask/internal/protocols/diffusing"
+	"nonmask/internal/sim"
+	"nonmask/internal/verify"
+)
+
+func mustNew(t *testing.T, tr diffusing.Tree) *Instance {
+	t.Helper()
+	inst, err := New(tr)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return inst
+}
+
+func TestTheorem1Validates(t *testing.T) {
+	inst := mustNew(t, diffusing.Binary(6))
+	r, _, err := inst.Design.Validate(verify.Projected, verify.Options{})
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if r == nil || r.Theorem != ctheory.Theorem1 {
+		t.Fatalf("validated by %v, want Theorem 1", r)
+	}
+}
+
+// TestStabilizesFairly: the snapshot machinery stabilizes under the weakly
+// fair daemon. Unlike the bare diffusing computation (E3/E9), unfair
+// convergence CANNOT hold here: the application's work actions are always
+// enabled, so an unfair daemon may spin a node's counter forever while the
+// wave constraints stay violated. The checker exhibits exactly that cycle.
+// This mirrors internal/protocols/composed: the Section 8 "fairness is
+// unnecessary" remark is a property of the paper's self-contained designs,
+// not of compositions with free-running layers.
+func TestStabilizesFairly(t *testing.T) {
+	// a/rec enlarge the space (4x4 per node); keep trees tiny.
+	for _, tr := range []diffusing.Tree{diffusing.Chain(3), diffusing.Star(3)} {
+		inst := mustNew(t, tr)
+		sp, err := inst.Design.Space(verify.Options{})
+		if err != nil {
+			t.Fatalf("Space: %v", err)
+		}
+		if v := sp.CheckClosure(); v != nil {
+			t.Fatalf("closure violated: %v", v)
+		}
+		unfair := sp.CheckConvergence()
+		if unfair.Converges {
+			t.Fatal("snapshot converges unfairly; expected a work-spin livelock")
+		}
+		fair := sp.CheckFairConvergence()
+		if !fair.Converges {
+			t.Fatalf("not fairly stabilizing: %s", fair.Summary())
+		}
+	}
+}
+
+// TestSnapshotsRecordDuringWave certifies the service semantics: at every
+// wave completion, each node's recorded value is exactly the value sampled
+// when the red front reached that node during this wave.
+func TestSnapshotsRecordDuringWave(t *testing.T) {
+	inst := mustNew(t, diffusing.Binary(7))
+	p := inst.Design.TolerantProgram()
+	col := NewCollector(inst)
+
+	sampled := make([]int32, inst.Tree.N())
+	seen := make([]bool, inst.Tree.N())
+	waveChecks := 0
+	r := &sim.Runner{
+		P: p, S: inst.Design.S,
+		D:        daemon.NewRoundRobin(p),
+		MaxSteps: 4000,
+		OnStep: func(_ int, st *program.State, a *program.Action) {
+			// Record the sampling moments.
+			switch {
+			case a.Name == "initiate(root)":
+				sampled[0] = st.Get(inst.Rec[0])
+				seen[0] = true
+			case strings.HasPrefix(a.Name, "propagate("):
+				var j int
+				if _, err := sscanParen(a.Name, &j); err == nil {
+					sampled[j] = st.Get(inst.Rec[j])
+					seen[j] = true
+				}
+			}
+			before := len(col.Snapshots)
+			col.Observe(st)
+			if len(col.Snapshots) > before {
+				// Wave completed: the snapshot must equal the sampled
+				// values, and every node must have been sampled.
+				snap := col.Snapshots[len(col.Snapshots)-1]
+				for j := range sampled {
+					if !seen[j] {
+						t.Fatalf("node %d never sampled during the wave", j)
+					}
+					if snap.Recorded[j] != sampled[j] {
+						t.Fatalf("node %d recorded %d, sampled %d",
+							j, snap.Recorded[j], sampled[j])
+					}
+					seen[j] = false
+				}
+				waveChecks++
+			}
+		},
+	}
+	r.Run(inst.Initial(), nil)
+	if waveChecks < 3 {
+		t.Fatalf("only %d completed waves in 4000 steps", waveChecks)
+	}
+}
+
+// TestRecoversAndSnapshotsAfterCorruption: after corrupting everything,
+// the machinery stabilizes and subsequent waves complete with full
+// snapshots.
+func TestRecoversAndSnapshotsAfterCorruption(t *testing.T) {
+	inst := mustNew(t, diffusing.Random(9, 3))
+	p := inst.Design.TolerantProgram()
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		start := program.RandomState(inst.Design.Schema, rng)
+		r := &sim.Runner{
+			P: p, S: inst.Design.S,
+			D:        daemon.NewRandom(int64(trial)),
+			MaxSteps: 100_000,
+			StopAtS:  true,
+		}
+		res := r.Run(start, rng)
+		if !res.Converged {
+			t.Fatalf("trial %d did not converge", trial)
+		}
+		// A fresh wave must complete from here.
+		col := NewCollector(inst)
+		cont := &sim.Runner{
+			P: p, S: inst.Design.S,
+			D:        daemon.NewRoundRobin(p),
+			MaxSteps: 4000,
+			OnStep:   func(_ int, st *program.State, _ *program.Action) { col.Observe(st) },
+		}
+		cont.Run(res.Final, rng)
+		if len(col.Snapshots) == 0 {
+			t.Fatalf("trial %d: no wave completed after stabilization", trial)
+		}
+	}
+}
+
+// sscanParen parses "name(j)" extracting j.
+func sscanParen(s string, j *int) (int, error) {
+	open := strings.IndexByte(s, '(')
+	close := strings.IndexByte(s, ')')
+	if open < 0 || close <= open {
+		return 0, errNoIndex
+	}
+	n := 0
+	for _, r := range s[open+1 : close] {
+		if r < '0' || r > '9' {
+			return 0, errNoIndex
+		}
+		n = n*10 + int(r-'0')
+	}
+	*j = n
+	return 1, nil
+}
+
+var errNoIndex = &parseError{}
+
+type parseError struct{}
+
+func (*parseError) Error() string { return "no index" }
+
+func TestFootprintsHonest(t *testing.T) {
+	inst := mustNew(t, diffusing.Chain(4))
+	rng := rand.New(rand.NewSource(4))
+	if err := inst.Design.TolerantProgram().Audit(rng, 100); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,322 @@
+// Package spanningtree implements a self-stabilizing BFS spanning-tree
+// protocol in the paper's constraint style. It is the substrate the
+// Section 5.1 diffusing computation presupposes: "consider a finite,
+// rooted tree" — on an arbitrary connected graph, this protocol builds and
+// maintains that tree despite arbitrary state corruption.
+//
+// Each node j maintains a distance d.j and a parent pointer p.j. The root
+// pins d = 0, p = self; every other node maintains
+//
+//	R.j = d.j = 1 + min{d.k : k neighbor of j}  and  p.j is a neighbor
+//	      achieving that minimum
+//
+// with the convergence action "¬R.j -> recompute d.j, p.j from neighbors".
+//
+// The constraint structure here is NOT an out-tree: a node's constraint
+// reads all its neighbors, so the Section 4 constraint graph (whose edges
+// connect exactly two variable groups) does not exist for graphs with
+// degree above two. Convergence instead follows the convergence-stair
+// pattern the paper discusses in Section 7 (distances stabilize level by
+// level); the package verifies it with the model checker on small graphs
+// and statistically at scale.
+package spanningtree
+
+import (
+	"fmt"
+
+	"nonmask/internal/core"
+	"nonmask/internal/program"
+)
+
+// Graph is an undirected connected graph over nodes 0..N-1, given by
+// adjacency lists. Node 0 is the root by convention.
+type Graph struct {
+	Adj [][]int
+}
+
+// N returns the number of nodes.
+func (g Graph) N() int { return len(g.Adj) }
+
+// Validate checks symmetry, range, irreflexivity and connectivity.
+func (g Graph) Validate() error {
+	n := g.N()
+	if n == 0 {
+		return fmt.Errorf("spanningtree: empty graph")
+	}
+	nbr := make([]map[int]bool, n)
+	for j := range nbr {
+		nbr[j] = make(map[int]bool)
+		for _, k := range g.Adj[j] {
+			if k < 0 || k >= n {
+				return fmt.Errorf("spanningtree: node %d has out-of-range neighbor %d", j, k)
+			}
+			if k == j {
+				return fmt.Errorf("spanningtree: node %d has a self-loop", j)
+			}
+			nbr[j][k] = true
+		}
+	}
+	for j := range nbr {
+		for k := range nbr[j] {
+			if !nbr[k][j] {
+				return fmt.Errorf("spanningtree: edge %d-%d not symmetric", j, k)
+			}
+		}
+	}
+	// Connectivity from the root.
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, k := range g.Adj[v] {
+			if !seen[k] {
+				seen[k] = true
+				count++
+				stack = append(stack, k)
+			}
+		}
+	}
+	if count != n {
+		return fmt.Errorf("spanningtree: graph not connected (%d of %d reachable)", count, n)
+	}
+	return nil
+}
+
+// Line returns the path graph 0-1-...-n-1.
+func Line(n int) Graph {
+	adj := make([][]int, n)
+	for j := 0; j < n-1; j++ {
+		adj[j] = append(adj[j], j+1)
+		adj[j+1] = append(adj[j+1], j)
+	}
+	return Graph{Adj: adj}
+}
+
+// Ring returns the cycle graph on n nodes.
+func Ring(n int) Graph {
+	g := Line(n)
+	if n > 2 {
+		g.Adj[0] = append(g.Adj[0], n-1)
+		g.Adj[n-1] = append(g.Adj[n-1], 0)
+	}
+	return g
+}
+
+// Complete returns the complete graph on n nodes.
+func Complete(n int) Graph {
+	adj := make([][]int, n)
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			if k != j {
+				adj[j] = append(adj[j], k)
+			}
+		}
+	}
+	return Graph{Adj: adj}
+}
+
+// Grid returns the rows x cols grid graph, row-major numbering.
+func Grid(rows, cols int) Graph {
+	n := rows * cols
+	adj := make([][]int, n)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			j := id(r, c)
+			if c+1 < cols {
+				adj[j] = append(adj[j], id(r, c+1))
+				adj[id(r, c+1)] = append(adj[id(r, c+1)], j)
+			}
+			if r+1 < rows {
+				adj[j] = append(adj[j], id(r+1, c))
+				adj[id(r+1, c)] = append(adj[id(r+1, c)], j)
+			}
+		}
+	}
+	return Graph{Adj: adj}
+}
+
+// BFSDistances returns the true distance of each node from the root.
+func (g Graph) BFSDistances() []int {
+	n := g.N()
+	dist := make([]int, n)
+	for j := range dist {
+		dist[j] = -1
+	}
+	dist[0] = 0
+	queue := []int{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, k := range g.Adj[v] {
+			if dist[k] < 0 {
+				dist[k] = dist[v] + 1
+				queue = append(queue, k)
+			}
+		}
+	}
+	return dist
+}
+
+// Instance is one spanning-tree design.
+type Instance struct {
+	Graph  Graph
+	Design *core.Design
+	// D and P hold the per-node distance and parent-index variables.
+	// P[j] stores an index into Graph.Adj[j] (the chosen neighbor), except
+	// for the root, whose parent variable is pinned to 0.
+	D, P []program.VarID
+	// Groups lists each node's variables for fault injection.
+	Groups [][]program.VarID
+	// MaxD is the distance variables' domain top (>= true eccentricity).
+	MaxD int32
+}
+
+// New builds the design for the given graph. Node 0 is the root.
+func New(g Graph) (*Instance, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	maxD := int32(n) // distances are < n; the cap absorbs corrupt values
+	b := core.NewDesign(fmt.Sprintf("spanningtree(n=%d)", n))
+	s := b.Schema()
+	d := make([]program.VarID, n)
+	p := make([]program.VarID, n)
+	groups := make([][]program.VarID, n)
+	for j := 0; j < n; j++ {
+		d[j] = s.MustDeclare(fmt.Sprintf("d[%d]", j), program.IntRange(0, maxD))
+		deg := len(g.Adj[j])
+		if j == 0 || deg == 0 {
+			deg = 1
+		}
+		p[j] = s.MustDeclare(fmt.Sprintf("p[%d]", j), program.IntRange(0, int32(deg-1)))
+		groups[j] = []program.VarID{d[j], p[j]}
+	}
+	inst := &Instance{Graph: g, D: d, P: p, Groups: groups, MaxD: maxD}
+
+	// Root constraint: d.0 = 0 (p.0 is pinned by its singleton domain).
+	rootOK := program.NewPredicate("d[0] = 0", []program.VarID{d[0]},
+		func(st *program.State) bool { return st.Get(d[0]) == 0 })
+	fixRoot := program.NewAction("fix-root", program.Convergence,
+		[]program.VarID{d[0]}, []program.VarID{d[0], p[0]},
+		func(st *program.State) bool { return st.Get(d[0]) != 0 },
+		func(st *program.State) {
+			st.Set(d[0], 0)
+			st.Set(p[0], 0)
+		})
+	b.Constraint(0, rootOK, fixRoot)
+
+	// Non-root constraints: d.j = 1 + min over neighbors, p.j achieves it.
+	for j := 1; j < n; j++ {
+		j := j
+		nbrs := g.Adj[j]
+		minNbr := func(st *program.State) (int32, int) {
+			best := st.Get(d[nbrs[0]])
+			arg := 0
+			for i := 1; i < len(nbrs); i++ {
+				if v := st.Get(d[nbrs[i]]); v < best {
+					best = v
+					arg = i
+				}
+			}
+			return best, arg
+		}
+		reads := []program.VarID{d[j], p[j]}
+		for _, k := range nbrs {
+			reads = append(reads, d[k])
+		}
+		want := func(st *program.State) (int32, bool) {
+			m, _ := minNbr(st)
+			dj := m + 1
+			if dj > maxD {
+				dj = maxD
+			}
+			// p.j must point at a neighbor whose d equals the minimum.
+			return dj, st.Get(d[j]) == dj && st.Get(d[nbrs[st.Get(p[j])]]) == m
+		}
+		rj := program.NewPredicate(fmt.Sprintf("R[%d]", j), reads,
+			func(st *program.State) bool {
+				_, ok := want(st)
+				return ok
+			})
+		fix := program.NewAction(fmt.Sprintf("recompute(%d)", j), program.Convergence,
+			reads, []program.VarID{d[j], p[j]},
+			func(st *program.State) bool {
+				_, ok := want(st)
+				return !ok
+			},
+			func(st *program.State) {
+				m, arg := minNbr(st)
+				dj := m + 1
+				if dj > maxD {
+					dj = maxD
+				}
+				st.Set(d[j], dj)
+				st.Set(p[j], int32(arg))
+			})
+		b.Constraint(0, rj, fix)
+	}
+
+	design, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	inst.Design = design
+	return inst, nil
+}
+
+// Correct returns the legitimate state: true BFS distances with first
+// minimal neighbor as parent.
+func (inst *Instance) Correct() *program.State {
+	st := inst.Design.Schema.NewState()
+	dist := inst.Graph.BFSDistances()
+	for j, dj := range dist {
+		st.Set(inst.D[j], int32(dj))
+		if j == 0 {
+			st.Set(inst.P[j], 0)
+			continue
+		}
+		for i, k := range inst.Graph.Adj[j] {
+			if dist[k] == dj-1 {
+				st.Set(inst.P[j], int32(i))
+				break
+			}
+		}
+	}
+	return st
+}
+
+// TreeOf extracts the parent vector encoded in a state satisfying S,
+// mapping parent indices back to node ids.
+func (inst *Instance) TreeOf(st *program.State) []int {
+	n := inst.Graph.N()
+	parent := make([]int, n)
+	parent[0] = 0
+	for j := 1; j < n; j++ {
+		parent[j] = inst.Graph.Adj[j][st.Get(inst.P[j])]
+	}
+	return parent
+}
+
+// IsValidTree reports whether the state's parent pointers form a spanning
+// tree with correct BFS distances.
+func (inst *Instance) IsValidTree(st *program.State) bool {
+	dist := inst.Graph.BFSDistances()
+	if st.Get(inst.D[0]) != 0 {
+		return false
+	}
+	for j := 1; j < inst.Graph.N(); j++ {
+		if int(st.Get(inst.D[j])) != dist[j] {
+			return false
+		}
+		parent := inst.Graph.Adj[j][st.Get(inst.P[j])]
+		if dist[parent] != dist[j]-1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,231 @@
+package spanningtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"nonmask/internal/daemon"
+	"nonmask/internal/program"
+	"nonmask/internal/sim"
+	"nonmask/internal/verify"
+)
+
+func TestGraphConstructors(t *testing.T) {
+	tests := []struct {
+		name  string
+		g     Graph
+		edges int
+	}{
+		{"line4", Line(4), 3},
+		{"ring5", Ring(5), 5},
+		{"complete4", Complete(4), 6},
+		{"grid2x3", Grid(2, 3), 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.g.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			m := 0
+			for _, adj := range tt.g.Adj {
+				m += len(adj)
+			}
+			if m != 2*tt.edges {
+				t.Errorf("edge endpoints = %d, want %d", m, 2*tt.edges)
+			}
+		})
+	}
+}
+
+func TestGraphValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		g    Graph
+	}{
+		{"empty", Graph{}},
+		{"asymmetric", Graph{Adj: [][]int{{1}, {}}}},
+		{"self-loop", Graph{Adj: [][]int{{0, 1}, {0}}}},
+		{"out of range", Graph{Adj: [][]int{{5}}}},
+		{"disconnected", Graph{Adj: [][]int{{1}, {0}, {3}, {2}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.g.Validate(); err == nil {
+				t.Error("invalid graph passed Validate")
+			}
+		})
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := Grid(2, 3)
+	// Layout: 0 1 2 / 3 4 5 with root 0.
+	want := []int{0, 1, 2, 1, 2, 3}
+	got := g.BFSDistances()
+	for j := range want {
+		if got[j] != want[j] {
+			t.Errorf("dist[%d] = %d, want %d", j, got[j], want[j])
+		}
+	}
+}
+
+// TestSCharacterizesBFS enumerates all states of small instances and checks
+// that S holds exactly at states whose parent pointers encode correct BFS
+// distances — the Bellman fixed point is unique.
+func TestSCharacterizesBFS(t *testing.T) {
+	for _, g := range []Graph{Line(3), Ring(4), Complete(3)} {
+		inst, err := New(g)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		schema := inst.Design.Schema
+		count, _ := schema.StateCount()
+		inS := 0
+		for i := int64(0); i < count; i++ {
+			st := schema.StateAt(i)
+			if inst.Design.S.Holds(st) {
+				inS++
+				if !inst.IsValidTree(st) {
+					t.Fatalf("S state %s is not a valid BFS tree", st)
+				}
+			}
+		}
+		if inS == 0 {
+			t.Fatal("no S states")
+		}
+		// The designated correct state must be one of them.
+		if !inst.Design.S.Holds(inst.Correct()) {
+			t.Error("Correct() does not satisfy S")
+		}
+	}
+}
+
+// TestStabilizes model-checks convergence from every state on small graphs
+// under the arbitrary daemon.
+func TestStabilizes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    Graph
+	}{
+		{"line3", Line(3)},
+		{"line4", Line(4)},
+		{"ring4", Ring(4)},
+		{"complete4", Complete(4)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			inst, err := New(tc.g)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			res, err := inst.Design.Verify(verify.Options{})
+			if err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+			if res.Closure != nil {
+				t.Fatalf("closure violated: %v", res.Closure)
+			}
+			if !res.Unfair.Converges {
+				t.Fatalf("not stabilizing: %s", res.Unfair.Summary())
+			}
+			t.Logf("%s: worst %d steps, mean %.2f",
+				tc.name, res.Unfair.WorstSteps, res.Unfair.MeanSteps)
+		})
+	}
+}
+
+// TestNoTheoremApplies documents the structural fact discussed in the
+// package comment: the constraint reads span more than two variable
+// groups, so no Section 4 constraint graph exists and none of the paper's
+// sufficient conditions applies — yet the protocol stabilizes (previous
+// test), showing the conditions are sufficient, not necessary.
+func TestNoTheoremApplies(t *testing.T) {
+	inst, err := New(Complete(4))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	r, all, err := inst.Design.Validate(verify.Projected, verify.Options{})
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if r != nil {
+		t.Errorf("theorem %v unexpectedly applies", r.Theorem)
+	}
+	if len(all) != 3 {
+		t.Errorf("tried %d theorems, want 3", len(all))
+	}
+}
+
+// TestConvergesAtScale runs the protocol on graphs beyond enumeration.
+func TestConvergesAtScale(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    Graph
+	}{
+		{"grid5x5", Grid(5, 5)},
+		{"ring30", Ring(30)},
+		{"complete10", Complete(10)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			inst, err := New(tc.g)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			p := inst.Design.TolerantProgram()
+			r := &sim.Runner{
+				P: p, S: inst.Design.S,
+				D:        daemon.NewRandom(3),
+				MaxSteps: 1_000_000,
+				StopAtS:  true,
+			}
+			rng := rand.New(rand.NewSource(7))
+			batch := r.RunMany(30, rng, sim.RandomStates(inst.Design.Schema))
+			if batch.ConvergenceRate() != 1 {
+				t.Fatalf("convergence rate = %.2f", batch.ConvergenceRate())
+			}
+			// Every converged run must encode the true BFS tree.
+			res := r.Run(program.RandomState(inst.Design.Schema, rng), rng)
+			if !res.Converged || !inst.IsValidTree(res.Final) {
+				t.Error("converged state is not a valid BFS tree")
+			}
+		})
+	}
+}
+
+// TestSilentProtocol: spanning-tree construction is silent — once S holds,
+// no action is enabled.
+func TestSilentProtocol(t *testing.T) {
+	inst, err := New(Grid(2, 3))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	p := inst.Design.TolerantProgram()
+	st := inst.Correct()
+	if n := p.EnabledCount(st); n != 0 {
+		t.Errorf("%d actions enabled at the correct state", n)
+	}
+}
+
+func TestFootprintsHonest(t *testing.T) {
+	inst, err := New(Ring(5))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	if err := inst.Design.TolerantProgram().Audit(rng, 150); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreeOf(t *testing.T) {
+	inst, err := New(Line(4))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	parent := inst.TreeOf(inst.Correct())
+	want := []int{0, 0, 1, 2}
+	for j := range want {
+		if parent[j] != want[j] {
+			t.Errorf("parent[%d] = %d, want %d", j, parent[j], want[j])
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package termination implements termination detection via diffusing
+// computations — the first application the paper names for them
+// (Section 5.1: "applications of diffusing computations include, for
+// example, global state snapshot, termination detection, ...").
+//
+// The underlying computation runs at each tree node: a node is active or
+// idle, and active nodes may spontaneously finish (idleness is stable — the
+// classic diffusing-computation setting). The detection layer is the
+// Section 5.1 wave program with one refinement: a node reflects the wave
+// (turns green) only while idle. A completed wave therefore certifies that
+// every node was idle when it reflected, and by stability all nodes are
+// idle when the root completes — termination detected.
+//
+// The design is nonmasking: state corruption can fake a completed wave and
+// cause a transient false detection. The program stabilizes, after which at
+// most one further announcement can be false — the residual wave that was
+// already (spuriously) in flight when stabilization completed. Every
+// announcement of a wave initiated after stabilization is correct: at
+// initiation all nodes carry the previous session number, so each must
+// propagate and then reflect while idle before the root can complete.
+// Tests quantify this.
+package termination
+
+import (
+	"fmt"
+
+	"nonmask/internal/core"
+	"nonmask/internal/program"
+	"nonmask/internal/protocols/diffusing"
+)
+
+// Instance is a termination-detection design on one tree.
+type Instance struct {
+	Tree   diffusing.Tree
+	Design *core.Design
+	// C, Sn, Active hold per-node wave color, session and activity flags.
+	C, Sn, Active []program.VarID
+	// Groups lists each node's variables for fault injection.
+	Groups [][]program.VarID
+}
+
+// New builds the design for the given tree.
+func New(t diffusing.Tree) (*Instance, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	n := t.N()
+	root := t.Root()
+	children := t.Children()
+
+	b := core.NewDesign(fmt.Sprintf("termination(n=%d)", n))
+	s := b.Schema()
+	colors := program.Enum("green", "red")
+	c := make([]program.VarID, n)
+	sn := make([]program.VarID, n)
+	act := make([]program.VarID, n)
+	groups := make([][]program.VarID, n)
+	for j := 0; j < n; j++ {
+		c[j] = s.MustDeclare(fmt.Sprintf("c[%d]", j), colors)
+		sn[j] = s.MustDeclare(fmt.Sprintf("sn[%d]", j), program.Bool())
+		act[j] = s.MustDeclare(fmt.Sprintf("active[%d]", j), program.Bool())
+		groups[j] = []program.VarID{c[j], sn[j], act[j]}
+	}
+	inst := &Instance{Tree: t, C: c, Sn: sn, Active: act, Groups: groups}
+
+	// The underlying computation: active nodes finish spontaneously.
+	for j := 0; j < n; j++ {
+		aj := act[j]
+		b.Closure(program.NewAction(fmt.Sprintf("finish(%d)", j), program.Closure,
+			[]program.VarID{aj}, []program.VarID{aj},
+			func(st *program.State) bool { return st.Bool(aj) },
+			func(st *program.State) { st.SetBool(aj, false) }))
+	}
+
+	// The wave, as in Section 5.1, except reflection requires idleness.
+	cR, snR := c[root], sn[root]
+	b.Closure(program.NewAction("initiate(root)", program.Closure,
+		[]program.VarID{cR, snR}, []program.VarID{cR, snR},
+		func(st *program.State) bool { return st.Get(cR) == diffusing.Green },
+		func(st *program.State) {
+			st.Set(cR, diffusing.Red)
+			st.SetBool(snR, !st.Bool(snR))
+		}))
+
+	for j := 0; j < n; j++ {
+		j := j
+		pj := t.Parent[j]
+		cj, snj, aj := c[j], sn[j], act[j]
+		cp, snp := c[pj], sn[pj]
+
+		if j != root {
+			b.Closure(program.NewAction(fmt.Sprintf("propagate(%d)", j), program.Closure,
+				[]program.VarID{cj, snj, cp, snp}, []program.VarID{cj, snj},
+				func(st *program.State) bool {
+					return st.Get(cj) == diffusing.Green && st.Get(cp) == diffusing.Red &&
+						st.Bool(snj) != st.Bool(snp)
+				},
+				func(st *program.State) {
+					st.Set(cj, st.Get(cp))
+					st.SetBool(snj, st.Bool(snp))
+				}))
+		}
+
+		kids := children[j]
+		reads := []program.VarID{cj, snj, aj}
+		for _, k := range kids {
+			reads = append(reads, c[k], sn[k])
+		}
+		b.Closure(program.NewAction(fmt.Sprintf("reflect(%d)", j), program.Closure,
+			reads, []program.VarID{cj},
+			func(st *program.State) bool {
+				if st.Get(cj) != diffusing.Red || st.Bool(aj) {
+					return false
+				}
+				for _, k := range kids {
+					if st.Get(c[k]) != diffusing.Green || st.Bool(sn[k]) != st.Bool(snj) {
+						return false
+					}
+				}
+				return true
+			},
+			func(st *program.State) { st.Set(cj, diffusing.Green) }))
+
+		if j != root {
+			rj := program.NewPredicate(fmt.Sprintf("R[%d]", j),
+				[]program.VarID{cj, snj, cp, snp},
+				func(st *program.State) bool {
+					if st.Get(cj) == st.Get(cp) && st.Bool(snj) == st.Bool(snp) {
+						return true
+					}
+					return st.Get(cj) == diffusing.Green && st.Get(cp) == diffusing.Red
+				})
+			b.Constraint(0, rj, program.NewAction(
+				fmt.Sprintf("establish-R(%d)", j), program.Convergence,
+				[]program.VarID{cj, snj, cp, snp}, []program.VarID{cj, snj},
+				func(st *program.State) bool { return !rj.Eval(st) },
+				func(st *program.State) {
+					st.Set(cj, st.Get(cp))
+					st.SetBool(snj, st.Bool(snp))
+				}))
+		}
+	}
+
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	inst.Design = d
+	return inst, nil
+}
+
+// AllActive returns the starting state: every node active, all green.
+func (inst *Instance) AllActive() *program.State {
+	st := inst.Design.Schema.NewState()
+	for j := range inst.C {
+		st.Set(inst.C[j], diffusing.Green)
+		st.SetBool(inst.Sn[j], false)
+		st.SetBool(inst.Active[j], true)
+	}
+	return st
+}
+
+// Terminated reports ground truth: every node idle.
+func (inst *Instance) Terminated(st *program.State) bool {
+	for _, a := range inst.Active {
+		if st.Bool(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Detector observes a run and records detection events: each root
+// red -> green transition announces "computation terminated".
+type Detector struct {
+	inst *Instance
+	root int
+	// prevRootRed tracks the root's color at the previous observation.
+	prevRootRed bool
+	// Detections counts announcements; FalseDetections counts those made
+	// while some node was still active (possible only transiently, after
+	// faults).
+	Detections, FalseDetections int
+	// FirstDetection is the step of the first announcement, or -1.
+	FirstDetection int
+	steps          int
+}
+
+// NewDetector returns a detector for the instance.
+func NewDetector(inst *Instance) *Detector {
+	return &Detector{inst: inst, root: inst.Tree.Root(), FirstDetection: -1}
+}
+
+// Observe processes one post-step state.
+func (d *Detector) Observe(st *program.State) {
+	d.steps++
+	rootRed := st.Get(d.inst.C[d.root]) == diffusing.Red
+	if d.prevRootRed && !rootRed {
+		d.Detections++
+		if d.FirstDetection < 0 {
+			d.FirstDetection = d.steps
+		}
+		if !d.inst.Terminated(st) {
+			d.FalseDetections++
+		}
+	}
+	d.prevRootRed = rootRed
+}

@@ -1,0 +1,222 @@
+package termination
+
+import (
+	"math/rand"
+	"testing"
+
+	"nonmask/internal/ctheory"
+	"nonmask/internal/daemon"
+	"nonmask/internal/program"
+	"nonmask/internal/protocols/diffusing"
+	"nonmask/internal/sim"
+	"nonmask/internal/verify"
+)
+
+func mustNew(t *testing.T, tr diffusing.Tree) *Instance {
+	t.Helper()
+	inst, err := New(tr)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return inst
+}
+
+func TestTheorem1Validates(t *testing.T) {
+	inst := mustNew(t, diffusing.Binary(7))
+	r, _, err := inst.Design.Validate(verify.Projected, verify.Options{})
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if r == nil || r.Theorem != ctheory.Theorem1 {
+		t.Fatalf("validated by %v, want Theorem 1", r)
+	}
+}
+
+func TestStabilizes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tr   diffusing.Tree
+	}{
+		{"chain3", diffusing.Chain(3)},
+		{"star4", diffusing.Star(4)},
+		{"binary5", diffusing.Binary(5)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			inst := mustNew(t, tc.tr)
+			res, err := inst.Design.Verify(verify.Options{})
+			if err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+			if res.Closure != nil {
+				t.Fatalf("closure violated: %v", res.Closure)
+			}
+			if !res.Unfair.Converges {
+				t.Fatalf("not stabilizing: %s", res.Unfair.Summary())
+			}
+		})
+	}
+}
+
+// TestDetectsTermination: from all-active, under a fair daemon, nodes
+// finish and the root eventually announces termination — correctly.
+func TestDetectsTermination(t *testing.T) {
+	inst := mustNew(t, diffusing.Binary(15))
+	p := inst.Design.TolerantProgram()
+	det := NewDetector(inst)
+	r := &sim.Runner{
+		P: p, S: inst.Design.S,
+		D:        daemon.NewRoundRobin(p),
+		MaxSteps: 5000,
+		OnStep:   func(_ int, st *program.State, _ *program.Action) { det.Observe(st) },
+	}
+	r.Run(inst.AllActive(), nil)
+	if det.Detections == 0 {
+		t.Fatal("termination never detected")
+	}
+	if det.FalseDetections != 0 {
+		t.Errorf("%d false detections on a fault-free run", det.FalseDetections)
+	}
+}
+
+// TestNoFalseDetectionWhileActive: in fault-free runs the detector stays
+// silent while any node is active... more precisely, every announcement
+// happens at an all-idle state (idleness is stable, so this is the
+// meaningful safety property).
+func TestNoFalseDetectionWhileActive(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		inst := mustNew(t, diffusing.Random(10, seed))
+		p := inst.Design.TolerantProgram()
+		det := NewDetector(inst)
+		r := &sim.Runner{
+			P: p, S: inst.Design.S,
+			D:        daemon.NewRandom(seed),
+			MaxSteps: 20000,
+			OnStep:   func(_ int, st *program.State, _ *program.Action) { det.Observe(st) },
+		}
+		r.Run(inst.AllActive(), nil)
+		if det.FalseDetections != 0 {
+			t.Fatalf("seed %d: %d false detections fault-free", seed, det.FalseDetections)
+		}
+	}
+}
+
+// TestTransientFalseDetectionThenRecovery demonstrates the nonmasking
+// behaviour: from a corrupted state false announcements can occur; after
+// stabilization at most one more can (the residual in-flight wave), and
+// every announcement of a freshly initiated wave is correct.
+func TestTransientFalseDetectionThenRecovery(t *testing.T) {
+	inst := mustNew(t, diffusing.Chain(8))
+	p := inst.Design.TolerantProgram()
+	rng := rand.New(rand.NewSource(77))
+
+	sawFalse := false
+	for trial := 0; trial < 60; trial++ {
+		start := program.RandomState(inst.Design.Schema, rng)
+		det := NewDetector(inst)
+		// Converge first, tracking detections on the way.
+		r := &sim.Runner{
+			P: p, S: inst.Design.S,
+			D:        daemon.NewRandom(int64(trial)),
+			MaxSteps: 50_000,
+			StopAtS:  true,
+			OnStep:   func(_ int, st *program.State, _ *program.Action) { det.Observe(st) },
+		}
+		res := r.Run(start, rng)
+		if !res.Converged {
+			t.Fatalf("trial %d did not converge", trial)
+		}
+		if det.FalseDetections > 0 {
+			sawFalse = true
+		}
+		// After convergence: no more false detections, ever.
+		post := NewDetector(inst)
+		// Seed the detector's root-color memory with the converged state.
+		post.Observe(res.Final)
+		post.Detections, post.FalseDetections = 0, 0
+		r2 := &sim.Runner{
+			P: p, S: inst.Design.S,
+			D:        daemon.NewRandom(int64(trial) + 500),
+			MaxSteps: 3000,
+			OnStep:   func(_ int, st *program.State, _ *program.Action) { post.Observe(st) },
+		}
+		r2.Run(res.Final, rng)
+		// At most the residual in-flight wave may announce falsely.
+		if post.FalseDetections > 1 {
+			t.Fatalf("trial %d: %d false detections after stabilization, want <= 1",
+				trial, post.FalseDetections)
+		}
+	}
+	if !sawFalse {
+		t.Log("no transient false detection observed in 60 corrupted trials (possible but unusual)")
+	}
+}
+
+// TestWaveStallsAtActiveNodes: an active node blocks the green reflection
+// below the root, so no announcement can occur while any node is active.
+// The avoiding daemon delays finish(3) as long as any alternative exists;
+// all detections must come after node 3 finally finished.
+func TestWaveStallsAtActiveNodes(t *testing.T) {
+	inst := mustNew(t, diffusing.Chain(4))
+	p := inst.Design.TolerantProgram()
+	det := NewDetector(inst)
+	detectionsWhileActive := 0
+	avoid := &avoidDaemon{inner: daemon.NewRoundRobin(p), avoid: "finish(3)"}
+	r := &sim.Runner{
+		P: p, S: inst.Design.S,
+		D:        avoid,
+		MaxSteps: 2000,
+		OnStep: func(_ int, st *program.State, _ *program.Action) {
+			before := det.Detections
+			det.Observe(st)
+			if det.Detections > before && st.Bool(inst.Active[3]) {
+				detectionsWhileActive++
+			}
+		},
+	}
+	r.Run(inst.AllActive(), nil)
+	if detectionsWhileActive != 0 {
+		t.Errorf("%d detections while node 3 was active", detectionsWhileActive)
+	}
+	if det.FalseDetections != 0 {
+		t.Errorf("%d false detections fault-free", det.FalseDetections)
+	}
+	if det.Detections == 0 {
+		t.Error("no detection at all; scheduler starved the run")
+	}
+}
+
+// avoidDaemon filters one action name out of the enabled set when
+// alternatives exist.
+type avoidDaemon struct {
+	inner daemon.Daemon
+	avoid string
+}
+
+func (d *avoidDaemon) Name() string { return "avoid(" + d.avoid + ")" }
+
+func (d *avoidDaemon) Pick(st *program.State, enabled []*program.Action, step int) *program.Action {
+	var filtered []*program.Action
+	for _, a := range enabled {
+		if a.Name != d.avoid {
+			filtered = append(filtered, a)
+		}
+	}
+	if len(filtered) == 0 {
+		filtered = enabled
+	}
+	return d.inner.Pick(st, filtered, step)
+}
+
+func TestTerminatedGroundTruth(t *testing.T) {
+	inst := mustNew(t, diffusing.Chain(3))
+	st := inst.AllActive()
+	if inst.Terminated(st) {
+		t.Error("all-active reported terminated")
+	}
+	for _, a := range inst.Active {
+		st.SetBool(a, false)
+	}
+	if !inst.Terminated(st) {
+		t.Error("all-idle not reported terminated")
+	}
+}

@@ -1,0 +1,154 @@
+// Package xyz implements the paper's running example (Sections 4 and 6):
+// three integer variables x, y, z with the invariant
+//
+//	S = (x != y) && (x <= z)
+//
+// and the alternative convergence-action designs the paper contrasts:
+//
+//   - Interfering (Section 4's caution, Section 6's livelock): both
+//     convergence actions write x; each can violate the other's constraint,
+//     so no theorem applies and the design livelocks under an arbitrary
+//     daemon.
+//   - OutTree (Section 4's preferred design, the paper's figure): fix
+//     x != y by changing y, fix x <= z by raising z. The constraint graph
+//     is the out-tree {x} -> {y}, {x} -> {z}; Theorem 1 applies.
+//   - Ordered (Section 6's resolution): fix x != y by decreasing x, fix
+//     x <= z by lowering x to z. Both actions write x (shared target), but
+//     the decrease preserves x <= z, so a linear order exists and
+//     Theorem 2 applies.
+//
+// Domains are bounded at 0..Max (the paper's integers are unbounded); for
+// the Ordered variant, y ranges over 1..Max so that "decrease x" is always
+// possible when x = y — the bounded-domain analogue of the paper's
+// unbounded decrement. The adjustment is documented in DESIGN.md.
+package xyz
+
+import (
+	"fmt"
+
+	"nonmask/internal/core"
+	"nonmask/internal/program"
+)
+
+// Max is the top of each variable's domain.
+const Max = 4
+
+// Variant selects one of the paper's alternative designs.
+type Variant int
+
+// The designs contrasted by the paper.
+const (
+	// Interfering writes x in both convergence actions (Sections 4 and 6's
+	// negative example).
+	Interfering Variant = iota + 1
+	// OutTree is the Section 4 figure's design (fix y, raise z).
+	OutTree
+	// Ordered is the Section 6 design (decrease x / lower x), valid by
+	// Theorem 2.
+	Ordered
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Interfering:
+		return "interfering"
+	case OutTree:
+		return "out-tree"
+	case Ordered:
+		return "ordered"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Instance is one concrete xyz design.
+type Instance struct {
+	Variant Variant
+	Design  *core.Design
+	X, Y, Z program.VarID
+}
+
+// New builds the design for the given variant.
+func New(v Variant) (*Instance, error) {
+	b := core.NewDesign("xyz/" + v.String())
+	s := b.Schema()
+	x := s.MustDeclare("x", program.IntRange(0, Max))
+	yDom := program.IntRange(0, Max)
+	if v == Ordered {
+		// Decreasing x below y must always be possible when x = y.
+		yDom = program.IntRange(1, Max)
+	}
+	y := s.MustDeclare("y", yDom)
+	z := s.MustDeclare("z", program.IntRange(0, Max))
+
+	neq := program.NewPredicate("x != y", []program.VarID{x, y},
+		func(st *program.State) bool { return st.Get(x) != st.Get(y) })
+	leq := program.NewPredicate("x <= z", []program.VarID{x, z},
+		func(st *program.State) bool { return st.Get(x) <= st.Get(z) })
+
+	inst := &Instance{Variant: v, X: x, Y: y, Z: z}
+
+	switch v {
+	case Interfering:
+		// "A convergence action satisfies the first constraint by changing
+		// x if x = y" — here by incrementing modulo the domain — "it can
+		// violate the second constraint"; and fixing the second by lowering
+		// x can re-equal x and y.
+		fixNeq := program.NewAction("change-x", program.Convergence,
+			[]program.VarID{x, y}, []program.VarID{x},
+			func(st *program.State) bool { return st.Get(x) == st.Get(y) },
+			func(st *program.State) { st.Set(x, (st.Get(x)+1)%(Max+1)) })
+		fixLeq := program.NewAction("lower-x", program.Convergence,
+			[]program.VarID{x, z}, []program.VarID{x},
+			func(st *program.State) bool { return st.Get(x) > st.Get(z) },
+			func(st *program.State) { st.Set(x, st.Get(z)) })
+		b.Constraint(0, neq, fixNeq)
+		b.Constraint(0, leq, fixLeq)
+
+	case OutTree:
+		// "Consider for the first constraint a convergence action that
+		// changes y if x equals y, and for the second constraint a
+		// convergence action that changes z to be at least x if x exceeds
+		// z."
+		fixNeq := program.NewAction("change-y", program.Convergence,
+			[]program.VarID{x, y}, []program.VarID{y},
+			func(st *program.State) bool { return st.Get(x) == st.Get(y) },
+			func(st *program.State) { st.Set(y, (st.Get(y)+1)%(Max+1)) })
+		fixLeq := program.NewAction("raise-z", program.Convergence,
+			[]program.VarID{x, z}, []program.VarID{z},
+			func(st *program.State) bool { return st.Get(x) > st.Get(z) },
+			func(st *program.State) { st.Set(z, st.Get(x)) })
+		b.Constraint(0, neq, fixNeq)
+		b.Constraint(0, leq, fixLeq)
+
+	case Ordered:
+		// "Consider for x != y a convergence action that decreases x if x
+		// equals y, and for x <= z a convergence action that changes x to
+		// be at most z if x exceeds z. The first action preserves the
+		// constraint of the second action."
+		fixNeq := program.NewAction("decrease-x", program.Convergence,
+			[]program.VarID{x, y}, []program.VarID{x},
+			func(st *program.State) bool { return st.Get(x) == st.Get(y) },
+			func(st *program.State) { st.Set(x, st.Get(x)-1) })
+		fixLeq := program.NewAction("lower-x-to-z", program.Convergence,
+			[]program.VarID{x, z}, []program.VarID{x},
+			func(st *program.State) bool { return st.Get(x) > st.Get(z) },
+			func(st *program.State) { st.Set(x, st.Get(z)) })
+		b.Constraint(0, neq, fixNeq)
+		b.Constraint(0, leq, fixLeq)
+
+	default:
+		return nil, fmt.Errorf("xyz: unknown variant %v", v)
+	}
+
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	inst.Design = d
+	return inst, nil
+}
+
+// Variants lists all designs in presentation order.
+func Variants() []Variant { return []Variant{Interfering, OutTree, Ordered} }

@@ -1,0 +1,192 @@
+package xyz
+
+import (
+	"math/rand"
+	"testing"
+
+	"nonmask/internal/ctheory"
+	"nonmask/internal/program"
+	"nonmask/internal/verify"
+)
+
+func mustNew(t *testing.T, v Variant) *Instance {
+	t.Helper()
+	inst, err := New(v)
+	if err != nil {
+		t.Fatalf("New(%v): %v", v, err)
+	}
+	return inst
+}
+
+func TestVariantsConstruct(t *testing.T) {
+	for _, v := range Variants() {
+		inst := mustNew(t, v)
+		if inst.Design == nil {
+			t.Errorf("%v: nil design", v)
+		}
+		if err := inst.Design.TolerantProgram().Validate(); err != nil {
+			t.Errorf("%v: %v", v, err)
+		}
+	}
+}
+
+func TestFootprintsHonest(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, v := range Variants() {
+		inst := mustNew(t, v)
+		if err := inst.Design.TolerantProgram().Audit(rng, 200); err != nil {
+			t.Errorf("%v: %v", v, err)
+		}
+		for _, c := range inst.Design.Set.Constraints {
+			if err := program.AuditPredicate(inst.Design.Schema, c.Pred, rng, 200); err != nil {
+				t.Errorf("%v: %v", v, err)
+			}
+		}
+	}
+}
+
+// TestOutTreeValidatesByTheorem1 reproduces the Section 4 figure: the
+// preferred design's constraint graph is the out-tree rooted at {x} and
+// Theorem 1 applies.
+func TestOutTreeValidatesByTheorem1(t *testing.T) {
+	inst := mustNew(t, OutTree)
+	r, _, err := inst.Design.Validate(verify.Exhaustive, verify.Options{})
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if r == nil || r.Theorem != ctheory.Theorem1 {
+		t.Fatalf("OutTree validated by %v, want Theorem 1", r)
+	}
+	root, ok := r.Graph.IsOutTree()
+	if !ok {
+		t.Fatal("graph not an out-tree")
+	}
+	if lbl := r.Graph.NodeLabel(inst.Design.Schema, root); lbl != "{x}" {
+		t.Errorf("root label = %s, want {x}", lbl)
+	}
+}
+
+// TestOrderedValidatesByTheorem2 reproduces Section 6: the shared-target
+// design with the decreasing fix admits a linear order and Theorem 2
+// applies (Theorem 1 does not).
+func TestOrderedValidatesByTheorem2(t *testing.T) {
+	inst := mustNew(t, Ordered)
+	r, all, err := inst.Design.Validate(verify.Exhaustive, verify.Options{})
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if r == nil || r.Theorem != ctheory.Theorem2 {
+		t.Fatalf("Ordered validated by %v, want Theorem 2 (reports: %d)", r, len(all))
+	}
+	// The witness order must put the x<=z fix before the x!=y fix, since
+	// lowering x can violate x != y but decreasing x preserves x <= z.
+	if len(r.Orders) != 1 {
+		t.Fatalf("Orders = %v", r.Orders)
+	}
+	for _, order := range r.Orders {
+		if order[0] != "x <= z" || order[1] != "x != y" {
+			t.Errorf("witness order = %v, want [x <= z, x != y]", order)
+		}
+	}
+}
+
+// TestInterferingValidatedByNoTheorem reproduces the Section 4/6 negative
+// example: no sufficient condition applies.
+func TestInterferingValidatedByNoTheorem(t *testing.T) {
+	inst := mustNew(t, Interfering)
+	r, all, err := inst.Design.Validate(verify.Exhaustive, verify.Options{})
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if r != nil {
+		t.Fatalf("Interfering validated by %v", r.Theorem)
+	}
+	if len(all) != 3 {
+		t.Errorf("tried %d theorems, want 3", len(all))
+	}
+}
+
+// TestGroundTruthConvergence cross-checks the theorem verdicts against the
+// model checker: the validated designs converge (even unfairly — the
+// Section 8 remark), the interfering design livelocks.
+func TestGroundTruthConvergence(t *testing.T) {
+	tests := []struct {
+		v        Variant
+		converge bool
+	}{
+		{Interfering, false},
+		{OutTree, true},
+		{Ordered, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.v.String(), func(t *testing.T) {
+			inst := mustNew(t, tt.v)
+			res, err := inst.Design.Verify(verify.Options{})
+			if err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+			if res.Closure != nil {
+				t.Errorf("closure violated: %v", res.Closure)
+			}
+			if res.Unfair.Converges != tt.converge {
+				t.Errorf("unfair convergence = %v, want %v: %s",
+					res.Unfair.Converges, tt.converge, res.Unfair.Summary())
+			}
+			if tt.converge {
+				if res.Classification != verify.Nonmasking {
+					t.Errorf("classification = %v, want nonmasking", res.Classification)
+				}
+			} else {
+				// The interfering design livelocks even under fairness:
+				// the two convergence actions alternate forever.
+				if res.FairOnly == nil || res.FairOnly.Converges {
+					t.Error("interfering design converges under fair daemon")
+				}
+			}
+		})
+	}
+}
+
+// TestInterferingLivelockWitness checks the shape of the Section 6
+// counterexample: a cycle alternating the two convergence actions.
+func TestInterferingLivelockWitness(t *testing.T) {
+	inst := mustNew(t, Interfering)
+	sp, err := inst.Design.Space(verify.Options{})
+	if err != nil {
+		t.Fatalf("Space: %v", err)
+	}
+	res := sp.CheckConvergence()
+	if res.Converges {
+		t.Fatal("no livelock found")
+	}
+	if len(res.Cycle) < 2 {
+		t.Fatalf("cycle witness = %v", res.Cycle)
+	}
+	// Every state on the cycle must violate S.
+	for _, st := range res.Cycle {
+		if inst.Design.S.Holds(st) {
+			t.Errorf("cycle state %s satisfies S", st)
+		}
+	}
+}
+
+// TestWorstCaseSteps pins the exact worst-case convergence cost of the two
+// valid designs on the 0..4 domains (regression values from the checker).
+func TestWorstCaseSteps(t *testing.T) {
+	for _, v := range []Variant{OutTree, Ordered} {
+		inst := mustNew(t, v)
+		sp, err := inst.Design.Space(verify.Options{})
+		if err != nil {
+			t.Fatalf("Space: %v", err)
+		}
+		res := sp.CheckConvergence()
+		if !res.Converges {
+			t.Fatalf("%v does not converge", v)
+		}
+		if res.WorstSteps < 1 || res.WorstSteps > 20 {
+			t.Errorf("%v worst steps = %d, outside sane range", v, res.WorstSteps)
+		}
+		t.Logf("%v: worst %d steps, mean %.2f over %d bad states",
+			v, res.WorstSteps, res.MeanSteps, res.StatesOutsideS)
+	}
+}

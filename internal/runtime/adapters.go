@@ -1,0 +1,219 @@
+package runtime
+
+import (
+	"math/rand"
+)
+
+// RingProtocol adapts Dijkstra's K-state token ring (Section 7.1) to the
+// message-passing runtime. Node j owns one register x.j; node 0 reads node
+// N, node j > 0 reads node j-1.
+type RingProtocol struct {
+	// N is the highest node index (N+1 nodes).
+	N int
+	// K is the counter modulus.
+	K int32
+}
+
+// Nodes implements Protocol.
+func (r *RingProtocol) Nodes() int { return r.N + 1 }
+
+// Neighbors implements Protocol: each node reads its predecessor.
+func (r *RingProtocol) Neighbors(i int) []int {
+	if i == 0 {
+		return []int{r.N}
+	}
+	return []int{i - 1}
+}
+
+// LocalLen implements Protocol.
+func (r *RingProtocol) LocalLen(int) int { return 1 }
+
+// Init implements Protocol: the legitimate all-zero configuration.
+func (r *RingProtocol) Init(_ int, regs []int32) { regs[0] = 0 }
+
+// norm interprets an arbitrary (possibly corrupted) register value as a
+// counter value in 0..K-1.
+func (r *RingProtocol) norm(v int32) int32 {
+	v %= r.K
+	if v < 0 {
+		v += r.K
+	}
+	return v
+}
+
+// Step implements Protocol.
+func (r *RingProtocol) Step(i int, regs []int32, cache map[int][]int32) bool {
+	pred := r.N
+	if i > 0 {
+		pred = i - 1
+	}
+	c, ok := cache[pred]
+	if !ok {
+		return false
+	}
+	mine, theirs := r.norm(regs[0]), r.norm(c[0])
+	if i == 0 {
+		if mine == theirs {
+			regs[0] = (mine + 1) % r.K
+			return true
+		}
+		return false
+	}
+	if mine != theirs {
+		regs[0] = theirs
+		return true
+	}
+	return false
+}
+
+// Legitimate implements Protocol: exactly one privilege in the snapshot.
+func (r *RingProtocol) Legitimate(all [][]int32) bool {
+	count := 0
+	if r.norm(all[0][0]) == r.norm(all[r.N][0]) {
+		count++
+	}
+	for j := 1; j <= r.N; j++ {
+		if r.norm(all[j][0]) != r.norm(all[j-1][0]) {
+			count++
+		}
+	}
+	return count == 1
+}
+
+// CorruptRing randomizes a ring node's register.
+func CorruptRing(k int32) func(int, []int32, *rand.Rand) {
+	return func(_ int, regs []int32, rng *rand.Rand) {
+		regs[0] = rng.Int31n(k)
+	}
+}
+
+// TreeProtocol adapts the Section 5.1 diffusing computation to the runtime.
+// Node j owns registers [c.j, sn.j]; it reads its parent (wave descent) and
+// its children (reflection).
+type TreeProtocol struct {
+	// Parent is the tree's parent vector (Parent[root] == root).
+	Parent []int
+	kids   [][]int
+}
+
+// NewTreeProtocol builds the adapter and its child lists.
+func NewTreeProtocol(parent []int) *TreeProtocol {
+	p := &TreeProtocol{Parent: parent, kids: make([][]int, len(parent))}
+	for j, pj := range parent {
+		if pj != j {
+			p.kids[pj] = append(p.kids[pj], j)
+		}
+	}
+	return p
+}
+
+// register layout
+const (
+	regC  = 0
+	regSn = 1
+)
+
+// Nodes implements Protocol.
+func (t *TreeProtocol) Nodes() int { return len(t.Parent) }
+
+// Neighbors implements Protocol: parent plus children.
+func (t *TreeProtocol) Neighbors(i int) []int {
+	var out []int
+	if t.Parent[i] != i {
+		out = append(out, t.Parent[i])
+	}
+	out = append(out, t.kids[i]...)
+	return out
+}
+
+// LocalLen implements Protocol.
+func (t *TreeProtocol) LocalLen(int) int { return 2 }
+
+// Init implements Protocol: all green, equal sessions.
+func (t *TreeProtocol) Init(_ int, regs []int32) {
+	regs[regC] = 0
+	regs[regSn] = 0
+}
+
+func normBit(v int32) int32 {
+	if v != 0 {
+		return 1
+	}
+	return 0
+}
+
+// Step implements Protocol: the combined program of Section 5.1 — initiate
+// at the root, copy-parent (propagation merged with convergence), reflect.
+func (t *TreeProtocol) Step(i int, regs []int32, cache map[int][]int32) bool {
+	c := normBit(regs[regC])
+	sn := normBit(regs[regSn])
+	root := t.Parent[i] == i
+
+	if !root {
+		pc, ok := cache[t.Parent[i]]
+		if !ok {
+			return false
+		}
+		pcol, psn := normBit(pc[regC]), normBit(pc[regSn])
+		// sn.j != sn.(P.j) or (c.j = red and c.(P.j) = green)
+		if sn != psn || (c == 1 && pcol == 0) {
+			regs[regC] = pcol
+			regs[regSn] = psn
+			return true
+		}
+	} else if c == 0 {
+		// Root initiates.
+		regs[regC] = 1
+		regs[regSn] = 1 - sn
+		return true
+	}
+
+	// Reflect: red, and every child green with matching session.
+	if c == 1 {
+		for _, k := range t.kids[i] {
+			kc, ok := cache[k]
+			if !ok {
+				return false
+			}
+			if normBit(kc[regC]) != 0 || normBit(kc[regSn]) != sn {
+				return false
+			}
+		}
+		regs[regC] = 0
+		return true
+	}
+	return false
+}
+
+// Legitimate implements Protocol: every non-root node satisfies R.j.
+func (t *TreeProtocol) Legitimate(all [][]int32) bool {
+	for j, pj := range t.Parent {
+		if pj == j {
+			continue
+		}
+		cj, snj := normBit(all[j][regC]), normBit(all[j][regSn])
+		cp, snp := normBit(all[pj][regC]), normBit(all[pj][regSn])
+		if cj == cp && snj == snp {
+			continue
+		}
+		if cj == 0 && cp == 1 {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// CorruptTree randomizes a tree node's registers.
+func CorruptTree() func(int, []int32, *rand.Rand) {
+	return func(_ int, regs []int32, rng *rand.Rand) {
+		regs[regC] = rng.Int31n(2)
+		regs[regSn] = rng.Int31n(2)
+	}
+}
+
+// interface compliance
+var (
+	_ Protocol = (*RingProtocol)(nil)
+	_ Protocol = (*TreeProtocol)(nil)
+)

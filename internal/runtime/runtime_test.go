@@ -1,0 +1,230 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"nonmask/internal/protocols/diffusing"
+)
+
+func TestRingProtocolAdapter(t *testing.T) {
+	r := &RingProtocol{N: 3, K: 5}
+	if r.Nodes() != 4 {
+		t.Errorf("Nodes = %d", r.Nodes())
+	}
+	if got := r.Neighbors(0); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Neighbors(0) = %v", got)
+	}
+	if got := r.Neighbors(2); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Neighbors(2) = %v", got)
+	}
+	// Step semantics: node 0 advances when equal to predecessor.
+	regs := []int32{2}
+	cache := map[int][]int32{3: {2}}
+	if !r.Step(0, regs, cache) || regs[0] != 3 {
+		t.Errorf("advance: regs = %v", regs)
+	}
+	if r.Step(0, regs, cache) {
+		t.Error("node 0 advanced while unequal")
+	}
+	// Node 2 copies when different.
+	regs = []int32{0}
+	cache = map[int][]int32{1: {4}}
+	if !r.Step(2, regs, cache) || regs[0] != 4 {
+		t.Errorf("copy: regs = %v", regs)
+	}
+	// No cache, no action.
+	if r.Step(2, []int32{0}, map[int][]int32{}) {
+		t.Error("stepped without cache")
+	}
+}
+
+func TestRingLegitimate(t *testing.T) {
+	r := &RingProtocol{N: 2, K: 4}
+	if !r.Legitimate([][]int32{{0}, {0}, {0}}) {
+		t.Error("all-zero not legitimate")
+	}
+	if !r.Legitimate([][]int32{{1}, {0}, {0}}) {
+		t.Error("single-step not legitimate")
+	}
+	if r.Legitimate([][]int32{{0}, {1}, {0}}) {
+		t.Error("three-privilege snapshot legitimate")
+	}
+}
+
+func TestRingRunsFromLegitimate(t *testing.T) {
+	net := NewNetwork(&RingProtocol{N: 4, K: 6}, Config{Seed: 1})
+	res := net.Run(2 * time.Second)
+	if !res.Converged {
+		t.Fatalf("legitimate ring did not report convergence (%d updates)", res.Updates)
+	}
+}
+
+func TestRingStabilizesAfterCorruption(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		net := NewNetwork(&RingProtocol{N: 9, K: 11}, Config{Seed: seed})
+		net.Corrupt(10, CorruptRing(11))
+		res := net.Run(5 * time.Second)
+		if !res.Converged {
+			t.Fatalf("seed %d: corrupted ring did not stabilize (%d updates)", seed, res.Updates)
+		}
+	}
+}
+
+func TestRingStabilizesWithLossAndDup(t *testing.T) {
+	net := NewNetwork(&RingProtocol{N: 7, K: 9}, Config{
+		Seed:            3,
+		LossProb:        0.3,
+		DupProb:         0.2,
+		RetransmitEvery: 200 * time.Microsecond,
+	})
+	net.Corrupt(8, CorruptRing(9))
+	res := net.Run(10 * time.Second)
+	if !res.Converged {
+		t.Fatalf("lossy ring did not stabilize (%d updates)", res.Updates)
+	}
+}
+
+func TestTreeProtocolAdapter(t *testing.T) {
+	tr := diffusing.Binary(7)
+	p := NewTreeProtocol(tr.Parent)
+	if p.Nodes() != 7 {
+		t.Errorf("Nodes = %d", p.Nodes())
+	}
+	// Root's neighbors are its children; an inner node sees parent+kids.
+	if got := p.Neighbors(0); len(got) != 2 {
+		t.Errorf("Neighbors(0) = %v", got)
+	}
+	if got := p.Neighbors(1); len(got) != 3 {
+		t.Errorf("Neighbors(1) = %v", got)
+	}
+	if got := p.Neighbors(3); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Neighbors(3) = %v", got)
+	}
+	// Root initiates from green.
+	regs := []int32{0, 0}
+	if !p.Step(0, regs, nil) || regs[regC] != 1 || regs[regSn] != 1 {
+		t.Errorf("initiate: regs = %v", regs)
+	}
+	// Child copies a red parent with differing session.
+	regs = []int32{0, 0}
+	cache := map[int][]int32{0: {1, 1}}
+	if !p.Step(1, regs, cache) || regs[regC] != 1 || regs[regSn] != 1 {
+		t.Errorf("propagate: regs = %v", regs)
+	}
+	// Leaf reflects immediately once red.
+	regs = []int32{1, 1}
+	cache = map[int][]int32{1: {1, 1}}
+	if !p.Step(3, regs, cache) || regs[regC] != 0 {
+		t.Errorf("reflect: regs = %v", regs)
+	}
+}
+
+func TestTreeRunsFaultFree(t *testing.T) {
+	tr := diffusing.Binary(7)
+	net := NewNetwork(NewTreeProtocol(tr.Parent), Config{Seed: 5})
+	res := net.Run(2 * time.Second)
+	if !res.Converged {
+		t.Fatalf("fault-free tree did not report convergence (%d updates)", res.Updates)
+	}
+}
+
+func TestTreeStabilizesAfterCorruption(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		tr := diffusing.Random(15, seed)
+		net := NewNetwork(NewTreeProtocol(tr.Parent), Config{Seed: seed})
+		net.Corrupt(15, CorruptTree())
+		res := net.Run(5 * time.Second)
+		if !res.Converged {
+			t.Fatalf("seed %d: corrupted tree did not stabilize (%d updates)", seed, res.Updates)
+		}
+	}
+}
+
+func TestTreeStabilizesWithLoss(t *testing.T) {
+	tr := diffusing.Binary(15)
+	net := NewNetwork(NewTreeProtocol(tr.Parent), Config{
+		Seed:            8,
+		LossProb:        0.25,
+		DupProb:         0.1,
+		RetransmitEvery: 200 * time.Microsecond,
+	})
+	net.Corrupt(15, CorruptTree())
+	res := net.Run(10 * time.Second)
+	if !res.Converged {
+		t.Fatalf("lossy tree did not stabilize (%d updates)", res.Updates)
+	}
+}
+
+func TestLargerRingScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	net := NewNetwork(&RingProtocol{N: 31, K: 33}, Config{Seed: 13})
+	net.Corrupt(32, CorruptRing(33))
+	res := net.Run(15 * time.Second)
+	if !res.Converged {
+		t.Fatalf("32-node ring did not stabilize (%d updates)", res.Updates)
+	}
+}
+
+func TestCorruptOutOfDomainValuesHandled(t *testing.T) {
+	// Registers corrupted to arbitrary values must not break the adapters:
+	// they normalize modulo their domains.
+	r := &RingProtocol{N: 2, K: 3}
+	regs := []int32{-7}
+	cache := map[int][]int32{2: {1000}}
+	r.Step(1, regs, cache) // must not panic
+	if !r.Legitimate([][]int32{{-7}, {-7}, {-7}}) {
+		t.Error("normalized equal values not legitimate")
+	}
+}
+
+func TestMidRunFaultRecovery(t *testing.T) {
+	// A live fault injected into the running system: the ring converges,
+	// the monitor corrupts half the nodes mid-flight, and the system
+	// converges again afterwards.
+	net := NewNetwork(&RingProtocol{N: 7, K: 9}, Config{
+		Seed: 4,
+		MidRunFault: &MidRunFault{
+			After: 30,
+			Nodes: 4,
+			Corrupt: func(_ int, regs []int32, rng *rand.Rand) {
+				regs[0] = rng.Int31n(9)
+			},
+		},
+	})
+	res := net.Run(10 * time.Second)
+	if res.FaultFiredAt == 0 {
+		t.Fatal("mid-run fault never fired")
+	}
+	if !res.Converged {
+		t.Fatalf("did not reconverge after live fault (fault at update %d, %d updates total)",
+			res.FaultFiredAt, res.Updates)
+	}
+	if res.Updates <= res.FaultFiredAt {
+		t.Errorf("no post-fault updates: fault at %d, total %d", res.FaultFiredAt, res.Updates)
+	}
+}
+
+func TestMidRunFaultOnTree(t *testing.T) {
+	tr := diffusing.Binary(15)
+	net := NewNetwork(NewTreeProtocol(tr.Parent), Config{
+		Seed:     6,
+		LossProb: 0.1,
+		MidRunFault: &MidRunFault{
+			After: 40,
+			Nodes: 8,
+			Corrupt: func(_ int, regs []int32, rng *rand.Rand) {
+				regs[regC] = rng.Int31n(2)
+				regs[regSn] = rng.Int31n(2)
+			},
+		},
+	})
+	res := net.Run(10 * time.Second)
+	if !res.Converged || res.FaultFiredAt == 0 {
+		t.Fatalf("tree did not survive live fault: converged=%v faultAt=%d",
+			res.Converged, res.FaultFiredAt)
+	}
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"nonmask/internal/daemon"
+	"nonmask/internal/fault"
+	"nonmask/internal/program"
+)
+
+// stabilizingPair builds x,y with S = (y = x): convergence copies x to y,
+// a closure action advances both together.
+func stabilizingPair(t *testing.T) (*program.Program, *program.Predicate, [][]program.VarID) {
+	t.Helper()
+	s := program.NewSchema()
+	x := s.MustDeclare("x", program.IntRange(0, 7))
+	y := s.MustDeclare("y", program.IntRange(0, 7))
+	p := program.New("pair", s)
+	p.Add(
+		program.NewAction("advance", program.Closure,
+			[]program.VarID{x, y}, []program.VarID{x, y},
+			func(st *program.State) bool { return st.Get(x) == st.Get(y) },
+			func(st *program.State) {
+				v := (st.Get(x) + 1) % 8
+				st.Set(x, v)
+				st.Set(y, v)
+			}),
+		program.NewAction("sync", program.Convergence,
+			[]program.VarID{x, y}, []program.VarID{y},
+			func(st *program.State) bool { return st.Get(y) != st.Get(x) },
+			func(st *program.State) { st.Set(y, st.Get(x)) }),
+	)
+	S := program.NewPredicate("y=x", []program.VarID{x, y},
+		func(st *program.State) bool { return st.Get(y) == st.Get(x) })
+	return p, S, [][]program.VarID{{x}, {y}}
+}
+
+func TestFaultRateInjects(t *testing.T) {
+	p, S, groups := stabilizingPair(t)
+	r := &Runner{
+		P: p, S: S,
+		D:            daemon.NewRoundRobin(p),
+		MaxSteps:     10_000,
+		FaultRate:    0.05,
+		RateInjector: &fault.CorruptGroups{Groups: groups, K: 1},
+	}
+	rng := rand.New(rand.NewSource(3))
+	res := r.Run(p.Schema.NewState(), rng)
+	// Expect roughly 0.05 * 10000 = 500 injections; allow wide slack.
+	if res.FaultsInjected < 300 || res.FaultsInjected > 700 {
+		t.Errorf("FaultsInjected = %d, want ~500", res.FaultsInjected)
+	}
+}
+
+func TestFaultRateZeroInjectsNothing(t *testing.T) {
+	p, S, _ := stabilizingPair(t)
+	r := &Runner{P: p, S: S, D: daemon.NewRoundRobin(p), MaxSteps: 1000}
+	res := r.Run(p.Schema.NewState(), rand.New(rand.NewSource(1)))
+	if res.FaultsInjected != 0 {
+		t.Errorf("FaultsInjected = %d without FaultRate", res.FaultsInjected)
+	}
+}
+
+// stabilizingChain builds x -> y1 -> y2: each sync copies one link, so a
+// corruption of x needs two steps to heal and availability genuinely drops
+// below 1 under continuous faults.
+func stabilizingChain(t *testing.T) (*program.Program, *program.Predicate, [][]program.VarID) {
+	t.Helper()
+	s := program.NewSchema()
+	x := s.MustDeclare("x", program.IntRange(0, 7))
+	y1 := s.MustDeclare("y1", program.IntRange(0, 7))
+	y2 := s.MustDeclare("y2", program.IntRange(0, 7))
+	p := program.New("chain", s)
+	p.Add(
+		program.NewAction("sync1", program.Convergence,
+			[]program.VarID{x, y1}, []program.VarID{y1},
+			func(st *program.State) bool { return st.Get(y1) != st.Get(x) },
+			func(st *program.State) { st.Set(y1, st.Get(x)) }),
+		program.NewAction("sync2", program.Convergence,
+			[]program.VarID{y1, y2}, []program.VarID{y2},
+			func(st *program.State) bool { return st.Get(y2) != st.Get(y1) },
+			func(st *program.State) { st.Set(y2, st.Get(y1)) }),
+	)
+	S := program.NewPredicate("chain equal", []program.VarID{x, y1, y2},
+		func(st *program.State) bool {
+			return st.Get(y1) == st.Get(x) && st.Get(y2) == st.Get(y1)
+		})
+	return p, S, [][]program.VarID{{x}, {y1}, {y2}}
+}
+
+func TestAvailabilityDecreasesWithRate(t *testing.T) {
+	p, S, groups := stabilizingChain(t)
+	measure := func(rate float64) float64 {
+		r := &Runner{
+			P: p, S: S,
+			D:            daemon.NewRoundRobin(p),
+			MaxSteps:     20_000,
+			FaultRate:    rate,
+			RateInjector: &fault.CorruptGroups{Groups: groups, K: 1},
+		}
+		rng := rand.New(rand.NewSource(9))
+		avail, _ := r.Availability(p.Schema.NewState(), rng)
+		return avail
+	}
+	clean := measure(0)
+	light := measure(0.01)
+	heavy := measure(0.3)
+	if clean != 1 {
+		t.Errorf("availability without faults = %v, want 1", clean)
+	}
+	if !(light > heavy) {
+		t.Errorf("availability not monotone: light %.3f <= heavy %.3f", light, heavy)
+	}
+	if light < 0.9 {
+		t.Errorf("light-fault availability = %.3f, suspiciously low", light)
+	}
+	if heavy > 0.95 {
+		t.Errorf("heavy-fault availability = %.3f, suspiciously high", heavy)
+	}
+}
+
+func TestAvailabilityRestoresOnTick(t *testing.T) {
+	p, S, groups := stabilizingPair(t)
+	called := 0
+	r := &Runner{
+		P: p, S: S,
+		D:            daemon.NewRoundRobin(p),
+		MaxSteps:     100,
+		FaultRate:    0.1,
+		RateInjector: &fault.CorruptGroups{Groups: groups, K: 1},
+		OnTick:       func(int, *program.State) { called++ },
+	}
+	r.Availability(p.Schema.NewState(), rand.New(rand.NewSource(2)))
+	if called != 100 {
+		t.Errorf("caller's OnTick called %d times, want 100", called)
+	}
+	if r.OnTick == nil {
+		t.Error("Availability cleared the caller's OnTick")
+	}
+}

@@ -1,0 +1,278 @@
+// Package sim executes guarded-command programs under a daemon with
+// optional fault injection, recording convergence behaviour. It is the
+// statistical counterpart of internal/verify: the checker proves
+// convergence exactly on small instances, the simulator measures
+// convergence times on instances far beyond enumeration (e.g. diffusing
+// computations on thousand-node trees).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nonmask/internal/daemon"
+	"nonmask/internal/fault"
+	"nonmask/internal/program"
+)
+
+// Runner drives one program under one daemon.
+type Runner struct {
+	// P is the program to execute (closure + convergence actions).
+	P *program.Program
+	// S is the invariant; a run "converges" at the first step where S holds.
+	S *program.Predicate
+	// D schedules the actions. Required.
+	D daemon.Daemon
+	// MaxSteps bounds each run; a run that has not converged by then is
+	// reported as not converged. Zero means DefaultMaxSteps.
+	MaxSteps int
+	// Faults schedules mid-run injections (measured runs usually inject at
+	// step 0 and measure recovery).
+	Faults fault.Schedule
+	// FaultRate, when positive, additionally fires RateInjector before each
+	// step with this probability — the continuous-fault regime in which a
+	// nonmasking program lives between recoveries.
+	FaultRate float64
+	// RateInjector is the injector FaultRate fires. Required when
+	// FaultRate > 0.
+	RateInjector fault.Injector
+	// StopAtS stops the run at the first state satisfying S when true.
+	// When false the run continues (measuring post-convergence behaviour,
+	// e.g. that closure actions keep S) until MaxSteps.
+	StopAtS bool
+	// OnStep, when non-nil, observes every executed step.
+	OnStep func(step int, st *program.State, a *program.Action)
+	// OnTick, when non-nil, observes every loop iteration's current state
+	// (after scheduled/rate injections, before action selection) — unlike
+	// OnStep it also fires on quiescent iterations under FaultRate.
+	OnTick func(step int, st *program.State)
+}
+
+// DefaultMaxSteps bounds runs whose Runner does not set MaxSteps.
+const DefaultMaxSteps = 1_000_000
+
+// Result describes one run.
+type Result struct {
+	// Converged reports whether S held at some visited state.
+	Converged bool
+	// Steps is the number of actions executed before S first held
+	// (or the total executed when it never did).
+	Steps int
+	// TotalSteps is the total number of actions executed in the run.
+	TotalSteps int
+	// Deadlocked reports that the run ended with no enabled actions while S
+	// did not hold (a maximal finite computation outside S).
+	Deadlocked bool
+	// Final is the last state of the run.
+	Final *program.State
+	// ActionCounts tallies executed actions by kind.
+	ActionCounts map[program.ActionKind]int
+	// ViolationsAtStart counts constraints violated at the initial state
+	// when the runner is given a ViolationCounter.
+	ViolationsAtStart int
+	// FaultsInjected counts rate-based injections during the run.
+	FaultsInjected int
+}
+
+// Availability measures the fraction of steps at which S held during a
+// run with continuous faults — the natural quality metric for nonmasking
+// programs (the input-output relation is "violated only temporarily"; this
+// quantifies how temporarily). It re-runs the runner with an observing
+// hook and returns (fraction of observed states in S, faults injected).
+func (r *Runner) Availability(init *program.State, rng *rand.Rand) (float64, int) {
+	inS, total := 0, 0
+	prev := r.OnTick
+	r.OnTick = func(step int, st *program.State) {
+		total++
+		if r.S.Holds(st) {
+			inS++
+		}
+		if prev != nil {
+			prev(step, st)
+		}
+	}
+	defer func() { r.OnTick = prev }()
+	res := r.Run(init, rng)
+	if total == 0 {
+		return 0, res.FaultsInjected
+	}
+	return float64(inS) / float64(total), res.FaultsInjected
+}
+
+// String renders a one-line result.
+func (r *Result) String() string {
+	if r.Deadlocked {
+		return fmt.Sprintf("deadlocked after %d steps at %s", r.TotalSteps, r.Final)
+	}
+	if !r.Converged {
+		return fmt.Sprintf("did not converge within %d steps", r.TotalSteps)
+	}
+	return fmt.Sprintf("converged in %d steps", r.Steps)
+}
+
+// ViolationCounter lets the runner report how many constraints were
+// violated initially; protocols provide it via their constraint sets.
+type ViolationCounter interface {
+	ViolatedCount(*program.State) int
+}
+
+// Run executes one run from the given initial state. The initial state is
+// not mutated. rng drives fault injection (may be nil when Faults is
+// empty).
+func (r *Runner) Run(init *program.State, rng *rand.Rand) *Result {
+	maxSteps := r.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	st := init.Clone()
+	res := &Result{
+		ActionCounts: make(map[program.ActionKind]int, 3),
+	}
+	for step := 0; step < maxSteps; step++ {
+		for _, inj := range r.Faults.At(step) {
+			inj.Inject(st, rng)
+			res.Converged = false // a fault voids earlier convergence
+		}
+		if r.FaultRate > 0 && rng.Float64() < r.FaultRate {
+			r.RateInjector.Inject(st, rng)
+			res.Converged = false
+			res.FaultsInjected++
+		}
+		if r.OnTick != nil {
+			r.OnTick(step, st)
+		}
+		if !res.Converged && r.S.Holds(st) {
+			res.Converged = true
+			res.Steps = res.TotalSteps
+			if r.StopAtS {
+				res.Final = st
+				return res
+			}
+		}
+		enabled := r.P.Enabled(st)
+		if len(enabled) == 0 {
+			// Under continuous faults, quiescence is not the end: a later
+			// injection may re-enable actions. Stutter through the tick.
+			if r.FaultRate > 0 {
+				continue
+			}
+			res.Final = st
+			res.Deadlocked = !r.S.Holds(st)
+			if !res.Converged {
+				res.Steps = res.TotalSteps
+			}
+			return res
+		}
+		a := r.D.Pick(st, enabled, step)
+		st = a.Apply(st)
+		res.TotalSteps++
+		res.ActionCounts[a.Kind]++
+		if r.OnStep != nil {
+			r.OnStep(step, st, a)
+		}
+	}
+	res.Final = st
+	// A run can converge exactly at the step budget's edge.
+	if !res.Converged && r.S.Holds(st) {
+		res.Converged = true
+		res.Steps = res.TotalSteps
+	}
+	if !res.Converged {
+		res.Steps = res.TotalSteps
+	}
+	return res
+}
+
+// Batch aggregates many runs.
+type Batch struct {
+	// Runs is the number of runs executed.
+	Runs int
+	// ConvergedRuns counts runs that reached S.
+	ConvergedRuns int
+	// Steps holds the per-run steps-to-convergence for converged runs.
+	Steps []int
+}
+
+// ConvergenceRate returns the fraction of runs that converged.
+func (b *Batch) ConvergenceRate() float64 {
+	if b.Runs == 0 {
+		return 0
+	}
+	return float64(b.ConvergedRuns) / float64(b.Runs)
+}
+
+// RunMany performs n runs from initial states drawn by nextInit (called
+// with the run index) and aggregates convergence statistics.
+func (r *Runner) RunMany(n int, rng *rand.Rand, nextInit func(i int, rng *rand.Rand) *program.State) *Batch {
+	b := &Batch{Runs: n}
+	for i := 0; i < n; i++ {
+		res := r.Run(nextInit(i, rng), rng)
+		if res.Converged {
+			b.ConvergedRuns++
+			b.Steps = append(b.Steps, res.Steps)
+		}
+	}
+	return b
+}
+
+// RandomStates returns a nextInit function drawing uniformly random states
+// — the "started in an arbitrary state" setting of stabilization.
+func RandomStates(schema *program.Schema) func(int, *rand.Rand) *program.State {
+	return func(_ int, rng *rand.Rand) *program.State {
+		return program.RandomState(schema, rng)
+	}
+}
+
+// CorruptedStates returns a nextInit function that starts from the given
+// good state and applies the injector — the "k nodes corrupted" setting.
+func CorruptedStates(good *program.State, inj fault.Injector) func(int, *rand.Rand) *program.State {
+	return func(_ int, rng *rand.Rand) *program.State {
+		st := good.Clone()
+		inj.Inject(st, rng)
+		return st
+	}
+}
+
+// Trace records the state sequence of a run for assertions and display.
+type Trace struct {
+	States  []*program.State
+	Actions []*program.Action
+}
+
+// Record runs the runner once and captures the full trace, including the
+// initial state.
+func (r *Runner) Record(init *program.State, rng *rand.Rand) (*Result, *Trace) {
+	tr := &Trace{States: []*program.State{init.Clone()}}
+	prev := r.OnStep
+	r.OnStep = func(step int, st *program.State, a *program.Action) {
+		tr.States = append(tr.States, st.Clone())
+		tr.Actions = append(tr.Actions, a)
+		if prev != nil {
+			prev(step, st, a)
+		}
+	}
+	defer func() { r.OnStep = prev }()
+	res := r.Run(init, rng)
+	return res, tr
+}
+
+// Len returns the number of steps in the trace.
+func (t *Trace) Len() int { return len(t.Actions) }
+
+// HoldsFromUntilEnd returns the first index from which pred holds at every
+// subsequent state, or -1 if pred does not hold at the final state. It is
+// the natural check for the paper's convergence requirement: the
+// computation has a suffix where S always holds.
+func (t *Trace) HoldsFromUntilEnd(pred *program.Predicate) int {
+	first := -1
+	for i, st := range t.States {
+		if pred.Holds(st) {
+			if first == -1 {
+				first = i
+			}
+		} else {
+			first = -1
+		}
+	}
+	return first
+}

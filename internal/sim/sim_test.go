@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"nonmask/internal/daemon"
+	"nonmask/internal/fault"
+	"nonmask/internal/program"
+)
+
+// counterProgram: x counts up to target; S = x = target.
+func counterProgram(t *testing.T, max, target int32) (*program.Program, *program.Predicate, program.VarID) {
+	t.Helper()
+	s := program.NewSchema()
+	x := s.MustDeclare("x", program.IntRange(0, max))
+	p := program.New("counter", s)
+	p.Add(program.NewAction("inc", program.Closure,
+		[]program.VarID{x}, []program.VarID{x},
+		func(st *program.State) bool { return st.Get(x) < target },
+		func(st *program.State) { st.Set(x, st.Get(x)+1) }))
+	S := program.NewPredicate("done", []program.VarID{x},
+		func(st *program.State) bool { return st.Get(x) == target })
+	return p, S, x
+}
+
+func TestRunConverges(t *testing.T) {
+	p, S, _ := counterProgram(t, 10, 10)
+	r := &Runner{P: p, S: S, D: daemon.NewRoundRobin(p), StopAtS: true}
+	res := r.Run(p.Schema.NewState(), nil)
+	if !res.Converged {
+		t.Fatalf("did not converge: %s", res)
+	}
+	if res.Steps != 10 {
+		t.Errorf("Steps = %d, want 10", res.Steps)
+	}
+	if res.ActionCounts[program.Closure] != 10 {
+		t.Errorf("closure count = %d, want 10", res.ActionCounts[program.Closure])
+	}
+	if !S.Holds(res.Final) {
+		t.Error("final state does not satisfy S")
+	}
+}
+
+func TestRunDoesNotMutateInit(t *testing.T) {
+	p, S, x := counterProgram(t, 10, 10)
+	r := &Runner{P: p, S: S, D: daemon.NewRoundRobin(p), StopAtS: true}
+	init := p.Schema.NewState()
+	r.Run(init, nil)
+	if init.Get(x) != 0 {
+		t.Error("Run mutated the initial state")
+	}
+}
+
+func TestRunAlreadyConverged(t *testing.T) {
+	p, S, x := counterProgram(t, 10, 10)
+	r := &Runner{P: p, S: S, D: daemon.NewRoundRobin(p), StopAtS: true}
+	init := p.Schema.NewState()
+	init.Set(x, 10)
+	res := r.Run(init, nil)
+	if !res.Converged || res.Steps != 0 {
+		t.Errorf("already-converged run = %s", res)
+	}
+}
+
+func TestRunDeadlock(t *testing.T) {
+	// S = x=5 but action stops at 3: terminal state outside S.
+	p, S, _ := counterProgram(t, 10, 3)
+	S5 := program.NewPredicate("x=5", []program.VarID{0},
+		func(st *program.State) bool { return st.Get(0) == 5 })
+	_ = S
+	r := &Runner{P: p, S: S5, D: daemon.NewRoundRobin(p), StopAtS: true}
+	res := r.Run(p.Schema.NewState(), nil)
+	if res.Converged {
+		t.Error("deadlocked run reported converged")
+	}
+	if !res.Deadlocked {
+		t.Errorf("Deadlocked = false: %s", res)
+	}
+	if res.TotalSteps != 3 {
+		t.Errorf("TotalSteps = %d, want 3", res.TotalSteps)
+	}
+}
+
+func TestRunMaxStepsExceeded(t *testing.T) {
+	// Oscillator never reaches S.
+	s := program.NewSchema()
+	x := s.MustDeclare("x", program.Bool())
+	p := program.New("osc", s)
+	p.Add(program.NewAction("flip", program.Closure,
+		[]program.VarID{x}, []program.VarID{x},
+		func(st *program.State) bool { return true },
+		func(st *program.State) { st.SetBool(x, !st.Bool(x)) }))
+	S := program.False()
+	r := &Runner{P: p, S: S, D: daemon.NewRoundRobin(p), MaxSteps: 50, StopAtS: true}
+	res := r.Run(s.NewState(), nil)
+	if res.Converged || res.Deadlocked {
+		t.Errorf("oscillator run = %s", res)
+	}
+	if res.TotalSteps != 50 {
+		t.Errorf("TotalSteps = %d, want 50", res.TotalSteps)
+	}
+}
+
+func TestRunWithFaultSchedule(t *testing.T) {
+	p, S, x := counterProgram(t, 10, 10)
+	// Fault at step 5 resets x to 0; convergence must be re-achieved.
+	snapshot := p.Schema.NewState()
+	r := &Runner{
+		P: p, S: S, D: daemon.NewRoundRobin(p), StopAtS: true,
+		Faults: fault.Schedule{{Step: 5, Inj: &fault.ResetTo{Snapshot: snapshot}}},
+	}
+	rng := rand.New(rand.NewSource(1))
+	res := r.Run(p.Schema.NewState(), rng)
+	if !res.Converged {
+		t.Fatalf("did not reconverge after fault: %s", res)
+	}
+	// 5 steps wasted + 10 steps after reset.
+	if res.Steps != 15 {
+		t.Errorf("Steps = %d, want 15", res.Steps)
+	}
+	_ = x
+}
+
+func TestRunContinuesPastSWhenStopAtSFalse(t *testing.T) {
+	p, S, _ := counterProgram(t, 10, 5)
+	r := &Runner{P: p, S: S, D: daemon.NewRoundRobin(p), MaxSteps: 100, StopAtS: false}
+	res := r.Run(p.Schema.NewState(), nil)
+	if !res.Converged || res.Steps != 5 {
+		t.Errorf("res = %s, want convergence at step 5", res)
+	}
+	// After x=5 the action is disabled: run ends by deadlock-in-S, which is
+	// a legal maximal computation.
+	if res.Deadlocked {
+		t.Error("terminal state in S flagged as deadlock")
+	}
+	if res.TotalSteps != 5 {
+		t.Errorf("TotalSteps = %d, want 5", res.TotalSteps)
+	}
+}
+
+func TestRunManyAndBatch(t *testing.T) {
+	p, S, _ := counterProgram(t, 10, 10)
+	r := &Runner{P: p, S: S, D: daemon.NewRoundRobin(p), StopAtS: true}
+	rng := rand.New(rand.NewSource(11))
+	b := r.RunMany(20, rng, RandomStates(p.Schema))
+	if b.Runs != 20 || b.ConvergedRuns != 20 {
+		t.Errorf("batch = %d/%d converged", b.ConvergedRuns, b.Runs)
+	}
+	if b.ConvergenceRate() != 1 {
+		t.Errorf("rate = %v", b.ConvergenceRate())
+	}
+	if len(b.Steps) != 20 {
+		t.Errorf("Steps sample = %d entries", len(b.Steps))
+	}
+	for _, s := range b.Steps {
+		if s < 0 || s > 10 {
+			t.Errorf("steps %d out of range", s)
+		}
+	}
+	empty := &Batch{}
+	if empty.ConvergenceRate() != 0 {
+		t.Error("empty batch rate != 0")
+	}
+}
+
+func TestCorruptedStates(t *testing.T) {
+	p, _, x := counterProgram(t, 10, 10)
+	good := p.Schema.NewState()
+	good.Set(x, 10)
+	gen := CorruptedStates(good, &fault.CorruptVars{K: 1})
+	rng := rand.New(rand.NewSource(2))
+	st := gen(0, rng)
+	if st == good {
+		t.Error("generator returned the snapshot itself")
+	}
+	if good.Get(x) != 10 {
+		t.Error("generator mutated the good state")
+	}
+}
+
+func TestRecordTrace(t *testing.T) {
+	p, S, _ := counterProgram(t, 10, 3)
+	r := &Runner{P: p, S: S, D: daemon.NewRoundRobin(p), StopAtS: true}
+	res, tr := r.Record(p.Schema.NewState(), nil)
+	if !res.Converged {
+		t.Fatalf("res = %s", res)
+	}
+	if tr.Len() != 3 {
+		t.Errorf("trace len = %d, want 3", tr.Len())
+	}
+	if len(tr.States) != 4 {
+		t.Errorf("trace states = %d, want 4 (incl. initial)", len(tr.States))
+	}
+	if got := tr.HoldsFromUntilEnd(S); got != 3 {
+		t.Errorf("HoldsFromUntilEnd = %d, want 3", got)
+	}
+	notYet := program.NewPredicate("x>=2", []program.VarID{0},
+		func(st *program.State) bool { return st.Get(0) >= 2 })
+	if got := tr.HoldsFromUntilEnd(notYet); got != 2 {
+		t.Errorf("HoldsFromUntilEnd(x>=2) = %d, want 2", got)
+	}
+	never := program.False()
+	if got := tr.HoldsFromUntilEnd(never); got != -1 {
+		t.Errorf("HoldsFromUntilEnd(false) = %d, want -1", got)
+	}
+	// OnStep restored after Record.
+	if r.OnStep != nil {
+		t.Error("Record left OnStep installed")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	p, S, _ := counterProgram(t, 10, 3)
+	r := &Runner{P: p, S: S, D: daemon.NewRoundRobin(p), StopAtS: true}
+	res := r.Run(p.Schema.NewState(), nil)
+	if got := res.String(); got != "converged in 3 steps" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"nonmask/internal/program"
+)
+
+// SyncStep executes one step of the fully synchronous (distributed) daemon:
+// every enabled action fires simultaneously, guards and bodies evaluated
+// against the old state. When two actions write the same variable, the
+// earlier action in program order wins; the number of such write conflicts
+// is reported. The paper's computations interleave one action at a time
+// (central daemon); the synchronous daemon is the opposite extreme, and
+// stabilization under it is NOT implied by Theorems 1-3.
+func SyncStep(p *program.Program, st *program.State) (next *program.State, fired, conflicts int) {
+	next = st.Clone()
+	written := make(map[program.VarID]bool)
+	for _, a := range p.Actions {
+		if !a.Guard(st) {
+			continue
+		}
+		fired++
+		// Evaluate the body against the old state.
+		out := a.Apply(st)
+		for _, w := range a.Writes {
+			v := out.Get(w)
+			if v == st.Get(w) {
+				continue // no-op write: no conflict, no effect
+			}
+			if written[w] {
+				conflicts++
+				continue // earlier action in program order wins
+			}
+			written[w] = true
+			next.Set(w, v)
+		}
+	}
+	return next, fired, conflicts
+}
+
+// SyncResult reports an exhaustive synchronous-daemon analysis.
+type SyncResult struct {
+	// Converges is true when from every state the (deterministic)
+	// synchronous execution reaches S.
+	Converges bool
+	// CycleWitness is a state on a non-converging synchronous cycle.
+	CycleWitness *program.State
+	// WorstSteps is the maximum number of synchronous rounds to reach S.
+	WorstSteps int
+	// Conflicts counts states whose synchronous step has a write conflict.
+	Conflicts int64
+}
+
+// SyncExhaustive decides stabilization under the fully synchronous daemon
+// by following every state's (deterministic) successor chain with
+// memoization. S states are absorbing for the analysis: once S is reached
+// the execution is considered converged (S's closure under synchronous
+// steps is the caller's separate concern, checkable with SyncStep).
+func SyncExhaustive(p *program.Program, S *program.Predicate) (*SyncResult, error) {
+	count, ok := p.Schema.StateCount()
+	if !ok {
+		return nil, errTooLarge
+	}
+	const (
+		unknown int8 = iota
+		inProgress
+		good
+		bad
+	)
+	status := make([]int8, count)
+	steps := make([]int32, count)
+	res := &SyncResult{Converges: true}
+
+	for start := int64(0); start < count; start++ {
+		if status[start] != unknown {
+			continue
+		}
+		// Follow the deterministic chain, marking the path.
+		var path []int64
+		cur := start
+		verdict := good
+		var tail int32 // steps from the chain's end state
+		for {
+			st := p.Schema.StateAt(cur)
+			if S.Holds(st) {
+				tail = 0
+				break
+			}
+			if status[cur] == good {
+				tail = steps[cur]
+				break
+			}
+			if status[cur] == bad {
+				verdict = bad
+				break
+			}
+			if status[cur] == inProgress {
+				// Synchronous cycle outside S.
+				verdict = bad
+				if res.CycleWitness == nil {
+					res.CycleWitness = st
+				}
+				break
+			}
+			status[cur] = inProgress
+			path = append(path, cur)
+			next, fired, conflicts := SyncStep(p, st)
+			if conflicts > 0 {
+				res.Conflicts++
+			}
+			if fired == 0 {
+				// Terminal state outside S: never converges.
+				verdict = bad
+				if res.CycleWitness == nil {
+					res.CycleWitness = st
+				}
+				break
+			}
+			cur = p.Schema.Index(next)
+		}
+		// Unwind the path.
+		for i := len(path) - 1; i >= 0; i-- {
+			idx := path[i]
+			status[idx] = verdict
+			if verdict == good {
+				tail++
+				steps[idx] = tail
+				if int(tail) > res.WorstSteps {
+					res.WorstSteps = int(tail)
+				}
+			}
+		}
+		if verdict == bad {
+			res.Converges = false
+		}
+	}
+	return res, nil
+}
+
+var errTooLarge = &tooLarge{}
+
+type tooLarge struct{}
+
+func (*tooLarge) Error() string { return "sim: state space too large for synchronous analysis" }

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"testing"
+
+	"nonmask/internal/program"
+)
+
+func TestSyncStepBasics(t *testing.T) {
+	// Two actions on disjoint variables fire together.
+	s := program.NewSchema()
+	a := s.MustDeclare("a", program.IntRange(0, 3))
+	b := s.MustDeclare("b", program.IntRange(0, 3))
+	p := program.New("p", s)
+	p.Add(
+		program.NewAction("incA", program.Closure,
+			[]program.VarID{a}, []program.VarID{a},
+			func(st *program.State) bool { return st.Get(a) < 3 },
+			func(st *program.State) { st.Set(a, st.Get(a)+1) }),
+		program.NewAction("incB", program.Closure,
+			[]program.VarID{b}, []program.VarID{b},
+			func(st *program.State) bool { return st.Get(b) < 3 },
+			func(st *program.State) { st.Set(b, st.Get(b)+1) }),
+	)
+	st := s.NewState()
+	next, fired, conflicts := SyncStep(p, st)
+	if fired != 2 || conflicts != 0 {
+		t.Errorf("fired=%d conflicts=%d", fired, conflicts)
+	}
+	if next.Get(a) != 1 || next.Get(b) != 1 {
+		t.Errorf("next = %s", next)
+	}
+	if st.Get(a) != 0 {
+		t.Error("SyncStep mutated the input")
+	}
+}
+
+func TestSyncStepOldStateSemantics(t *testing.T) {
+	// Swap pair: a := b and b := a simultaneously must exchange values.
+	s := program.NewSchema()
+	a := s.MustDeclare("a", program.IntRange(0, 9))
+	b := s.MustDeclare("b", program.IntRange(0, 9))
+	p := program.New("p", s)
+	p.Add(
+		program.NewAction("a<-b", program.Closure,
+			[]program.VarID{a, b}, []program.VarID{a},
+			func(st *program.State) bool { return st.Get(a) != st.Get(b) },
+			func(st *program.State) { st.Set(a, st.Get(b)) }),
+		program.NewAction("b<-a", program.Closure,
+			[]program.VarID{a, b}, []program.VarID{b},
+			func(st *program.State) bool { return st.Get(a) != st.Get(b) },
+			func(st *program.State) { st.Set(b, st.Get(a)) }),
+	)
+	st := s.NewState()
+	st.Set(a, 3)
+	st.Set(b, 7)
+	next, _, _ := SyncStep(p, st)
+	if next.Get(a) != 7 || next.Get(b) != 3 {
+		t.Errorf("synchronous swap = %s, want a=7 b=3", next)
+	}
+}
+
+func TestSyncStepConflictResolution(t *testing.T) {
+	// Two actions write the same variable different values: program order
+	// wins, one conflict reported.
+	s := program.NewSchema()
+	a := s.MustDeclare("a", program.IntRange(0, 9))
+	p := program.New("p", s)
+	p.Add(
+		program.NewAction("set1", program.Closure,
+			[]program.VarID{a}, []program.VarID{a},
+			func(st *program.State) bool { return st.Get(a) == 0 },
+			func(st *program.State) { st.Set(a, 1) }),
+		program.NewAction("set2", program.Closure,
+			[]program.VarID{a}, []program.VarID{a},
+			func(st *program.State) bool { return st.Get(a) == 0 },
+			func(st *program.State) { st.Set(a, 2) }),
+	)
+	next, fired, conflicts := SyncStep(p, s.NewState())
+	if fired != 2 || conflicts != 1 {
+		t.Errorf("fired=%d conflicts=%d", fired, conflicts)
+	}
+	if next.Get(a) != 1 {
+		t.Errorf("a = %d, want 1 (program order wins)", next.Get(a))
+	}
+}
+
+func TestSyncExhaustiveConverging(t *testing.T) {
+	// Decrement chain converges synchronously: all counters fall to 0.
+	s := program.NewSchema()
+	ids := s.MustDeclareArray("v", 3, program.IntRange(0, 3))
+	p := program.New("dec", s)
+	for _, id := range ids {
+		id := id
+		p.Add(program.NewAction("dec"+string(rune('0'+id)), program.Closure,
+			[]program.VarID{id}, []program.VarID{id},
+			func(st *program.State) bool { return st.Get(id) > 0 },
+			func(st *program.State) { st.Set(id, st.Get(id)-1) }))
+	}
+	S := program.NewPredicate("all zero", ids, func(st *program.State) bool {
+		for _, id := range ids {
+			if st.Get(id) != 0 {
+				return false
+			}
+		}
+		return true
+	})
+	res, err := SyncExhaustive(p, S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converges {
+		t.Fatalf("decrement chain does not converge synchronously: %+v", res)
+	}
+	if res.WorstSteps != 3 {
+		t.Errorf("worst rounds = %d, want 3", res.WorstSteps)
+	}
+}
+
+func TestSyncExhaustiveOscillator(t *testing.T) {
+	// Two nodes copying each other's complement oscillate forever under
+	// the synchronous daemon (the classic synchrony pathology).
+	s := program.NewSchema()
+	a := s.MustDeclare("a", program.Bool())
+	b := s.MustDeclare("b", program.Bool())
+	p := program.New("osc", s)
+	p.Add(
+		program.NewAction("a<-!b", program.Closure,
+			[]program.VarID{a, b}, []program.VarID{a},
+			func(st *program.State) bool { return st.Bool(a) == st.Bool(b) },
+			func(st *program.State) { st.SetBool(a, !st.Bool(b)) }),
+		program.NewAction("b<-a", program.Closure,
+			[]program.VarID{a, b}, []program.VarID{b},
+			func(st *program.State) bool { return st.Bool(a) == st.Bool(b) },
+			func(st *program.State) { st.SetBool(b, !st.Bool(a)) }),
+	)
+	S := program.NewPredicate("differ", []program.VarID{a, b},
+		func(st *program.State) bool { return st.Bool(a) != st.Bool(b) })
+	res, err := SyncExhaustive(p, S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converges {
+		t.Fatal("oscillator converges synchronously?")
+	}
+	if res.CycleWitness == nil {
+		t.Error("no cycle witness")
+	}
+}
+
+func TestSyncExhaustiveDeadlockOutsideS(t *testing.T) {
+	s := program.NewSchema()
+	a := s.MustDeclare("a", program.IntRange(0, 2))
+	p := program.New("stuck", s)
+	p.Add(program.NewAction("go", program.Closure,
+		[]program.VarID{a}, []program.VarID{a},
+		func(st *program.State) bool { return st.Get(a) == 2 },
+		func(st *program.State) { st.Set(a, 0) }))
+	S := program.NewPredicate("a=0", []program.VarID{a},
+		func(st *program.State) bool { return st.Get(a) == 0 })
+	res, err := SyncExhaustive(p, S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converges {
+		t.Fatal("deadlocked program converges? a=1 is terminal outside S")
+	}
+}

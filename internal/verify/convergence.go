@@ -1,0 +1,492 @@
+package verify
+
+import (
+	"fmt"
+
+	"nonmask/internal/program"
+)
+
+// ConvergenceResult reports whether every computation from T reaches S, and
+// if not, why. When convergence holds under the arbitrary daemon, the
+// result carries exact worst-case step counts (the paper's variant-function
+// bound, computed rather than exhibited by hand — Section 8 discusses how
+// the method "simplifies the problem of exhibiting variant functions").
+type ConvergenceResult struct {
+	// Converges reports whether every computation starting in T reaches S.
+	Converges bool
+	// Fair reports which daemon the verdict is for: true for the weakly
+	// fair daemon of the paper's computation model, false for the arbitrary
+	// (unfair) daemon of the Section 8 remark.
+	Fair bool
+
+	// Deadlock, when non-nil, is a T∧¬S state with no enabled action —
+	// a finite maximal computation that never reaches S.
+	Deadlock *program.State
+	// Cycle, when non-empty, is a set of T∧¬S states among which a
+	// computation (fair, if Fair) can circulate forever.
+	Cycle []*program.State
+	// Escape, when non-nil, reports a T∧¬S state from which some action
+	// leads outside T — a closure failure surfacing during convergence
+	// exploration.
+	Escape *ClosureViolation
+
+	// WorstSteps is the maximum, over T∧¬S states, of the longest
+	// action sequence a daemon can stretch before S holds. Valid only when
+	// Converges under the arbitrary daemon (Fair == false).
+	WorstSteps int
+	// MeanSteps is the mean of that per-state worst case over all T∧¬S
+	// states, or 0 when there are none.
+	MeanSteps float64
+	// StatesT and StatesS count the states satisfying T and S.
+	StatesT, StatesS int64
+	// StatesOutsideS counts T∧¬S states (the convergence region).
+	StatesOutsideS int64
+}
+
+// Summary renders a one-line verdict.
+func (r *ConvergenceResult) Summary() string {
+	daemon := "arbitrary daemon"
+	if r.Fair {
+		daemon = "weakly fair daemon"
+	}
+	if !r.Converges {
+		why := "livelock"
+		switch {
+		case r.Deadlock != nil:
+			why = fmt.Sprintf("deadlock at %s", r.Deadlock)
+		case r.Escape != nil:
+			why = r.Escape.Error()
+		case len(r.Cycle) > 0:
+			why = fmt.Sprintf("cycle through %d states, e.g. %s", len(r.Cycle), r.Cycle[0])
+		}
+		return fmt.Sprintf("does NOT converge under %s: %s", daemon, why)
+	}
+	if r.Fair {
+		return fmt.Sprintf("converges under %s (|T∧¬S| = %d states)", daemon, r.StatesOutsideS)
+	}
+	return fmt.Sprintf("converges under %s: worst %d steps, mean %.2f (|T∧¬S| = %d states)",
+		daemon, r.WorstSteps, r.MeanSteps, r.StatesOutsideS)
+}
+
+// stateColors for the iterative DFS in checkUnfair.
+const (
+	colorWhite uint8 = iota
+	colorGray
+	colorBlack
+)
+
+// CheckConvergence decides convergence from T to S under the arbitrary
+// (unfair) central daemon: it holds iff the transition graph restricted to
+// T∧¬S has no cycles and no terminal states, and no transition escapes T.
+// This is the strongest form — it implies convergence under every daemon.
+func (sp *Space) CheckConvergence() *ConvergenceResult {
+	res := &ConvergenceResult{Converges: true, StatesT: sp.CountT(), StatesS: sp.CountS()}
+	res.StatesOutsideS = res.StatesT - countBoth(sp.inT, sp.inS)
+
+	// steps[i]: worst-case number of actions to reach S from i, computed
+	// during the DFS postorder. -1 = unvisited.
+	steps := make([]int32, sp.Count)
+	color := make([]uint8, sp.Count)
+	parent := make([]int64, sp.Count)
+	for i := range parent {
+		parent[i] = -1
+	}
+
+	var succBuf []int64
+	type frame struct {
+		i    int64
+		succ []int64
+		pos  int
+	}
+	var stack []frame
+
+	for start := int64(0); start < sp.Count; start++ {
+		if !sp.inT[start] || sp.inS[start] || color[start] != colorWhite {
+			continue
+		}
+		color[start] = colorGray
+		stack = append(stack[:0], frame{i: start, succ: sp.successorsChecked(start, res, &succBuf)})
+		if !res.Converges {
+			return res
+		}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.pos == 0 && len(f.succ) == 0 {
+				// Terminal T∧¬S state: maximal finite computation outside S.
+				res.Converges = false
+				res.Deadlock = sp.State(f.i)
+				return res
+			}
+			if f.pos < len(f.succ) {
+				j := f.succ[f.pos]
+				f.pos++
+				if sp.inS[j] {
+					if steps[f.i] < 1 {
+						steps[f.i] = 1
+					}
+					continue
+				}
+				switch color[j] {
+				case colorWhite:
+					color[j] = colorGray
+					parent[j] = f.i
+					succs := sp.successorsChecked(j, res, &succBuf)
+					if !res.Converges {
+						return res
+					}
+					// The append may reallocate; f is re-fetched at loop top.
+					stack = append(stack, frame{i: j, succ: succs})
+				case colorGray:
+					// Cycle within T∧¬S: an unfair daemon loops forever.
+					res.Converges = false
+					res.Cycle = sp.reconstructCycle(parent, f.i, j)
+					return res
+				case colorBlack:
+					if d := steps[j] + 1; d > steps[f.i] {
+						steps[f.i] = d
+					}
+				}
+				continue
+			}
+			color[f.i] = colorBlack
+			done := *f
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := &stack[len(stack)-1]
+				if d := steps[done.i] + 1; d > steps[p.i] {
+					steps[p.i] = d
+				}
+			}
+		}
+	}
+
+	// Aggregate the exact worst-case metric.
+	var sum float64
+	var n int64
+	for i := int64(0); i < sp.Count; i++ {
+		if sp.inT[i] && !sp.inS[i] {
+			if int(steps[i]) > res.WorstSteps {
+				res.WorstSteps = int(steps[i])
+			}
+			sum += float64(steps[i])
+			n++
+		}
+	}
+	if n > 0 {
+		res.MeanSteps = sum / float64(n)
+	}
+	return res
+}
+
+// successorsChecked computes the successors of T∧¬S state i, copying them
+// into a fresh slice (the DFS keeps them on its stack), and records a
+// closure escape in res if a successor leaves T.
+func (sp *Space) successorsChecked(i int64, res *ConvergenceResult, buf *[]int64) []int64 {
+	*buf = sp.successors(i, sp.P.Actions, *buf)
+	out := make([]int64, 0, len(*buf))
+	for k, j := range *buf {
+		if !sp.inT[j] {
+			st := sp.State(i)
+			var act *program.Action
+			// Recover which action produced successor k.
+			n := 0
+			for _, a := range sp.P.Actions {
+				if a.Guard(st) {
+					if n == k {
+						act = a
+						break
+					}
+					n++
+				}
+			}
+			res.Converges = false
+			res.Escape = &ClosureViolation{Pred: sp.T, State: st, Action: act, Next: sp.State(j)}
+			return nil
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// reconstructCycle walks parent links from `from` back to `to` and returns
+// the cycle's states in forward order, closing with the back edge from→to.
+func (sp *Space) reconstructCycle(parent []int64, from, to int64) []*program.State {
+	var idxs []int64
+	for v := from; v != to; v = parent[v] {
+		idxs = append(idxs, v)
+		if parent[v] < 0 {
+			break
+		}
+	}
+	idxs = append(idxs, to)
+	// Reverse into forward order (to ... from).
+	out := make([]*program.State, len(idxs))
+	for i, j := range idxs {
+		out[len(idxs)-1-i] = sp.State(j)
+	}
+	return out
+}
+
+func countBoth(a, b []bool) int64 {
+	var n int64
+	for i := range a {
+		if a[i] && b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckFairConvergence decides convergence from T to S under the weakly
+// fair daemon of the paper's computation model (Section 2: "each action in
+// the set that is continuously enabled along the sequence is eventually
+// executed").
+//
+// An infinite computation confined to T∧¬S eventually stays within one
+// strongly connected component C of the T∧¬S transition graph. Such a
+// confined computation can be weakly fair iff every action enabled at all
+// states of C has some transition that stays inside C; otherwise that
+// action is continuously enabled but firing it leaves C, so no fair
+// computation remains in C. Convergence therefore fails iff some T∧¬S
+// state is terminal, some transition escapes T, or some SCC admits a fair
+// cycle by this criterion.
+func (sp *Space) CheckFairConvergence() *ConvergenceResult {
+	res := &ConvergenceResult{Converges: true, Fair: true, StatesT: sp.CountT(), StatesS: sp.CountS()}
+	res.StatesOutsideS = res.StatesT - countBoth(sp.inT, sp.inS)
+
+	// Collect the T∧¬S region.
+	region := make([]int64, 0)
+	inRegion := make(map[int64]int) // state index -> dense id
+	for i := int64(0); i < sp.Count; i++ {
+		if sp.inT[i] && !sp.inS[i] {
+			inRegion[i] = len(region)
+			region = append(region, i)
+		}
+	}
+	if len(region) == 0 {
+		return res
+	}
+
+	// Build the region's transition graph with edges labeled by action
+	// index; check deadlock and escape along the way.
+	adj := make([][]regionEdge, len(region))
+	for id, i := range region {
+		st := sp.State(i)
+		any := false
+		for ai, a := range sp.P.Actions {
+			if !a.Guard(st) {
+				continue
+			}
+			any = true
+			j := sp.P.Schema.Index(a.Apply(st))
+			if !sp.inT[j] {
+				res.Converges = false
+				res.Escape = &ClosureViolation{Pred: sp.T, State: st, Action: a, Next: sp.State(j)}
+				return res
+			}
+			if sp.inS[j] {
+				continue
+			}
+			adj[id] = append(adj[id], regionEdge{to: inRegion[j], action: ai})
+		}
+		if !any {
+			res.Converges = false
+			res.Deadlock = st
+			return res
+		}
+	}
+
+	// Tarjan SCC over the dense region graph (iterative).
+	comps := denseSCCs(adj)
+
+	for _, comp := range comps {
+		// Does comp contain any internal edge at all?
+		inComp := make(map[int]bool, len(comp))
+		for _, v := range comp {
+			inComp[v] = true
+		}
+		hasInternal := false
+		internalAction := make(map[int]bool)
+		for _, v := range comp {
+			for _, e := range adj[v] {
+				if inComp[e.to] {
+					hasInternal = true
+					internalAction[e.action] = true
+				}
+			}
+		}
+		if !hasInternal {
+			continue // trivial SCC without self-loop: no infinite stay
+		}
+		// A∞: actions enabled at every state of the component.
+		fairCycle := true
+		for ai, a := range sp.P.Actions {
+			everywhere := true
+			for _, v := range comp {
+				if !a.Guard(sp.State(region[v])) {
+					everywhere = false
+					break
+				}
+			}
+			if everywhere && !internalAction[ai] {
+				// a is continuously enabled on any run confined to comp but
+				// firing it always leaves comp: no fair run stays here.
+				fairCycle = false
+				break
+			}
+			_ = a
+		}
+		if fairCycle {
+			res.Converges = false
+			res.Cycle = make([]*program.State, 0, len(comp))
+			for _, v := range comp {
+				res.Cycle = append(res.Cycle, sp.State(region[v]))
+			}
+			return res
+		}
+	}
+	return res
+}
+
+// regionEdge is a transition within the T∧¬S region, labeled with the
+// index of the program action that produces it.
+type regionEdge struct {
+	to     int
+	action int
+}
+
+// denseSCCs is Tarjan's algorithm over a dense adjacency structure with
+// labeled edges; it returns components of dense node ids.
+func denseSCCs(adj [][]regionEdge) [][]int {
+	n := len(adj)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		comps   [][]int
+		stack   []int
+		counter int
+	)
+	type frame struct {
+		v, ei int
+	}
+	var frames []frame
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		frames = append(frames[:0], frame{v: start})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei].to
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				if p := &frames[len(frames)-1]; low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// WorstDistances returns, for every state index, the worst-case number of
+// steps an arbitrary daemon can stretch before reaching S (0 for S states).
+// It requires prior arbitrary-daemon convergence; the boolean result is
+// false when the region is cyclic or escapes/deadlocks, in which case no
+// finite metric exists.
+//
+// The table is the exact variant function the paper's Section 8 asks
+// designers to exhibit: it strictly decreases on every convergence step
+// under the worst daemon. internal/daemon's adversarial daemon maximizes
+// it greedily, which on a convergent program realizes the worst case.
+func (sp *Space) WorstDistances() ([]int32, bool) {
+	res := sp.CheckConvergence()
+	if !res.Converges {
+		return nil, false
+	}
+	steps := make([]int32, sp.Count)
+	// Recompute via memoized DFS; CheckConvergence verified acyclicity, so
+	// a simple postorder works. We redo it here to keep CheckConvergence's
+	// internals private and this function self-contained.
+	const todo = -1
+	for i := range steps {
+		steps[i] = todo
+	}
+	var visit func(i int64) int32
+	var stackSafe func(i int64) int32
+	visit = func(i int64) int32 {
+		if sp.inS[i] || !sp.inT[i] {
+			return 0
+		}
+		if steps[i] != todo {
+			return steps[i]
+		}
+		var best int32
+		st := sp.State(i)
+		for _, a := range sp.P.Actions {
+			if !a.Guard(st) {
+				continue
+			}
+			j := sp.P.Schema.Index(a.Apply(st))
+			d := int32(1)
+			if !sp.inS[j] {
+				d = 1 + visit(j)
+			}
+			if d > best {
+				best = d
+			}
+		}
+		steps[i] = best
+		return best
+	}
+	stackSafe = visit
+	for i := int64(0); i < sp.Count; i++ {
+		if sp.inT[i] && !sp.inS[i] && steps[i] == todo {
+			stackSafe(i)
+		}
+	}
+	for i := range steps {
+		if steps[i] == todo {
+			steps[i] = 0
+		}
+	}
+	return steps, true
+}

@@ -1,0 +1,104 @@
+package verify
+
+import (
+	"fmt"
+
+	"nonmask/internal/program"
+)
+
+// forEachProjected enumerates every assignment to the given variables, with
+// all other variables pinned at their domain minimum, invoking fn on each.
+// Enumeration stops early when fn returns false. It fails when the
+// projected space exceeds opts.MaxStates.
+func forEachProjected(schema *program.Schema, vars []program.VarID,
+	opts Options, fn func(*program.State) bool) error {
+	vars = program.SortVarIDs(append([]program.VarID(nil), vars...))
+	count := int64(1)
+	for _, v := range vars {
+		sz := schema.Spec(v).Dom.Size()
+		if count > opts.maxStates()/sz {
+			return fmt.Errorf("verify: projected space too large (%d vars)", len(vars))
+		}
+		count *= sz
+	}
+	st := schema.NewState()
+	for i := int64(0); i < count; i++ {
+		rem := i
+		for k := len(vars) - 1; k >= 0; k-- {
+			dom := schema.Spec(vars[k]).Dom
+			st.Set(vars[k], dom.Min+int32(rem%dom.Size()))
+			rem /= dom.Size()
+		}
+		if !fn(st) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// FindProjected searches the space projected onto vars (other variables
+// pinned at their domain minimum) for a state satisfying cond, returning a
+// clone of the first hit or nil.
+func FindProjected(schema *program.Schema, vars []program.VarID, opts Options,
+	cond func(*program.State) bool) (*program.State, error) {
+	var found *program.State
+	err := forEachProjected(schema, vars, opts, func(st *program.State) bool {
+		if cond(st) {
+			found = st.Clone()
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return found, nil
+}
+
+// CheckEstablishes decides whether executing action a from any state where
+// its guard (and all given predicates) hold yields a state satisfying c —
+// the "establish c" half of the paper's convergence-action form
+// "¬c -> establish c while preserving T" (Section 3). One-step
+// establishment is what bounds each convergence action to at most one
+// execution per rank in the proofs of Theorems 1 and 2.
+func CheckEstablishes(strategy Strategy, schema *program.Schema, a *program.Action,
+	c *program.Predicate, given []*program.Predicate, opts Options) (*PreserveResult, error) {
+	var vars []program.VarID
+	switch strategy {
+	case Exhaustive:
+		for v := 0; v < schema.Len(); v++ {
+			vars = append(vars, program.VarID(v))
+		}
+	case Projected:
+		vars = a.Footprint()
+		vars = append(vars, c.Vars...)
+		for _, g := range given {
+			vars = append(vars, g.Vars...)
+		}
+	default:
+		return nil, fmt.Errorf("verify: unknown strategy %v", strategy)
+	}
+	res := &PreserveResult{Preserves: true}
+	err := forEachProjected(schema, vars, opts, func(st *program.State) bool {
+		if !a.Guard(st) {
+			return true
+		}
+		for _, g := range given {
+			if !g.Holds(st) {
+				return true
+			}
+		}
+		next := a.Apply(st)
+		if !c.Holds(next) {
+			res.Preserves = false
+			res.State = st.Clone()
+			res.Next = next
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,122 @@
+package verify
+
+import (
+	"nonmask/internal/program"
+)
+
+// LeadsToResult reports a leads-to (progress) verdict.
+type LeadsToResult struct {
+	// Holds is true when every computation of the program that stays in
+	// the region and visits a p-state subsequently reaches a q-state.
+	Holds bool
+	// Stuck, when non-nil, is a reachable p-state (or successor) from
+	// which a computation can avoid q forever: either a terminal state or
+	// a member of the witness cycle.
+	Stuck *program.State
+	// Cycle holds the witness states when the failure is a livelock.
+	Cycle []*program.State
+}
+
+// LeadsTo decides the progress property "p leads to q within the region T"
+// (the space's fault-span acts as the region): every computation that
+// starts at a region state satisfying p reaches a state satisfying q.
+// With fair true the weakly fair daemon is assumed (the paper's
+// computation model); otherwise the arbitrary daemon.
+//
+// This generalizes convergence — convergence is "true leads to S" — and
+// verifies the paper's progress specifications exactly, e.g. the token
+// ring's "each privileged node eventually yields its privilege to its
+// successor" (Section 7.1 spec (ii)): within S, Privileged(j) leads to
+// Privileged(j+1).
+//
+// Implementation: restrict attention to region states reachable from p
+// without passing through q; the property holds iff that restricted
+// subgraph has no terminal states and no (fair, if fair) cycles.
+func (sp *Space) LeadsTo(p, q *program.Predicate, fair bool) *LeadsToResult {
+	// Collect region states satisfying p but not q (p∧q states are
+	// immediately done).
+	var frontier []int64
+	reach := make(map[int64]bool)
+	for i := int64(0); i < sp.Count; i++ {
+		if !sp.inT[i] {
+			continue
+		}
+		st := sp.State(i)
+		if p.Holds(st) && !q.Holds(st) {
+			frontier = append(frontier, i)
+			reach[i] = true
+		}
+	}
+	// Forward reachability, stopping at q-states.
+	for len(frontier) > 0 {
+		i := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		st := sp.State(i)
+		for _, a := range sp.P.Actions {
+			if !a.Guard(st) {
+				continue
+			}
+			j := sp.P.Schema.Index(a.Apply(st))
+			if !sp.inT[j] {
+				continue // leaving the region ends the obligation
+			}
+			next := sp.State(j)
+			if q.Holds(next) {
+				continue
+			}
+			if !reach[j] {
+				reach[j] = true
+				frontier = append(frontier, j)
+			}
+		}
+	}
+	if len(reach) == 0 {
+		return &LeadsToResult{Holds: true}
+	}
+
+	// Build the restricted transition graph over `reach`, then reuse the
+	// deadlock/cycle analysis of the convergence checkers via a stage
+	// space: inT := reach, inS := complement (q or outside).
+	stage := &Space{
+		P: sp.P, S: q, T: sp.T, Count: sp.Count,
+		inS: make([]bool, sp.Count),
+		inT: make([]bool, sp.Count),
+	}
+	for i := int64(0); i < sp.Count; i++ {
+		stage.inT[i] = reach[i]
+		stage.inS[i] = false
+	}
+	// Mark q-states (and region exits) as accepting: stage convergence
+	// treats inS as the goal. A transition out of `reach` necessarily hits
+	// q or leaves T; encode both as accepting by extending inT to include
+	// those successors and flagging them inS.
+	for i := range reach {
+		st := sp.State(i)
+		for _, a := range sp.P.Actions {
+			if !a.Guard(st) {
+				continue
+			}
+			j := sp.P.Schema.Index(a.Apply(st))
+			if !reach[j] {
+				stage.inT[j] = true
+				stage.inS[j] = true
+			}
+		}
+	}
+	var conv *ConvergenceResult
+	if fair {
+		conv = stage.CheckFairConvergence()
+	} else {
+		conv = stage.CheckConvergence()
+	}
+	if conv.Converges {
+		return &LeadsToResult{Holds: true}
+	}
+	res := &LeadsToResult{Cycle: conv.Cycle}
+	if conv.Deadlock != nil {
+		res.Stuck = conv.Deadlock
+	} else if len(conv.Cycle) > 0 {
+		res.Stuck = conv.Cycle[0]
+	}
+	return res
+}

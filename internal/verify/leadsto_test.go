@@ -1,0 +1,174 @@
+package verify
+
+import (
+	"testing"
+
+	"nonmask/internal/program"
+)
+
+// cyclic builds a modular counter: x := x+1 mod n, always enabled.
+func cyclic(t *testing.T, n int32) (*program.Program, program.VarID) {
+	t.Helper()
+	s := program.NewSchema()
+	x := s.MustDeclare("x", program.IntRange(0, n-1))
+	p := program.New("cyclic", s)
+	p.Add(program.NewAction("tick", program.Closure,
+		[]program.VarID{x}, []program.VarID{x},
+		func(st *program.State) bool { return true },
+		func(st *program.State) { st.Set(x, (st.Get(x)+1)%n) }))
+	return p, x
+}
+
+func atPred(x program.VarID, v int32) *program.Predicate {
+	return program.NewPredicate("x=v", []program.VarID{x},
+		func(st *program.State) bool { return st.Get(x) == v })
+}
+
+func TestLeadsToOnCycle(t *testing.T) {
+	p, x := cyclic(t, 5)
+	sp, err := NewSpace(p, program.False(), program.True(), Options{})
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	// On a deterministic cycle, every state leads to every other state.
+	res := sp.LeadsTo(atPred(x, 1), atPred(x, 4), false)
+	if !res.Holds {
+		t.Errorf("x=1 does not lead to x=4 on the cycle: %+v", res)
+	}
+	res = sp.LeadsTo(atPred(x, 4), atPred(x, 1), false)
+	if !res.Holds {
+		t.Errorf("x=4 does not lead to x=1 (wrapping): %+v", res)
+	}
+}
+
+func TestLeadsToFailsOnBranch(t *testing.T) {
+	// From x=0 the daemon may go to 1 or 2; 1 loops on itself, 2 is the
+	// target. x=0 leads to x=2 fails under both daemons (the 1-loop is
+	// fair: its only action is the self-loop).
+	s := program.NewSchema()
+	x := s.MustDeclare("x", program.IntRange(0, 2))
+	p := program.New("branch", s)
+	p.Add(
+		program.NewAction("to1", program.Closure,
+			[]program.VarID{x}, []program.VarID{x},
+			func(st *program.State) bool { return st.Get(x) == 0 },
+			func(st *program.State) { st.Set(x, 1) }),
+		program.NewAction("to2", program.Closure,
+			[]program.VarID{x}, []program.VarID{x},
+			func(st *program.State) bool { return st.Get(x) == 0 },
+			func(st *program.State) { st.Set(x, 2) }),
+		program.NewAction("spin", program.Closure,
+			[]program.VarID{x}, []program.VarID{x},
+			func(st *program.State) bool { return st.Get(x) == 1 },
+			func(st *program.State) {}),
+	)
+	sp, err := NewSpace(p, program.False(), program.True(), Options{})
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	res := sp.LeadsTo(atPred(x, 0), atPred(x, 2), false)
+	if res.Holds {
+		t.Error("x=0 leads to x=2 despite the x=1 trap")
+	}
+	if res.Stuck == nil {
+		t.Error("no witness state")
+	}
+	fres := sp.LeadsTo(atPred(x, 0), atPred(x, 2), true)
+	if fres.Holds {
+		t.Error("fair leads-to holds despite the fair x=1 self-loop")
+	}
+}
+
+func TestLeadsToFairVsUnfair(t *testing.T) {
+	// From x=0, "stay" stutters and "go" moves to 1: unfair fails (stutter
+	// forever), fair holds (go continuously enabled).
+	s := program.NewSchema()
+	x := s.MustDeclare("x", program.IntRange(0, 1))
+	p := program.New("stutter", s)
+	p.Add(
+		program.NewAction("stay", program.Closure,
+			[]program.VarID{x}, []program.VarID{x},
+			func(st *program.State) bool { return st.Get(x) == 0 },
+			func(st *program.State) {}),
+		program.NewAction("go", program.Closure,
+			[]program.VarID{x}, []program.VarID{x},
+			func(st *program.State) bool { return st.Get(x) == 0 },
+			func(st *program.State) { st.Set(x, 1) }),
+	)
+	sp, err := NewSpace(p, program.False(), program.True(), Options{})
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	if sp.LeadsTo(atPred(x, 0), atPred(x, 1), false).Holds {
+		t.Error("unfair leads-to holds despite the stutter loop")
+	}
+	if !sp.LeadsTo(atPred(x, 0), atPred(x, 1), true).Holds {
+		t.Error("fair leads-to fails despite go being continuously enabled")
+	}
+}
+
+func TestLeadsToDeadlockWitness(t *testing.T) {
+	// x=0 -> x=1 (terminal, not the target): leads-to fails by deadlock.
+	s := program.NewSchema()
+	x := s.MustDeclare("x", program.IntRange(0, 2))
+	p := program.New("dead", s)
+	p.Add(program.NewAction("to1", program.Closure,
+		[]program.VarID{x}, []program.VarID{x},
+		func(st *program.State) bool { return st.Get(x) == 0 },
+		func(st *program.State) { st.Set(x, 1) }))
+	sp, err := NewSpace(p, program.False(), program.True(), Options{})
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	res := sp.LeadsTo(atPred(x, 0), atPred(x, 2), false)
+	if res.Holds {
+		t.Error("leads-to holds despite the x=1 dead end")
+	}
+	if res.Stuck == nil || res.Stuck.Get(x) != 1 {
+		t.Errorf("Stuck = %v, want x=1", res.Stuck)
+	}
+}
+
+func TestLeadsToVacuous(t *testing.T) {
+	p, x := cyclic(t, 3)
+	sp, err := NewSpace(p, program.False(), program.True(), Options{})
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	// No p-states: vacuously true.
+	res := sp.LeadsTo(program.False(), atPred(x, 1), false)
+	if !res.Holds {
+		t.Error("vacuous leads-to fails")
+	}
+	// p implies q: immediately true.
+	res = sp.LeadsTo(atPred(x, 1), atPred(x, 1), false)
+	if !res.Holds {
+		t.Error("p=q leads-to fails")
+	}
+}
+
+func TestLeadsToRespectsRegion(t *testing.T) {
+	// Region T = x<=1. Within it, x=0 -> x=1 exits the region at x=1's
+	// action... build: 0->1->2 with T = x<=1: the obligation from x=0
+	// ends when the run leaves the region (x=2), so leads-to x=9... use
+	// q = x=1: holds. q = never: also holds (every run exits the region).
+	s := program.NewSchema()
+	x := s.MustDeclare("x", program.IntRange(0, 2))
+	p := program.New("exit", s)
+	p.Add(program.NewAction("inc", program.Closure,
+		[]program.VarID{x}, []program.VarID{x},
+		func(st *program.State) bool { return st.Get(x) < 2 },
+		func(st *program.State) { st.Set(x, st.Get(x)+1) }))
+	T := program.NewPredicate("x<=1", []program.VarID{x},
+		func(st *program.State) bool { return st.Get(x) <= 1 })
+	S := program.NewPredicate("x=0", []program.VarID{x},
+		func(st *program.State) bool { return st.Get(x) == 0 })
+	sp, err := NewSpace(p, S, T, Options{})
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	res := sp.LeadsTo(atPred(x, 0), program.False(), false)
+	if !res.Holds {
+		t.Error("leads-to should hold vacuously when every run exits the region")
+	}
+}

@@ -1,0 +1,222 @@
+package verify
+
+// Metatheorem tests: randomized cross-validation of the checker against
+// itself. Random transition systems are generated as guard/body lookup
+// tables, and structural theorems that must hold for every program are
+// checked on each:
+//
+//	(1) convergence under the arbitrary daemon implies convergence under
+//	    the weakly fair daemon (the fair daemon's schedules are a subset);
+//	(2) when arbitrary-daemon convergence holds, the WorstDistances table
+//	    is a valid variant function;
+//	(3) projected preservation agrees with exhaustive preservation for
+//	    honest footprints;
+//	(4) a computed fault-span contains its initial region and is closed.
+
+import (
+	"math/rand"
+	"testing"
+
+	"nonmask/internal/program"
+)
+
+// randomProgram builds a program over nVars variables of domain 0..domMax
+// with nActions random table-driven actions (reads = writes = all
+// variables, so footprints are trivially honest).
+func randomProgram(rng *rand.Rand, nVars int, domMax int32, nActions int) (*program.Program, *program.Predicate) {
+	s := program.NewSchema()
+	vars := make([]program.VarID, nVars)
+	for i := range vars {
+		vars[i] = s.MustDeclare(string(rune('a'+i)), program.IntRange(0, domMax))
+	}
+	count, _ := s.StateCount()
+	p := program.New("random", s)
+	for a := 0; a < nActions; a++ {
+		guardTable := make([]bool, count)
+		bodyTable := make([]int64, count)
+		for i := int64(0); i < count; i++ {
+			guardTable[i] = rng.Intn(3) != 0 // enabled ~2/3 of states
+			bodyTable[i] = rng.Int63n(count)
+		}
+		p.Add(program.NewAction(
+			string(rune('A'+a)), program.Closure, vars, vars,
+			func(st *program.State) bool { return guardTable[s.Index(st)] },
+			func(st *program.State) {
+				target := s.StateAt(bodyTable[s.Index(st)])
+				for _, v := range vars {
+					st.Set(v, target.Get(v))
+				}
+			}))
+	}
+	// S: a random nonempty strict subset of states.
+	inS := make([]bool, count)
+	for i := range inS {
+		inS[i] = rng.Intn(4) == 0
+	}
+	inS[rng.Int63n(count)] = true
+	S := program.NewPredicate("S", vars, func(st *program.State) bool {
+		return inS[s.Index(st)]
+	})
+	return p, S
+}
+
+func TestMetaUnfairImpliesFair(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	checkedConvergent := 0
+	for trial := 0; trial < 300; trial++ {
+		p, S := randomProgram(rng, 2, 2, 2+rng.Intn(2))
+		sp, err := NewSpace(p, S, program.True(), Options{})
+		if err != nil {
+			t.Fatalf("NewSpace: %v", err)
+		}
+		unfair := sp.CheckConvergence()
+		fair := sp.CheckFairConvergence()
+		if unfair.Converges {
+			checkedConvergent++
+			if !fair.Converges {
+				t.Fatalf("trial %d: unfair convergence without fair convergence", trial)
+			}
+		}
+		// Deadlocks are daemon-independent: both checks must agree on them.
+		if (unfair.Deadlock != nil) != (fair.Deadlock != nil) {
+			// A deadlock found by one may be masked by an earlier cycle in
+			// the other's search order; only assert one-way: a fair-check
+			// deadlock must also fail the unfair check.
+			if fair.Deadlock != nil && unfair.Converges {
+				t.Fatalf("trial %d: fair deadlock but unfair convergence", trial)
+			}
+		}
+	}
+	if checkedConvergent == 0 {
+		t.Error("no random program was convergent; metatheorem untested")
+	}
+}
+
+func TestMetaWorstDistancesIsVariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	checked := 0
+	for trial := 0; trial < 200; trial++ {
+		p, S := randomProgram(rng, 2, 2, 2)
+		sp, err := NewSpace(p, S, program.True(), Options{})
+		if err != nil {
+			t.Fatalf("NewSpace: %v", err)
+		}
+		dist, ok := sp.WorstDistances()
+		if !ok {
+			continue
+		}
+		checked++
+		if v := sp.CheckVariant(func(st *program.State) int64 {
+			return int64(dist[p.Schema.Index(st)])
+		}); v != nil {
+			t.Fatalf("trial %d: WorstDistances rejected as variant: %v", trial, v)
+		}
+	}
+	if checked == 0 {
+		t.Error("no convergent random program; metatheorem untested")
+	}
+}
+
+func TestMetaProjectedEqualsExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 150; trial++ {
+		// Structured program: 4 variables; an action over a 2-variable
+		// footprint and a constraint over a (possibly different)
+		// 2-variable support.
+		s := program.NewSchema()
+		vars := make([]program.VarID, 4)
+		for i := range vars {
+			vars[i] = s.MustDeclare(string(rune('a'+i)), program.IntRange(0, 2))
+		}
+		av1, av2 := vars[rng.Intn(4)], vars[rng.Intn(4)]
+		footprint := program.SortVarIDs([]program.VarID{av1, av2})
+		// Table over the footprint's projected space (3*3 or 3).
+		psize := 3
+		if len(footprint) == 2 {
+			psize = 9
+		}
+		guardTable := make([]bool, psize)
+		bodyTable := make([]int32, psize)
+		for i := range guardTable {
+			guardTable[i] = rng.Intn(2) == 0
+			bodyTable[i] = int32(rng.Intn(3))
+		}
+		proj := func(st *program.State) int {
+			idx := 0
+			for _, v := range footprint {
+				idx = idx*3 + int(st.Get(v))
+			}
+			return idx
+		}
+		target := footprint[rng.Intn(len(footprint))]
+		act := program.NewAction("act", program.Convergence,
+			footprint, []program.VarID{target},
+			func(st *program.State) bool { return guardTable[proj(st)] },
+			func(st *program.State) { st.Set(target, bodyTable[proj(st)]) })
+
+		cv1, cv2 := vars[rng.Intn(4)], vars[rng.Intn(4)]
+		support := program.SortVarIDs([]program.VarID{cv1, cv2})
+		csize := 3
+		if len(support) == 2 {
+			csize = 9
+		}
+		predTable := make([]bool, csize)
+		for i := range predTable {
+			predTable[i] = rng.Intn(2) == 0
+		}
+		cproj := func(st *program.State) int {
+			idx := 0
+			for _, v := range support {
+				idx = idx*3 + int(st.Get(v))
+			}
+			return idx
+		}
+		pred := program.NewPredicate("c", support, func(st *program.State) bool {
+			return predTable[cproj(st)]
+		})
+
+		ex, err := CheckPreserves(s, act, pred, nil, Options{})
+		if err != nil {
+			t.Fatalf("exhaustive: %v", err)
+		}
+		pr, err := CheckPreservesProjected(s, act, pred, nil, Options{})
+		if err != nil {
+			t.Fatalf("projected: %v", err)
+		}
+		if ex.Preserves != pr.Preserves {
+			t.Fatalf("trial %d: exhaustive=%v projected=%v", trial, ex.Preserves, pr.Preserves)
+		}
+	}
+}
+
+func TestMetaFaultSpanClosedAndContainsInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 100; trial++ {
+		p, S := randomProgram(rng, 2, 2, 2)
+		// One random fault action.
+		faults := []*program.Action{program.NewAction("f", program.Fault,
+			nil, []program.VarID{0},
+			func(st *program.State) bool { return true },
+			func(st *program.State) { st.Set(0, (st.Get(0)+1)%3) })}
+		res, err := FaultSpan(p, faults, S, Options{})
+		if err != nil {
+			t.Fatalf("FaultSpan: %v", err)
+		}
+		count, _ := p.Schema.StateCount()
+		for i := int64(0); i < count; i++ {
+			st := p.Schema.StateAt(i)
+			if S.Holds(st) && !res.Span.Holds(st) {
+				t.Fatalf("trial %d: span misses init state %s", trial, st)
+			}
+			if !res.Span.Holds(st) {
+				continue
+			}
+			// Closure under program + fault actions.
+			for _, a := range append(append([]*program.Action{}, p.Actions...), faults...) {
+				if a.Guard(st) && !res.Span.Holds(a.Apply(st)) {
+					t.Fatalf("trial %d: span not closed under %s at %s", trial, a.Name, st)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package verify
+
+import (
+	"fmt"
+
+	"nonmask/internal/program"
+)
+
+// PreserveResult reports whether an action preserves a predicate, with a
+// counterexample when it does not.
+type PreserveResult struct {
+	Preserves bool
+	// State is a state where the action is enabled, the predicate (and all
+	// Given predicates) hold, and executing the action falsifies the
+	// predicate. Nil when Preserves.
+	State *program.State
+	// Next is the violating successor state. Nil when Preserves.
+	Next *program.State
+}
+
+// CheckPreserves decides, by exhaustive enumeration, whether action a
+// preserves predicate c (paper Section 2: "an action of p preserves a state
+// predicate R iff starting from any state where the action is enabled and R
+// holds, executing the action yields a state where R holds").
+//
+// The optional given predicates restrict attention to states where they all
+// hold — the conditional preservation used by Theorem 3 ("preserves each
+// constraint in that partition whenever all constraints in lower numbered
+// partitions hold").
+func CheckPreserves(schema *program.Schema, a *program.Action, c *program.Predicate,
+	given []*program.Predicate, opts Options) (*PreserveResult, error) {
+	count, ok := schema.StateCount()
+	if !ok || count > opts.maxStates() {
+		return nil, fmt.Errorf("verify: state space too large for exhaustive preservation check (%d states)", count)
+	}
+states:
+	for i := int64(0); i < count; i++ {
+		st := schema.StateAt(i)
+		if !a.Guard(st) || !c.Holds(st) {
+			continue
+		}
+		for _, g := range given {
+			if !g.Holds(st) {
+				continue states
+			}
+		}
+		next := a.Apply(st)
+		if !c.Holds(next) {
+			return &PreserveResult{State: st, Next: next}, nil
+		}
+	}
+	return &PreserveResult{Preserves: true}, nil
+}
+
+// CheckPreservesProjected decides preservation by enumerating only the
+// variables in the action's footprint and the predicate's declared support;
+// all other variables are pinned at their domain minimum. It is equivalent
+// to CheckPreserves when footprints and supports are honest (see
+// program.AuditAction / program.AuditPredicate) and no given predicates are
+// supplied, while being exponentially cheaper for large programs whose
+// actions and constraints are local — exactly the structure the paper's
+// method exploits ("program actions can access and update only a limited
+// part of the program state").
+//
+// Given predicates are also projected: their supports join the enumerated
+// variable set.
+func CheckPreservesProjected(schema *program.Schema, a *program.Action, c *program.Predicate,
+	given []*program.Predicate, opts Options) (*PreserveResult, error) {
+	vars := a.Footprint()
+	vars = append(vars, c.Vars...)
+	for _, g := range given {
+		vars = append(vars, g.Vars...)
+	}
+	vars = program.SortVarIDs(vars)
+
+	// Count the projected space.
+	count := int64(1)
+	for _, v := range vars {
+		sz := schema.Spec(v).Dom.Size()
+		if count > opts.maxStates()/sz {
+			return nil, fmt.Errorf("verify: projected space too large (%d vars)", len(vars))
+		}
+		count *= sz
+	}
+
+	st := schema.NewState()
+states:
+	for i := int64(0); i < count; i++ {
+		// Decode mixed-radix index i over just the projected variables.
+		rem := i
+		for k := len(vars) - 1; k >= 0; k-- {
+			dom := schema.Spec(vars[k]).Dom
+			st.Set(vars[k], dom.Min+int32(rem%dom.Size()))
+			rem /= dom.Size()
+		}
+		if !a.Guard(st) || !c.Holds(st) {
+			continue
+		}
+		for _, g := range given {
+			if !g.Holds(st) {
+				continue states
+			}
+		}
+		next := a.Apply(st)
+		if !c.Holds(next) {
+			return &PreserveResult{State: st.Clone(), Next: next}, nil
+		}
+	}
+	return &PreserveResult{Preserves: true}, nil
+}
+
+// Strategy selects how preservation facts are decided.
+type Strategy int
+
+// Strategies. Exhaustive enumerates the full state space (exact, small
+// instances); Projected enumerates only footprints and supports (exact
+// whenever footprints are honest; scales to large instances).
+const (
+	Exhaustive Strategy = iota + 1
+	Projected
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case Exhaustive:
+		return "exhaustive"
+	case Projected:
+		return "projected"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Preserves dispatches on the strategy.
+func Preserves(strategy Strategy, schema *program.Schema, a *program.Action,
+	c *program.Predicate, given []*program.Predicate, opts Options) (*PreserveResult, error) {
+	switch strategy {
+	case Exhaustive:
+		return CheckPreserves(schema, a, c, given, opts)
+	case Projected:
+		return CheckPreservesProjected(schema, a, c, given, opts)
+	default:
+		return nil, fmt.Errorf("verify: unknown strategy %v", strategy)
+	}
+}
+
+// GuardImpliesNot checks the convergence-action well-formedness condition
+// of Section 3: the action's guard must imply ¬c, i.e. the action is
+// enabled only where its constraint is violated ("since convergence actions
+// are enabled only when ¬S holds, they trivially preserve S"). The check
+// enumerates the projected space of the guard's reads and the constraint's
+// support. It returns a state where guard ∧ c both hold, or nil.
+func GuardImpliesNot(schema *program.Schema, a *program.Action, c *program.Predicate,
+	opts Options) (*program.State, error) {
+	vars := append(append([]program.VarID{}, a.Reads...), c.Vars...)
+	vars = program.SortVarIDs(vars)
+	count := int64(1)
+	for _, v := range vars {
+		sz := schema.Spec(v).Dom.Size()
+		if count > opts.maxStates()/sz {
+			return nil, fmt.Errorf("verify: projected space too large (%d vars)", len(vars))
+		}
+		count *= sz
+	}
+	st := schema.NewState()
+	for i := int64(0); i < count; i++ {
+		rem := i
+		for k := len(vars) - 1; k >= 0; k-- {
+			dom := schema.Spec(vars[k]).Dom
+			st.Set(vars[k], dom.Min+int32(rem%dom.Size()))
+			rem /= dom.Size()
+		}
+		if a.Guard(st) && c.Holds(st) {
+			return st.Clone(), nil
+		}
+	}
+	return nil, nil
+}

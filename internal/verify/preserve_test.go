@@ -1,0 +1,288 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"nonmask/internal/program"
+)
+
+// xyzSchema builds the paper's Section 4/6 example: x, y, z over 0..4 with
+// constraints x != y and x <= z.
+func xyzSchema(t *testing.T) (*program.Schema, program.VarID, program.VarID, program.VarID,
+	*program.Predicate, *program.Predicate) {
+	t.Helper()
+	s := program.NewSchema()
+	x := s.MustDeclare("x", program.IntRange(0, 4))
+	y := s.MustDeclare("y", program.IntRange(0, 4))
+	z := s.MustDeclare("z", program.IntRange(0, 4))
+	neq := program.NewPredicate("x!=y", []program.VarID{x, y},
+		func(st *program.State) bool { return st.Get(x) != st.Get(y) })
+	leq := program.NewPredicate("x<=z", []program.VarID{x, z},
+		func(st *program.State) bool { return st.Get(x) <= st.Get(z) })
+	return s, x, y, z, neq, leq
+}
+
+func TestCheckPreservesPaperExample(t *testing.T) {
+	// Section 6: "consider for x != y a convergence action that decreases x
+	// if x equals y ... The first action preserves the constraint of the
+	// second action."
+	s, x, y, z, neq, leq := xyzSchema(t)
+	_ = z
+	decX := program.NewAction("dec-x", program.Convergence,
+		[]program.VarID{x, y}, []program.VarID{x},
+		func(st *program.State) bool { return st.Get(x) == st.Get(y) && st.Get(x) > 0 },
+		func(st *program.State) { st.Set(x, st.Get(x)-1) })
+
+	res, err := CheckPreserves(s, decX, leq, nil, Options{})
+	if err != nil {
+		t.Fatalf("CheckPreserves: %v", err)
+	}
+	if !res.Preserves {
+		t.Errorf("decreasing x does not preserve x<=z: counterexample %s -> %s", res.State, res.Next)
+	}
+	_ = neq
+}
+
+func TestCheckPreservesViolation(t *testing.T) {
+	// Section 4: "if a convergence action satisfies the first constraint by
+	// changing x ... it can violate the second constraint."
+	s, x, y, _, _, leq := xyzSchema(t)
+	incX := program.NewAction("inc-x", program.Convergence,
+		[]program.VarID{x, y}, []program.VarID{x},
+		func(st *program.State) bool { return st.Get(x) == st.Get(y) && st.Get(x) < 4 },
+		func(st *program.State) { st.Set(x, st.Get(x)+1) })
+
+	res, err := CheckPreserves(s, incX, leq, nil, Options{})
+	if err != nil {
+		t.Fatalf("CheckPreserves: %v", err)
+	}
+	if res.Preserves {
+		t.Fatal("increasing x reported to preserve x<=z")
+	}
+	// Counterexample must be genuine: guard and constraint hold before,
+	// constraint fails after.
+	if !incX.Guard(res.State) || !leq.Holds(res.State) || leq.Holds(res.Next) {
+		t.Errorf("bogus counterexample %s -> %s", res.State, res.Next)
+	}
+}
+
+func TestCheckPreservesConditional(t *testing.T) {
+	// Theorem 3-style conditional preservation: the action violates c in
+	// general but preserves it whenever a lower-layer constraint holds.
+	s := program.NewSchema()
+	a := s.MustDeclare("a", program.IntRange(0, 4))
+	b := s.MustDeclare("b", program.IntRange(0, 4))
+	// Action: b := a (enabled when b != a).
+	copyA := program.NewAction("copy", program.Convergence,
+		[]program.VarID{a, b}, []program.VarID{b},
+		func(st *program.State) bool { return st.Get(b) != st.Get(a) },
+		func(st *program.State) { st.Set(b, st.Get(a)) })
+	// c: b <= 2. Violated when a > 2; preserved given lower: a <= 2.
+	c := program.NewPredicate("b<=2", []program.VarID{b},
+		func(st *program.State) bool { return st.Get(b) <= 2 })
+	lower := program.NewPredicate("a<=2", []program.VarID{a},
+		func(st *program.State) bool { return st.Get(a) <= 2 })
+
+	res, err := CheckPreserves(s, copyA, c, nil, Options{})
+	if err != nil {
+		t.Fatalf("CheckPreserves: %v", err)
+	}
+	if res.Preserves {
+		t.Error("copy preserves b<=2 unconditionally?")
+	}
+	res, err = CheckPreserves(s, copyA, c, []*program.Predicate{lower}, Options{})
+	if err != nil {
+		t.Fatalf("CheckPreserves: %v", err)
+	}
+	if !res.Preserves {
+		t.Errorf("copy does not preserve b<=2 given a<=2: %s -> %s", res.State, res.Next)
+	}
+}
+
+func TestProjectedAgreesWithExhaustive(t *testing.T) {
+	s, x, y, z, neq, leq := xyzSchema(t)
+	actions := []*program.Action{
+		program.NewAction("dec-x", program.Convergence,
+			[]program.VarID{x, y}, []program.VarID{x},
+			func(st *program.State) bool { return st.Get(x) == st.Get(y) && st.Get(x) > 0 },
+			func(st *program.State) { st.Set(x, st.Get(x)-1) }),
+		program.NewAction("inc-x", program.Convergence,
+			[]program.VarID{x, y}, []program.VarID{x},
+			func(st *program.State) bool { return st.Get(x) == st.Get(y) && st.Get(x) < 4 },
+			func(st *program.State) { st.Set(x, st.Get(x)+1) }),
+		program.NewAction("raise-z", program.Convergence,
+			[]program.VarID{x, z}, []program.VarID{z},
+			func(st *program.State) bool { return st.Get(x) > st.Get(z) },
+			func(st *program.State) { st.Set(z, st.Get(x)) }),
+	}
+	for _, a := range actions {
+		for _, c := range []*program.Predicate{neq, leq} {
+			ex, err := CheckPreserves(s, a, c, nil, Options{})
+			if err != nil {
+				t.Fatalf("exhaustive: %v", err)
+			}
+			pr, err := CheckPreservesProjected(s, a, c, nil, Options{})
+			if err != nil {
+				t.Fatalf("projected: %v", err)
+			}
+			if ex.Preserves != pr.Preserves {
+				t.Errorf("action %s / constraint %s: exhaustive=%v projected=%v",
+					a.Name, c.Name, ex.Preserves, pr.Preserves)
+			}
+		}
+	}
+}
+
+func TestProjectedScalesToWideSchemas(t *testing.T) {
+	// 40 variables of domain 0..9: full space 10^40, projected space 100.
+	s := program.NewSchema()
+	ids := s.MustDeclareArray("v", 40, program.IntRange(0, 9))
+	a := program.NewAction("fix", program.Convergence,
+		[]program.VarID{ids[0], ids[1]}, []program.VarID{ids[1]},
+		func(st *program.State) bool { return st.Get(ids[1]) < st.Get(ids[0]) },
+		func(st *program.State) { st.Set(ids[1], st.Get(ids[0])) })
+	c := program.NewPredicate("v1>=v0", []program.VarID{ids[0], ids[1]},
+		func(st *program.State) bool { return st.Get(ids[1]) >= st.Get(ids[0]) })
+
+	if _, err := CheckPreserves(s, a, c, nil, Options{}); err == nil {
+		t.Error("exhaustive check on 10^40 space succeeded")
+	}
+	res, err := CheckPreservesProjected(s, a, c, nil, Options{})
+	if err != nil {
+		t.Fatalf("projected: %v", err)
+	}
+	if !res.Preserves {
+		t.Errorf("fix does not preserve its own constraint: %s", res.State)
+	}
+}
+
+func TestPreservesDispatch(t *testing.T) {
+	s, x, y, _, neq, _ := xyzSchema(t)
+	_ = y
+	a := program.NewAction("noop", program.Convergence,
+		[]program.VarID{x}, []program.VarID{x},
+		func(st *program.State) bool { return false },
+		func(st *program.State) {})
+	for _, strat := range []Strategy{Exhaustive, Projected} {
+		res, err := Preserves(strat, s, a, neq, nil, Options{})
+		if err != nil || !res.Preserves {
+			t.Errorf("%v: res=%+v err=%v", strat, res, err)
+		}
+	}
+	if _, err := Preserves(Strategy(99), s, a, neq, nil, Options{}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if Exhaustive.String() != "exhaustive" || Projected.String() != "projected" {
+		t.Error("Strategy.String wrong")
+	}
+}
+
+func TestGuardImpliesNot(t *testing.T) {
+	s, x, y, _, neq, _ := xyzSchema(t)
+	// Well-formed convergence action: guard x=y is exactly ¬(x!=y).
+	good := program.NewAction("fix", program.Convergence,
+		[]program.VarID{x, y}, []program.VarID{y},
+		func(st *program.State) bool { return st.Get(x) == st.Get(y) },
+		func(st *program.State) {})
+	ce, err := GuardImpliesNot(s, good, neq, Options{})
+	if err != nil {
+		t.Fatalf("GuardImpliesNot: %v", err)
+	}
+	if ce != nil {
+		t.Errorf("well-formed action flagged: %s", ce)
+	}
+	// Ill-formed: guard true overlaps states where the constraint holds.
+	bad := program.NewAction("always", program.Convergence,
+		[]program.VarID{x, y}, []program.VarID{y},
+		func(st *program.State) bool { return true },
+		func(st *program.State) {})
+	ce, err = GuardImpliesNot(s, bad, neq, Options{})
+	if err != nil {
+		t.Fatalf("GuardImpliesNot: %v", err)
+	}
+	if ce == nil {
+		t.Error("ill-formed action not flagged")
+	} else if !neq.Holds(ce) {
+		t.Errorf("witness %s does not satisfy the constraint", ce)
+	}
+}
+
+func TestFaultSpan(t *testing.T) {
+	// Program: x<2 -> x++ over 0..5; fault: x := 0. From init x=0, the
+	// reachable closure is {0,1,2}.
+	s := program.NewSchema()
+	x := s.MustDeclare("x", program.IntRange(0, 5))
+	p := program.New("walk", s)
+	p.Add(program.NewAction("inc", program.Closure,
+		[]program.VarID{x}, []program.VarID{x},
+		func(st *program.State) bool { return st.Get(x) < 2 },
+		func(st *program.State) { st.Set(x, st.Get(x)+1) }))
+	fault := program.NewAction("reset", program.Fault,
+		[]program.VarID{x}, []program.VarID{x},
+		func(st *program.State) bool { return st.Get(x) > 0 },
+		func(st *program.State) { st.Set(x, 0) })
+	init := program.NewPredicate("x=0", []program.VarID{x},
+		func(st *program.State) bool { return st.Get(x) == 0 })
+
+	res, err := FaultSpan(p, []*program.Action{fault}, init, Options{})
+	if err != nil {
+		t.Fatalf("FaultSpan: %v", err)
+	}
+	if res.States != 3 {
+		t.Errorf("span has %d states, want 3", res.States)
+	}
+	if res.Total != 6 {
+		t.Errorf("total = %d, want 6", res.Total)
+	}
+	for v := int32(0); v <= 5; v++ {
+		st := s.NewState()
+		st.Set(x, v)
+		want := v <= 2
+		if got := res.Span.Holds(st); got != want {
+			t.Errorf("span(x=%d) = %v, want %v", v, got, want)
+		}
+	}
+	if !strings.Contains(res.Span.Name, "fault-span") {
+		t.Errorf("span name = %q", res.Span.Name)
+	}
+}
+
+func TestFaultSpanEmptyInit(t *testing.T) {
+	s := program.NewSchema()
+	s.MustDeclare("x", program.Bool())
+	p := program.New("p", s)
+	if _, err := FaultSpan(p, nil, program.False(), Options{}); err == nil {
+		t.Error("FaultSpan with empty init succeeded")
+	}
+}
+
+func TestFaultSpanIsClosedUnderProgramAndFaults(t *testing.T) {
+	// The computed span must be closed under both program and fault
+	// actions — the defining property of a fault-span (Section 3).
+	s := program.NewSchema()
+	x := s.MustDeclare("x", program.IntRange(0, 7))
+	p := program.New("p", s)
+	p.Add(program.NewAction("double", program.Closure,
+		[]program.VarID{x}, []program.VarID{x},
+		func(st *program.State) bool { return st.Get(x) <= 3 },
+		func(st *program.State) { st.Set(x, st.Get(x)*2) }))
+	fault := program.NewAction("bump", program.Fault,
+		[]program.VarID{x}, []program.VarID{x},
+		func(st *program.State) bool { return st.Get(x) < 7 },
+		func(st *program.State) { st.Set(x, st.Get(x)+1) })
+	init := program.NewPredicate("x=1", []program.VarID{x},
+		func(st *program.State) bool { return st.Get(x) == 1 })
+	res, err := FaultSpan(p, []*program.Action{fault}, init, Options{})
+	if err != nil {
+		t.Fatalf("FaultSpan: %v", err)
+	}
+	all := p.Union("with-faults", fault)
+	sp, err := NewSpace(all, res.Span, program.True(), Options{})
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	if v := sp.CheckClosed(res.Span, nil); v != nil {
+		t.Errorf("fault span not closed: %v", v)
+	}
+}

@@ -1,0 +1,167 @@
+// Package verify is an explicit-state model checker for guarded-command
+// programs. It decides, exactly, the two requirements of the paper's
+// definition of fault-tolerance (Section 3):
+//
+//	Closure:     both S and T are closed in p.
+//	Convergence: every computation of p that starts at any state where T
+//	             holds reaches a state where S holds.
+//
+// Convergence is decided under two daemons: the arbitrary (unfair) central
+// daemon, and the weakly fair daemon the paper's computation model assumes
+// (Section 2). The paper's concluding remark that "the fairness requirement
+// on program computations is often unnecessary" is checkable by comparing
+// the two.
+//
+// The checker enumerates the full finite state space, so it applies to
+// paper-sized instances; internal/sim covers large instances statistically.
+package verify
+
+import (
+	"fmt"
+
+	"nonmask/internal/program"
+)
+
+// DefaultMaxStates bounds full-space enumeration. 1<<22 states with the
+// checker's per-state bookkeeping costs tens of megabytes.
+const DefaultMaxStates = int64(1) << 22
+
+// Options configures the checker.
+type Options struct {
+	// MaxStates caps the size of the enumerated state space.
+	// Zero means DefaultMaxStates.
+	MaxStates int64
+}
+
+func (o Options) maxStates() int64 {
+	if o.MaxStates <= 0 {
+		return DefaultMaxStates
+	}
+	return o.MaxStates
+}
+
+// Space is a fully enumerated state space of one program, with membership
+// bitmaps for the invariant S and fault-span T. It underlies all checks and
+// the adversarial daemon's exact distance metric.
+type Space struct {
+	P     *program.Program
+	S     *program.Predicate
+	T     *program.Predicate
+	Count int64
+
+	inS, inT []bool
+}
+
+// NewSpace enumerates the program's state space and evaluates S and T at
+// every state. It fails if the space exceeds opts.MaxStates.
+func NewSpace(p *program.Program, S, T *program.Predicate, opts Options) (*Space, error) {
+	count, ok := p.Schema.StateCount()
+	if !ok || count > opts.maxStates() {
+		return nil, fmt.Errorf("verify: state space of %q too large (%d states, limit %d)",
+			p.Name, count, opts.maxStates())
+	}
+	sp := &Space{
+		P:     p,
+		S:     S,
+		T:     T,
+		Count: count,
+		inS:   make([]bool, count),
+		inT:   make([]bool, count),
+	}
+	for i := int64(0); i < count; i++ {
+		st := p.Schema.StateAt(i)
+		sp.inS[i] = S.Holds(st)
+		sp.inT[i] = T.Holds(st)
+		if sp.inS[i] && !sp.inT[i] {
+			return nil, fmt.Errorf("verify: S does not imply T at state %s", st)
+		}
+	}
+	return sp, nil
+}
+
+// InS reports whether state index i satisfies the invariant.
+func (sp *Space) InS(i int64) bool { return sp.inS[i] }
+
+// InT reports whether state index i satisfies the fault-span.
+func (sp *Space) InT(i int64) bool { return sp.inT[i] }
+
+// CountS returns the number of states satisfying S.
+func (sp *Space) CountS() int64 { return countTrue(sp.inS) }
+
+// CountT returns the number of states satisfying T.
+func (sp *Space) CountT() int64 { return countTrue(sp.inT) }
+
+func countTrue(bs []bool) int64 {
+	var n int64
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// State materializes the state with index i.
+func (sp *Space) State(i int64) *program.State { return sp.P.Schema.StateAt(i) }
+
+// successors appends the indices of all one-step successors of state index
+// i under the given actions, reusing buf. Actions whose body leaves the
+// state unchanged still contribute a (self-loop) successor.
+func (sp *Space) successors(i int64, actions []*program.Action, buf []int64) []int64 {
+	st := sp.P.Schema.StateAt(i)
+	buf = buf[:0]
+	for _, a := range actions {
+		if !a.Guard(st) {
+			continue
+		}
+		next := a.Apply(st)
+		buf = append(buf, sp.P.Schema.Index(next))
+	}
+	return buf
+}
+
+// ClosureViolation describes one step that escapes a predicate.
+type ClosureViolation struct {
+	Pred   *program.Predicate
+	State  *program.State
+	Action *program.Action
+	Next   *program.State
+}
+
+// Error renders the violation.
+func (v *ClosureViolation) Error() string {
+	return fmt.Sprintf("closure of %q violated: action %q maps %s to %s",
+		v.Pred.Name, v.Action.Name, v.State, v.Next)
+}
+
+// CheckClosed verifies that pred is closed in the program restricted to the
+// region where `within` holds (paper Section 2: "a state predicate R of p
+// is closed iff each action of p preserves R"). A nil `within` means the
+// whole space. It returns nil when closed, or a ClosureViolation.
+func (sp *Space) CheckClosed(pred, within *program.Predicate) *ClosureViolation {
+	for i := int64(0); i < sp.Count; i++ {
+		st := sp.P.Schema.StateAt(i)
+		if !pred.Holds(st) || !within.Holds(st) {
+			continue
+		}
+		for _, a := range sp.P.Actions {
+			if !a.Guard(st) {
+				continue
+			}
+			next := a.Apply(st)
+			if !pred.Holds(next) {
+				return &ClosureViolation{Pred: pred, State: st, Action: a, Next: next}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckClosure verifies the paper's closure requirement for the candidate
+// triple: both S and T closed in p. It returns the first violation found.
+func (sp *Space) CheckClosure() *ClosureViolation {
+	if v := sp.CheckClosed(sp.T, nil); v != nil {
+		return v
+	}
+	return sp.CheckClosed(sp.S, nil)
+}

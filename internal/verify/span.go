@@ -1,0 +1,112 @@
+package verify
+
+import (
+	"fmt"
+
+	"nonmask/internal/program"
+)
+
+// SpanResult is the outcome of a fault-span computation.
+type SpanResult struct {
+	// Span is a predicate holding exactly at the states reachable from the
+	// initial region under program and fault actions. It is closed in both
+	// by construction (paper Section 3: "a program fault-span identifies a
+	// set of states that is kept closed under the execution of program
+	// actions as well as fault actions").
+	Span *program.Predicate
+	// States is the number of states in the span.
+	States int64
+	// Total is the size of the full state space.
+	Total int64
+}
+
+// FaultSpan computes the smallest closed fault-span containing the initial
+// region: the set of states reachable from any init state by program
+// actions and the given fault actions. This mechanizes the paper's view
+// that "all classes of faults can be represented as actions that change the
+// program state" (Section 3).
+func FaultSpan(p *program.Program, faults []*program.Action, init *program.Predicate,
+	opts Options) (*SpanResult, error) {
+	count, ok := p.Schema.StateCount()
+	if !ok || count > opts.maxStates() {
+		return nil, fmt.Errorf("verify: state space too large for fault-span computation (%d states)", count)
+	}
+	inSpan := make([]bool, count)
+	var frontier []int64
+	for i := int64(0); i < count; i++ {
+		if init.Holds(p.Schema.StateAt(i)) {
+			inSpan[i] = true
+			frontier = append(frontier, i)
+		}
+	}
+	if len(frontier) == 0 {
+		return nil, fmt.Errorf("verify: initial region is empty")
+	}
+	all := make([]*program.Action, 0, len(p.Actions)+len(faults))
+	all = append(all, p.Actions...)
+	all = append(all, faults...)
+	var spanCount int64 = int64(len(frontier))
+	for len(frontier) > 0 {
+		i := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		st := p.Schema.StateAt(i)
+		for _, a := range all {
+			if !a.Guard(st) {
+				continue
+			}
+			j := p.Schema.Index(a.Apply(st))
+			if !inSpan[j] {
+				inSpan[j] = true
+				spanCount++
+				frontier = append(frontier, j)
+			}
+		}
+	}
+	schema := p.Schema
+	span := &program.Predicate{
+		Name: fmt.Sprintf("fault-span(%s)", init.Name),
+		Eval: func(st *program.State) bool { return inSpan[schema.Index(st)] },
+	}
+	// The span may depend on every variable; declare the full support.
+	for v := 0; v < schema.Len(); v++ {
+		span.Vars = append(span.Vars, program.VarID(v))
+	}
+	return &SpanResult{Span: span, States: spanCount, Total: count}, nil
+}
+
+// Classify reports the paper's Section 3 classification for a tolerant
+// program: masking when S = T (semantically, over the full space),
+// nonmasking when S is a strict subset of T.
+type Classification int
+
+// Classifications of a fault-tolerant program.
+const (
+	// Masking means the fault-span equals the invariant: faults never drive
+	// the program outside its fault-free states.
+	Masking Classification = iota + 1
+	// Nonmasking means the fault-span strictly contains the invariant: the
+	// input-output relation may be violated temporarily.
+	Nonmasking
+)
+
+// String returns the classification name.
+func (c Classification) String() string {
+	switch c {
+	case Masking:
+		return "masking"
+	case Nonmasking:
+		return "nonmasking"
+	default:
+		return fmt.Sprintf("Classification(%d)", int(c))
+	}
+}
+
+// Classify compares S and T semantically over the enumerated space.
+func (sp *Space) Classify() Classification {
+	for i := int64(0); i < sp.Count; i++ {
+		if sp.inT[i] && !sp.inS[i] {
+			return Nonmasking
+		}
+	}
+	return Masking
+}

@@ -1,0 +1,162 @@
+package verify
+
+import (
+	"fmt"
+
+	"nonmask/internal/program"
+)
+
+// StairResult reports the verification of a convergence stair.
+type StairResult struct {
+	// OK is true when every step of the stair holds.
+	OK bool
+	// Steps records the per-step verdicts, from T down to S.
+	Steps []StairStep
+}
+
+// StairStep is one stage of a convergence stair.
+type StairStep struct {
+	// From and To name the stage's predicates (R_i ⊇ R_{i+1}).
+	From, To string
+	// Closed reports that To is closed in the program.
+	Closed bool
+	// Converges reports that every computation from From reaches To.
+	Converges bool
+	// Detail carries the counterexample summary when a check fails.
+	Detail string
+}
+
+// CheckStair verifies a convergence stair (Gouda & Multari, cited by the
+// paper in Section 7: "a convergence stair of height two"): a chain of
+// closed predicates T = R_0 ⊇ R_1 ⊇ ... ⊇ R_n = S such that from each R_i
+// every computation reaches R_{i+1}. Stairs let cyclic constraint graphs
+// be verified stage by stage: within each stage the graph restricted to
+// the stage's states may be self-looping even when the global graph is
+// cyclic.
+//
+// stairs lists the intermediate predicates R_1..R_{n-1}; the space's T and
+// S bound the chain. Convergence at each stage is checked under the
+// arbitrary daemon when fair is false, and under the weakly fair daemon
+// when fair is true (some layered compositions — e.g. a wave over a
+// not-yet-stable spanning tree — converge only fairly; see
+// internal/protocols/composed). Implications R_i ⊇ R_{i+1} are checked
+// semantically.
+func (sp *Space) CheckStair(stairs []*program.Predicate, fair bool) *StairResult {
+	chain := make([]*program.Predicate, 0, len(stairs)+2)
+	chain = append(chain, sp.T)
+	chain = append(chain, stairs...)
+	chain = append(chain, sp.S)
+
+	res := &StairResult{OK: true}
+	for i := 0; i+1 < len(chain); i++ {
+		from, to := chain[i], chain[i+1]
+		step := StairStep{From: from.Name, To: to.Name, Closed: true, Converges: true}
+
+		// Subset: to ⊆ from.
+		for idx := int64(0); idx < sp.Count; idx++ {
+			st := sp.State(idx)
+			if to.Holds(st) && !from.Holds(st) {
+				step.Converges = false
+				step.Closed = false
+				step.Detail = fmt.Sprintf("stair not nested: %s holds but %s fails at %s",
+					to.Name, from.Name, st)
+				res.OK = false
+				break
+			}
+		}
+		if step.Detail == "" {
+			// Closure of the stage's target.
+			if v := sp.CheckClosed(to, nil); v != nil {
+				step.Closed = false
+				step.Detail = v.Error()
+				res.OK = false
+			} else {
+				// Convergence from the stage's source to its target: build a
+				// stage space reusing the program, with S := to, T := from.
+				stage := &Space{
+					P: sp.P, S: to, T: from, Count: sp.Count,
+					inS: make([]bool, sp.Count), inT: make([]bool, sp.Count),
+				}
+				for idx := int64(0); idx < sp.Count; idx++ {
+					st := sp.State(idx)
+					stage.inS[idx] = to.Holds(st)
+					stage.inT[idx] = from.Holds(st)
+				}
+				var conv *ConvergenceResult
+				if fair {
+					conv = stage.CheckFairConvergence()
+				} else {
+					conv = stage.CheckConvergence()
+				}
+				if !conv.Converges {
+					step.Converges = false
+					step.Detail = conv.Summary()
+					res.OK = false
+				} else if fair {
+					step.Detail = "converges (fair)"
+				} else {
+					step.Detail = fmt.Sprintf("worst %d steps", conv.WorstSteps)
+				}
+			}
+		}
+		res.Steps = append(res.Steps, step)
+	}
+	return res
+}
+
+// VariantViolation describes a step on which a claimed variant function
+// fails to decrease.
+type VariantViolation struct {
+	State  *program.State
+	Action *program.Action
+	Next   *program.State
+	// Before and After are the variant's values around the step.
+	Before, After int64
+}
+
+// Error renders the violation.
+func (v *VariantViolation) Error() string {
+	return fmt.Sprintf("variant does not decrease: action %q maps %s (rank %d) to %s (rank %d)",
+		v.Action.Name, v.State, v.Before, v.Next, v.After)
+}
+
+// CheckVariant verifies a claimed variant function for convergence under
+// the arbitrary daemon (paper Section 8: "a variant function is a mapping
+// from the program state space to a set that is wellfounded under a
+// relation <, such that in each step of the computation the variant
+// function value does not increase and eventually decreases").
+//
+// For the arbitrary daemon the required shape is strict: every enabled
+// action from a T∧¬S state must strictly decrease the variant or land in
+// S, and the variant must be non-negative. Together with the absence of
+// T∧¬S deadlocks this implies convergence. The exact table produced by
+// WorstDistances always qualifies; CheckVariant lets designers validate
+// hand-written, intuition-carrying variants.
+func (sp *Space) CheckVariant(variant func(*program.State) int64) *VariantViolation {
+	for i := int64(0); i < sp.Count; i++ {
+		if !sp.inT[i] || sp.inS[i] {
+			continue
+		}
+		st := sp.State(i)
+		before := variant(st)
+		if before < 0 {
+			return &VariantViolation{State: st, Before: before, After: before,
+				Action: &program.Action{Name: "(negative variant)"}}
+		}
+		for _, a := range sp.P.Actions {
+			if !a.Guard(st) {
+				continue
+			}
+			next := a.Apply(st)
+			j := sp.P.Schema.Index(next)
+			if sp.inS[j] {
+				continue
+			}
+			if after := variant(next); after >= before {
+				return &VariantViolation{State: st, Action: a, Next: next,
+					Before: before, After: after}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package nonmask_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nonmask"
+)
+
+// buildPair constructs a two-variable design through the public facade
+// only: S = (y = x) with the convergence action copying x to y.
+func buildPair(t *testing.T) (*nonmask.Design, nonmask.VarID, nonmask.VarID) {
+	t.Helper()
+	b := nonmask.NewDesign("pair")
+	x := b.Schema().MustDeclare("x", nonmask.IntRange(0, 3))
+	y := b.Schema().MustDeclare("y", nonmask.IntRange(0, 3))
+	b.Closure(nonmask.NewAction("advance", nonmask.Closure,
+		[]nonmask.VarID{x, y}, []nonmask.VarID{x, y},
+		func(st *nonmask.State) bool { return st.Get(x) == st.Get(y) },
+		func(st *nonmask.State) {
+			v := (st.Get(x) + 1) % 4
+			st.Set(x, v)
+			st.Set(y, v)
+		}))
+	eq := nonmask.NewPredicate("y = x", []nonmask.VarID{x, y},
+		func(st *nonmask.State) bool { return st.Get(y) == st.Get(x) })
+	b.Constraint(0, eq, nonmask.NewAction("sync", nonmask.Convergence,
+		[]nonmask.VarID{x, y}, []nonmask.VarID{y},
+		func(st *nonmask.State) bool { return st.Get(y) != st.Get(x) },
+		func(st *nonmask.State) { st.Set(y, st.Get(x)) }))
+	d, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return d, x, y
+}
+
+func TestFacadeDesignWorkflow(t *testing.T) {
+	d, _, _ := buildPair(t)
+
+	report, all, err := d.Validate(nonmask.Exhaustive, nonmask.VerifyOptions{})
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if report == nil {
+		t.Fatalf("no theorem applies; %d reports", len(all))
+	}
+
+	res, err := d.Verify(nonmask.VerifyOptions{})
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !res.Tolerant() {
+		t.Error("design not tolerant")
+	}
+	if res.Classification != nonmask.Nonmasking {
+		t.Errorf("classification = %v", res.Classification)
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	d, _, _ := buildPair(t)
+	p := d.TolerantProgram()
+	r := &nonmask.Runner{
+		P: p, S: d.S,
+		D:        nonmask.NewRoundRobin(p),
+		MaxSteps: 1000,
+		StopAtS:  true,
+	}
+	rng := rand.New(rand.NewSource(1))
+	batch := r.RunMany(100, rng, nonmask.RandomStates(d.Schema))
+	if batch.ConvergenceRate() != 1 {
+		t.Errorf("rate = %v", batch.ConvergenceRate())
+	}
+	s := nonmask.Summarize(intsToFloats(batch.Steps))
+	if s.Max > 1 {
+		t.Errorf("pair should converge in one step, max = %v", s.Max)
+	}
+}
+
+func TestFacadeFaultSpan(t *testing.T) {
+	d, x, y := buildPair(t)
+	// Faults may corrupt y only; the span from S must stay within x-domain
+	// times y-domain but only states reachable by corrupting y.
+	faults := nonmask.FaultActions(d.Schema, []nonmask.VarID{y})
+	if len(faults) != 4 {
+		t.Fatalf("fault actions = %d, want 4", len(faults))
+	}
+	span, err := nonmask.FaultSpan(d.TolerantProgram(), faults, d.S, nonmask.VerifyOptions{})
+	if err != nil {
+		t.Fatalf("FaultSpan: %v", err)
+	}
+	// From y-corruption of S states, every (x, y) combination is reachable
+	// (the program itself advances x).
+	if span.States != 16 {
+		t.Errorf("span = %d states, want 16", span.States)
+	}
+	_ = x
+}
+
+func TestFacadeGCL(t *testing.T) {
+	m, err := nonmask.LoadGCL(`
+program tiny;
+var x : 0..3;
+invariant I : x = 0;
+action fix convergence establishes I : x != 0 -> x := 0;
+`)
+	if err != nil {
+		t.Fatalf("LoadGCL: %v", err)
+	}
+	if m.Design == nil {
+		t.Fatal("no design")
+	}
+	f, err := nonmask.ParseGCL("program p; var b : bool; action a : b -> b := false;")
+	if err != nil {
+		t.Fatalf("ParseGCL: %v", err)
+	}
+	out := nonmask.PrintGCL(f)
+	if !strings.Contains(out, "program p;") {
+		t.Errorf("PrintGCL = %q", out)
+	}
+}
+
+func TestFacadeConstraintGraph(t *testing.T) {
+	d, _, _ := buildPair(t)
+	cg, err := nonmask.BuildConstraintGraph(d.Set.Constraints)
+	if err != nil {
+		t.Fatalf("BuildConstraintGraph: %v", err)
+	}
+	if _, ok := cg.IsOutTree(); !ok {
+		t.Error("pair graph not an out-tree")
+	}
+}
+
+func TestFacadeTable(t *testing.T) {
+	tbl := nonmask.NewTable("t", "a", "b")
+	tbl.AddRow("1", "2")
+	if !strings.Contains(tbl.String(), "1") {
+		t.Error("table rendering broken")
+	}
+}
+
+func intsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// ExampleDesignBuilder demonstrates the paper's design workflow end to end
+// through the public API.
+func ExampleDesignBuilder() {
+	b := nonmask.NewDesign("example")
+	x := b.Schema().MustDeclare("x", nonmask.IntRange(0, 4))
+	y := b.Schema().MustDeclare("y", nonmask.IntRange(0, 4))
+
+	// Constraint of S with its convergence action "¬c -> establish c".
+	neq := nonmask.NewPredicate("x != y", []nonmask.VarID{x, y},
+		func(st *nonmask.State) bool { return st.Get(x) != st.Get(y) })
+	fix := nonmask.NewAction("fix-y", nonmask.Convergence,
+		[]nonmask.VarID{x, y}, []nonmask.VarID{y},
+		func(st *nonmask.State) bool { return st.Get(x) == st.Get(y) },
+		func(st *nonmask.State) { st.Set(y, (st.Get(y)+1)%5) })
+	b.Constraint(0, neq, fix)
+
+	d, _ := b.Build()
+	report, _, _ := d.Validate(nonmask.Exhaustive, nonmask.VerifyOptions{})
+	res, _ := d.Verify(nonmask.VerifyOptions{})
+	fmt.Println(report.Theorem)
+	fmt.Println(res.Unfair.Converges, res.Classification)
+	// Output:
+	// Theorem 1 (out-tree)
+	// true nonmasking
+}
+
+// ExampleLoadGCL compiles a program written in the paper's notation and
+// model-checks it.
+func ExampleLoadGCL() {
+	m, _ := nonmask.LoadGCL(`
+program countdown;
+var x : 0..5;
+invariant DONE : x = 0;
+action step convergence establishes DONE : x != 0 -> x := x - 1;
+`)
+	res, _ := m.Design.Verify(nonmask.VerifyOptions{})
+	fmt.Println(res.Unfair.Summary())
+	// Output:
+	// converges under arbitrary daemon: worst 5 steps, mean 3.00 (|T∧¬S| = 5 states)
+}
