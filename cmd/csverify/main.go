@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,18 +41,21 @@ import (
 
 func main() {
 	var (
-		protocol = flag.String("protocol", "diffusing", "protocol: diffusing | tokenring-path | tokenring-ring | threestate | fourstate | spanningtree | composed | xyz | reset | termination | snapshot")
-		n        = flag.Int("n", 5, "instance size (nodes; ring/path: highest index)")
-		k        = flag.Int("k", 0, "counter domain size for token rings (default n+2)")
-		tree     = flag.String("tree", "binary", "tree shape for tree protocols: chain | star | binary | random")
-		graphStr = flag.String("graph", "line", "graph for spanningtree: line | ring | complete | grid")
-		variant  = flag.String("variant", "out-tree", "xyz variant: interfering | out-tree | ordered")
-		seed     = flag.Int64("seed", 1, "seed for random topologies")
-		strategy = flag.String("strategy", "projected", "preservation strategy: projected | exhaustive")
+		protocol  = flag.String("protocol", "diffusing", "protocol: diffusing | tokenring-path | tokenring-ring | threestate | fourstate | spanningtree | composed | xyz | reset | termination | snapshot")
+		n         = flag.Int("n", 5, "instance size (nodes; ring/path: highest index)")
+		k         = flag.Int("k", 0, "counter domain size for token rings (default n+2)")
+		tree      = flag.String("tree", "binary", "tree shape for tree protocols: chain | star | binary | random")
+		graphStr  = flag.String("graph", "line", "graph for spanningtree: line | ring | complete | grid")
+		variant   = flag.String("variant", "out-tree", "xyz variant: interfering | out-tree | ordered")
+		seed      = flag.Int64("seed", 1, "seed for random topologies")
+		strategy  = flag.String("strategy", "projected", "preservation strategy: projected | exhaustive")
+		workers   = flag.Int("workers", 0, "goroutines sharding the checker's passes (0 = all CPUs, 1 = sequential)")
+		maxStates = flag.Int64("max-states", 0, fmt.Sprintf("state-space cap (0 = default %d)", verify.DefaultMaxStates))
 	)
 	flag.Parse()
 
-	if err := run(*protocol, *n, *k, *tree, *graphStr, *variant, *seed, *strategy); err != nil {
+	opts := verify.Options{Workers: *workers, MaxStates: *maxStates}
+	if err := run(*protocol, *n, *k, *tree, *graphStr, *variant, *seed, *strategy, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "csverify:", err)
 		os.Exit(1)
 	}
@@ -72,11 +76,12 @@ func pickTree(shape string, n int, seed int64) (diffusing.Tree, error) {
 	}
 }
 
-func run(protocol string, n, k int, tree, graphStr, variant string, seed int64, strategy string) error {
+func run(protocol string, n, k int, tree, graphStr, variant string, seed int64, strategy string, opts verify.Options) error {
 	strat := verify.Projected
 	if strategy == "exhaustive" {
 		strat = verify.Exhaustive
 	}
+	opts.Strategy = strat
 	if k == 0 {
 		k = n + 2
 	}
@@ -100,7 +105,7 @@ func run(protocol string, n, k int, tree, graphStr, variant string, seed int64, 
 		}
 		design = inst.Design
 	case "tokenring-ring":
-		return verifyRing(n, k)
+		return verifyRing(n, k, opts)
 	case "spanningtree":
 		var g spanningtree.Graph
 		switch graphStr {
@@ -172,13 +177,13 @@ func run(protocol string, n, k int, tree, graphStr, variant string, seed int64, 
 		if err != nil {
 			return err
 		}
-		return verifyPlain(inst.P, inst.S)
+		return verifyPlain(inst.P, inst.S, opts)
 	case "fourstate":
 		inst, err := fourstate.New(n)
 		if err != nil {
 			return err
 		}
-		return verifyPlain(inst.P, inst.S)
+		return verifyPlain(inst.P, inst.S, opts)
 	case "composed":
 		var g spanningtree.Graph
 		switch graphStr {
@@ -197,21 +202,30 @@ func run(protocol string, n, k int, tree, graphStr, variant string, seed int64, 
 		if err != nil {
 			return err
 		}
-		return verifyComposed(inst)
+		return verifyComposed(inst, opts)
 	default:
 		return fmt.Errorf("unknown protocol %q", protocol)
 	}
 
-	return verifyDesign(design, strat)
+	return verifyDesign(design, opts)
 }
 
-func verifyDesign(d *core.Design, strat verify.Strategy) error {
+// effectiveCap resolves the zero-means-default convention for the
+// enumeration pre-checks below.
+func effectiveCap(opts verify.Options) int64 {
+	if opts.MaxStates > 0 {
+		return opts.MaxStates
+	}
+	return verify.DefaultMaxStates
+}
+
+func verifyDesign(d *core.Design, opts verify.Options) error {
 	fmt.Printf("design %s: %d variables, %d closure actions, %d constraints\n",
 		d.Name, d.Schema.Len(), len(d.Closure), d.Set.Len())
 	fmt.Println()
 
 	fmt.Println("=== theorem validation (sufficient conditions) ===")
-	applicable, all, err := d.Validate(strat, verify.Options{})
+	applicable, all, err := d.Validate(opts.Strategy, opts)
 	if err != nil {
 		return err
 	}
@@ -231,11 +245,11 @@ func verifyDesign(d *core.Design, strat verify.Strategy) error {
 	fmt.Println()
 	fmt.Println("=== exact model checking ===")
 	count, ok := d.Schema.StateCount()
-	if !ok || count > verify.DefaultMaxStates {
+	if !ok || count > effectiveCap(opts) {
 		fmt.Printf("state space too large to enumerate (%d states); use cssim instead\n", count)
 		return nil
 	}
-	res, err := d.Verify(verify.Options{})
+	res, err := d.VerifyContext(context.Background(), verify.WithOptions(opts))
 	if err != nil {
 		return err
 	}
@@ -259,55 +273,63 @@ func verifyDesign(d *core.Design, strat verify.Strategy) error {
 
 // verifyRing handles the mod-K ring, which is a plain program with an
 // invariant rather than a layered design.
-func verifyRing(n, k int) error {
+func verifyRing(n, k int, opts verify.Options) error {
 	inst, err := tokenring.NewRing(n, k)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("program %s: %d nodes, K=%d\n", inst.P.Name, n+1, k)
-	return verifyPlain(inst.P, inst.S)
+	return verifyPlain(inst.P, inst.S, opts)
 }
 
-// verifyPlain model-checks a plain program against its invariant.
-func verifyPlain(p *program.Program, S *program.Predicate) error {
+// verifyPlain model-checks a plain program against its invariant through
+// the unified Check entry point.
+func verifyPlain(p *program.Program, S *program.Predicate, opts verify.Options) error {
 	count, ok := p.Schema.StateCount()
-	if !ok || count > verify.DefaultMaxStates {
+	if !ok || count > effectiveCap(opts) {
 		return fmt.Errorf("state space too large to enumerate (%d states)", count)
 	}
-	sp, err := verify.NewSpace(p, S, program.True(), verify.Options{})
+	rep, err := verify.Check(context.Background(), p, S, nil, verify.WithOptions(opts))
 	if err != nil {
 		return err
 	}
-	if v := sp.CheckClosed(S, nil); v != nil {
-		fmt.Printf("closure: VIOLATED — %v\n", v)
+	if rep.Closure != nil {
+		fmt.Printf("closure: VIOLATED — %v\n", rep.Closure)
 	} else {
 		fmt.Println("closure: S closed")
 	}
-	res := sp.CheckConvergence()
-	fmt.Printf("convergence: %s\n", res.Summary())
-	if !res.Converges {
-		fair := sp.CheckFairConvergence()
-		fmt.Printf("fair convergence: %s\n", fair.Summary())
+	fmt.Printf("convergence: %s\n", rep.Unfair.Summary())
+	if rep.Fair != nil {
+		fmt.Printf("fair convergence: %s\n", rep.Fair.Summary())
 	}
+	fmt.Printf("checked %d states in %v (workers=%d)\n", count, rep.Elapsed, rep.Options.Workers)
 	return nil
 }
 
 // verifyComposed reports the composition's two-daemon story and its stair.
-func verifyComposed(inst *composed.Instance) error {
+func verifyComposed(inst *composed.Instance, opts verify.Options) error {
 	count, ok := inst.P.Schema.StateCount()
-	if !ok || count > verify.DefaultMaxStates {
+	if !ok || count > effectiveCap(opts) {
 		return fmt.Errorf("state space too large to enumerate (%d states)", count)
 	}
-	sp, err := verify.NewSpace(inst.P, inst.S, program.True(), verify.Options{})
+	ctx := context.Background()
+	rep, err := verify.Check(ctx, inst.P, inst.S, nil, verify.WithOptions(opts))
 	if err != nil {
 		return err
 	}
 	fmt.Printf("program %s: %d states\n", inst.P.Name, count)
-	res := sp.CheckConvergence()
-	fmt.Printf("convergence (arbitrary daemon): %s\n", res.Summary())
-	fair := sp.CheckFairConvergence()
+	fmt.Printf("convergence (arbitrary daemon): %s\n", rep.Unfair.Summary())
+	fair := rep.Fair
+	if fair == nil {
+		if fair, err = rep.Space.CheckFairConvergenceContext(ctx); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("convergence (weakly fair daemon): %s\n", fair.Summary())
-	stair := sp.CheckStair([]*program.Predicate{inst.TreeOK}, true)
+	stair, err := rep.Space.CheckStairContext(ctx, []*program.Predicate{inst.TreeOK}, true)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("convergence stair (true -> tree -> S, fair): ok=%v\n", stair.OK)
 	for _, step := range stair.Steps {
 		fmt.Printf("  %s -> %s: closed=%v converges=%v %s\n",

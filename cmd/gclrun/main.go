@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -92,21 +93,19 @@ func run(path string, printOnly bool, strategy string) error {
 		return nil
 	}
 	fmt.Println("\n=== exact model checking ===")
-	sp, err := verify.NewSpace(m.Program, m.S, m.T, verify.Options{})
+	rep, err := verify.Check(context.Background(), m.Program, m.S, m.T)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("state space: %d states, |S| = %d, |T| = %d\n", count, sp.CountS(), sp.CountT())
-	if v := sp.CheckClosure(); v != nil {
-		fmt.Printf("closure: VIOLATED — %v\n", v)
+	fmt.Printf("state space: %d states, |S| = %d, |T| = %d\n", count, rep.Space.CountS(), rep.Space.CountT())
+	if rep.Closure != nil {
+		fmt.Printf("closure: VIOLATED — %v\n", rep.Closure)
 	} else {
 		fmt.Println("closure: S and T closed")
 	}
-	res := sp.CheckConvergence()
-	fmt.Printf("convergence: %s\n", res.Summary())
-	if !res.Converges {
-		fair := sp.CheckFairConvergence()
-		fmt.Printf("fair convergence: %s\n", fair.Summary())
+	fmt.Printf("convergence: %s\n", rep.Unfair.Summary())
+	if rep.Fair != nil {
+		fmt.Printf("fair convergence: %s\n", rep.Fair.Summary())
 	}
 	_ = program.True()
 	return nil

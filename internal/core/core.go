@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"nonmask/internal/constraint"
@@ -189,6 +190,9 @@ type VerifyResult struct {
 	FairOnly *verify.ConvergenceResult
 	// Classification is masking or nonmasking (Section 3).
 	Classification verify.Classification
+	// Report is the underlying verify.Check report, carrying the
+	// enumerated space, timing, and effective options.
+	Report *verify.Report
 }
 
 // Tolerant reports whether the design met the paper's definition: closure
@@ -207,20 +211,27 @@ func (r *VerifyResult) Tolerant() bool {
 // under the arbitrary daemon, and — when that fails — convergence under the
 // fair daemon. Only feasible for enumerable instances.
 func (d *Design) Verify(opts verify.Options) (*VerifyResult, error) {
-	sp, err := verify.NewSpace(d.TolerantProgram(), d.S, d.T, opts)
+	return d.VerifyContext(context.Background(), verify.WithOptions(opts))
+}
+
+// VerifyContext model-checks the design through verify.Check with
+// cancellation and functional options (WithWorkers, WithMaxStates,
+// WithDeadline, ...).
+func (d *Design) VerifyContext(ctx context.Context, options ...verify.Option) (*VerifyResult, error) {
+	rep, err := verify.Check(ctx, d.TolerantProgram(), d.S, d.T, options...)
 	if err != nil {
 		return nil, err
 	}
-	res := &VerifyResult{Classification: sp.Classify()}
-	res.Closure = sp.CheckClosure()
-	res.Unfair = sp.CheckConvergence()
-	if !res.Unfair.Converges {
-		res.FairOnly = sp.CheckFairConvergence()
-	}
-	return res, nil
+	return &VerifyResult{
+		Closure:        rep.Closure,
+		Unfair:         rep.Unfair,
+		FairOnly:       rep.Fair,
+		Classification: rep.Classification,
+		Report:         rep,
+	}, nil
 }
 
 // Space builds the design's verification space for custom checks.
 func (d *Design) Space(opts verify.Options) (*verify.Space, error) {
-	return verify.NewSpace(d.TolerantProgram(), d.S, d.T, opts)
+	return verify.NewSpaceContext(context.Background(), d.TolerantProgram(), d.S, d.T, opts)
 }

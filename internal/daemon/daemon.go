@@ -148,6 +148,14 @@ func DistanceMetric(schema *program.Schema, dist []int32) Metric {
 	}
 }
 
+// NewWorstCase returns the exact adversarial daemon for a convergent
+// program: it greedily maximizes the worst-case distance table produced by
+// verify's sharded fixpoint (Space.WorstDistances), realizing the true
+// worst-case schedule of the paper's variant-function bound.
+func NewWorstCase(schema *program.Schema, dist []int32) *Adversarial {
+	return NewAdversarial("worst-case", DistanceMetric(schema, dist))
+}
+
 // KindBiased prefers actions of the given kind when any is enabled,
 // delegating to the inner daemon among the preferred subset. Biasing
 // against convergence actions models a scheduler that starves repair —

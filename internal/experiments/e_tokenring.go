@@ -1,12 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"nonmask/internal/daemon"
 	"nonmask/internal/metrics"
-	"nonmask/internal/program"
 	"nonmask/internal/protocols/tokenring"
 	"nonmask/internal/sim"
 	"nonmask/internal/verify"
@@ -56,11 +56,11 @@ func runE7() (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sp, err := verify.NewSpace(inst.P, inst.S, program.True(), verify.Options{})
+		rep, err := verify.Check(context.Background(), inst.P, inst.S, nil)
 		if err != nil {
 			return nil, err
 		}
-		res := sp.CheckConvergence()
+		res := rep.Unfair
 		t.AddRow("ring", fmt.Sprintf("%d", tc.n), fmt.Sprintf("%d", tc.k),
 			"n/a",
 			verdict(res.Converges),
@@ -106,11 +106,11 @@ func runE8() (*metrics.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			sp, err := verify.NewSpace(inst.P, inst.S, program.True(), verify.Options{})
+			rep, err := verify.Check(context.Background(), inst.P, inst.S, nil)
 			if err != nil {
 				return nil, err
 			}
-			res := sp.CheckConvergence()
+			res := rep.Unfair
 			cell := "conv"
 			if !res.Converges {
 				cell = "livelock"

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nonmask/internal/constraint"
@@ -116,11 +117,12 @@ func runE6() (*metrics.Table, error) {
 		}
 		// Does a linear order exist? Probe via Theorem 2's precedence
 		// criterion: for the two-action case, check mutual violation.
-		p01, err := verify.CheckPreserves(r.sch, r.cs[0].Action, r.cs[1].Pred, nil, verify.Options{})
+		ctx := context.Background()
+		p01, err := verify.CheckPreservesContext(ctx, r.sch, r.cs[0].Action, r.cs[1].Pred, nil, verify.Options{})
 		if err != nil {
 			return nil, err
 		}
-		p10, err := verify.CheckPreserves(r.sch, r.cs[1].Action, r.cs[0].Pred, nil, verify.Options{})
+		p10, err := verify.CheckPreservesContext(ctx, r.sch, r.cs[1].Action, r.cs[0].Pred, nil, verify.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -129,12 +131,12 @@ func runE6() (*metrics.Table, error) {
 		p := program.New(r.name, r.sch)
 		p.Add(r.cs[0].Action, r.cs[1].Action)
 		S := program.And("S", r.cs[0].Pred, r.cs[1].Pred)
-		sp, err := verify.NewSpace(p, S, program.True(), verify.Options{})
+		rep, err := verify.Check(ctx, p, S, nil)
 		if err != nil {
 			return nil, err
 		}
-		unfair := sp.CheckConvergence().Converges
-		fair := unfair || sp.CheckFairConvergence().Converges
+		unfair := rep.Unfair.Converges
+		fair := unfair || rep.Fair.Converges
 		t.AddRow(r.name, verdict(cg.IsSelfLooping()), verdict(hasOrder),
 			verdict(unfair), verdict(fair))
 	}

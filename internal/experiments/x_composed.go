@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -41,29 +42,38 @@ func runX1() (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sp, err := verify.NewSpace(inst.P, inst.S, program.True(), verify.Options{})
+		ctx := context.Background()
+		rep, err := verify.Check(ctx, inst.P, inst.S, nil)
 		if err != nil {
 			return nil, err
 		}
-		unfair := sp.CheckConvergence()
+		unfair := rep.Unfair
 		detail := "-"
 		if !unfair.Converges && len(unfair.Cycle) > 0 {
 			detail = fmt.Sprintf("wave-spin livelock through %d states", len(unfair.Cycle))
 		}
 		t.AddRow(tc.name, "arbitrary daemon", verdict(unfair.Converges)+" (expected NO)", detail)
 
-		fair := sp.CheckFairConvergence()
+		fair := rep.Fair
+		if fair == nil {
+			if fair, err = rep.Space.CheckFairConvergenceContext(ctx); err != nil {
+				return nil, err
+			}
+		}
 		t.AddRow(tc.name, "weakly fair daemon", verdict(fair.Converges), "-")
 
-		stair := sp.CheckStair([]*program.Predicate{inst.TreeOK}, true)
-		t.AddRow(tc.name, "stair true→tree→S (fair)", verdict(stair.OK),
-			fmt.Sprintf("%d stages", len(stair.Steps)))
-
-		fixed, err := verify.NewSpace(inst.P, inst.S, inst.TreeOK, verify.Options{})
+		stair, err := rep.Space.CheckStairContext(ctx, []*program.Predicate{inst.TreeOK}, true)
 		if err != nil {
 			return nil, err
 		}
-		stage2 := fixed.CheckConvergence()
+		t.AddRow(tc.name, "stair true→tree→S (fair)", verdict(stair.OK),
+			fmt.Sprintf("%d stages", len(stair.Steps)))
+
+		fixedRep, err := verify.Check(ctx, inst.P, inst.S, inst.TreeOK)
+		if err != nil {
+			return nil, err
+		}
+		stage2 := fixedRep.Unfair
 		t.AddRow(tc.name, "stage 2 alone, arbitrary daemon", verdict(stage2.Converges),
 			fmt.Sprintf("worst %d steps", stage2.WorstSteps))
 	}

@@ -1,10 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nonmask/internal/metrics"
-	"nonmask/internal/program"
 	"nonmask/internal/protocols/fourstate"
 	"nonmask/internal/protocols/threestate"
 	"nonmask/internal/protocols/tokenring"
@@ -32,13 +32,13 @@ func runX3() (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sp, err := verify.NewSpace(ring.P, ring.S, program.True(), verify.Options{})
+		rep, err := verify.Check(context.Background(), ring.P, ring.S, nil)
 		if err != nil {
 			return nil, err
 		}
-		res := sp.CheckConvergence()
+		res := rep.Unfair
 		t.AddRow("K-state ring", fmt.Sprintf("%d", n+1), fmt.Sprintf("%d", n+1),
-			fmt.Sprintf("%d", sp.Count), verdict(res.Converges),
+			fmt.Sprintf("%d", rep.Space.Count), verdict(res.Converges),
 			fmt.Sprintf("%d", res.WorstSteps), fmt.Sprintf("%.2f", res.MeanSteps))
 	}
 	for n := 2; n <= 8; n++ {
@@ -46,13 +46,13 @@ func runX3() (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sp, err := verify.NewSpace(arr.P, arr.S, program.True(), verify.Options{})
+		rep, err := verify.Check(context.Background(), arr.P, arr.S, nil)
 		if err != nil {
 			return nil, err
 		}
-		res := sp.CheckConvergence()
+		res := rep.Unfair
 		t.AddRow("four-state", fmt.Sprintf("%d", n+1), "4 (2 at ends)",
-			fmt.Sprintf("%d", sp.Count), verdict(res.Converges),
+			fmt.Sprintf("%d", rep.Space.Count), verdict(res.Converges),
 			fmt.Sprintf("%d", res.WorstSteps), fmt.Sprintf("%.2f", res.MeanSteps))
 	}
 	for n := 2; n <= 8; n++ {
@@ -60,13 +60,13 @@ func runX3() (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sp, err := verify.NewSpace(arr.P, arr.S, program.True(), verify.Options{})
+		rep, err := verify.Check(context.Background(), arr.P, arr.S, nil)
 		if err != nil {
 			return nil, err
 		}
-		res := sp.CheckConvergence()
+		res := rep.Unfair
 		t.AddRow("three-state", fmt.Sprintf("%d", n+1), "3",
-			fmt.Sprintf("%d", sp.Count), verdict(res.Converges),
+			fmt.Sprintf("%d", rep.Space.Count), verdict(res.Converges),
 			fmt.Sprintf("%d", res.WorstSteps), fmt.Sprintf("%.2f", res.MeanSteps))
 	}
 	t.Note("all three algorithms are from the paper's citation [9]; the bidirectional")

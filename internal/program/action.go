@@ -80,6 +80,15 @@ func (a *Action) Apply(s *State) *State {
 	return next
 }
 
+// ApplyInto executes the action's statement on a copy of src placed in
+// dst, avoiding Apply's per-call allocation. src and dst must be states of
+// the same schema; dst is overwritten. It is the hot-loop form used by the
+// successor-table construction in internal/verify.
+func (a *Action) ApplyInto(src, dst *State) {
+	copy(dst.vals, src.vals)
+	a.Body(dst)
+}
+
 // Step executes the action if enabled. The boolean result reports whether
 // the action was enabled (and hence executed).
 func (a *Action) Step(s *State) (*State, bool) {

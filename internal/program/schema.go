@@ -158,6 +158,22 @@ func (s *Schema) StateAt(idx int64) *State {
 	return st
 }
 
+// StateInto decodes a mixed-radix state index into an existing state,
+// avoiding StateAt's per-call allocation. It is the hot-loop form used by
+// the sharded enumeration passes of internal/verify, where each worker
+// owns one scratch state. st must have been created for this schema. It
+// panics if idx is out of range.
+func (s *Schema) StateInto(idx int64, st *State) {
+	for i := len(s.specs) - 1; i >= 0; i-- {
+		sz := s.specs[i].Dom.Size()
+		st.vals[i] = s.specs[i].Dom.Min + int32(idx%sz)
+		idx /= sz
+	}
+	if idx != 0 {
+		panic("program: state index out of range")
+	}
+}
+
 // Index encodes a state as a mixed-radix integer in 0..StateCount-1.
 // It is the inverse of StateAt.
 func (s *Schema) Index(st *State) int64 {

@@ -1,0 +1,106 @@
+// Benchmarks for the tentpole rebuild: packed bitsets, precomputed
+// successor tables, and sharded fixpoint passes. The headline numbers are
+// the Workers=1 vs Workers=4 convergence benchmark on a >=1<<20-state
+// instance and the end-to-end Check on an instance above the old 1<<22
+// enumeration ceiling.
+//
+// Run with:
+//
+//	go test ./internal/verify -bench . -benchtime 3x -run '^$'
+package verify_test
+
+import (
+	"context"
+	"testing"
+
+	"nonmask/internal/protocols/diffusing"
+	"nonmask/internal/protocols/tokenring"
+	"nonmask/internal/verify"
+)
+
+// benchConvergence checks the diffusing design on a 10-node binary tree:
+// 4 states per node (2 colors x 2 session numbers), 4^10 = 1,048,576
+// states — at least 1<<20, the scale the speedup claim is made at.
+func benchConvergence(b *testing.B, workers int) {
+	inst, err := diffusing.New(diffusing.Binary(10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := inst.Design
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := verify.Check(ctx, d.TolerantProgram(), d.S, d.T,
+			verify.WithWorkers(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Space.Count < 1<<20 {
+			b.Fatalf("benchmark instance too small: %d states", rep.Space.Count)
+		}
+		if !rep.Unfair.Converges {
+			b.Fatal("benchmark instance must converge")
+		}
+	}
+}
+
+// BenchmarkConvergenceWorkers1 is the sequential baseline on 1<<20 states.
+func BenchmarkConvergenceWorkers1(b *testing.B) { benchConvergence(b, 1) }
+
+// BenchmarkConvergenceWorkers4 is the sharded run the speedup claim
+// compares against BenchmarkConvergenceWorkers1 (compare with
+// benchstat or the ns/op ratio; the ratio requires >= 4 CPUs to show).
+func BenchmarkConvergenceWorkers4(b *testing.B) { benchConvergence(b, 4) }
+
+// BenchmarkCheckAboveOldCeiling runs the full pipeline — enumeration,
+// successor table, closure, convergence — on Dijkstra's 8-node K=7 ring:
+// 7^8 = 5,764,801 states, beyond the seed checker's 1<<22 cap.
+func BenchmarkCheckAboveOldCeiling(b *testing.B) {
+	inst, err := tokenring.NewRing(7, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := verify.Check(ctx, inst.P, inst.S, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Unfair.Converges {
+			b.Fatal("K-state ring with K >= nodes-1 must converge")
+		}
+	}
+}
+
+// TestCheckAboveOldCeiling pins the acceptance criterion as a regular
+// test: an instance above the seed's 1<<22-state enumeration ceiling is
+// verified end-to-end through Check, with the exact worst-case bound.
+func TestCheckAboveOldCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("5.7M-state end-to-end check (~7s); skipped in -short mode")
+	}
+	inst, err := tokenring.NewRing(7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := verify.Check(context.Background(), inst.P, inst.S, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const oldCeiling = int64(1) << 22
+	if rep.Space.Count <= oldCeiling {
+		t.Fatalf("instance has %d states, not above the old ceiling %d",
+			rep.Space.Count, oldCeiling)
+	}
+	if !rep.Tolerant() {
+		t.Fatalf("ring should be tolerant: %s", rep.Summary())
+	}
+	if !rep.Unfair.Converges {
+		t.Fatalf("ring should converge unfairly: %s", rep.Unfair.Summary())
+	}
+	t.Logf("%d states end-to-end in %v: worst %d steps, mean %.2f",
+		rep.Space.Count, rep.Elapsed, rep.Unfair.WorstSteps, rep.Unfair.MeanSteps)
+}

@@ -1,0 +1,158 @@
+package verify
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBitsetBasic(t *testing.T) {
+	for _, n := range []int64{0, 1, 63, 64, 65, 127, 128, 1000} {
+		b := newBitset(n)
+		if got := b.count(); got != 0 {
+			t.Fatalf("n=%d: fresh bitset count = %d, want 0", n, got)
+		}
+		for i := int64(0); i < n; i++ {
+			if b.get(i) {
+				t.Fatalf("n=%d: bit %d set in fresh bitset", n, i)
+			}
+		}
+		// Set every third bit.
+		want := int64(0)
+		for i := int64(0); i < n; i += 3 {
+			b.set(i)
+			want++
+		}
+		if got := b.count(); got != want {
+			t.Fatalf("n=%d: count = %d, want %d", n, got, want)
+		}
+		for i := int64(0); i < n; i++ {
+			if b.get(i) != (i%3 == 0) {
+				t.Fatalf("n=%d: bit %d = %v, want %v", n, i, b.get(i), i%3 == 0)
+			}
+		}
+	}
+}
+
+func TestBitsetAgainstBoolSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 513
+	b := newBitset(n)
+	ref := make([]bool, n)
+	for op := 0; op < 4000; op++ {
+		i := rng.Int63n(n)
+		b.set(i)
+		ref[i] = true
+	}
+	refCount := int64(0)
+	for i, v := range ref {
+		if v {
+			refCount++
+		}
+		if b.get(int64(i)) != v {
+			t.Fatalf("bit %d = %v, want %v", i, b.get(int64(i)), v)
+		}
+	}
+	if b.count() != refCount {
+		t.Fatalf("count = %d, want %d", b.count(), refCount)
+	}
+}
+
+func TestBitsetTestAndSet(t *testing.T) {
+	const n = 200
+	b := newBitset(n)
+	if !b.testAndSet(5) {
+		t.Fatal("first testAndSet(5) reported already-set")
+	}
+	if b.testAndSet(5) {
+		t.Fatal("second testAndSet(5) reported newly-set")
+	}
+	if !b.get(5) {
+		t.Fatal("bit 5 not set after testAndSet")
+	}
+}
+
+// TestBitsetTestAndSetConcurrent checks the claim-exactly-once contract:
+// when many goroutines race testAndSet on the same bits, each bit is won
+// exactly once.
+func TestBitsetTestAndSetConcurrent(t *testing.T) {
+	const n = 1 << 12
+	const workers = 8
+	b := newBitset(n)
+	wins := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(0); i < n; i++ {
+				if b.testAndSet(i) {
+					wins[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, c := range wins {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("bits won %d times total, want exactly %d", total, n)
+	}
+	if b.count() != n {
+		t.Fatalf("count = %d, want %d", b.count(), n)
+	}
+}
+
+func TestBitsetCombinators(t *testing.T) {
+	const n = 130
+	a := newBitset(n)
+	b := newBitset(n)
+	for i := int64(0); i < n; i += 2 {
+		a.set(i) // evens
+	}
+	for i := int64(0); i < n; i += 3 {
+		b.set(i) // multiples of 3
+	}
+	wantAnd, wantAndNot := int64(0), int64(0)
+	for i := int64(0); i < n; i++ {
+		switch {
+		case i%2 == 0 && i%3 == 0:
+			wantAnd++
+		case i%2 == 0:
+			wantAndNot++
+		}
+	}
+	if got := countAnd(a, b); got != wantAnd {
+		t.Fatalf("countAnd = %d, want %d", got, wantAnd)
+	}
+	if got := countAndNot(a, b); got != wantAndNot {
+		t.Fatalf("countAndNot = %d, want %d", got, wantAndNot)
+	}
+	// firstAndNot: first even non-multiple-of-3 is 2.
+	if got := firstAndNot(a, b); got != 2 {
+		t.Fatalf("firstAndNot = %d, want 2", got)
+	}
+	// Subset: evens-and-multiples-of-6 ⊆ evens → no witness.
+	six := newBitset(n)
+	for i := int64(0); i < n; i += 6 {
+		six.set(i)
+	}
+	if got := firstAndNot(six, a); got != -1 {
+		t.Fatalf("firstAndNot on subset = %d, want -1", got)
+	}
+	// orInto accumulates.
+	c := newBitset(n)
+	c.orInto(a)
+	c.orInto(b)
+	wantOr := int64(0)
+	for i := int64(0); i < n; i++ {
+		if i%2 == 0 || i%3 == 0 {
+			wantOr++
+		}
+	}
+	if got := c.count(); got != wantOr {
+		t.Fatalf("orInto count = %d, want %d", got, wantOr)
+	}
+}

@@ -1,7 +1,11 @@
 package verify
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
 
 	"nonmask/internal/program"
 )
@@ -68,7 +72,7 @@ func (r *ConvergenceResult) Summary() string {
 		daemon, r.WorstSteps, r.MeanSteps, r.StatesOutsideS)
 }
 
-// stateColors for the iterative DFS in checkUnfair.
+// stateColors for the DFS passes.
 const (
 	colorWhite uint8 = iota
 	colorGray
@@ -80,11 +84,306 @@ const (
 // T∧¬S has no cycles and no terminal states, and no transition escapes T.
 // This is the strongest form — it implies convergence under every daemon.
 func (sp *Space) CheckConvergence() *ConvergenceResult {
+	res, _ := sp.CheckConvergenceContext(context.Background())
+	return res
+}
+
+// CheckConvergenceContext is CheckConvergence with cancellation. When the
+// successor table is available it runs the sharded backward fixpoint
+// (checkConvergenceKahn); otherwise it falls back to a sequential DFS.
+// Verdicts and witnesses do not depend on the worker count.
+func (sp *Space) CheckConvergenceContext(ctx context.Context) (*ConvergenceResult, error) {
+	if sp.succ != nil {
+		res, _, err := sp.checkConvergenceKahn(ctx)
+		return res, err
+	}
+	return sp.checkConvergenceDFS(ctx)
+}
+
+// checkConvergenceKahn decides arbitrary-daemon convergence by peeling the
+// region T∧¬S backwards from S in waves (Kahn's algorithm on the reversed
+// region graph):
+//
+//	wave 0:  region states all of whose region successors... none — i.e.
+//	         states whose every successor already satisfies S;
+//	wave k:  states whose region successors all resolved in waves < k.
+//
+// Each wave computes exact worst-case step counts
+// (steps[i] = max over enabled actions of 1 if succ∈S else steps[succ]+1)
+// because every region successor is resolved in a strictly earlier wave;
+// the barrier between waves provides the happens-before for those reads.
+// Predecessor release uses an atomic decrement, whose transition to zero
+// gives a unique owner the right to schedule the state, so waves are
+// duplicate-free. If the peeling stalls with unresolved states, those
+// states all lie on or reach region cycles; a sequential DFS over them
+// extracts a concrete cycle witness.
+//
+// The returned steps table (valid only when res.Converges) is the exact
+// variant function of the paper's Section 8: it strictly decreases on every
+// convergence step under the worst daemon.
+func (sp *Space) checkConvergenceKahn(ctx context.Context) (*ConvergenceResult, []int32, error) {
 	res := &ConvergenceResult{Converges: true, StatesT: sp.CountT(), StatesS: sp.CountS()}
-	res.StatesOutsideS = res.StatesT - countBoth(sp.inT, sp.inS)
+	res.StatesOutsideS = countAndNot(sp.inT, sp.inS)
+	steps := make([]int32, sp.Count)
+	if res.StatesOutsideS == 0 {
+		return res, steps, nil
+	}
+	workers := sp.workers()
+
+	// Phase 1: scan the region. outstanding[i] counts i's region
+	// successors; escapes and deadlocks surface here with minimum-index
+	// witnesses. States with no region successors seed the first wave.
+	outstanding := make([]int32, sp.Count)
+	escape, deadlock := newWitness(), newWitness()
+	firstWave := make([][]int64, workers)
+	err := parallelRange(ctx, workers, sp.Count, func(worker int, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			if !sp.region(i) {
+				continue
+			}
+			enabled, pending := 0, int32(0)
+			for k, j := range sp.succRow(i) {
+				if j < 0 {
+					continue
+				}
+				enabled++
+				jj := int64(j)
+				if !sp.inT.get(jj) {
+					escape.offer(i, int64(k))
+				} else if !sp.inS.get(jj) {
+					pending++
+				}
+			}
+			if enabled == 0 {
+				deadlock.offer(i, 0)
+				continue
+			}
+			outstanding[i] = pending
+			if pending == 0 {
+				firstWave[worker] = append(firstWave[worker], i)
+			}
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if escape.found() {
+		st := sp.State(escape.state)
+		a := sp.P.Actions[escape.extra]
+		res.Converges = false
+		res.Escape = &ClosureViolation{Pred: sp.T, State: st, Action: a, Next: a.Apply(st)}
+		return res, nil, nil
+	}
+	if deadlock.found() {
+		res.Converges = false
+		res.Deadlock = sp.State(deadlock.state)
+		return res, nil, nil
+	}
+
+	// Phase 2: reverse CSR over region→region edges (multi-edges kept, so
+	// the predecessor counts match outstanding exactly).
+	predCnt := make([]int32, sp.Count)
+	err = parallelRange(ctx, workers, sp.Count, func(_ int, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			if !sp.region(i) {
+				continue
+			}
+			for _, j := range sp.succRow(i) {
+				if j >= 0 && sp.region(int64(j)) {
+					atomic.AddInt32(&predCnt[j], 1)
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	offsets := make([]int32, sp.Count+1)
+	var total int32
+	for i := int64(0); i < sp.Count; i++ {
+		offsets[i] = total
+		total += predCnt[i]
+		predCnt[i] = 0 // reused below as the fill cursor
+	}
+	offsets[sp.Count] = total
+	rev := make([]int32, total)
+	err = parallelRange(ctx, workers, sp.Count, func(_ int, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			if !sp.region(i) {
+				continue
+			}
+			for _, j := range sp.succRow(i) {
+				if j >= 0 && sp.region(int64(j)) {
+					rev[offsets[j]+atomic.AddInt32(&predCnt[j], 1)-1] = int32(i)
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Phase 3: wave loop.
+	wave := flatten(firstWave)
+	var resolved int64
+	for len(wave) > 0 {
+		resolved += int64(len(wave))
+		next := make([][]int64, workers)
+		err := parallelRange(ctx, workers, int64(len(wave)), func(worker int, lo, hi int64) {
+			for w := lo; w < hi; w++ {
+				i := wave[w]
+				var best int32
+				for _, j := range sp.succRow(i) {
+					if j < 0 {
+						continue
+					}
+					jj := int64(j)
+					if sp.inS.get(jj) {
+						if best < 1 {
+							best = 1
+						}
+					} else if d := steps[jj] + 1; d > best {
+						best = d
+					}
+				}
+				steps[i] = best
+				for _, p := range rev[offsets[i]:offsets[i+1]] {
+					if atomic.AddInt32(&outstanding[p], -1) == 0 {
+						next[worker] = append(next[worker], int64(p))
+					}
+				}
+			}
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		wave = flatten(next)
+	}
+	if resolved != res.StatesOutsideS {
+		// The peeling stalled: every unresolved region state still has an
+		// unresolved region successor, so the unresolved set contains a
+		// cycle an unfair daemon can circulate in forever.
+		res.Converges = false
+		res.Cycle = sp.cycleWitness(outstanding)
+		return res, nil, nil
+	}
+
+	// Aggregate the exact worst-case metric. The per-state sum is integer,
+	// so the mean is identical for every worker count.
+	var (
+		mu    sync.Mutex
+		worst int32
+		sum   int64
+	)
+	err = parallelRange(ctx, workers, sp.Count, func(_ int, lo, hi int64) {
+		var w int32
+		var s int64
+		for i := lo; i < hi; i++ {
+			if !sp.region(i) {
+				continue
+			}
+			if d := steps[i]; d > w {
+				w = d
+			}
+			s += int64(steps[i])
+		}
+		mu.Lock()
+		if w > worst {
+			worst = w
+		}
+		sum += s
+		mu.Unlock()
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res.WorstSteps = int(worst)
+	res.MeanSteps = float64(sum) / float64(res.StatesOutsideS)
+	return res, steps, nil
+}
+
+// flatten concatenates per-worker index buffers.
+func flatten(parts [][]int64) []int64 {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]int64, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// cycleWitness extracts a concrete region cycle from the unresolved
+// residue of a stalled peeling (states with outstanding > 0). Every such
+// state has at least one unresolved region successor, so a DFS restricted
+// to the residue must close a cycle; the DFS stack at the moment the back
+// edge appears is the cycle, in forward order.
+func (sp *Space) cycleWitness(outstanding []int32) []*program.State {
+	unresolved := func(i int64) bool { return sp.region(i) && outstanding[i] > 0 }
+	color := make([]uint8, sp.Count)
+	type frame struct {
+		i   int64
+		pos int
+	}
+	var stack []frame
+	for start := int64(0); start < sp.Count; start++ {
+		if !unresolved(start) || color[start] != colorWhite {
+			continue
+		}
+		color[start] = colorGray
+		stack = append(stack[:0], frame{i: start})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			row := sp.succRow(f.i)
+			pushed := false
+			for f.pos < len(row) {
+				j := row[f.pos]
+				f.pos++
+				if j < 0 || !unresolved(int64(j)) {
+					continue
+				}
+				jj := int64(j)
+				if color[jj] == colorGray {
+					// Back edge: the stack suffix from jj is the cycle.
+					k := len(stack) - 1
+					for k >= 0 && stack[k].i != jj {
+						k--
+					}
+					cyc := make([]*program.State, 0, len(stack)-k)
+					for ; k < len(stack); k++ {
+						cyc = append(cyc, sp.State(stack[k].i))
+					}
+					return cyc
+				}
+				if color[jj] == colorWhite {
+					color[jj] = colorGray
+					stack = append(stack, frame{i: jj})
+					pushed = true
+					break
+				}
+			}
+			if pushed {
+				continue
+			}
+			color[f.i] = colorBlack
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}
+
+// checkConvergenceDFS is the sequential fallback used when the successor
+// table is unavailable (state count above int32 range or table over the
+// memory budget): an iterative white/gray/black DFS with postorder
+// worst-step computation.
+func (sp *Space) checkConvergenceDFS(ctx context.Context) (*ConvergenceResult, error) {
+	res := &ConvergenceResult{Converges: true, StatesT: sp.CountT(), StatesS: sp.CountS()}
+	res.StatesOutsideS = countAndNot(sp.inT, sp.inS)
 
 	// steps[i]: worst-case number of actions to reach S from i, computed
-	// during the DFS postorder. -1 = unvisited.
+	// during the DFS postorder.
 	steps := make([]int32, sp.Count)
 	color := make([]uint8, sp.Count)
 	parent := make([]int64, sp.Count)
@@ -101,13 +400,18 @@ func (sp *Space) CheckConvergence() *ConvergenceResult {
 	var stack []frame
 
 	for start := int64(0); start < sp.Count; start++ {
-		if !sp.inT[start] || sp.inS[start] || color[start] != colorWhite {
+		if start&(chunkStates-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if !sp.region(start) || color[start] != colorWhite {
 			continue
 		}
 		color[start] = colorGray
 		stack = append(stack[:0], frame{i: start, succ: sp.successorsChecked(start, res, &succBuf)})
 		if !res.Converges {
-			return res
+			return res, nil
 		}
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
@@ -115,12 +419,12 @@ func (sp *Space) CheckConvergence() *ConvergenceResult {
 				// Terminal T∧¬S state: maximal finite computation outside S.
 				res.Converges = false
 				res.Deadlock = sp.State(f.i)
-				return res
+				return res, nil
 			}
 			if f.pos < len(f.succ) {
 				j := f.succ[f.pos]
 				f.pos++
-				if sp.inS[j] {
+				if sp.inS.get(j) {
 					if steps[f.i] < 1 {
 						steps[f.i] = 1
 					}
@@ -132,7 +436,7 @@ func (sp *Space) CheckConvergence() *ConvergenceResult {
 					parent[j] = f.i
 					succs := sp.successorsChecked(j, res, &succBuf)
 					if !res.Converges {
-						return res
+						return res, nil
 					}
 					// The append may reallocate; f is re-fetched at loop top.
 					stack = append(stack, frame{i: j, succ: succs})
@@ -140,7 +444,7 @@ func (sp *Space) CheckConvergence() *ConvergenceResult {
 					// Cycle within T∧¬S: an unfair daemon loops forever.
 					res.Converges = false
 					res.Cycle = sp.reconstructCycle(parent, f.i, j)
-					return res
+					return res, nil
 				case colorBlack:
 					if d := steps[j] + 1; d > steps[f.i] {
 						steps[f.i] = d
@@ -161,21 +465,21 @@ func (sp *Space) CheckConvergence() *ConvergenceResult {
 	}
 
 	// Aggregate the exact worst-case metric.
-	var sum float64
+	var sum int64
 	var n int64
 	for i := int64(0); i < sp.Count; i++ {
-		if sp.inT[i] && !sp.inS[i] {
+		if sp.region(i) {
 			if int(steps[i]) > res.WorstSteps {
 				res.WorstSteps = int(steps[i])
 			}
-			sum += float64(steps[i])
+			sum += int64(steps[i])
 			n++
 		}
 	}
 	if n > 0 {
-		res.MeanSteps = sum / float64(n)
+		res.MeanSteps = float64(sum) / float64(n)
 	}
-	return res
+	return res, nil
 }
 
 // successorsChecked computes the successors of T∧¬S state i, copying them
@@ -185,7 +489,7 @@ func (sp *Space) successorsChecked(i int64, res *ConvergenceResult, buf *[]int64
 	*buf = sp.successors(i, sp.P.Actions, *buf)
 	out := make([]int64, 0, len(*buf))
 	for k, j := range *buf {
-		if !sp.inT[j] {
+		if !sp.inT.get(j) {
 			st := sp.State(i)
 			var act *program.Action
 			// Recover which action produced successor k.
@@ -227,16 +531,6 @@ func (sp *Space) reconstructCycle(parent []int64, from, to int64) []*program.Sta
 	return out
 }
 
-func countBoth(a, b []bool) int64 {
-	var n int64
-	for i := range a {
-		if a[i] && b[i] {
-			n++
-		}
-	}
-	return n
-}
-
 // CheckFairConvergence decides convergence from T to S under the weakly
 // fair daemon of the paper's computation model (Section 2: "each action in
 // the set that is continuously enabled along the sequence is eventually
@@ -251,48 +545,42 @@ func countBoth(a, b []bool) int64 {
 // state is terminal, some transition escapes T, or some SCC admits a fair
 // cycle by this criterion.
 func (sp *Space) CheckFairConvergence() *ConvergenceResult {
+	res, _ := sp.CheckFairConvergenceContext(context.Background())
+	return res
+}
+
+// CheckFairConvergenceContext is CheckFairConvergence with cancellation.
+// The region collection and labeled-adjacency build are sharded when the
+// successor table is available; the SCC analysis itself is sequential
+// (component structure is rarely the bottleneck).
+func (sp *Space) CheckFairConvergenceContext(ctx context.Context) (*ConvergenceResult, error) {
 	res := &ConvergenceResult{Converges: true, Fair: true, StatesT: sp.CountT(), StatesS: sp.CountS()}
-	res.StatesOutsideS = res.StatesT - countBoth(sp.inT, sp.inS)
-
-	// Collect the T∧¬S region.
-	region := make([]int64, 0)
-	inRegion := make(map[int64]int) // state index -> dense id
-	for i := int64(0); i < sp.Count; i++ {
-		if sp.inT[i] && !sp.inS[i] {
-			inRegion[i] = len(region)
-			region = append(region, i)
-		}
-	}
-	if len(region) == 0 {
-		return res
+	res.StatesOutsideS = countAndNot(sp.inT, sp.inS)
+	if res.StatesOutsideS == 0 {
+		return res, nil
 	}
 
-	// Build the region's transition graph with edges labeled by action
-	// index; check deadlock and escape along the way.
-	adj := make([][]regionEdge, len(region))
-	for id, i := range region {
-		st := sp.State(i)
-		any := false
-		for ai, a := range sp.P.Actions {
-			if !a.Guard(st) {
-				continue
-			}
-			any = true
-			j := sp.P.Schema.Index(a.Apply(st))
-			if !sp.inT[j] {
-				res.Converges = false
-				res.Escape = &ClosureViolation{Pred: sp.T, State: st, Action: a, Next: sp.State(j)}
-				return res
-			}
-			if sp.inS[j] {
-				continue
-			}
-			adj[id] = append(adj[id], regionEdge{to: inRegion[j], action: ai})
+	var (
+		region    []int64
+		adj       [][]regionEdge
+		enabledAt func(ai int, v int) bool
+	)
+	if sp.succ != nil && sp.Count <= math.MaxInt32 {
+		var err error
+		region, adj, err = sp.buildRegionGraph(ctx, res)
+		if err != nil {
+			return nil, err
 		}
-		if !any {
-			res.Converges = false
-			res.Deadlock = st
-			return res
+		if !res.Converges {
+			return res, nil
+		}
+		enabledAt = func(ai int, v int) bool { return sp.succRow(region[v])[ai] >= 0 }
+	} else {
+		if done := sp.buildRegionGraphSeq(res, &region, &adj); done {
+			return res, nil
+		}
+		enabledAt = func(ai int, v int) bool {
+			return sp.P.Actions[ai].Guard(sp.State(region[v]))
 		}
 	}
 
@@ -320,21 +608,20 @@ func (sp *Space) CheckFairConvergence() *ConvergenceResult {
 		}
 		// A∞: actions enabled at every state of the component.
 		fairCycle := true
-		for ai, a := range sp.P.Actions {
+		for ai := range sp.P.Actions {
 			everywhere := true
 			for _, v := range comp {
-				if !a.Guard(sp.State(region[v])) {
+				if !enabledAt(ai, v) {
 					everywhere = false
 					break
 				}
 			}
 			if everywhere && !internalAction[ai] {
-				// a is continuously enabled on any run confined to comp but
-				// firing it always leaves comp: no fair run stays here.
+				// The action is continuously enabled on any run confined to
+				// comp but firing it always leaves comp: no fair run stays.
 				fairCycle = false
 				break
 			}
-			_ = a
 		}
 		if fairCycle {
 			res.Converges = false
@@ -342,10 +629,145 @@ func (sp *Space) CheckFairConvergence() *ConvergenceResult {
 			for _, v := range comp {
 				res.Cycle = append(res.Cycle, sp.State(region[v]))
 			}
-			return res
+			return res, nil
 		}
 	}
-	return res
+	return res, nil
+}
+
+// buildRegionGraph collects the T∧¬S region in ascending state order and
+// builds its action-labeled transition graph from the successor table, all
+// sharded. Escapes and deadlocks are recorded on res (minimum-index
+// witness) with res.Converges cleared.
+func (sp *Space) buildRegionGraph(ctx context.Context, res *ConvergenceResult) ([]int64, [][]regionEdge, error) {
+	workers := sp.workers()
+	nChunks := (sp.Count + chunkStates - 1) / chunkStates
+
+	// Pass 1: per-chunk region counts, so that pass 2 can place each
+	// chunk's states at a deterministic offset of the dense list.
+	counts := make([]int64, nChunks)
+	err := parallelRange(ctx, workers, sp.Count, func(_ int, lo, hi int64) {
+		var n int64
+		for i := lo; i < hi; i++ {
+			if sp.region(i) {
+				n++
+			}
+		}
+		counts[lo/chunkStates] = n
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var total int64
+	for c := range counts {
+		counts[c], total = total, total+counts[c]
+	}
+
+	// Pass 2: fill the dense list and the state→dense id map.
+	region := make([]int64, total)
+	ids := make([]int32, sp.Count)
+	err = parallelRange(ctx, workers, sp.Count, func(_ int, lo, hi int64) {
+		base := counts[lo/chunkStates]
+		for i := lo; i < hi; i++ {
+			if !sp.region(i) {
+				ids[i] = -1
+				continue
+			}
+			region[base] = i
+			ids[i] = int32(base)
+			base++
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Pass 3: adjacency, one dense node per iteration (disjoint writes).
+	adj := make([][]regionEdge, total)
+	escape, deadlock := newWitness(), newWitness()
+	err = parallelRange(ctx, workers, total, func(_ int, lo, hi int64) {
+		for id := lo; id < hi; id++ {
+			i := region[id]
+			enabled := 0
+			var edges []regionEdge
+			for k, j := range sp.succRow(i) {
+				if j < 0 {
+					continue
+				}
+				enabled++
+				jj := int64(j)
+				if !sp.inT.get(jj) {
+					escape.offer(i, int64(k))
+					continue
+				}
+				if sp.inS.get(jj) {
+					continue
+				}
+				edges = append(edges, regionEdge{to: int(ids[jj]), action: k})
+			}
+			if enabled == 0 {
+				deadlock.offer(i, 0)
+			}
+			adj[id] = edges
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if escape.found() {
+		st := sp.State(escape.state)
+		a := sp.P.Actions[escape.extra]
+		res.Converges = false
+		res.Escape = &ClosureViolation{Pred: sp.T, State: st, Action: a, Next: a.Apply(st)}
+		return region, adj, nil
+	}
+	if deadlock.found() {
+		res.Converges = false
+		res.Deadlock = sp.State(deadlock.state)
+	}
+	return region, adj, nil
+}
+
+// buildRegionGraphSeq is the sequential fallback region-graph builder (no
+// successor table). It returns true when a deadlock or escape already
+// settles the verdict on res.
+func (sp *Space) buildRegionGraphSeq(res *ConvergenceResult, regionOut *[]int64, adjOut *[][]regionEdge) bool {
+	region := make([]int64, 0)
+	inRegion := make(map[int64]int) // state index -> dense id
+	for i := int64(0); i < sp.Count; i++ {
+		if sp.region(i) {
+			inRegion[i] = len(region)
+			region = append(region, i)
+		}
+	}
+	adj := make([][]regionEdge, len(region))
+	for id, i := range region {
+		st := sp.State(i)
+		any := false
+		for ai, a := range sp.P.Actions {
+			if !a.Guard(st) {
+				continue
+			}
+			any = true
+			j := sp.P.Schema.Index(a.Apply(st))
+			if !sp.inT.get(j) {
+				res.Converges = false
+				res.Escape = &ClosureViolation{Pred: sp.T, State: st, Action: a, Next: sp.State(j)}
+				return true
+			}
+			if sp.inS.get(j) {
+				continue
+			}
+			adj[id] = append(adj[id], regionEdge{to: inRegion[j], action: ai})
+		}
+		if !any {
+			res.Converges = false
+			res.Deadlock = st
+			return true
+		}
+	}
+	*regionOut, *adjOut = region, adj
+	return false
 }
 
 // regionEdge is a transition within the T∧¬S region, labeled with the
@@ -438,22 +860,41 @@ func denseSCCs(adj [][]regionEdge) [][]int {
 // under the worst daemon. internal/daemon's adversarial daemon maximizes
 // it greedily, which on a convergent program realizes the worst case.
 func (sp *Space) WorstDistances() ([]int32, bool) {
-	res := sp.CheckConvergence()
+	d, ok, _ := sp.WorstDistancesContext(context.Background())
+	return d, ok
+}
+
+// WorstDistancesContext is WorstDistances with cancellation. With the
+// successor table available the distances fall out of the sharded
+// fixpoint; otherwise a sequential memoized DFS recomputes them.
+func (sp *Space) WorstDistancesContext(ctx context.Context) ([]int32, bool, error) {
+	if sp.succ != nil {
+		res, steps, err := sp.checkConvergenceKahn(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if !res.Converges {
+			return nil, false, nil
+		}
+		return steps, true, nil
+	}
+	res, err := sp.checkConvergenceDFS(ctx)
+	if err != nil {
+		return nil, false, err
+	}
 	if !res.Converges {
-		return nil, false
+		return nil, false, nil
 	}
 	steps := make([]int32, sp.Count)
-	// Recompute via memoized DFS; CheckConvergence verified acyclicity, so
-	// a simple postorder works. We redo it here to keep CheckConvergence's
-	// internals private and this function self-contained.
+	// Recompute via memoized DFS; the convergence check verified
+	// acyclicity, so a simple postorder works.
 	const todo = -1
 	for i := range steps {
 		steps[i] = todo
 	}
 	var visit func(i int64) int32
-	var stackSafe func(i int64) int32
 	visit = func(i int64) int32 {
-		if sp.inS[i] || !sp.inT[i] {
+		if sp.inS.get(i) || !sp.inT.get(i) {
 			return 0
 		}
 		if steps[i] != todo {
@@ -467,7 +908,7 @@ func (sp *Space) WorstDistances() ([]int32, bool) {
 			}
 			j := sp.P.Schema.Index(a.Apply(st))
 			d := int32(1)
-			if !sp.inS[j] {
+			if !sp.inS.get(j) {
 				d = 1 + visit(j)
 			}
 			if d > best {
@@ -477,10 +918,9 @@ func (sp *Space) WorstDistances() ([]int32, bool) {
 		steps[i] = best
 		return best
 	}
-	stackSafe = visit
 	for i := int64(0); i < sp.Count; i++ {
-		if sp.inT[i] && !sp.inS[i] && steps[i] == todo {
-			stackSafe(i)
+		if sp.region(i) && steps[i] == todo {
+			visit(i)
 		}
 	}
 	for i := range steps {
@@ -488,5 +928,5 @@ func (sp *Space) WorstDistances() ([]int32, bool) {
 			steps[i] = 0
 		}
 	}
-	return steps, true
+	return steps, true, nil
 }

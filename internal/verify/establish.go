@@ -12,6 +12,9 @@ import (
 // projected space exceeds opts.MaxStates.
 func forEachProjected(schema *program.Schema, vars []program.VarID,
 	opts Options, fn func(*program.State) bool) error {
+	if err := opts.validate(); err != nil {
+		return err
+	}
 	vars = program.SortVarIDs(append([]program.VarID(nil), vars...))
 	count := int64(1)
 	for _, v := range vars {

@@ -1,0 +1,124 @@
+package verify
+
+// Cross-validation of the two arbitrary-daemon convergence deciders: the
+// sharded backward fixpoint (checkConvergenceKahn, used when the successor
+// table is built) and the sequential DFS (checkConvergenceDFS, the
+// fallback when the table would not fit). Both are exact, so on every
+// random transition system they must agree on the verdict and — when
+// convergence holds — on the exact worst/mean step metrics.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"nonmask/internal/program"
+)
+
+func TestKahnAgreesWithDFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	ctx := context.Background()
+	convergent, divergent := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		p, S := randomProgram(rng, 2, 2, 2+rng.Intn(2))
+		sp, err := NewSpaceContext(ctx, p, S, program.True(), Options{Workers: 1 + rng.Intn(4)})
+		if err != nil {
+			t.Fatalf("trial %d: NewSpaceContext: %v", trial, err)
+		}
+		if sp.succ == nil {
+			t.Fatalf("trial %d: tiny space built no successor table", trial)
+		}
+		kahn, _, err := sp.checkConvergenceKahn(ctx)
+		if err != nil {
+			t.Fatalf("trial %d: kahn: %v", trial, err)
+		}
+		dfs, err := sp.checkConvergenceDFS(ctx)
+		if err != nil {
+			t.Fatalf("trial %d: dfs: %v", trial, err)
+		}
+		if kahn.Converges != dfs.Converges {
+			t.Fatalf("trial %d: kahn Converges=%v, dfs Converges=%v",
+				trial, kahn.Converges, dfs.Converges)
+		}
+		if kahn.StatesT != dfs.StatesT || kahn.StatesS != dfs.StatesS ||
+			kahn.StatesOutsideS != dfs.StatesOutsideS {
+			t.Fatalf("trial %d: state counts differ: kahn %+v, dfs %+v", trial, kahn, dfs)
+		}
+		if kahn.Converges {
+			convergent++
+			if kahn.WorstSteps != dfs.WorstSteps {
+				t.Fatalf("trial %d: WorstSteps kahn=%d dfs=%d",
+					trial, kahn.WorstSteps, dfs.WorstSteps)
+			}
+			if kahn.MeanSteps != dfs.MeanSteps {
+				t.Fatalf("trial %d: MeanSteps kahn=%v dfs=%v",
+					trial, kahn.MeanSteps, dfs.MeanSteps)
+			}
+			continue
+		}
+		divergent++
+		// The algorithms may surface different witness categories (the DFS
+		// reports the first failure in search order; the fixpoint reports
+		// escape > deadlock > cycle), but each reported witness must be
+		// valid on its own terms.
+		validateConvergenceWitness(t, trial, sp, kahn)
+		validateConvergenceWitness(t, trial, sp, dfs)
+	}
+	if convergent == 0 || divergent == 0 {
+		t.Errorf("unbalanced sample: %d convergent, %d divergent; cross-check weak",
+			convergent, divergent)
+	}
+}
+
+// validateConvergenceWitness checks a non-convergence witness against the
+// model directly, independent of either decider's internals.
+func validateConvergenceWitness(t *testing.T, trial int, sp *Space, res *ConvergenceResult) {
+	t.Helper()
+	switch {
+	case res.Deadlock != nil:
+		st := res.Deadlock
+		if sp.S.Holds(st) || !sp.T.Holds(st) {
+			t.Fatalf("trial %d: deadlock witness %s not in T∧¬S", trial, st)
+		}
+		for _, a := range sp.P.Actions {
+			if a.Enabled(st) {
+				t.Fatalf("trial %d: deadlock witness %s has enabled action %s",
+					trial, st, a.Name)
+			}
+		}
+	case len(res.Cycle) > 0:
+		// Every cycle state is in the region and each step of the cycle is
+		// one action application.
+		for _, st := range res.Cycle {
+			if sp.S.Holds(st) || !sp.T.Holds(st) {
+				t.Fatalf("trial %d: cycle state %s not in T∧¬S", trial, st)
+			}
+		}
+		for i, st := range res.Cycle {
+			next := res.Cycle[(i+1)%len(res.Cycle)]
+			if !someActionLeads(sp, st, next) {
+				t.Fatalf("trial %d: no action leads %s -> %s in claimed cycle",
+					trial, st, next)
+			}
+		}
+	case res.Escape != nil:
+		if !sp.T.Holds(res.Escape.State) {
+			t.Fatalf("trial %d: escape source %s outside T", trial, res.Escape.State)
+		}
+		if sp.T.Holds(res.Escape.Next) {
+			t.Fatalf("trial %d: escape target %s still in T", trial, res.Escape.Next)
+		}
+	default:
+		t.Fatalf("trial %d: non-convergence without witness", trial)
+	}
+}
+
+func someActionLeads(sp *Space, from, to *program.State) bool {
+	want := sp.P.Schema.Index(to)
+	for _, a := range sp.P.Actions {
+		if a.Enabled(from) && sp.P.Schema.Index(a.Apply(from)) == want {
+			return true
+		}
+	}
+	return false
+}

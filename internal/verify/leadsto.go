@@ -1,6 +1,8 @@
 package verify
 
 import (
+	"context"
+
 	"nonmask/internal/program"
 )
 
@@ -15,6 +17,28 @@ type LeadsToResult struct {
 	Stuck *program.State
 	// Cycle holds the witness states when the failure is a livelock.
 	Cycle []*program.State
+}
+
+// forEachSucc invokes fn(k, j) for every enabled action index k and
+// successor index j of state i, using the successor table when present and
+// recomputing through the scratch pair otherwise.
+func (sp *Space) forEachSucc(i int64, scr statePair, fn func(k int, j int64)) {
+	if sp.succ != nil {
+		for k, j := range sp.succRow(i) {
+			if j >= 0 {
+				fn(k, int64(j))
+			}
+		}
+		return
+	}
+	sp.P.Schema.StateInto(i, scr.st)
+	for k, a := range sp.P.Actions {
+		if !a.Guard(scr.st) {
+			continue
+		}
+		a.ApplyInto(scr.st, scr.tmp)
+		fn(k, sp.P.Schema.Index(scr.tmp))
+	}
 }
 
 // LeadsTo decides the progress property "p leads to q within the region T"
@@ -33,84 +57,103 @@ type LeadsToResult struct {
 // without passing through q; the property holds iff that restricted
 // subgraph has no terminal states and no (fair, if fair) cycles.
 func (sp *Space) LeadsTo(p, q *program.Predicate, fair bool) *LeadsToResult {
-	// Collect region states satisfying p but not q (p∧q states are
-	// immediately done).
-	var frontier []int64
-	reach := make(map[int64]bool)
-	for i := int64(0); i < sp.Count; i++ {
-		if !sp.inT[i] {
-			continue
-		}
-		st := sp.State(i)
-		if p.Holds(st) && !q.Holds(st) {
-			frontier = append(frontier, i)
-			reach[i] = true
-		}
+	res, _ := sp.LeadsToContext(context.Background(), p, q, fair)
+	return res
+}
+
+// LeadsToContext is LeadsTo with cancellation: predicate evaluation, the
+// reachability BFS (level-synchronized, atomic frontier deduplication) and
+// the stage convergence check are all sharded across the space's workers.
+func (sp *Space) LeadsToContext(ctx context.Context, p, q *program.Predicate, fair bool) (*LeadsToResult, error) {
+	pBits, err := sp.evalPred(ctx, p)
+	if err != nil {
+		return nil, err
 	}
-	// Forward reachability, stopping at q-states.
-	for len(frontier) > 0 {
-		i := frontier[len(frontier)-1]
-		frontier = frontier[:len(frontier)-1]
-		st := sp.State(i)
-		for _, a := range sp.P.Actions {
-			if !a.Guard(st) {
-				continue
-			}
-			j := sp.P.Schema.Index(a.Apply(st))
-			if !sp.inT[j] {
-				continue // leaving the region ends the obligation
-			}
-			next := sp.State(j)
-			if q.Holds(next) {
-				continue
-			}
-			if !reach[j] {
-				reach[j] = true
-				frontier = append(frontier, j)
-			}
-		}
-	}
-	if len(reach) == 0 {
-		return &LeadsToResult{Holds: true}
+	qBits, err := sp.evalPred(ctx, q)
+	if err != nil {
+		return nil, err
 	}
 
-	// Build the restricted transition graph over `reach`, then reuse the
-	// deadlock/cycle analysis of the convergence checkers via a stage
-	// space: inT := reach, inS := complement (q or outside).
-	stage := &Space{
-		P: sp.P, S: q, T: sp.T, Count: sp.Count,
-		inS: make([]bool, sp.Count),
-		inT: make([]bool, sp.Count),
-	}
-	for i := int64(0); i < sp.Count; i++ {
-		stage.inT[i] = reach[i]
-		stage.inS[i] = false
-	}
-	// Mark q-states (and region exits) as accepting: stage convergence
-	// treats inS as the goal. A transition out of `reach` necessarily hits
-	// q or leaves T; encode both as accepting by extending inT to include
-	// those successors and flagging them inS.
-	for i := range reach {
-		st := sp.State(i)
-		for _, a := range sp.P.Actions {
-			if !a.Guard(st) {
-				continue
-			}
-			j := sp.P.Schema.Index(a.Apply(st))
-			if !reach[j] {
-				stage.inT[j] = true
-				stage.inS[j] = true
+	// Collect region states satisfying p but not q (p∧q states are
+	// immediately done), then run forward reachability stopping at
+	// q-states and region exits.
+	workers := sp.workers()
+	scr := sp.newStatePairs()
+	reach := newBitset(sp.Count)
+	lists := make([][]int64, workers)
+	err = parallelRange(ctx, workers, sp.Count, func(worker int, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			if sp.inT.get(i) && pBits.get(i) && !qBits.get(i) {
+				reach.set(i)
+				lists[worker] = append(lists[worker], i)
 			}
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
+	frontier := flatten(lists)
+	reached := append([]int64(nil), frontier...)
+	for len(frontier) > 0 {
+		next := make([][]int64, workers)
+		err := parallelRange(ctx, workers, int64(len(frontier)), func(worker int, lo, hi int64) {
+			for w := lo; w < hi; w++ {
+				sp.forEachSucc(frontier[w], scr[worker], func(_ int, j int64) {
+					if !sp.inT.get(j) {
+						return // leaving the region ends the obligation
+					}
+					if qBits.get(j) {
+						return
+					}
+					if reach.testAndSet(j) {
+						next[worker] = append(next[worker], j)
+					}
+				})
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		frontier = flatten(next)
+		reached = append(reached, frontier...)
+	}
+	if len(reached) == 0 {
+		return &LeadsToResult{Holds: true}, nil
+	}
+
+	// Reuse the deadlock/cycle analysis of the convergence checkers via a
+	// stage space sharing this space's successor table: stage T is the
+	// reachable set plus its one-step exits, stage S the exits. A
+	// transition out of `reach` necessarily hits q or leaves the region;
+	// both discharge the obligation, so both count as accepting.
+	stageS := newBitset(sp.Count)
+	err = parallelRange(ctx, workers, int64(len(reached)), func(worker int, lo, hi int64) {
+		for w := lo; w < hi; w++ {
+			sp.forEachSucc(reached[w], scr[worker], func(_ int, j int64) {
+				if !reach.get(j) {
+					stageS.testAndSet(j)
+				}
+			})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	stageT := newBitset(sp.Count)
+	stageT.orInto(reach)
+	stageT.orInto(stageS)
+	stage := sp.derived(q, sp.T, stageS, stageT)
 	var conv *ConvergenceResult
 	if fair {
-		conv = stage.CheckFairConvergence()
+		conv, err = stage.CheckFairConvergenceContext(ctx)
 	} else {
-		conv = stage.CheckConvergence()
+		conv, err = stage.CheckConvergenceContext(ctx)
+	}
+	if err != nil {
+		return nil, err
 	}
 	if conv.Converges {
-		return &LeadsToResult{Holds: true}
+		return &LeadsToResult{Holds: true}, nil
 	}
 	res := &LeadsToResult{Cycle: conv.Cycle}
 	if conv.Deadlock != nil {
@@ -118,5 +161,5 @@ func (sp *Space) LeadsTo(p, q *program.Predicate, fair bool) *LeadsToResult {
 	} else if len(conv.Cycle) > 0 {
 		res.Stuck = conv.Cycle[0]
 	}
-	return res
+	return res, nil
 }

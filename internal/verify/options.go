@@ -1,0 +1,142 @@
+package verify
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"nonmask/internal/program"
+)
+
+// DefaultMaxStates bounds full-space enumeration. The packed bitsets and
+// int32 successor tables keep per-state bookkeeping small enough that
+// 1<<26 states costs a few hundred megabytes; the seed checker's []bool
+// bookkeeping capped out at 1<<22.
+const DefaultMaxStates = int64(1) << 26
+
+// Options configures the checker. The zero value is ready to use: default
+// state cap, one worker per CPU, projected preservation strategy, no
+// deadline.
+type Options struct {
+	// MaxStates caps the size of the enumerated state space. Zero means
+	// DefaultMaxStates (the zero-means-default convention used throughout
+	// this package); negative values are rejected with an error by every
+	// entry point rather than silently treated as the default.
+	MaxStates int64
+	// Workers is the number of goroutines sharding state enumeration and
+	// the backward fixpoint passes. Zero means runtime.NumCPU(); one runs
+	// every pass sequentially on the calling goroutine. Workers > 1
+	// requires what the program model already promises: action guards,
+	// bodies, and predicate Eval functions must be pure (no mutation of
+	// shared state), since they are called concurrently.
+	Workers int
+	// Strategy selects how preservation facts are decided (Preserves,
+	// CheckEstablishes). Zero means Projected.
+	Strategy Strategy
+	// Deadline, when positive, bounds the wall-clock time of a Check call;
+	// it is applied as a context timeout on top of the caller's context.
+	Deadline time.Duration
+}
+
+// validate rejects malformed options. Every entry point of this package
+// calls it, so a negative MaxStates fails loudly instead of silently
+// falling back to the default (the seed behaviour).
+func (o Options) validate() error {
+	if o.MaxStates < 0 {
+		return fmt.Errorf("verify: negative MaxStates %d (use 0 for the default %d)",
+			o.MaxStates, DefaultMaxStates)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("verify: negative Workers %d (use 0 for runtime.NumCPU)", o.Workers)
+	}
+	if o.Deadline < 0 {
+		return fmt.Errorf("verify: negative Deadline %v", o.Deadline)
+	}
+	return nil
+}
+
+func (o Options) maxStates() int64 {
+	if o.MaxStates <= 0 {
+		return DefaultMaxStates
+	}
+	return o.MaxStates
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return o.Workers
+}
+
+func (o Options) strategy() Strategy {
+	if o.Strategy == 0 {
+		return Projected
+	}
+	return o.Strategy
+}
+
+// Option is a functional option for Check, the package's unified entry
+// point. Options compose left to right; later options win.
+type Option func(*Options, *checkExtras)
+
+// checkExtras holds Check-only configuration that does not belong on the
+// Options struct shared with the legacy entry points.
+type checkExtras struct {
+	faults []*program.Action
+}
+
+// WithWorkers shards enumeration and fixpoint passes across n goroutines.
+// n == 1 forces the sequential path; n == 0 restores the default
+// (runtime.NumCPU()).
+func WithWorkers(n int) Option {
+	return func(o *Options, _ *checkExtras) { o.Workers = n }
+}
+
+// WithMaxStates caps the enumerated state space at n states. n == 0
+// restores the default (DefaultMaxStates); negative values make Check
+// fail with an error.
+func WithMaxStates(n int64) Option {
+	return func(o *Options, _ *checkExtras) { o.MaxStates = n }
+}
+
+// WithStrategy selects the preservation-checking strategy recorded on the
+// report's options (Exhaustive or Projected), for callers that feed the
+// same option set into the theorem validators.
+func WithStrategy(s Strategy) Option {
+	return func(o *Options, _ *checkExtras) { o.Strategy = s }
+}
+
+// WithDeadline bounds the wall-clock time of the whole Check call. The
+// deadline is implemented as a context timeout, so a Check that exceeds
+// it returns context.DeadlineExceeded from whichever pass was running.
+func WithDeadline(d time.Duration) Option {
+	return func(o *Options, _ *checkExtras) { o.Deadline = d }
+}
+
+// WithFaults makes Check compute the fault-span of the given fault
+// actions from S and use it as the tolerance specification T (overriding
+// the T argument): the paper's "smallest closed fault-span containing the
+// invariant". This folds the old two-call FaultSpan + NewSpace dance into
+// the single Check entry point.
+func WithFaults(faults ...*program.Action) Option {
+	return func(_ *Options, e *checkExtras) { e.faults = faults }
+}
+
+// WithOptions replaces the whole Options struct — the bridge for callers
+// holding a legacy Options value.
+func WithOptions(o Options) Option {
+	return func(dst *Options, _ *checkExtras) { *dst = o }
+}
+
+// buildOptions folds functional options into an Options + extras pair.
+func buildOptions(options []Option) (Options, checkExtras) {
+	var (
+		o Options
+		e checkExtras
+	)
+	for _, opt := range options {
+		opt(&o, &e)
+	}
+	return o, e
+}

@@ -1,0 +1,132 @@
+package verify
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"nonmask/internal/program"
+)
+
+// tinyProgram is a two-variable convergent system: each action lowers one
+// variable toward zero; S is "both zero".
+func tinyProgram(t *testing.T) (*program.Program, *program.Predicate) {
+	t.Helper()
+	s := program.NewSchema()
+	x := s.MustDeclare("x", program.IntRange(0, 3))
+	y := s.MustDeclare("y", program.IntRange(0, 3))
+	p := program.New("tiny", s)
+	p.Add(program.NewAction("decX", program.Convergence,
+		[]program.VarID{x}, []program.VarID{x},
+		func(st *program.State) bool { return st.Get(x) > 0 },
+		func(st *program.State) { st.Set(x, st.Get(x)-1) }))
+	p.Add(program.NewAction("decY", program.Convergence,
+		[]program.VarID{y}, []program.VarID{y},
+		func(st *program.State) bool { return st.Get(y) > 0 },
+		func(st *program.State) { st.Set(y, st.Get(y)-1) }))
+	S := program.NewPredicate("S", []program.VarID{x, y},
+		func(st *program.State) bool { return st.Get(x) == 0 && st.Get(y) == 0 })
+	return p, S
+}
+
+func TestNegativeMaxStatesRejected(t *testing.T) {
+	p, S := tinyProgram(t)
+	bad := Options{MaxStates: -1}
+	ctx := context.Background()
+
+	if _, err := NewSpaceContext(ctx, p, S, program.True(), bad); err == nil ||
+		!strings.Contains(err.Error(), "negative MaxStates") {
+		t.Fatalf("NewSpaceContext: err = %v, want negative-MaxStates error", err)
+	}
+	if _, err := Check(ctx, p, S, nil, WithMaxStates(-1)); err == nil ||
+		!strings.Contains(err.Error(), "negative MaxStates") {
+		t.Fatalf("Check: err = %v, want negative-MaxStates error", err)
+	}
+	if _, err := CheckPreservesContext(ctx, p.Schema, p.Actions[0], S, nil, bad); err == nil ||
+		!strings.Contains(err.Error(), "negative MaxStates") {
+		t.Fatalf("CheckPreservesContext: err = %v, want negative-MaxStates error", err)
+	}
+	if _, err := FaultSpanContext(ctx, p, nil, S, bad); err == nil ||
+		!strings.Contains(err.Error(), "negative MaxStates") {
+		t.Fatalf("FaultSpanContext: err = %v, want negative-MaxStates error", err)
+	}
+}
+
+func TestNegativeWorkersRejected(t *testing.T) {
+	p, S := tinyProgram(t)
+	if _, err := Check(context.Background(), p, S, nil, WithWorkers(-2)); err == nil ||
+		!strings.Contains(err.Error(), "negative Workers") {
+		t.Fatalf("Check: err = %v, want negative-Workers error", err)
+	}
+}
+
+// TestZeroMeansDefault pins the zero-value convention: MaxStates 0 gets the
+// documented default, and the report records the resolved values.
+func TestZeroMeansDefault(t *testing.T) {
+	p, S := tinyProgram(t)
+	rep, err := Check(context.Background(), p, S, nil, WithWorkers(1))
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if rep.Options.MaxStates != DefaultMaxStates {
+		t.Errorf("report MaxStates = %d, want default %d", rep.Options.MaxStates, DefaultMaxStates)
+	}
+	if rep.Options.Workers != 1 {
+		t.Errorf("report Workers = %d, want 1", rep.Options.Workers)
+	}
+	if !rep.Unfair.Converges || !rep.Tolerant() {
+		t.Errorf("tiny program should converge: %s", rep.Summary())
+	}
+	if rep.Unfair.WorstSteps != 6 {
+		// Worst case: both variables at 3 → six decrements.
+		t.Errorf("WorstSteps = %d, want 6", rep.Unfair.WorstSteps)
+	}
+}
+
+func TestCheckCancelled(t *testing.T) {
+	p, S := tinyProgram(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Check(ctx, p, S, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Check on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCheckDeadline(t *testing.T) {
+	p, S := tinyProgram(t)
+	// A deadline that has effectively already passed must surface as
+	// DeadlineExceeded from whichever pass was running.
+	if _, err := Check(context.Background(), p, S, nil, WithDeadline(time.Nanosecond)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Check with 1ns deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+	// A generous deadline changes nothing.
+	rep, err := Check(context.Background(), p, S, nil, WithDeadline(time.Minute))
+	if err != nil {
+		t.Fatalf("Check with 1m deadline: %v", err)
+	}
+	if !rep.Unfair.Converges {
+		t.Fatal("tiny program should converge under a generous deadline")
+	}
+}
+
+// TestDeprecatedWrappersStillWork pins the compatibility contract: the old
+// names answer exactly like the new entry points.
+func TestDeprecatedWrappersStillWork(t *testing.T) {
+	p, S := tinyProgram(t)
+	sp, err := NewSpace(p, S, program.True(), Options{})
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	res := sp.CheckConvergence()
+	rep, err := Check(context.Background(), p, S, nil)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Converges != rep.Unfair.Converges ||
+		res.WorstSteps != rep.Unfair.WorstSteps ||
+		res.MeanSteps != rep.Unfair.MeanSteps {
+		t.Fatalf("wrapper/Check mismatch: %+v vs %+v", res, rep.Unfair)
+	}
+}

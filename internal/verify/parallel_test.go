@@ -1,0 +1,217 @@
+// Metamorphic tests of the sharded checker: the worker count is a pure
+// performance knob, so every verdict, witness, and metric must be
+// bit-identical between the sequential path (Workers = 1) and the sharded
+// path (Workers = 4), across protocols that exercise convergence,
+// livelock, fairness, and fault-spans.
+package verify_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"nonmask/internal/fault"
+	"nonmask/internal/program"
+	"nonmask/internal/protocols/diffusing"
+	"nonmask/internal/protocols/tokenring"
+	"nonmask/internal/protocols/xyz"
+	"nonmask/internal/verify"
+)
+
+// checkCase is one (program, S, T, options) instance to cross-run.
+type checkCase struct {
+	name    string
+	p       *program.Program
+	s, t    *program.Predicate
+	options []verify.Option
+}
+
+func protocolCases(t *testing.T) []checkCase {
+	t.Helper()
+	var cases []checkCase
+
+	// Diffusing computation on a binary tree: convergent, nonmasking with
+	// a fault-span.
+	tree, err := diffusing.New(diffusing.Binary(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tree.Design
+	cases = append(cases, checkCase{
+		name: "diffusing-binary5",
+		p:    d.TolerantProgram(), s: d.S, t: d.T,
+	})
+
+	// xyz Ordered converges; Interfering livelocks under every daemon —
+	// the cycle witness must be worker-invariant too.
+	for _, v := range []xyz.Variant{xyz.Ordered, xyz.Interfering} {
+		inst, err := xyz.New(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := inst.Design
+		cases = append(cases, checkCase{
+			name: "xyz-" + v.String(),
+			p:    d.TolerantProgram(), s: d.S, t: d.T,
+		})
+	}
+
+	// Token rings: K = N+2 stabilizes, K = 2 < nodes-1 livelocks.
+	conv, err := tokenring.NewRing(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, checkCase{name: "ring4-k6", p: conv.P, s: conv.S})
+	live, err := tokenring.NewRing(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, checkCase{name: "ring4-k2", p: live.P, s: live.S})
+	return cases
+}
+
+func TestWorkersMetamorphic(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range protocolCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			seq, err := verify.Check(ctx, tc.p, tc.s, tc.t,
+				append(tc.options, verify.WithWorkers(1))...)
+			if err != nil {
+				t.Fatalf("Workers=1: %v", err)
+			}
+			par, err := verify.Check(ctx, tc.p, tc.s, tc.t,
+				append(tc.options, verify.WithWorkers(4))...)
+			if err != nil {
+				t.Fatalf("Workers=4: %v", err)
+			}
+			compareReports(t, seq, par)
+		})
+	}
+}
+
+// compareReports asserts that two reports of the same check are
+// observationally identical apart from timing and the worker count.
+func compareReports(t *testing.T, seq, par *verify.Report) {
+	t.Helper()
+	if seq.Classification != par.Classification {
+		t.Errorf("Classification: seq %v, par %v", seq.Classification, par.Classification)
+	}
+	if (seq.Closure == nil) != (par.Closure == nil) {
+		t.Fatalf("Closure presence differs: seq %v, par %v", seq.Closure, par.Closure)
+	}
+	if seq.Closure != nil && seq.Closure.Error() != par.Closure.Error() {
+		t.Errorf("Closure witness: seq %q, par %q", seq.Closure.Error(), par.Closure.Error())
+	}
+	compareConvergence(t, "Unfair", seq.Unfair, par.Unfair)
+	if (seq.Fair == nil) != (par.Fair == nil) {
+		t.Fatalf("Fair presence differs: seq %v, par %v", seq.Fair, par.Fair)
+	}
+	if seq.Fair != nil {
+		compareConvergence(t, "Fair", seq.Fair, par.Fair)
+	}
+	if (seq.Span == nil) != (par.Span == nil) {
+		t.Fatalf("Span presence differs")
+	}
+	if seq.Span != nil && seq.Span.States != par.Span.States {
+		t.Errorf("Span.States: seq %d, par %d", seq.Span.States, par.Span.States)
+	}
+}
+
+func compareConvergence(t *testing.T, label string, seq, par *verify.ConvergenceResult) {
+	t.Helper()
+	if seq.Converges != par.Converges {
+		t.Fatalf("%s.Converges: seq %v, par %v", label, seq.Converges, par.Converges)
+	}
+	if seq.WorstSteps != par.WorstSteps {
+		t.Errorf("%s.WorstSteps: seq %d, par %d", label, seq.WorstSteps, par.WorstSteps)
+	}
+	if seq.MeanSteps != par.MeanSteps {
+		t.Errorf("%s.MeanSteps: seq %v, par %v", label, seq.MeanSteps, par.MeanSteps)
+	}
+	if seq.StatesT != par.StatesT || seq.StatesS != par.StatesS ||
+		seq.StatesOutsideS != par.StatesOutsideS {
+		t.Errorf("%s state counts: seq (%d,%d,%d), par (%d,%d,%d)", label,
+			seq.StatesT, seq.StatesS, seq.StatesOutsideS,
+			par.StatesT, par.StatesS, par.StatesOutsideS)
+	}
+	// Witnesses are pinned to the minimum state index, so they are
+	// reproducible state-for-state.
+	if !reflect.DeepEqual(render(seq.Deadlock), render(par.Deadlock)) {
+		t.Errorf("%s.Deadlock: seq %v, par %v", label, seq.Deadlock, par.Deadlock)
+	}
+	if len(seq.Cycle) != len(par.Cycle) {
+		t.Errorf("%s.Cycle length: seq %d, par %d", label, len(seq.Cycle), len(par.Cycle))
+	} else {
+		for i := range seq.Cycle {
+			if seq.Cycle[i].String() != par.Cycle[i].String() {
+				t.Errorf("%s.Cycle[%d]: seq %s, par %s", label, i, seq.Cycle[i], par.Cycle[i])
+				break
+			}
+		}
+	}
+	if (seq.Escape == nil) != (par.Escape == nil) {
+		t.Fatalf("%s.Escape presence differs", label)
+	}
+	if seq.Escape != nil && seq.Escape.Error() != par.Escape.Error() {
+		t.Errorf("%s.Escape: seq %q, par %q", label, seq.Escape.Error(), par.Escape.Error())
+	}
+}
+
+func render(st *program.State) string {
+	if st == nil {
+		return "<nil>"
+	}
+	return st.String()
+}
+
+// TestWorkersMetamorphicWithFaults runs the WithFaults path (span
+// computation feeding T) under both worker counts: corrupting the first
+// ring counter yields a fault-span between S and true.
+func TestWorkersMetamorphicWithFaults(t *testing.T) {
+	inst, err := tokenring.NewRing(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.Actions(inst.P.Schema, []program.VarID{inst.P.Schema.MustLookup("x[0]")})
+	ctx := context.Background()
+	var reports []*verify.Report
+	for _, w := range []int{1, 4} {
+		rep, err := verify.Check(ctx, inst.P, inst.S, nil,
+			verify.WithWorkers(w), verify.WithFaults(faults...))
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", w, err)
+		}
+		if rep.Span == nil {
+			t.Fatalf("Workers=%d: WithFaults produced no span", w)
+		}
+		reports = append(reports, rep)
+	}
+	compareReports(t, reports[0], reports[1])
+}
+
+// TestWorkersSweep runs one convergent and one livelocking instance over a
+// range of worker counts, including counts far above the chunk count, and
+// requires a single identical summary line from all of them.
+func TestWorkersSweep(t *testing.T) {
+	conv, err := tokenring.NewRing(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var want string
+	for i, w := range []int{1, 2, 3, 7, 64} {
+		rep, err := verify.Check(ctx, conv.P, conv.S, nil, verify.WithWorkers(w))
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", w, err)
+		}
+		line := fmt.Sprintf("%s | %v", rep.Unfair.Summary(), rep.Classification)
+		if i == 0 {
+			want = line
+			continue
+		}
+		if line != want {
+			t.Errorf("Workers=%d: summary %q, want %q", w, line, want)
+		}
+	}
+}

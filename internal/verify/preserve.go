@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 
 	"nonmask/internal/program"
@@ -27,29 +28,65 @@ type PreserveResult struct {
 // hold — the conditional preservation used by Theorem 3 ("preserves each
 // constraint in that partition whenever all constraints in lower numbered
 // partitions hold").
+//
+// Deprecated: use CheckPreservesContext, or Preserves via Check's options.
 func CheckPreserves(schema *program.Schema, a *program.Action, c *program.Predicate,
 	given []*program.Predicate, opts Options) (*PreserveResult, error) {
+	return CheckPreservesContext(context.Background(), schema, a, c, given, opts)
+}
+
+// CheckPreservesContext is CheckPreserves with cancellation; the state scan
+// is sharded across opts.Workers goroutines and reports the counterexample
+// at the lowest state index regardless of worker count.
+func CheckPreservesContext(ctx context.Context, schema *program.Schema, a *program.Action,
+	c *program.Predicate, given []*program.Predicate, opts Options) (*PreserveResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	count, ok := schema.StateCount()
 	if !ok || count > opts.maxStates() {
 		return nil, fmt.Errorf("verify: state space too large for exhaustive preservation check (%d states)", count)
 	}
-states:
-	for i := int64(0); i < count; i++ {
-		st := schema.StateAt(i)
-		if !a.Guard(st) || !c.Holds(st) {
-			continue
-		}
-		for _, g := range given {
-			if !g.Holds(st) {
-				continue states
+	workers := opts.workers()
+	scr := newSchemaPairs(schema, workers)
+	w := newWitness()
+	err := parallelRange(ctx, workers, count, func(worker int, lo, hi int64) {
+		st, tmp := scr[worker].st, scr[worker].tmp
+	states:
+		for i := lo; i < hi; i++ {
+			schema.StateInto(i, st)
+			if !a.Guard(st) || !c.Holds(st) {
+				continue
+			}
+			for _, g := range given {
+				if !g.Holds(st) {
+					continue states
+				}
+			}
+			a.ApplyInto(st, tmp)
+			if !c.Holds(tmp) {
+				w.offer(i, 0)
 			}
 		}
-		next := a.Apply(st)
-		if !c.Holds(next) {
-			return &PreserveResult{State: st, Next: next}, nil
-		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &PreserveResult{Preserves: true}, nil
+	if !w.found() {
+		return &PreserveResult{Preserves: true}, nil
+	}
+	st := schema.StateAt(w.state)
+	return &PreserveResult{State: st, Next: a.Apply(st)}, nil
+}
+
+// newSchemaPairs allocates per-worker scratch state pairs for a schema that
+// has no enclosing Space.
+func newSchemaPairs(schema *program.Schema, workers int) []statePair {
+	scr := make([]statePair, workers)
+	for i := range scr {
+		scr[i] = statePair{st: schema.NewState(), tmp: schema.NewState()}
+	}
+	return scr
 }
 
 // CheckPreservesProjected decides preservation by enumerating only the
@@ -64,49 +101,90 @@ states:
 //
 // Given predicates are also projected: their supports join the enumerated
 // variable set.
+//
+// Deprecated: use CheckPreservesProjectedContext, or Preserves via Check's
+// options.
 func CheckPreservesProjected(schema *program.Schema, a *program.Action, c *program.Predicate,
 	given []*program.Predicate, opts Options) (*PreserveResult, error) {
+	return CheckPreservesProjectedContext(context.Background(), schema, a, c, given, opts)
+}
+
+// CheckPreservesProjectedContext is CheckPreservesProjected with
+// cancellation and a sharded projected scan.
+func CheckPreservesProjectedContext(ctx context.Context, schema *program.Schema, a *program.Action,
+	c *program.Predicate, given []*program.Predicate, opts Options) (*PreserveResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	vars := a.Footprint()
 	vars = append(vars, c.Vars...)
 	for _, g := range given {
 		vars = append(vars, g.Vars...)
 	}
 	vars = program.SortVarIDs(vars)
+	count, err := projectedCount(schema, vars, opts)
+	if err != nil {
+		return nil, err
+	}
 
-	// Count the projected space.
+	workers := opts.workers()
+	scr := make([]*program.State, workers)
+	for i := range scr {
+		scr[i] = schema.NewState() // non-projected variables stay at Dom.Min
+	}
+	w := newWitness()
+	err = parallelRange(ctx, workers, count, func(worker int, lo, hi int64) {
+		st := scr[worker]
+	states:
+		for i := lo; i < hi; i++ {
+			projectInto(schema, vars, i, st)
+			if !a.Guard(st) || !c.Holds(st) {
+				continue
+			}
+			for _, g := range given {
+				if !g.Holds(st) {
+					continue states
+				}
+			}
+			if !c.Holds(a.Apply(st)) {
+				w.offer(i, 0)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !w.found() {
+		return &PreserveResult{Preserves: true}, nil
+	}
+	st := schema.NewState()
+	projectInto(schema, vars, w.state, st)
+	return &PreserveResult{State: st, Next: a.Apply(st)}, nil
+}
+
+// projectedCount sizes the projected space of the given variables against
+// the options' state cap.
+func projectedCount(schema *program.Schema, vars []program.VarID, opts Options) (int64, error) {
 	count := int64(1)
 	for _, v := range vars {
 		sz := schema.Spec(v).Dom.Size()
 		if count > opts.maxStates()/sz {
-			return nil, fmt.Errorf("verify: projected space too large (%d vars)", len(vars))
+			return 0, fmt.Errorf("verify: projected space too large (%d vars)", len(vars))
 		}
 		count *= sz
 	}
+	return count, nil
+}
 
-	st := schema.NewState()
-states:
-	for i := int64(0); i < count; i++ {
-		// Decode mixed-radix index i over just the projected variables.
-		rem := i
-		for k := len(vars) - 1; k >= 0; k-- {
-			dom := schema.Spec(vars[k]).Dom
-			st.Set(vars[k], dom.Min+int32(rem%dom.Size()))
-			rem /= dom.Size()
-		}
-		if !a.Guard(st) || !c.Holds(st) {
-			continue
-		}
-		for _, g := range given {
-			if !g.Holds(st) {
-				continue states
-			}
-		}
-		next := a.Apply(st)
-		if !c.Holds(next) {
-			return &PreserveResult{State: st.Clone(), Next: next}, nil
-		}
+// projectInto decodes mixed-radix index i over just the projected
+// variables into st, leaving all other variables untouched.
+func projectInto(schema *program.Schema, vars []program.VarID, i int64, st *program.State) {
+	rem := i
+	for k := len(vars) - 1; k >= 0; k-- {
+		dom := schema.Spec(vars[k]).Dom
+		st.Set(vars[k], dom.Min+int32(rem%dom.Size()))
+		rem /= dom.Size()
 	}
-	return &PreserveResult{Preserves: true}, nil
 }
 
 // Strategy selects how preservation facts are decided.
@@ -135,11 +213,17 @@ func (s Strategy) String() string {
 // Preserves dispatches on the strategy.
 func Preserves(strategy Strategy, schema *program.Schema, a *program.Action,
 	c *program.Predicate, given []*program.Predicate, opts Options) (*PreserveResult, error) {
+	return PreservesContext(context.Background(), strategy, schema, a, c, given, opts)
+}
+
+// PreservesContext dispatches on the strategy with cancellation.
+func PreservesContext(ctx context.Context, strategy Strategy, schema *program.Schema,
+	a *program.Action, c *program.Predicate, given []*program.Predicate, opts Options) (*PreserveResult, error) {
 	switch strategy {
 	case Exhaustive:
-		return CheckPreserves(schema, a, c, given, opts)
+		return CheckPreservesContext(ctx, schema, a, c, given, opts)
 	case Projected:
-		return CheckPreservesProjected(schema, a, c, given, opts)
+		return CheckPreservesProjectedContext(ctx, schema, a, c, given, opts)
 	default:
 		return nil, fmt.Errorf("verify: unknown strategy %v", strategy)
 	}
@@ -153,27 +237,44 @@ func Preserves(strategy Strategy, schema *program.Schema, a *program.Action,
 // support. It returns a state where guard ∧ c both hold, or nil.
 func GuardImpliesNot(schema *program.Schema, a *program.Action, c *program.Predicate,
 	opts Options) (*program.State, error) {
+	return GuardImpliesNotContext(context.Background(), schema, a, c, opts)
+}
+
+// GuardImpliesNotContext is GuardImpliesNot with cancellation and a sharded
+// projected scan; the returned state is the lowest-index counterexample.
+func GuardImpliesNotContext(ctx context.Context, schema *program.Schema, a *program.Action,
+	c *program.Predicate, opts Options) (*program.State, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	vars := append(append([]program.VarID{}, a.Reads...), c.Vars...)
 	vars = program.SortVarIDs(vars)
-	count := int64(1)
-	for _, v := range vars {
-		sz := schema.Spec(v).Dom.Size()
-		if count > opts.maxStates()/sz {
-			return nil, fmt.Errorf("verify: projected space too large (%d vars)", len(vars))
+	count, err := projectedCount(schema, vars, opts)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.workers()
+	scr := make([]*program.State, workers)
+	for i := range scr {
+		scr[i] = schema.NewState()
+	}
+	w := newWitness()
+	err = parallelRange(ctx, workers, count, func(worker int, lo, hi int64) {
+		st := scr[worker]
+		for i := lo; i < hi; i++ {
+			projectInto(schema, vars, i, st)
+			if a.Guard(st) && c.Holds(st) {
+				w.offer(i, 0)
+			}
 		}
-		count *= sz
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !w.found() {
+		return nil, nil
 	}
 	st := schema.NewState()
-	for i := int64(0); i < count; i++ {
-		rem := i
-		for k := len(vars) - 1; k >= 0; k-- {
-			dom := schema.Spec(vars[k]).Dom
-			st.Set(vars[k], dom.Min+int32(rem%dom.Size()))
-			rem /= dom.Size()
-		}
-		if a.Guard(st) && c.Holds(st) {
-			return st.Clone(), nil
-		}
-	}
-	return nil, nil
+	projectInto(schema, vars, w.state, st)
+	return st, nil
 }

@@ -12,101 +12,253 @@
 // on program computations is often unnecessary" is checkable by comparing
 // the two.
 //
-// The checker enumerates the full finite state space, so it applies to
-// paper-sized instances; internal/sim covers large instances statistically.
+// The checker is built for throughput: membership bitmaps are uint64-packed
+// bitsets, one-step successors are precomputed into a per-action table, and
+// every pass — space construction, closure scans, the convergence fixpoint,
+// fault-span and leads-to reachability — is sharded across a worker pool
+// (Options.Workers) with context cancellation polled between chunks. The
+// unified entry point is Check; the per-pass methods remain for callers
+// that need individual verdicts.
 package verify
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"nonmask/internal/program"
 )
 
-// DefaultMaxStates bounds full-space enumeration. 1<<22 states with the
-// checker's per-state bookkeeping costs tens of megabytes.
-const DefaultMaxStates = int64(1) << 22
+// succTableBudget caps the memory spent on the precomputed successor
+// table. Above the budget (or above int32 state indices) the passes fall
+// back to recomputing successors on the fly.
+const succTableBudget = int64(1) << 31 // 2 GiB of int32 entries
 
-// Options configures the checker.
-type Options struct {
-	// MaxStates caps the size of the enumerated state space.
-	// Zero means DefaultMaxStates.
-	MaxStates int64
-}
-
-func (o Options) maxStates() int64 {
-	if o.MaxStates <= 0 {
-		return DefaultMaxStates
-	}
-	return o.MaxStates
-}
-
-// Space is a fully enumerated state space of one program, with membership
-// bitmaps for the invariant S and fault-span T. It underlies all checks and
-// the adversarial daemon's exact distance metric.
+// Space is a fully enumerated state space of one program, with packed
+// membership bitsets for the invariant S and fault-span T and a
+// precomputed per-action successor table. It underlies all checks and the
+// adversarial daemon's exact distance metric. A Space's checks honour the
+// Options it was built with (worker count in particular).
 type Space struct {
 	P     *program.Program
 	S     *program.Predicate
 	T     *program.Predicate
 	Count int64
 
-	inS, inT []bool
+	opts     Options
+	inS, inT bitset
+	nA       int
+	// succ is the successor table: succ[i*nA+k] is the index of the state
+	// reached by firing action k at state i, or -1 when the action is
+	// disabled there. nil when the table exceeds succTableBudget.
+	succ []int32
 }
 
 // NewSpace enumerates the program's state space and evaluates S and T at
 // every state. It fails if the space exceeds opts.MaxStates.
+//
+// Deprecated: use Check for the full verdict bundle, or NewSpaceContext to
+// build a cancellable space for individual passes.
 func NewSpace(p *program.Program, S, T *program.Predicate, opts Options) (*Space, error) {
+	return NewSpaceContext(context.Background(), p, S, T, opts)
+}
+
+// NewSpaceContext is NewSpace with cancellation: enumeration, predicate
+// evaluation and successor-table construction are sharded across
+// opts.Workers goroutines and poll ctx between chunks.
+func NewSpaceContext(ctx context.Context, p *program.Program, S, T *program.Predicate, opts Options) (*Space, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	count, ok := p.Schema.StateCount()
 	if !ok || count > opts.maxStates() {
 		return nil, fmt.Errorf("verify: state space of %q too large (%d states, limit %d)",
 			p.Name, count, opts.maxStates())
 	}
 	sp := &Space{
-		P:     p,
-		S:     S,
-		T:     T,
-		Count: count,
-		inS:   make([]bool, count),
-		inT:   make([]bool, count),
+		P: p, S: S, T: T, Count: count,
+		opts: opts,
+		nA:   len(p.Actions),
+		inS:  newBitset(count),
+		inT:  newBitset(count),
 	}
-	for i := int64(0); i < count; i++ {
-		st := p.Schema.StateAt(i)
-		sp.inS[i] = S.Holds(st)
-		sp.inT[i] = T.Holds(st)
-		if sp.inS[i] && !sp.inT[i] {
-			return nil, fmt.Errorf("verify: S does not imply T at state %s", st)
+	w := newWitness()
+	scr := sp.newStates()
+	err := parallelRange(ctx, sp.workers(), count, func(worker int, lo, hi int64) {
+		st := scr[worker]
+		for i := lo; i < hi; i++ {
+			p.Schema.StateInto(i, st)
+			s, t := S.Holds(st), T.Holds(st)
+			if s {
+				sp.inS.set(i)
+			}
+			if t {
+				sp.inT.set(i)
+			}
+			if s && !t {
+				w.offer(i, 0)
+			}
 		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if w.found() {
+		return nil, fmt.Errorf("verify: S does not imply T at state %s", sp.State(w.state))
+	}
+	if err := sp.buildSuccTable(ctx); err != nil {
+		return nil, err
 	}
 	return sp, nil
 }
 
+// buildSuccTable precomputes the per-action successor table in parallel,
+// unless state indices overflow int32 or the table would exceed
+// succTableBudget (the passes then recompute successors on the fly).
+func (sp *Space) buildSuccTable(ctx context.Context) error {
+	if sp.Count > math.MaxInt32 {
+		return nil
+	}
+	if sp.nA > 0 && sp.Count > succTableBudget/4/int64(sp.nA) {
+		return nil
+	}
+	tab := make([]int32, sp.Count*int64(sp.nA))
+	scr := sp.newStatePairs()
+	err := parallelRange(ctx, sp.workers(), sp.Count, func(worker int, lo, hi int64) {
+		st, tmp := scr[worker].st, scr[worker].tmp
+		nA := int64(sp.nA)
+		for i := lo; i < hi; i++ {
+			sp.P.Schema.StateInto(i, st)
+			row := tab[i*nA : (i+1)*nA]
+			for k, a := range sp.P.Actions {
+				if !a.Guard(st) {
+					row[k] = -1
+					continue
+				}
+				a.ApplyInto(st, tmp)
+				row[k] = int32(sp.P.Schema.Index(tmp))
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	sp.succ = tab
+	return nil
+}
+
+// succRow returns the successor-table row of state i: one entry per
+// program action, -1 where disabled. Only valid when sp.succ != nil.
+func (sp *Space) succRow(i int64) []int32 {
+	nA := int64(sp.nA)
+	return sp.succ[i*nA : (i+1)*nA]
+}
+
+func (sp *Space) workers() int { return sp.opts.workers() }
+
+// region reports whether state i lies in the convergence region T∧¬S.
+func (sp *Space) region(i int64) bool { return sp.inT.get(i) && !sp.inS.get(i) }
+
+// newStates allocates one scratch state per worker.
+func (sp *Space) newStates() []*program.State {
+	scr := make([]*program.State, sp.workers())
+	for i := range scr {
+		scr[i] = sp.P.Schema.NewState()
+	}
+	return scr
+}
+
+// statePair is a worker's scratch pair: st holds the decoded current
+// state, tmp the successor produced by ApplyInto.
+type statePair struct{ st, tmp *program.State }
+
+func (sp *Space) newStatePairs() []statePair {
+	scr := make([]statePair, sp.workers())
+	for i := range scr {
+		scr[i] = statePair{st: sp.P.Schema.NewState(), tmp: sp.P.Schema.NewState()}
+	}
+	return scr
+}
+
+// evalPred evaluates pred at every state in parallel, returning its
+// membership bitset. Constant-true predicates (including nil) short-cut to
+// a full bitset without touching the space.
+func (sp *Space) evalPred(ctx context.Context, pred *program.Predicate) (bitset, error) {
+	bits := newBitset(sp.Count)
+	if pred.IsConstTrue() {
+		fillBitset(bits, sp.Count)
+		return bits, nil
+	}
+	scr := sp.newStates()
+	err := parallelRange(ctx, sp.workers(), sp.Count, func(worker int, lo, hi int64) {
+		st := scr[worker]
+		for i := lo; i < hi; i++ {
+			sp.P.Schema.StateInto(i, st)
+			if pred.Eval(st) {
+				bits.set(i)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return bits, nil
+}
+
+// fillBitset sets the first n bits (leaving the tail of the last word
+// clear so population counts stay exact).
+func fillBitset(b bitset, n int64) {
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+	if rem := uint(n & 63); rem != 0 {
+		b[len(b)-1] = (uint64(1) << rem) - 1
+	}
+}
+
+// bitsFor returns the membership bitset of pred, reusing the space's own
+// S/T bitsets when pred is one of them.
+func (sp *Space) bitsFor(ctx context.Context, pred *program.Predicate) (bitset, error) {
+	switch pred {
+	case sp.S:
+		return sp.inS, nil
+	case sp.T:
+		return sp.inT, nil
+	}
+	return sp.evalPred(ctx, pred)
+}
+
+// derived builds a stage space over the same program and successor table
+// with substituted membership bitsets — the convergence-stair and leads-to
+// passes re-target S and T without re-enumerating anything.
+func (sp *Space) derived(S, T *program.Predicate, inS, inT bitset) *Space {
+	return &Space{
+		P: sp.P, S: S, T: T, Count: sp.Count,
+		opts: sp.opts, nA: sp.nA, succ: sp.succ,
+		inS: inS, inT: inT,
+	}
+}
+
 // InS reports whether state index i satisfies the invariant.
-func (sp *Space) InS(i int64) bool { return sp.inS[i] }
+func (sp *Space) InS(i int64) bool { return sp.inS.get(i) }
 
 // InT reports whether state index i satisfies the fault-span.
-func (sp *Space) InT(i int64) bool { return sp.inT[i] }
+func (sp *Space) InT(i int64) bool { return sp.inT.get(i) }
 
 // CountS returns the number of states satisfying S.
-func (sp *Space) CountS() int64 { return countTrue(sp.inS) }
+func (sp *Space) CountS() int64 { return sp.inS.count() }
 
 // CountT returns the number of states satisfying T.
-func (sp *Space) CountT() int64 { return countTrue(sp.inT) }
-
-func countTrue(bs []bool) int64 {
-	var n int64
-	for _, b := range bs {
-		if b {
-			n++
-		}
-	}
-	return n
-}
+func (sp *Space) CountT() int64 { return sp.inT.count() }
 
 // State materializes the state with index i.
 func (sp *Space) State(i int64) *program.State { return sp.P.Schema.StateAt(i) }
 
 // successors appends the indices of all one-step successors of state index
 // i under the given actions, reusing buf. Actions whose body leaves the
-// state unchanged still contribute a (self-loop) successor.
+// state unchanged still contribute a (self-loop) successor. It is the
+// allocation-tolerant form used by the sequential fallback passes; the
+// sharded passes read the successor table directly.
 func (sp *Space) successors(i int64, actions []*program.Action, buf []int64) []int64 {
 	st := sp.P.Schema.StateAt(i)
 	buf = buf[:0]
@@ -139,29 +291,82 @@ func (v *ClosureViolation) Error() string {
 // is closed iff each action of p preserves R"). A nil `within` means the
 // whole space. It returns nil when closed, or a ClosureViolation.
 func (sp *Space) CheckClosed(pred, within *program.Predicate) *ClosureViolation {
-	for i := int64(0); i < sp.Count; i++ {
-		st := sp.P.Schema.StateAt(i)
-		if !pred.Holds(st) || !within.Holds(st) {
-			continue
-		}
-		for _, a := range sp.P.Actions {
-			if !a.Guard(st) {
-				continue
-			}
-			next := a.Apply(st)
-			if !pred.Holds(next) {
-				return &ClosureViolation{Pred: pred, State: st, Action: a, Next: next}
-			}
+	v, _ := sp.CheckClosedContext(context.Background(), pred, within)
+	return v
+}
+
+// CheckClosedContext is CheckClosed with cancellation: the edge scan is
+// sharded across the space's workers and the reported violation is the one
+// at the lowest state index, independent of worker count.
+func (sp *Space) CheckClosedContext(ctx context.Context, pred, within *program.Predicate) (*ClosureViolation, error) {
+	if pred.IsConstTrue() {
+		return nil, nil // true is closed in every program
+	}
+	predBits, err := sp.bitsFor(ctx, pred)
+	if err != nil {
+		return nil, err
+	}
+	var withinBits bitset
+	if within != nil && !within.IsConstTrue() {
+		if withinBits, err = sp.bitsFor(ctx, within); err != nil {
+			return nil, err
 		}
 	}
-	return nil
+	w := newWitness()
+	var scr []statePair
+	if sp.succ == nil {
+		scr = sp.newStatePairs()
+	}
+	err = parallelRange(ctx, sp.workers(), sp.Count, func(worker int, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			if !predBits.get(i) || (withinBits != nil && !withinBits.get(i)) {
+				continue
+			}
+			if sp.succ != nil {
+				for k, j := range sp.succRow(i) {
+					if j >= 0 && !predBits.get(int64(j)) {
+						w.offer(i, int64(k))
+						break
+					}
+				}
+				continue
+			}
+			st, tmp := scr[worker].st, scr[worker].tmp
+			sp.P.Schema.StateInto(i, st)
+			for k, a := range sp.P.Actions {
+				if !a.Guard(st) {
+					continue
+				}
+				a.ApplyInto(st, tmp)
+				if !predBits.get(sp.P.Schema.Index(tmp)) {
+					w.offer(i, int64(k))
+					break
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !w.found() {
+		return nil, nil
+	}
+	st := sp.State(w.state)
+	a := sp.P.Actions[w.extra]
+	return &ClosureViolation{Pred: pred, State: st, Action: a, Next: a.Apply(st)}, nil
 }
 
 // CheckClosure verifies the paper's closure requirement for the candidate
 // triple: both S and T closed in p. It returns the first violation found.
 func (sp *Space) CheckClosure() *ClosureViolation {
-	if v := sp.CheckClosed(sp.T, nil); v != nil {
-		return v
+	v, _ := sp.CheckClosureContext(context.Background())
+	return v
+}
+
+// CheckClosureContext is CheckClosure with cancellation.
+func (sp *Space) CheckClosureContext(ctx context.Context) (*ClosureViolation, error) {
+	if v, err := sp.CheckClosedContext(ctx, sp.T, nil); v != nil || err != nil {
+		return v, err
 	}
-	return sp.CheckClosed(sp.S, nil)
+	return sp.CheckClosedContext(ctx, sp.S, nil)
 }

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 
 	"nonmask/internal/program"
@@ -25,47 +26,79 @@ type SpanResult struct {
 // actions and the given fault actions. This mechanizes the paper's view
 // that "all classes of faults can be represented as actions that change the
 // program state" (Section 3).
+//
+// Deprecated: use Check with WithFaults, or FaultSpanContext.
 func FaultSpan(p *program.Program, faults []*program.Action, init *program.Predicate,
 	opts Options) (*SpanResult, error) {
+	return FaultSpanContext(context.Background(), p, faults, init, opts)
+}
+
+// FaultSpanContext is FaultSpan with cancellation. The initial-region scan
+// and each BFS level are sharded across opts.Workers goroutines; frontier
+// deduplication uses atomic test-and-set on the span bitset, so the
+// computed span is exact for any worker count.
+func FaultSpanContext(ctx context.Context, p *program.Program, faults []*program.Action,
+	init *program.Predicate, opts Options) (*SpanResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	count, ok := p.Schema.StateCount()
 	if !ok || count > opts.maxStates() {
 		return nil, fmt.Errorf("verify: state space too large for fault-span computation (%d states)", count)
 	}
-	inSpan := make([]bool, count)
-	var frontier []int64
-	for i := int64(0); i < count; i++ {
-		if init.Holds(p.Schema.StateAt(i)) {
-			inSpan[i] = true
-			frontier = append(frontier, i)
-		}
-	}
-	if len(frontier) == 0 {
-		return nil, fmt.Errorf("verify: initial region is empty")
-	}
 	all := make([]*program.Action, 0, len(p.Actions)+len(faults))
 	all = append(all, p.Actions...)
 	all = append(all, faults...)
-	var spanCount int64 = int64(len(frontier))
-	for len(frontier) > 0 {
-		i := frontier[len(frontier)-1]
-		frontier = frontier[:len(frontier)-1]
-		st := p.Schema.StateAt(i)
-		for _, a := range all {
-			if !a.Guard(st) {
-				continue
-			}
-			j := p.Schema.Index(a.Apply(st))
-			if !inSpan[j] {
-				inSpan[j] = true
-				spanCount++
-				frontier = append(frontier, j)
+
+	workers := opts.workers()
+	scr := newSchemaPairs(p.Schema, workers)
+	inSpan := newBitset(count)
+	lists := make([][]int64, workers)
+	err := parallelRange(ctx, workers, count, func(worker int, lo, hi int64) {
+		st := scr[worker].st
+		for i := lo; i < hi; i++ {
+			p.Schema.StateInto(i, st)
+			if init.Holds(st) {
+				inSpan.set(i)
+				lists[worker] = append(lists[worker], i)
 			}
 		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	frontier := flatten(lists)
+	if len(frontier) == 0 {
+		return nil, fmt.Errorf("verify: initial region is empty")
+	}
+	spanCount := int64(len(frontier))
+	for len(frontier) > 0 {
+		next := make([][]int64, workers)
+		err := parallelRange(ctx, workers, int64(len(frontier)), func(worker int, lo, hi int64) {
+			st, tmp := scr[worker].st, scr[worker].tmp
+			for w := lo; w < hi; w++ {
+				p.Schema.StateInto(frontier[w], st)
+				for _, a := range all {
+					if !a.Guard(st) {
+						continue
+					}
+					a.ApplyInto(st, tmp)
+					if j := p.Schema.Index(tmp); inSpan.testAndSet(j) {
+						next[worker] = append(next[worker], j)
+					}
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		frontier = flatten(next)
+		spanCount += int64(len(frontier))
 	}
 	schema := p.Schema
 	span := &program.Predicate{
 		Name: fmt.Sprintf("fault-span(%s)", init.Name),
-		Eval: func(st *program.State) bool { return inSpan[schema.Index(st)] },
+		Eval: func(st *program.State) bool { return inSpan.get(schema.Index(st)) },
 	}
 	// The span may depend on every variable; declare the full support.
 	for v := 0; v < schema.Len(); v++ {
@@ -103,10 +136,8 @@ func (c Classification) String() string {
 
 // Classify compares S and T semantically over the enumerated space.
 func (sp *Space) Classify() Classification {
-	for i := int64(0); i < sp.Count; i++ {
-		if sp.inT[i] && !sp.inS[i] {
-			return Nonmasking
-		}
+	if firstAndNot(sp.inT, sp.inS) >= 0 {
+		return Nonmasking
 	}
 	return Masking
 }

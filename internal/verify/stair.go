@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 
 	"nonmask/internal/program"
@@ -42,51 +43,65 @@ type StairStep struct {
 // internal/protocols/composed). Implications R_i ⊇ R_{i+1} are checked
 // semantically.
 func (sp *Space) CheckStair(stairs []*program.Predicate, fair bool) *StairResult {
+	res, _ := sp.CheckStairContext(context.Background(), stairs, fair)
+	return res
+}
+
+// CheckStairContext is CheckStair with cancellation. Each chain predicate
+// is evaluated once into a bitset (sharded); stage convergence runs on
+// derived spaces sharing this space's successor table, so the stage checks
+// cost no re-enumeration.
+func (sp *Space) CheckStairContext(ctx context.Context, stairs []*program.Predicate, fair bool) (*StairResult, error) {
 	chain := make([]*program.Predicate, 0, len(stairs)+2)
 	chain = append(chain, sp.T)
 	chain = append(chain, stairs...)
 	chain = append(chain, sp.S)
 
+	bits := make([]bitset, len(chain))
+	for i, pred := range chain {
+		var err error
+		if bits[i], err = sp.bitsFor(ctx, pred); err != nil {
+			return nil, err
+		}
+	}
+
 	res := &StairResult{OK: true}
 	for i := 0; i+1 < len(chain); i++ {
 		from, to := chain[i], chain[i+1]
+		fromBits, toBits := bits[i], bits[i+1]
 		step := StairStep{From: from.Name, To: to.Name, Closed: true, Converges: true}
 
 		// Subset: to ⊆ from.
-		for idx := int64(0); idx < sp.Count; idx++ {
-			st := sp.State(idx)
-			if to.Holds(st) && !from.Holds(st) {
-				step.Converges = false
-				step.Closed = false
-				step.Detail = fmt.Sprintf("stair not nested: %s holds but %s fails at %s",
-					to.Name, from.Name, st)
-				res.OK = false
-				break
-			}
+		if idx := firstAndNot(toBits, fromBits); idx >= 0 {
+			step.Converges = false
+			step.Closed = false
+			step.Detail = fmt.Sprintf("stair not nested: %s holds but %s fails at %s",
+				to.Name, from.Name, sp.State(idx))
+			res.OK = false
 		}
 		if step.Detail == "" {
 			// Closure of the stage's target.
-			if v := sp.CheckClosed(to, nil); v != nil {
+			v, err := sp.CheckClosedContext(ctx, to, nil)
+			if err != nil {
+				return nil, err
+			}
+			if v != nil {
 				step.Closed = false
 				step.Detail = v.Error()
 				res.OK = false
 			} else {
-				// Convergence from the stage's source to its target: build a
-				// stage space reusing the program, with S := to, T := from.
-				stage := &Space{
-					P: sp.P, S: to, T: from, Count: sp.Count,
-					inS: make([]bool, sp.Count), inT: make([]bool, sp.Count),
-				}
-				for idx := int64(0); idx < sp.Count; idx++ {
-					st := sp.State(idx)
-					stage.inS[idx] = to.Holds(st)
-					stage.inT[idx] = from.Holds(st)
-				}
+				// Convergence from the stage's source to its target: a stage
+				// space with S := to, T := from over the shared table.
+				stage := sp.derived(to, from, toBits, fromBits)
 				var conv *ConvergenceResult
+				var err error
 				if fair {
-					conv = stage.CheckFairConvergence()
+					conv, err = stage.CheckFairConvergenceContext(ctx)
 				} else {
-					conv = stage.CheckConvergence()
+					conv, err = stage.CheckConvergenceContext(ctx)
+				}
+				if err != nil {
+					return nil, err
 				}
 				if !conv.Converges {
 					step.Converges = false
@@ -101,7 +116,7 @@ func (sp *Space) CheckStair(stairs []*program.Predicate, fair bool) *StairResult
 		}
 		res.Steps = append(res.Steps, step)
 	}
-	return res
+	return res, nil
 }
 
 // VariantViolation describes a step on which a claimed variant function
@@ -133,30 +148,72 @@ func (v *VariantViolation) Error() string {
 // WorstDistances always qualifies; CheckVariant lets designers validate
 // hand-written, intuition-carrying variants.
 func (sp *Space) CheckVariant(variant func(*program.State) int64) *VariantViolation {
-	for i := int64(0); i < sp.Count; i++ {
-		if !sp.inT[i] || sp.inS[i] {
-			continue
-		}
-		st := sp.State(i)
-		before := variant(st)
-		if before < 0 {
-			return &VariantViolation{State: st, Before: before, After: before,
-				Action: &program.Action{Name: "(negative variant)"}}
-		}
-		for _, a := range sp.P.Actions {
-			if !a.Guard(st) {
+	v, _ := sp.CheckVariantContext(context.Background(), variant)
+	return v
+}
+
+// CheckVariantContext is CheckVariant with cancellation and a sharded
+// region scan. The variant function is called concurrently and must be
+// pure, like guards and predicate bodies. The reported violation is the
+// one at the lowest state index regardless of worker count.
+func (sp *Space) CheckVariantContext(ctx context.Context, variant func(*program.State) int64) (*VariantViolation, error) {
+	const negative = -1 // witness payload for a negative variant value
+	w := newWitness()
+	scr := sp.newStatePairs()
+	err := parallelRange(ctx, sp.workers(), sp.Count, func(worker int, lo, hi int64) {
+		st, tmp := scr[worker].st, scr[worker].tmp
+		for i := lo; i < hi; i++ {
+			if !sp.region(i) {
 				continue
 			}
-			next := a.Apply(st)
-			j := sp.P.Schema.Index(next)
-			if sp.inS[j] {
+			sp.P.Schema.StateInto(i, st)
+			before := variant(st)
+			if before < 0 {
+				w.offer(i, negative)
 				continue
 			}
-			if after := variant(next); after >= before {
-				return &VariantViolation{State: st, Action: a, Next: next,
-					Before: before, After: after}
+			if sp.succ != nil {
+				for k, j := range sp.succRow(i) {
+					if j < 0 || sp.inS.get(int64(j)) {
+						continue
+					}
+					sp.P.Schema.StateInto(int64(j), tmp)
+					if variant(tmp) >= before {
+						w.offer(i, int64(k))
+						break
+					}
+				}
+				continue
+			}
+			for k, a := range sp.P.Actions {
+				if !a.Guard(st) {
+					continue
+				}
+				a.ApplyInto(st, tmp)
+				if sp.inS.get(sp.P.Schema.Index(tmp)) {
+					continue
+				}
+				if variant(tmp) >= before {
+					w.offer(i, int64(k))
+					break
+				}
 			}
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	return nil
+	if !w.found() {
+		return nil, nil
+	}
+	st := sp.State(w.state)
+	before := variant(st)
+	if w.extra == negative {
+		return &VariantViolation{State: st, Before: before, After: before,
+			Action: &program.Action{Name: "(negative variant)"}}, nil
+	}
+	a := sp.P.Actions[w.extra]
+	next := a.Apply(st)
+	return &VariantViolation{State: st, Action: a, Next: next,
+		Before: before, After: variant(next)}, nil
 }

@@ -124,8 +124,13 @@ var (
 
 // Verification (internal/verify).
 type (
-	// VerifyOptions bounds state-space enumeration.
+	// VerifyOptions configures the checker: state cap, worker count,
+	// strategy, deadline.
 	VerifyOptions = verify.Options
+	// VerifyOption is a functional option for Check.
+	VerifyOption = verify.Option
+	// Report bundles everything Check decides about a candidate triple.
+	Report = verify.Report
 	// Space is an enumerated state space with S/T membership.
 	Space = verify.Space
 	// ConvergenceResult reports a convergence verdict with witnesses.
@@ -156,14 +161,38 @@ const (
 
 // Verification entry points.
 var (
+	// Check is the unified verification entry point: enumeration, closure,
+	// convergence under both daemons, and classification in one call,
+	// configured by functional options and cancellable by context.
+	Check = verify.Check
+	// WithWorkers shards the checker's passes across n goroutines.
+	WithWorkers = verify.WithWorkers
+	// WithMaxStates caps the enumerated state space.
+	WithMaxStates = verify.WithMaxStates
+	// WithStrategy records the preservation strategy on the report.
+	WithStrategy = verify.WithStrategy
+	// WithDeadline bounds the wall-clock time of a Check call.
+	WithDeadline = verify.WithDeadline
+	// WithFaults makes Check compute the fault-span of the given fault
+	// actions and use it as T.
+	WithFaults = verify.WithFaults
+
 	// NewSpace enumerates a program's state space.
+	//
+	// Deprecated: use Check.
 	NewSpace = verify.NewSpace
 	// CheckPreserves decides preservation exhaustively.
+	//
+	// Deprecated: use verify.CheckPreservesContext.
 	CheckPreserves = verify.CheckPreserves
 	// CheckPreservesProjected decides preservation over footprints.
+	//
+	// Deprecated: use verify.CheckPreservesProjectedContext.
 	CheckPreservesProjected = verify.CheckPreservesProjected
 	// FaultSpan computes the reachable closure under program and fault
 	// actions.
+	//
+	// Deprecated: use Check with WithFaults.
 	FaultSpan = verify.FaultSpan
 )
 
