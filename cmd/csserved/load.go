@@ -1,0 +1,158 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"nonmask/internal/metrics"
+	"nonmask/internal/protocols/registry"
+	"nonmask/internal/service"
+	"nonmask/internal/service/client"
+)
+
+// loadMix is the self-benchmark's workload: a handful of distinct
+// instances cycled by every client, so after the first lap almost every
+// submission is a cache hit — the mixed cached/uncached profile a shared
+// verification service sees in practice.
+var loadMix = []service.JobSpec{
+	{Protocol: "tokenring-ring", Params: registry.Params{N: 3, K: 5}},
+	{Protocol: "tokenring-path", Params: registry.Params{N: 3, K: 5}},
+	{Protocol: "threestate", Params: registry.Params{N: 5}},
+	{Protocol: "fourstate", Params: registry.Params{N: 4}},
+	{Protocol: "diffusing", Params: registry.Params{N: 5, Tree: "binary"}},
+	{Protocol: "xyz", Params: registry.Params{Variant: "out-tree"}},
+	{Protocol: "composed", Params: registry.Params{N: 3, Graph: "line"}},
+}
+
+// runLoad starts an in-process server on a loopback port and hammers it
+// with jobs concurrent submissions from clients goroutines, then prints
+// latency and counter tables. It exercises the same HTTP path as external
+// traffic (real sockets, JSON both ways).
+func runLoad(cfg service.Config, jobs, clients int) error {
+	if jobs <= 0 || clients <= 0 {
+		return fmt.Errorf("load mode needs positive -load-jobs and -load-clients")
+	}
+	svc := service.New(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	fmt.Printf("csserved -load: %d jobs, %d clients, mix of %d instances, queue %d, executors %d\n",
+		jobs, clients, len(loadMix), cfg.QueueSize, cfg.Executors)
+
+	var (
+		mu        sync.Mutex
+		submitMS  []float64 // submit round trip (admission or cache hit)
+		totalMS   []float64 // submit → terminal state
+		hits      int
+		retries   int
+		failures  []string
+		wg        sync.WaitGroup
+		next      = make(chan int)
+		transport = &http.Transport{MaxIdleConnsPerHost: clients}
+	)
+	go func() {
+		for i := 0; i < jobs; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := client.New(ts.URL, &http.Client{Transport: transport})
+			ctx := context.Background()
+			for i := range next {
+				spec := loadMix[i%len(loadMix)]
+				t0 := time.Now()
+				st, err := c.Submit(ctx, spec)
+				if apiErr, ok := err.(*client.APIError); ok && apiErr.IsRetryable() {
+					// Queue full: back off and resubmit — the client-side
+					// half of the admission-control contract.
+					mu.Lock()
+					retries++
+					mu.Unlock()
+					time.Sleep(5 * time.Millisecond)
+					st, err = c.Submit(ctx, spec)
+				}
+				if err != nil {
+					mu.Lock()
+					failures = append(failures, err.Error())
+					mu.Unlock()
+					continue
+				}
+				submitted := time.Since(t0)
+				if st.State != service.StateDone {
+					st, err = c.Wait(ctx, st.ID)
+				}
+				total := time.Since(t0)
+				mu.Lock()
+				submitMS = append(submitMS, float64(submitted.Microseconds())/1000)
+				totalMS = append(totalMS, float64(total.Microseconds())/1000)
+				if st.Cached {
+					hits++
+				}
+				if err != nil || st.State != service.StateDone {
+					failures = append(failures, fmt.Sprintf("job %s: state %s err %v", st.ID, st.State, err))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain after load: %w", err)
+	}
+
+	sub := metrics.Summarize(submitMS)
+	tot := metrics.Summarize(totalMS)
+	check := svc.Metrics().LatencySummary()
+	tbl := metrics.NewTable(
+		fmt.Sprintf("latency (ms) — %d jobs in %v (%.0f jobs/s)",
+			len(totalMS), elapsed.Round(time.Millisecond), float64(len(totalMS))/elapsed.Seconds()),
+		"path", "n", "min", "median", "mean", "p95", "p99", "max")
+	row := func(name string, s metrics.Summary) {
+		tbl.AddRow(name, fmt.Sprint(s.N),
+			fmt.Sprintf("%.3f", s.Min), fmt.Sprintf("%.3f", s.Median), fmt.Sprintf("%.3f", s.Mean),
+			fmt.Sprintf("%.3f", s.P95), fmt.Sprintf("%.3f", s.P99), fmt.Sprintf("%.3f", s.Max))
+	}
+	row("submit", sub)
+	row("submit+wait", tot)
+	row("check (server)", metrics.Summary{
+		N: check.N, Min: check.Min * 1000, Max: check.Max * 1000, Mean: check.Mean * 1000,
+		Std: check.Std * 1000, Median: check.Median * 1000, P95: check.P95 * 1000, P99: check.P99 * 1000,
+	})
+	tbl.Note("%d/%d cache hits, %d retries after 429, %d failures",
+		hits, len(totalMS), retries, len(failures))
+	fmt.Print(tbl.String())
+
+	m := svc.Metrics()
+	counters := metrics.NewTable("server counters",
+		"submitted", "completed", "failed", "canceled", "rejected", "cache hits", "cache misses")
+	counters.AddRow(
+		fmt.Sprint(m.Submitted.Load()), fmt.Sprint(m.Completed.Load()), fmt.Sprint(m.Failed.Load()),
+		fmt.Sprint(m.Canceled.Load()), fmt.Sprint(m.Rejected.Load()),
+		fmt.Sprint(m.CacheHits.Load()), fmt.Sprint(m.CacheMisses.Load()))
+	fmt.Print(counters.String())
+
+	if len(failures) > 0 {
+		for i, f := range failures {
+			if i >= 5 {
+				fmt.Printf("... and %d more failures\n", len(failures)-5)
+				break
+			}
+			fmt.Println("failure:", f)
+		}
+		return fmt.Errorf("%d of %d jobs failed", len(failures), jobs)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+// Command csserved serves verification jobs over HTTP: GCL sources or
+// named built-in protocol instances are compiled, queued, model-checked
+// through verify.Check, and content-address cached, so repeated
+// submissions of the same instance are answered in microseconds.
+//
+// Usage:
+//
+//	csserved                                  # serve on 127.0.0.1:8080
+//	csserved -addr :9090 -queue 128 -executors 8
+//	csserved -load -load-jobs 200 -load-clients 8   # self-benchmark
+//
+// Endpoints: POST /v1/jobs, GET /v1/jobs/{id}[?wait=2s],
+// DELETE /v1/jobs/{id}, GET /v1/protocols, GET /healthz, GET /metrics.
+//
+// SIGINT/SIGTERM drain gracefully: new submissions get 503, queued jobs
+// are canceled, in-flight checks finish (up to -drain-timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nonmask/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		queueSize    = flag.Int("queue", 64, "job queue bound; submissions beyond it get 429")
+		executors    = flag.Int("executors", 4, "concurrent check executors")
+		checkWorkers = flag.Int("check-workers", 0, "default verify workers per check (0 = all CPUs)")
+		maxStates    = flag.Int64("max-states", 0, "default state-space cap (0 = verify default)")
+		maxDeadline  = flag.Duration("max-deadline", 60*time.Second, "per-job wall-clock budget cap")
+		cacheSize    = flag.Int("cache", 1024, "content-addressed result cache entries")
+		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight checks")
+
+		load        = flag.Bool("load", false, "self-benchmark: hammer an in-process server and print a latency table")
+		loadJobs    = flag.Int("load-jobs", 200, "load mode: total submissions")
+		loadClients = flag.Int("load-clients", 8, "load mode: concurrent clients")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		QueueSize:    *queueSize,
+		Executors:    *executors,
+		CheckWorkers: *checkWorkers,
+		MaxStates:    *maxStates,
+		MaxDeadline:  *maxDeadline,
+		CacheSize:    *cacheSize,
+	}
+
+	if *load {
+		if err := runLoad(cfg, *loadJobs, *loadClients); err != nil {
+			fmt.Fprintln(os.Stderr, "csserved:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := serve(*addr, cfg, *drainWait); err != nil {
+		fmt.Fprintln(os.Stderr, "csserved:", err)
+		os.Exit(1)
+	}
+}
+
+func serve(addr string, cfg service.Config, drainWait time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	svc := service.New(cfg)
+	httpSrv := &http.Server{Handler: svc.Handler()}
+
+	// The bound address line is load-bearing: the CI smoke test (and any
+	// script using port 0) scrapes the port from it.
+	fmt.Printf("csserved: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("csserved: draining (queued jobs canceled, in-flight checks finishing)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	// Drain the job queue first so in-flight checks finish, then close the
+	// HTTP side (which waits for response writers).
+	svcErr := svc.Shutdown(drainCtx)
+	httpErr := httpSrv.Shutdown(drainCtx)
+	if svcErr != nil {
+		return fmt.Errorf("drain: %w", svcErr)
+	}
+	if httpErr != nil && !errors.Is(httpErr, http.ErrServerClosed) {
+		return fmt.Errorf("http shutdown: %w", httpErr)
+	}
+	fmt.Println("csserved: drained, bye")
+	return nil
+}

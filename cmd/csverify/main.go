@@ -3,6 +3,10 @@
 // the design, the exact closure/convergence verdicts under arbitrary and
 // weakly fair daemons, and the masking/nonmasking classification.
 //
+// Instances come from the shared catalog in internal/protocols/registry —
+// the same catalog csserved serves over HTTP — so `csverify -protocol X`
+// and `POST /v1/jobs {"protocol":"X"}` check the identical program.
+//
 // Usage:
 //
 //	csverify -protocol diffusing -n 7
@@ -10,204 +14,74 @@
 //	csverify -protocol tokenring-ring -n 4 -k 6
 //	csverify -protocol spanningtree -n 4 -graph complete
 //	csverify -protocol xyz -variant out-tree
-//	csverify -protocol reset -n 4
-//	csverify -protocol termination -n 5
-//	csverify -protocol snapshot -n 4
-//	csverify -protocol threestate -n 5
-//	csverify -protocol fourstate -n 5
 //	csverify -protocol composed -n 4 -graph ring
+//	csverify -protocol threestate -n 5 -json
+//	csverify -list
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"nonmask/internal/core"
-	"nonmask/internal/program"
-	"nonmask/internal/protocols/composed"
-	"nonmask/internal/protocols/diffusing"
-	"nonmask/internal/protocols/fourstate"
-	"nonmask/internal/protocols/reset"
-	"nonmask/internal/protocols/snapshot"
-	"nonmask/internal/protocols/spanningtree"
-	"nonmask/internal/protocols/termination"
-	"nonmask/internal/protocols/threestate"
-	"nonmask/internal/protocols/tokenring"
-	"nonmask/internal/protocols/xyz"
+	"nonmask/internal/protocols/registry"
+	"nonmask/internal/service"
 	"nonmask/internal/verify"
 )
 
 func main() {
 	var (
-		protocol  = flag.String("protocol", "diffusing", "protocol: diffusing | tokenring-path | tokenring-ring | threestate | fourstate | spanningtree | composed | xyz | reset | termination | snapshot")
+		protocol  = flag.String("protocol", "diffusing", "protocol name (see -list): "+strings.Join(registry.Names(), " | "))
 		n         = flag.Int("n", 5, "instance size (nodes; ring/path: highest index)")
 		k         = flag.Int("k", 0, "counter domain size for token rings (default n+2)")
 		tree      = flag.String("tree", "binary", "tree shape for tree protocols: chain | star | binary | random")
-		graphStr  = flag.String("graph", "line", "graph for spanningtree: line | ring | complete | grid")
+		graphStr  = flag.String("graph", "line", "graph for graph protocols: line | ring | complete | grid")
 		variant   = flag.String("variant", "out-tree", "xyz variant: interfering | out-tree | ordered")
 		seed      = flag.Int64("seed", 1, "seed for random topologies")
 		strategy  = flag.String("strategy", "projected", "preservation strategy: projected | exhaustive")
 		workers   = flag.Int("workers", 0, "goroutines sharding the checker's passes (0 = all CPUs, 1 = sequential)")
 		maxStates = flag.Int64("max-states", 0, fmt.Sprintf("state-space cap (0 = default %d)", verify.DefaultMaxStates))
+		jsonOut   = flag.Bool("json", false, "emit the machine-readable service.Result JSON instead of prose")
+		list      = flag.Bool("list", false, "list the protocol catalog and exit")
 	)
 	flag.Parse()
 
+	if *list {
+		for _, e := range registry.Entries() {
+			fmt.Printf("%-16s %s (defaults: %s)\n", e.Name, e.Description, e.Normalize(registry.Params{}))
+		}
+		return
+	}
+
 	opts := verify.Options{Workers: *workers, MaxStates: *maxStates}
-	if err := run(*protocol, *n, *k, *tree, *graphStr, *variant, *seed, *strategy, opts); err != nil {
+	if *strategy == "exhaustive" {
+		opts.Strategy = verify.Exhaustive
+	} else {
+		opts.Strategy = verify.Projected
+	}
+	params := registry.Params{N: *n, K: *k, Tree: *tree, Graph: *graphStr, Variant: *variant, Seed: *seed}
+	if err := run(*protocol, params, opts, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "csverify:", err)
 		os.Exit(1)
 	}
 }
 
-func pickTree(shape string, n int, seed int64) (diffusing.Tree, error) {
-	switch shape {
-	case "chain":
-		return diffusing.Chain(n), nil
-	case "star":
-		return diffusing.Star(n), nil
-	case "binary":
-		return diffusing.Binary(n), nil
-	case "random":
-		return diffusing.Random(n, seed), nil
-	default:
-		return diffusing.Tree{}, fmt.Errorf("unknown tree shape %q", shape)
+func run(protocol string, params registry.Params, opts verify.Options, jsonOut bool) error {
+	inst, err := registry.Build(protocol, params)
+	if err != nil {
+		return err
 	}
-}
-
-func run(protocol string, n, k int, tree, graphStr, variant string, seed int64, strategy string, opts verify.Options) error {
-	strat := verify.Projected
-	if strategy == "exhaustive" {
-		strat = verify.Exhaustive
+	if jsonOut {
+		return verifyJSON(inst, opts)
 	}
-	opts.Strategy = strat
-	if k == 0 {
-		k = n + 2
+	if inst.Design != nil {
+		return verifyDesign(inst.Design, opts)
 	}
-
-	var design *core.Design
-	switch protocol {
-	case "diffusing":
-		tr, err := pickTree(tree, n, seed)
-		if err != nil {
-			return err
-		}
-		inst, err := diffusing.New(tr)
-		if err != nil {
-			return err
-		}
-		design = inst.Design
-	case "tokenring-path":
-		inst, err := tokenring.NewPath(n, k)
-		if err != nil {
-			return err
-		}
-		design = inst.Design
-	case "tokenring-ring":
-		return verifyRing(n, k, opts)
-	case "spanningtree":
-		var g spanningtree.Graph
-		switch graphStr {
-		case "line":
-			g = spanningtree.Line(n)
-		case "ring":
-			g = spanningtree.Ring(n)
-		case "complete":
-			g = spanningtree.Complete(n)
-		case "grid":
-			g = spanningtree.Grid(n, n)
-		default:
-			return fmt.Errorf("unknown graph %q", graphStr)
-		}
-		inst, err := spanningtree.New(g)
-		if err != nil {
-			return err
-		}
-		design = inst.Design
-	case "xyz":
-		var v xyz.Variant
-		switch variant {
-		case "interfering":
-			v = xyz.Interfering
-		case "out-tree":
-			v = xyz.OutTree
-		case "ordered":
-			v = xyz.Ordered
-		default:
-			return fmt.Errorf("unknown xyz variant %q", variant)
-		}
-		inst, err := xyz.New(v)
-		if err != nil {
-			return err
-		}
-		design = inst.Design
-	case "reset":
-		tr, err := pickTree(tree, n, seed)
-		if err != nil {
-			return err
-		}
-		inst, err := reset.New(tr)
-		if err != nil {
-			return err
-		}
-		design = inst.Design
-	case "termination":
-		tr, err := pickTree(tree, n, seed)
-		if err != nil {
-			return err
-		}
-		inst, err := termination.New(tr)
-		if err != nil {
-			return err
-		}
-		design = inst.Design
-	case "snapshot":
-		tr, err := pickTree(tree, n, seed)
-		if err != nil {
-			return err
-		}
-		inst, err := snapshot.New(tr)
-		if err != nil {
-			return err
-		}
-		design = inst.Design
-	case "threestate":
-		inst, err := threestate.New(n)
-		if err != nil {
-			return err
-		}
-		return verifyPlain(inst.P, inst.S, opts)
-	case "fourstate":
-		inst, err := fourstate.New(n)
-		if err != nil {
-			return err
-		}
-		return verifyPlain(inst.P, inst.S, opts)
-	case "composed":
-		var g spanningtree.Graph
-		switch graphStr {
-		case "line":
-			g = spanningtree.Line(n)
-		case "ring":
-			g = spanningtree.Ring(n)
-		case "complete":
-			g = spanningtree.Complete(n)
-		case "grid":
-			g = spanningtree.Grid(n, n)
-		default:
-			return fmt.Errorf("unknown graph %q", graphStr)
-		}
-		inst, err := composed.New(g)
-		if err != nil {
-			return err
-		}
-		return verifyComposed(inst, opts)
-	default:
-		return fmt.Errorf("unknown protocol %q", protocol)
-	}
-
-	return verifyDesign(design, opts)
+	return verifyPlain(inst, opts)
 }
 
 // effectiveCap resolves the zero-means-default convention for the
@@ -217,6 +91,22 @@ func effectiveCap(opts verify.Options) int64 {
 		return opts.MaxStates
 	}
 	return verify.DefaultMaxStates
+}
+
+// verifyJSON checks the instance and emits the same service.Result wire
+// encoding csserved returns, so scripts can consume one format from both.
+func verifyJSON(inst *registry.Instance, opts verify.Options) error {
+	count, ok := inst.Program.Schema.StateCount()
+	if !ok || count > effectiveCap(opts) {
+		return fmt.Errorf("state space too large to enumerate (%d states)", count)
+	}
+	rep, err := verify.Check(context.Background(), inst.Program, inst.S, inst.T, verify.WithOptions(opts))
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(service.ResultFromReport(inst.Name, rep))
 }
 
 func verifyDesign(d *core.Design, opts verify.Options) error {
@@ -271,69 +161,48 @@ func verifyDesign(d *core.Design, opts verify.Options) error {
 	return nil
 }
 
-// verifyRing handles the mod-K ring, which is a plain program with an
-// invariant rather than a layered design.
-func verifyRing(n, k int, opts verify.Options) error {
-	inst, err := tokenring.NewRing(n, k)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("program %s: %d nodes, K=%d\n", inst.P.Name, n+1, k)
-	return verifyPlain(inst.P, inst.S, opts)
-}
-
-// verifyPlain model-checks a plain program against its invariant through
-// the unified Check entry point.
-func verifyPlain(p *program.Program, S *program.Predicate, opts verify.Options) error {
-	count, ok := p.Schema.StateCount()
+// verifyPlain model-checks a plain instance (no layered design) through
+// the unified Check entry point, adding the convergence-stair report for
+// instances that declare one (the composed protocol).
+func verifyPlain(inst *registry.Instance, opts verify.Options) error {
+	count, ok := inst.Program.Schema.StateCount()
 	if !ok || count > effectiveCap(opts) {
 		return fmt.Errorf("state space too large to enumerate (%d states)", count)
 	}
-	rep, err := verify.Check(context.Background(), p, S, nil, verify.WithOptions(opts))
+	ctx := context.Background()
+	rep, err := verify.Check(ctx, inst.Program, inst.S, inst.T, verify.WithOptions(opts))
 	if err != nil {
 		return err
 	}
+	fmt.Printf("program %s: %d states\n", inst.Name, count)
 	if rep.Closure != nil {
 		fmt.Printf("closure: VIOLATED — %v\n", rep.Closure)
 	} else {
 		fmt.Println("closure: S closed")
 	}
 	fmt.Printf("convergence: %s\n", rep.Unfair.Summary())
-	if rep.Fair != nil {
-		fmt.Printf("fair convergence: %s\n", rep.Fair.Summary())
-	}
-	fmt.Printf("checked %d states in %v (workers=%d)\n", count, rep.Elapsed, rep.Options.Workers)
-	return nil
-}
-
-// verifyComposed reports the composition's two-daemon story and its stair.
-func verifyComposed(inst *composed.Instance, opts verify.Options) error {
-	count, ok := inst.P.Schema.StateCount()
-	if !ok || count > effectiveCap(opts) {
-		return fmt.Errorf("state space too large to enumerate (%d states)", count)
-	}
-	ctx := context.Background()
-	rep, err := verify.Check(ctx, inst.P, inst.S, nil, verify.WithOptions(opts))
-	if err != nil {
-		return err
-	}
-	fmt.Printf("program %s: %d states\n", inst.P.Name, count)
-	fmt.Printf("convergence (arbitrary daemon): %s\n", rep.Unfair.Summary())
 	fair := rep.Fair
-	if fair == nil {
+	if len(inst.Stair) > 0 && fair == nil {
+		// The stair report below speaks about the fair daemon; compute its
+		// verdict even when the arbitrary daemon already converges.
 		if fair, err = rep.Space.CheckFairConvergenceContext(ctx); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("convergence (weakly fair daemon): %s\n", fair.Summary())
-	stair, err := rep.Space.CheckStairContext(ctx, []*program.Predicate{inst.TreeOK}, true)
-	if err != nil {
-		return err
+	if fair != nil {
+		fmt.Printf("fair convergence: %s\n", fair.Summary())
 	}
-	fmt.Printf("convergence stair (true -> tree -> S, fair): ok=%v\n", stair.OK)
-	for _, step := range stair.Steps {
-		fmt.Printf("  %s -> %s: closed=%v converges=%v %s\n",
-			step.From, step.To, step.Closed, step.Converges, step.Detail)
+	if len(inst.Stair) > 0 {
+		stair, err := rep.Space.CheckStairContext(ctx, inst.Stair, true)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("convergence stair (true -> ... -> S, fair): ok=%v\n", stair.OK)
+		for _, step := range stair.Steps {
+			fmt.Printf("  %s -> %s: closed=%v converges=%v %s\n",
+				step.From, step.To, step.Closed, step.Converges, step.Detail)
+		}
 	}
+	fmt.Printf("checked %d states in %v (workers=%d)\n", count, rep.Elapsed, rep.Options.Workers)
 	return nil
 }

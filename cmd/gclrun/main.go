@@ -9,16 +9,19 @@
 //	gclrun testdata/diffusing.gcl
 //	gclrun -print testdata/tokenring.gcl      # pretty-print only
 //	gclrun -strategy exhaustive file.gcl
+//	gclrun -workers 1 -max-states 1000000 file.gcl
+//	gclrun -json file.gcl                     # service.Result JSON
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"nonmask/internal/gcl"
-	"nonmask/internal/program"
+	"nonmask/internal/service"
 	"nonmask/internal/verify"
 )
 
@@ -26,19 +29,36 @@ func main() {
 	var (
 		printOnly = flag.Bool("print", false, "parse and pretty-print, then exit")
 		strategy  = flag.String("strategy", "projected", "preservation strategy: projected | exhaustive")
+		workers   = flag.Int("workers", 0, "goroutines sharding the checker's passes (0 = all CPUs, 1 = sequential)")
+		maxStates = flag.Int64("max-states", 0, fmt.Sprintf("state-space cap (0 = default %d)", verify.DefaultMaxStates))
+		jsonOut   = flag.Bool("json", false, "emit the machine-readable service.Result JSON instead of prose")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: gclrun [-print] [-strategy s] <file.gcl>")
+		fmt.Fprintln(os.Stderr, "usage: gclrun [-print] [-json] [-strategy s] [-workers n] [-max-states n] <file.gcl>")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *printOnly, *strategy); err != nil {
+	opts := verify.Options{Workers: *workers, MaxStates: *maxStates}
+	if *strategy == "exhaustive" {
+		opts.Strategy = verify.Exhaustive
+	} else {
+		opts.Strategy = verify.Projected
+	}
+	if err := run(flag.Arg(0), *printOnly, *jsonOut, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "gclrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, printOnly bool, strategy string) error {
+// effectiveCap resolves the zero-means-default state cap.
+func effectiveCap(opts verify.Options) int64 {
+	if opts.MaxStates > 0 {
+		return opts.MaxStates
+	}
+	return verify.DefaultMaxStates
+}
+
+func run(path string, printOnly, jsonOut bool, opts verify.Options) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -56,6 +76,20 @@ func run(path string, printOnly bool, strategy string) error {
 		return err
 	}
 
+	if jsonOut {
+		count, ok := m.Schema.StateCount()
+		if !ok || count > effectiveCap(opts) {
+			return fmt.Errorf("state space too large to enumerate (%d states)", count)
+		}
+		rep, err := verify.Check(context.Background(), m.Program, m.S, m.T, verify.WithOptions(opts))
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(service.ResultFromReport(m.Name, rep))
+	}
+
 	fmt.Printf("program %s: %d variables, %d actions, %d constraints\n",
 		m.Name, m.Schema.Len(), len(m.Program.Actions), m.Set.Len())
 	fmt.Print(m.Program.DescribeActions())
@@ -64,12 +98,8 @@ func run(path string, printOnly bool, strategy string) error {
 		fmt.Println("\nno complete invariant/convergence pairing (add 'establishes' clauses);")
 		fmt.Println("skipping theorem validation")
 	} else {
-		strat := verify.Projected
-		if strategy == "exhaustive" {
-			strat = verify.Exhaustive
-		}
 		fmt.Println("\n=== theorem validation ===")
-		applicable, all, err := m.Design.Validate(strat, verify.Options{})
+		applicable, all, err := m.Design.Validate(opts.Strategy, opts)
 		if err != nil {
 			return err
 		}
@@ -88,12 +118,12 @@ func run(path string, printOnly bool, strategy string) error {
 	}
 
 	count, ok := m.Schema.StateCount()
-	if !ok || count > verify.DefaultMaxStates {
+	if !ok || count > effectiveCap(opts) {
 		fmt.Printf("\nstate space too large to enumerate (%d states); stopping at validation\n", count)
 		return nil
 	}
 	fmt.Println("\n=== exact model checking ===")
-	rep, err := verify.Check(context.Background(), m.Program, m.S, m.T)
+	rep, err := verify.Check(context.Background(), m.Program, m.S, m.T, verify.WithOptions(opts))
 	if err != nil {
 		return err
 	}
@@ -107,6 +137,6 @@ func run(path string, printOnly bool, strategy string) error {
 	if rep.Fair != nil {
 		fmt.Printf("fair convergence: %s\n", rep.Fair.Summary())
 	}
-	_ = program.True()
+	fmt.Printf("checked %d states in %v (workers=%d)\n", count, rep.Elapsed, rep.Options.Workers)
 	return nil
 }

@@ -1,0 +1,446 @@
+// Package registry is the shared catalog of built-in protocol instances.
+// It factors the construction switch that used to live in cmd/csverify into
+// one table that the CLI and the verification service (internal/service)
+// both consult, so a protocol added here is immediately checkable from the
+// command line, servable over HTTP, and listable in GET /v1/protocols.
+//
+// Every entry normalizes its parameters (defaults filled in, unused fields
+// zeroed) before building, which gives the service a canonical parameter
+// vector to content-address results by: two requests that differ only in
+// irrelevant or defaulted parameters hash to the same cache key.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"nonmask/internal/core"
+	"nonmask/internal/program"
+	"nonmask/internal/protocols/composed"
+	"nonmask/internal/protocols/diffusing"
+	"nonmask/internal/protocols/fourstate"
+	"nonmask/internal/protocols/reset"
+	"nonmask/internal/protocols/snapshot"
+	"nonmask/internal/protocols/spanningtree"
+	"nonmask/internal/protocols/termination"
+	"nonmask/internal/protocols/threestate"
+	"nonmask/internal/protocols/tokenring"
+	"nonmask/internal/protocols/xyz"
+)
+
+// Params is the instance-size parameter vector shared by every catalog
+// entry. Each protocol reads the fields it cares about; Normalize zeroes
+// the rest so that a Params value is canonical for caching.
+type Params struct {
+	// N is the instance size (nodes; for rings/paths the highest index).
+	N int `json:"n,omitempty"`
+	// K is the counter domain size for token rings (0 means N+2).
+	K int `json:"k,omitempty"`
+	// Tree is the tree shape for tree protocols: chain | star | binary | random.
+	Tree string `json:"tree,omitempty"`
+	// Graph is the topology for graph protocols: line | ring | complete | grid.
+	Graph string `json:"graph,omitempty"`
+	// Variant selects a protocol variant (xyz: interfering | out-tree | ordered).
+	Variant string `json:"variant,omitempty"`
+	// Seed drives random topologies (tree == "random").
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// String renders the canonical textual form used in cache keys and
+// listings: fixed field order, zero-valued fields omitted.
+func (p Params) String() string {
+	s := ""
+	app := func(format string, v interface{}) {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf(format, v)
+	}
+	if p.N != 0 {
+		app("n=%d", p.N)
+	}
+	if p.K != 0 {
+		app("k=%d", p.K)
+	}
+	if p.Tree != "" {
+		app("tree=%s", p.Tree)
+	}
+	if p.Graph != "" {
+		app("graph=%s", p.Graph)
+	}
+	if p.Variant != "" {
+		app("variant=%s", p.Variant)
+	}
+	if p.Seed != 0 {
+		app("seed=%d", p.Seed)
+	}
+	return s
+}
+
+// Instance is a built protocol instance reduced to the checkable triple
+// the unified verify.Check entry point wants, plus the richer structures
+// the CLI uses when they exist.
+type Instance struct {
+	// Name is the instance-qualified program name (e.g. "tokenring-ring(N=4,K=6)").
+	Name string
+	// Program is the program to check (for layered designs, p ∪ q).
+	Program *program.Program
+	// S is the invariant.
+	S *program.Predicate
+	// T is the fault-span; nil means true (stabilizing instance).
+	T *program.Predicate
+	// Design is the layered candidate triple when the protocol is built
+	// with the paper's design method, nil for plain programs; the CLI uses
+	// it for theorem validation.
+	Design *core.Design
+	// Stair lists intermediate predicates of a convergence stair
+	// (true -> Stair... -> S) for protocols that have one, outermost first.
+	Stair []*program.Predicate
+}
+
+// Entry describes one catalog protocol.
+type Entry struct {
+	// Name is the catalog key (what csverify -protocol and the service's
+	// job spec "protocol" field accept).
+	Name string
+	// Description is a one-line human summary for listings.
+	Description string
+	// Normalize fills defaults into used fields and zeroes unused ones.
+	Normalize func(Params) Params
+	// Build constructs the instance from normalized parameters.
+	Build func(Params) (*Instance, error)
+}
+
+// fromDesign adapts a layered design to an Instance.
+func fromDesign(d *core.Design) *Instance {
+	return &Instance{
+		Name:    d.Name,
+		Program: d.TolerantProgram(),
+		S:       d.S,
+		T:       d.T,
+		Design:  d,
+	}
+}
+
+// PickTree resolves a tree-shape name for tree protocols; it is exported
+// so front ends can build trees for protocol constructors not yet in the
+// catalog.
+func PickTree(shape string, n int, seed int64) (diffusing.Tree, error) {
+	switch shape {
+	case "chain":
+		return diffusing.Chain(n), nil
+	case "star":
+		return diffusing.Star(n), nil
+	case "binary":
+		return diffusing.Binary(n), nil
+	case "random":
+		return diffusing.Random(n, seed), nil
+	default:
+		return diffusing.Tree{}, fmt.Errorf("unknown tree shape %q (want chain | star | binary | random)", shape)
+	}
+}
+
+// PickGraph resolves a topology name for graph protocols.
+func PickGraph(name string, n int) (spanningtree.Graph, error) {
+	switch name {
+	case "line":
+		return spanningtree.Line(n), nil
+	case "ring":
+		return spanningtree.Ring(n), nil
+	case "complete":
+		return spanningtree.Complete(n), nil
+	case "grid":
+		return spanningtree.Grid(n, n), nil
+	default:
+		return spanningtree.Graph{}, fmt.Errorf("unknown graph %q (want line | ring | complete | grid)", name)
+	}
+}
+
+// Parameter normalizers. Each fills defaults for the fields its protocols
+// read and zeroes everything else, making the result canonical.
+
+func normTree(defaultN int) func(Params) Params {
+	return func(p Params) Params {
+		out := Params{N: p.N, Tree: p.Tree, Seed: p.Seed}
+		if out.N == 0 {
+			out.N = defaultN
+		}
+		if out.Tree == "" {
+			out.Tree = "binary"
+		}
+		if out.Tree != "random" {
+			out.Seed = 0
+		} else if out.Seed == 0 {
+			out.Seed = 1
+		}
+		return out
+	}
+}
+
+func normRing(defaultN int) func(Params) Params {
+	return func(p Params) Params {
+		out := Params{N: p.N, K: p.K}
+		if out.N == 0 {
+			out.N = defaultN
+		}
+		if out.K == 0 {
+			out.K = out.N + 2
+		}
+		return out
+	}
+}
+
+func normN(defaultN int) func(Params) Params {
+	return func(p Params) Params {
+		out := Params{N: p.N}
+		if out.N == 0 {
+			out.N = defaultN
+		}
+		return out
+	}
+}
+
+func normGraph(defaultN int) func(Params) Params {
+	return func(p Params) Params {
+		out := Params{N: p.N, Graph: p.Graph}
+		if out.N == 0 {
+			out.N = defaultN
+		}
+		if out.Graph == "" {
+			out.Graph = "line"
+		}
+		return out
+	}
+}
+
+func normVariant(p Params) Params {
+	out := Params{Variant: p.Variant}
+	if out.Variant == "" {
+		out.Variant = "out-tree"
+	}
+	return out
+}
+
+func buildTreeDesign(build func(diffusing.Tree) (*core.Design, error)) func(Params) (*Instance, error) {
+	return func(p Params) (*Instance, error) {
+		tr, err := PickTree(p.Tree, p.N, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		d, err := build(tr)
+		if err != nil {
+			return nil, err
+		}
+		return fromDesign(d), nil
+	}
+}
+
+var catalog = []*Entry{
+	{
+		Name:        "diffusing",
+		Description: "diffusing computation on a tree (paper Section 4)",
+		Normalize:   normTree(5),
+		Build: buildTreeDesign(func(tr diffusing.Tree) (*core.Design, error) {
+			inst, err := diffusing.New(tr)
+			if err != nil {
+				return nil, err
+			}
+			return inst.Design, nil
+		}),
+	},
+	{
+		Name:        "tokenring-path",
+		Description: "token ring on a path, layered design (paper Section 5)",
+		Normalize:   normRing(5),
+		Build: func(p Params) (*Instance, error) {
+			inst, err := tokenring.NewPath(p.N, p.K)
+			if err != nil {
+				return nil, err
+			}
+			return fromDesign(inst.Design), nil
+		},
+	},
+	{
+		Name:        "tokenring-ring",
+		Description: "Dijkstra-style mod-K token ring (paper Section 5)",
+		Normalize:   normRing(5),
+		Build: func(p Params) (*Instance, error) {
+			inst, err := tokenring.NewRing(p.N, p.K)
+			if err != nil {
+				return nil, err
+			}
+			return &Instance{Name: inst.P.Name, Program: inst.P, S: inst.S}, nil
+		},
+	},
+	{
+		Name:        "threestate",
+		Description: "Dijkstra's three-state machines on a line",
+		Normalize:   normN(5),
+		Build: func(p Params) (*Instance, error) {
+			inst, err := threestate.New(p.N)
+			if err != nil {
+				return nil, err
+			}
+			return &Instance{Name: inst.P.Name, Program: inst.P, S: inst.S}, nil
+		},
+	},
+	{
+		Name:        "fourstate",
+		Description: "Dijkstra's four-state machines on a line",
+		Normalize:   normN(5),
+		Build: func(p Params) (*Instance, error) {
+			inst, err := fourstate.New(p.N)
+			if err != nil {
+				return nil, err
+			}
+			return &Instance{Name: inst.P.Name, Program: inst.P, S: inst.S}, nil
+		},
+	},
+	{
+		Name:        "spanningtree",
+		Description: "self-stabilizing spanning tree over a graph (paper Section 6)",
+		Normalize:   normGraph(4),
+		Build: func(p Params) (*Instance, error) {
+			g, err := PickGraph(p.Graph, p.N)
+			if err != nil {
+				return nil, err
+			}
+			inst, err := spanningtree.New(g)
+			if err != nil {
+				return nil, err
+			}
+			return fromDesign(inst.Design), nil
+		},
+	},
+	{
+		Name:        "composed",
+		Description: "spanning tree composed with tree-based mutual exclusion",
+		Normalize:   normGraph(4),
+		Build: func(p Params) (*Instance, error) {
+			g, err := PickGraph(p.Graph, p.N)
+			if err != nil {
+				return nil, err
+			}
+			inst, err := composed.New(g)
+			if err != nil {
+				return nil, err
+			}
+			return &Instance{
+				Name:    inst.P.Name,
+				Program: inst.P,
+				S:       inst.S,
+				Stair:   []*program.Predicate{inst.TreeOK},
+			}, nil
+		},
+	},
+	{
+		Name:        "xyz",
+		Description: "the paper's x/y/z interference example (Section 7)",
+		Normalize:   normVariant,
+		Build: func(p Params) (*Instance, error) {
+			var v xyz.Variant
+			switch p.Variant {
+			case "interfering":
+				v = xyz.Interfering
+			case "out-tree":
+				v = xyz.OutTree
+			case "ordered":
+				v = xyz.Ordered
+			default:
+				return nil, fmt.Errorf("unknown xyz variant %q (want interfering | out-tree | ordered)", p.Variant)
+			}
+			inst, err := xyz.New(v)
+			if err != nil {
+				return nil, err
+			}
+			return fromDesign(inst.Design), nil
+		},
+	},
+	{
+		Name:        "reset",
+		Description: "diffusing reset wave on a tree",
+		Normalize:   normTree(5),
+		Build: buildTreeDesign(func(tr diffusing.Tree) (*core.Design, error) {
+			inst, err := reset.New(tr)
+			if err != nil {
+				return nil, err
+			}
+			return inst.Design, nil
+		}),
+	},
+	{
+		Name:        "termination",
+		Description: "termination detection on a tree",
+		Normalize:   normTree(5),
+		Build: buildTreeDesign(func(tr diffusing.Tree) (*core.Design, error) {
+			inst, err := termination.New(tr)
+			if err != nil {
+				return nil, err
+			}
+			return inst.Design, nil
+		}),
+	},
+	{
+		Name:        "snapshot",
+		Description: "snapshot collection on a tree",
+		Normalize:   normTree(5),
+		Build: buildTreeDesign(func(tr diffusing.Tree) (*core.Design, error) {
+			inst, err := snapshot.New(tr)
+			if err != nil {
+				return nil, err
+			}
+			return inst.Design, nil
+		}),
+	},
+}
+
+var byName = func() map[string]*Entry {
+	m := make(map[string]*Entry, len(catalog))
+	for _, e := range catalog {
+		m[e.Name] = e
+	}
+	return m
+}()
+
+// Entries returns the catalog sorted by name.
+func Entries() []*Entry {
+	out := make([]*Entry, len(catalog))
+	copy(out, catalog)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted catalog keys.
+func Names() []string {
+	out := make([]string, 0, len(catalog))
+	for _, e := range catalog {
+		out = append(out, e.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup finds a catalog entry by name.
+func Lookup(name string) (*Entry, bool) {
+	e, ok := byName[name]
+	return e, ok
+}
+
+// Normalize canonicalizes parameters for the named protocol: defaults are
+// filled in and fields the protocol does not read are zeroed.
+func Normalize(name string, p Params) (Params, error) {
+	e, ok := byName[name]
+	if !ok {
+		return Params{}, fmt.Errorf("unknown protocol %q (known: %v)", name, Names())
+	}
+	return e.Normalize(p), nil
+}
+
+// Build normalizes parameters and constructs the named instance.
+func Build(name string, p Params) (*Instance, error) {
+	e, ok := byName[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown protocol %q (known: %v)", name, Names())
+	}
+	return e.Build(e.Normalize(p))
+}

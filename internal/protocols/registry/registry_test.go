@@ -1,0 +1,98 @@
+package registry
+
+import (
+	"context"
+	"testing"
+
+	"nonmask/internal/verify"
+)
+
+func TestCatalogBuildsEveryEntry(t *testing.T) {
+	for _, e := range Entries() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			inst, err := Build(e.Name, Params{N: 3})
+			if err != nil {
+				t.Fatalf("Build(%s): %v", e.Name, err)
+			}
+			if inst.Program == nil || inst.S == nil {
+				t.Fatalf("Build(%s): incomplete instance %+v", e.Name, inst)
+			}
+			if inst.Name == "" {
+				t.Fatalf("Build(%s): empty instance name", e.Name)
+			}
+			if err := inst.Program.Validate(); err != nil {
+				t.Fatalf("Build(%s): invalid program: %v", e.Name, err)
+			}
+		})
+	}
+}
+
+func TestNormalizeIsCanonical(t *testing.T) {
+	// Defaults fill in: an empty Params and the explicitly spelled-out
+	// defaults must normalize identically.
+	got, err := Normalize("tokenring-ring", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Params{N: 5, K: 7}
+	if got != want {
+		t.Fatalf("Normalize(tokenring-ring, {}) = %+v, want %+v", got, want)
+	}
+	// Unused fields are zeroed so they cannot split the cache.
+	got, err = Normalize("threestate", Params{N: 4, K: 9, Tree: "star", Graph: "ring", Variant: "x", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (got != Params{N: 4}) {
+		t.Fatalf("Normalize(threestate) kept unused fields: %+v", got)
+	}
+	// Seed only matters for random trees.
+	got, _ = Normalize("diffusing", Params{N: 3, Tree: "binary", Seed: 42})
+	if got.Seed != 0 {
+		t.Fatalf("Normalize(diffusing, binary) kept seed: %+v", got)
+	}
+	got, _ = Normalize("diffusing", Params{N: 3, Tree: "random"})
+	if got.Seed != 1 {
+		t.Fatalf("Normalize(diffusing, random) did not default seed: %+v", got)
+	}
+	if _, err := Normalize("no-such-protocol", Params{}); err == nil {
+		t.Fatal("Normalize(unknown) succeeded")
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	p := Params{N: 4, K: 6, Tree: "random", Seed: 2}
+	if got, want := p.String(), "n=4 k=6 tree=random seed=2"; got != want {
+		t.Fatalf("Params.String() = %q, want %q", got, want)
+	}
+	if got := (Params{}).String(); got != "" {
+		t.Fatalf("zero Params.String() = %q, want empty", got)
+	}
+}
+
+func TestBuiltInstanceIsCheckable(t *testing.T) {
+	inst, err := Build("tokenring-ring", Params{N: 3, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := verify.Check(context.Background(), inst.Program, inst.S, inst.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Tolerant() {
+		t.Fatalf("tokenring-ring(3,5) not tolerant:\n%s", rep.Summary())
+	}
+}
+
+func TestBuildRejectsBadParams(t *testing.T) {
+	if _, err := Build("diffusing", Params{Tree: "moebius"}); err == nil {
+		t.Fatal("bad tree shape accepted")
+	}
+	if _, err := Build("spanningtree", Params{Graph: "torus"}); err == nil {
+		t.Fatal("bad graph accepted")
+	}
+	if _, err := Build("xyz", Params{Variant: "bogus"}); err == nil {
+		t.Fatal("bad variant accepted")
+	}
+}

@@ -1,0 +1,209 @@
+package service_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nonmask/internal/protocols/registry"
+	"nonmask/internal/service"
+	"nonmask/internal/service/client"
+)
+
+// newTestServer starts a service on an httptest listener and returns a
+// typed client for it.
+func newTestServer(t *testing.T, cfg service.Config) (*service.Server, *client.Client) {
+	t.Helper()
+	srv := service.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return srv, client.New(ts.URL, ts.Client())
+}
+
+func metric(t *testing.T, c *client.Client, name string) float64 {
+	t.Helper()
+	text, err := c.MetricsText(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := client.MetricValue(text, name)
+	if !ok {
+		t.Fatalf("metric %s missing from exposition:\n%s", name, text)
+	}
+	return v
+}
+
+// TestResubmitIsOneCheckOneCacheHit is the acceptance scenario: submitting
+// the same program twice yields exactly one verify.Check execution and one
+// cache hit, observed through /metrics.
+func TestResubmitIsOneCheckOneCacheHit(t *testing.T) {
+	_, c := newTestServer(t, service.Config{})
+	ctx := context.Background()
+
+	spec := service.JobSpec{Protocol: "tokenring-ring", Params: registry.Params{N: 3, K: 5}}
+	st, err := c.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone || st.Result == nil {
+		t.Fatalf("first run: %+v", st)
+	}
+	if st.Result.Verdict != service.VerdictSatisfied {
+		t.Fatalf("verdict %q, want satisfied", st.Result.Verdict)
+	}
+	if st.Cached {
+		t.Fatal("first run claimed to be cached")
+	}
+
+	st2, err := c.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached || !st2.Result.Cached {
+		t.Fatalf("second run not served from cache: %+v", st2)
+	}
+	if got := metric(t, c, "csserved_jobs_completed_total"); got != 1 {
+		t.Fatalf("jobs_completed_total = %v, want 1", got)
+	}
+	if got := metric(t, c, "csserved_cache_hits_total"); got != 1 {
+		t.Fatalf("cache_hits_total = %v, want 1", got)
+	}
+	if got := metric(t, c, "csserved_cache_misses_total"); got != 1 {
+		t.Fatalf("cache_misses_total = %v, want 1", got)
+	}
+	if got := metric(t, c, "csserved_verdict_satisfied_total"); got != 1 {
+		t.Fatalf("verdict_satisfied_total = %v, want 1", got)
+	}
+}
+
+func TestHTTPStatusCodes(t *testing.T) {
+	srv, c := newTestServer(t, service.Config{})
+	ctx := context.Background()
+
+	// Bad spec → 400 with the service's error envelope.
+	_, err := c.Submit(ctx, service.JobSpec{Protocol: "no-such"})
+	var apiErr *client.APIError
+	if !asAPIError(err, &apiErr) || apiErr.Code != http.StatusBadRequest {
+		t.Fatalf("unknown protocol: %v", err)
+	}
+	if !strings.Contains(apiErr.Msg, "unknown protocol") {
+		t.Fatalf("error envelope lost the detail: %q", apiErr.Msg)
+	}
+
+	// Unknown job → 404.
+	_, err = c.Job(ctx, "j-12345678", 0)
+	if !asAPIError(err, &apiErr) || apiErr.Code != http.StatusNotFound {
+		t.Fatalf("unknown job: %v", err)
+	}
+
+	// Bad wait parameter → 400 (raw request: the typed client cannot send
+	// a malformed duration).
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/jobs/j-12345678?wait=forever", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad wait: code %d, want 400", rec.Code)
+	}
+
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+}
+
+func asAPIError(err error, out **client.APIError) bool {
+	if e, ok := err.(*client.APIError); ok {
+		*out = e
+		return true
+	}
+	return false
+}
+
+func TestProtocolCatalog(t *testing.T) {
+	_, c := newTestServer(t, service.Config{})
+	infos, err := c.Protocols(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(registry.Entries()) {
+		t.Fatalf("catalog lists %d protocols, registry has %d", len(infos), len(registry.Entries()))
+	}
+	seen := map[string]bool{}
+	for _, info := range infos {
+		seen[info.Name] = true
+		if info.Description == "" {
+			t.Errorf("%s: empty description", info.Name)
+		}
+	}
+	for _, name := range []string{"diffusing", "tokenring-ring", "threestate", "composed"} {
+		if !seen[name] {
+			t.Errorf("catalog missing %s", name)
+		}
+	}
+}
+
+func TestLongPollWait(t *testing.T) {
+	_, c := newTestServer(t, service.Config{})
+	ctx := context.Background()
+	st, err := c.Submit(ctx, service.JobSpec{Protocol: "threestate", Params: registry.Params{N: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long-poll with a generous window returns the terminal state in one
+	// round trip.
+	st, err = c.Job(ctx, st.ID, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("long-poll returned %s", st.State)
+	}
+}
+
+func TestConcurrentMixedLoad(t *testing.T) {
+	// A small always-accepting config: big queue, several executors.
+	_, c := newTestServer(t, service.Config{QueueSize: 256, Executors: 4})
+	ctx := context.Background()
+	specs := []service.JobSpec{
+		{Protocol: "tokenring-ring", Params: registry.Params{N: 2, K: 4}},
+		{Protocol: "threestate", Params: registry.Params{N: 4}},
+		{Protocol: "fourstate", Params: registry.Params{N: 4}},
+		{Protocol: "xyz"},
+	}
+	const loops = 8
+	errs := make(chan error, loops*len(specs))
+	for i := 0; i < loops; i++ {
+		for _, spec := range specs {
+			spec := spec
+			go func() {
+				st, err := c.Run(ctx, spec)
+				if err == nil && st.State != service.StateDone {
+					err = &client.APIError{Code: 500, Msg: "state " + string(st.State) + ": " + st.Error}
+				}
+				errs <- err
+			}()
+		}
+	}
+	for i := 0; i < loops*len(specs); i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every spec ran at least once and the rest were cache hits; exactly
+	// how many is scheduling-dependent, but hits + misses = submissions
+	// and misses ≥ len(specs).
+	hits := metric(t, c, "csserved_cache_hits_total")
+	misses := metric(t, c, "csserved_cache_misses_total")
+	if hits+misses != loops*float64(len(specs)) {
+		t.Fatalf("hits %v + misses %v != %d submissions", hits, misses, loops*len(specs))
+	}
+	if misses < float64(len(specs)) {
+		t.Fatalf("misses %v < %d distinct specs", misses, len(specs))
+	}
+}

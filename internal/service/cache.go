@@ -1,0 +1,52 @@
+package service
+
+import "sync"
+
+// cache is the content-addressed result store: fingerprint → Result. It is
+// bounded; when full, the oldest entry is evicted (insertion-order FIFO —
+// results are immutable and cheap to recompute relative to tracking
+// recency on the read path).
+type cache struct {
+	mu    sync.RWMutex
+	max   int
+	m     map[string]*Result
+	order []string
+}
+
+func newCache(max int) *cache {
+	if max <= 0 {
+		max = defaultCacheSize
+	}
+	return &cache{max: max, m: make(map[string]*Result, max)}
+}
+
+// get returns the cached result for key, or nil.
+func (c *cache) get(key string) *Result {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m[key]
+}
+
+// put stores a result, evicting the oldest entry when full. Re-putting an
+// existing key overwrites in place (results for a key are identical by
+// construction, so which copy wins is irrelevant).
+func (c *cache) put(key string, r *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.m[key]; !exists {
+		for len(c.order) >= c.max {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.m, oldest)
+		}
+		c.order = append(c.order, key)
+	}
+	c.m[key] = r
+}
+
+// len returns the number of cached results.
+func (c *cache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

@@ -1,0 +1,194 @@
+// Package client is the typed Go caller for the csserved HTTP API
+// (internal/service). It is used by the service's own tests, the
+// csserved -load self-benchmark, and the CI smoke test.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"nonmask/internal/service"
+)
+
+// defaultPoll is the long-poll window Wait re-arms between status reads.
+const defaultPoll = 10 * time.Second
+
+// Client talks to one csserved instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the server at base (e.g. "http://127.0.0.1:8080").
+// httpClient may be nil for http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// APIError is a non-2xx response decoded from the service's error envelope.
+type APIError struct {
+	Code int
+	Msg  string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("csserved: %d %s: %s", e.Code, http.StatusText(e.Code), e.Msg)
+}
+
+// IsRetryable reports whether the error is admission-control pushback
+// (queue full or draining) that a caller may retry after a backoff.
+func (e *APIError) IsRetryable() bool {
+	return e.Code == http.StatusTooManyRequests || e.Code == http.StatusServiceUnavailable
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &APIError{Code: resp.StatusCode, Msg: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit posts a job and returns its admission status (already done on a
+// cache hit).
+func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	return st, err
+}
+
+// Job reads a job's status; wait > 0 long-polls until the job finishes or
+// the window elapses.
+func (c *Client) Job(ctx context.Context, id string, wait time.Duration) (service.JobStatus, error) {
+	path := "/v1/jobs/" + url.PathEscape(id)
+	if wait > 0 {
+		path += "?wait=" + url.QueryEscape(wait.String())
+	}
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodGet, path, nil, &st)
+	return st, err
+}
+
+// Wait long-polls until the job reaches a terminal state or ctx is done.
+func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error) {
+	for {
+		st, err := c.Job(ctx, id, defaultPoll)
+		if err != nil {
+			return st, err
+		}
+		if st.State == service.StateDone || st.State == service.StateFailed || st.State == service.StateCanceled {
+			return st, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+	}
+}
+
+// Run submits a job and waits for its terminal status: the one-call path
+// for "check this and give me the verdict".
+func (c *Client) Run(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
+	st, err := c.Submit(ctx, spec)
+	if err != nil || st.State == service.StateDone {
+		return st, err
+	}
+	return c.Wait(ctx, st.ID)
+}
+
+// Cancel cancels a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// Protocols lists the built-in catalog.
+func (c *Client) Protocols(ctx context.Context) ([]service.ProtocolInfo, error) {
+	var out []service.ProtocolInfo
+	err := c.do(ctx, http.MethodGet, "/v1/protocols", nil, &out)
+	return out, err
+}
+
+// Healthz probes liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// MetricsText fetches the raw Prometheus exposition.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+	}
+	return string(data), nil
+}
+
+// MetricValue extracts one metric's value from a Prometheus text
+// exposition (plain counters/gauges only, no labels).
+func MetricValue(exposition, name string) (float64, bool) {
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[len(name)+1:], "%g", &v); err == nil {
+			return v, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"nonmask/internal/protocols/registry"
+	"nonmask/internal/verify"
+)
+
+// The result cache is content-addressed: a job's key is a SHA-256 over a
+// canonical rendering of WHAT is being checked (the pretty-printed GCL
+// source, or the protocol name plus normalized parameters) and the
+// semantically relevant check options. Two options are deliberately
+// excluded from the key:
+//
+//   - Workers: verdicts and witnesses are identical for every worker count
+//     (internal/verify's metamorphic worker-invariance tests pin this), so
+//     a result computed with 8 workers answers a 1-worker request.
+//   - Deadline: it bounds wall-clock time, not the answer.
+//
+// MaxStates stays in the key because it changes which instances error out,
+// and Strategy stays because it is recorded on the report the result is
+// rendered from.
+
+// optionsKey renders the semantically relevant options with defaults
+// resolved, so "0 = default" spellings share a cache line with the
+// explicit default.
+func optionsKey(o verify.Options) string {
+	max := o.MaxStates
+	if max <= 0 {
+		max = verify.DefaultMaxStates
+	}
+	strat := o.Strategy
+	if strat == 0 {
+		strat = verify.Projected
+	}
+	return fmt.Sprintf("max=%d strategy=%s", max, strat)
+}
+
+func digest(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// fingerprintSource keys a GCL job by its canonical (pretty-printed)
+// source, so submissions differing only in whitespace or comments share a
+// cache entry.
+func fingerprintSource(canonical string, o verify.Options) string {
+	return digest("gcl", canonical, optionsKey(o))
+}
+
+// fingerprintProtocol keys a catalog job by protocol name and normalized
+// parameters.
+func fingerprintProtocol(name string, p registry.Params, o verify.Options) string {
+	return digest("protocol", name, p.String(), optionsKey(o))
+}

@@ -1,0 +1,105 @@
+package service_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nonmask/internal/gcl"
+	"nonmask/internal/service"
+	"nonmask/internal/verify"
+)
+
+// TestGoldenGCLRoundTrip submits every testdata/*.gcl file through the
+// service client and asserts that the served verdicts match a direct
+// verify.Check run on the same compiled module — the wire path (JSON in,
+// queue, cache, JSON out) must not change any answer.
+func TestGoldenGCLRoundTrip(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.gcl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata/*.gcl files found")
+	}
+	_, c := newTestServer(t, service.Config{})
+	ctx := context.Background()
+
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Direct run: compile and check in-process.
+			file, err := gcl.Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := gcl.Compile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := verify.Check(ctx, m.Program, m.S, m.T)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := service.ResultFromReport(m.Name, rep)
+
+			// Served run: same source through the HTTP API.
+			st, err := c.Run(ctx, service.JobSpec{Source: string(src)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.State != service.StateDone || st.Result == nil {
+				t.Fatalf("service run ended %s: %s", st.State, st.Error)
+			}
+			got := st.Result
+
+			if got.Verdict != want.Verdict {
+				t.Errorf("verdict: served %q, direct %q", got.Verdict, want.Verdict)
+			}
+			if got.Program != want.Program {
+				t.Errorf("program: served %q, direct %q", got.Program, want.Program)
+			}
+			if got.States != want.States || got.StatesS != want.StatesS || got.StatesT != want.StatesT {
+				t.Errorf("counts: served (%d,%d,%d), direct (%d,%d,%d)",
+					got.States, got.StatesS, got.StatesT, want.States, want.StatesS, want.StatesT)
+			}
+			if got.Classification != want.Classification {
+				t.Errorf("classification: served %q, direct %q", got.Classification, want.Classification)
+			}
+			if got.ClosureOK != want.ClosureOK || got.Closure != want.Closure {
+				t.Errorf("closure: served (%v,%q), direct (%v,%q)",
+					got.ClosureOK, got.Closure, want.ClosureOK, want.Closure)
+			}
+			if got.Unfair.Converges != want.Unfair.Converges || got.Unfair.Summary != want.Unfair.Summary {
+				t.Errorf("unfair: served %+v, direct %+v", got.Unfair, want.Unfair)
+			}
+			if (got.Fair == nil) != (want.Fair == nil) {
+				t.Errorf("fair: served %+v, direct %+v", got.Fair, want.Fair)
+			} else if got.Fair != nil && (got.Fair.Converges != want.Fair.Converges || got.Fair.Summary != want.Fair.Summary) {
+				t.Errorf("fair: served %+v, direct %+v", got.Fair, want.Fair)
+			}
+			if got.Unfair.WorstSteps != want.Unfair.WorstSteps {
+				t.Errorf("worst steps: served %d, direct %d", got.Unfair.WorstSteps, want.Unfair.WorstSteps)
+			}
+
+			// Resubmission of the identical file is a cache hit with the
+			// same payload.
+			st2, err := c.Run(ctx, service.JobSpec{Source: string(src)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st2.Cached {
+				t.Error("resubmission missed the cache")
+			}
+			if st2.Result.Verdict != got.Verdict || st2.Result.States != got.States {
+				t.Errorf("cached result drifted: %+v vs %+v", st2.Result, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,138 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"nonmask/internal/protocols/registry"
+)
+
+// maxBodyBytes bounds POST /v1/jobs request bodies (GCL sources are small;
+// 1 MiB is generous).
+const maxBodyBytes = 1 << 20
+
+// ProtocolInfo is one GET /v1/protocols catalog row.
+type ProtocolInfo struct {
+	// Name is the job spec "protocol" value.
+	Name string `json:"name"`
+	// Description is a one-line human summary.
+	Description string `json:"description"`
+	// Defaults shows the normalized zero-Params defaults for the entry.
+	Defaults registry.Params `json:"defaults"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs        submit a job (JobSpec) → JobStatus (202, or 200 on cache hit)
+//	GET    /v1/jobs/{id}   job status; ?wait=2s long-polls for completion
+//	DELETE /v1/jobs/{id}   cancel a queued or running job
+//	GET    /v1/protocols   built-in protocol catalog
+//	GET    /healthz        liveness ("ok", or 503 once draining)
+//	GET    /metrics        Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decode job spec: %v", err)
+		return
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, errorCode(err), "%v", err)
+		return
+	}
+	code := http.StatusAccepted
+	if st.State.terminal() {
+		code = http.StatusOK // served from cache
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var wait time.Duration
+	if ws := r.URL.Query().Get("wait"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, "bad wait %q (want a duration like 2s)", ws)
+			return
+		}
+		wait = d
+	}
+	st, ok := s.WaitJob(r.Context(), id, wait)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleProtocols(w http.ResponseWriter, _ *http.Request) {
+	entries := registry.Entries()
+	out := make([]ProtocolInfo, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, ProtocolInfo{
+			Name:        e.Name,
+			Description: e.Description,
+			Defaults:    e.Normalize(registry.Params{}),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}

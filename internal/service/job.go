@@ -1,0 +1,281 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nonmask/internal/gcl"
+	"nonmask/internal/program"
+	"nonmask/internal/protocols/registry"
+	"nonmask/internal/verify"
+)
+
+// JobSpec is the submission payload of POST /v1/jobs. Exactly one of
+// Source (GCL program text) or Protocol (catalog name, with Params) must
+// be set.
+type JobSpec struct {
+	// Source is a guarded-command program in the paper's Section 2
+	// notation, as accepted by internal/gcl.
+	Source string `json:"source,omitempty"`
+	// Protocol names a built-in catalog instance (see GET /v1/protocols).
+	Protocol string `json:"protocol,omitempty"`
+	// Params sizes the catalog instance; defaults are filled per protocol.
+	Params registry.Params `json:"params,omitempty"`
+	// Options tunes the check.
+	Options JobOptions `json:"options,omitempty"`
+}
+
+// JobOptions is the wire form of the checker options a job may set.
+type JobOptions struct {
+	// Workers shards the checker's passes (0 = all CPUs).
+	Workers int `json:"workers,omitempty"`
+	// MaxStates caps the enumerated state space (0 = server default).
+	MaxStates int64 `json:"max_states,omitempty"`
+	// Strategy is "projected" (default) or "exhaustive".
+	Strategy string `json:"strategy,omitempty"`
+	// DeadlineMS bounds the check's wall-clock time in milliseconds
+	// (0 = server default; capped at the server's maximum).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// JobState enumerates a job's lifecycle.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// terminal reports whether the state is final.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobStatus is the wire form of a job returned by the submission and
+// status endpoints.
+type JobStatus struct {
+	// ID addresses the job in GET /v1/jobs/{id}.
+	ID string `json:"id"`
+	// State is the lifecycle state.
+	State JobState `json:"state"`
+	// Key is the job's content-address (cache fingerprint).
+	Key string `json:"key"`
+	// Program is the compiled program's name.
+	Program string `json:"program"`
+	// Cached reports that the result was served from the cache without a
+	// fresh check.
+	Cached bool `json:"cached,omitempty"`
+	// Error is the failure detail when State is "failed".
+	Error string `json:"error,omitempty"`
+	// Result is the verdict when State is "done".
+	Result *Result `json:"result,omitempty"`
+	// SubmittedAt stamps admission.
+	SubmittedAt time.Time `json:"submitted_at"`
+	// FinishedAt stamps the terminal transition (zero until then).
+	FinishedAt time.Time `json:"finished_at"`
+}
+
+// compiled is a validated, runnable job payload: the checkable triple plus
+// its content-address and effective options. Compilation (GCL parse/compile
+// or catalog build) happens synchronously at submission so malformed jobs
+// fail with 400 instead of occupying the queue.
+type compiled struct {
+	name string
+	prog *program.Program
+	s, t *program.Predicate
+	key  string
+	opts verify.Options
+}
+
+// verifyOptions resolves wire options against server defaults.
+func (o JobOptions) verifyOptions(cfg Config) (verify.Options, error) {
+	opts := verify.Options{Workers: o.Workers, MaxStates: o.MaxStates}
+	if opts.Workers == 0 {
+		opts.Workers = cfg.CheckWorkers
+	}
+	if opts.MaxStates == 0 {
+		opts.MaxStates = cfg.MaxStates
+	}
+	switch o.Strategy {
+	case "", "projected":
+		opts.Strategy = verify.Projected
+	case "exhaustive":
+		opts.Strategy = verify.Exhaustive
+	default:
+		return opts, fmt.Errorf("unknown strategy %q (want projected | exhaustive)", o.Strategy)
+	}
+	deadline := time.Duration(o.DeadlineMS) * time.Millisecond
+	if deadline <= 0 || (cfg.MaxDeadline > 0 && deadline > cfg.MaxDeadline) {
+		deadline = cfg.MaxDeadline
+	}
+	opts.Deadline = deadline
+	return opts, nil
+}
+
+// compileSpec validates and compiles a submission into a runnable job.
+func compileSpec(spec JobSpec, cfg Config) (*compiled, error) {
+	opts, err := spec.Options.verifyOptions(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateStaticOptions(opts); err != nil {
+		return nil, err
+	}
+	switch {
+	case spec.Source != "" && spec.Protocol != "":
+		return nil, fmt.Errorf("job sets both source and protocol; pick one")
+	case spec.Source != "":
+		file, err := gcl.Parse(spec.Source)
+		if err != nil {
+			return nil, fmt.Errorf("parse: %w", err)
+		}
+		// Content-address the canonical pretty-printed form, so
+		// formatting- or comment-only variations share a cache entry.
+		canonical := gcl.Print(file)
+		m, err := gcl.Compile(file)
+		if err != nil {
+			return nil, fmt.Errorf("compile: %w", err)
+		}
+		return &compiled{
+			name: m.Name,
+			prog: m.Program,
+			s:    m.S,
+			t:    m.T,
+			key:  fingerprintSource(canonical, opts),
+			opts: opts,
+		}, nil
+	case spec.Protocol != "":
+		params, err := registry.Normalize(spec.Protocol, spec.Params)
+		if err != nil {
+			return nil, err
+		}
+		inst, err := registry.Build(spec.Protocol, params)
+		if err != nil {
+			return nil, err
+		}
+		return &compiled{
+			name: inst.Name,
+			prog: inst.Program,
+			s:    inst.S,
+			t:    inst.T,
+			key:  fingerprintProtocol(spec.Protocol, params, opts),
+			opts: opts,
+		}, nil
+	default:
+		return nil, fmt.Errorf("job sets neither source nor protocol")
+	}
+}
+
+// validateStatic rejects option values that verify.Check would reject, so
+// the error surfaces at submission (400) instead of execution (failed job).
+func validateStaticOptions(o verify.Options) error {
+	if o.MaxStates < 0 {
+		return fmt.Errorf("negative max_states %d", o.MaxStates)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("negative workers %d", o.Workers)
+	}
+	return nil
+}
+
+// job is the server-side record of one submission.
+type job struct {
+	id string
+	c  *compiled
+
+	mu        sync.Mutex
+	state     JobState
+	cached    bool
+	err       error
+	result    *Result
+	submitted time.Time
+	finished  time.Time
+	cancel    func() // non-nil while running; cancels the check context
+
+	// done is closed on the terminal transition; long-polls wait on it.
+	done chan struct{}
+}
+
+func newJob(id string, c *compiled, now time.Time) *job {
+	return &job{id: id, c: c, state: StateQueued, submitted: now, done: make(chan struct{})}
+}
+
+// status snapshots the wire form.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Key:         j.c.key,
+		Program:     j.c.name,
+		Cached:      j.cached,
+		SubmittedAt: j.submitted,
+		FinishedAt:  j.finished,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.result != nil {
+		r := j.result.clone()
+		r.Cached = j.cached
+		st.Result = r
+	}
+	return st
+}
+
+// transition moves the job to a terminal state exactly once and wakes
+// long-polls. Returns false if the job was already terminal.
+func (j *job) transition(state JobState, res *Result, err error, now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return false
+	}
+	j.state = state
+	j.result = res
+	j.err = err
+	j.finished = now
+	j.cancel = nil
+	close(j.done)
+	return true
+}
+
+// markRunning records the executor pickup and its cancel hook; it returns
+// false when the job was canceled while queued.
+func (j *job) markRunning(cancel func()) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	return true
+}
+
+// requestCancel cancels a queued job immediately, or interrupts a running
+// one via its check context. Terminal jobs are left alone.
+func (j *job) requestCancel(now time.Time) (affected bool) {
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateCanceled
+		j.err = fmt.Errorf("canceled while queued")
+		j.finished = now
+		close(j.done)
+		j.mu.Unlock()
+		return true
+	}
+	cancel := j.cancel
+	running := j.state == StateRunning
+	j.mu.Unlock()
+	if running && cancel != nil {
+		cancel()
+	}
+	return running
+}

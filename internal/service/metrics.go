@@ -1,0 +1,99 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"nonmask/internal/metrics"
+)
+
+// maxLatencySamples bounds the retained check-latency sample window the
+// /metrics quantiles are computed over.
+const maxLatencySamples = 4096
+
+// Metrics holds the service's counters and gauges. All fields are updated
+// atomically; the latency sample window has its own lock. Rendered as
+// Prometheus text exposition format by WritePrometheus.
+type Metrics struct {
+	// Submitted counts accepted job submissions (including cache hits).
+	Submitted atomic.Int64
+	// Rejected counts submissions turned away with 429 (queue full) or
+	// 503 (draining).
+	Rejected atomic.Int64
+	// Completed counts jobs whose verify.Check run finished successfully.
+	Completed atomic.Int64
+	// Failed counts jobs whose check returned an error (including
+	// deadline expiry).
+	Failed atomic.Int64
+	// Canceled counts jobs canceled before or during execution.
+	Canceled atomic.Int64
+	// CacheHits / CacheMisses count content-addressed cache lookups at
+	// submission time.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	// QueueDepth is the number of jobs waiting in the queue.
+	QueueDepth atomic.Int64
+	// InFlight is the number of executor goroutines currently inside
+	// verify.Check.
+	InFlight atomic.Int64
+	// Satisfied / Violated count completed jobs by verdict.
+	Satisfied atomic.Int64
+	Violated  atomic.Int64
+
+	mu        sync.Mutex
+	latencies []float64 // seconds, newest-last, bounded window
+}
+
+// ObserveLatency records one check duration (in seconds).
+func (m *Metrics) ObserveLatency(seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.latencies) >= maxLatencySamples {
+		copy(m.latencies, m.latencies[1:])
+		m.latencies = m.latencies[:len(m.latencies)-1]
+	}
+	m.latencies = append(m.latencies, seconds)
+}
+
+// LatencySummary returns order statistics over the retained check-latency
+// window (seconds).
+func (m *Metrics) LatencySummary() metrics.Summary {
+	m.mu.Lock()
+	sample := make([]float64, len(m.latencies))
+	copy(sample, m.latencies)
+	m.mu.Unlock()
+	return metrics.Summarize(sample)
+}
+
+// WritePrometheus renders every counter and gauge in Prometheus text
+// exposition format under the csserved_ prefix.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("csserved_jobs_submitted_total", "Accepted job submissions (including cache hits).", m.Submitted.Load())
+	counter("csserved_jobs_rejected_total", "Submissions rejected by admission control.", m.Rejected.Load())
+	counter("csserved_jobs_completed_total", "Jobs whose check ran to completion.", m.Completed.Load())
+	counter("csserved_jobs_failed_total", "Jobs whose check returned an error.", m.Failed.Load())
+	counter("csserved_jobs_canceled_total", "Jobs canceled before or during execution.", m.Canceled.Load())
+	counter("csserved_cache_hits_total", "Content-addressed cache hits at submission.", m.CacheHits.Load())
+	counter("csserved_cache_misses_total", "Content-addressed cache misses at submission.", m.CacheMisses.Load())
+	counter("csserved_verdict_satisfied_total", "Completed checks with a satisfied verdict.", m.Satisfied.Load())
+	counter("csserved_verdict_violated_total", "Completed checks with a violated verdict.", m.Violated.Load())
+	gauge("csserved_queue_depth", "Jobs waiting in the queue.", m.QueueDepth.Load())
+	gauge("csserved_inflight_workers", "Executors currently running a check.", m.InFlight.Load())
+
+	s := m.LatencySummary()
+	fmt.Fprintf(w, "# HELP csserved_check_latency_seconds Check latency over the last %d checks.\n", maxLatencySamples)
+	fmt.Fprintf(w, "# TYPE csserved_check_latency_seconds summary\n")
+	fmt.Fprintf(w, "csserved_check_latency_seconds{quantile=\"0.5\"} %g\n", s.Median)
+	fmt.Fprintf(w, "csserved_check_latency_seconds{quantile=\"0.95\"} %g\n", s.P95)
+	fmt.Fprintf(w, "csserved_check_latency_seconds{quantile=\"0.99\"} %g\n", s.P99)
+	fmt.Fprintf(w, "csserved_check_latency_seconds_sum %g\n", s.Mean*float64(s.N))
+	fmt.Fprintf(w, "csserved_check_latency_seconds_count %d\n", s.N)
+}

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"time"
+
+	"nonmask/internal/verify"
+)
+
+// Verdict values for Result.Verdict.
+const (
+	// VerdictSatisfied means the checked triple met the paper's definition
+	// of fault-tolerance: closure of S and T plus convergence under the
+	// (at-worst weakly fair) daemon.
+	VerdictSatisfied = "satisfied"
+	// VerdictViolated means closure or convergence failed.
+	VerdictViolated = "violated"
+)
+
+// Convergence is the wire encoding of one daemon's convergence verdict.
+type Convergence struct {
+	// Converges reports whether every computation from T reaches S.
+	Converges bool `json:"converges"`
+	// Fair is true for the weakly fair daemon, false for the arbitrary one.
+	Fair bool `json:"fair"`
+	// WorstSteps is the exact worst-case convergence length (arbitrary
+	// daemon only, when convergence holds).
+	WorstSteps int `json:"worst_steps,omitempty"`
+	// Summary is the human-readable one-line verdict.
+	Summary string `json:"summary"`
+}
+
+// Result is the machine-readable verdict of one verification: the JSON
+// encoding shared by the service's job API, csverify -json, and
+// gclrun -json, so every entry point emits the same shape.
+type Result struct {
+	// Program is the checked program's name.
+	Program string `json:"program"`
+	// States is the size of the enumerated state space.
+	States int64 `json:"states"`
+	// StatesS and StatesT count the states satisfying S and T.
+	StatesS int64 `json:"states_s"`
+	// StatesT counts the states satisfying the fault-span T.
+	StatesT int64 `json:"states_t"`
+	// Classification is "masking" or "nonmasking" (paper Section 3).
+	Classification string `json:"classification"`
+	// ClosureOK reports whether S and T are closed in the program.
+	ClosureOK bool `json:"closure_ok"`
+	// Closure details the first closure violation when ClosureOK is false.
+	Closure string `json:"closure,omitempty"`
+	// Unfair is the arbitrary-daemon convergence verdict.
+	Unfair *Convergence `json:"unfair"`
+	// Fair is the weakly-fair-daemon verdict, present only when the
+	// arbitrary daemon failed (the paper's Section 8 remark).
+	Fair *Convergence `json:"fair,omitempty"`
+	// Verdict is "satisfied" or "violated" (see Report.Tolerant).
+	Verdict string `json:"verdict"`
+	// ElapsedMS is the checker's wall-clock time in milliseconds. For a
+	// cached result it is the original check's time, not the lookup's.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Workers is the effective checker worker count.
+	Workers int `json:"workers"`
+	// Cached reports whether this result was served from the
+	// content-addressed cache rather than a fresh verify.Check run.
+	Cached bool `json:"cached,omitempty"`
+}
+
+func convergenceJSON(r *verify.ConvergenceResult) *Convergence {
+	if r == nil {
+		return nil
+	}
+	c := &Convergence{Converges: r.Converges, Fair: r.Fair, Summary: r.Summary()}
+	if r.Converges && !r.Fair {
+		c.WorstSteps = r.WorstSteps
+	}
+	return c
+}
+
+// ResultFromReport converts a verify.Check report into the shared wire
+// encoding. name overrides the program name recorded on the result (pass
+// "" to keep the report's space program name implicit — callers always
+// know the name they checked).
+func ResultFromReport(name string, rep *verify.Report) *Result {
+	res := &Result{
+		Program:        name,
+		States:         rep.Space.Count,
+		StatesS:        rep.Space.CountS(),
+		StatesT:        rep.Space.CountT(),
+		Classification: rep.Classification.String(),
+		ClosureOK:      rep.Closure == nil,
+		Unfair:         convergenceJSON(rep.Unfair),
+		Fair:           convergenceJSON(rep.Fair),
+		ElapsedMS:      float64(rep.Elapsed) / float64(time.Millisecond),
+		Workers:        rep.Options.Workers,
+	}
+	if rep.Closure != nil {
+		res.Closure = rep.Closure.Error()
+	}
+	if rep.Tolerant() {
+		res.Verdict = VerdictSatisfied
+	} else {
+		res.Verdict = VerdictViolated
+	}
+	return res
+}
+
+// clone returns a shallow copy so per-response mutation (the Cached flag)
+// never touches the cached canonical value.
+func (r *Result) clone() *Result {
+	cp := *r
+	return &cp
+}

@@ -1,0 +1,375 @@
+// Package service turns the one-shot checker pipeline (gcl compile +
+// verify.Check) into a long-running verification service: an HTTP/JSON API
+// over a bounded in-process job queue with per-job deadlines and
+// cancellation, admission control, a content-addressed result cache, and
+// Prometheus-text metrics. cmd/csserved is the binary; package client is
+// the typed caller.
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"nonmask/internal/verify"
+)
+
+// Defaults for Config's zero values.
+const (
+	defaultQueueSize   = 64
+	defaultExecutors   = 4
+	defaultMaxDeadline = 60 * time.Second
+	defaultMaxRecords  = 4096
+	defaultCacheSize   = 1024
+)
+
+// Config sizes the server. The zero value is ready for production-ish
+// defaults; tests shrink the queue to exercise admission control.
+type Config struct {
+	// QueueSize bounds the number of jobs waiting for an executor;
+	// submissions beyond it are rejected with 429 (default 64).
+	QueueSize int
+	// Executors is the number of goroutines running checks (default 4;
+	// negative means none, which parks every submission in the queue —
+	// used by tests exercising admission control). Each check additionally
+	// shards its own passes across CheckWorkers goroutines, so total
+	// parallelism is Executors × CheckWorkers.
+	Executors int
+	// CheckWorkers is the default verify worker count per job (0 = all
+	// CPUs); jobs may override it, it does not affect cache keys.
+	CheckWorkers int
+	// MaxStates is the default state-space cap (0 = verify default).
+	MaxStates int64
+	// MaxDeadline caps each job's wall-clock budget; job-requested
+	// deadlines beyond it are clamped (default 60s).
+	MaxDeadline time.Duration
+	// MaxRecords bounds retained job records; the oldest finished records
+	// are evicted past it (default 4096).
+	MaxRecords int
+	// CacheSize bounds the content-addressed result cache (default 1024).
+	CacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = defaultQueueSize
+	}
+	if c.Executors == 0 {
+		c.Executors = defaultExecutors
+	} else if c.Executors < 0 {
+		c.Executors = 0
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = defaultMaxDeadline
+	}
+	if c.MaxRecords <= 0 {
+		c.MaxRecords = defaultMaxRecords
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = defaultCacheSize
+	}
+	return c
+}
+
+// Server is the verification service: it owns the job queue, the executor
+// pool, the job records, and the result cache. Create with New, mount
+// Handler on an http.Server, and stop with Shutdown.
+type Server struct {
+	cfg     Config
+	metrics Metrics
+	cache   *cache
+
+	baseCtx context.Context // parent of every check context
+	stop    context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	queue    chan *job
+	jobs     map[string]*job
+	order    []string // job ids, admission order, for record eviction
+	seq      uint64
+
+	wg sync.WaitGroup // executor goroutines
+}
+
+// New starts a server: Config.Executors goroutines begin waiting on the
+// queue immediately.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		cache:   newCache(cfg.CacheSize),
+		baseCtx: ctx,
+		stop:    cancel,
+		queue:   make(chan *job, cfg.QueueSize),
+		jobs:    make(map[string]*job),
+	}
+	for i := 0; i < cfg.Executors; i++ {
+		s.wg.Add(1)
+		go s.executor()
+	}
+	return s
+}
+
+// Metrics exposes the server's counters (read-only use).
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// submitError carries an HTTP status for the transport layer.
+type submitError struct {
+	code int
+	msg  string
+}
+
+func (e *submitError) Error() string { return e.msg }
+
+// errorCode maps an error to its HTTP status (500 for unknown errors).
+func errorCode(err error) int {
+	if se, ok := err.(*submitError); ok {
+		return se.code
+	}
+	return http.StatusInternalServerError
+}
+
+// Submit validates, content-addresses, and admits a job. Cache hits
+// return an already-done job without touching the queue; misses are
+// enqueued unless the queue is full (429) or the server is draining (503).
+func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	c, err := compileSpec(spec, s.cfg)
+	if err != nil {
+		s.metrics.Rejected.Add(1)
+		return JobStatus{}, &submitError{http.StatusBadRequest, err.Error()}
+	}
+	now := time.Now()
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.Rejected.Add(1)
+		return JobStatus{}, &submitError{http.StatusServiceUnavailable, "server is draining"}
+	}
+	if hit := s.cache.get(c.key); hit != nil {
+		j := s.admitLocked(c, now)
+		s.mu.Unlock()
+		s.metrics.Submitted.Add(1)
+		s.metrics.CacheHits.Add(1)
+		j.mu.Lock()
+		j.cached = true
+		j.mu.Unlock()
+		j.transition(StateDone, hit, nil, now)
+		return j.status(), nil
+	}
+	// Reserve a queue slot before registering the record so a rejected
+	// submission leaves no trace.
+	j := newJob(s.nextIDLocked(), c, now)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.metrics.Rejected.Add(1)
+		return JobStatus{}, &submitError{http.StatusTooManyRequests,
+			fmt.Sprintf("queue full (%d queued); retry later", s.cfg.QueueSize)}
+	}
+	s.registerLocked(j)
+	s.mu.Unlock()
+	s.metrics.Submitted.Add(1)
+	s.metrics.CacheMisses.Add(1)
+	s.metrics.QueueDepth.Add(1)
+	return j.status(), nil
+}
+
+// admitLocked creates and registers a job record (s.mu held).
+func (s *Server) admitLocked(c *compiled, now time.Time) *job {
+	j := newJob(s.nextIDLocked(), c, now)
+	s.registerLocked(j)
+	return j
+}
+
+func (s *Server) nextIDLocked() string {
+	s.seq++
+	return fmt.Sprintf("j-%08d", s.seq)
+}
+
+// registerLocked records a job and evicts the oldest finished records past
+// the retention bound (s.mu held).
+func (s *Server) registerLocked(j *job) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	for len(s.jobs) > s.cfg.MaxRecords {
+		evicted := false
+		for i, id := range s.order {
+			if jj, ok := s.jobs[id]; ok {
+				jj.mu.Lock()
+				terminal := jj.state.terminal()
+				jj.mu.Unlock()
+				if terminal {
+					delete(s.jobs, id)
+					s.order = append(s.order[:i], s.order[i+1:]...)
+					evicted = true
+					break
+				}
+			} else {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything live; let the map grow rather than drop state
+		}
+	}
+}
+
+// Job returns a job's status by id.
+func (s *Server) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(), true
+}
+
+// WaitJob blocks until the job reaches a terminal state, the wait elapses,
+// or ctx is done, then returns the current status.
+func (s *Server) WaitJob(ctx context.Context, id string, wait time.Duration) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		select {
+		case <-j.done:
+		case <-t.C:
+		case <-ctx.Done():
+		}
+	}
+	return j.status(), true
+}
+
+// Cancel cancels a queued or running job. It reports whether the job
+// exists; already-terminal jobs are left untouched.
+func (s *Server) Cancel(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	j.requestCancel(time.Now())
+	return j.status(), true
+}
+
+// executor pulls jobs off the queue and runs them through verify.Check.
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.metrics.QueueDepth.Add(-1)
+		s.runJob(j)
+	}
+}
+
+// testHookJobRunning, when non-nil, runs after a job transitions to
+// running and before its check starts; white-box tests use it to hold a
+// job deterministically in flight.
+var testHookJobRunning func(id string)
+
+// runJob executes one job. The check context is the server's base context
+// (so Shutdown's hard-stop cancels in-flight checks) plus the job's
+// deadline; verify.Check applies Options.Deadline itself.
+func (s *Server) runJob(j *job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if !j.markRunning(cancel) {
+		// Canceled while queued.
+		s.metrics.Canceled.Add(1)
+		return
+	}
+	if testHookJobRunning != nil {
+		testHookJobRunning(j.id)
+	}
+	s.metrics.InFlight.Add(1)
+	defer s.metrics.InFlight.Add(-1)
+
+	start := time.Now()
+	rep, err := verify.Check(ctx, j.c.prog, j.c.s, j.c.t, verify.WithOptions(j.c.opts))
+	now := time.Now()
+	if err != nil {
+		state := StateFailed
+		if ctx.Err() == context.Canceled {
+			// Explicit cancel or hard shutdown, not a job failure; a
+			// deadline expiry surfaces as DeadlineExceeded from the
+			// check's own timeout context and stays a failure.
+			state = StateCanceled
+			err = fmt.Errorf("canceled: %w", err)
+		}
+		if state == StateCanceled {
+			s.metrics.Canceled.Add(1)
+		} else {
+			s.metrics.Failed.Add(1)
+		}
+		j.transition(state, nil, err, now)
+		return
+	}
+	res := ResultFromReport(j.c.name, rep)
+	s.cache.put(j.c.key, res)
+	s.metrics.Completed.Add(1)
+	if res.Verdict == VerdictSatisfied {
+		s.metrics.Satisfied.Add(1)
+	} else {
+		s.metrics.Violated.Add(1)
+	}
+	s.metrics.ObserveLatency(now.Sub(start).Seconds())
+	j.transition(StateDone, res, nil, now)
+}
+
+// Shutdown drains the server: new submissions get 503, queued jobs are
+// canceled, and in-flight checks are given until ctx is done to finish
+// before being cancelled hard. It returns nil when every executor exited
+// cleanly.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return fmt.Errorf("service: Shutdown called twice")
+	}
+	s.draining = true
+	// Cancel everything still waiting in the queue. Draining the channel
+	// here (rather than letting executors see the canceled jobs) frees the
+	// executors to exit as soon as their current check completes.
+	now := time.Now()
+loop:
+	for {
+		select {
+		case j := <-s.queue:
+			s.metrics.QueueDepth.Add(-1)
+			j.requestCancel(now)
+			s.metrics.Canceled.Add(1)
+		default:
+			break loop
+		}
+	}
+	close(s.queue)
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.stop()
+		return nil
+	case <-ctx.Done():
+		s.stop() // hard-cancel in-flight checks
+		<-done
+		return ctx.Err()
+	}
+}
