@@ -7,10 +7,13 @@
 //
 //	csserved                                  # serve on 127.0.0.1:8080
 //	csserved -addr :9090 -queue 128 -executors 8
+//	csserved -log debug -pprof                # per-pass spans + /debug/pprof/
 //	csserved -load -load-jobs 200 -load-clients 8   # self-benchmark
 //
-// Endpoints: POST /v1/jobs, GET /v1/jobs/{id}[?wait=2s],
-// DELETE /v1/jobs/{id}, GET /v1/protocols, GET /healthz, GET /metrics.
+// Endpoints: POST /v1/jobs, GET /v1/jobs[?limit=&offset=],
+// GET /v1/jobs/{id}[?wait=2s], DELETE /v1/jobs/{id}, GET /v1/protocols,
+// GET /healthz, GET /metrics (including per-pass latency histograms).
+// With -pprof, net/http/pprof is mounted under /debug/pprof/.
 //
 // SIGINT/SIGTERM drain gracefully: new submissions get 503, queued jobs
 // are canceled, in-flight checks finish (up to -drain-timeout).
@@ -21,8 +24,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,13 +45,22 @@ func main() {
 		maxStates    = flag.Int64("max-states", 0, "default state-space cap (0 = verify default)")
 		maxDeadline  = flag.Duration("max-deadline", 60*time.Second, "per-job wall-clock budget cap")
 		cacheSize    = flag.Int("cache", 1024, "content-addressed result cache entries")
+		recordTTL    = flag.Duration("record-ttl", 0, "finished job record retention (0 = 15m default, negative disables the sweep)")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight checks")
+		logLevel     = flag.String("log", "info", "structured log level on stderr: debug | info | warn | error | off (debug includes per-pass spans and request logs)")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the service address")
 
 		load        = flag.Bool("load", false, "self-benchmark: hammer an in-process server and print a latency table")
 		loadJobs    = flag.Int("load-jobs", 200, "load mode: total submissions")
 		loadClients = flag.Int("load-clients", 8, "load mode: concurrent clients")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csserved:", err)
+		os.Exit(2)
+	}
 
 	cfg := service.Config{
 		QueueSize:    *queueSize,
@@ -55,6 +69,8 @@ func main() {
 		MaxStates:    *maxStates,
 		MaxDeadline:  *maxDeadline,
 		CacheSize:    *cacheSize,
+		RecordTTL:    *recordTTL,
+		Logger:       logger,
 	}
 
 	if *load {
@@ -64,19 +80,53 @@ func main() {
 		}
 		return
 	}
-	if err := serve(*addr, cfg, *drainWait); err != nil {
+	if err := serve(*addr, cfg, *drainWait, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "csserved:", err)
 		os.Exit(1)
 	}
 }
 
-func serve(addr string, cfg service.Config, drainWait time.Duration) error {
+// buildLogger makes the stderr text logger for -log, or a discarding one
+// for "off" (service.Config treats a nil Logger as discard).
+func buildLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	case "off":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown -log level %q (want debug | info | warn | error | off)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
+
+func serve(addr string, cfg service.Config, drainWait time.Duration, pprofOn bool) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	svc := service.New(cfg)
-	httpSrv := &http.Server{Handler: svc.Handler()}
+	handler := svc.Handler()
+	if pprofOn {
+		// Opt-in only: the profiling endpoints expose stacks and heap
+		// contents, so they stay off unless -pprof is set.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	httpSrv := &http.Server{Handler: handler}
 
 	// The bound address line is load-bearing: the CI smoke test (and any
 	// script using port 0) scrapes the port from it.

@@ -26,8 +26,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"nonmask/internal/core"
+	"nonmask/internal/obs"
 	"nonmask/internal/protocols/registry"
 	"nonmask/internal/service"
 	"nonmask/internal/verify"
@@ -46,6 +48,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "goroutines sharding the checker's passes (0 = all CPUs, 1 = sequential)")
 		maxStates = flag.Int64("max-states", 0, fmt.Sprintf("state-space cap (0 = default %d)", verify.DefaultMaxStates))
 		jsonOut   = flag.Bool("json", false, "emit the machine-readable service.Result JSON instead of prose")
+		trace     = flag.Bool("trace", false, "print the per-pass span table (states, frontier, wall time) on stderr")
+		progress  = flag.Bool("progress", false, "stream live per-pass progress lines on stderr")
 		list      = flag.Bool("list", false, "list the protocol catalog and exit")
 	)
 	flag.Parse()
@@ -63,10 +67,60 @@ func main() {
 	} else {
 		opts.Strategy = verify.Projected
 	}
+	// -trace collects every pass span the check emits (including stair and
+	// fair-convergence follow-ups, which inherit the options' tracer) and
+	// prints the table after the verdict; -progress samples the hot loops'
+	// shared counter twice a second. Both write stderr, so -json output
+	// stays parseable.
+	var collector *obs.Collector
+	if *trace {
+		collector = &obs.Collector{}
+		opts.Tracer = collector
+	}
+	stopProgress := func() {}
+	if *progress {
+		p := &obs.Progress{}
+		opts.Progress = p
+		stopProgress = p.Watch(500*time.Millisecond, func(s obs.Snapshot) {
+			printSnapshot("csverify", s)
+		})
+	}
+
 	params := registry.Params{N: *n, K: *k, Tree: *tree, Graph: *graphStr, Variant: *variant, Seed: *seed}
-	if err := run(*protocol, params, opts, *jsonOut); err != nil {
+	err := run(*protocol, params, opts, *jsonOut)
+	stopProgress()
+	if collector != nil {
+		fmt.Fprint(os.Stderr, obs.FormatTable(collector.Passes()))
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "csverify:", err)
 		os.Exit(1)
+	}
+}
+
+// printSnapshot renders one -progress ticker line.
+func printSnapshot(prefix string, s obs.Snapshot) {
+	if s.Pass == "" {
+		return
+	}
+	if s.Total > 0 {
+		fmt.Fprintf(os.Stderr, "%s: %-16s %d/%d states in %v (%s/s)\n",
+			prefix, s.Pass, s.Done, s.Total, s.Elapsed.Round(time.Millisecond), rateString(s.Rate()))
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %-16s %d states in %v (%s/s)\n",
+		prefix, s.Pass, s.Done, s.Elapsed.Round(time.Millisecond), rateString(s.Rate()))
+}
+
+// rateString compacts a states/second figure for the ticker line.
+func rateString(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk", r/1e3)
+	default:
+		return fmt.Sprintf("%.0f", r)
 	}
 }
 

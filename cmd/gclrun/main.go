@@ -11,6 +11,7 @@
 //	gclrun -strategy exhaustive file.gcl
 //	gclrun -workers 1 -max-states 1000000 file.gcl
 //	gclrun -json file.gcl                     # service.Result JSON
+//	gclrun -trace -progress file.gcl          # pass table + live ticker on stderr
 package main
 
 import (
@@ -19,8 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"nonmask/internal/gcl"
+	"nonmask/internal/obs"
 	"nonmask/internal/service"
 	"nonmask/internal/verify"
 )
@@ -32,10 +35,12 @@ func main() {
 		workers   = flag.Int("workers", 0, "goroutines sharding the checker's passes (0 = all CPUs, 1 = sequential)")
 		maxStates = flag.Int64("max-states", 0, fmt.Sprintf("state-space cap (0 = default %d)", verify.DefaultMaxStates))
 		jsonOut   = flag.Bool("json", false, "emit the machine-readable service.Result JSON instead of prose")
+		trace     = flag.Bool("trace", false, "print the per-pass span table (states, frontier, wall time) on stderr")
+		progress  = flag.Bool("progress", false, "stream live per-pass progress lines on stderr")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: gclrun [-print] [-json] [-strategy s] [-workers n] [-max-states n] <file.gcl>")
+		fmt.Fprintln(os.Stderr, "usage: gclrun [-print] [-json] [-trace] [-progress] [-strategy s] [-workers n] [-max-states n] <file.gcl>")
 		os.Exit(2)
 	}
 	opts := verify.Options{Workers: *workers, MaxStates: *maxStates}
@@ -44,10 +49,41 @@ func main() {
 	} else {
 		opts.Strategy = verify.Projected
 	}
-	if err := run(flag.Arg(0), *printOnly, *jsonOut, opts); err != nil {
+	// Both observability streams write stderr, keeping -json stdout clean.
+	var collector *obs.Collector
+	if *trace {
+		collector = &obs.Collector{}
+		opts.Tracer = collector
+	}
+	stopProgress := func() {}
+	if *progress {
+		p := &obs.Progress{}
+		opts.Progress = p
+		stopProgress = p.Watch(500*time.Millisecond, printSnapshot)
+	}
+	err := run(flag.Arg(0), *printOnly, *jsonOut, opts)
+	stopProgress()
+	if collector != nil {
+		fmt.Fprint(os.Stderr, obs.FormatTable(collector.Passes()))
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gclrun:", err)
 		os.Exit(1)
 	}
+}
+
+// printSnapshot renders one -progress ticker line.
+func printSnapshot(s obs.Snapshot) {
+	if s.Pass == "" {
+		return
+	}
+	if s.Total > 0 {
+		fmt.Fprintf(os.Stderr, "gclrun: %-16s %d/%d states in %v\n",
+			s.Pass, s.Done, s.Total, s.Elapsed.Round(time.Millisecond))
+		return
+	}
+	fmt.Fprintf(os.Stderr, "gclrun: %-16s %d states in %v\n",
+		s.Pass, s.Done, s.Elapsed.Round(time.Millisecond))
 }
 
 // effectiveCap resolves the zero-means-default state cap.

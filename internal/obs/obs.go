@@ -1,0 +1,242 @@
+// Package obs is the checker's observability layer: pass-level tracing
+// and a cheap atomic progress counter, with zero dependencies beyond the
+// standard library and a guaranteed no-op default.
+//
+// The verifier (internal/verify) runs as a sequence of sharded passes —
+// space enumeration, successor-table build, closure scans, convergence
+// fixpoints, fault-span and leads-to reachability. Each pass emits one
+// span: a PassStat carrying the pass name, exact state count, peak
+// frontier size, worker count and wall time. A Tracer receives span
+// start/end events; a Progress counter is bumped once per work chunk by
+// the hot loops and sampled from outside by a ticker (Watch).
+//
+// Overhead contract: everything here is safe and free to leave off. A nil
+// *Progress accepts Add/StartPass calls (one nil-check, no allocation),
+// Nop is an allocation-free Tracer, and the per-span bookkeeping is a
+// handful of time.Now calls per pass — invisible next to passes that scan
+// millions of states. The contract is pinned by AllocsPerRun tests in
+// this package and the nop-vs-untraced Check benchmarks in
+// internal/verify.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PassStat is the completed span of one verifier pass: the wire-ready
+// record shared by verify.Report, service.Result, and the /metrics
+// histograms.
+type PassStat struct {
+	// Pass is the pass name (see the Pass* constants in internal/verify
+	// and the taxonomy in DESIGN §8).
+	Pass string `json:"pass"`
+	// States is the exact number of states (or work items, for
+	// frontier-driven passes) the pass processed.
+	States int64 `json:"states"`
+	// Frontier is the peak BFS frontier / wave size, for the passes that
+	// have one (fault-span, leads-to, the convergence wave loop).
+	Frontier int64 `json:"frontier,omitempty"`
+	// Workers is the goroutine count the pass was sharded across.
+	Workers int `json:"workers"`
+	// ElapsedMS is the pass's wall-clock time in milliseconds.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// Elapsed returns the span's wall time as a duration.
+func (p PassStat) Elapsed() time.Duration {
+	return time.Duration(p.ElapsedMS * float64(time.Millisecond))
+}
+
+// StatesPerSecond returns the pass's throughput, or 0 for an
+// instantaneous span.
+func (p PassStat) StatesPerSecond() float64 {
+	if p.ElapsedMS <= 0 {
+		return 0
+	}
+	return float64(p.States) / (p.ElapsedMS / 1000)
+}
+
+// Tracer receives pass span events. Implementations must be safe for
+// concurrent use: stage passes (stair steps, leads-to's embedded
+// convergence check) can emit while an outer span is open, and the
+// service traces many jobs at once through one sink.
+type Tracer interface {
+	// PassStart marks the beginning of the named pass.
+	PassStart(pass string)
+	// PassEnd delivers the completed pass's statistics.
+	PassEnd(stat PassStat)
+}
+
+// Nop is the allocation-free no-op Tracer: the explicit spelling of
+// "tracing off" for benchmarks and default wiring.
+type Nop struct{}
+
+// PassStart does nothing.
+func (Nop) PassStart(string) {}
+
+// PassEnd does nothing.
+func (Nop) PassEnd(PassStat) {}
+
+// Collector is a Tracer that accumulates completed spans in emission
+// order. The zero value is ready to use; it is safe for concurrent use.
+type Collector struct {
+	mu    sync.Mutex
+	stats []PassStat
+}
+
+// PassStart implements Tracer; the collector only records completions.
+func (c *Collector) PassStart(string) {}
+
+// PassEnd appends the completed span.
+func (c *Collector) PassEnd(stat PassStat) {
+	c.mu.Lock()
+	c.stats = append(c.stats, stat)
+	c.mu.Unlock()
+}
+
+// Passes returns a copy of the collected spans, in completion order.
+func (c *Collector) Passes() []PassStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]PassStat(nil), c.stats...)
+}
+
+// tee fans span events out to multiple tracers.
+type tee struct{ sinks []Tracer }
+
+func (t tee) PassStart(pass string) {
+	for _, s := range t.sinks {
+		s.PassStart(pass)
+	}
+}
+
+func (t tee) PassEnd(stat PassStat) {
+	for _, s := range t.sinks {
+		s.PassEnd(stat)
+	}
+}
+
+// Tee combines tracers into one, dropping nils. It returns nil when
+// nothing remains, and the tracer itself when only one remains, so the
+// hot path never pays for an empty fan-out.
+func Tee(tracers ...Tracer) Tracer {
+	var live []Tracer
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return tee{sinks: live}
+}
+
+// LogTracer emits one structured slog record per completed span — the
+// service's per-job trace stream. Attach job/request attributes by
+// passing a logger pre-bound with logger.With(...).
+type LogTracer struct {
+	Logger *slog.Logger
+}
+
+// PassStart is silent; the completion record carries the timing.
+func (LogTracer) PassStart(string) {}
+
+// PassEnd logs the span at debug level.
+func (t LogTracer) PassEnd(stat PassStat) {
+	if t.Logger == nil {
+		return
+	}
+	t.Logger.Debug("pass",
+		"pass", stat.Pass,
+		"states", stat.States,
+		"frontier", stat.Frontier,
+		"workers", stat.Workers,
+		"elapsed_ms", stat.ElapsedMS,
+	)
+}
+
+// FormatTable renders spans as the fixed-width, human-readable pass table
+// printed by csverify -trace and gclrun -trace.
+func FormatTable(stats []PassStat) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %12s %10s %8s %12s %12s\n",
+		"pass", "states", "frontier", "workers", "elapsed", "states/s")
+	var totalMS float64
+	for _, s := range stats {
+		frontier := "-"
+		if s.Frontier > 0 {
+			frontier = fmt.Sprintf("%d", s.Frontier)
+		}
+		fmt.Fprintf(&b, "%-16s %12d %10s %8d %12s %12s\n",
+			s.Pass, s.States, frontier, s.Workers,
+			s.Elapsed().Round(time.Microsecond), formatRate(s.StatesPerSecond()))
+		totalMS += s.ElapsedMS
+	}
+	fmt.Fprintf(&b, "%-16s %12s %10s %8s %12s\n", "total", "", "", "",
+		(time.Duration(totalMS * float64(time.Millisecond))).Round(time.Microsecond))
+	return b.String()
+}
+
+// formatRate renders a states/second figure compactly (1.2M, 850k, ...).
+func formatRate(r float64) string {
+	switch {
+	case r <= 0:
+		return "-"
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk", r/1e3)
+	default:
+		return fmt.Sprintf("%.0f", r)
+	}
+}
+
+// WriteBreakdown writes a one-line-per-pass share-of-total breakdown,
+// aggregating repeated passes (closure runs once per predicate, stages
+// re-enter convergence) by name. Used by csserved -load and debugging
+// sessions that want "where did the time go" without the full table.
+func WriteBreakdown(w io.Writer, stats []PassStat) {
+	type agg struct {
+		name   string
+		ms     float64
+		states int64
+		n      int
+	}
+	byName := map[string]*agg{}
+	var order []string
+	var totalMS float64
+	for _, s := range stats {
+		a, ok := byName[s.Pass]
+		if !ok {
+			a = &agg{name: s.Pass}
+			byName[s.Pass] = a
+			order = append(order, s.Pass)
+		}
+		a.ms += s.ElapsedMS
+		a.states += s.States
+		a.n++
+		totalMS += s.ElapsedMS
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return byName[order[i]].ms > byName[order[j]].ms
+	})
+	for _, name := range order {
+		a := byName[name]
+		share := 0.0
+		if totalMS > 0 {
+			share = 100 * a.ms / totalMS
+		}
+		fmt.Fprintf(w, "%-16s %6.1f%% %10.2fms %12d states (%d spans)\n",
+			a.name, share, a.ms, a.states, a.n)
+	}
+}

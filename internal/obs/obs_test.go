@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNopTracerAllocationFree pins the overhead contract: the no-op tracer
+// costs nothing on either side of a span.
+func TestNopTracerAllocationFree(t *testing.T) {
+	var tr Tracer = Nop{}
+	stat := PassStat{Pass: "closure", States: 1 << 20, Workers: 8, ElapsedMS: 12.5}
+	if n := testing.AllocsPerRun(100, func() {
+		tr.PassStart("closure")
+		tr.PassEnd(stat)
+	}); n != 0 {
+		t.Fatalf("Nop tracer allocates %.1f per span, want 0", n)
+	}
+}
+
+// TestNilProgressAllocationFree pins the other half of the contract: hot
+// loops may call a nil *Progress unconditionally.
+func TestNilProgressAllocationFree(t *testing.T) {
+	var p *Progress
+	if n := testing.AllocsPerRun(100, func() {
+		p.StartPass("enumerate", 1<<20)
+		p.Add(1 << 14)
+		_ = p.Snapshot()
+	}); n != 0 {
+		t.Fatalf("nil Progress allocates %.1f per call set, want 0", n)
+	}
+}
+
+func TestProgressSampling(t *testing.T) {
+	p := &Progress{}
+	if s := p.Snapshot(); s.Pass != "" || s.Done != 0 {
+		t.Fatalf("fresh snapshot = %+v, want zero", s)
+	}
+
+	p.StartPass("enumerate", 1000)
+	p.Add(400)
+	p.Add(200)
+	s := p.Snapshot()
+	if s.Pass != "enumerate" || s.Done != 600 || s.Total != 1000 {
+		t.Fatalf("snapshot = %+v, want pass=enumerate done=600 total=1000", s)
+	}
+	if s.Elapsed < 0 {
+		t.Fatalf("negative elapsed %v", s.Elapsed)
+	}
+
+	// A new pass resets the counter and swaps the header atomically.
+	p.StartPass("closure", 0)
+	s = p.Snapshot()
+	if s.Pass != "closure" || s.Done != 0 || s.Total != 0 {
+		t.Fatalf("after StartPass: %+v, want pass=closure done=0", s)
+	}
+}
+
+func TestProgressWatch(t *testing.T) {
+	p := &Progress{}
+	p.StartPass("succ_table", 100)
+	p.Add(42)
+
+	var mu sync.Mutex
+	var got []Snapshot
+	stop := p.Watch(time.Millisecond, func(s Snapshot) {
+		mu.Lock()
+		got = append(got, s)
+		mu.Unlock()
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) == 0 {
+		t.Fatal("watcher never sampled")
+	}
+	if s := got[0]; s.Pass != "succ_table" || s.Done != 42 {
+		t.Fatalf("sampled %+v, want pass=succ_table done=42", s)
+	}
+}
+
+func TestNilProgressWatch(t *testing.T) {
+	var p *Progress
+	stop := p.Watch(time.Millisecond, func(Snapshot) {
+		t.Error("nil progress watcher fired")
+	})
+	time.Sleep(5 * time.Millisecond)
+	stop()
+}
+
+// TestCollectorOrder checks spans come back in completion order and that
+// Passes returns an independent copy.
+func TestCollectorOrder(t *testing.T) {
+	c := &Collector{}
+	names := []string{"enumerate", "succ_table", "closure", "converge_unfair"}
+	for i, name := range names {
+		c.PassStart(name)
+		c.PassEnd(PassStat{Pass: name, States: int64(i + 1)})
+	}
+	got := c.Passes()
+	if len(got) != len(names) {
+		t.Fatalf("collected %d spans, want %d", len(got), len(names))
+	}
+	for i, name := range names {
+		if got[i].Pass != name || got[i].States != int64(i+1) {
+			t.Fatalf("span %d = %+v, want pass %s", i, got[i], name)
+		}
+	}
+	got[0].Pass = "mutated"
+	if c.Passes()[0].Pass != "enumerate" {
+		t.Fatal("Passes returned the internal slice, not a copy")
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := &Collector{}
+	var wg sync.WaitGroup
+	const emitters, spans = 8, 100
+	for i := 0; i < emitters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < spans; j++ {
+				c.PassEnd(PassStat{Pass: "stage"})
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(c.Passes()); n != emitters*spans {
+		t.Fatalf("collected %d spans, want %d", n, emitters*spans)
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee() != nil || Tee(nil, nil) != nil {
+		t.Fatal("empty Tee should collapse to nil")
+	}
+	c := &Collector{}
+	if got := Tee(nil, c); got != Tracer(c) {
+		t.Fatalf("single-sink Tee should return the sink itself, got %T", got)
+	}
+	c2 := &Collector{}
+	both := Tee(c, c2)
+	both.PassStart("x")
+	both.PassEnd(PassStat{Pass: "x"})
+	if len(c.Passes()) != 1 || len(c2.Passes()) != 1 {
+		t.Fatalf("tee did not fan out: %d / %d", len(c.Passes()), len(c2.Passes()))
+	}
+}
+
+func TestLogTracer(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	tr := LogTracer{Logger: logger}
+	tr.PassEnd(PassStat{Pass: "fault_span", States: 99, Workers: 2, ElapsedMS: 1.5})
+	out := buf.String()
+	for _, want := range []string{"pass=fault_span", "states=99", "workers=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log record %q missing %q", out, want)
+		}
+	}
+	// A zero LogTracer must be safe (the "logging off" spelling).
+	LogTracer{}.PassEnd(PassStat{Pass: "x"})
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]PassStat{
+		{Pass: "enumerate", States: 16384, Workers: 4, ElapsedMS: 2},
+		{Pass: "converge_unfair", States: 16384, Frontier: 1074, Workers: 4, ElapsedMS: 8},
+	})
+	for _, want := range []string{"enumerate", "converge_unfair", "1074", "total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteBreakdown(t *testing.T) {
+	var buf bytes.Buffer
+	WriteBreakdown(&buf, []PassStat{
+		{Pass: "closure", States: 100, ElapsedMS: 1},
+		{Pass: "closure", States: 100, ElapsedMS: 1},
+		{Pass: "enumerate", States: 100, ElapsedMS: 6},
+	})
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("breakdown has %d lines, want 2 (aggregated):\n%s", len(lines), out)
+	}
+	// enumerate dominates (6ms of 8ms) and must sort first.
+	if !strings.HasPrefix(lines[0], "enumerate") {
+		t.Fatalf("breakdown not sorted by share:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "(2 spans)") {
+		t.Fatalf("closure spans not aggregated:\n%s", out)
+	}
+}
+
+func TestPassStatDerived(t *testing.T) {
+	s := PassStat{Pass: "x", States: 2000, ElapsedMS: 2000}
+	if got := s.Elapsed(); got != 2*time.Second {
+		t.Fatalf("Elapsed = %v, want 2s", got)
+	}
+	if got := s.StatesPerSecond(); got != 1000 {
+		t.Fatalf("StatesPerSecond = %v, want 1000", got)
+	}
+	if got := (PassStat{}).StatesPerSecond(); got != 0 {
+		t.Fatalf("zero-span rate = %v, want 0", got)
+	}
+}

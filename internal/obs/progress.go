@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// passInfo is the immutable per-pass header a Progress swaps atomically on
+// pass boundaries, so Snapshot never sees a name from one pass with a
+// counter from another without at least agreeing on which pass it reports.
+type passInfo struct {
+	name    string
+	total   int64
+	started time.Time
+}
+
+// Progress is a cheap, atomically updated work counter the verifier's hot
+// loops bump once per chunk (one nil-check and one atomic add per ~16k
+// states). It is written by the pass internals and sampled from outside —
+// a ticker goroutine (Watch), the CLIs' -progress stream, or a test.
+//
+// All methods are nil-safe: a nil *Progress is the "progress off"
+// default and costs callers exactly the nil-check.
+type Progress struct {
+	info atomic.Pointer[passInfo]
+	done atomic.Int64
+}
+
+// StartPass resets the counter for a new pass. total is a best-effort
+// size hint (0 when unknown, e.g. frontier-driven passes).
+func (p *Progress) StartPass(name string, total int64) {
+	if p == nil {
+		return
+	}
+	p.done.Store(0)
+	p.info.Store(&passInfo{name: name, total: total, started: time.Now()})
+}
+
+// Add records n more processed states/work items. This is the hot-path
+// entry point.
+func (p *Progress) Add(n int64) {
+	if p == nil {
+		return
+	}
+	p.done.Add(n)
+}
+
+// Snapshot is one sampled view of a Progress.
+type Snapshot struct {
+	// Pass is the currently running pass ("" before the first pass).
+	Pass string
+	// Done is the number of states/work items processed so far in it.
+	Done int64
+	// Total is the pass's size hint (0 when unknown).
+	Total int64
+	// Elapsed is the time since the pass started.
+	Elapsed time.Duration
+}
+
+// Rate returns the pass's observed throughput in states per second.
+func (s Snapshot) Rate() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Done) / s.Elapsed.Seconds()
+}
+
+// Snapshot samples the counter. Safe to call concurrently with updates;
+// a nil receiver returns the zero Snapshot.
+func (p *Progress) Snapshot() Snapshot {
+	if p == nil {
+		return Snapshot{}
+	}
+	info := p.info.Load()
+	if info == nil {
+		return Snapshot{Done: p.done.Load()}
+	}
+	return Snapshot{
+		Pass:    info.name,
+		Done:    p.done.Load(),
+		Total:   info.total,
+		Elapsed: time.Since(info.started),
+	}
+}
+
+// Watch starts a goroutine sampling p every interval and invoking fn with
+// each snapshot; fn runs on the watcher goroutine. The returned stop
+// function halts the sampling and waits for in-flight fn calls; it is
+// idempotent. A nil Progress yields a no-op stop.
+func (p *Progress) Watch(interval time.Duration, fn func(Snapshot)) (stop func()) {
+	if p == nil || interval <= 0 {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fn(p.Snapshot())
+			case <-quit:
+				return
+			}
+		}
+	}()
+	var once atomic.Bool
+	return func() {
+		if once.CompareAndSwap(false, true) {
+			close(quit)
+			<-done
+		}
+	}
+}

@@ -148,6 +148,24 @@ func TestProtocolCatalog(t *testing.T) {
 	}
 }
 
+func TestClientListsJobs(t *testing.T) {
+	_, c := newTestServer(t, service.Config{})
+	ctx := context.Background()
+	if _, err := c.Run(ctx, service.JobSpec{Protocol: "threestate", Params: registry.Params{N: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	page, err := c.Jobs(ctx, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 1 || len(page.Jobs) != 1 {
+		t.Fatalf("page = %+v, want one job", page)
+	}
+	if page.Jobs[0].State != service.StateDone {
+		t.Fatalf("listed job state = %s, want done", page.Jobs[0].State)
+	}
+}
+
 func TestLongPollWait(t *testing.T) {
 	_, c := newTestServer(t, service.Config{})
 	ctx := context.Background()

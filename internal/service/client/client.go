@@ -138,6 +138,25 @@ func (c *Client) Run(ctx context.Context, spec service.JobSpec) (service.JobStat
 	return c.Wait(ctx, st.ID)
 }
 
+// Jobs lists retained job records, newest first. limit 0 means the
+// server's page cap; offset skips past records.
+func (c *Client) Jobs(ctx context.Context, limit, offset int) (service.JobsPage, error) {
+	path := "/v1/jobs"
+	q := url.Values{}
+	if limit > 0 {
+		q.Set("limit", fmt.Sprint(limit))
+	}
+	if offset > 0 {
+		q.Set("offset", fmt.Sprint(offset))
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var page service.JobsPage
+	err := c.do(ctx, http.MethodGet, path, nil, &page)
+	return page, err
+}
+
 // Cancel cancels a queued or running job.
 func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, error) {
 	var st service.JobStatus

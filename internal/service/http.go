@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"nonmask/internal/protocols/registry"
@@ -43,20 +45,88 @@ func writeError(w http.ResponseWriter, code int, format string, args ...interfac
 // Handler returns the service's HTTP API:
 //
 //	POST   /v1/jobs        submit a job (JobSpec) → JobStatus (202, or 200 on cache hit)
+//	GET    /v1/jobs        list retained job records; ?limit=&offset= paginate
 //	GET    /v1/jobs/{id}   job status; ?wait=2s long-polls for completion
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
 //	GET    /v1/protocols   built-in protocol catalog
 //	GET    /healthz        liveness ("ok", or 503 once draining)
 //	GET    /metrics        Prometheus text exposition
+//
+// Every request is logged to the server's Logger with a request id, which
+// is also echoed in the X-Request-Id response header.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.withRequestLog(mux)
+}
+
+// reqSeq numbers requests across all servers in the process; the ids only
+// need to be unique within one log stream.
+var reqSeq atomic.Uint64
+
+// statusRecorder captures the response code for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// withRequestLog assigns each request an id, echoes it as X-Request-Id,
+// and logs method, path, status and latency at debug level (health and
+// metrics probes would drown info-level logs).
+func (s *Server) withRequestLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := "r-" + strconv.FormatUint(reqSeq.Add(1), 10)
+		w.Header().Set("X-Request-Id", id)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		s.log.Debug("http request",
+			"request", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.code,
+			"elapsed_ms", float64(time.Since(start))/float64(time.Millisecond),
+		)
+	})
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit, err := queryInt(q.Get("limit"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad limit %q: want a non-negative integer", q.Get("limit"))
+		return
+	}
+	offset, err := queryInt(q.Get("offset"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad offset %q: want a non-negative integer", q.Get("offset"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ListJobs(limit, offset))
+}
+
+// queryInt parses a non-negative integer query parameter, empty meaning
+// the default.
+func queryInt(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	return n, nil
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

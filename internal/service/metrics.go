@@ -3,15 +3,44 @@ package service
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"nonmask/internal/metrics"
+	"nonmask/internal/obs"
 )
 
 // maxLatencySamples bounds the retained check-latency sample window the
 // /metrics quantiles are computed over.
 const maxLatencySamples = 4096
+
+// passBuckets are the upper bounds (seconds) of the per-pass latency
+// histograms — exponential-ish from half a millisecond to a minute, the
+// plausible span between a cached three-node ring and a 60s-deadline
+// multi-million-state check.
+var passBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// passHist is one pass's cumulative latency histogram plus the totals
+// backing its states/sec gauge. Guarded by Metrics.passMu.
+type passHist struct {
+	buckets []int64 // observation counts per passBuckets bound
+	count   int64
+	sum     float64 // seconds
+	states  int64
+}
+
+func (h *passHist) observe(seconds float64, states int64) {
+	for i, le := range passBuckets {
+		if seconds <= le {
+			h.buckets[i]++
+		}
+	}
+	h.count++
+	h.sum += seconds
+	h.states += states
+}
 
 // Metrics holds the service's counters and gauges. All fields are updated
 // atomically; the latency sample window has its own lock. Rendered as
@@ -44,6 +73,9 @@ type Metrics struct {
 
 	mu        sync.Mutex
 	latencies []float64 // seconds, newest-last, bounded window
+
+	passMu sync.Mutex
+	passes map[string]*passHist // by pass name
 }
 
 // ObserveLatency records one check duration (in seconds).
@@ -55,6 +87,22 @@ func (m *Metrics) ObserveLatency(seconds float64) {
 		m.latencies = m.latencies[:len(m.latencies)-1]
 	}
 	m.latencies = append(m.latencies, seconds)
+}
+
+// ObservePass records one completed verifier pass span into the per-pass
+// latency histogram and throughput totals.
+func (m *Metrics) ObservePass(stat obs.PassStat) {
+	m.passMu.Lock()
+	defer m.passMu.Unlock()
+	if m.passes == nil {
+		m.passes = make(map[string]*passHist)
+	}
+	h, ok := m.passes[stat.Pass]
+	if !ok {
+		h = &passHist{buckets: make([]int64, len(passBuckets))}
+		m.passes[stat.Pass] = h
+	}
+	h.observe(stat.ElapsedMS/1000, stat.States)
 }
 
 // LatencySummary returns order statistics over the retained check-latency
@@ -96,4 +144,52 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "csserved_check_latency_seconds{quantile=\"0.99\"} %g\n", s.P99)
 	fmt.Fprintf(w, "csserved_check_latency_seconds_sum %g\n", s.Mean*float64(s.N))
 	fmt.Fprintf(w, "csserved_check_latency_seconds_count %d\n", s.N)
+
+	m.writePassMetrics(w)
+}
+
+// writePassMetrics renders the per-pass latency histograms and
+// throughput gauges, pass names sorted for deterministic scrapes.
+func (m *Metrics) writePassMetrics(w io.Writer) {
+	m.passMu.Lock()
+	defer m.passMu.Unlock()
+	if len(m.passes) == 0 {
+		return
+	}
+	names := make([]string, 0, len(m.passes))
+	for name := range m.passes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# HELP csserved_pass_latency_seconds Verifier pass latency by pass name.\n")
+	fmt.Fprintf(w, "# TYPE csserved_pass_latency_seconds histogram\n")
+	for _, name := range names {
+		h := m.passes[name]
+		// observe() increments every bucket at or above the value, so the
+		// stored counts are already cumulative as Prometheus "le" expects.
+		for i, le := range passBuckets {
+			fmt.Fprintf(w, "csserved_pass_latency_seconds_bucket{pass=%q,le=\"%g\"} %d\n", name, le, h.buckets[i])
+		}
+		fmt.Fprintf(w, "csserved_pass_latency_seconds_bucket{pass=%q,le=\"+Inf\"} %d\n", name, h.count)
+		fmt.Fprintf(w, "csserved_pass_latency_seconds_sum{pass=%q} %g\n", name, h.sum)
+		fmt.Fprintf(w, "csserved_pass_latency_seconds_count{pass=%q} %d\n", name, h.count)
+	}
+
+	fmt.Fprintf(w, "# HELP csserved_pass_states_total States processed by pass name.\n")
+	fmt.Fprintf(w, "# TYPE csserved_pass_states_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "csserved_pass_states_total{pass=%q} %d\n", name, m.passes[name].states)
+	}
+
+	fmt.Fprintf(w, "# HELP csserved_pass_states_per_second Cumulative pass throughput (states / pass-seconds).\n")
+	fmt.Fprintf(w, "# TYPE csserved_pass_states_per_second gauge\n")
+	for _, name := range names {
+		h := m.passes[name]
+		rate := 0.0
+		if h.sum > 0 {
+			rate = float64(h.states) / h.sum
+		}
+		fmt.Fprintf(w, "csserved_pass_states_per_second{pass=%q} %g\n", name, rate)
+	}
 }

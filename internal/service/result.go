@@ -3,6 +3,7 @@ package service
 import (
 	"time"
 
+	"nonmask/internal/obs"
 	"nonmask/internal/verify"
 )
 
@@ -14,6 +15,17 @@ const (
 	VerdictSatisfied = "satisfied"
 	// VerdictViolated means closure or convergence failed.
 	VerdictViolated = "violated"
+)
+
+// Daemon values for Result.Daemon: the weakest daemon that produced the
+// converging verdict, matching the wording of Report.Summary.
+const (
+	// DaemonArbitrary means the arbitrary (unfair) daemon already
+	// converges — the strongest possible verdict.
+	DaemonArbitrary = "arbitrary"
+	// DaemonWeaklyFair means convergence needed the weak fairness of the
+	// paper's computation model.
+	DaemonWeaklyFair = "weakly_fair"
 )
 
 // Convergence is the wire encoding of one daemon's convergence verdict.
@@ -52,8 +64,18 @@ type Result struct {
 	// Fair is the weakly-fair-daemon verdict, present only when the
 	// arbitrary daemon failed (the paper's Section 8 remark).
 	Fair *Convergence `json:"fair,omitempty"`
+	// Daemon names the weakest daemon under which convergence holds:
+	// "arbitrary" or "weakly_fair", empty when the program does not
+	// converge at all. It makes the JSON agree with Report.Summary, which
+	// always reports which daemon the verdict is for.
+	Daemon string `json:"daemon,omitempty"`
 	// Verdict is "satisfied" or "violated" (see Report.Tolerant).
 	Verdict string `json:"verdict"`
+	// Passes is the per-pass breakdown of the check: one span per
+	// verifier pass with exact state counts and wall time (see
+	// internal/obs and DESIGN §8). For a cached result it describes the
+	// original check.
+	Passes []obs.PassStat `json:"passes,omitempty"`
 	// ElapsedMS is the checker's wall-clock time in milliseconds. For a
 	// cached result it is the original check's time, not the lookup's.
 	ElapsedMS float64 `json:"elapsed_ms"`
@@ -95,6 +117,13 @@ func ResultFromReport(name string, rep *verify.Report) *Result {
 	if rep.Closure != nil {
 		res.Closure = rep.Closure.Error()
 	}
+	switch {
+	case rep.Unfair != nil && rep.Unfair.Converges:
+		res.Daemon = DaemonArbitrary
+	case rep.Fair != nil && rep.Fair.Converges:
+		res.Daemon = DaemonWeaklyFair
+	}
+	res.Passes = rep.PassStats()
 	if rep.Tolerant() {
 		res.Verdict = VerdictSatisfied
 	} else {

@@ -9,10 +9,13 @@ package service
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
+	"nonmask/internal/obs"
 	"nonmask/internal/verify"
 )
 
@@ -23,6 +26,7 @@ const (
 	defaultMaxDeadline = 60 * time.Second
 	defaultMaxRecords  = 4096
 	defaultCacheSize   = 1024
+	defaultRecordTTL   = 15 * time.Minute
 )
 
 // Config sizes the server. The zero value is ready for production-ish
@@ -50,6 +54,15 @@ type Config struct {
 	MaxRecords int
 	// CacheSize bounds the content-addressed result cache (default 1024).
 	CacheSize int
+	// RecordTTL bounds how long finished job records are retained: a
+	// background sweep evicts records whose terminal transition is older.
+	// Zero means the 15-minute default; negative disables the sweep
+	// (records then live until MaxRecords evicts them). Live jobs are
+	// never swept.
+	RecordTTL time.Duration
+	// Logger receives the server's structured job-lifecycle and pass
+	// trace records (log/slog). Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +83,14 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize <= 0 {
 		c.CacheSize = defaultCacheSize
 	}
+	if c.RecordTTL == 0 {
+		c.RecordTTL = defaultRecordTTL
+	} else if c.RecordTTL < 0 {
+		c.RecordTTL = 0
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
@@ -80,6 +101,7 @@ type Server struct {
 	cfg     Config
 	metrics Metrics
 	cache   *cache
+	log     *slog.Logger
 
 	baseCtx context.Context // parent of every check context
 	stop    context.CancelFunc
@@ -91,7 +113,9 @@ type Server struct {
 	order    []string // job ids, admission order, for record eviction
 	seq      uint64
 
-	wg sync.WaitGroup // executor goroutines
+	wg        sync.WaitGroup // executor goroutines
+	sweepStop chan struct{}  // closed by Shutdown to halt the TTL sweeper
+	sweepDone chan struct{}
 }
 
 // New starts a server: Config.Executors goroutines begin waiting on the
@@ -100,18 +124,75 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		cache:   newCache(cfg.CacheSize),
-		baseCtx: ctx,
-		stop:    cancel,
-		queue:   make(chan *job, cfg.QueueSize),
-		jobs:    make(map[string]*job),
+		cfg:       cfg,
+		cache:     newCache(cfg.CacheSize),
+		log:       cfg.Logger,
+		baseCtx:   ctx,
+		stop:      cancel,
+		queue:     make(chan *job, cfg.QueueSize),
+		jobs:      make(map[string]*job),
+		sweepStop: make(chan struct{}),
+		sweepDone: make(chan struct{}),
 	}
 	for i := 0; i < cfg.Executors; i++ {
 		s.wg.Add(1)
 		go s.executor()
 	}
+	go s.sweeper()
 	return s
+}
+
+// sweeper periodically evicts finished job records older than RecordTTL,
+// so the record map and GET /v1/jobs stay bounded under sustained load
+// even below the MaxRecords ceiling.
+func (s *Server) sweeper() {
+	defer close(s.sweepDone)
+	if s.cfg.RecordTTL <= 0 {
+		return
+	}
+	interval := s.cfg.RecordTTL / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if n := s.sweepExpired(time.Now()); n > 0 {
+				s.log.Info("swept job records", "evicted", n, "ttl", s.cfg.RecordTTL)
+			}
+		case <-s.sweepStop:
+			return
+		}
+	}
+}
+
+// sweepExpired removes finished records whose terminal transition is older
+// than RecordTTL, returning how many were evicted.
+func (s *Server) sweepExpired(now time.Time) int {
+	cutoff := now.Add(-s.cfg.RecordTTL)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evicted := 0
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue // already evicted by the MaxRecords bound
+		}
+		j.mu.Lock()
+		expired := j.state.terminal() && !j.finished.IsZero() && j.finished.Before(cutoff)
+		j.mu.Unlock()
+		if expired {
+			delete(s.jobs, id)
+			evicted++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+	return evicted
 }
 
 // Metrics exposes the server's counters (read-only use).
@@ -159,6 +240,8 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		j.cached = true
 		j.mu.Unlock()
 		j.transition(StateDone, hit, nil, now)
+		s.log.Info("job done", "job", j.id, "program", c.name, "cached", true,
+			"verdict", hit.Verdict)
 		return j.status(), nil
 	}
 	// Reserve a queue slot before registering the record so a rejected
@@ -177,7 +260,56 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	s.metrics.Submitted.Add(1)
 	s.metrics.CacheMisses.Add(1)
 	s.metrics.QueueDepth.Add(1)
+	s.log.Info("job queued", "job", j.id, "program", c.name, "key", c.key)
 	return j.status(), nil
+}
+
+// JobsPage is one page of job records returned by ListJobs and
+// GET /v1/jobs.
+type JobsPage struct {
+	// Jobs is the page, newest submissions first.
+	Jobs []JobStatus `json:"jobs"`
+	// Total is the number of retained records before paging.
+	Total int `json:"total"`
+	// Limit and Offset echo the effective paging window.
+	Limit  int `json:"limit"`
+	Offset int `json:"offset"`
+}
+
+// maxJobsPageSize caps one ListJobs page.
+const maxJobsPageSize = 500
+
+// ListJobs returns a page of retained job records, newest first. limit is
+// clamped to [1, 500] (0 means the cap); a negative or past-the-end offset
+// yields an empty page with the true total.
+func (s *Server) ListJobs(limit, offset int) JobsPage {
+	if limit <= 0 || limit > maxJobsPageSize {
+		limit = maxJobsPageSize
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	s.mu.Lock()
+	// Snapshot the page's job pointers under s.mu, then render statuses
+	// outside it: status() takes each job's own lock.
+	total := 0
+	var page []*job
+	for i := len(s.order) - 1; i >= 0; i-- {
+		j, ok := s.jobs[s.order[i]]
+		if !ok {
+			continue
+		}
+		if total >= offset && len(page) < limit {
+			page = append(page, j)
+		}
+		total++
+	}
+	s.mu.Unlock()
+	out := JobsPage{Jobs: make([]JobStatus, 0, len(page)), Total: total, Limit: limit, Offset: offset}
+	for _, j := range page {
+		out.Jobs = append(out.Jobs, j.status())
+	}
+	return out
 }
 
 // admitLocked creates and registers a job record (s.mu held).
@@ -298,8 +430,13 @@ func (s *Server) runJob(j *job) {
 	s.metrics.InFlight.Add(1)
 	defer s.metrics.InFlight.Add(-1)
 
+	jlog := s.log.With("job", j.id, "program", j.c.name)
+	jlog.Info("job running")
 	start := time.Now()
-	rep, err := verify.Check(ctx, j.c.prog, j.c.s, j.c.t, verify.WithOptions(j.c.opts))
+	// The per-job LogTracer streams each pass span as a debug record tagged
+	// with the job id, in addition to the report's own span collection.
+	rep, err := verify.Check(ctx, j.c.prog, j.c.s, j.c.t,
+		verify.WithOptions(j.c.opts), verify.WithTracer(obs.LogTracer{Logger: jlog}))
 	now := time.Now()
 	if err != nil {
 		state := StateFailed
@@ -316,6 +453,7 @@ func (s *Server) runJob(j *job) {
 			s.metrics.Failed.Add(1)
 		}
 		j.transition(state, nil, err, now)
+		jlog.Warn("job "+string(state), "error", err, "elapsed_ms", now.Sub(start).Seconds()*1000)
 		return
 	}
 	res := ResultFromReport(j.c.name, rep)
@@ -327,7 +465,12 @@ func (s *Server) runJob(j *job) {
 		s.metrics.Violated.Add(1)
 	}
 	s.metrics.ObserveLatency(now.Sub(start).Seconds())
+	for _, p := range res.Passes {
+		s.metrics.ObservePass(p)
+	}
 	j.transition(StateDone, res, nil, now)
+	jlog.Info("job done", "verdict", res.Verdict, "daemon", res.Daemon,
+		"states", res.States, "elapsed_ms", res.ElapsedMS)
 }
 
 // Shutdown drains the server: new submissions get 503, queued jobs are
@@ -358,6 +501,9 @@ loop:
 	}
 	close(s.queue)
 	s.mu.Unlock()
+	s.log.Info("draining")
+	close(s.sweepStop)
+	<-s.sweepDone
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()

@@ -13,6 +13,7 @@ import (
 	"context"
 	"testing"
 
+	"nonmask/internal/obs"
 	"nonmask/internal/protocols/diffusing"
 	"nonmask/internal/protocols/tokenring"
 	"nonmask/internal/verify"
@@ -73,6 +74,43 @@ func BenchmarkCheckAboveOldCeiling(b *testing.B) {
 			b.Fatal("K-state ring with K >= nodes-1 must converge")
 		}
 	}
+}
+
+// benchCheckTraced is the overhead guard for the observability layer: the
+// same 1<<20-state end-to-end Check with and without an (explicitly no-op)
+// tracer and progress counter. The contract is that the traced run stays
+// within 5% of the untraced one — the hot loops pay one nil-check per
+// ~16k-state chunk and each pass a couple of time.Now calls. Compare:
+//
+//	go test ./internal/verify -bench 'CheckTracerOverhead' -benchtime 5x -run '^$'
+func benchCheckTraced(b *testing.B, options ...verify.Option) {
+	inst, err := diffusing.New(diffusing.Binary(10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := inst.Design
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := verify.Check(ctx, d.TolerantProgram(), d.S, d.T, options...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Space.Count < 1<<20 {
+			b.Fatalf("benchmark instance too small: %d states", rep.Space.Count)
+		}
+	}
+}
+
+// BenchmarkCheckTracerOverheadOff is the untraced baseline.
+func BenchmarkCheckTracerOverheadOff(b *testing.B) { benchCheckTraced(b) }
+
+// BenchmarkCheckTracerOverheadNop runs with a no-op tracer and a live
+// progress counter attached — the worst case a caller can configure
+// without actually consuming events.
+func BenchmarkCheckTracerOverheadNop(b *testing.B) {
+	benchCheckTraced(b, verify.WithTracer(obs.Nop{}), verify.WithProgress(&obs.Progress{}))
 }
 
 // TestCheckAboveOldCeiling pins the acceptance criterion as a regular

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"nonmask/internal/obs"
 	"nonmask/internal/program"
 )
 
@@ -36,8 +37,29 @@ type Report struct {
 	// Classification is Masking when S = T semantically, Nonmasking when
 	// faults can drive the program strictly outside S.
 	Classification Classification
+	// Passes records one span per verifier pass the check ran, in
+	// completion order: the exact state counts and wall time of
+	// enumeration, successor-table build, closure scans and convergence
+	// fixpoints. Always populated (collection costs a few time.Now calls);
+	// WithTracer additionally streams the same spans live.
+	Passes []obs.PassStat
 	// Elapsed is the wall-clock time the whole check took.
 	Elapsed time.Duration
+
+	// collector keeps receiving spans from passes run on Space after
+	// Check returns (stairs, leads-to, variants); PassStats folds them in.
+	collector *obs.Collector
+}
+
+// PassStats refreshes and returns the span history, including passes run
+// on the report's Space after Check returned (CheckStair, LeadsTo,
+// CheckVariant, WorstDistances all keep recording into the same
+// collector).
+func (r *Report) PassStats() []obs.PassStat {
+	if r.collector != nil {
+		r.Passes = r.collector.Passes()
+	}
+	return r.Passes
 }
 
 // Converges reports whether convergence holds under the weakest daemon
@@ -107,9 +129,14 @@ func Check(ctx context.Context, p *program.Program, S, T *program.Predicate, opt
 	}
 	start := time.Now()
 
-	rep := &Report{Options: opts}
+	// Every pass records its span into the collector; the user's tracer
+	// (if any) sees the same events live. The report keeps the caller's
+	// options, not the teed ones.
+	rep := &Report{Options: opts, collector: &obs.Collector{}}
+	runOpts := opts
+	runOpts.Tracer = obs.Tee(rep.collector, opts.Tracer)
 	if extras.faults != nil {
-		span, err := FaultSpanContext(ctx, p, extras.faults, S, opts)
+		span, err := FaultSpanContext(ctx, p, extras.faults, S, runOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -119,7 +146,7 @@ func Check(ctx context.Context, p *program.Program, S, T *program.Predicate, opt
 	if T == nil {
 		T = program.True()
 	}
-	sp, err := NewSpaceContext(ctx, p, S, T, opts)
+	sp, err := NewSpaceContext(ctx, p, S, T, runOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -136,6 +163,7 @@ func Check(ctx context.Context, p *program.Program, S, T *program.Predicate, opt
 			return nil, err
 		}
 	}
+	rep.Passes = rep.collector.Passes()
 	rep.Elapsed = time.Since(start)
 	return rep, nil
 }

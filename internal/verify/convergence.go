@@ -121,8 +121,16 @@ func (sp *Space) CheckConvergenceContext(ctx context.Context) (*ConvergenceResul
 // The returned steps table (valid only when res.Converges) is the exact
 // variant function of the paper's Section 8: it strictly decreases on every
 // convergence step under the worst daemon.
-func (sp *Space) checkConvergenceKahn(ctx context.Context) (*ConvergenceResult, []int32, error) {
-	res := &ConvergenceResult{Converges: true, StatesT: sp.CountT(), StatesS: sp.CountS()}
+func (sp *Space) checkConvergenceKahn(ctx context.Context) (res *ConvergenceResult, _ []int32, err error) {
+	// Total 0: the wave fixpoint processes work items, not states, so the
+	// space size is not a meaningful progress bound.
+	span := startPass(sp.opts, PassConvergeUnfair, 0)
+	defer func() {
+		if err == nil {
+			span.end(sp.Count)
+		}
+	}()
+	res = &ConvergenceResult{Converges: true, StatesT: sp.CountT(), StatesS: sp.CountS()}
 	res.StatesOutsideS = countAndNot(sp.inT, sp.inS)
 	steps := make([]int32, sp.Count)
 	if res.StatesOutsideS == 0 {
@@ -136,7 +144,7 @@ func (sp *Space) checkConvergenceKahn(ctx context.Context) (*ConvergenceResult, 
 	outstanding := make([]int32, sp.Count)
 	escape, deadlock := newWitness(), newWitness()
 	firstWave := make([][]int64, workers)
-	err := parallelRange(ctx, workers, sp.Count, func(worker int, lo, hi int64) {
+	err = parallelRange(ctx, workers, sp.Count, sp.opts.Progress, func(worker int, lo, hi int64) {
 		for i := lo; i < hi; i++ {
 			if !sp.region(i) {
 				continue
@@ -183,7 +191,7 @@ func (sp *Space) checkConvergenceKahn(ctx context.Context) (*ConvergenceResult, 
 	// Phase 2: reverse CSR over region→region edges (multi-edges kept, so
 	// the predecessor counts match outstanding exactly).
 	predCnt := make([]int32, sp.Count)
-	err = parallelRange(ctx, workers, sp.Count, func(_ int, lo, hi int64) {
+	err = parallelRange(ctx, workers, sp.Count, sp.opts.Progress, func(_ int, lo, hi int64) {
 		for i := lo; i < hi; i++ {
 			if !sp.region(i) {
 				continue
@@ -207,7 +215,7 @@ func (sp *Space) checkConvergenceKahn(ctx context.Context) (*ConvergenceResult, 
 	}
 	offsets[sp.Count] = total
 	rev := make([]int32, total)
-	err = parallelRange(ctx, workers, sp.Count, func(_ int, lo, hi int64) {
+	err = parallelRange(ctx, workers, sp.Count, sp.opts.Progress, func(_ int, lo, hi int64) {
 		for i := lo; i < hi; i++ {
 			if !sp.region(i) {
 				continue
@@ -227,9 +235,10 @@ func (sp *Space) checkConvergenceKahn(ctx context.Context) (*ConvergenceResult, 
 	wave := flatten(firstWave)
 	var resolved int64
 	for len(wave) > 0 {
+		span.observeFrontier(int64(len(wave)))
 		resolved += int64(len(wave))
 		next := make([][]int64, workers)
-		err := parallelRange(ctx, workers, int64(len(wave)), func(worker int, lo, hi int64) {
+		err := parallelRange(ctx, workers, int64(len(wave)), sp.opts.Progress, func(worker int, lo, hi int64) {
 			for w := lo; w < hi; w++ {
 				i := wave[w]
 				var best int32
@@ -275,7 +284,7 @@ func (sp *Space) checkConvergenceKahn(ctx context.Context) (*ConvergenceResult, 
 		worst int32
 		sum   int64
 	)
-	err = parallelRange(ctx, workers, sp.Count, func(_ int, lo, hi int64) {
+	err = parallelRange(ctx, workers, sp.Count, sp.opts.Progress, func(_ int, lo, hi int64) {
 		var w int32
 		var s int64
 		for i := lo; i < hi; i++ {
@@ -378,8 +387,16 @@ func (sp *Space) cycleWitness(outstanding []int32) []*program.State {
 // table is unavailable (state count above int32 range or table over the
 // memory budget): an iterative white/gray/black DFS with postorder
 // worst-step computation.
-func (sp *Space) checkConvergenceDFS(ctx context.Context) (*ConvergenceResult, error) {
-	res := &ConvergenceResult{Converges: true, StatesT: sp.CountT(), StatesS: sp.CountS()}
+func (sp *Space) checkConvergenceDFS(ctx context.Context) (res *ConvergenceResult, err error) {
+	// Total 0: the wave fixpoint processes work items, not states, so the
+	// space size is not a meaningful progress bound.
+	span := startPass(sp.opts, PassConvergeUnfair, 0)
+	defer func() {
+		if err == nil {
+			span.end(sp.Count)
+		}
+	}()
+	res = &ConvergenceResult{Converges: true, StatesT: sp.CountT(), StatesS: sp.CountS()}
 	res.StatesOutsideS = countAndNot(sp.inT, sp.inS)
 
 	// steps[i]: worst-case number of actions to reach S from i, computed
@@ -553,8 +570,14 @@ func (sp *Space) CheckFairConvergence() *ConvergenceResult {
 // The region collection and labeled-adjacency build are sharded when the
 // successor table is available; the SCC analysis itself is sequential
 // (component structure is rarely the bottleneck).
-func (sp *Space) CheckFairConvergenceContext(ctx context.Context) (*ConvergenceResult, error) {
-	res := &ConvergenceResult{Converges: true, Fair: true, StatesT: sp.CountT(), StatesS: sp.CountS()}
+func (sp *Space) CheckFairConvergenceContext(ctx context.Context) (res *ConvergenceResult, err error) {
+	span := startPass(sp.opts, PassConvergeFair, 0)
+	defer func() {
+		if err == nil {
+			span.end(sp.Count)
+		}
+	}()
+	res = &ConvergenceResult{Converges: true, Fair: true, StatesT: sp.CountT(), StatesS: sp.CountS()}
 	res.StatesOutsideS = countAndNot(sp.inT, sp.inS)
 	if res.StatesOutsideS == 0 {
 		return res, nil
@@ -646,7 +669,7 @@ func (sp *Space) buildRegionGraph(ctx context.Context, res *ConvergenceResult) (
 	// Pass 1: per-chunk region counts, so that pass 2 can place each
 	// chunk's states at a deterministic offset of the dense list.
 	counts := make([]int64, nChunks)
-	err := parallelRange(ctx, workers, sp.Count, func(_ int, lo, hi int64) {
+	err := parallelRange(ctx, workers, sp.Count, sp.opts.Progress, func(_ int, lo, hi int64) {
 		var n int64
 		for i := lo; i < hi; i++ {
 			if sp.region(i) {
@@ -666,7 +689,7 @@ func (sp *Space) buildRegionGraph(ctx context.Context, res *ConvergenceResult) (
 	// Pass 2: fill the dense list and the state→dense id map.
 	region := make([]int64, total)
 	ids := make([]int32, sp.Count)
-	err = parallelRange(ctx, workers, sp.Count, func(_ int, lo, hi int64) {
+	err = parallelRange(ctx, workers, sp.Count, sp.opts.Progress, func(_ int, lo, hi int64) {
 		base := counts[lo/chunkStates]
 		for i := lo; i < hi; i++ {
 			if !sp.region(i) {
@@ -685,7 +708,7 @@ func (sp *Space) buildRegionGraph(ctx context.Context, res *ConvergenceResult) (
 	// Pass 3: adjacency, one dense node per iteration (disjoint writes).
 	adj := make([][]regionEdge, total)
 	escape, deadlock := newWitness(), newWitness()
-	err = parallelRange(ctx, workers, total, func(_ int, lo, hi int64) {
+	err = parallelRange(ctx, workers, total, sp.opts.Progress, func(_ int, lo, hi int64) {
 		for id := lo; id < hi; id++ {
 			i := region[id]
 			enabled := 0

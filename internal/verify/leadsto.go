@@ -65,6 +65,7 @@ func (sp *Space) LeadsTo(p, q *program.Predicate, fair bool) *LeadsToResult {
 // reachability BFS (level-synchronized, atomic frontier deduplication) and
 // the stage convergence check are all sharded across the space's workers.
 func (sp *Space) LeadsToContext(ctx context.Context, p, q *program.Predicate, fair bool) (*LeadsToResult, error) {
+	span := startPass(sp.opts, PassLeadsTo, sp.Count)
 	pBits, err := sp.evalPred(ctx, p)
 	if err != nil {
 		return nil, err
@@ -81,7 +82,7 @@ func (sp *Space) LeadsToContext(ctx context.Context, p, q *program.Predicate, fa
 	scr := sp.newStatePairs()
 	reach := newBitset(sp.Count)
 	lists := make([][]int64, workers)
-	err = parallelRange(ctx, workers, sp.Count, func(worker int, lo, hi int64) {
+	err = parallelRange(ctx, workers, sp.Count, sp.opts.Progress, func(worker int, lo, hi int64) {
 		for i := lo; i < hi; i++ {
 			if sp.inT.get(i) && pBits.get(i) && !qBits.get(i) {
 				reach.set(i)
@@ -95,8 +96,9 @@ func (sp *Space) LeadsToContext(ctx context.Context, p, q *program.Predicate, fa
 	frontier := flatten(lists)
 	reached := append([]int64(nil), frontier...)
 	for len(frontier) > 0 {
+		span.observeFrontier(int64(len(frontier)))
 		next := make([][]int64, workers)
-		err := parallelRange(ctx, workers, int64(len(frontier)), func(worker int, lo, hi int64) {
+		err := parallelRange(ctx, workers, int64(len(frontier)), sp.opts.Progress, func(worker int, lo, hi int64) {
 			for w := lo; w < hi; w++ {
 				sp.forEachSucc(frontier[w], scr[worker], func(_ int, j int64) {
 					if !sp.inT.get(j) {
@@ -118,16 +120,16 @@ func (sp *Space) LeadsToContext(ctx context.Context, p, q *program.Predicate, fa
 		reached = append(reached, frontier...)
 	}
 	if len(reached) == 0 {
+		span.end(int64(0))
 		return &LeadsToResult{Holds: true}, nil
 	}
-
 	// Reuse the deadlock/cycle analysis of the convergence checkers via a
 	// stage space sharing this space's successor table: stage T is the
 	// reachable set plus its one-step exits, stage S the exits. A
 	// transition out of `reach` necessarily hits q or leaves the region;
 	// both discharge the obligation, so both count as accepting.
 	stageS := newBitset(sp.Count)
-	err = parallelRange(ctx, workers, int64(len(reached)), func(worker int, lo, hi int64) {
+	err = parallelRange(ctx, workers, int64(len(reached)), sp.opts.Progress, func(worker int, lo, hi int64) {
 		for w := lo; w < hi; w++ {
 			sp.forEachSucc(reached[w], scr[worker], func(_ int, j int64) {
 				if !reach.get(j) {
@@ -142,6 +144,9 @@ func (sp *Space) LeadsToContext(ctx context.Context, p, q *program.Predicate, fa
 	stageT := newBitset(sp.Count)
 	stageT.orInto(reach)
 	stageT.orInto(stageS)
+	// The reachability stage is done; the livelock analysis below runs on
+	// a derived stage space and emits its own convergence span.
+	span.end(int64(len(reached)))
 	stage := sp.derived(q, sp.T, stageS, stageT)
 	var conv *ConvergenceResult
 	if fair {

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"nonmask/internal/obs"
 	"nonmask/internal/program"
 )
 
@@ -36,6 +37,15 @@ type Options struct {
 	// Deadline, when positive, bounds the wall-clock time of a Check call;
 	// it is applied as a context timeout on top of the caller's context.
 	Deadline time.Duration
+	// Tracer, when non-nil, receives one span per verifier pass (see the
+	// Pass* constants and DESIGN §8). Check always collects spans onto
+	// Report.Passes regardless; the tracer is the live event stream.
+	// Implementations must be safe for concurrent use.
+	Tracer obs.Tracer
+	// Progress, when non-nil, is bumped by the sharded hot loops once per
+	// work chunk and reset at pass boundaries; sample it from another
+	// goroutine with Progress.Watch. Nil costs the loops one nil-check.
+	Progress *obs.Progress
 }
 
 // validate rejects malformed options. Every entry point of this package
@@ -112,6 +122,20 @@ func WithStrategy(s Strategy) Option {
 // it returns context.DeadlineExceeded from whichever pass was running.
 func WithDeadline(d time.Duration) Option {
 	return func(o *Options, _ *checkExtras) { o.Deadline = d }
+}
+
+// WithTracer streams one span per verifier pass to t (in addition to the
+// Report.Passes record Check always keeps). Pass nil to restore the
+// default (no live stream).
+func WithTracer(t obs.Tracer) Option {
+	return func(o *Options, _ *checkExtras) { o.Tracer = t }
+}
+
+// WithProgress attaches a live progress counter: the sharded hot loops
+// bump p once per chunk and reset it at pass boundaries, so a watcher
+// goroutine (p.Watch) can render a live "pass X, N of M states" ticker.
+func WithProgress(p *obs.Progress) Option {
+	return func(o *Options, _ *checkExtras) { o.Progress = p }
 }
 
 // WithFaults makes Check compute the fault-span of the given fault

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+
+	"nonmask/internal/obs"
 )
 
 // chunkStates is the work-stealing grain of the sharded passes. It is a
@@ -23,7 +25,11 @@ const chunkStates = 1 << 14
 // the parallel one. Witness-producing passes always scan the whole range
 // and keep the minimum-index witness, so verdicts and witnesses cannot
 // depend on the worker count.
-func parallelRange(ctx context.Context, workers int, n int64, fn func(worker int, lo, hi int64)) error {
+//
+// prog, when non-nil, is bumped by the chunk size after each chunk — the
+// single choke point that gives every sharded pass live progress for one
+// nil-check and one atomic add per ~16k states.
+func parallelRange(ctx context.Context, workers int, n int64, prog *obs.Progress, fn func(worker int, lo, hi int64)) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -37,7 +43,9 @@ func parallelRange(ctx context.Context, workers int, n int64, fn func(worker int
 				return err
 			}
 			lo := c * chunkStates
-			fn(0, lo, min(lo+chunkStates, n))
+			hi := min(lo+chunkStates, n)
+			fn(0, lo, hi)
+			prog.Add(hi - lo)
 		}
 		return ctx.Err()
 	}
@@ -55,7 +63,9 @@ func parallelRange(ctx context.Context, workers int, n int64, fn func(worker int
 					return
 				}
 				lo := c * chunkStates
-				fn(worker, lo, min(lo+chunkStates, n))
+				hi := min(lo+chunkStates, n)
+				fn(worker, lo, hi)
+				prog.Add(hi - lo)
 			}
 		}(w)
 	}

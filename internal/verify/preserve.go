@@ -50,7 +50,8 @@ func CheckPreservesContext(ctx context.Context, schema *program.Schema, a *progr
 	workers := opts.workers()
 	scr := newSchemaPairs(schema, workers)
 	w := newWitness()
-	err := parallelRange(ctx, workers, count, func(worker int, lo, hi int64) {
+	span := startPass(opts, PassPreserve, count)
+	err := parallelRange(ctx, workers, count, opts.Progress, func(worker int, lo, hi int64) {
 		st, tmp := scr[worker].st, scr[worker].tmp
 	states:
 		for i := lo; i < hi; i++ {
@@ -72,6 +73,7 @@ func CheckPreservesContext(ctx context.Context, schema *program.Schema, a *progr
 	if err != nil {
 		return nil, err
 	}
+	span.end(count)
 	if !w.found() {
 		return &PreserveResult{Preserves: true}, nil
 	}
@@ -133,7 +135,7 @@ func CheckPreservesProjectedContext(ctx context.Context, schema *program.Schema,
 		scr[i] = schema.NewState() // non-projected variables stay at Dom.Min
 	}
 	w := newWitness()
-	err = parallelRange(ctx, workers, count, func(worker int, lo, hi int64) {
+	err = parallelRange(ctx, workers, count, opts.Progress, func(worker int, lo, hi int64) {
 		st := scr[worker]
 	states:
 		for i := lo; i < hi; i++ {
@@ -259,7 +261,7 @@ func GuardImpliesNotContext(ctx context.Context, schema *program.Schema, a *prog
 		scr[i] = schema.NewState()
 	}
 	w := newWitness()
-	err = parallelRange(ctx, workers, count, func(worker int, lo, hi int64) {
+	err = parallelRange(ctx, workers, count, opts.Progress, func(worker int, lo, hi int64) {
 		st := scr[worker]
 		for i := lo; i < hi; i++ {
 			projectInto(schema, vars, i, st)

@@ -84,7 +84,8 @@ func NewSpaceContext(ctx context.Context, p *program.Program, S, T *program.Pred
 	}
 	w := newWitness()
 	scr := sp.newStates()
-	err := parallelRange(ctx, sp.workers(), count, func(worker int, lo, hi int64) {
+	span := startPass(opts, PassEnumerate, count)
+	err := parallelRange(ctx, sp.workers(), count, sp.opts.Progress, func(worker int, lo, hi int64) {
 		st := scr[worker]
 		for i := lo; i < hi; i++ {
 			p.Schema.StateInto(i, st)
@@ -106,6 +107,7 @@ func NewSpaceContext(ctx context.Context, p *program.Program, S, T *program.Pred
 	if w.found() {
 		return nil, fmt.Errorf("verify: S does not imply T at state %s", sp.State(w.state))
 	}
+	span.end(count)
 	if err := sp.buildSuccTable(ctx); err != nil {
 		return nil, err
 	}
@@ -124,7 +126,8 @@ func (sp *Space) buildSuccTable(ctx context.Context) error {
 	}
 	tab := make([]int32, sp.Count*int64(sp.nA))
 	scr := sp.newStatePairs()
-	err := parallelRange(ctx, sp.workers(), sp.Count, func(worker int, lo, hi int64) {
+	span := startPass(sp.opts, PassSuccTable, sp.Count)
+	err := parallelRange(ctx, sp.workers(), sp.Count, sp.opts.Progress, func(worker int, lo, hi int64) {
 		st, tmp := scr[worker].st, scr[worker].tmp
 		nA := int64(sp.nA)
 		for i := lo; i < hi; i++ {
@@ -143,6 +146,7 @@ func (sp *Space) buildSuccTable(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	span.end(sp.Count)
 	sp.succ = tab
 	return nil
 }
@@ -190,7 +194,7 @@ func (sp *Space) evalPred(ctx context.Context, pred *program.Predicate) (bitset,
 		return bits, nil
 	}
 	scr := sp.newStates()
-	err := parallelRange(ctx, sp.workers(), sp.Count, func(worker int, lo, hi int64) {
+	err := parallelRange(ctx, sp.workers(), sp.Count, sp.opts.Progress, func(worker int, lo, hi int64) {
 		st := scr[worker]
 		for i := lo; i < hi; i++ {
 			sp.P.Schema.StateInto(i, st)
@@ -302,6 +306,7 @@ func (sp *Space) CheckClosedContext(ctx context.Context, pred, within *program.P
 	if pred.IsConstTrue() {
 		return nil, nil // true is closed in every program
 	}
+	span := startPass(sp.opts, PassClosure, sp.Count)
 	predBits, err := sp.bitsFor(ctx, pred)
 	if err != nil {
 		return nil, err
@@ -317,7 +322,7 @@ func (sp *Space) CheckClosedContext(ctx context.Context, pred, within *program.P
 	if sp.succ == nil {
 		scr = sp.newStatePairs()
 	}
-	err = parallelRange(ctx, sp.workers(), sp.Count, func(worker int, lo, hi int64) {
+	err = parallelRange(ctx, sp.workers(), sp.Count, sp.opts.Progress, func(worker int, lo, hi int64) {
 		for i := lo; i < hi; i++ {
 			if !predBits.get(i) || (withinBits != nil && !withinBits.get(i)) {
 				continue
@@ -348,6 +353,7 @@ func (sp *Space) CheckClosedContext(ctx context.Context, pred, within *program.P
 	if err != nil {
 		return nil, err
 	}
+	span.end(sp.Count)
 	if !w.found() {
 		return nil, nil
 	}

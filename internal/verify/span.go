@@ -54,7 +54,8 @@ func FaultSpanContext(ctx context.Context, p *program.Program, faults []*program
 	scr := newSchemaPairs(p.Schema, workers)
 	inSpan := newBitset(count)
 	lists := make([][]int64, workers)
-	err := parallelRange(ctx, workers, count, func(worker int, lo, hi int64) {
+	span := startPass(opts, PassFaultSpan, count)
+	err := parallelRange(ctx, workers, count, opts.Progress, func(worker int, lo, hi int64) {
 		st := scr[worker].st
 		for i := lo; i < hi; i++ {
 			p.Schema.StateInto(i, st)
@@ -73,8 +74,9 @@ func FaultSpanContext(ctx context.Context, p *program.Program, faults []*program
 	}
 	spanCount := int64(len(frontier))
 	for len(frontier) > 0 {
+		span.observeFrontier(int64(len(frontier)))
 		next := make([][]int64, workers)
-		err := parallelRange(ctx, workers, int64(len(frontier)), func(worker int, lo, hi int64) {
+		err := parallelRange(ctx, workers, int64(len(frontier)), opts.Progress, func(worker int, lo, hi int64) {
 			st, tmp := scr[worker].st, scr[worker].tmp
 			for w := lo; w < hi; w++ {
 				p.Schema.StateInto(frontier[w], st)
@@ -96,15 +98,16 @@ func FaultSpanContext(ctx context.Context, p *program.Program, faults []*program
 		spanCount += int64(len(frontier))
 	}
 	schema := p.Schema
-	span := &program.Predicate{
+	pred := &program.Predicate{
 		Name: fmt.Sprintf("fault-span(%s)", init.Name),
 		Eval: func(st *program.State) bool { return inSpan.get(schema.Index(st)) },
 	}
 	// The span may depend on every variable; declare the full support.
 	for v := 0; v < schema.Len(); v++ {
-		span.Vars = append(span.Vars, program.VarID(v))
+		pred.Vars = append(pred.Vars, program.VarID(v))
 	}
-	return &SpanResult{Span: span, States: spanCount, Total: count}, nil
+	span.end(spanCount)
+	return &SpanResult{Span: pred, States: spanCount, Total: count}, nil
 }
 
 // Classify reports the paper's Section 3 classification for a tolerant

@@ -52,6 +52,9 @@ func (sp *Space) CheckStair(stairs []*program.Predicate, fair bool) *StairResult
 // derived spaces sharing this space's successor table, so the stage checks
 // cost no re-enumeration.
 func (sp *Space) CheckStairContext(ctx context.Context, stairs []*program.Predicate, fair bool) (*StairResult, error) {
+	// The stair span wraps the whole chain; each stage's closure and
+	// convergence checks nest their own spans inside it.
+	span := startPass(sp.opts, PassStair, sp.Count)
 	chain := make([]*program.Predicate, 0, len(stairs)+2)
 	chain = append(chain, sp.T)
 	chain = append(chain, stairs...)
@@ -116,6 +119,7 @@ func (sp *Space) CheckStairContext(ctx context.Context, stairs []*program.Predic
 		}
 		res.Steps = append(res.Steps, step)
 	}
+	span.end(sp.Count)
 	return res, nil
 }
 
@@ -160,7 +164,8 @@ func (sp *Space) CheckVariantContext(ctx context.Context, variant func(*program.
 	const negative = -1 // witness payload for a negative variant value
 	w := newWitness()
 	scr := sp.newStatePairs()
-	err := parallelRange(ctx, sp.workers(), sp.Count, func(worker int, lo, hi int64) {
+	span := startPass(sp.opts, PassVariant, sp.Count)
+	err := parallelRange(ctx, sp.workers(), sp.Count, sp.opts.Progress, func(worker int, lo, hi int64) {
 		st, tmp := scr[worker].st, scr[worker].tmp
 		for i := lo; i < hi; i++ {
 			if !sp.region(i) {
@@ -203,6 +208,7 @@ func (sp *Space) CheckVariantContext(ctx context.Context, variant func(*program.
 	if err != nil {
 		return nil, err
 	}
+	span.end(sp.Count)
 	if !w.found() {
 		return nil, nil
 	}

@@ -1,0 +1,84 @@
+package verify
+
+import (
+	"time"
+
+	"nonmask/internal/obs"
+)
+
+// The pass taxonomy (DESIGN §8). Every sharded pass of the checker emits
+// exactly one obs.PassStat span per execution under one of these names;
+// stage-level re-entries (a stair step's convergence check, leads-to's
+// embedded livelock analysis) emit their own spans, so a trace is the
+// full nesting-flattened history of what the checker did.
+const (
+	// PassEnumerate is state-space enumeration plus S/T evaluation.
+	PassEnumerate = "enumerate"
+	// PassSuccTable is the precomputation of the per-action successor table.
+	PassSuccTable = "succ_table"
+	// PassClosure is one closure scan of one predicate.
+	PassClosure = "closure"
+	// PassConvergeUnfair is the arbitrary-daemon convergence fixpoint
+	// (Kahn wave peeling, or the sequential DFS fallback).
+	PassConvergeUnfair = "converge_unfair"
+	// PassConvergeFair is the weakly-fair-daemon SCC analysis, including
+	// its region-graph build.
+	PassConvergeFair = "converge_fair"
+	// PassFaultSpan is the program+fault reachability BFS.
+	PassFaultSpan = "fault_span"
+	// PassLeadsTo is a leads-to (progress) check's reachability stage.
+	PassLeadsTo = "leads_to"
+	// PassStair is a whole convergence-stair verification (its stage
+	// checks nest their own closure/convergence spans).
+	PassStair = "stair"
+	// PassVariant is a variant-function validation scan.
+	PassVariant = "variant"
+	// PassPreserve is one exhaustive preservation scan.
+	PassPreserve = "preserve"
+)
+
+// passSpan times one verifier pass. startPass resets the options'
+// progress counter to the new pass and emits the tracer's start event;
+// end emits the completed obs.PassStat. Error paths abandon the span
+// without ending it — a trace only ever contains finished passes.
+//
+// The span is a by-value helper (no allocation); with tracing and
+// progress off its cost is two time.Now calls per pass.
+type passSpan struct {
+	opts     Options
+	name     string
+	start    time.Time
+	frontier int64
+}
+
+// startPass begins the named pass. total is the progress size hint
+// (0 = unknown).
+func startPass(opts Options, name string, total int64) passSpan {
+	opts.Progress.StartPass(name, total)
+	if opts.Tracer != nil {
+		opts.Tracer.PassStart(name)
+	}
+	return passSpan{opts: opts, name: name, start: time.Now()}
+}
+
+// observeFrontier records a BFS frontier/wave size; the span keeps the peak.
+func (s *passSpan) observeFrontier(n int64) {
+	if n > s.frontier {
+		s.frontier = n
+	}
+}
+
+// end completes the span with the pass's exact processed-state count and
+// delivers it to the tracer.
+func (s *passSpan) end(states int64) {
+	if s.opts.Tracer == nil {
+		return
+	}
+	s.opts.Tracer.PassEnd(obs.PassStat{
+		Pass:      s.name,
+		States:    states,
+		Frontier:  s.frontier,
+		Workers:   s.opts.workers(),
+		ElapsedMS: float64(time.Since(s.start)) / float64(time.Millisecond),
+	})
+}
