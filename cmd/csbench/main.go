@@ -1,27 +1,68 @@
 // Command csbench regenerates the paper-claim reproduction suite: every
-// experiment in EXPERIMENTS.md (E1..E10) and every ablation (A1..A3), as
-// indexed in DESIGN.md.
+// experiment in EXPERIMENTS.md (E1..E10), every ablation (A1..A3), and
+// every extension (X1..X4), as indexed in DESIGN.md.
 //
 // Usage:
 //
 //	csbench            # run everything
 //	csbench -e E5      # run one experiment
 //	csbench -list      # list experiments
+//	csbench -json      # also write BENCH_<date>.json (machine-readable)
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"nonmask/internal/experiments"
+	"nonmask/internal/obs"
+	"nonmask/internal/program"
+	"nonmask/internal/protocols/diffusing"
+	"nonmask/internal/protocols/tokenring"
+	"nonmask/internal/verify"
 )
+
+// benchExperiment is one experiment's wall time in the JSON report.
+type benchExperiment struct {
+	ID        string  `json:"id"`
+	Title     string  `json:"title"`
+	PaperRef  string  `json:"paper_ref"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// benchProbe is one end-to-end verify.Check measurement: the instance's
+// state and enabled-edge counts, the successor index's byte size, the
+// whole check's wall time, and the per-pass spans (see EXPERIMENTS.md,
+// "Machine-readable benchmark record").
+type benchProbe struct {
+	Name      string         `json:"name"`
+	States    int64          `json:"states"`
+	Edges     int64          `json:"edges"`
+	Bytes     int64          `json:"bytes"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+	Passes    []obs.PassStat `json:"passes"`
+}
+
+// benchReport is the top-level BENCH_<date>.json document.
+type benchReport struct {
+	Generated   string            `json:"generated"`
+	GoVersion   string            `json:"go_version"`
+	NumCPU      int               `json:"num_cpu"`
+	Experiments []benchExperiment `json:"experiments"`
+	Probes      []benchProbe      `json:"probes"`
+}
 
 func main() {
 	var (
-		one  = flag.String("e", "", "run a single experiment by id (e.g. E5)")
-		list = flag.Bool("list", false, "list experiments and exit")
+		one      = flag.String("e", "", "run a single experiment by id (e.g. E5)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		jsonOut  = flag.Bool("json", false, "write BENCH_<date>.json with wall times and perf probes")
+		jsonPath = flag.String("o", "", "override the -json output path")
 	)
 	flag.Parse()
 
@@ -42,6 +83,11 @@ func main() {
 		todo = []*experiments.Experiment{e}
 	}
 
+	report := benchReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
 	failed := 0
 	for _, e := range todo {
 		start := time.Now()
@@ -51,10 +97,103 @@ func main() {
 			failed++
 			continue
 		}
+		elapsed := time.Since(start)
 		fmt.Printf("%s\n", tbl)
-		fmt.Printf("[%s done in %v — %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond), e.PaperRef)
+		fmt.Printf("[%s done in %v — %s]\n\n", e.ID, elapsed.Round(time.Millisecond), e.PaperRef)
+		report.Experiments = append(report.Experiments, benchExperiment{
+			ID: e.ID, Title: e.Title, PaperRef: e.PaperRef,
+			ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		})
+	}
+	if *jsonOut {
+		if err := writeBenchJSON(&report, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed++
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeBenchJSON runs the perf probes, fills the report, and writes it to
+// path (default BENCH_<date>.json in the working directory).
+func writeBenchJSON(report *benchReport, path string) error {
+	probes, err := runProbes()
+	if err != nil {
+		return fmt.Errorf("perf probes: %w", err)
+	}
+	report.Probes = probes
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d experiments, %d probes)\n",
+		path, len(report.Experiments), len(report.Probes))
+	return nil
+}
+
+// runProbes measures the checker end-to-end on the three instances the
+// performance claims in README/DESIGN are made on: the 1M-state diffusing
+// tree, Dijkstra's 5.7M-state printed ring, and a 2M-state path instance
+// of the token-ring family.
+func runProbes() ([]benchProbe, error) {
+	type target struct {
+		name    string
+		prog    *program.Program
+		s, t    *program.Predicate
+		options []verify.Option
+	}
+	var targets []target
+
+	diff, err := diffusing.New(diffusing.Binary(10))
+	if err != nil {
+		return nil, err
+	}
+	d := diff.Design
+	targets = append(targets, target{"diffusing-binary10", d.TolerantProgram(), d.S, d.T, nil})
+
+	ring, err := tokenring.NewRing(7, 7)
+	if err != nil {
+		return nil, err
+	}
+	targets = append(targets, target{"tokenring-ring-n7k7", ring.P, ring.S, nil, nil})
+
+	path, err := tokenring.NewPath(6, 8)
+	if err != nil {
+		return nil, err
+	}
+	pd := path.Design
+	targets = append(targets, target{"tokenring-path-n6k8", pd.TolerantProgram(), pd.S, pd.T, nil})
+
+	ctx := context.Background()
+	var probes []benchProbe
+	for _, tg := range targets {
+		collector := &obs.Collector{}
+		opts := append([]verify.Option{verify.WithTracer(collector)}, tg.options...)
+		start := time.Now()
+		rep, err := verify.Check(ctx, tg.prog, tg.s, tg.t, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tg.name, err)
+		}
+		probe := benchProbe{
+			Name:      tg.name,
+			States:    rep.Space.Count,
+			ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+			Passes:    collector.Passes(),
+		}
+		for _, p := range probe.Passes {
+			if p.Pass == verify.PassSuccTable {
+				probe.Edges, probe.Bytes = p.Edges, p.Bytes
+			}
+		}
+		probes = append(probes, probe)
+	}
+	return probes, nil
 }

@@ -44,6 +44,14 @@ type PassStat struct {
 	Frontier int64 `json:"frontier,omitempty"`
 	// Workers is the goroutine count the pass was sharded across.
 	Workers int `json:"workers"`
+	// Edges is the number of enabled transitions the pass measured or
+	// materialized — set by the index-building passes (succ_table,
+	// pred_table), 0 elsewhere.
+	Edges int64 `json:"edges,omitempty"`
+	// Bytes is the memory footprint of the structure the pass built
+	// (succ_table, pred_table). 0 when nothing was materialized — e.g. a
+	// succ_table span whose measured edge set busted the budget.
+	Bytes int64 `json:"bytes,omitempty"`
 	// ElapsedMS is the pass's wall-clock time in milliseconds.
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
@@ -160,6 +168,8 @@ func (t LogTracer) PassEnd(stat PassStat) {
 		"pass", stat.Pass,
 		"states", stat.States,
 		"frontier", stat.Frontier,
+		"edges", stat.Edges,
+		"bytes", stat.Bytes,
 		"workers", stat.Workers,
 		"elapsed_ms", stat.ElapsedMS,
 	)
@@ -169,22 +179,44 @@ func (t LogTracer) PassEnd(stat PassStat) {
 // printed by csverify -trace and gclrun -trace.
 func FormatTable(stats []PassStat) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %12s %10s %8s %12s %12s\n",
-		"pass", "states", "frontier", "workers", "elapsed", "states/s")
+	fmt.Fprintf(&b, "%-16s %12s %10s %12s %10s %8s %12s %12s\n",
+		"pass", "states", "frontier", "edges", "bytes", "workers", "elapsed", "states/s")
 	var totalMS float64
 	for _, s := range stats {
 		frontier := "-"
 		if s.Frontier > 0 {
 			frontier = fmt.Sprintf("%d", s.Frontier)
 		}
-		fmt.Fprintf(&b, "%-16s %12d %10s %8d %12s %12s\n",
-			s.Pass, s.States, frontier, s.Workers,
+		edges := "-"
+		if s.Edges > 0 {
+			edges = fmt.Sprintf("%d", s.Edges)
+		}
+		bytes := "-"
+		if s.Bytes > 0 {
+			bytes = formatBytes(s.Bytes)
+		}
+		fmt.Fprintf(&b, "%-16s %12d %10s %12s %10s %8d %12s %12s\n",
+			s.Pass, s.States, frontier, edges, bytes, s.Workers,
 			s.Elapsed().Round(time.Microsecond), formatRate(s.StatesPerSecond()))
 		totalMS += s.ElapsedMS
 	}
-	fmt.Fprintf(&b, "%-16s %12s %10s %8s %12s\n", "total", "", "", "",
+	fmt.Fprintf(&b, "%-16s %12s %10s %12s %10s %8s %12s\n", "total", "", "", "", "", "",
 		(time.Duration(totalMS * float64(time.Millisecond))).Round(time.Microsecond))
 	return b.String()
+}
+
+// formatBytes renders a byte count compactly (1.2GB, 850MB, 64kB, ...).
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fkB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 // formatRate renders a states/second figure compactly (1.2M, 850k, ...).

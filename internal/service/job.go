@@ -70,6 +70,10 @@ type JobStatus struct {
 	// Cached reports that the result was served from the cache without a
 	// fresh check.
 	Cached bool `json:"cached,omitempty"`
+	// Coalesced reports that the submission attached to an identical
+	// in-flight job instead of running its own check; the result (when
+	// terminal) is the leader's.
+	Coalesced bool `json:"coalesced,omitempty"`
 	// Error is the failure detail when State is "failed".
 	Error string `json:"error,omitempty"`
 	// Result is the verdict when State is "done".
@@ -191,11 +195,21 @@ type job struct {
 	mu        sync.Mutex
 	state     JobState
 	cached    bool
+	coalesced bool
 	err       error
 	result    *Result
 	submitted time.Time
 	finished  time.Time
 	cancel    func() // non-nil while running; cancels the check context
+
+	// followers are coalesced jobs waiting on this job's terminal
+	// transition; they inherit it verbatim (single-flight).
+	followers []*job
+
+	// onTerminal, when non-nil, runs once after the terminal transition
+	// (outside j.mu); the server uses it to release the job's in-flight
+	// coalescing entry.
+	onTerminal func()
 
 	// done is closed on the terminal transition; long-polls wait on it.
 	done chan struct{}
@@ -215,6 +229,7 @@ func (j *job) status() JobStatus {
 		Key:         j.c.key,
 		Program:     j.c.name,
 		Cached:      j.cached,
+		Coalesced:   j.coalesced,
 		SubmittedAt: j.submitted,
 		FinishedAt:  j.finished,
 	}
@@ -230,20 +245,64 @@ func (j *job) status() JobStatus {
 }
 
 // transition moves the job to a terminal state exactly once and wakes
-// long-polls. Returns false if the job was already terminal.
+// long-polls. Coalesced followers inherit the same terminal state, and
+// the server's in-flight entry (if any) is released. Returns false if the
+// job was already terminal.
 func (j *job) transition(state JobState, res *Result, err error, now time.Time) bool {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.state.terminal() {
+	followers, ok := j.terminateLocked(state, res, err, now)
+	j.mu.Unlock()
+	if !ok {
 		return false
+	}
+	j.settle(followers, state, res, err, now)
+	return true
+}
+
+// terminateLocked applies the terminal transition with j.mu held and
+// returns the coalesced followers to notify. Callers must hand them to
+// settle after releasing j.mu — follower transitions take the followers'
+// own locks, and the lock order is strictly leader before follower.
+func (j *job) terminateLocked(state JobState, res *Result, err error, now time.Time) ([]*job, bool) {
+	if j.state.terminal() {
+		return nil, false
 	}
 	j.state = state
 	j.result = res
 	j.err = err
 	j.finished = now
 	j.cancel = nil
+	followers := j.followers
+	j.followers = nil
 	close(j.done)
-	return true
+	return followers, true
+}
+
+// settle runs the post-terminal notifications outside j.mu: followers are
+// completed with the leader's terminal state, then the server-side hook
+// (the in-flight coalescing entry) is released.
+func (j *job) settle(followers []*job, state JobState, res *Result, err error, now time.Time) {
+	for _, f := range followers {
+		f.transition(state, res, err, now)
+	}
+	if j.onTerminal != nil {
+		j.onTerminal()
+	}
+}
+
+// attachFollower links a coalesced submission to this job. A leader that
+// already reached a terminal state completes the follower immediately;
+// otherwise the follower inherits the leader's eventual transition.
+func (j *job) attachFollower(f *job, now time.Time) {
+	j.mu.Lock()
+	if j.state.terminal() {
+		state, res, err := j.state, j.result, j.err
+		j.mu.Unlock()
+		f.transition(state, res, err, now)
+		return
+	}
+	j.followers = append(j.followers, f)
+	j.mu.Unlock()
 }
 
 // markRunning records the executor pickup and its cancel hook; it returns
@@ -264,11 +323,12 @@ func (j *job) markRunning(cancel func()) bool {
 func (j *job) requestCancel(now time.Time) (affected bool) {
 	j.mu.Lock()
 	if j.state == StateQueued {
-		j.state = StateCanceled
-		j.err = fmt.Errorf("canceled while queued")
-		j.finished = now
-		close(j.done)
+		// Route through the shared terminal path so coalesced followers
+		// are canceled with their leader and the in-flight entry drops.
+		err := fmt.Errorf("canceled while queued")
+		followers, _ := j.terminateLocked(StateCanceled, nil, err, now)
 		j.mu.Unlock()
+		j.settle(followers, StateCanceled, nil, err, now)
 		return true
 	}
 	cancel := j.cancel

@@ -23,15 +23,18 @@ var passBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
 	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
 
 // passHist is one pass's cumulative latency histogram plus the totals
-// backing its states/sec gauge. Guarded by Metrics.passMu.
+// backing its states/sec gauge and the index-size counters. Guarded by
+// Metrics.passMu.
 type passHist struct {
 	buckets []int64 // observation counts per passBuckets bound
 	count   int64
 	sum     float64 // seconds
 	states  int64
+	edges   int64 // enabled transitions measured by index-building passes
+	bytes   int64 // bytes materialized by index-building passes
 }
 
-func (h *passHist) observe(seconds float64, states int64) {
+func (h *passHist) observe(seconds float64, states, edges, bytes int64) {
 	for i, le := range passBuckets {
 		if seconds <= le {
 			h.buckets[i]++
@@ -40,6 +43,8 @@ func (h *passHist) observe(seconds float64, states int64) {
 	h.count++
 	h.sum += seconds
 	h.states += states
+	h.edges += edges
+	h.bytes += bytes
 }
 
 // Metrics holds the service's counters and gauges. All fields are updated
@@ -62,6 +67,9 @@ type Metrics struct {
 	// submission time.
 	CacheHits   atomic.Int64
 	CacheMisses atomic.Int64
+	// Coalesced counts submissions that attached to an identical in-flight
+	// job (single-flight) instead of enqueueing their own check.
+	Coalesced atomic.Int64
 	// QueueDepth is the number of jobs waiting in the queue.
 	QueueDepth atomic.Int64
 	// InFlight is the number of executor goroutines currently inside
@@ -102,7 +110,7 @@ func (m *Metrics) ObservePass(stat obs.PassStat) {
 		h = &passHist{buckets: make([]int64, len(passBuckets))}
 		m.passes[stat.Pass] = h
 	}
-	h.observe(stat.ElapsedMS/1000, stat.States)
+	h.observe(stat.ElapsedMS/1000, stat.States, stat.Edges, stat.Bytes)
 }
 
 // LatencySummary returns order statistics over the retained check-latency
@@ -131,6 +139,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("csserved_jobs_canceled_total", "Jobs canceled before or during execution.", m.Canceled.Load())
 	counter("csserved_cache_hits_total", "Content-addressed cache hits at submission.", m.CacheHits.Load())
 	counter("csserved_cache_misses_total", "Content-addressed cache misses at submission.", m.CacheMisses.Load())
+	counter("csserved_jobs_coalesced_total", "Submissions coalesced onto an identical in-flight job.", m.Coalesced.Load())
 	counter("csserved_verdict_satisfied_total", "Completed checks with a satisfied verdict.", m.Satisfied.Load())
 	counter("csserved_verdict_violated_total", "Completed checks with a violated verdict.", m.Violated.Load())
 	gauge("csserved_queue_depth", "Jobs waiting in the queue.", m.QueueDepth.Load())
@@ -180,6 +189,18 @@ func (m *Metrics) writePassMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE csserved_pass_states_total counter\n")
 	for _, name := range names {
 		fmt.Fprintf(w, "csserved_pass_states_total{pass=%q} %d\n", name, m.passes[name].states)
+	}
+
+	fmt.Fprintf(w, "# HELP csserved_pass_edges_total Enabled transitions measured by index-building passes, by pass name.\n")
+	fmt.Fprintf(w, "# TYPE csserved_pass_edges_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "csserved_pass_edges_total{pass=%q} %d\n", name, m.passes[name].edges)
+	}
+
+	fmt.Fprintf(w, "# HELP csserved_pass_bytes_total Bytes materialized by index-building passes, by pass name.\n")
+	fmt.Fprintf(w, "# TYPE csserved_pass_bytes_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "csserved_pass_bytes_total{pass=%q} %d\n", name, m.passes[name].bytes)
 	}
 
 	fmt.Fprintf(w, "# HELP csserved_pass_states_per_second Cumulative pass throughput (states / pass-seconds).\n")

@@ -112,6 +112,10 @@ type Server struct {
 	jobs     map[string]*job
 	order    []string // job ids, admission order, for record eviction
 	seq      uint64
+	// inflight maps a content-address to its leader job from enqueue until
+	// the leader's terminal transition; identical submissions in that
+	// window coalesce onto the leader instead of running their own check.
+	inflight map[string]*job
 
 	wg        sync.WaitGroup // executor goroutines
 	sweepStop chan struct{}  // closed by Shutdown to halt the TTL sweeper
@@ -131,6 +135,7 @@ func New(cfg Config) *Server {
 		stop:      cancel,
 		queue:     make(chan *job, cfg.QueueSize),
 		jobs:      make(map[string]*job),
+		inflight:  make(map[string]*job),
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
 	}
@@ -244,9 +249,34 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 			"verdict", hit.Verdict)
 		return j.status(), nil
 	}
+	// Single-flight: an identical submission already queued or running
+	// coalesces onto that leader — the follower gets its own job record
+	// (and id) but no queue slot or check run; it inherits the leader's
+	// terminal state when the leader finishes.
+	if leader, ok := s.inflight[c.key]; ok {
+		j := s.admitLocked(c, now)
+		j.coalesced = true
+		s.mu.Unlock()
+		s.metrics.Submitted.Add(1)
+		s.metrics.Coalesced.Add(1)
+		leader.attachFollower(j, now)
+		s.log.Info("job coalesced", "job", j.id, "leader", leader.id,
+			"program", c.name, "key", c.key)
+		return j.status(), nil
+	}
 	// Reserve a queue slot before registering the record so a rejected
 	// submission leaves no trace.
 	j := newJob(s.nextIDLocked(), c, now)
+	// The terminal transition releases the in-flight entry; wire the hook
+	// before the enqueue so an executor cannot finish the job first. The
+	// pointer comparison guards against a later leader reusing the key.
+	j.onTerminal = func() {
+		s.mu.Lock()
+		if s.inflight[c.key] == j {
+			delete(s.inflight, c.key)
+		}
+		s.mu.Unlock()
+	}
 	select {
 	case s.queue <- j:
 	default:
@@ -255,6 +285,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		return JobStatus{}, &submitError{http.StatusTooManyRequests,
 			fmt.Sprintf("queue full (%d queued); retry later", s.cfg.QueueSize)}
 	}
+	s.inflight[c.key] = j
 	s.registerLocked(j)
 	s.mu.Unlock()
 	s.metrics.Submitted.Add(1)
@@ -484,9 +515,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return fmt.Errorf("service: Shutdown called twice")
 	}
 	s.draining = true
+	s.mu.Unlock()
 	// Cancel everything still waiting in the queue. Draining the channel
 	// here (rather than letting executors see the canceled jobs) frees the
-	// executors to exit as soon as their current check completes.
+	// executors to exit as soon as their current check completes. This runs
+	// outside s.mu: draining is set, so no new submission can race the
+	// close, and the queued-cancel transitions must be free to take s.mu
+	// when they release their coalescing entries.
 	now := time.Now()
 loop:
 	for {
@@ -500,7 +535,6 @@ loop:
 		}
 	}
 	close(s.queue)
-	s.mu.Unlock()
 	s.log.Info("draining")
 	close(s.sweepStop)
 	<-s.sweepDone

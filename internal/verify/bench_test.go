@@ -113,6 +113,80 @@ func BenchmarkCheckTracerOverheadNop(b *testing.B) {
 	benchCheckTraced(b, verify.WithTracer(obs.Nop{}), verify.WithProgress(&obs.Progress{}))
 }
 
+// benchCheckDiffusing1M runs the full Check on the 1M-state diffusing
+// instance, the workload the CSR-vs-fallback comparison is made on.
+func benchCheckDiffusing1M(b *testing.B, options ...verify.Option) {
+	inst, err := diffusing.New(diffusing.Binary(10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := inst.Design
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := verify.Check(ctx, d.TolerantProgram(), d.S, d.T, options...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Unfair.Converges {
+			b.Fatal("benchmark instance must converge")
+		}
+	}
+}
+
+// BenchmarkCheckDiffusingCSR is the default engine: forward CSR built
+// up front, reverse CSR built lazily for the convergence wave. Compare
+// against BenchmarkCheckDiffusingFallback for the index's net win, and
+// against the dense-table baseline recorded in DESIGN.md §6 for the
+// regression guard (the CSR run must not be slower).
+func BenchmarkCheckDiffusingCSR(b *testing.B) { benchCheckDiffusing1M(b) }
+
+// BenchmarkCheckDiffusingFallback forces the on-the-fly successor path
+// (budget too small for any index) — the engine every instance beyond
+// the memory budget runs on.
+func BenchmarkCheckDiffusingFallback(b *testing.B) {
+	defer verify.SetSuccIndexBudget(1)()
+	benchCheckDiffusing1M(b)
+}
+
+// TestCheckBeyondDenseBudget pins the headline capacity win of the CSR
+// rebuild: the token-ring path instance N=7, K=9 has 9^8 = 43,046,721
+// states and 15 actions, so the old dense successor table would need
+// 4·15·9^8 ≈ 2.4 GiB — beyond the 2 GiB budget, forcing the slow
+// fallback. The CSR index stores only enabled edges and fits with room
+// to spare, so the instance now verifies end-to-end on the fast path.
+func TestCheckBeyondDenseBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("43M-state end-to-end check (~2 min); skipped in -short mode")
+	}
+	inst, err := tokenring.NewPath(7, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := inst.Design
+	rep, err := verify.Check(context.Background(), d.TolerantProgram(), d.S, d.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseBytes := int64(4) * int64(len(d.TolerantProgram().Actions)) * rep.Space.Count
+	if denseBytes <= 1<<31 {
+		t.Fatalf("instance no longer exceeds the dense budget: %d bytes", denseBytes)
+	}
+	if !rep.Space.HasSuccIndex() {
+		t.Fatal("CSR index was not built — instance ran on the fallback")
+	}
+	edges, bytes := rep.Space.SuccIndexStats()
+	if bytes >= denseBytes/2 {
+		t.Errorf("CSR index %d bytes, want at least 2x below the dense %d", bytes, denseBytes)
+	}
+	if !rep.Unfair.Converges {
+		t.Fatalf("path ring must converge: %s", rep.Unfair.Summary())
+	}
+	t.Logf("%d states, %d edges end-to-end in %v: CSR %d bytes vs dense %d, worst %d steps",
+		rep.Space.Count, edges, rep.Elapsed, bytes, denseBytes, rep.Unfair.WorstSteps)
+}
+
 // TestCheckAboveOldCeiling pins the acceptance criterion as a regular
 // test: an instance above the seed's 1<<22-state enumeration ceiling is
 // verified end-to-end through Check, with the exact worst-case bound.

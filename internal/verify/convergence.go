@@ -3,7 +3,6 @@ package verify
 import (
 	"context"
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
 
@@ -89,11 +88,11 @@ func (sp *Space) CheckConvergence() *ConvergenceResult {
 }
 
 // CheckConvergenceContext is CheckConvergence with cancellation. When the
-// successor table is available it runs the sharded backward fixpoint
+// successor index is available it runs the sharded backward fixpoint
 // (checkConvergenceKahn); otherwise it falls back to a sequential DFS.
 // Verdicts and witnesses do not depend on the worker count.
 func (sp *Space) CheckConvergenceContext(ctx context.Context) (*ConvergenceResult, error) {
-	if sp.succ != nil {
+	if sp.idx != nil {
 		res, _, err := sp.checkConvergenceKahn(ctx)
 		return res, err
 	}
@@ -140,7 +139,8 @@ func (sp *Space) checkConvergenceKahn(ctx context.Context) (res *ConvergenceResu
 
 	// Phase 1: scan the region. outstanding[i] counts i's region
 	// successors; escapes and deadlocks surface here with minimum-index
-	// witnesses. States with no region successors seed the first wave.
+	// witnesses (the escape payload is an edge rank, see actionAt). States
+	// with no region successors seed the first wave.
 	outstanding := make([]int32, sp.Count)
 	escape, deadlock := newWitness(), newWitness()
 	firstWave := make([][]int64, workers)
@@ -149,22 +149,19 @@ func (sp *Space) checkConvergenceKahn(ctx context.Context) (res *ConvergenceResu
 			if !sp.region(i) {
 				continue
 			}
-			enabled, pending := 0, int32(0)
-			for k, j := range sp.succRow(i) {
-				if j < 0 {
-					continue
-				}
-				enabled++
+			row := sp.idx.out(i)
+			if len(row) == 0 {
+				deadlock.offer(i, 0)
+				continue
+			}
+			pending := int32(0)
+			for k, j := range row {
 				jj := int64(j)
 				if !sp.inT.get(jj) {
 					escape.offer(i, int64(k))
 				} else if !sp.inS.get(jj) {
 					pending++
 				}
-			}
-			if enabled == 0 {
-				deadlock.offer(i, 0)
-				continue
 			}
 			outstanding[i] = pending
 			if pending == 0 {
@@ -177,7 +174,7 @@ func (sp *Space) checkConvergenceKahn(ctx context.Context) (res *ConvergenceResu
 	}
 	if escape.found() {
 		st := sp.State(escape.state)
-		a := sp.P.Actions[escape.extra]
+		a := sp.actionAt(escape.state, escape.extra)
 		res.Converges = false
 		res.Escape = &ClosureViolation{Pred: sp.T, State: st, Action: a, Next: a.Apply(st)}
 		return res, nil, nil
@@ -188,45 +185,13 @@ func (sp *Space) checkConvergenceKahn(ctx context.Context) (res *ConvergenceResu
 		return res, nil, nil
 	}
 
-	// Phase 2: reverse CSR over region→region edges (multi-edges kept, so
-	// the predecessor counts match outstanding exactly).
-	predCnt := make([]int32, sp.Count)
-	err = parallelRange(ctx, workers, sp.Count, sp.opts.Progress, func(_ int, lo, hi int64) {
-		for i := lo; i < hi; i++ {
-			if !sp.region(i) {
-				continue
-			}
-			for _, j := range sp.succRow(i) {
-				if j >= 0 && sp.region(int64(j)) {
-					atomic.AddInt32(&predCnt[j], 1)
-				}
-			}
-		}
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	offsets := make([]int32, sp.Count+1)
-	var total int32
-	for i := int64(0); i < sp.Count; i++ {
-		offsets[i] = total
-		total += predCnt[i]
-		predCnt[i] = 0 // reused below as the fill cursor
-	}
-	offsets[sp.Count] = total
-	rev := make([]int32, total)
-	err = parallelRange(ctx, workers, sp.Count, sp.opts.Progress, func(_ int, lo, hi int64) {
-		for i := lo; i < hi; i++ {
-			if !sp.region(i) {
-				continue
-			}
-			for _, j := range sp.succRow(i) {
-				if j >= 0 && sp.region(int64(j)) {
-					rev[offsets[j]+atomic.AddInt32(&predCnt[j], 1)-1] = int32(i)
-				}
-			}
-		}
-	})
+	// Phase 2: the shared reverse CSR — built once per Check by the
+	// atomics-free counting-sort builder in graph.go and cached on the
+	// space's succIndex, so repeat convergence passes (stair stages,
+	// leads-to's embedded analysis) reuse it. The global index keeps one
+	// predecessor entry per forward edge; restricting releases to region
+	// predecessors below makes multiplicities match outstanding exactly.
+	revOff, revPred, err := sp.predIndex(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -242,10 +207,7 @@ func (sp *Space) checkConvergenceKahn(ctx context.Context) (res *ConvergenceResu
 			for w := lo; w < hi; w++ {
 				i := wave[w]
 				var best int32
-				for _, j := range sp.succRow(i) {
-					if j < 0 {
-						continue
-					}
+				for _, j := range sp.idx.out(i) {
 					jj := int64(j)
 					if sp.inS.get(jj) {
 						if best < 1 {
@@ -256,9 +218,13 @@ func (sp *Space) checkConvergenceKahn(ctx context.Context) (res *ConvergenceResu
 					}
 				}
 				steps[i] = best
-				for _, p := range rev[offsets[i]:offsets[i+1]] {
-					if atomic.AddInt32(&outstanding[p], -1) == 0 {
-						next[worker] = append(next[worker], int64(p))
+				for _, p := range revPred[revOff[i]:revOff[i+1]] {
+					pp := int64(p)
+					if !sp.region(pp) {
+						continue
+					}
+					if atomic.AddInt32(&outstanding[pp], -1) == 0 {
+						next[worker] = append(next[worker], pp)
 					}
 				}
 			}
@@ -345,12 +311,12 @@ func (sp *Space) cycleWitness(outstanding []int32) []*program.State {
 		stack = append(stack[:0], frame{i: start})
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			row := sp.succRow(f.i)
+			row := sp.idx.out(f.i)
 			pushed := false
 			for f.pos < len(row) {
 				j := row[f.pos]
 				f.pos++
-				if j < 0 || !unresolved(int64(j)) {
+				if !unresolved(int64(j)) {
 					continue
 				}
 				jj := int64(j)
@@ -588,16 +554,29 @@ func (sp *Space) CheckFairConvergenceContext(ctx context.Context) (res *Converge
 		adj       [][]regionEdge
 		enabledAt func(ai int, v int) bool
 	)
-	if sp.succ != nil && sp.Count <= math.MaxInt32 {
+	if sp.idx != nil {
+		var enabled [][]int32
 		var err error
-		region, adj, err = sp.buildRegionGraph(ctx, res)
+		region, adj, enabled, err = sp.buildRegionGraph(ctx, res)
 		if err != nil {
 			return nil, err
 		}
 		if !res.Converges {
 			return res, nil
 		}
-		enabledAt = func(ai int, v int) bool { return sp.succRow(region[v])[ai] >= 0 }
+		// enabled[v] is the sorted action-index list behind region[v]'s CSR
+		// edges, materialized by the region-graph build's guard zip.
+		enabledAt = func(ai int, v int) bool {
+			for _, a := range enabled[v] {
+				if int(a) == ai {
+					return true
+				}
+				if int(a) > ai {
+					return false
+				}
+			}
+			return false
+		}
 	} else {
 		if done := sp.buildRegionGraphSeq(res, &region, &adj); done {
 			return res, nil
@@ -659,10 +638,12 @@ func (sp *Space) CheckFairConvergenceContext(ctx context.Context) (res *Converge
 }
 
 // buildRegionGraph collects the T∧¬S region in ascending state order and
-// builds its action-labeled transition graph from the successor table, all
-// sharded. Escapes and deadlocks are recorded on res (minimum-index
-// witness) with res.Converges cleared.
-func (sp *Space) buildRegionGraph(ctx context.Context, res *ConvergenceResult) ([]int64, [][]regionEdge, error) {
+// builds its action-labeled transition graph, all sharded. Action labels
+// come from zipping each region state's guard scan with its CSR edge list
+// (the k-th edge is the k-th enabled action); the per-state enabled-action
+// lists are returned for the fair daemon's A∞ test. Escapes and deadlocks
+// are recorded on res (minimum-index witness) with res.Converges cleared.
+func (sp *Space) buildRegionGraph(ctx context.Context, res *ConvergenceResult) ([]int64, [][]regionEdge, [][]int32, error) {
 	workers := sp.workers()
 	nChunks := (sp.Count + chunkStates - 1) / chunkStates
 
@@ -679,7 +660,7 @@ func (sp *Space) buildRegionGraph(ctx context.Context, res *ConvergenceResult) (
 		counts[lo/chunkStates] = n
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var total int64
 	for c := range counts {
@@ -702,23 +683,36 @@ func (sp *Space) buildRegionGraph(ctx context.Context, res *ConvergenceResult) (
 		}
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	// Pass 3: adjacency, one dense node per iteration (disjoint writes).
+	// Each region state's guard scan is zipped with its CSR edge list to
+	// recover the action labels the packed 4-byte edges leave implicit.
 	adj := make([][]regionEdge, total)
+	enabled := make([][]int32, total)
 	escape, deadlock := newWitness(), newWitness()
-	err = parallelRange(ctx, workers, total, sp.opts.Progress, func(_ int, lo, hi int64) {
+	scr := sp.newStates()
+	err = parallelRange(ctx, workers, total, sp.opts.Progress, func(worker int, lo, hi int64) {
+		st := scr[worker]
 		for id := lo; id < hi; id++ {
 			i := region[id]
-			enabled := 0
+			row := sp.idx.out(i)
+			if len(row) == 0 {
+				deadlock.offer(i, 0)
+				continue
+			}
+			sp.P.Schema.StateInto(i, st)
 			var edges []regionEdge
-			for k, j := range sp.succRow(i) {
-				if j < 0 {
+			acts := make([]int32, 0, len(row))
+			rank := 0
+			for k, a := range sp.P.Actions {
+				if !a.Guard(st) {
 					continue
 				}
-				enabled++
-				jj := int64(j)
+				jj := int64(row[rank])
+				rank++
+				acts = append(acts, int32(k))
 				if !sp.inT.get(jj) {
 					escape.offer(i, int64(k))
 					continue
@@ -728,27 +722,25 @@ func (sp *Space) buildRegionGraph(ctx context.Context, res *ConvergenceResult) (
 				}
 				edges = append(edges, regionEdge{to: int(ids[jj]), action: k})
 			}
-			if enabled == 0 {
-				deadlock.offer(i, 0)
-			}
 			adj[id] = edges
+			enabled[id] = acts
 		}
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if escape.found() {
 		st := sp.State(escape.state)
 		a := sp.P.Actions[escape.extra]
 		res.Converges = false
 		res.Escape = &ClosureViolation{Pred: sp.T, State: st, Action: a, Next: a.Apply(st)}
-		return region, adj, nil
+		return region, adj, enabled, nil
 	}
 	if deadlock.found() {
 		res.Converges = false
 		res.Deadlock = sp.State(deadlock.state)
 	}
-	return region, adj, nil
+	return region, adj, enabled, nil
 }
 
 // buildRegionGraphSeq is the sequential fallback region-graph builder (no
@@ -891,7 +883,7 @@ func (sp *Space) WorstDistances() ([]int32, bool) {
 // successor table available the distances fall out of the sharded
 // fixpoint; otherwise a sequential memoized DFS recomputes them.
 func (sp *Space) WorstDistancesContext(ctx context.Context) ([]int32, bool, error) {
-	if sp.succ != nil {
+	if sp.idx != nil {
 		res, steps, err := sp.checkConvergenceKahn(ctx)
 		if err != nil {
 			return nil, false, err

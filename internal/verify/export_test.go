@@ -1,0 +1,24 @@
+package verify
+
+// SetSuccIndexBudget overrides the successor-index memory budget for the
+// duration of a test, returning a restore function. A tiny budget forces
+// every pass through the on-the-fly fallback, which is how the metamorphic
+// and benchmark suites pin CSR-vs-fallback agreement.
+func SetSuccIndexBudget(b int64) (restore func()) {
+	old := succIndexBudget
+	succIndexBudget = b
+	return func() { succIndexBudget = old }
+}
+
+// HasSuccIndex reports whether the space materialized its CSR successor
+// index (false means the passes run on the on-the-fly fallback).
+func (sp *Space) HasSuccIndex() bool { return sp.idx != nil }
+
+// SuccIndexStats returns the enabled-edge count and byte size of the
+// forward CSR index, or zeros when it was not built.
+func (sp *Space) SuccIndexStats() (edges, bytes int64) {
+	if sp.idx == nil {
+		return 0, 0
+	}
+	return sp.idx.numEdges(), sp.idx.fwdBytes()
+}

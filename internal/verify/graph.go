@@ -1,0 +1,255 @@
+package verify
+
+import (
+	"context"
+	"math"
+	"sync"
+
+	"nonmask/internal/program"
+)
+
+// succIndexBudget caps the memory spent on each precomputed transition
+// index (the forward CSR, and separately the reverse CSR mirroring it).
+// Unlike the old dense per-action table, the budget is charged against the
+// *actual* enabled-edge count E discovered by the counting sweep:
+//
+//	forward bytes = 4·(Count+1) + 4·E   (uint32 offsets + int32 targets)
+//
+// Above the budget (or above int32 state indices) the passes fall back to
+// recomputing successors on the fly. A var rather than a const so tests
+// can force the fallback (see export_test.go).
+var succIndexBudget = int64(1) << 31 // 2 GiB per index
+
+// succIndex is the CSR transition graph of a Space, covering only enabled
+// transitions: state i's successors are edges[offsets[i]:offsets[i+1]], in
+// ascending action order. The entry payload is the 4-byte successor index
+// alone — the acting action is implicit as the edge's rank among i's
+// enabled guards and is recovered by actionAt only on witness paths, so
+// edge storage stays at 4 bytes even for near-dense programs.
+//
+// The reverse CSR (predecessors, multi-edges kept) is built lazily by
+// predIndex on first use and cached here; derived stage spaces share the
+// struct by pointer, so one Check builds it at most once.
+type succIndex struct {
+	offsets []uint32 // len Count+1
+	edges   []int32  // successor state per enabled (state, action)
+
+	revMu   sync.Mutex
+	revOff  []uint32 // len Count+1; nil until built
+	revPred []int32  // predecessor state per enabled edge, source-ascending
+}
+
+// out returns the successor indices of state i, one per enabled action in
+// action order.
+func (g *succIndex) out(i int64) []int32 {
+	return g.edges[g.offsets[i]:g.offsets[i+1]]
+}
+
+// numEdges returns E, the number of enabled transitions in the space.
+func (g *succIndex) numEdges() int64 { return int64(len(g.edges)) }
+
+// fwdBytes is the forward index's memory footprint.
+func (g *succIndex) fwdBytes() int64 {
+	return 4*int64(len(g.offsets)) + 4*int64(len(g.edges))
+}
+
+// buildSuccIndex constructs the forward CSR in two sharded sweeps with no
+// per-edge atomics: sweep 1 counts enabled guards per chunk, a sequential
+// prefix sum over the per-chunk totals assigns each chunk a disjoint slice
+// of the edge array, and sweep 2 fills offsets and edges with a per-chunk
+// local cursor. The index is skipped (passes then recompute successors on
+// the fly) when state indices overflow int32 or the edge array would bust
+// succIndexBudget — a decision made from the measured edge count, not from
+// Count × nA.
+func (sp *Space) buildSuccIndex(ctx context.Context) error {
+	if sp.Count > math.MaxInt32 || 4*(sp.Count+1) > succIndexBudget {
+		return nil
+	}
+	// The progress hint is 2·Count: the counting sweep and the fill sweep
+	// each visit every state once.
+	span := startPass(sp.opts, PassSuccTable, 2*sp.Count)
+	workers := sp.workers()
+	nChunks := (sp.Count + chunkStates - 1) / chunkStates
+	chunkBase := make([]int64, nChunks)
+	scr := sp.newStates()
+	err := parallelRange(ctx, workers, sp.Count, sp.opts.Progress, func(worker int, lo, hi int64) {
+		st := scr[worker]
+		var n int64
+		for i := lo; i < hi; i++ {
+			sp.P.Schema.StateInto(i, st)
+			for _, a := range sp.P.Actions {
+				if a.Guard(st) {
+					n++
+				}
+			}
+		}
+		chunkBase[lo/chunkStates] = n
+	})
+	if err != nil {
+		return err
+	}
+	var total int64
+	for c := range chunkBase {
+		chunkBase[c], total = total, total+chunkBase[c]
+	}
+	if 4*(sp.Count+1)+4*total > succIndexBudget {
+		// Over budget: surface the measured edge count on the span (bytes 0
+		// = nothing materialized) and leave the space index-free.
+		span.endSized(sp.Count, total, 0)
+		return nil
+	}
+	g := &succIndex{offsets: make([]uint32, sp.Count+1), edges: make([]int32, total)}
+	pairs := sp.newStatePairs()
+	err = parallelRange(ctx, workers, sp.Count, sp.opts.Progress, func(worker int, lo, hi int64) {
+		st, tmp := pairs[worker].st, pairs[worker].tmp
+		cur := chunkBase[lo/chunkStates]
+		for i := lo; i < hi; i++ {
+			sp.P.Schema.StateInto(i, st)
+			g.offsets[i] = uint32(cur)
+			for _, a := range sp.P.Actions {
+				if !a.Guard(st) {
+					continue
+				}
+				a.ApplyInto(st, tmp)
+				g.edges[cur] = int32(sp.P.Schema.Index(tmp))
+				cur++
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	g.offsets[sp.Count] = uint32(total)
+	sp.idx = g
+	span.endSized(sp.Count, total, g.fwdBytes())
+	return nil
+}
+
+// predIndex returns the reverse CSR (per-state predecessor lists, one
+// entry per forward edge so multiplicities match outstanding-counts
+// exactly), building and caching it on the shared succIndex the first time
+// any pass needs it. Construction is a parallel counting sort over target
+// partitions — no per-edge atomics, and the result is byte-identical for
+// every worker count:
+//
+//	phase A: per-(source-chunk, target-partition) edge counts;
+//	phase B: sequential prefix sums assigning every (chunk, partition)
+//	         pair a disjoint slice of a partition-grouped scratch array;
+//	phase C: sharded scatter of (target, source) pairs into the scratch
+//	         (each chunk owns its reserved slots);
+//	phase D: per-partition counting sort into the final arrays (each
+//	         partition owns a disjoint range of revOff/revPred).
+func (sp *Space) predIndex(ctx context.Context) (revOff []uint32, revPred []int32, err error) {
+	g := sp.idx
+	g.revMu.Lock()
+	defer g.revMu.Unlock()
+	if g.revOff != nil {
+		return g.revOff, g.revPred, nil
+	}
+	span := startPass(sp.opts, PassPredTable, sp.Count)
+	workers := sp.workers()
+	nChunks := (sp.Count + chunkStates - 1) / chunkStates
+	nPart := int64(workers) * 4
+	if nPart > nChunks {
+		nPart = nChunks
+	}
+	if nPart < 1 {
+		nPart = 1
+	}
+	partSize := (sp.Count + nPart - 1) / nPart
+	E := g.numEdges()
+
+	// Phase A: count edges per (source chunk, target partition).
+	pos := make([]int64, nChunks*nPart)
+	err = parallelRange(ctx, workers, sp.Count, sp.opts.Progress, func(_ int, lo, hi int64) {
+		row := pos[(lo/chunkStates)*nPart : (lo/chunkStates+1)*nPart]
+		for _, j := range g.edges[g.offsets[lo]:g.offsets[hi]] {
+			row[int64(j)/partSize]++
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Phase B: partition-major prefix sum; pos becomes the scatter cursor
+	// of each (chunk, partition) pair, partStart the final edge range of
+	// each partition.
+	partStart := make([]int64, nPart+1)
+	var run int64
+	for p := int64(0); p < nPart; p++ {
+		partStart[p] = run
+		for c := int64(0); c < nChunks; c++ {
+			pos[c*nPart+p], run = run, run+pos[c*nPart+p]
+		}
+	}
+	partStart[nPart] = run
+
+	// Phase C: scatter packed (target, source) pairs, grouped by target
+	// partition. Within a partition the scratch order is source-ascending
+	// because chunks were laid out in ascending order by phase B.
+	scratch := make([]uint64, E)
+	err = parallelRange(ctx, workers, sp.Count, sp.opts.Progress, func(_ int, lo, hi int64) {
+		cur := pos[(lo/chunkStates)*nPart : (lo/chunkStates+1)*nPart]
+		for i := lo; i < hi; i++ {
+			for _, j := range g.out(i) {
+				p := int64(j) / partSize
+				scratch[cur[p]] = uint64(j)<<32 | uint64(i)
+				cur[p]++
+			}
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Phase D: per-partition counting sort into the final arrays. deg is
+	// shared scratch but partitions own disjoint target ranges.
+	revOff = make([]uint32, sp.Count+1)
+	revPred = make([]int32, E)
+	deg := make([]int32, sp.Count)
+	err = parallelItems(ctx, workers, int(nPart), func(pi int) {
+		p := int64(pi)
+		tlo, thi := p*partSize, min((p+1)*partSize, sp.Count)
+		seg := scratch[partStart[p]:partStart[p+1]]
+		for _, packed := range seg {
+			deg[packed>>32]++
+		}
+		cursor := partStart[p]
+		for t := tlo; t < thi; t++ {
+			revOff[t] = uint32(cursor)
+			cursor += int64(deg[t])
+			deg[t] = 0
+		}
+		for _, packed := range seg {
+			t := packed >> 32
+			revPred[int64(revOff[t])+int64(deg[t])] = int32(packed & math.MaxUint32)
+			deg[t]++
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	revOff[sp.Count] = uint32(E)
+	g.revOff, g.revPred = revOff, revPred
+	span.endSized(sp.Count, E, 4*int64(len(revOff))+4*int64(len(revPred)))
+	return revOff, revPred, nil
+}
+
+// actionAt recovers the action behind the rank-th enabled edge of state i.
+// Edges are stored in ascending action order, so the rank is the number of
+// enabled guards preceding the action; only witness construction pays this
+// rescan.
+func (sp *Space) actionAt(i, rank int64) *program.Action {
+	st := sp.State(i)
+	n := int64(0)
+	for _, a := range sp.P.Actions {
+		if !a.Guard(st) {
+			continue
+		}
+		if n == rank {
+			return a
+		}
+		n++
+	}
+	return nil
+}

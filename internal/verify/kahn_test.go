@@ -25,8 +25,8 @@ func TestKahnAgreesWithDFS(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: NewSpaceContext: %v", trial, err)
 		}
-		if sp.succ == nil {
-			t.Fatalf("trial %d: tiny space built no successor table", trial)
+		if sp.idx == nil {
+			t.Fatalf("trial %d: tiny space built no successor index", trial)
 		}
 		kahn, _, err := sp.checkConvergenceKahn(ctx)
 		if err != nil {

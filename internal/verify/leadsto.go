@@ -19,25 +19,23 @@ type LeadsToResult struct {
 	Cycle []*program.State
 }
 
-// forEachSucc invokes fn(k, j) for every enabled action index k and
-// successor index j of state i, using the successor table when present and
-// recomputing through the scratch pair otherwise.
-func (sp *Space) forEachSucc(i int64, scr statePair, fn func(k int, j int64)) {
-	if sp.succ != nil {
-		for k, j := range sp.succRow(i) {
-			if j >= 0 {
-				fn(k, int64(j))
-			}
+// forEachSucc invokes fn(j) for every enabled successor index j of state
+// i, reading the CSR edge list when the index is present and recomputing
+// through the scratch pair otherwise.
+func (sp *Space) forEachSucc(i int64, scr statePair, fn func(j int64)) {
+	if sp.idx != nil {
+		for _, j := range sp.idx.out(i) {
+			fn(int64(j))
 		}
 		return
 	}
 	sp.P.Schema.StateInto(i, scr.st)
-	for k, a := range sp.P.Actions {
+	for _, a := range sp.P.Actions {
 		if !a.Guard(scr.st) {
 			continue
 		}
 		a.ApplyInto(scr.st, scr.tmp)
-		fn(k, sp.P.Schema.Index(scr.tmp))
+		fn(sp.P.Schema.Index(scr.tmp))
 	}
 }
 
@@ -100,7 +98,7 @@ func (sp *Space) LeadsToContext(ctx context.Context, p, q *program.Predicate, fa
 		next := make([][]int64, workers)
 		err := parallelRange(ctx, workers, int64(len(frontier)), sp.opts.Progress, func(worker int, lo, hi int64) {
 			for w := lo; w < hi; w++ {
-				sp.forEachSucc(frontier[w], scr[worker], func(_ int, j int64) {
+				sp.forEachSucc(frontier[w], scr[worker], func(j int64) {
 					if !sp.inT.get(j) {
 						return // leaving the region ends the obligation
 					}
@@ -131,7 +129,7 @@ func (sp *Space) LeadsToContext(ctx context.Context, p, q *program.Predicate, fa
 	stageS := newBitset(sp.Count)
 	err = parallelRange(ctx, workers, int64(len(reached)), sp.opts.Progress, func(worker int, lo, hi int64) {
 		for w := lo; w < hi; w++ {
-			sp.forEachSucc(reached[w], scr[worker], func(_ int, j int64) {
+			sp.forEachSucc(reached[w], scr[worker], func(j int64) {
 				if !reach.get(j) {
 					stageS.testAndSet(j)
 				}

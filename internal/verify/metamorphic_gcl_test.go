@@ -1,0 +1,89 @@
+// Metamorphic tests of the CSR successor index: whether the index is
+// materialized (the default), forced off (a budget too small for any
+// edge array), or consumed by different worker counts is a pure
+// performance choice — every verdict, witness, and step metric on every
+// checked-in GCL model must be bit-identical across all of them.
+package verify_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"nonmask/internal/gcl"
+	"nonmask/internal/verify"
+)
+
+// gclModels compiles every testdata/*.gcl model at the repo root.
+func gclModels(t *testing.T) map[string]*gcl.Module {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.gcl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no testdata/*.gcl models found")
+	}
+	models := make(map[string]*gcl.Module, len(paths))
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		file, err := gcl.Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", path, err)
+		}
+		m, err := gcl.Compile(file)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", path, err)
+		}
+		models[filepath.Base(path)] = m
+	}
+	return models
+}
+
+// TestSuccIndexMetamorphic cross-runs every GCL model through the CSR
+// path and the on-the-fly fallback (forced by a tiny index budget),
+// across worker counts {1, 4, NumCPU}, and requires observationally
+// identical reports: verdicts, witnesses, WorstSteps, MeanSteps.
+func TestSuccIndexMetamorphic(t *testing.T) {
+	ctx := context.Background()
+	for name, m := range gclModels(t) {
+		t.Run(name, func(t *testing.T) {
+			base, err := verify.Check(ctx, m.Program, m.S, m.T, verify.WithWorkers(1))
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			if !base.Space.HasSuccIndex() {
+				t.Fatal("baseline did not build the CSR index on a tiny model")
+			}
+
+			// Same engine, more workers.
+			for _, w := range []int{4, runtime.NumCPU()} {
+				rep, err := verify.Check(ctx, m.Program, m.S, m.T, verify.WithWorkers(w))
+				if err != nil {
+					t.Fatalf("Workers=%d: %v", w, err)
+				}
+				compareReports(t, base, rep)
+			}
+
+			// Forced fallback: a 1-byte budget rejects every index, so the
+			// passes re-derive successors on the fly.
+			restore := verify.SetSuccIndexBudget(1)
+			defer restore()
+			for _, w := range []int{1, 4} {
+				rep, err := verify.Check(ctx, m.Program, m.S, m.T, verify.WithWorkers(w))
+				if err != nil {
+					t.Fatalf("fallback Workers=%d: %v", w, err)
+				}
+				if rep.Space.HasSuccIndex() {
+					t.Fatalf("fallback Workers=%d still built an index under a 1-byte budget", w)
+				}
+				compareReports(t, base, rep)
+			}
+		})
+	}
+}

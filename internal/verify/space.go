@@ -13,32 +13,28 @@
 // the two.
 //
 // The checker is built for throughput: membership bitmaps are uint64-packed
-// bitsets, one-step successors are precomputed into a per-action table, and
-// every pass — space construction, closure scans, the convergence fixpoint,
-// fault-span and leads-to reachability — is sharded across a worker pool
-// (Options.Workers) with context cancellation polled between chunks. The
-// unified entry point is Check; the per-pass methods remain for callers
-// that need individual verdicts.
+// bitsets, one-step successors are precomputed into a CSR transition graph
+// covering only enabled edges (with a lazily built, cached reverse CSR for
+// the backward passes), and every pass — space construction, closure
+// scans, the convergence fixpoint, fault-span and leads-to reachability —
+// is sharded across a worker pool (Options.Workers) with context
+// cancellation polled between chunks. The unified entry point is Check;
+// the per-pass methods remain for callers that need individual verdicts.
 package verify
 
 import (
 	"context"
 	"fmt"
-	"math"
 
 	"nonmask/internal/program"
 )
 
-// succTableBudget caps the memory spent on the precomputed successor
-// table. Above the budget (or above int32 state indices) the passes fall
-// back to recomputing successors on the fly.
-const succTableBudget = int64(1) << 31 // 2 GiB of int32 entries
-
 // Space is a fully enumerated state space of one program, with packed
 // membership bitsets for the invariant S and fault-span T and a
-// precomputed per-action successor table. It underlies all checks and the
-// adversarial daemon's exact distance metric. A Space's checks honour the
-// Options it was built with (worker count in particular).
+// precomputed CSR successor index (see succIndex in graph.go). It
+// underlies all checks and the adversarial daemon's exact distance metric.
+// A Space's checks honour the Options it was built with (worker count in
+// particular).
 type Space struct {
 	P     *program.Program
 	S     *program.Predicate
@@ -48,10 +44,11 @@ type Space struct {
 	opts     Options
 	inS, inT bitset
 	nA       int
-	// succ is the successor table: succ[i*nA+k] is the index of the state
-	// reached by firing action k at state i, or -1 when the action is
-	// disabled there. nil when the table exceeds succTableBudget.
-	succ []int32
+	// idx is the CSR transition graph over enabled edges, shared by
+	// pointer with derived stage spaces so its cached reverse index is
+	// built at most once per Check. nil when the edge set exceeds
+	// succIndexBudget (the passes then recompute successors on the fly).
+	idx *succIndex
 }
 
 // NewSpace enumerates the program's state space and evaluates S and T at
@@ -108,54 +105,10 @@ func NewSpaceContext(ctx context.Context, p *program.Program, S, T *program.Pred
 		return nil, fmt.Errorf("verify: S does not imply T at state %s", sp.State(w.state))
 	}
 	span.end(count)
-	if err := sp.buildSuccTable(ctx); err != nil {
+	if err := sp.buildSuccIndex(ctx); err != nil {
 		return nil, err
 	}
 	return sp, nil
-}
-
-// buildSuccTable precomputes the per-action successor table in parallel,
-// unless state indices overflow int32 or the table would exceed
-// succTableBudget (the passes then recompute successors on the fly).
-func (sp *Space) buildSuccTable(ctx context.Context) error {
-	if sp.Count > math.MaxInt32 {
-		return nil
-	}
-	if sp.nA > 0 && sp.Count > succTableBudget/4/int64(sp.nA) {
-		return nil
-	}
-	tab := make([]int32, sp.Count*int64(sp.nA))
-	scr := sp.newStatePairs()
-	span := startPass(sp.opts, PassSuccTable, sp.Count)
-	err := parallelRange(ctx, sp.workers(), sp.Count, sp.opts.Progress, func(worker int, lo, hi int64) {
-		st, tmp := scr[worker].st, scr[worker].tmp
-		nA := int64(sp.nA)
-		for i := lo; i < hi; i++ {
-			sp.P.Schema.StateInto(i, st)
-			row := tab[i*nA : (i+1)*nA]
-			for k, a := range sp.P.Actions {
-				if !a.Guard(st) {
-					row[k] = -1
-					continue
-				}
-				a.ApplyInto(st, tmp)
-				row[k] = int32(sp.P.Schema.Index(tmp))
-			}
-		}
-	})
-	if err != nil {
-		return err
-	}
-	span.end(sp.Count)
-	sp.succ = tab
-	return nil
-}
-
-// succRow returns the successor-table row of state i: one entry per
-// program action, -1 where disabled. Only valid when sp.succ != nil.
-func (sp *Space) succRow(i int64) []int32 {
-	nA := int64(sp.nA)
-	return sp.succ[i*nA : (i+1)*nA]
 }
 
 func (sp *Space) workers() int { return sp.opts.workers() }
@@ -232,13 +185,15 @@ func (sp *Space) bitsFor(ctx context.Context, pred *program.Predicate) (bitset, 
 	return sp.evalPred(ctx, pred)
 }
 
-// derived builds a stage space over the same program and successor table
+// derived builds a stage space over the same program and transition graph
 // with substituted membership bitsets — the convergence-stair and leads-to
-// passes re-target S and T without re-enumerating anything.
+// passes re-target S and T without re-enumerating anything. The succIndex
+// is shared by pointer, so a reverse index built by any stage is reused by
+// every later pass of the same Check.
 func (sp *Space) derived(S, T *program.Predicate, inS, inT bitset) *Space {
 	return &Space{
 		P: sp.P, S: S, T: T, Count: sp.Count,
-		opts: sp.opts, nA: sp.nA, succ: sp.succ,
+		opts: sp.opts, nA: sp.nA, idx: sp.idx,
 		inS: inS, inT: inT,
 	}
 }
@@ -319,7 +274,7 @@ func (sp *Space) CheckClosedContext(ctx context.Context, pred, within *program.P
 	}
 	w := newWitness()
 	var scr []statePair
-	if sp.succ == nil {
+	if sp.idx == nil {
 		scr = sp.newStatePairs()
 	}
 	err = parallelRange(ctx, sp.workers(), sp.Count, sp.opts.Progress, func(worker int, lo, hi int64) {
@@ -327,9 +282,11 @@ func (sp *Space) CheckClosedContext(ctx context.Context, pred, within *program.P
 			if !predBits.get(i) || (withinBits != nil && !withinBits.get(i)) {
 				continue
 			}
-			if sp.succ != nil {
-				for k, j := range sp.succRow(i) {
-					if j >= 0 && !predBits.get(int64(j)) {
+			if sp.idx != nil {
+				// The witness payload is the violating edge's rank among
+				// i's enabled actions; actionAt recovers the action below.
+				for k, j := range sp.idx.out(i) {
+					if !predBits.get(int64(j)) {
 						w.offer(i, int64(k))
 						break
 					}
@@ -359,6 +316,9 @@ func (sp *Space) CheckClosedContext(ctx context.Context, pred, within *program.P
 	}
 	st := sp.State(w.state)
 	a := sp.P.Actions[w.extra]
+	if sp.idx != nil {
+		a = sp.actionAt(w.state, w.extra)
+	}
 	return &ClosureViolation{Pred: pred, State: st, Action: a, Next: a.Apply(st)}, nil
 }
 

@@ -177,9 +177,11 @@ func (sp *Space) CheckVariantContext(ctx context.Context, variant func(*program.
 				w.offer(i, negative)
 				continue
 			}
-			if sp.succ != nil {
-				for k, j := range sp.succRow(i) {
-					if j < 0 || sp.inS.get(int64(j)) {
+			if sp.idx != nil {
+				// The witness payload is the offending edge's rank among
+				// i's enabled actions (recovered by actionAt below).
+				for k, j := range sp.idx.out(i) {
+					if sp.inS.get(int64(j)) {
 						continue
 					}
 					sp.P.Schema.StateInto(int64(j), tmp)
@@ -219,6 +221,9 @@ func (sp *Space) CheckVariantContext(ctx context.Context, variant func(*program.
 			Action: &program.Action{Name: "(negative variant)"}}, nil
 	}
 	a := sp.P.Actions[w.extra]
+	if sp.idx != nil {
+		a = sp.actionAt(w.state, w.extra)
+	}
 	next := a.Apply(st)
 	return &VariantViolation{State: st, Action: a, Next: next,
 		Before: before, After: variant(next)}, nil

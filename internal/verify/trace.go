@@ -14,8 +14,15 @@ import (
 const (
 	// PassEnumerate is state-space enumeration plus S/T evaluation.
 	PassEnumerate = "enumerate"
-	// PassSuccTable is the precomputation of the per-action successor table.
+	// PassSuccTable is the construction of the forward CSR successor
+	// index: an edge-counting sweep plus a fill sweep. Its span carries
+	// the enabled-edge count and the index's byte size (bytes 0 when the
+	// edge set busted the budget and nothing was materialized).
 	PassSuccTable = "succ_table"
+	// PassPredTable is the lazy construction of the reverse CSR
+	// (predecessor index), emitted at most once per Check — stage passes
+	// reuse the cached index.
+	PassPredTable = "pred_table"
 	// PassClosure is one closure scan of one predicate.
 	PassClosure = "closure"
 	// PassConvergeUnfair is the arbitrary-daemon convergence fixpoint
@@ -70,7 +77,11 @@ func (s *passSpan) observeFrontier(n int64) {
 
 // end completes the span with the pass's exact processed-state count and
 // delivers it to the tracer.
-func (s *passSpan) end(states int64) {
+func (s *passSpan) end(states int64) { s.endSized(states, 0, 0) }
+
+// endSized is end for the index-building passes, which additionally report
+// the enabled-edge count and the byte size of the structure they built.
+func (s *passSpan) endSized(states, edges, bytes int64) {
 	if s.opts.Tracer == nil {
 		return
 	}
@@ -79,6 +90,8 @@ func (s *passSpan) end(states int64) {
 		States:    states,
 		Frontier:  s.frontier,
 		Workers:   s.opts.workers(),
+		Edges:     edges,
+		Bytes:     bytes,
 		ElapsedMS: float64(time.Since(s.start)) / float64(time.Millisecond),
 	})
 }

@@ -29,7 +29,7 @@ func TestCheckEmitsPassSpans(t *testing.T) {
 	}
 
 	want := []string{verify.PassEnumerate, verify.PassSuccTable,
-		verify.PassClosure, verify.PassConvergeUnfair}
+		verify.PassClosure, verify.PassPredTable, verify.PassConvergeUnfair}
 	if len(rep.Passes) != len(want) {
 		t.Fatalf("Report.Passes = %+v, want passes %v", rep.Passes, want)
 	}
@@ -48,8 +48,16 @@ func TestCheckEmitsPassSpans(t *testing.T) {
 			t.Errorf("pass %s negative elapsed %v", name, s.ElapsedMS)
 		}
 	}
+	// The index-building passes surface the enabled-edge count and the
+	// byte size of the structure they built.
+	for _, i := range []int{1, 3} {
+		s := rep.Passes[i]
+		if s.Edges <= 0 || s.Bytes <= 0 {
+			t.Errorf("pass %s edges = %d, bytes = %d, want both > 0", s.Pass, s.Edges, s.Bytes)
+		}
+	}
 	// The converging wave peeled a non-empty frontier.
-	if f := rep.Passes[3].Frontier; f <= 0 {
+	if f := rep.Passes[4].Frontier; f <= 0 {
 		t.Errorf("converge_unfair frontier = %d, want > 0", f)
 	}
 
