@@ -7,13 +7,21 @@
 //
 //	csserved                                  # serve on 127.0.0.1:8080
 //	csserved -addr :9090 -queue 128 -executors 8
+//	csserved -store ./verdicts                # crash-safe persistent results
 //	csserved -log debug -pprof                # per-pass spans + /debug/pprof/
 //	csserved -load -load-jobs 200 -load-clients 8   # self-benchmark
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs[?limit=&offset=],
-// GET /v1/jobs/{id}[?wait=2s], DELETE /v1/jobs/{id}, GET /v1/protocols,
-// GET /healthz, GET /metrics (including per-pass latency histograms).
-// With -pprof, net/http/pprof is mounted under /debug/pprof/.
+// GET /v1/jobs/{id}[?wait=2s], DELETE /v1/jobs/{id}, POST /v1/batches,
+// GET /v1/batches/{id}[?wait=5s], DELETE /v1/batches/{id},
+// GET /v1/protocols, GET /healthz, GET /metrics (including per-pass
+// latency histograms). With -pprof, net/http/pprof is mounted under
+// /debug/pprof/.
+//
+// With -store DIR, every verdict is written through to an append-only,
+// CRC-checksummed log in DIR, recovered on boot, and served read-through
+// on cache misses, so a restarted server answers previously checked
+// instances without re-verification.
 //
 // SIGINT/SIGTERM drain gracefully: new submissions get 503, queued jobs
 // are canceled, in-flight checks finish (up to -drain-timeout).
@@ -34,6 +42,7 @@ import (
 	"time"
 
 	"nonmask/internal/service"
+	"nonmask/internal/store"
 )
 
 func main() {
@@ -46,6 +55,7 @@ func main() {
 		maxDeadline  = flag.Duration("max-deadline", 60*time.Second, "per-job wall-clock budget cap")
 		cacheSize    = flag.Int("cache", 1024, "content-addressed result cache entries")
 		recordTTL    = flag.Duration("record-ttl", 0, "finished job record retention (0 = 15m default, negative disables the sweep)")
+		storeDir     = flag.String("store", "", "persistent verdict store directory; verdicts survive restarts and warm the cache (empty = memory only)")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight checks")
 		logLevel     = flag.String("log", "info", "structured log level on stderr: debug | info | warn | error | off (debug includes per-pass spans and request logs)")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the service address")
@@ -71,6 +81,22 @@ func main() {
 		CacheSize:    *cacheSize,
 		RecordTTL:    *recordTTL,
 		Logger:       logger,
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{Logger: logger})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csserved: open store:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		stats := st.Stats()
+		fmt.Printf("csserved: store %s: %d verdicts recovered", *storeDir, stats.RecoveredRecords)
+		if stats.SkippedCorrupt > 0 || stats.TruncatedBytes > 0 {
+			fmt.Printf(" (%d corrupt records skipped, %d torn-tail bytes truncated)",
+				stats.SkippedCorrupt, stats.TruncatedBytes)
+		}
+		fmt.Println()
+		cfg.Store = st
 	}
 
 	if *load {

@@ -2,11 +2,19 @@
 // injection and reports convergence statistics — the statistical
 // counterpart of csverify for instances beyond exhaustive enumeration.
 //
+// Instances come from the shared catalog in internal/protocols/registry —
+// the same catalog csverify checks and csserved serves — so cssim accepts
+// the identical -protocol and parameter spellings. Unlike the service,
+// cssim does not enforce the registry's advertised parameter bounds:
+// simulation never enumerates the state space, so instance sizes far past
+// the verification guards (e.g. -n 255) are exactly its point.
+//
 // Usage:
 //
 //	cssim -protocol diffusing -n 255 -runs 100
 //	cssim -protocol tokenring-ring -n 127 -daemon adversarial
 //	cssim -protocol spanningtree -n 6 -graph grid -daemon random
+//	cssim -list
 package main
 
 import (
@@ -14,101 +22,67 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"nonmask/internal/daemon"
 	"nonmask/internal/fault"
 	"nonmask/internal/metrics"
 	"nonmask/internal/program"
-	"nonmask/internal/protocols/diffusing"
-	"nonmask/internal/protocols/spanningtree"
-	"nonmask/internal/protocols/tokenring"
+	"nonmask/internal/protocols/registry"
 	"nonmask/internal/sim"
 )
 
 func main() {
 	var (
-		protocol = flag.String("protocol", "diffusing", "protocol: diffusing | tokenring-ring | spanningtree")
-		n        = flag.Int("n", 63, "instance size")
-		k        = flag.Int("k", 0, "ring counter space (default n+2)")
-		tree     = flag.String("tree", "binary", "tree shape: chain | star | binary | random")
-		graphStr = flag.String("graph", "grid", "spanningtree graph: line | ring | complete | grid")
+		protocol = flag.String("protocol", "diffusing", "protocol name (see -list): "+strings.Join(registry.Names(), " | "))
+		n        = flag.Int("n", 63, "instance size (nodes; ring/path: highest index)")
+		k        = flag.Int("k", 0, "counter domain size for token rings (default n+2)")
+		tree     = flag.String("tree", "binary", "tree shape for tree protocols: chain | star | binary | random")
+		graphStr = flag.String("graph", "grid", "graph for graph protocols: line | ring | complete | grid")
+		variant  = flag.String("variant", "out-tree", "xyz variant: interfering | out-tree | ordered")
 		dmn      = flag.String("daemon", "random", "daemon: round-robin | random | adversarial")
 		runs     = flag.Int("runs", 100, "number of runs")
 		maxSteps = flag.Int("max-steps", 5_000_000, "step budget per run")
-		seed     = flag.Int64("seed", 1, "random seed")
+		seed     = flag.Int64("seed", 1, "random seed (runs and random topologies)")
+		list     = flag.Bool("list", false, "list the protocol catalog and exit")
 	)
 	flag.Parse()
 
-	if err := run(*protocol, *n, *k, *tree, *graphStr, *dmn, *runs, *maxSteps, *seed); err != nil {
+	if *list {
+		for _, e := range registry.Entries() {
+			fmt.Printf("%-16s %s (defaults: %s)\n", e.Name, e.Description, e.Normalize(registry.Params{}))
+		}
+		return
+	}
+
+	params := registry.Params{N: *n, K: *k, Tree: *tree, Graph: *graphStr, Variant: *variant, Seed: *seed}
+	if err := run(*protocol, params, *dmn, *runs, *maxSteps, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "cssim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(protocol string, n, k int, tree, graphStr, dmn string, runs, maxSteps int, seed int64) error {
-	if k == 0 {
-		k = n + 2
-	}
-	var (
-		p     *program.Program
-		S     *program.Predicate
-		preds []*program.Predicate
-	)
-	switch protocol {
-	case "diffusing":
-		var tr diffusing.Tree
-		switch tree {
-		case "chain":
-			tr = diffusing.Chain(n)
-		case "star":
-			tr = diffusing.Star(n)
-		case "binary":
-			tr = diffusing.Binary(n)
-		case "random":
-			tr = diffusing.Random(n, seed)
-		default:
-			return fmt.Errorf("unknown tree %q", tree)
-		}
-		inst, err := diffusing.New(tr)
-		if err != nil {
-			return err
-		}
-		p, S = inst.Design.TolerantProgram(), inst.Design.S
+// violationPreds picks the predicates the adversarial daemon tries to keep
+// violated: the design's constraint set when the instance is layered, the
+// declared convergence stair plus the invariant otherwise.
+func violationPreds(inst *registry.Instance) []*program.Predicate {
+	if inst.Design != nil {
+		preds := make([]*program.Predicate, 0, inst.Design.Set.Len())
 		for _, c := range inst.Design.Set.Constraints {
 			preds = append(preds, c.Pred)
 		}
-	case "tokenring-ring":
-		inst, err := tokenring.NewRing(n, k)
-		if err != nil {
-			return err
-		}
-		p, S = inst.P, inst.S
-		preds = []*program.Predicate{inst.S}
-	case "spanningtree":
-		var g spanningtree.Graph
-		switch graphStr {
-		case "line":
-			g = spanningtree.Line(n)
-		case "ring":
-			g = spanningtree.Ring(n)
-		case "complete":
-			g = spanningtree.Complete(n)
-		case "grid":
-			g = spanningtree.Grid(n, n)
-		default:
-			return fmt.Errorf("unknown graph %q", graphStr)
-		}
-		inst, err := spanningtree.New(g)
-		if err != nil {
-			return err
-		}
-		p, S = inst.Design.TolerantProgram(), inst.Design.S
-		for _, c := range inst.Design.Set.Constraints {
-			preds = append(preds, c.Pred)
-		}
-	default:
-		return fmt.Errorf("unknown protocol %q", protocol)
+		return preds
 	}
+	preds := append([]*program.Predicate{}, inst.Stair...)
+	return append(preds, inst.S)
+}
+
+func run(protocol string, params registry.Params, dmn string, runs, maxSteps int, seed int64) error {
+	inst, err := registry.Build(protocol, params)
+	if err != nil {
+		return err
+	}
+	p, S := inst.Program, inst.S
 
 	var d daemon.Daemon
 	switch dmn {
@@ -117,9 +91,9 @@ func run(protocol string, n, k int, tree, graphStr, dmn string, runs, maxSteps i
 	case "random":
 		d = daemon.NewRandom(seed)
 	case "adversarial":
-		d = daemon.NewAdversarial("adversarial", daemon.ViolationMetric(preds))
+		d = daemon.NewAdversarial("adversarial", daemon.ViolationMetric(violationPreds(inst)))
 	default:
-		return fmt.Errorf("unknown daemon %q", dmn)
+		return fmt.Errorf("unknown daemon %q (want round-robin | random | adversarial)", dmn)
 	}
 
 	fmt.Printf("simulating %s under %s daemon: %d runs from uniformly random states\n",
@@ -136,16 +110,11 @@ func run(protocol string, n, k int, tree, graphStr, dmn string, runs, maxSteps i
 	}
 
 	// One fault-injected run showing recovery from mid-run corruption.
-	var groups [][]program.VarID
-	for v := 0; v < p.Schema.Len(); v++ {
-		groups = append(groups, []program.VarID{program.VarID(v)})
-	}
 	r2 := &sim.Runner{
 		P: p, S: S, D: d, MaxSteps: maxSteps, StopAtS: true,
 		Faults: fault.Schedule{{Step: 0, Inj: &fault.CorruptVars{}}},
 	}
 	res := r2.Run(p.Schema.NewState(), rng)
 	fmt.Printf("recovery after corrupting every variable: %s\n", res)
-	_ = groups
 	return nil
 }

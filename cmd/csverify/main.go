@@ -32,6 +32,7 @@ import (
 	"nonmask/internal/obs"
 	"nonmask/internal/protocols/registry"
 	"nonmask/internal/service"
+	"nonmask/internal/store"
 	"nonmask/internal/verify"
 )
 
@@ -48,6 +49,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "goroutines sharding the checker's passes (0 = all CPUs, 1 = sequential)")
 		maxStates = flag.Int64("max-states", 0, fmt.Sprintf("state-space cap (0 = default %d)", verify.DefaultMaxStates))
 		jsonOut   = flag.Bool("json", false, "emit the machine-readable service.Result JSON instead of prose")
+		storeDir  = flag.String("store", "", "persistent verdict store directory shared with csserved; hits skip the check")
 		trace     = flag.Bool("trace", false, "print the per-pass span table (states, frontier, wall time) on stderr")
 		progress  = flag.Bool("progress", false, "stream live per-pass progress lines on stderr")
 		list      = flag.Bool("list", false, "list the protocol catalog and exit")
@@ -87,7 +89,12 @@ func main() {
 	}
 
 	params := registry.Params{N: *n, K: *k, Tree: *tree, Graph: *graphStr, Variant: *variant, Seed: *seed}
-	err := run(*protocol, params, opts, *jsonOut)
+	var err error
+	if *storeDir != "" {
+		err = runStored(*protocol, params, opts, *jsonOut, *storeDir)
+	} else {
+		err = run(*protocol, params, opts, *jsonOut)
+	}
 	stopProgress()
 	if collector != nil {
 		fmt.Fprint(os.Stderr, obs.FormatTable(collector.Passes()))
@@ -136,6 +143,83 @@ func run(protocol string, params registry.Params, opts verify.Options, jsonOut b
 		return verifyDesign(inst.Design, opts)
 	}
 	return verifyPlain(inst, opts)
+}
+
+// runStored checks a protocol instance through the shared persistent
+// verdict store: the key is the same content-address csserved uses
+// (protocol + normalized params + semantic options), so a verdict computed
+// by either tool answers the other without re-verification. A store hit
+// skips the check entirely; a miss runs it and appends the verdict.
+func runStored(protocol string, params registry.Params, opts verify.Options, jsonOut bool, dir string) error {
+	normalized, err := registry.Normalize(protocol, params)
+	if err != nil {
+		return err
+	}
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return fmt.Errorf("open store: %w", err)
+	}
+	defer st.Close()
+
+	key := service.FingerprintProtocol(protocol, normalized, opts)
+	if raw, ok := st.Get(key); ok {
+		var res service.Result
+		if err := json.Unmarshal(raw, &res); err == nil {
+			res.Cached = true
+			fmt.Fprintf(os.Stderr, "csverify: verdict served from store %s (key %.12s…)\n", dir, key)
+			return emitResult(&res, jsonOut)
+		}
+		// An undecodable record is treated as a miss; the fresh verdict
+		// overwrites it below.
+	}
+
+	inst, err := registry.Build(protocol, normalized)
+	if err != nil {
+		return err
+	}
+	count, ok := inst.Program.Schema.StateCount()
+	if !ok || count > effectiveCap(opts) {
+		return fmt.Errorf("state space too large to enumerate (%d states)", count)
+	}
+	rep, err := verify.Check(context.Background(), inst.Program, inst.S, inst.T, verify.WithOptions(opts))
+	if err != nil {
+		return err
+	}
+	res := service.ResultFromReport(inst.Name, rep)
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	if err := st.Put(key, raw); err != nil {
+		return fmt.Errorf("store verdict: %w", err)
+	}
+	return emitResult(res, jsonOut)
+}
+
+// emitResult renders a stored-or-fresh Result: the shared JSON encoding
+// with -json, a compact verdict summary otherwise.
+func emitResult(res *service.Result, jsonOut bool) error {
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Printf("program %s: %d states (|S|=%d, |T|=%d), classification: %s\n",
+		res.Program, res.States, res.StatesS, res.StatesT, res.Classification)
+	if res.ClosureOK {
+		fmt.Println("closure: S and T closed")
+	} else {
+		fmt.Printf("closure: VIOLATED — %s\n", res.Closure)
+	}
+	if res.Unfair != nil {
+		fmt.Printf("convergence: %s\n", res.Unfair.Summary)
+	}
+	if res.Fair != nil {
+		fmt.Printf("fair convergence: %s\n", res.Fair.Summary)
+	}
+	fmt.Printf("verdict: %s (original check: %.1fms, workers=%d, cached=%v)\n",
+		res.Verdict, res.ElapsedMS, res.Workers, res.Cached)
+	return nil
 }
 
 // effectiveCap resolves the zero-means-default convention for the

@@ -98,6 +98,74 @@ type Instance struct {
 	Stair []*program.Predicate
 }
 
+// IntRange is an inclusive validation range for an integer parameter.
+type IntRange struct {
+	Min int `json:"min"`
+	Max int `json:"max"`
+}
+
+func (r *IntRange) contains(v int) bool { return r == nil || (v >= r.Min && v <= r.Max) }
+
+// Bounds declares a catalog entry's parameter validation ranges. The
+// service enforces them at single-job submission and batch-sweep
+// expansion, and GET /v1/protocols advertises them so clients can
+// pre-validate. Integer ranges are resource guards (the checker
+// enumerates the state space, so oversized instances waste a queue slot
+// before failing); string lists enumerate the accepted spellings. A nil
+// range or empty list leaves that field unconstrained. Simulation
+// (cssim) and the CLI bypass Bounds deliberately: cssim never enumerates
+// and scales far past these, and csverify is the power-user escape hatch.
+type Bounds struct {
+	// N bounds the instance size.
+	N *IntRange `json:"n,omitempty"`
+	// K bounds the token-ring counter domain.
+	K *IntRange `json:"k,omitempty"`
+	// Tree lists the accepted tree shapes.
+	Tree []string `json:"tree,omitempty"`
+	// Graph lists the accepted graph topologies.
+	Graph []string `json:"graph,omitempty"`
+	// Variant lists the accepted protocol variants.
+	Variant []string `json:"variant,omitempty"`
+}
+
+// check validates normalized parameters against the bounds, naming the
+// advertised range in every rejection.
+func (b Bounds) check(p Params) error {
+	if !b.N.contains(p.N) {
+		return fmt.Errorf("n=%d outside advertised range [%d, %d]", p.N, b.N.Min, b.N.Max)
+	}
+	if !b.K.contains(p.K) {
+		return fmt.Errorf("k=%d outside advertised range [%d, %d]", p.K, b.K.Min, b.K.Max)
+	}
+	if err := inList("tree", p.Tree, b.Tree); err != nil {
+		return err
+	}
+	if err := inList("graph", p.Graph, b.Graph); err != nil {
+		return err
+	}
+	return inList("variant", p.Variant, b.Variant)
+}
+
+func inList(field, v string, allowed []string) error {
+	if len(allowed) == 0 || v == "" {
+		return nil
+	}
+	for _, a := range allowed {
+		if v == a {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s=%q not in advertised set %v", field, v, allowed)
+}
+
+// Shared string-parameter vocabularies, advertised in Bounds and resolved
+// by PickTree / PickGraph / the xyz variant switch.
+var (
+	treeShapes  = []string{"chain", "star", "binary", "random"}
+	graphNames  = []string{"line", "ring", "complete", "grid"}
+	xyzVariants = []string{"interfering", "out-tree", "ordered"}
+)
+
 // Entry describes one catalog protocol.
 type Entry struct {
 	// Name is the catalog key (what csverify -protocol and the service's
@@ -105,6 +173,8 @@ type Entry struct {
 	Name string
 	// Description is a one-line human summary for listings.
 	Description string
+	// Bounds are the advertised parameter validation ranges (see Bounds).
+	Bounds Bounds
 	// Normalize fills defaults into used fields and zeroes unused ones.
 	Normalize func(Params) Params
 	// Build constructs the instance from normalized parameters.
@@ -235,10 +305,15 @@ func buildTreeDesign(build func(diffusing.Tree) (*core.Design, error)) func(Para
 	}
 }
 
+// treeBounds is shared by the four tree-wave protocols; their state
+// spaces grow with node count, so N is a resource guard.
+var treeBounds = Bounds{N: &IntRange{Min: 2, Max: 32}, Tree: treeShapes}
+
 var catalog = []*Entry{
 	{
 		Name:        "diffusing",
 		Description: "diffusing computation on a tree (paper Section 4)",
+		Bounds:      treeBounds,
 		Normalize:   normTree(5),
 		Build: buildTreeDesign(func(tr diffusing.Tree) (*core.Design, error) {
 			inst, err := diffusing.New(tr)
@@ -251,6 +326,7 @@ var catalog = []*Entry{
 	{
 		Name:        "tokenring-path",
 		Description: "token ring on a path, layered design (paper Section 5)",
+		Bounds:      Bounds{N: &IntRange{Min: 1, Max: 12}, K: &IntRange{Min: 2, Max: 64}},
 		Normalize:   normRing(5),
 		Build: func(p Params) (*Instance, error) {
 			inst, err := tokenring.NewPath(p.N, p.K)
@@ -263,6 +339,7 @@ var catalog = []*Entry{
 	{
 		Name:        "tokenring-ring",
 		Description: "Dijkstra-style mod-K token ring (paper Section 5)",
+		Bounds:      Bounds{N: &IntRange{Min: 2, Max: 12}, K: &IntRange{Min: 2, Max: 64}},
 		Normalize:   normRing(5),
 		Build: func(p Params) (*Instance, error) {
 			inst, err := tokenring.NewRing(p.N, p.K)
@@ -275,6 +352,7 @@ var catalog = []*Entry{
 	{
 		Name:        "threestate",
 		Description: "Dijkstra's three-state machines on a line",
+		Bounds:      Bounds{N: &IntRange{Min: 2, Max: 16}},
 		Normalize:   normN(5),
 		Build: func(p Params) (*Instance, error) {
 			inst, err := threestate.New(p.N)
@@ -287,6 +365,7 @@ var catalog = []*Entry{
 	{
 		Name:        "fourstate",
 		Description: "Dijkstra's four-state machines on a line",
+		Bounds:      Bounds{N: &IntRange{Min: 2, Max: 16}},
 		Normalize:   normN(5),
 		Build: func(p Params) (*Instance, error) {
 			inst, err := fourstate.New(p.N)
@@ -299,6 +378,7 @@ var catalog = []*Entry{
 	{
 		Name:        "spanningtree",
 		Description: "self-stabilizing spanning tree over a graph (paper Section 6)",
+		Bounds:      Bounds{N: &IntRange{Min: 2, Max: 10}, Graph: graphNames},
 		Normalize:   normGraph(4),
 		Build: func(p Params) (*Instance, error) {
 			g, err := PickGraph(p.Graph, p.N)
@@ -315,6 +395,7 @@ var catalog = []*Entry{
 	{
 		Name:        "composed",
 		Description: "spanning tree composed with tree-based mutual exclusion",
+		Bounds:      Bounds{N: &IntRange{Min: 2, Max: 10}, Graph: graphNames},
 		Normalize:   normGraph(4),
 		Build: func(p Params) (*Instance, error) {
 			g, err := PickGraph(p.Graph, p.N)
@@ -336,6 +417,7 @@ var catalog = []*Entry{
 	{
 		Name:        "xyz",
 		Description: "the paper's x/y/z interference example (Section 7)",
+		Bounds:      Bounds{Variant: xyzVariants},
 		Normalize:   normVariant,
 		Build: func(p Params) (*Instance, error) {
 			var v xyz.Variant
@@ -359,6 +441,7 @@ var catalog = []*Entry{
 	{
 		Name:        "reset",
 		Description: "diffusing reset wave on a tree",
+		Bounds:      treeBounds,
 		Normalize:   normTree(5),
 		Build: buildTreeDesign(func(tr diffusing.Tree) (*core.Design, error) {
 			inst, err := reset.New(tr)
@@ -371,6 +454,7 @@ var catalog = []*Entry{
 	{
 		Name:        "termination",
 		Description: "termination detection on a tree",
+		Bounds:      treeBounds,
 		Normalize:   normTree(5),
 		Build: buildTreeDesign(func(tr diffusing.Tree) (*core.Design, error) {
 			inst, err := termination.New(tr)
@@ -383,6 +467,7 @@ var catalog = []*Entry{
 	{
 		Name:        "snapshot",
 		Description: "snapshot collection on a tree",
+		Bounds:      treeBounds,
 		Normalize:   normTree(5),
 		Build: buildTreeDesign(func(tr diffusing.Tree) (*core.Design, error) {
 			inst, err := snapshot.New(tr)
@@ -434,6 +519,22 @@ func Normalize(name string, p Params) (Params, error) {
 		return Params{}, fmt.Errorf("unknown protocol %q (known: %v)", name, Names())
 	}
 	return e.Normalize(p), nil
+}
+
+// Validate normalizes parameters for the named protocol and checks them
+// against the entry's advertised Bounds. The service calls it before
+// admitting single jobs and before expanding batch sweeps, so oversized
+// instances are rejected pre-queue with the advertised range in the
+// error; CLI front ends may skip it.
+func Validate(name string, p Params) error {
+	e, ok := byName[name]
+	if !ok {
+		return fmt.Errorf("unknown protocol %q (known: %v)", name, Names())
+	}
+	if err := e.Bounds.check(e.Normalize(p)); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	return nil
 }
 
 // Build normalizes parameters and constructs the named instance.

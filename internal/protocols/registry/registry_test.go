@@ -2,6 +2,7 @@ package registry
 
 import (
 	"context"
+	"strings"
 	"testing"
 
 	"nonmask/internal/verify"
@@ -83,6 +84,80 @@ func TestBuiltInstanceIsCheckable(t *testing.T) {
 	if !rep.Tolerant() {
 		t.Fatalf("tokenring-ring(3,5) not tolerant:\n%s", rep.Summary())
 	}
+}
+
+func TestValidateAgainstBounds(t *testing.T) {
+	// Every entry's defaults must pass its own advertised bounds —
+	// otherwise the service would reject a bare {"protocol": name} job.
+	for _, e := range Entries() {
+		if err := Validate(e.Name, Params{}); err != nil {
+			t.Errorf("%s: defaults fail own bounds: %v", e.Name, err)
+		}
+	}
+
+	// In-range explicit params pass.
+	if err := Validate("tokenring-ring", Params{N: 3, K: 5}); err != nil {
+		t.Fatalf("in-range ring rejected: %v", err)
+	}
+
+	// Out-of-range integers are rejected with the advertised range in the
+	// error text (clients echo it to users).
+	err := Validate("tokenring-ring", Params{N: 3, K: 500})
+	if err == nil {
+		t.Fatal("k=500 accepted")
+	}
+	if !strings.Contains(err.Error(), "advertised range [2, 64]") {
+		t.Fatalf("rejection does not name the advertised range: %v", err)
+	}
+	if err := Validate("diffusing", Params{N: 1000}); err == nil {
+		t.Fatal("n=1000 tree accepted")
+	}
+
+	// String vocabularies are enforced too.
+	if err := Validate("spanningtree", Params{Graph: "torus"}); err == nil {
+		t.Fatal("graph=torus accepted")
+	}
+	if err := Validate("xyz", Params{Variant: "bogus"}); err == nil {
+		t.Fatal("variant=bogus accepted")
+	}
+
+	// Unknown protocols error like Normalize does.
+	if err := Validate("no-such", Params{}); err == nil {
+		t.Fatal("unknown protocol validated")
+	}
+}
+
+func TestBoundsAdmitBuildableEdges(t *testing.T) {
+	// The advertised Min/Max endpoints must actually build: bounds that
+	// promise more than Build delivers would turn a pre-validated batch
+	// point into a 400 at admission.
+	for _, e := range Entries() {
+		for _, p := range []Params{
+			boundEdge(e.Bounds, false), // all mins
+			boundEdge(e.Bounds, true),  // all maxes (may be slow to CHECK, but must BUILD)
+		} {
+			if _, err := e.Build(e.Normalize(p)); err != nil {
+				t.Errorf("%s: advertised edge %+v does not build: %v", e.Name, p, err)
+			}
+		}
+	}
+}
+
+// boundEdge picks the advertised extreme of every bounded field.
+func boundEdge(b Bounds, max bool) Params {
+	var p Params
+	pick := func(r *IntRange) int {
+		if r == nil {
+			return 0
+		}
+		if max {
+			return r.Max
+		}
+		return r.Min
+	}
+	p.N = pick(b.N)
+	p.K = pick(b.K)
+	return p
 }
 
 func TestBuildRejectsBadParams(t *testing.T) {

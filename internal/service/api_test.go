@@ -213,13 +213,16 @@ func TestConcurrentMixedLoad(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Every spec ran at least once and the rest were cache hits; exactly
-	// how many is scheduling-dependent, but hits + misses = submissions
-	// and misses ≥ len(specs).
+	// Every spec ran at least once and the rest hit the cache or coalesced
+	// onto an identical in-flight job; exactly how many of each is
+	// scheduling-dependent, but the three outcomes partition the
+	// submissions and misses ≥ len(specs).
 	hits := metric(t, c, "csserved_cache_hits_total")
 	misses := metric(t, c, "csserved_cache_misses_total")
-	if hits+misses != loops*float64(len(specs)) {
-		t.Fatalf("hits %v + misses %v != %d submissions", hits, misses, loops*len(specs))
+	coalesced := metric(t, c, "csserved_jobs_coalesced_total")
+	if hits+misses+coalesced != loops*float64(len(specs)) {
+		t.Fatalf("hits %v + misses %v + coalesced %v != %d submissions",
+			hits, misses, coalesced, loops*len(specs))
 	}
 	if misses < float64(len(specs)) {
 		t.Fatalf("misses %v < %d distinct specs", misses, len(specs))

@@ -1,0 +1,550 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"nonmask/internal/protocols/registry"
+)
+
+// The batch subsystem turns the service's one-job API into a sweep
+// engine: POST /v1/batches accepts either an explicit spec list or a
+// declarative parameter sweep, expands it server-side against the
+// registry's advertised bounds, and fans the members out through the
+// existing queue under a per-batch concurrency window, so one batch can
+// never monopolize admission. Aggregate progress, one long-poll over the
+// whole set, and batch cancel ride on the same job machinery single
+// submissions use — members hit the cache, coalesce, and drain exactly
+// like standalone jobs.
+
+const (
+	// maxBatchJobs bounds one batch's expansion.
+	maxBatchJobs = 256
+	// maxBatches bounds retained batch records (oldest terminal evicted).
+	maxBatches = 512
+	// batchRetryDelay is the backoff between member-admission retries when
+	// the queue pushes back with 429.
+	batchRetryDelay = 50 * time.Millisecond
+)
+
+// RangeSpec is one swept parameter's inclusive range: From, From+Step, …
+// up to To. Step 0 means 1.
+type RangeSpec struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	Step int `json:"step,omitempty"`
+}
+
+// values expands the range, capped so a typo cannot allocate unbounded.
+func (r RangeSpec) values(name string) ([]int, error) {
+	step := r.Step
+	if step == 0 {
+		step = 1
+	}
+	if step < 0 {
+		return nil, fmt.Errorf("sweep range %s: negative step %d", name, step)
+	}
+	if r.To < r.From {
+		return nil, fmt.Errorf("sweep range %s: to=%d below from=%d", name, r.To, r.From)
+	}
+	n := (r.To-r.From)/step + 1
+	if n > maxBatchJobs {
+		return nil, fmt.Errorf("sweep range %s: %d points exceeds the %d-job batch cap", name, n, maxBatchJobs)
+	}
+	out := make([]int, 0, n)
+	for v := r.From; v <= r.To; v += step {
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// SweepSpec is the declarative form of a batch: one protocol, fixed
+// params, and per-parameter ranges expanded server-side into the
+// cartesian product of points. Sweepable parameters are the integer ones:
+// "n", "k", and "seed".
+type SweepSpec struct {
+	// Protocol names the catalog entry every point instantiates.
+	Protocol string `json:"protocol"`
+	// Params fixes the non-swept parameters (tree shape, graph, …).
+	Params registry.Params `json:"params,omitempty"`
+	// Ranges maps parameter name → range; the expansion is the cartesian
+	// product across ranges, every point validated against the registry's
+	// advertised bounds before anything touches the queue.
+	Ranges map[string]RangeSpec `json:"ranges"`
+	// Options applies to every member job.
+	Options JobOptions `json:"options,omitempty"`
+}
+
+// BatchSpec is the submission payload of POST /v1/batches. Exactly one of
+// Specs (explicit member list) or Sweep (declarative expansion) must be
+// set.
+type BatchSpec struct {
+	// Specs lists members explicitly.
+	Specs []JobSpec `json:"specs,omitempty"`
+	// Sweep declares members as a parameter sweep.
+	Sweep *SweepSpec `json:"sweep,omitempty"`
+	// Concurrency caps how many members of this batch are in the queue or
+	// running at once (0 = the server's executor count). The window keeps
+	// a big sweep from starving interactive submissions.
+	Concurrency int `json:"concurrency,omitempty"`
+}
+
+// BatchState enumerates a batch's lifecycle.
+type BatchState string
+
+// Batch lifecycle states. A batch is "done" when every member reached a
+// terminal state (failed members included — the counts carry the detail),
+// and "canceled" when it was canceled or the server began draining before
+// every member was admitted.
+const (
+	BatchRunning  BatchState = "running"
+	BatchDone     BatchState = "done"
+	BatchCanceled BatchState = "canceled"
+)
+
+func (s BatchState) terminal() bool { return s == BatchDone || s == BatchCanceled }
+
+// BatchCounts is the aggregate progress of a batch's members.
+type BatchCounts struct {
+	// Total is the expanded member count.
+	Total int `json:"total"`
+	// Pending counts members not yet admitted (waiting on the batch's
+	// concurrency window or on queue admission).
+	Pending int `json:"pending"`
+	// Queued / Running / Done / Failed / Canceled count admitted members
+	// by job state.
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+	// Cached counts done members served from the result cache.
+	Cached int `json:"cached"`
+	// Coalesced counts members that attached to an identical in-flight job.
+	Coalesced int `json:"coalesced"`
+}
+
+// BatchJobRef is one member's summary row inside a BatchStatus.
+type BatchJobRef struct {
+	ID      string   `json:"id"`
+	State   JobState `json:"state"`
+	Program string   `json:"program"`
+	Cached  bool     `json:"cached,omitempty"`
+	Verdict string   `json:"verdict,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// BatchStatus is the wire form of a batch.
+type BatchStatus struct {
+	// ID addresses the batch in GET /v1/batches/{id}.
+	ID string `json:"id"`
+	// State is the batch lifecycle state.
+	State BatchState `json:"state"`
+	// Counts is the aggregate member progress.
+	Counts BatchCounts `json:"counts"`
+	// Jobs lists admitted members in admission order.
+	Jobs []BatchJobRef `json:"jobs"`
+	// SubmittedAt stamps admission; FinishedAt stamps the terminal
+	// transition (zero until then).
+	SubmittedAt time.Time `json:"submitted_at"`
+	FinishedAt  time.Time `json:"finished_at"`
+}
+
+// batch is the server-side record of one batch submission.
+type batch struct {
+	id          string
+	concurrency int
+	specs       []*compiled
+
+	mu        sync.Mutex
+	state     BatchState
+	jobs      []*job
+	canceled  bool
+	submitted time.Time
+	finished  time.Time
+
+	// cancelCh is closed by cancel to wake the runner out of window waits
+	// and admission backoffs; done is closed on the terminal transition
+	// and is what long-polls wait on.
+	cancelCh chan struct{}
+	done     chan struct{}
+}
+
+func newBatch(id string, specs []*compiled, concurrency int, now time.Time) *batch {
+	return &batch{
+		id:          id,
+		concurrency: concurrency,
+		specs:       specs,
+		state:       BatchRunning,
+		submitted:   now,
+		cancelCh:    make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+}
+
+// status snapshots the wire form. Member job locks nest under b.mu
+// (nothing takes them in the other order).
+func (b *batch) status() BatchStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BatchStatus{
+		ID:          b.id,
+		State:       b.state,
+		SubmittedAt: b.submitted,
+		FinishedAt:  b.finished,
+		Jobs:        make([]BatchJobRef, 0, len(b.jobs)),
+	}
+	st.Counts.Total = len(b.specs)
+	st.Counts.Pending = len(b.specs) - len(b.jobs)
+	for _, j := range b.jobs {
+		js := j.status()
+		ref := BatchJobRef{ID: js.ID, State: js.State, Program: js.Program,
+			Cached: js.Cached, Error: js.Error}
+		if js.Result != nil {
+			ref.Verdict = js.Result.Verdict
+		}
+		st.Jobs = append(st.Jobs, ref)
+		if js.Coalesced {
+			st.Counts.Coalesced++
+		}
+		switch js.State {
+		case StateQueued:
+			st.Counts.Queued++
+		case StateRunning:
+			st.Counts.Running++
+		case StateDone:
+			st.Counts.Done++
+			if js.Cached {
+				st.Counts.Cached++
+			}
+		case StateFailed:
+			st.Counts.Failed++
+		case StateCanceled:
+			st.Counts.Canceled++
+		}
+	}
+	return st
+}
+
+// addJob records an admitted member.
+func (b *batch) addJob(j *job) {
+	b.mu.Lock()
+	b.jobs = append(b.jobs, j)
+	b.mu.Unlock()
+}
+
+// isCanceled reports a cancel request.
+func (b *batch) isCanceled() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.canceled
+}
+
+// requestCancel marks the batch canceled (idempotent) and returns the
+// admitted members to cancel. The runner stops admitting via cancelCh.
+func (b *batch) requestCancel() []*job {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.canceled || b.state.terminal() {
+		return nil
+	}
+	b.canceled = true
+	close(b.cancelCh)
+	return append([]*job(nil), b.jobs...)
+}
+
+// finish applies the terminal transition once every admitted member is
+// terminal: "done" when the whole expansion was admitted and not
+// canceled, "canceled" otherwise.
+func (b *batch) finish(now time.Time) BatchState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state.terminal() {
+		return b.state
+	}
+	if b.canceled || len(b.jobs) < len(b.specs) {
+		b.state = BatchCanceled
+	} else {
+		b.state = BatchDone
+	}
+	b.finished = now
+	close(b.done)
+	return b.state
+}
+
+// sweepRangeOrder fixes the expansion order of swept parameters so a
+// given sweep always yields the same member sequence (and therefore the
+// same member→params pairing in the status listing).
+var sweepRangeOrder = []string{"n", "k", "seed"}
+
+// expandSweep turns a declarative sweep into concrete job specs: the
+// cartesian product of the ranges over the fixed params, every point
+// validated against the registry's advertised bounds.
+func expandSweep(sw *SweepSpec) ([]JobSpec, error) {
+	if sw.Protocol == "" {
+		return nil, fmt.Errorf("sweep sets no protocol")
+	}
+	if _, ok := registry.Lookup(sw.Protocol); !ok {
+		return nil, fmt.Errorf("unknown protocol %q (known: %v)", sw.Protocol, registry.Names())
+	}
+	if len(sw.Ranges) == 0 {
+		return nil, fmt.Errorf("sweep declares no ranges (use specs for a single job)")
+	}
+	for name := range sw.Ranges {
+		if name != "n" && name != "k" && name != "seed" {
+			return nil, fmt.Errorf("unknown sweep parameter %q (sweepable: n, k, seed)", name)
+		}
+	}
+	points := []registry.Params{sw.Params}
+	for _, name := range sweepRangeOrder {
+		r, ok := sw.Ranges[name]
+		if !ok {
+			continue
+		}
+		vals, err := r.values(name)
+		if err != nil {
+			return nil, err
+		}
+		next := make([]registry.Params, 0, len(points)*len(vals))
+		for _, p := range points {
+			for _, v := range vals {
+				q := p
+				switch name {
+				case "n":
+					q.N = v
+				case "k":
+					q.K = v
+				case "seed":
+					q.Seed = int64(v)
+				}
+				next = append(next, q)
+			}
+		}
+		if len(next) > maxBatchJobs {
+			return nil, fmt.Errorf("sweep expands to %d jobs, cap is %d", len(next), maxBatchJobs)
+		}
+		points = next
+	}
+	specs := make([]JobSpec, 0, len(points))
+	for _, p := range points {
+		// Reject out-of-range points here, before anything is admitted, so
+		// the whole sweep fails atomically with the advertised bounds in
+		// the error instead of half-running.
+		if err := registry.Validate(sw.Protocol, p); err != nil {
+			return nil, err
+		}
+		specs = append(specs, JobSpec{Protocol: sw.Protocol, Params: p, Options: sw.Options})
+	}
+	return specs, nil
+}
+
+// expandBatch resolves a batch spec into compiled members plus the
+// effective concurrency window.
+func expandBatch(spec BatchSpec, cfg Config) ([]*compiled, int, error) {
+	var (
+		jobSpecs []JobSpec
+		err      error
+	)
+	switch {
+	case len(spec.Specs) > 0 && spec.Sweep != nil:
+		return nil, 0, fmt.Errorf("batch sets both specs and sweep; pick one")
+	case spec.Sweep != nil:
+		jobSpecs, err = expandSweep(spec.Sweep)
+		if err != nil {
+			return nil, 0, err
+		}
+	case len(spec.Specs) > 0:
+		jobSpecs = spec.Specs
+	default:
+		return nil, 0, fmt.Errorf("batch sets neither specs nor sweep")
+	}
+	if len(jobSpecs) > maxBatchJobs {
+		return nil, 0, fmt.Errorf("batch lists %d jobs, cap is %d", len(jobSpecs), maxBatchJobs)
+	}
+	compiledSpecs := make([]*compiled, 0, len(jobSpecs))
+	for i, js := range jobSpecs {
+		c, cerr := compileSpec(js, cfg)
+		if cerr != nil {
+			return nil, 0, fmt.Errorf("batch member %d: %w", i, cerr)
+		}
+		compiledSpecs = append(compiledSpecs, c)
+	}
+	conc := spec.Concurrency
+	if conc <= 0 {
+		conc = cfg.Executors
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	if conc > maxBatchJobs {
+		conc = maxBatchJobs
+	}
+	return compiledSpecs, conc, nil
+}
+
+// SubmitBatch validates and expands a batch, registers its record, and
+// starts the fan-out runner. Validation is all-or-nothing and happens
+// before anything is queued.
+func (s *Server) SubmitBatch(spec BatchSpec) (BatchStatus, error) {
+	specs, conc, err := expandBatch(spec, s.cfg)
+	if err != nil {
+		s.metrics.Rejected.Add(1)
+		return BatchStatus{}, &submitError{http.StatusBadRequest, err.Error()}
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.Rejected.Add(1)
+		return BatchStatus{}, &submitError{http.StatusServiceUnavailable, "server is draining"}
+	}
+	s.batchSeq++
+	b := newBatch(fmt.Sprintf("b-%08d", s.batchSeq), specs, conc, now)
+	s.registerBatchLocked(b)
+	s.batchWG.Add(1)
+	s.mu.Unlock()
+	s.metrics.BatchesSubmitted.Add(1)
+	s.metrics.BatchesInFlight.Add(1)
+	s.log.Info("batch queued", "batch", b.id, "jobs", len(specs), "concurrency", conc)
+	go s.runBatch(b)
+	return b.status(), nil
+}
+
+// registerBatchLocked records a batch and evicts the oldest terminal
+// records past the retention bound (s.mu held).
+func (s *Server) registerBatchLocked(b *batch) {
+	s.batches[b.id] = b
+	s.batchOrder = append(s.batchOrder, b.id)
+	for len(s.batches) > maxBatches {
+		evicted := false
+		for i, id := range s.batchOrder {
+			bb, ok := s.batches[id]
+			if !ok {
+				s.batchOrder = append(s.batchOrder[:i], s.batchOrder[i+1:]...)
+				evicted = true
+				break
+			}
+			bb.mu.Lock()
+			terminal := bb.state.terminal()
+			bb.mu.Unlock()
+			if terminal {
+				delete(s.batches, id)
+				s.batchOrder = append(s.batchOrder[:i], s.batchOrder[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything live; let the map grow rather than drop state
+		}
+	}
+}
+
+// runBatch fans a batch's members out through the shared queue. The
+// concurrency window (sem) holds one slot per member from admission to
+// terminal state; 429 pushback retries with a backoff, a drain or cancel
+// stops admission, and the runner finishes the batch once every admitted
+// member is terminal.
+func (s *Server) runBatch(b *batch) {
+	defer s.batchWG.Done()
+	sem := make(chan struct{}, b.concurrency)
+admission:
+	for _, c := range b.specs {
+		select {
+		case sem <- struct{}{}:
+		case <-b.cancelCh:
+			break admission
+		}
+		for {
+			j, err := s.admit(c)
+			if err == nil {
+				b.addJob(j)
+				s.metrics.BatchJobs.Add(1)
+				go func(j *job) { <-j.done; <-sem }(j)
+				break
+			}
+			if se, ok := err.(*submitError); ok && se.code == http.StatusTooManyRequests {
+				// Admission control pushed back: the queue is full of other
+				// work. Wait our turn instead of failing the batch.
+				select {
+				case <-time.After(batchRetryDelay):
+					continue
+				case <-b.cancelCh:
+					break admission
+				}
+			}
+			// Draining (503) or an unexpected admission failure: stop
+			// admitting; the batch ends canceled with the members it has.
+			s.log.Warn("batch admission stopped", "batch", b.id, "error", err)
+			break admission
+		}
+	}
+	// Wait for every admitted member to reach a terminal state.
+	b.mu.Lock()
+	admitted := append([]*job(nil), b.jobs...)
+	b.mu.Unlock()
+	for _, j := range admitted {
+		<-j.done
+	}
+	state := b.finish(time.Now())
+	s.metrics.BatchesInFlight.Add(-1)
+	if state == BatchDone {
+		s.metrics.BatchesCompleted.Add(1)
+	} else {
+		s.metrics.BatchesCanceled.Add(1)
+	}
+	s.log.Info("batch "+string(state), "batch", b.id,
+		"admitted", len(admitted), "of", len(b.specs))
+}
+
+// Batch returns a batch's status by id.
+func (s *Server) Batch(id string) (BatchStatus, bool) {
+	s.mu.Lock()
+	b, ok := s.batches[id]
+	s.mu.Unlock()
+	if !ok {
+		return BatchStatus{}, false
+	}
+	return b.status(), true
+}
+
+// WaitBatch blocks until every member of the batch is terminal, the wait
+// elapses, or ctx is done — one long-poll over the whole set.
+func (s *Server) WaitBatch(ctx context.Context, id string, wait time.Duration) (BatchStatus, bool) {
+	s.mu.Lock()
+	b, ok := s.batches[id]
+	s.mu.Unlock()
+	if !ok {
+		return BatchStatus{}, false
+	}
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		select {
+		case <-b.done:
+		case <-t.C:
+		case <-ctx.Done():
+		}
+	}
+	return b.status(), true
+}
+
+// CancelBatch stops admitting new members and cancels the queued and
+// running ones. Terminal batches are left untouched.
+func (s *Server) CancelBatch(id string) (BatchStatus, bool) {
+	s.mu.Lock()
+	b, ok := s.batches[id]
+	s.mu.Unlock()
+	if !ok {
+		return BatchStatus{}, false
+	}
+	now := time.Now()
+	for _, j := range b.requestCancel() {
+		j.requestCancel(now)
+	}
+	s.log.Info("batch cancel requested", "batch", b.id)
+	return b.status(), true
+}

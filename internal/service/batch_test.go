@@ -1,0 +1,242 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nonmask/internal/protocols/registry"
+)
+
+// kSweep declares a tokenring-ring batch sweeping k over [from, to].
+func kSweep(from, to int) BatchSpec {
+	return BatchSpec{Sweep: &SweepSpec{
+		Protocol: "tokenring-ring",
+		Params:   registry.Params{N: 3},
+		Ranges:   map[string]RangeSpec{"k": {From: from, To: to}},
+	}}
+}
+
+func waitBatch(t *testing.T, s *Server, id string) BatchStatus {
+	t.Helper()
+	st, ok := s.WaitBatch(context.Background(), id, 15*time.Second)
+	if !ok {
+		t.Fatalf("batch %s disappeared", id)
+	}
+	if !st.State.terminal() {
+		t.Fatalf("batch %s still %s after wait", id, st.State)
+	}
+	return st
+}
+
+func TestBatchSweepRunsAndAggregates(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+
+	bst, err := s.SubmitBatch(kSweep(4, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bst.Counts.Total != 3 {
+		t.Fatalf("sweep expanded to %d jobs, want 3", bst.Counts.Total)
+	}
+	final := waitBatch(t, s, bst.ID)
+	if final.State != BatchDone {
+		t.Fatalf("batch ended %s, want done", final.State)
+	}
+	if c := final.Counts; c.Done != 3 || c.Failed != 0 || c.Pending != 0 {
+		t.Fatalf("counts %+v, want 3 done", c)
+	}
+	if len(final.Jobs) != 3 {
+		t.Fatalf("job refs = %d, want 3", len(final.Jobs))
+	}
+	for _, ref := range final.Jobs {
+		if ref.State != StateDone || ref.Verdict != VerdictSatisfied {
+			t.Fatalf("member %s: state %s verdict %q", ref.ID, ref.State, ref.Verdict)
+		}
+	}
+	if got := s.metrics.BatchJobs.Load(); got != 3 {
+		t.Fatalf("batch jobs metric = %d, want 3", got)
+	}
+	if got := s.metrics.BatchesCompleted.Load(); got != 1 {
+		t.Fatalf("batches completed = %d, want 1", got)
+	}
+
+	// The same sweep again: every member answered from the cache.
+	b2, err := s.SubmitBatch(kSweep(4, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final2 := waitBatch(t, s, b2.ID)
+	if final2.State != BatchDone || final2.Counts.Cached != 3 {
+		t.Fatalf("warm sweep: state %s cached %d, want done/3", final2.State, final2.Counts.Cached)
+	}
+}
+
+func TestBatchExplicitSpecs(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	bst, err := s.SubmitBatch(BatchSpec{Specs: []JobSpec{ringSpec(3, 5), ringSpec(4, 6)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitBatch(t, s, bst.ID)
+	if final.State != BatchDone || final.Counts.Done != 2 {
+		t.Fatalf("explicit batch: state %s counts %+v", final.State, final.Counts)
+	}
+}
+
+func TestBatchRejectsBadSpecs(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	cases := []struct {
+		name string
+		spec BatchSpec
+		want string
+	}{
+		{"out-of-range sweep", kSweep(60, 70), "advertised range [2, 64]"},
+		{"unknown sweep param", BatchSpec{Sweep: &SweepSpec{
+			Protocol: "tokenring-ring",
+			Ranges:   map[string]RangeSpec{"m": {From: 1, To: 2}},
+		}}, "sweepable: n, k, seed"},
+		{"unknown protocol", BatchSpec{Sweep: &SweepSpec{
+			Protocol: "nope",
+			Ranges:   map[string]RangeSpec{"n": {From: 2, To: 3}},
+		}}, "unknown protocol"},
+		{"inverted range", kSweep(6, 4), "below from"},
+		{"both forms", BatchSpec{Specs: []JobSpec{ringSpec(3, 5)},
+			Sweep: &SweepSpec{Protocol: "tokenring-ring"}}, "pick one"},
+		{"empty", BatchSpec{}, "neither specs nor sweep"},
+		{"oversized sweep", BatchSpec{Sweep: &SweepSpec{
+			Protocol: "tokenring-ring",
+			Ranges:   map[string]RangeSpec{"seed": {From: 1, To: 1000}},
+		}}, "cap"},
+	}
+	for _, tc := range cases {
+		_, err := s.SubmitBatch(tc.spec)
+		if errorCode(err) != http.StatusBadRequest {
+			t.Fatalf("%s: err %v, want 400", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not name %q", tc.name, err, tc.want)
+		}
+	}
+	// Rejection is all-or-nothing and pre-queue: nothing was admitted.
+	if got := s.metrics.Submitted.Load(); got != 0 {
+		t.Fatalf("submitted = %d after rejected batches, want 0", got)
+	}
+}
+
+func TestBatchCancelStopsAdmission(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	testHookJobRunning = func(id string) {
+		started <- id
+		<-release
+	}
+	defer func() { testHookJobRunning = nil }()
+
+	s := New(Config{Executors: 1, QueueSize: 4})
+	defer s.Shutdown(context.Background())
+
+	// Concurrency 1: members are admitted one at a time, so when the first
+	// blocks in flight the other four are still pending in the runner.
+	spec := kSweep(4, 8)
+	spec.Concurrency = 1
+	bst, err := s.SubmitBatch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // member 1 is in flight and holding the only window slot
+
+	if _, ok := s.CancelBatch(bst.ID); !ok {
+		t.Fatal("batch not found for cancel")
+	}
+	close(release)
+	final := waitBatch(t, s, bst.ID)
+	if final.State != BatchCanceled {
+		t.Fatalf("batch ended %s, want canceled", final.State)
+	}
+	if final.Counts.Pending == 0 {
+		t.Fatalf("counts %+v: cancel admitted every member", final.Counts)
+	}
+	if got := s.metrics.BatchesCanceled.Load(); got != 1 {
+		t.Fatalf("batches canceled = %d, want 1", got)
+	}
+	if _, ok := s.CancelBatch("b-99999999"); ok {
+		t.Fatal("cancel of unknown batch reported found")
+	}
+}
+
+func TestBatchRetriesQueuePushback(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	testHookJobRunning = func(id string) {
+		started <- id
+		<-release
+	}
+	defer func() { testHookJobRunning = nil }()
+
+	// Queue bound 1 with a wide-open batch window: once the executor and
+	// the queue slot are occupied, the remaining members get 429 from
+	// admission and the runner must wait its turn instead of failing.
+	s := New(Config{Executors: 1, QueueSize: 1})
+	defer s.Shutdown(context.Background())
+	spec := kSweep(4, 7)
+	spec.Concurrency = 4
+	bst, err := s.SubmitBatch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	close(release)
+	final := waitBatch(t, s, bst.ID)
+	if final.State != BatchDone || final.Counts.Done != 4 {
+		t.Fatalf("pushback batch: state %s counts %+v, want 4 done", final.State, final.Counts)
+	}
+}
+
+func TestBatchHTTPRoundTrip(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	h := s.Handler()
+
+	post := func(body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("POST", "/v1/batches", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	rec := post(`{"sweep":{"protocol":"tokenring-ring","params":{"n":3},"ranges":{"k":{"from":4,"to":5}}}}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202: %s", rec.Code, rec.Body)
+	}
+	var st BatchStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/batches/"+st.ID+"?wait=15s", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("get status %d: %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != BatchDone || st.Counts.Done != 2 {
+		t.Fatalf("long-poll returned %s %+v", st.State, st.Counts)
+	}
+
+	rec = post(`{"sweep":{"protocol":"tokenring-ring","ranges":{"k":{"from":1,"to":1}}}}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("out-of-range sweep status %d, want 400: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "advertised range") {
+		t.Fatalf("rejection does not advertise bounds: %s", rec.Body)
+	}
+}

@@ -1,38 +1,88 @@
 package service
 
-import "sync"
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
 
-// cache is the content-addressed result store: fingerprint → Result. It is
-// bounded; when full, the oldest entry is evicted (insertion-order FIFO —
-// results are immutable and cheap to recompute relative to tracking
-// recency on the read path).
+	"nonmask/internal/store"
+)
+
+// cache is the content-addressed result store: fingerprint → Result. The
+// in-memory map is bounded; when full, the oldest entry is evicted
+// (insertion-order FIFO — results are immutable and cheap to recompute
+// relative to tracking recency on the read path).
+//
+// With a persistent backend (csserved -store), the map becomes a
+// read-through/write-through front: puts append the result to the
+// backend's crash-safe log, and a memory miss falls through to the
+// backend, so warm verdicts survive both FIFO eviction and restarts.
+// Admission and coalescing logic never sees the difference — a backend
+// hit looks exactly like a memory hit, one layer slower.
 type cache struct {
-	mu    sync.RWMutex
-	max   int
-	m     map[string]*Result
-	order []string
+	mu      sync.RWMutex
+	max     int
+	m       map[string]*Result
+	order   []string
+	backend *store.Store // nil without -store
 }
 
-func newCache(max int) *cache {
+func newCache(max int, backend *store.Store) *cache {
 	if max <= 0 {
 		max = defaultCacheSize
 	}
-	return &cache{max: max, m: make(map[string]*Result, max)}
+	return &cache{max: max, m: make(map[string]*Result, max), backend: backend}
 }
 
-// get returns the cached result for key, or nil.
-func (c *cache) get(key string) *Result {
+// get returns the cached result for key, or nil. The boolean reports that
+// the hit was served by the persistent backend rather than memory (the
+// result is promoted into the memory tier on the way out).
+func (c *cache) get(key string) (*Result, bool) {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.m[key]
+	r := c.m[key]
+	c.mu.RUnlock()
+	if r != nil || c.backend == nil {
+		return r, false
+	}
+	raw, ok := c.backend.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var res Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		// A decodable-but-wrong record cannot happen short of schema drift
+		// across versions; treat it as a miss and let a fresh check
+		// overwrite it.
+		return nil, false
+	}
+	c.mu.Lock()
+	c.insertLocked(key, &res)
+	c.mu.Unlock()
+	return &res, true
 }
 
-// put stores a result, evicting the oldest entry when full. Re-putting an
-// existing key overwrites in place (results for a key are identical by
-// construction, so which copy wins is irrelevant).
-func (c *cache) put(key string, r *Result) {
+// put stores a result in memory and, when a backend is configured,
+// appends it to the persistent log (write-through). The returned error is
+// the backend's only — the memory tier always succeeds.
+func (c *cache) put(key string, r *Result) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.insertLocked(key, r)
+	c.mu.Unlock()
+	if c.backend == nil {
+		return nil
+	}
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("encode result: %w", err)
+	}
+	return c.backend.Put(key, raw)
+}
+
+// insertLocked adds an entry to the memory tier, evicting the oldest when
+// full (c.mu held). Re-putting an existing key overwrites in place
+// (results for a key are identical by construction, so which copy wins is
+// irrelevant).
+func (c *cache) insertLocked(key string, r *Result) {
 	if _, exists := c.m[key]; !exists {
 		for len(c.order) >= c.max {
 			oldest := c.order[0]
@@ -44,7 +94,7 @@ func (c *cache) put(key string, r *Result) {
 	c.m[key] = r
 }
 
-// len returns the number of cached results.
+// len returns the number of results in the memory tier.
 func (c *cache) len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()

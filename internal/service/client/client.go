@@ -138,6 +138,51 @@ func (c *Client) Run(ctx context.Context, spec service.JobSpec) (service.JobStat
 	return c.Wait(ctx, st.ID)
 }
 
+// SubmitBatch posts a batch (explicit specs or a declarative sweep) and
+// returns its admission status.
+func (c *Client) SubmitBatch(ctx context.Context, spec service.BatchSpec) (service.BatchStatus, error) {
+	var st service.BatchStatus
+	err := c.do(ctx, http.MethodPost, "/v1/batches", spec, &st)
+	return st, err
+}
+
+// Batch reads a batch's status; wait > 0 long-polls until every member is
+// terminal or the window elapses.
+func (c *Client) Batch(ctx context.Context, id string, wait time.Duration) (service.BatchStatus, error) {
+	path := "/v1/batches/" + url.PathEscape(id)
+	if wait > 0 {
+		path += "?wait=" + url.QueryEscape(wait.String())
+	}
+	var st service.BatchStatus
+	err := c.do(ctx, http.MethodGet, path, nil, &st)
+	return st, err
+}
+
+// WaitBatch long-polls until the batch reaches a terminal state or ctx is
+// done.
+func (c *Client) WaitBatch(ctx context.Context, id string) (service.BatchStatus, error) {
+	for {
+		st, err := c.Batch(ctx, id, defaultPoll)
+		if err != nil {
+			return st, err
+		}
+		if st.State == service.BatchDone || st.State == service.BatchCanceled {
+			return st, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+	}
+}
+
+// CancelBatch stops a batch's admission and cancels its non-terminal
+// members.
+func (c *Client) CancelBatch(ctx context.Context, id string) (service.BatchStatus, error) {
+	var st service.BatchStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/batches/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
 // Jobs lists retained job records, newest first. limit 0 means the
 // server's page cap; offset skips past records.
 func (c *Client) Jobs(ctx context.Context, limit, offset int) (service.JobsPage, error) {

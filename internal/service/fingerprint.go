@@ -48,6 +48,14 @@ func digest(parts ...string) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// FingerprintProtocol exposes the catalog job content-address to offline
+// tools (csverify -store) that share the service's verdict store: the same
+// protocol, normalized params, and options hash to the same key whether
+// the check ran in-process or behind csserved.
+func FingerprintProtocol(name string, p registry.Params, o verify.Options) string {
+	return fingerprintProtocol(name, p, o)
+}
+
 // fingerprintSource keys a GCL job by its canonical (pretty-printed)
 // source, so submissions differing only in whitespace or comments share a
 // cache entry.

@@ -23,6 +23,9 @@ type ProtocolInfo struct {
 	Description string `json:"description"`
 	// Defaults shows the normalized zero-Params defaults for the entry.
 	Defaults registry.Params `json:"defaults"`
+	// Bounds advertises the validated parameter ranges enforced at
+	// submission and batch-sweep expansion.
+	Bounds registry.Bounds `json:"bounds"`
 }
 
 // errorBody is the JSON error envelope.
@@ -44,13 +47,16 @@ func writeError(w http.ResponseWriter, code int, format string, args ...interfac
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /v1/jobs        submit a job (JobSpec) → JobStatus (202, or 200 on cache hit)
-//	GET    /v1/jobs        list retained job records; ?limit=&offset= paginate
-//	GET    /v1/jobs/{id}   job status; ?wait=2s long-polls for completion
-//	DELETE /v1/jobs/{id}   cancel a queued or running job
-//	GET    /v1/protocols   built-in protocol catalog
-//	GET    /healthz        liveness ("ok", or 503 once draining)
-//	GET    /metrics        Prometheus text exposition
+//	POST   /v1/jobs          submit a job (JobSpec) → JobStatus (202, or 200 on cache hit)
+//	GET    /v1/jobs          list retained job records; ?limit=&offset= paginate
+//	GET    /v1/jobs/{id}     job status; ?wait=2s long-polls for completion
+//	DELETE /v1/jobs/{id}     cancel a queued or running job
+//	POST   /v1/batches       submit a batch (BatchSpec) → BatchStatus (202)
+//	GET    /v1/batches/{id}  batch status; ?wait=5s long-polls for the whole set
+//	DELETE /v1/batches/{id}  cancel a batch and its non-terminal members
+//	GET    /v1/protocols     built-in protocol catalog with advertised bounds
+//	GET    /healthz          liveness ("ok", or 503 once draining)
+//	GET    /metrics          Prometheus text exposition
 //
 // Every request is logged to the server's Logger with a request id, which
 // is also echoed in the X-Request-Id response header.
@@ -60,6 +66,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("POST /v1/batches", s.handleSubmitBatch)
+	mux.HandleFunc("GET /v1/batches/{id}", s.handleGetBatch)
+	mux.HandleFunc("DELETE /v1/batches/{id}", s.handleCancelBatch)
 	mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -177,6 +186,50 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var spec BatchSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decode batch spec: %v", err)
+		return
+	}
+	st, err := s.SubmitBatch(spec)
+	if err != nil {
+		writeError(w, errorCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleGetBatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var wait time.Duration
+	if ws := r.URL.Query().Get("wait"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, "bad wait %q (want a duration like 5s)", ws)
+			return
+		}
+		wait = d
+	}
+	st, ok := s.WaitBatch(r.Context(), id, wait)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no batch %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancelBatch(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.CancelBatch(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no batch %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
 func (s *Server) handleProtocols(w http.ResponseWriter, _ *http.Request) {
 	entries := registry.Entries()
 	out := make([]ProtocolInfo, 0, len(entries))
@@ -185,6 +238,7 @@ func (s *Server) handleProtocols(w http.ResponseWriter, _ *http.Request) {
 			Name:        e.Name,
 			Description: e.Description,
 			Defaults:    e.Normalize(registry.Params{}),
+			Bounds:      e.Bounds,
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -205,4 +259,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WritePrometheus(w)
+	s.writeStoreMetrics(w)
 }

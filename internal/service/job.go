@@ -158,6 +158,11 @@ func compileSpec(spec JobSpec, cfg Config) (*compiled, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Enforce the catalog's advertised parameter bounds before the job
+		// can occupy a queue slot; the error names the advertised range.
+		if err := registry.Validate(spec.Protocol, params); err != nil {
+			return nil, err
+		}
 		inst, err := registry.Build(spec.Protocol, params)
 		if err != nil {
 			return nil, err

@@ -70,6 +70,22 @@ type Metrics struct {
 	// Coalesced counts submissions that attached to an identical in-flight
 	// job (single-flight) instead of enqueueing their own check.
 	Coalesced atomic.Int64
+	// StoreHits counts cache hits served by the persistent backend (a
+	// subset of CacheHits: the memory tier missed, the log had it).
+	StoreHits atomic.Int64
+	// StorePuts counts verdicts written through to the persistent backend.
+	StorePuts atomic.Int64
+	// StoreErrors counts failed persistent reads/writes (the verdict still
+	// lands in memory; durability is degraded, correctness is not).
+	StoreErrors atomic.Int64
+	// BatchesSubmitted / BatchesCompleted / BatchesCanceled count batch
+	// lifecycles; BatchJobs counts member jobs admitted through batches.
+	BatchesSubmitted atomic.Int64
+	BatchesCompleted atomic.Int64
+	BatchesCanceled  atomic.Int64
+	BatchJobs        atomic.Int64
+	// BatchesInFlight is the number of batches not yet terminal.
+	BatchesInFlight atomic.Int64
 	// QueueDepth is the number of jobs waiting in the queue.
 	QueueDepth atomic.Int64
 	// InFlight is the number of executor goroutines currently inside
@@ -140,10 +156,18 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("csserved_cache_hits_total", "Content-addressed cache hits at submission.", m.CacheHits.Load())
 	counter("csserved_cache_misses_total", "Content-addressed cache misses at submission.", m.CacheMisses.Load())
 	counter("csserved_jobs_coalesced_total", "Submissions coalesced onto an identical in-flight job.", m.Coalesced.Load())
+	counter("csserved_store_hits_total", "Cache hits served by the persistent store backend.", m.StoreHits.Load())
+	counter("csserved_store_puts_total", "Verdicts written through to the persistent store backend.", m.StorePuts.Load())
+	counter("csserved_store_errors_total", "Failed persistent store reads/writes.", m.StoreErrors.Load())
+	counter("csserved_batches_submitted_total", "Accepted batch submissions.", m.BatchesSubmitted.Load())
+	counter("csserved_batches_completed_total", "Batches that ran every member to a terminal state.", m.BatchesCompleted.Load())
+	counter("csserved_batches_canceled_total", "Batches canceled before completion.", m.BatchesCanceled.Load())
+	counter("csserved_batch_jobs_total", "Member jobs admitted through batches.", m.BatchJobs.Load())
 	counter("csserved_verdict_satisfied_total", "Completed checks with a satisfied verdict.", m.Satisfied.Load())
 	counter("csserved_verdict_violated_total", "Completed checks with a violated verdict.", m.Violated.Load())
 	gauge("csserved_queue_depth", "Jobs waiting in the queue.", m.QueueDepth.Load())
 	gauge("csserved_inflight_workers", "Executors currently running a check.", m.InFlight.Load())
+	gauge("csserved_batches_inflight", "Batches not yet terminal.", m.BatchesInFlight.Load())
 
 	s := m.LatencySummary()
 	fmt.Fprintf(w, "# HELP csserved_check_latency_seconds Check latency over the last %d checks.\n", maxLatencySamples)

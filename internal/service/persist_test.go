@@ -1,0 +1,132 @@
+package service
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"nonmask/internal/store"
+)
+
+// openStoreT opens a verdict store with per-put syncing so tests never
+// race the flusher.
+func openStoreT(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	// First server lifetime: run one check, write it through to the store.
+	st := openStoreT(t, dir)
+	s := New(Config{Store: st})
+	j, err := s.Submit(ringSpec(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done := waitTerminal(t, s, j.ID); done.State != StateDone {
+		t.Fatalf("job ended %s (err %q)", done.State, done.Error)
+	}
+	if got := s.metrics.StorePuts.Load(); got != 1 {
+		t.Fatalf("store puts = %d, want 1", got)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": fresh store handle over the same directory, fresh server
+	// with an empty memory cache. The recovery scan must find the verdict
+	// and the resubmission must be served without a fresh check.
+	st2 := openStoreT(t, dir)
+	defer st2.Close()
+	if got := st2.Stats().RecoveredRecords; got < 1 {
+		t.Fatalf("recovered records = %d, want >= 1", got)
+	}
+	s2 := New(Config{Store: st2})
+	defer s2.Shutdown(context.Background())
+	hit, err := s2.Submit(ringSpec(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached || hit.State != StateDone || hit.Result == nil {
+		t.Fatalf("restarted server missed the store: %+v", hit)
+	}
+	if hit.Result.Verdict != VerdictSatisfied || !hit.Result.Cached {
+		t.Fatalf("stored verdict mangled: %+v", hit.Result)
+	}
+	if got := s2.metrics.Completed.Load(); got != 0 {
+		t.Fatalf("completed = %d after restart, want 0 (store hit must not re-run the check)", got)
+	}
+	if got := s2.metrics.StoreHits.Load(); got != 1 {
+		t.Fatalf("store hits = %d, want 1", got)
+	}
+
+	// The store hit promoted the verdict into the memory tier: the next
+	// lookup must not touch the backend again.
+	again, err := s2.Submit(ringSpec(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatal("promoted entry missed the memory tier")
+	}
+	if got := s2.metrics.StoreHits.Load(); got != 1 {
+		t.Fatalf("store hits = %d after promotion, want still 1", got)
+	}
+}
+
+func TestStoreMetricsExposed(t *testing.T) {
+	dir := t.TempDir()
+	st := openStoreT(t, dir)
+	defer st.Close()
+	s := New(Config{Store: st})
+	defer s.Shutdown(context.Background())
+
+	j, err := s.Submit(ringSpec(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s, j.ID)
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"csserved_store_keys 1",
+		"csserved_store_appends_total 1",
+		"csserved_store_puts_total 1",
+		"csserved_store_recovered_records_total 0",
+		"csserved_store_skipped_corrupt_records_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestNoStoreConfiguredStaysMemoryOnly(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	j, err := s.Submit(ringSpec(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s, j.ID)
+	if got := s.metrics.StorePuts.Load(); got != 0 {
+		t.Fatalf("store puts = %d without a store, want 0", got)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if strings.Contains(rec.Body.String(), "csserved_store_keys") {
+		t.Fatal("store gauges rendered without a configured store")
+	}
+}

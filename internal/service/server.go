@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"nonmask/internal/obs"
+	"nonmask/internal/store"
 	"nonmask/internal/verify"
 )
 
@@ -60,6 +61,11 @@ type Config struct {
 	// (records then live until MaxRecords evicts them). Live jobs are
 	// never swept.
 	RecordTTL time.Duration
+	// Store is an optional persistent backend layered under the result
+	// cache (read-through/write-through): verdicts survive restarts and
+	// memory-tier eviction. The caller owns the store's lifecycle — open
+	// it before New, close it after Shutdown.
+	Store *store.Store
 	// Logger receives the server's structured job-lifecycle and pass
 	// trace records (log/slog). Nil discards them.
 	Logger *slog.Logger
@@ -116,8 +122,14 @@ type Server struct {
 	// the leader's terminal transition; identical submissions in that
 	// window coalesce onto the leader instead of running their own check.
 	inflight map[string]*job
+	// batches are the batch records (internal/service/batch.go), bounded
+	// like job records; batchOrder is admission order for eviction.
+	batches    map[string]*batch
+	batchOrder []string
+	batchSeq   uint64
 
 	wg        sync.WaitGroup // executor goroutines
+	batchWG   sync.WaitGroup // batch runner goroutines
 	sweepStop chan struct{}  // closed by Shutdown to halt the TTL sweeper
 	sweepDone chan struct{}
 }
@@ -129,13 +141,14 @@ func New(cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
-		cache:     newCache(cfg.CacheSize),
+		cache:     newCache(cfg.CacheSize, cfg.Store),
 		log:       cfg.Logger,
 		baseCtx:   ctx,
 		stop:      cancel,
 		queue:     make(chan *job, cfg.QueueSize),
 		jobs:      make(map[string]*job),
 		inflight:  make(map[string]*job),
+		batches:   make(map[string]*batch),
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
 	}
@@ -203,6 +216,28 @@ func (s *Server) sweepExpired(now time.Time) int {
 // Metrics exposes the server's counters (read-only use).
 func (s *Server) Metrics() *Metrics { return &s.metrics }
 
+// writeStoreMetrics renders the persistent backend's counters in
+// Prometheus text form; without -store nothing is emitted (scrapers can
+// key dashboards off the metric's presence).
+func (s *Server) writeStoreMetrics(w io.Writer) {
+	if s.cfg.Store == nil {
+		return
+	}
+	st := s.cfg.Store.Stats()
+	line := func(name, typ, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, typ, name, v)
+	}
+	line("csserved_store_keys", "gauge", "Live keys in the persistent verdict store.", int64(st.Keys))
+	line("csserved_store_log_bytes", "gauge", "Persistent store log file size.", st.LogBytes)
+	line("csserved_store_live_bytes", "gauge", "Bytes the newest record per key occupies (gap to log_bytes is compactable garbage).", st.LiveBytes)
+	line("csserved_store_recovered_records_total", "counter", "Valid records replayed by the store's recovery scan at open.", st.RecoveredRecords)
+	line("csserved_store_skipped_corrupt_records_total", "counter", "Records the recovery scan dropped on checksum or decode mismatch.", st.SkippedCorrupt)
+	line("csserved_store_truncated_bytes_total", "counter", "Torn-tail bytes the recovery scan cut off.", st.TruncatedBytes)
+	line("csserved_store_appends_total", "counter", "Records appended to the store log.", st.Appends)
+	line("csserved_store_compactions_total", "counter", "Completed store compaction rewrites.", st.Compactions)
+	line("csserved_store_syncs_total", "counter", "fsyncs issued by the store (batched flushes, compactions, close).", st.Syncs)
+}
+
 // submitError carries an HTTP status for the transport layer.
 type submitError struct {
 	code int
@@ -228,26 +263,42 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		s.metrics.Rejected.Add(1)
 		return JobStatus{}, &submitError{http.StatusBadRequest, err.Error()}
 	}
+	j, err := s.admit(c)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return j.status(), nil
+}
+
+// admit content-addresses and admits a compiled job: the shared back half
+// of Submit and the batch runner's member fan-out. Cache lookups consult
+// the persistent backend on a memory miss; identical in-flight
+// submissions coalesce; fresh work is enqueued unless the queue is full
+// (429) or the server is draining (503).
+func (s *Server) admit(c *compiled) (*job, error) {
 	now := time.Now()
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		s.metrics.Rejected.Add(1)
-		return JobStatus{}, &submitError{http.StatusServiceUnavailable, "server is draining"}
+		return nil, &submitError{http.StatusServiceUnavailable, "server is draining"}
 	}
-	if hit := s.cache.get(c.key); hit != nil {
+	if hit, fromStore := s.cache.get(c.key); hit != nil {
 		j := s.admitLocked(c, now)
 		s.mu.Unlock()
 		s.metrics.Submitted.Add(1)
 		s.metrics.CacheHits.Add(1)
+		if fromStore {
+			s.metrics.StoreHits.Add(1)
+		}
 		j.mu.Lock()
 		j.cached = true
 		j.mu.Unlock()
 		j.transition(StateDone, hit, nil, now)
 		s.log.Info("job done", "job", j.id, "program", c.name, "cached", true,
-			"verdict", hit.Verdict)
-		return j.status(), nil
+			"store", fromStore, "verdict", hit.Verdict)
+		return j, nil
 	}
 	// Single-flight: an identical submission already queued or running
 	// coalesces onto that leader — the follower gets its own job record
@@ -262,7 +313,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		leader.attachFollower(j, now)
 		s.log.Info("job coalesced", "job", j.id, "leader", leader.id,
 			"program", c.name, "key", c.key)
-		return j.status(), nil
+		return j, nil
 	}
 	// Reserve a queue slot before registering the record so a rejected
 	// submission leaves no trace.
@@ -282,7 +333,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	default:
 		s.mu.Unlock()
 		s.metrics.Rejected.Add(1)
-		return JobStatus{}, &submitError{http.StatusTooManyRequests,
+		return nil, &submitError{http.StatusTooManyRequests,
 			fmt.Sprintf("queue full (%d queued); retry later", s.cfg.QueueSize)}
 	}
 	s.inflight[c.key] = j
@@ -292,7 +343,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	s.metrics.CacheMisses.Add(1)
 	s.metrics.QueueDepth.Add(1)
 	s.log.Info("job queued", "job", j.id, "program", c.name, "key", c.key)
-	return j.status(), nil
+	return j, nil
 }
 
 // JobsPage is one page of job records returned by ListJobs and
@@ -488,7 +539,14 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	res := ResultFromReport(j.c.name, rep)
-	s.cache.put(j.c.key, res)
+	if perr := s.cache.put(j.c.key, res); perr != nil {
+		// A failed persistent write degrades durability, not correctness:
+		// the verdict still lands in the memory tier and the job record.
+		s.metrics.StoreErrors.Add(1)
+		jlog.Warn("persistent store write failed", "error", perr)
+	} else if s.cfg.Store != nil {
+		s.metrics.StorePuts.Add(1)
+	}
 	s.metrics.Completed.Add(1)
 	if res.Verdict == VerdictSatisfied {
 		s.metrics.Satisfied.Add(1)
@@ -546,10 +604,12 @@ loop:
 	select {
 	case <-done:
 		s.stop()
+		s.batchWG.Wait()
 		return nil
 	case <-ctx.Done():
 		s.stop() // hard-cancel in-flight checks
 		<-done
+		s.batchWG.Wait()
 		return ctx.Err()
 	}
 }

@@ -302,22 +302,26 @@ func TestFingerprints(t *testing.T) {
 }
 
 func TestCacheEviction(t *testing.T) {
-	c := newCache(2)
-	c.put("a", &Result{Program: "a"})
-	c.put("b", &Result{Program: "b"})
-	c.put("c", &Result{Program: "c"})
+	c := newCache(2, nil)
+	mustGet := func(key string) *Result {
+		r, _ := c.get(key)
+		return r
+	}
+	_ = c.put("a", &Result{Program: "a"})
+	_ = c.put("b", &Result{Program: "b"})
+	_ = c.put("c", &Result{Program: "c"})
 	if c.len() != 2 {
 		t.Fatalf("len = %d, want 2", c.len())
 	}
-	if c.get("a") != nil {
+	if mustGet("a") != nil {
 		t.Fatal("oldest entry survived eviction")
 	}
-	if c.get("b") == nil || c.get("c") == nil {
+	if mustGet("b") == nil || mustGet("c") == nil {
 		t.Fatal("newer entries evicted")
 	}
 	// Overwriting an existing key must not grow the order log.
-	c.put("c", &Result{Program: "c2"})
-	if c.len() != 2 || c.get("b") == nil {
+	_ = c.put("c", &Result{Program: "c2"})
+	if c.len() != 2 || mustGet("b") == nil {
 		t.Fatal("re-put evicted a live entry")
 	}
 }

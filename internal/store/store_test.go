@@ -1,0 +1,294 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// openT opens a store with immediate fsync (no batching) so every test
+// write is on disk before the next step.
+func openT(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	if opts.SyncInterval == 0 {
+		opts.SyncInterval = -1
+	}
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func logPath(dir string) string { return filepath.Join(dir, logName) }
+
+func TestPutGetSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf(`{"n":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite one key: the newest record must win on recovery.
+	if err := s.Put("key-3", []byte(`{"n":333}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, Options{})
+	st := s2.Stats()
+	if st.RecoveredRecords != 11 {
+		t.Fatalf("recovered %d records, want 11", st.RecoveredRecords)
+	}
+	if st.Keys != 10 {
+		t.Fatalf("recovered %d keys, want 10", st.Keys)
+	}
+	if v, ok := s2.Get("key-3"); !ok || string(v) != `{"n":333}` {
+		t.Fatalf("key-3 = %q %v, want newest record", v, ok)
+	}
+	if v, ok := s2.Get("key-7"); !ok || string(v) != `{"n":7}` {
+		t.Fatalf("key-7 = %q %v", v, ok)
+	}
+	if _, ok := s2.Get("nope"); ok {
+		t.Fatal("missing key reported present")
+	}
+}
+
+// TestRecoveryTruncatedTail cuts the log mid-record (a torn final append,
+// as a crash between write and fsync leaves it) and checks that recovery
+// keeps every whole record, drops the tail, and leaves the store
+// appendable.
+func TestRecoveryTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), []byte(`{"v":true}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Chop 7 bytes off the last record (payload and part of its header
+	// would both do; any non-boundary cut is a torn tail).
+	info, err := os.Stat(logPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(logPath(dir), info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, Options{})
+	st := s2.Stats()
+	if st.RecoveredRecords != 4 {
+		t.Fatalf("recovered %d records, want 4", st.RecoveredRecords)
+	}
+	if st.TruncatedBytes == 0 {
+		t.Fatal("torn tail not counted")
+	}
+	if _, ok := s2.Get("key-4"); ok {
+		t.Fatal("torn record served")
+	}
+	// The tail was truncated away, so a fresh append lands on a clean
+	// boundary and a third open sees everything.
+	if err := s2.Put("key-4", []byte(`{"v":"again"}`)); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := openT(t, dir, Options{})
+	if st := s3.Stats(); st.RecoveredRecords != 5 || st.TruncatedBytes != 0 || st.SkippedCorrupt != 0 {
+		t.Fatalf("after repair: %+v", st)
+	}
+	if v, ok := s3.Get("key-4"); !ok || string(v) != `{"v":"again"}` {
+		t.Fatalf("key-4 = %q %v", v, ok)
+	}
+}
+
+// TestRecoverySkipsCorruptRecord flips a payload byte in a mid-log record:
+// recovery must skip exactly that record (counted), keep its neighbours,
+// and not fail.
+func TestRecoverySkipsCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), []byte(`{"v":1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	data, err := os.ReadFile(logPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk to the second record and flip a byte inside its payload.
+	len0 := binary.LittleEndian.Uint32(data[0:4])
+	off1 := headerSize + int(len0)
+	data[off1+headerSize+4] ^= 0xFF
+	if err := os.WriteFile(logPath(dir), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, Options{})
+	st := s2.Stats()
+	if st.SkippedCorrupt != 1 {
+		t.Fatalf("skipped %d corrupt records, want 1", st.SkippedCorrupt)
+	}
+	if st.RecoveredRecords != 2 {
+		t.Fatalf("recovered %d records, want 2", st.RecoveredRecords)
+	}
+	if _, ok := s2.Get("key-1"); ok {
+		t.Fatal("corrupt record served")
+	}
+	for _, k := range []string{"key-0", "key-2"} {
+		if _, ok := s2.Get(k); !ok {
+			t.Fatalf("%s lost alongside the corrupt record", k)
+		}
+	}
+}
+
+// TestRecoveryBogusLength corrupts a record's length field to an
+// implausible value: the scan cannot realign past it, so everything from
+// that point is a torn tail.
+func TestRecoveryBogusLength(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), []byte(`{"v":1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	data, err := os.ReadFile(logPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	len0 := binary.LittleEndian.Uint32(data[0:4])
+	off1 := headerSize + int(len0)
+	binary.LittleEndian.PutUint32(data[off1:off1+4], 0xFFFFFFFF)
+	if err := os.WriteFile(logPath(dir), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, Options{})
+	st := s2.Stats()
+	if st.RecoveredRecords != 1 || st.TruncatedBytes == 0 {
+		t.Fatalf("stats after bogus length: %+v", st)
+	}
+	if _, ok := s2.Get("key-0"); !ok {
+		t.Fatal("record before the corruption lost")
+	}
+}
+
+// TestCompactionKeepsNewestPerKey overwrites a small key set until the
+// size trigger fires, then checks the rewritten log holds exactly the
+// newest record per key — across the live handle and a reopen.
+func TestCompactionKeepsNewestPerKey(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{CompactAt: 4 << 10})
+	var last [4]int
+	i := 0
+	for s.Stats().Compactions == 0 {
+		k := i % 4
+		if err := s.Put(fmt.Sprintf("key-%d", k),
+			[]byte(fmt.Sprintf(`{"gen":%d,"pad":%q}`, i, bytes.Repeat([]byte("x"), 128)))); err != nil {
+			t.Fatal(err)
+		}
+		last[k] = i
+		i++
+		if i > 10_000 {
+			t.Fatal("compaction never triggered")
+		}
+	}
+	st := s.Stats()
+	if st.LogBytes != st.LiveBytes {
+		t.Fatalf("post-compaction log has garbage: log=%d live=%d", st.LogBytes, st.LiveBytes)
+	}
+	check := func(s *Store, when string) {
+		t.Helper()
+		for k := 0; k < 4; k++ {
+			v, ok := s.Get(fmt.Sprintf("key-%d", k))
+			if !ok {
+				t.Fatalf("%s: key-%d lost", when, k)
+			}
+			want := fmt.Sprintf(`"gen":%d,`, last[k])
+			if !bytes.Contains(v, []byte(want)) {
+				t.Fatalf("%s: key-%d = %.60q..., want generation %d", when, k, v, last[k])
+			}
+		}
+	}
+	check(s, "live")
+	s.Close()
+	s2 := openT(t, dir, Options{})
+	if got := s2.Stats().RecoveredRecords; got != 4 {
+		t.Fatalf("compacted log recovered %d records, want 4", got)
+	}
+	check(s2, "reopened")
+}
+
+// TestConcurrentPutGet hammers the store from many goroutines (run under
+// -race in CI) and verifies a reopen sees a consistent newest-wins image.
+func TestConcurrentPutGet(t *testing.T) {
+	dir := t.TempDir()
+	// Batched sync + tiny compaction threshold: exercises the flusher and
+	// inline compaction racing readers.
+	s := openT(t, dir, Options{SyncInterval: time.Millisecond, CompactAt: 2 << 10})
+	const (
+		workers = 8
+		keys    = 5
+		rounds  = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := fmt.Sprintf("key-%d", (w+r)%keys)
+				if err := s.Put(k, []byte(fmt.Sprintf(`{"w":%d,"r":%d}`, w, r))); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := s.Get(k); !ok {
+					t.Errorf("%s missing right after put", k)
+					return
+				}
+				s.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := openT(t, dir, Options{})
+	if got := s2.Len(); got != keys {
+		t.Fatalf("reopened with %d keys, want %d", got, keys)
+	}
+}
+
+func TestPutRejectsBadInput(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{})
+	if err := s.Put("", []byte(`{}`)); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	s.Close()
+	if err := s.Put("k", []byte(`{}`)); err == nil {
+		t.Fatal("put after close accepted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
