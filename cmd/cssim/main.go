@@ -6,8 +6,13 @@
 // the same catalog csverify checks and csserved serves — so cssim accepts
 // the identical -protocol and parameter spellings. Unlike the service,
 // cssim does not enforce the registry's advertised parameter bounds:
-// simulation never enumerates the state space, so instance sizes far past
-// the verification guards (e.g. -n 255) are exactly its point.
+// simulation never requires enumerating the state space, so instance sizes
+// far past the verification guards (e.g. -n 255) are exactly its point.
+// When an instance does fit the verifier's cap, cssim enumerates it once
+// and reports the checker's exact observables alongside the samples: the
+// shortest-path distance-to-invariant of the metrics passes, and (under
+// -daemon adversarial) the true worst-case schedule instead of the
+// violated-constraint heuristic.
 //
 // Usage:
 //
@@ -18,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -30,6 +36,7 @@ import (
 	"nonmask/internal/program"
 	"nonmask/internal/protocols/registry"
 	"nonmask/internal/sim"
+	"nonmask/internal/verify"
 )
 
 func main() {
@@ -77,12 +84,42 @@ func violationPreds(inst *registry.Instance) []*program.Predicate {
 	return append(preds, inst.S)
 }
 
+// exactTables enumerates the instance's state space when it fits the
+// verifier's default cap and returns the two exact distance tables the
+// checker's metrics passes define: the shortest-path distance to S (the
+// distance observable) and the worst-case variant table (the adversarial
+// schedule). Both are nil when the instance is beyond enumeration or the
+// space cannot be built — cssim then falls back to heuristics.
+func exactTables(inst *registry.Instance) (distObs func(*program.State) int, worst []int32) {
+	p := inst.Program
+	count, ok := p.Schema.StateCount()
+	if !ok || count > verify.DefaultMaxStates {
+		return nil, nil
+	}
+	T := inst.T
+	if T == nil {
+		T = program.True()
+	}
+	sp, err := verify.NewSpaceContext(context.Background(), p, inst.S, T, verify.Options{})
+	if err != nil {
+		return nil, nil
+	}
+	if dist, err := sp.DistancesContext(context.Background()); err == nil {
+		distObs = func(st *program.State) int { return int(dist[p.Schema.Index(st)]) }
+	}
+	if tab, ok := sp.WorstDistances(); ok {
+		worst = tab
+	}
+	return distObs, worst
+}
+
 func run(protocol string, params registry.Params, dmn string, runs, maxSteps int, seed int64) error {
 	inst, err := registry.Build(protocol, params)
 	if err != nil {
 		return err
 	}
 	p, S := inst.Program, inst.S
+	distObs, worst := exactTables(inst)
 
 	var d daemon.Daemon
 	switch dmn {
@@ -91,16 +128,38 @@ func run(protocol string, params registry.Params, dmn string, runs, maxSteps int
 	case "random":
 		d = daemon.NewRandom(seed)
 	case "adversarial":
-		d = daemon.NewAdversarial("adversarial", daemon.ViolationMetric(violationPreds(inst)))
+		if worst != nil {
+			d = daemon.NewWorstCase(p.Schema, worst)
+			fmt.Println("adversarial daemon: exact worst-case distance table (instance enumerable)")
+		} else {
+			d = daemon.NewAdversarial("adversarial", daemon.ViolationMetric(violationPreds(inst)))
+			fmt.Println("adversarial daemon: violated-constraint heuristic (instance beyond enumeration)")
+		}
 	default:
 		return fmt.Errorf("unknown daemon %q (want round-robin | random | adversarial)", dmn)
 	}
 
 	fmt.Printf("simulating %s under %s daemon: %d runs from uniformly random states\n",
 		p.Name, d.Name(), runs)
-	r := &sim.Runner{P: p, S: S, D: d, MaxSteps: maxSteps, StopAtS: true}
+	r := &sim.Runner{P: p, S: S, D: d, MaxSteps: maxSteps, StopAtS: true, Distance: distObs}
 	rng := rand.New(rand.NewSource(seed))
-	batch := r.RunMany(runs, rng, sim.RandomStates(p.Schema))
+
+	// With the exact table available, score each run's starting state so
+	// the sampled report carries the same distance observable as the
+	// checker's distance profile (csverify -measure).
+	next := sim.RandomStates(p.Schema)
+	var initDist []float64
+	if distObs != nil {
+		inner := next
+		next = func(i int, rng *rand.Rand) *program.State {
+			st := inner(i, rng)
+			if d := distObs(st); d >= 0 {
+				initDist = append(initDist, float64(d))
+			}
+			return st
+		}
+	}
+	batch := r.RunMany(runs, rng, next)
 
 	s := metrics.Summarize(metrics.IntsToFloats(batch.Steps))
 	fmt.Printf("converged: %d/%d (%.0f%%)\n", batch.ConvergedRuns, batch.Runs, 100*batch.ConvergenceRate())
@@ -108,13 +167,31 @@ func run(protocol string, params registry.Params, dmn string, runs, maxSteps int
 		fmt.Printf("steps to converge: mean %.1f, median %.0f, p95 %.1f, max %.0f\n",
 			s.Mean, s.Median, s.P95, s.Max)
 	}
+	if len(initDist) > 0 {
+		ds := metrics.Summarize(initDist)
+		fmt.Printf("distance to S at start (exact shortest path): mean %.1f, median %.0f, max %.0f\n",
+			ds.Mean, ds.Median, ds.Max)
+	}
 
-	// One fault-injected run showing recovery from mid-run corruption.
+	// One fault-injected run showing recovery from mid-run corruption,
+	// with the peak observed distance when the exact table is available.
 	r2 := &sim.Runner{
-		P: p, S: S, D: d, MaxSteps: maxSteps, StopAtS: true,
+		P: p, S: S, D: d, MaxSteps: maxSteps, StopAtS: true, Distance: distObs,
 		Faults: fault.Schedule{{Step: 0, Inj: &fault.CorruptVars{}}},
 	}
+	peak := -1
+	if distObs != nil {
+		r2.OnTick = func(step int, st *program.State) {
+			if d := distObs(st); d > peak {
+				peak = d
+			}
+		}
+	}
 	res := r2.Run(p.Schema.NewState(), rng)
-	fmt.Printf("recovery after corrupting every variable: %s\n", res)
+	if peak >= 0 {
+		fmt.Printf("recovery after corrupting every variable: %s (peak distance %d)\n", res, peak)
+	} else {
+		fmt.Printf("recovery after corrupting every variable: %s\n", res)
+	}
 	return nil
 }

@@ -49,6 +49,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "goroutines sharding the checker's passes (0 = all CPUs, 1 = sequential)")
 		maxStates = flag.Int64("max-states", 0, fmt.Sprintf("state-space cap (0 = default %d)", verify.DefaultMaxStates))
 		jsonOut   = flag.Bool("json", false, "emit the machine-readable service.Result JSON instead of prose")
+		measure   = flag.Bool("measure", false, "additionally run the quantitative tolerance metrics (distance profile, worst/expected stabilization time, per-constraint recovery costs)")
 		storeDir  = flag.String("store", "", "persistent verdict store directory shared with csserved; hits skip the check")
 		trace     = flag.Bool("trace", false, "print the per-pass span table (states, frontier, wall time) on stderr")
 		progress  = flag.Bool("progress", false, "stream live per-pass progress lines on stderr")
@@ -63,7 +64,7 @@ func main() {
 		return
 	}
 
-	opts := verify.Options{Workers: *workers, MaxStates: *maxStates}
+	opts := verify.Options{Workers: *workers, MaxStates: *maxStates, Metrics: *measure}
 	if *strategy == "exhaustive" {
 		opts.Strategy = verify.Exhaustive
 	} else {
@@ -181,7 +182,8 @@ func runStored(protocol string, params registry.Params, opts verify.Options, jso
 	if !ok || count > effectiveCap(opts) {
 		return fmt.Errorf("state space too large to enumerate (%d states)", count)
 	}
-	rep, err := verify.Check(context.Background(), inst.Program, inst.S, inst.T, verify.WithOptions(opts))
+	rep, err := verify.Check(context.Background(), inst.Program, inst.S, inst.T,
+		verify.WithOptions(opts), verify.WithConstraints(registry.ConstraintSpecs(inst)...))
 	if err != nil {
 		return err
 	}
@@ -217,6 +219,20 @@ func emitResult(res *service.Result, jsonOut bool) error {
 	if res.Fair != nil {
 		fmt.Printf("fair convergence: %s\n", res.Fair.Summary)
 	}
+	if m := res.Metrics; m != nil {
+		fmt.Printf("distance profile: max %d, mean %.2f (unreachable %d)\n",
+			m.MaxDistance, m.MeanDistance, m.UnreachableStates)
+		if m.WorstMeasured {
+			fmt.Printf("worst-case stabilization: %d steps (mean %.2f)\n", m.WorstSteps, m.MeanWorstSteps)
+		}
+		if m.ExpectedMeasured {
+			fmt.Printf("expected stabilization: %.2f steps (mean %.2f)\n", m.ExpectedSteps, m.MeanExpectedSteps)
+		}
+		for _, c := range m.Constraints {
+			fmt.Printf("constraint %q: measured=%v worst=%d stable=%d\n",
+				c.Name, c.Measured, c.WorstSteps, c.StableStates)
+		}
+	}
 	fmt.Printf("verdict: %s (original check: %.1fms, workers=%d, cached=%v)\n",
 		res.Verdict, res.ElapsedMS, res.Workers, res.Cached)
 	return nil
@@ -238,7 +254,8 @@ func verifyJSON(inst *registry.Instance, opts verify.Options) error {
 	if !ok || count > effectiveCap(opts) {
 		return fmt.Errorf("state space too large to enumerate (%d states)", count)
 	}
-	rep, err := verify.Check(context.Background(), inst.Program, inst.S, inst.T, verify.WithOptions(opts))
+	rep, err := verify.Check(context.Background(), inst.Program, inst.S, inst.T,
+		verify.WithOptions(opts), verify.WithConstraints(registry.ConstraintSpecs(inst)...))
 	if err != nil {
 		return err
 	}
@@ -277,7 +294,12 @@ func verifyDesign(d *core.Design, opts verify.Options) error {
 		fmt.Printf("state space too large to enumerate (%d states); use cssim instead\n", count)
 		return nil
 	}
-	res, err := d.VerifyContext(context.Background(), verify.WithOptions(opts))
+	specs := make([]verify.ConstraintSpec, 0, len(d.Set.Constraints))
+	for _, c := range d.Set.Constraints {
+		specs = append(specs, verify.ConstraintSpec{Name: c.Pred.Name, Pred: c.Pred})
+	}
+	res, err := d.VerifyContext(context.Background(),
+		verify.WithOptions(opts), verify.WithConstraints(specs...))
 	if err != nil {
 		return err
 	}
@@ -296,6 +318,10 @@ func verifyDesign(d *core.Design, opts verify.Options) error {
 	} else {
 		fmt.Println("verdict: the program is NOT T-tolerant for S")
 	}
+	if res.Report != nil && res.Report.Metrics != nil {
+		fmt.Println("\n=== tolerance metrics ===")
+		fmt.Print(res.Report.Metrics.Summary())
+	}
 	return nil
 }
 
@@ -308,7 +334,8 @@ func verifyPlain(inst *registry.Instance, opts verify.Options) error {
 		return fmt.Errorf("state space too large to enumerate (%d states)", count)
 	}
 	ctx := context.Background()
-	rep, err := verify.Check(ctx, inst.Program, inst.S, inst.T, verify.WithOptions(opts))
+	rep, err := verify.Check(ctx, inst.Program, inst.S, inst.T,
+		verify.WithOptions(opts), verify.WithConstraints(registry.ConstraintSpecs(inst)...))
 	if err != nil {
 		return err
 	}
@@ -340,6 +367,10 @@ func verifyPlain(inst *registry.Instance, opts verify.Options) error {
 			fmt.Printf("  %s -> %s: closed=%v converges=%v %s\n",
 				step.From, step.To, step.Closed, step.Converges, step.Detail)
 		}
+	}
+	if rep.Metrics != nil {
+		fmt.Println("=== tolerance metrics ===")
+		fmt.Print(rep.Metrics.Summary())
 	}
 	fmt.Printf("checked %d states in %v (workers=%d)\n", count, rep.Elapsed, rep.Options.Workers)
 	return nil

@@ -35,6 +35,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "goroutines sharding the checker's passes (0 = all CPUs, 1 = sequential)")
 		maxStates = flag.Int64("max-states", 0, fmt.Sprintf("state-space cap (0 = default %d)", verify.DefaultMaxStates))
 		jsonOut   = flag.Bool("json", false, "emit the machine-readable service.Result JSON instead of prose")
+		measure   = flag.Bool("measure", false, "additionally run the quantitative tolerance metrics (distance profile, worst/expected stabilization time, per-constraint recovery costs)")
 		trace     = flag.Bool("trace", false, "print the per-pass span table (states, frontier, wall time) on stderr")
 		progress  = flag.Bool("progress", false, "stream live per-pass progress lines on stderr")
 	)
@@ -43,7 +44,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: gclrun [-print] [-json] [-trace] [-progress] [-strategy s] [-workers n] [-max-states n] <file.gcl>")
 		os.Exit(2)
 	}
-	opts := verify.Options{Workers: *workers, MaxStates: *maxStates}
+	opts := verify.Options{Workers: *workers, MaxStates: *maxStates, Metrics: *measure}
 	if *strategy == "exhaustive" {
 		opts.Strategy = verify.Exhaustive
 	} else {
@@ -112,12 +113,20 @@ func run(path string, printOnly, jsonOut bool, opts verify.Options) error {
 		return err
 	}
 
+	// The metrics passes break recovery costs down by the module's compiled
+	// invariant conjuncts (one spec per invariant declaration).
+	specs := make([]verify.ConstraintSpec, 0, len(m.Set.Constraints))
+	for _, c := range m.Set.Constraints {
+		specs = append(specs, verify.ConstraintSpec{Name: c.Pred.Name, Pred: c.Pred})
+	}
+
 	if jsonOut {
 		count, ok := m.Schema.StateCount()
 		if !ok || count > effectiveCap(opts) {
 			return fmt.Errorf("state space too large to enumerate (%d states)", count)
 		}
-		rep, err := verify.Check(context.Background(), m.Program, m.S, m.T, verify.WithOptions(opts))
+		rep, err := verify.Check(context.Background(), m.Program, m.S, m.T,
+			verify.WithOptions(opts), verify.WithConstraints(specs...))
 		if err != nil {
 			return err
 		}
@@ -159,7 +168,8 @@ func run(path string, printOnly, jsonOut bool, opts verify.Options) error {
 		return nil
 	}
 	fmt.Println("\n=== exact model checking ===")
-	rep, err := verify.Check(context.Background(), m.Program, m.S, m.T, verify.WithOptions(opts))
+	rep, err := verify.Check(context.Background(), m.Program, m.S, m.T,
+		verify.WithOptions(opts), verify.WithConstraints(specs...))
 	if err != nil {
 		return err
 	}
@@ -172,6 +182,10 @@ func run(path string, printOnly, jsonOut bool, opts verify.Options) error {
 	fmt.Printf("convergence: %s\n", rep.Unfair.Summary())
 	if rep.Fair != nil {
 		fmt.Printf("fair convergence: %s\n", rep.Fair.Summary())
+	}
+	if rep.Metrics != nil {
+		fmt.Println("\n=== tolerance metrics ===")
+		fmt.Print(rep.Metrics.Summary())
 	}
 	fmt.Printf("checked %d states in %v (workers=%d)\n", count, rep.Elapsed, rep.Options.Workers)
 	return nil

@@ -1,6 +1,7 @@
 package ctheory
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -286,7 +287,7 @@ func TestMutualViolationActuallyLivelocks(t *testing.T) {
 	p := program.New("mutual", in.Schema)
 	p.Add(in.Set.ConvergenceActions()...)
 	S := in.Set.Conjunction("S")
-	sp, err := verify.NewSpace(p, S, program.True(), verify.Options{})
+	sp, err := verify.NewSpaceContext(context.Background(), p, S, program.True(), verify.Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -306,7 +307,7 @@ func TestSharedTargetActuallyConverges(t *testing.T) {
 	p := program.New("shared", in.Schema)
 	p.Add(in.Set.ConvergenceActions()...)
 	S := in.Set.Conjunction("S")
-	sp, err := verify.NewSpace(p, S, program.True(), verify.Options{})
+	sp, err := verify.NewSpaceContext(context.Background(), p, S, program.True(), verify.Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -383,7 +384,7 @@ func TestTheorem3ConditionalPreservation(t *testing.T) {
 		t.Fatalf("Theorem 3 rejected conditionally-preserving closure action:\n%s", r)
 	}
 	// Sanity: unconditionally, chaos-b does not preserve b=a.
-	res, err := verify.CheckPreserves(in.Schema, in.Closure[0], in.Set.Constraints[1].Pred, nil, verify.Options{})
+	res, err := verify.CheckPreservesContext(context.Background(), in.Schema, in.Closure[0], in.Set.Constraints[1].Pred, nil, verify.Options{})
 	if err != nil {
 		t.Fatalf("CheckPreserves: %v", err)
 	}

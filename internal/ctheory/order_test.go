@@ -1,6 +1,7 @@
 package ctheory
 
 import (
+	"context"
 	"testing"
 
 	"nonmask/internal/constraint"
@@ -81,7 +82,7 @@ func TestTheorem2ChainGroundTruth(t *testing.T) {
 	p := program.New("chain3", in.Schema)
 	p.Add(in.Set.ConvergenceActions()...)
 	S := in.Set.Conjunction("S")
-	sp, err := verify.NewSpace(p, S, program.True(), verify.Options{})
+	sp, err := verify.NewSpaceContext(context.Background(), p, S, program.True(), verify.Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -168,7 +169,7 @@ func TestTheorem2ForcedUniqueOrder(t *testing.T) {
 	p := program.New("forced", in.Schema)
 	p.Add(in.Set.ConvergenceActions()...)
 	S := in.Set.Conjunction("S")
-	sp, err := verify.NewSpace(p, S, program.True(), verify.Options{})
+	sp, err := verify.NewSpaceContext(context.Background(), p, S, program.True(), verify.Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}

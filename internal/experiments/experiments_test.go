@@ -7,7 +7,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-		"A1", "A2", "A3", "X1", "X2", "X3", "X4"}
+		"A1", "A2", "A3", "X1", "X2", "X3", "X4", "X5"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

@@ -1,6 +1,7 @@
 package gcl
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -420,7 +421,7 @@ func TestThreeStateGCLMatchesGoConstruction(t *testing.T) {
 		}
 	}
 	// And the gcl program stabilizes to the Go instance's invariant.
-	sp, err := verify.NewSpace(m.Program, goInst.S, program.True(), verify.Options{})
+	sp, err := verify.NewSpaceContext(context.Background(), m.Program, goInst.S, program.True(), verify.Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}

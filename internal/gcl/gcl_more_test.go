@@ -1,6 +1,7 @@
 package gcl
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -26,7 +27,7 @@ action zap fault : x < 3 -> x := 3;
 	// returns to 0).
 	core := program.New("core", m.Schema)
 	core.Add(m.Program.OfKind(program.Convergence)...)
-	res, err := verify.FaultSpan(core, faults, m.S, verify.Options{})
+	res, err := verify.FaultSpanContext(context.Background(), core, faults, m.S, verify.Options{})
 	if err != nil {
 		t.Fatalf("FaultSpan: %v", err)
 	}
@@ -182,7 +183,7 @@ faultspan : x <= 4;
 invariant I : x <= 1;
 action fix convergence establishes I : x > 1 && x <= 4 -> x := x - 1;
 `)
-	sp, err := verify.NewSpace(m.Program, m.S, m.T, verify.Options{})
+	sp, err := verify.NewSpaceContext(context.Background(), m.Program, m.S, m.T, verify.Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}

@@ -1,6 +1,7 @@
 package composed
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -22,7 +23,7 @@ func mustNew(t *testing.T, g spanningtree.Graph) *Instance {
 
 func mustSpace(t *testing.T, inst *Instance) *verify.Space {
 	t.Helper()
-	sp, err := verify.NewSpace(inst.P, inst.S, program.True(), verify.Options{})
+	sp, err := verify.NewSpaceContext(context.Background(), inst.P, inst.S, program.True(), verify.Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -114,7 +115,7 @@ func TestStairVerifies(t *testing.T) {
 // fixed-tree result within the composition.
 func TestStairSecondStageUnfair(t *testing.T) {
 	inst := mustNew(t, spanningtree.Line(3))
-	sp, err := verify.NewSpace(inst.P, inst.S, inst.TreeOK, verify.Options{})
+	sp, err := verify.NewSpaceContext(context.Background(), inst.P, inst.S, inst.TreeOK, verify.Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}

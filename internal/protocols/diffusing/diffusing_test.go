@@ -1,6 +1,7 @@
 package diffusing
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -160,7 +161,7 @@ func TestCombinedProgramStabilizes(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	sp, err := verify.NewSpace(inst.Combined, inst.Design.S, program.True(), verify.Options{})
+	sp, err := verify.NewSpaceContext(context.Background(), inst.Combined, inst.Design.S, program.True(), verify.Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}

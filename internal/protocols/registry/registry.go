@@ -26,6 +26,7 @@ import (
 	"nonmask/internal/protocols/threestate"
 	"nonmask/internal/protocols/tokenring"
 	"nonmask/internal/protocols/xyz"
+	"nonmask/internal/verify"
 )
 
 // Params is the instance-size parameter vector shared by every catalog
@@ -535,6 +536,33 @@ func Validate(name string, p Params) error {
 		return fmt.Errorf("%s: %w", name, err)
 	}
 	return nil
+}
+
+// ConstraintSpecs returns the instance's invariant conjuncts as
+// recovery-cost specs for the quantitative metrics analyses, in
+// declaration (layer) order. Instances built without the paper's layered
+// design method (plain programs like threestate or fourstate) expose no
+// constraint decomposition and yield nil — the metrics then report only
+// the whole-invariant numbers.
+func ConstraintSpecs(inst *Instance) []verify.ConstraintSpec {
+	if inst == nil {
+		return nil
+	}
+	if inst.Design != nil && inst.Design.Set != nil {
+		specs := make([]verify.ConstraintSpec, 0, len(inst.Design.Set.Constraints))
+		for _, c := range inst.Design.Set.Constraints {
+			specs = append(specs, verify.ConstraintSpec{Name: c.Pred.Name, Pred: c.Pred})
+		}
+		return specs
+	}
+	// Plain instances have no constraint set; the declared convergence
+	// stair is the next best per-layer breakdown (each stair predicate is
+	// a "holds and stays held" milestone on the way to S).
+	specs := make([]verify.ConstraintSpec, 0, len(inst.Stair))
+	for _, pred := range inst.Stair {
+		specs = append(specs, verify.ConstraintSpec{Name: pred.Name, Pred: pred})
+	}
+	return specs
 }
 
 // Build normalizes parameters and constructs the named instance.

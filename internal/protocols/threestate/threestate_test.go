@@ -1,6 +1,7 @@
 package threestate
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -25,7 +26,7 @@ func TestStabilizes(t *testing.T) {
 		if err != nil {
 			t.Fatalf("New(%d): %v", n, err)
 		}
-		sp, err := verify.NewSpace(inst.P, inst.S, program.True(), verify.Options{})
+		sp, err := verify.NewSpaceContext(context.Background(), inst.P, inst.S, program.True(), verify.Options{})
 		if err != nil {
 			t.Fatalf("NewSpace: %v", err)
 		}
@@ -193,7 +194,7 @@ func TestCirculationProved(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp, err := verify.NewSpace(inst.P, inst.S, inst.S, verify.Options{})
+	sp, err := verify.NewSpaceContext(context.Background(), inst.P, inst.S, inst.S, verify.Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}

@@ -1,6 +1,7 @@
 package tokenring
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -189,7 +190,7 @@ func TestRingStabilizesForLargeK(t *testing.T) {
 		if err != nil {
 			t.Fatalf("NewRing: %v", err)
 		}
-		sp, err := verify.NewSpace(inst.P, inst.S, program.True(), verify.Options{})
+		sp, err := verify.NewSpaceContext(context.Background(), inst.P, inst.S, program.True(), verify.Options{})
 		if err != nil {
 			t.Fatalf("NewSpace: %v", err)
 		}
@@ -213,7 +214,7 @@ func TestRingSmallKFails(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewRing: %v", err)
 	}
-	sp, err := verify.NewSpace(inst.P, inst.S, program.True(), verify.Options{})
+	sp, err := verify.NewSpaceContext(context.Background(), inst.P, inst.S, program.True(), verify.Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -346,7 +347,7 @@ func TestRingCirculationProved(t *testing.T) {
 		t.Fatalf("NewRing: %v", err)
 	}
 	// Region = S (after stabilization); closure of S is checked elsewhere.
-	sp, err := verify.NewSpace(inst.P, inst.S, inst.S, verify.Options{})
+	sp, err := verify.NewSpaceContext(context.Background(), inst.P, inst.S, inst.S, verify.Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}

@@ -137,6 +137,29 @@ type BatchJobRef struct {
 	Error   string   `json:"error,omitempty"`
 }
 
+// CurvePoint is one member's contribution to a batch's tolerance curve:
+// the instance parameters paired with its quantitative stabilization
+// metrics. A K-sweep over a token ring, for example, yields one point per
+// K value — the curve of recovery time against counter-domain size.
+type CurvePoint struct {
+	// Program is the member's instance-qualified program name.
+	Program string `json:"program"`
+	// N, K, and Seed are the member's normalized sweepable parameters.
+	N    int   `json:"n,omitempty"`
+	K    int   `json:"k,omitempty"`
+	Seed int64 `json:"seed,omitempty"`
+	// MaxDistance is the deepest fault in the member's distance profile.
+	MaxDistance int `json:"max_distance"`
+	// WorstMeasured / WorstSteps are the exact worst-case stabilization
+	// time (see ToleranceMetrics).
+	WorstMeasured bool `json:"worst_measured"`
+	WorstSteps    int  `json:"worst_steps"`
+	// ExpectedMeasured / ExpectedSteps are the expected stabilization time
+	// under the uniform-random daemon.
+	ExpectedMeasured bool    `json:"expected_measured"`
+	ExpectedSteps    float64 `json:"expected_steps"`
+}
+
 // BatchStatus is the wire form of a batch.
 type BatchStatus struct {
 	// ID addresses the batch in GET /v1/batches/{id}.
@@ -147,6 +170,11 @@ type BatchStatus struct {
 	Counts BatchCounts `json:"counts"`
 	// Jobs lists admitted members in admission order.
 	Jobs []BatchJobRef `json:"jobs"`
+	// Curve aggregates the members' tolerance metrics into one curve, in
+	// admission (sweep-expansion) order. Present only when members ran
+	// with the "metrics" analysis selected; members still in flight,
+	// failed, or without metrics contribute no point.
+	Curve []CurvePoint `json:"curve,omitempty"`
 	// SubmittedAt stamps admission; FinishedAt stamps the terminal
 	// transition (zero until then).
 	SubmittedAt time.Time `json:"submitted_at"`
@@ -205,6 +233,19 @@ func (b *batch) status() BatchStatus {
 			Cached: js.Cached, Error: js.Error}
 		if js.Result != nil {
 			ref.Verdict = js.Result.Verdict
+			if m := js.Result.Metrics; m != nil {
+				st.Curve = append(st.Curve, CurvePoint{
+					Program:          js.Program,
+					N:                j.c.params.N,
+					K:                j.c.params.K,
+					Seed:             j.c.params.Seed,
+					MaxDistance:      m.MaxDistance,
+					WorstMeasured:    m.WorstMeasured,
+					WorstSteps:       m.WorstSteps,
+					ExpectedMeasured: m.ExpectedMeasured,
+					ExpectedSteps:    m.ExpectedSteps,
+				})
+			}
 		}
 		st.Jobs = append(st.Jobs, ref)
 		if js.Coalesced {

@@ -55,6 +55,13 @@ func (c *cache) get(key string) (*Result, bool) {
 		// overwrite it.
 		return nil, false
 	}
+	// Records persisted before the wire format was versioned carry no
+	// schema_version; the compatibility policy (ResultSchemaVersion) says
+	// they are version 1. Verdict-only fields are unchanged since v1, so
+	// the record stays servable — it is re-stamped rather than discarded.
+	if res.SchemaVersion == 0 {
+		res.SchemaVersion = 1
+	}
 	c.mu.Lock()
 	c.insertLocked(key, &res)
 	c.mu.Unlock()

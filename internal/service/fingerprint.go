@@ -36,7 +36,16 @@ func optionsKey(o verify.Options) string {
 	if strat == 0 {
 		strat = verify.Projected
 	}
-	return fmt.Sprintf("max=%d strategy=%s", max, strat)
+	key := fmt.Sprintf("max=%d strategy=%s", max, strat)
+	// The analyses selector joins the key only when it changes the result
+	// payload: a metrics job must not be answered by a verdict-only cache
+	// line (it would lack the metrics block). Verdict-only keys stay
+	// byte-identical to pre-analyses versions, so existing persistent
+	// stores keep answering verdict jobs across the upgrade.
+	if o.Metrics {
+		key += " analyses=metrics"
+	}
+	return key
 }
 
 func digest(parts ...string) string {

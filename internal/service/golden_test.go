@@ -4,6 +4,7 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"nonmask/internal/gcl"
@@ -99,6 +100,102 @@ func TestGoldenGCLRoundTrip(t *testing.T) {
 			}
 			if st2.Result.Verdict != got.Verdict || st2.Result.States != got.States {
 				t.Errorf("cached result drifted: %+v vs %+v", st2.Result, got)
+			}
+		})
+	}
+}
+
+// TestGoldenMetricsWire submits every testdata/*.gcl with
+// analyses:["metrics"] and asserts the served metrics block is exactly
+// the wire rendering of a direct verify run with the same constraint
+// specs — the golden contract for the quantitative fields. It also pins
+// the schema_version stamp and that verdict-only jobs carry no block.
+func TestGoldenMetricsWire(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.gcl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata/*.gcl files found")
+	}
+	_, c := newTestServer(t, service.Config{})
+	ctx := context.Background()
+
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			file, err := gcl.Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := gcl.Compile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Same constraint specs the server derives from the module.
+			specs := make([]verify.ConstraintSpec, 0, len(m.Set.Constraints))
+			for _, cn := range m.Set.Constraints {
+				specs = append(specs, verify.ConstraintSpec{Name: cn.Pred.Name, Pred: cn.Pred})
+			}
+			rep, err := verify.Check(ctx, m.Program, m.S, m.T,
+				verify.WithMetrics(), verify.WithConstraints(specs...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := service.ResultFromReport(m.Name, rep)
+			if want.Metrics == nil {
+				t.Fatal("direct metrics run produced no metrics block")
+			}
+
+			st, err := c.Run(ctx, service.JobSpec{
+				Source:  string(src),
+				Options: service.JobOptions{Analyses: []string{service.AnalysisVerdict, service.AnalysisMetrics}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.State != service.StateDone || st.Result == nil {
+				t.Fatalf("service run ended %s: %s", st.State, st.Error)
+			}
+			got := st.Result
+			if got.SchemaVersion != service.ResultSchemaVersion {
+				t.Errorf("schema_version = %d, want %d", got.SchemaVersion, service.ResultSchemaVersion)
+			}
+			if !reflect.DeepEqual(got.Metrics, want.Metrics) {
+				t.Errorf("metrics block drifted:\nserved %+v\ndirect %+v", got.Metrics, want.Metrics)
+			}
+			if got.Verdict != want.Verdict {
+				t.Errorf("verdict: served %q, direct %q", got.Verdict, want.Verdict)
+			}
+
+			// A verdict-only submission of the same source must not carry a
+			// metrics block (and must not be answered by the metrics cache
+			// line, nor vice versa).
+			plain, err := c.Run(ctx, service.JobSpec{Source: string(src)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain.Result == nil || plain.Result.Metrics != nil {
+				t.Errorf("verdict-only result carries a metrics block: %+v", plain.Result)
+			}
+
+			// Resubmission with metrics is a cache hit with the block intact.
+			st2, err := c.Run(ctx, service.JobSpec{
+				Source:  string(src),
+				Options: service.JobOptions{Analyses: []string{service.AnalysisMetrics}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st2.Cached {
+				t.Error("metrics resubmission missed the cache")
+			}
+			if !reflect.DeepEqual(st2.Result.Metrics, got.Metrics) {
+				t.Error("cached metrics block drifted")
 			}
 		})
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"nonmask/internal/constraint"
 	"nonmask/internal/gcl"
 	"nonmask/internal/program"
 	"nonmask/internal/protocols/registry"
@@ -37,7 +38,23 @@ type JobOptions struct {
 	// DeadlineMS bounds the check's wall-clock time in milliseconds
 	// (0 = server default; capped at the server's maximum).
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Analyses selects what the job computes. "verdict" (the closure /
+	// convergence / classification check) is always on and is the default
+	// when the list is empty; adding "metrics" additionally runs the
+	// quantitative tolerance analyses and attaches the result's "metrics"
+	// block. Unknown analysis names are rejected at submission (400).
+	Analyses []string `json:"analyses,omitempty"`
 }
+
+// Analysis names accepted in JobOptions.Analyses.
+const (
+	// AnalysisVerdict is the boolean closure/convergence check; always
+	// computed, listing it is allowed but redundant.
+	AnalysisVerdict = "verdict"
+	// AnalysisMetrics adds the quantitative tolerance metrics: distance
+	// profile, worst/expected stabilization times, per-constraint costs.
+	AnalysisMetrics = "metrics"
+)
 
 // JobState enumerates a job's lifecycle.
 type JobState string
@@ -94,6 +111,14 @@ type compiled struct {
 	s, t *program.Predicate
 	key  string
 	opts verify.Options
+	// constraints are the invariant conjuncts the metrics analyses break
+	// recovery costs down by (empty without a layered design, or when the
+	// job did not select metrics).
+	constraints []verify.ConstraintSpec
+	// protocol and params identify a catalog job for batch curve
+	// aggregation (empty/zero for GCL source jobs).
+	protocol string
+	params   registry.Params
 }
 
 // verifyOptions resolves wire options against server defaults.
@@ -118,6 +143,17 @@ func (o JobOptions) verifyOptions(cfg Config) (verify.Options, error) {
 		deadline = cfg.MaxDeadline
 	}
 	opts.Deadline = deadline
+	for _, a := range o.Analyses {
+		switch a {
+		case AnalysisVerdict:
+			// Always computed.
+		case AnalysisMetrics:
+			opts.Metrics = true
+		default:
+			return opts, fmt.Errorf("unknown analysis %q (want %s | %s)",
+				a, AnalysisVerdict, AnalysisMetrics)
+		}
+	}
 	return opts, nil
 }
 
@@ -146,12 +182,13 @@ func compileSpec(spec JobSpec, cfg Config) (*compiled, error) {
 			return nil, fmt.Errorf("compile: %w", err)
 		}
 		return &compiled{
-			name: m.Name,
-			prog: m.Program,
-			s:    m.S,
-			t:    m.T,
-			key:  fingerprintSource(canonical, opts),
-			opts: opts,
+			name:        m.Name,
+			prog:        m.Program,
+			s:           m.S,
+			t:           m.T,
+			key:         fingerprintSource(canonical, opts),
+			opts:        opts,
+			constraints: specsFromSet(m.Set),
 		}, nil
 	case spec.Protocol != "":
 		params, err := registry.Normalize(spec.Protocol, spec.Params)
@@ -168,16 +205,33 @@ func compileSpec(spec JobSpec, cfg Config) (*compiled, error) {
 			return nil, err
 		}
 		return &compiled{
-			name: inst.Name,
-			prog: inst.Program,
-			s:    inst.S,
-			t:    inst.T,
-			key:  fingerprintProtocol(spec.Protocol, params, opts),
-			opts: opts,
+			name:        inst.Name,
+			prog:        inst.Program,
+			s:           inst.S,
+			t:           inst.T,
+			key:         fingerprintProtocol(spec.Protocol, params, opts),
+			opts:        opts,
+			constraints: registry.ConstraintSpecs(inst),
+			protocol:    spec.Protocol,
+			params:      params,
 		}, nil
 	default:
 		return nil, fmt.Errorf("job sets neither source nor protocol")
 	}
+}
+
+// specsFromSet converts a compiled constraint decomposition into the
+// metric engine's cost specs, in declaration order. Nil-safe: GCL modules
+// without invariants (or with a bare program) yield no specs.
+func specsFromSet(set *constraint.Set) []verify.ConstraintSpec {
+	if set == nil {
+		return nil
+	}
+	specs := make([]verify.ConstraintSpec, 0, len(set.Constraints))
+	for _, c := range set.Constraints {
+		specs = append(specs, verify.ConstraintSpec{Name: c.Pred.Name, Pred: c.Pred})
+	}
+	return specs
 }
 
 // validateStatic rejects option values that verify.Check would reject, so

@@ -7,6 +7,18 @@ import (
 	"nonmask/internal/verify"
 )
 
+// ResultSchemaVersion is the current Result wire-format version, stamped
+// into every freshly computed Result's "schema_version" field.
+//
+// Compatibility policy (DESIGN §10): the version bumps only on breaking
+// changes — a field removed, renamed, or re-interpreted. Purely additive
+// fields (new optional blocks like "metrics") do NOT bump the version.
+// Consumers must ignore unknown fields and treat an absent schema_version
+// as version 1 (results persisted before versioning existed). Version 2
+// introduced the selectable-analyses API: the optional "metrics" block and
+// the schema_version field itself.
+const ResultSchemaVersion = 2
+
 // Verdict values for Result.Verdict.
 const (
 	// VerdictSatisfied means the checked triple met the paper's definition
@@ -41,10 +53,91 @@ type Convergence struct {
 	Summary string `json:"summary"`
 }
 
+// ConstraintCostResult is the wire form of one constraint's recovery cost
+// inside a metrics block ("holds and stays held": the target is the
+// constraint's stable subset, not its first satisfaction).
+type ConstraintCostResult struct {
+	// Name labels the constraint (its predicate name).
+	Name string `json:"name"`
+	// Measured reports whether the cost exists: every daemon is forced
+	// into the constraint's stable subset from everywhere in T.
+	Measured bool `json:"measured"`
+	// WorstSteps is the exact worst-case step count until the constraint
+	// holds and keeps holding (valid when Measured).
+	WorstSteps int `json:"worst_steps"`
+	// StableStates counts the T states where the constraint holds and,
+	// under any daemon, keeps holding.
+	StableStates int64 `json:"stable_states"`
+}
+
+// ToleranceMetrics is the wire form of the quantitative tolerance
+// analyses, present on a Result only when the job selected the "metrics"
+// analysis. Each group carries its own validity flag because the numbers
+// exist under different conditions (see verify.ToleranceMetrics).
+type ToleranceMetrics struct {
+	// Profile is the distance-to-invariant histogram over the fault span:
+	// Profile[d] counts T states whose shortest path to S takes d steps.
+	Profile []int64 `json:"profile"`
+	// MaxDistance is the largest d with Profile[d] > 0.
+	MaxDistance int `json:"max_distance"`
+	// MeanDistance is the mean shortest distance over reachable T states.
+	MeanDistance float64 `json:"mean_distance"`
+	// UnreachableStates counts T states with no path to S.
+	UnreachableStates int64 `json:"unreachable_states"`
+	// WorstMeasured reports whether worst-case stabilization time exists
+	// (arbitrary-daemon convergence holds); WorstSteps and MeanWorstSteps
+	// are valid only when it does.
+	WorstMeasured  bool    `json:"worst_measured"`
+	WorstSteps     int     `json:"worst_steps"`
+	MeanWorstSteps float64 `json:"mean_worst_steps"`
+	// ExpectedMeasured reports whether the expected stabilization time
+	// under the uniform-random daemon exists for every T state.
+	ExpectedMeasured  bool    `json:"expected_measured"`
+	ExpectedSteps     float64 `json:"expected_steps"`
+	MeanExpectedSteps float64 `json:"mean_expected_steps"`
+	// ExpectedIterations is the number of value-iteration sweeps run.
+	ExpectedIterations int `json:"expected_iterations"`
+	// Constraints is the per-constraint recovery-cost breakdown, in the
+	// design's declaration order; empty when the program has no layered
+	// constraint decomposition.
+	Constraints []ConstraintCostResult `json:"constraints,omitempty"`
+}
+
+// metricsJSON converts the checker's metrics into the wire form.
+func metricsJSON(m *verify.ToleranceMetrics) *ToleranceMetrics {
+	if m == nil {
+		return nil
+	}
+	out := &ToleranceMetrics{
+		Profile:            m.Profile,
+		MaxDistance:        m.MaxDistance,
+		MeanDistance:       m.MeanDistance,
+		UnreachableStates:  m.UnreachableStates,
+		WorstMeasured:      m.WorstMeasured,
+		WorstSteps:         m.WorstSteps,
+		MeanWorstSteps:     m.MeanWorstSteps,
+		ExpectedMeasured:   m.ExpectedMeasured,
+		ExpectedSteps:      m.ExpectedSteps,
+		MeanExpectedSteps:  m.MeanExpectedSteps,
+		ExpectedIterations: m.ExpectedIterations,
+	}
+	for _, c := range m.Constraints {
+		out.Constraints = append(out.Constraints, ConstraintCostResult{
+			Name: c.Name, Measured: c.Measured,
+			WorstSteps: c.WorstSteps, StableStates: c.StableStates,
+		})
+	}
+	return out
+}
+
 // Result is the machine-readable verdict of one verification: the JSON
 // encoding shared by the service's job API, csverify -json, and
 // gclrun -json, so every entry point emits the same shape.
 type Result struct {
+	// SchemaVersion is the wire-format version this result was rendered
+	// with (see ResultSchemaVersion for the compatibility policy). Zero in
+	// decoded JSON means a pre-versioning (version 1) producer.
+	SchemaVersion int `json:"schema_version"`
 	// Program is the checked program's name.
 	Program string `json:"program"`
 	// States is the size of the enumerated state space.
@@ -71,6 +164,9 @@ type Result struct {
 	Daemon string `json:"daemon,omitempty"`
 	// Verdict is "satisfied" or "violated" (see Report.Tolerant).
 	Verdict string `json:"verdict"`
+	// Metrics is the quantitative tolerance analysis, present only when
+	// the job selected the "metrics" analysis.
+	Metrics *ToleranceMetrics `json:"metrics,omitempty"`
 	// Passes is the per-pass breakdown of the check: one span per
 	// verifier pass with exact state counts and wall time (see
 	// internal/obs and DESIGN §8). For a cached result it describes the
@@ -103,6 +199,7 @@ func convergenceJSON(r *verify.ConvergenceResult) *Convergence {
 // know the name they checked).
 func ResultFromReport(name string, rep *verify.Report) *Result {
 	res := &Result{
+		SchemaVersion:  ResultSchemaVersion,
 		Program:        name,
 		States:         rep.Space.Count,
 		StatesS:        rep.Space.CountS(),
@@ -124,6 +221,7 @@ func ResultFromReport(name string, rep *verify.Report) *Result {
 		res.Daemon = DaemonWeaklyFair
 	}
 	res.Passes = rep.PassStats()
+	res.Metrics = metricsJSON(rep.Metrics)
 	if rep.Tolerant() {
 		res.Verdict = VerdictSatisfied
 	} else {

@@ -518,7 +518,8 @@ func (s *Server) runJob(j *job) {
 	// The per-job LogTracer streams each pass span as a debug record tagged
 	// with the job id, in addition to the report's own span collection.
 	rep, err := verify.Check(ctx, j.c.prog, j.c.s, j.c.t,
-		verify.WithOptions(j.c.opts), verify.WithTracer(obs.LogTracer{Logger: jlog}))
+		verify.WithOptions(j.c.opts), verify.WithConstraints(j.c.constraints...),
+		verify.WithTracer(obs.LogTracer{Logger: jlog}))
 	now := time.Now()
 	if err != nil {
 		state := StateFailed

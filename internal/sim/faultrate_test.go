@@ -100,8 +100,7 @@ func TestAvailabilityDecreasesWithRate(t *testing.T) {
 			RateInjector: &fault.CorruptGroups{Groups: groups, K: 1},
 		}
 		rng := rand.New(rand.NewSource(9))
-		avail, _ := r.Availability(p.Schema.NewState(), rng)
-		return avail
+		return r.Availability(p.Schema.NewState(), rng).Availability
 	}
 	clean := measure(0)
 	light := measure(0.01)
@@ -117,6 +116,62 @@ func TestAvailabilityDecreasesWithRate(t *testing.T) {
 	}
 	if heavy > 0.95 {
 		t.Errorf("heavy-fault availability = %.3f, suspiciously high", heavy)
+	}
+}
+
+// TestAvailabilityDistanceObservable wires the runner's Distance to the
+// chain's exact shortest-path distance (the number of out-of-sync links,
+// since each sync action heals exactly one) and checks the aggregate
+// behaves like the verifier's distance profile: zero on a fault-free run
+// from S, strictly positive under continuous corruption.
+func TestAvailabilityDistanceObservable(t *testing.T) {
+	p, S, groups := stabilizingChain(t)
+	x, y1, y2 := groups[0][0], groups[1][0], groups[2][0]
+	dist := func(st *program.State) int {
+		d := 0
+		if st.Get(y1) != st.Get(x) {
+			d++
+		}
+		if st.Get(y2) != st.Get(y1) {
+			d++
+		}
+		return d
+	}
+	measure := func(rate float64) AvailabilityStats {
+		r := &Runner{
+			P: p, S: S,
+			D:            daemon.NewRoundRobin(p),
+			MaxSteps:     20_000,
+			FaultRate:    rate,
+			RateInjector: &fault.CorruptGroups{Groups: groups, K: 1},
+			Distance:     dist,
+		}
+		return r.Availability(p.Schema.NewState(), rand.New(rand.NewSource(9)))
+	}
+	clean := measure(0)
+	if !clean.DistanceMeasured || clean.MeanDistance != 0 || clean.MaxDistance != 0 {
+		t.Errorf("fault-free distance stats = %+v, want measured mean 0 max 0", clean)
+	}
+	faulty := measure(0.3)
+	if !faulty.DistanceMeasured || faulty.MeanDistance <= 0 {
+		t.Errorf("faulty mean distance = %v, want > 0", faulty.MeanDistance)
+	}
+	if faulty.MaxDistance < 1 || faulty.MaxDistance > 2 {
+		t.Errorf("faulty max distance = %d, want within [1,2]", faulty.MaxDistance)
+	}
+}
+
+// TestAvailabilityWithoutDistance pins that a runner with no Distance
+// observable reports DistanceMeasured false rather than a fake zero.
+func TestAvailabilityWithoutDistance(t *testing.T) {
+	p, S, _ := stabilizingPair(t)
+	r := &Runner{P: p, S: S, D: daemon.NewRoundRobin(p), MaxSteps: 100}
+	stats := r.Availability(p.Schema.NewState(), rand.New(rand.NewSource(1)))
+	if stats.DistanceMeasured {
+		t.Error("DistanceMeasured = true with no Distance observable")
+	}
+	if stats.Availability != 1 {
+		t.Errorf("availability from S without faults = %v, want 1", stats.Availability)
 	}
 }
 

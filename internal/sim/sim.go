@@ -46,6 +46,13 @@ type Runner struct {
 	// (after scheduled/rate injections, before action selection) — unlike
 	// OnStep it also fires on quiescent iterations under FaultRate.
 	OnTick func(step int, st *program.State)
+	// Distance, when non-nil, scores a state with its distance to the
+	// invariant. For comparability with the verifier, wire it to the exact
+	// shortest-path table (verify's Space.DistancesContext) whenever the
+	// instance is enumerable — that is the observable the metrics passes
+	// define. A negative score means "unmeasured" (e.g. a state outside
+	// the fault span) and is excluded from aggregates.
+	Distance func(st *program.State) int
 }
 
 // DefaultMaxSteps bounds runs whose Runner does not set MaxSteps.
@@ -67,25 +74,54 @@ type Result struct {
 	Final *program.State
 	// ActionCounts tallies executed actions by kind.
 	ActionCounts map[program.ActionKind]int
-	// ViolationsAtStart counts constraints violated at the initial state
-	// when the runner is given a ViolationCounter.
-	ViolationsAtStart int
 	// FaultsInjected counts rate-based injections during the run.
 	FaultsInjected int
 }
 
-// Availability measures the fraction of steps at which S held during a
-// run with continuous faults — the natural quality metric for nonmasking
-// programs (the input-output relation is "violated only temporarily"; this
+// AvailabilityStats aggregates what one Availability probe observed.
+type AvailabilityStats struct {
+	// Availability is the fraction of observed ticks at which S held.
+	Availability float64
+	// Ticks is the number of observed loop iterations.
+	Ticks int
+	// FaultsInjected counts rate-based injections during the run.
+	FaultsInjected int
+	// DistanceMeasured reports whether the runner had a Distance
+	// observable and at least one tick scored non-negative.
+	DistanceMeasured bool
+	// MeanDistance and MaxDistance aggregate the distance-to-invariant
+	// observable over the measured ticks. When Runner.Distance is backed
+	// by the verifier's exact shortest-path table these are in the same
+	// unit as the checker's distance profile, so sampled and exact
+	// numbers compare directly.
+	MeanDistance float64
+	MaxDistance  int
+}
+
+// Availability measures how the invariant fares during a run with
+// continuous faults — the natural quality metric for nonmasking programs
+// (the input-output relation is "violated only temporarily"; this
 // quantifies how temporarily). It re-runs the runner with an observing
-// hook and returns (fraction of observed states in S, faults injected).
-func (r *Runner) Availability(init *program.State, rng *rand.Rand) (float64, int) {
-	inS, total := 0, 0
+// hook and reports the fraction of ticks in S plus, when the runner has a
+// Distance observable, the mean and peak distance to the invariant.
+func (r *Runner) Availability(init *program.State, rng *rand.Rand) AvailabilityStats {
+	var stats AvailabilityStats
+	inS, measured := 0, 0
+	distSum := 0.0
 	prev := r.OnTick
 	r.OnTick = func(step int, st *program.State) {
-		total++
+		stats.Ticks++
 		if r.S.Holds(st) {
 			inS++
+		}
+		if r.Distance != nil {
+			if d := r.Distance(st); d >= 0 {
+				measured++
+				distSum += float64(d)
+				if d > stats.MaxDistance {
+					stats.MaxDistance = d
+				}
+			}
 		}
 		if prev != nil {
 			prev(step, st)
@@ -93,10 +129,15 @@ func (r *Runner) Availability(init *program.State, rng *rand.Rand) (float64, int
 	}
 	defer func() { r.OnTick = prev }()
 	res := r.Run(init, rng)
-	if total == 0 {
-		return 0, res.FaultsInjected
+	stats.FaultsInjected = res.FaultsInjected
+	if stats.Ticks > 0 {
+		stats.Availability = float64(inS) / float64(stats.Ticks)
 	}
-	return float64(inS) / float64(total), res.FaultsInjected
+	if measured > 0 {
+		stats.DistanceMeasured = true
+		stats.MeanDistance = distSum / float64(measured)
+	}
+	return stats
 }
 
 // String renders a one-line result.
@@ -108,12 +149,6 @@ func (r *Result) String() string {
 		return fmt.Sprintf("did not converge within %d steps", r.TotalSteps)
 	}
 	return fmt.Sprintf("converged in %d steps", r.Steps)
-}
-
-// ViolationCounter lets the runner report how many constraints were
-// violated initially; protocols provide it via their constraint sets.
-type ViolationCounter interface {
-	ViolatedCount(*program.State) int
 }
 
 // Run executes one run from the given initial state. The initial state is

@@ -113,6 +113,23 @@ func BenchmarkCheckTracerOverheadNop(b *testing.B) {
 	benchCheckTraced(b, verify.WithTracer(obs.Nop{}), verify.WithProgress(&obs.Progress{}))
 }
 
+// BenchmarkCheckMetricsOff is the analyses-API overhead guard: a
+// verdict-only Check after the metrics engine landed. The contract is
+// that it stays within 5% of BenchmarkCheckTracerOverheadOff as recorded
+// before the metrics passes existed — when off, the plumbing costs one
+// Options field test after the verdict passes and nothing in the hot
+// loops. Compare against BenchmarkCheckMetricsOn for what opting in
+// pays:
+//
+//	go test ./internal/verify -bench 'CheckMetrics' -benchtime 5x -run '^$'
+func BenchmarkCheckMetricsOff(b *testing.B) { benchCheckTraced(b) }
+
+// BenchmarkCheckMetricsOn runs the same 1<<20-state check with the full
+// metrics suite (distance profile, worst + expected stabilization).
+func BenchmarkCheckMetricsOn(b *testing.B) {
+	benchCheckTraced(b, verify.WithMetrics())
+}
+
 // benchCheckDiffusing1M runs the full Check on the 1M-state diffusing
 // instance, the workload the CSR-vs-fallback comparison is made on.
 func benchCheckDiffusing1M(b *testing.B, options ...verify.Option) {

@@ -37,6 +37,10 @@ type Report struct {
 	// Classification is Masking when S = T semantically, Nonmasking when
 	// faults can drive the program strictly outside S.
 	Classification Classification
+	// Metrics is the quantitative tolerance analysis (distance profile,
+	// worst/expected stabilization time, per-constraint recovery costs),
+	// present only when WithMetrics was given.
+	Metrics *ToleranceMetrics
 	// Passes records one span per verifier pass the check ran, in
 	// completion order: the exact state counts and wall time of
 	// enumeration, successor-table build, closure scans and convergence
@@ -160,6 +164,11 @@ func Check(ctx context.Context, p *program.Program, S, T *program.Predicate, opt
 	}
 	if !rep.Unfair.Converges {
 		if rep.Fair, err = sp.CheckFairConvergenceContext(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Metrics {
+		if rep.Metrics, err = sp.MetricsContext(ctx, extras.constraints); err != nil {
 			return nil, err
 		}
 	}

@@ -881,8 +881,24 @@ func (sp *Space) WorstDistances() ([]int32, bool) {
 
 // WorstDistancesContext is WorstDistances with cancellation. With the
 // successor table available the distances fall out of the sharded
-// fixpoint; otherwise a sequential memoized DFS recomputes them.
+// fixpoint; otherwise a sequential memoized DFS recomputes them. The
+// table is cached on the space: the metrics passes, the adversarial
+// daemon, and repeat callers all share one computation.
 func (sp *Space) WorstDistancesContext(ctx context.Context) ([]int32, bool, error) {
+	sp.stepsMu.Lock()
+	defer sp.stepsMu.Unlock()
+	if sp.stepsKnown {
+		return sp.stepsTab, sp.stepsOK, nil
+	}
+	steps, ok, err := sp.worstDistancesLocked(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	sp.stepsTab, sp.stepsOK, sp.stepsKnown = steps, ok, true
+	return steps, ok, nil
+}
+
+func (sp *Space) worstDistancesLocked(ctx context.Context) ([]int32, bool, error) {
 	if sp.idx != nil {
 		res, steps, err := sp.checkConvergenceKahn(ctx)
 		if err != nil {

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func mustSpace(t *testing.T, p *program.Program, S, T *program.Predicate) *Space {
 	t.Helper()
-	sp, err := NewSpace(p, S, T, Options{})
+	sp, err := NewSpaceContext(context.Background(), p, S, T, Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}

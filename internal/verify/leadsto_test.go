@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"testing"
 
 	"nonmask/internal/program"
@@ -26,7 +27,7 @@ func atPred(x program.VarID, v int32) *program.Predicate {
 
 func TestLeadsToOnCycle(t *testing.T) {
 	p, x := cyclic(t, 5)
-	sp, err := NewSpace(p, program.False(), program.True(), Options{})
+	sp, err := NewSpaceContext(context.Background(), p, program.False(), program.True(), Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -62,7 +63,7 @@ func TestLeadsToFailsOnBranch(t *testing.T) {
 			func(st *program.State) bool { return st.Get(x) == 1 },
 			func(st *program.State) {}),
 	)
-	sp, err := NewSpace(p, program.False(), program.True(), Options{})
+	sp, err := NewSpaceContext(context.Background(), p, program.False(), program.True(), Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -95,7 +96,7 @@ func TestLeadsToFairVsUnfair(t *testing.T) {
 			func(st *program.State) bool { return st.Get(x) == 0 },
 			func(st *program.State) { st.Set(x, 1) }),
 	)
-	sp, err := NewSpace(p, program.False(), program.True(), Options{})
+	sp, err := NewSpaceContext(context.Background(), p, program.False(), program.True(), Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -116,7 +117,7 @@ func TestLeadsToDeadlockWitness(t *testing.T) {
 		[]program.VarID{x}, []program.VarID{x},
 		func(st *program.State) bool { return st.Get(x) == 0 },
 		func(st *program.State) { st.Set(x, 1) }))
-	sp, err := NewSpace(p, program.False(), program.True(), Options{})
+	sp, err := NewSpaceContext(context.Background(), p, program.False(), program.True(), Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -131,7 +132,7 @@ func TestLeadsToDeadlockWitness(t *testing.T) {
 
 func TestLeadsToVacuous(t *testing.T) {
 	p, x := cyclic(t, 3)
-	sp, err := NewSpace(p, program.False(), program.True(), Options{})
+	sp, err := NewSpaceContext(context.Background(), p, program.False(), program.True(), Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -163,7 +164,7 @@ func TestLeadsToRespectsRegion(t *testing.T) {
 		func(st *program.State) bool { return st.Get(x) <= 1 })
 	S := program.NewPredicate("x=0", []program.VarID{x},
 		func(st *program.State) bool { return st.Get(x) == 0 })
-	sp, err := NewSpace(p, S, T, Options{})
+	sp, err := NewSpaceContext(context.Background(), p, S, T, Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}

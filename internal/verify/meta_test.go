@@ -14,6 +14,7 @@ package verify
 //	(4) a computed fault-span contains its initial region and is closed.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -65,7 +66,7 @@ func TestMetaUnfairImpliesFair(t *testing.T) {
 	checkedConvergent := 0
 	for trial := 0; trial < 300; trial++ {
 		p, S := randomProgram(rng, 2, 2, 2+rng.Intn(2))
-		sp, err := NewSpace(p, S, program.True(), Options{})
+		sp, err := NewSpaceContext(context.Background(), p, S, program.True(), Options{})
 		if err != nil {
 			t.Fatalf("NewSpace: %v", err)
 		}
@@ -97,7 +98,7 @@ func TestMetaWorstDistancesIsVariant(t *testing.T) {
 	checked := 0
 	for trial := 0; trial < 200; trial++ {
 		p, S := randomProgram(rng, 2, 2, 2)
-		sp, err := NewSpace(p, S, program.True(), Options{})
+		sp, err := NewSpaceContext(context.Background(), p, S, program.True(), Options{})
 		if err != nil {
 			t.Fatalf("NewSpace: %v", err)
 		}
@@ -175,11 +176,11 @@ func TestMetaProjectedEqualsExhaustive(t *testing.T) {
 			return predTable[cproj(st)]
 		})
 
-		ex, err := CheckPreserves(s, act, pred, nil, Options{})
+		ex, err := CheckPreservesContext(context.Background(), s, act, pred, nil, Options{})
 		if err != nil {
 			t.Fatalf("exhaustive: %v", err)
 		}
-		pr, err := CheckPreservesProjected(s, act, pred, nil, Options{})
+		pr, err := CheckPreservesProjectedContext(context.Background(), s, act, pred, nil, Options{})
 		if err != nil {
 			t.Fatalf("projected: %v", err)
 		}
@@ -198,7 +199,7 @@ func TestMetaFaultSpanClosedAndContainsInit(t *testing.T) {
 			nil, []program.VarID{0},
 			func(st *program.State) bool { return true },
 			func(st *program.State) { st.Set(0, (st.Get(0)+1)%3) })}
-		res, err := FaultSpan(p, faults, S, Options{})
+		res, err := FaultSpanContext(context.Background(), p, faults, S, Options{})
 		if err != nil {
 			t.Fatalf("FaultSpan: %v", err)
 		}

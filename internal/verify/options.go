@@ -46,6 +46,12 @@ type Options struct {
 	// work chunk and reset at pass boundaries; sample it from another
 	// goroutine with Progress.Watch. Nil costs the loops one nil-check.
 	Progress *obs.Progress
+	// Metrics makes Check additionally run the quantitative
+	// tolerance-metrics passes (distance profile, worst/expected
+	// stabilization time, per-constraint recovery costs) and attach the
+	// result to Report.Metrics. Off by default: the verdict path pays
+	// nothing for the plumbing.
+	Metrics bool
 }
 
 // validate rejects malformed options. Every entry point of this package
@@ -93,7 +99,8 @@ type Option func(*Options, *checkExtras)
 // checkExtras holds Check-only configuration that does not belong on the
 // Options struct shared with the legacy entry points.
 type checkExtras struct {
-	faults []*program.Action
+	faults      []*program.Action
+	constraints []ConstraintSpec
 }
 
 // WithWorkers shards enumeration and fixpoint passes across n goroutines.
@@ -145,6 +152,20 @@ func WithProgress(p *obs.Progress) Option {
 // the single Check entry point.
 func WithFaults(faults ...*program.Action) Option {
 	return func(_ *Options, e *checkExtras) { e.faults = faults }
+}
+
+// WithMetrics makes Check run the quantitative tolerance-metrics passes
+// after the verdict passes and attach a ToleranceMetrics to the report.
+// Combine with WithConstraints for the per-constraint cost breakdown.
+func WithMetrics() Option {
+	return func(o *Options, _ *checkExtras) { o.Metrics = true }
+}
+
+// WithConstraints supplies the invariant conjuncts the metrics passes
+// break recovery costs down by. It has no effect unless WithMetrics (or
+// Options.Metrics) is also set.
+func WithConstraints(specs ...ConstraintSpec) Option {
+	return func(_ *Options, e *checkExtras) { e.constraints = specs }
 }
 
 // WithOptions replaces the whole Options struct — the bridge for callers

@@ -111,13 +111,13 @@ func TestCheckDeadline(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappersStillWork pins the compatibility contract: the old
-// names answer exactly like the new entry points.
-func TestDeprecatedWrappersStillWork(t *testing.T) {
+// TestPerPassMatchesCheck pins the compatibility contract: the per-pass
+// Space methods answer exactly like the unified Check entry point.
+func TestPerPassMatchesCheck(t *testing.T) {
 	p, S := tinyProgram(t)
-	sp, err := NewSpace(p, S, program.True(), Options{})
+	sp, err := NewSpaceContext(context.Background(), p, S, program.True(), Options{})
 	if err != nil {
-		t.Fatalf("NewSpace: %v", err)
+		t.Fatalf("NewSpaceContext: %v", err)
 	}
 	res := sp.CheckConvergence()
 	rep, err := Check(context.Background(), p, S, nil)

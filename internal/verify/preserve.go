@@ -19,25 +19,18 @@ type PreserveResult struct {
 	Next *program.State
 }
 
-// CheckPreserves decides, by exhaustive enumeration, whether action a
-// preserves predicate c (paper Section 2: "an action of p preserves a state
-// predicate R iff starting from any state where the action is enabled and R
-// holds, executing the action yields a state where R holds").
+// CheckPreservesContext decides, by exhaustive enumeration, whether
+// action a preserves predicate c (paper Section 2: "an action of p
+// preserves a state predicate R iff starting from any state where the
+// action is enabled and R holds, executing the action yields a state
+// where R holds").
 //
 // The optional given predicates restrict attention to states where they all
 // hold — the conditional preservation used by Theorem 3 ("preserves each
 // constraint in that partition whenever all constraints in lower numbered
-// partitions hold").
-//
-// Deprecated: use CheckPreservesContext, or Preserves via Check's options.
-func CheckPreserves(schema *program.Schema, a *program.Action, c *program.Predicate,
-	given []*program.Predicate, opts Options) (*PreserveResult, error) {
-	return CheckPreservesContext(context.Background(), schema, a, c, given, opts)
-}
-
-// CheckPreservesContext is CheckPreserves with cancellation; the state scan
-// is sharded across opts.Workers goroutines and reports the counterexample
-// at the lowest state index regardless of worker count.
+// partitions hold"). The state scan is sharded across opts.Workers
+// goroutines and reports the counterexample at the lowest state index
+// regardless of worker count.
 func CheckPreservesContext(ctx context.Context, schema *program.Schema, a *program.Action,
 	c *program.Predicate, given []*program.Predicate, opts Options) (*PreserveResult, error) {
 	if err := opts.validate(); err != nil {
@@ -91,28 +84,18 @@ func newSchemaPairs(schema *program.Schema, workers int) []statePair {
 	return scr
 }
 
-// CheckPreservesProjected decides preservation by enumerating only the
-// variables in the action's footprint and the predicate's declared support;
-// all other variables are pinned at their domain minimum. It is equivalent
-// to CheckPreserves when footprints and supports are honest (see
-// program.AuditAction / program.AuditPredicate) and no given predicates are
-// supplied, while being exponentially cheaper for large programs whose
-// actions and constraints are local — exactly the structure the paper's
-// method exploits ("program actions can access and update only a limited
-// part of the program state").
+// CheckPreservesProjectedContext decides preservation by enumerating only
+// the variables in the action's footprint and the predicate's declared
+// support; all other variables are pinned at their domain minimum. It is
+// equivalent to CheckPreservesContext when footprints and supports are
+// honest (see program.AuditAction / program.AuditPredicate) and no given
+// predicates are supplied, while being exponentially cheaper for large
+// programs whose actions and constraints are local — exactly the
+// structure the paper's method exploits ("program actions can access and
+// update only a limited part of the program state").
 //
 // Given predicates are also projected: their supports join the enumerated
 // variable set.
-//
-// Deprecated: use CheckPreservesProjectedContext, or Preserves via Check's
-// options.
-func CheckPreservesProjected(schema *program.Schema, a *program.Action, c *program.Predicate,
-	given []*program.Predicate, opts Options) (*PreserveResult, error) {
-	return CheckPreservesProjectedContext(context.Background(), schema, a, c, given, opts)
-}
-
-// CheckPreservesProjectedContext is CheckPreservesProjected with
-// cancellation and a sharded projected scan.
 func CheckPreservesProjectedContext(ctx context.Context, schema *program.Schema, a *program.Action,
 	c *program.Predicate, given []*program.Predicate, opts Options) (*PreserveResult, error) {
 	if err := opts.validate(); err != nil {

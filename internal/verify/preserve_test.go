@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestCheckPreservesPaperExample(t *testing.T) {
 		func(st *program.State) bool { return st.Get(x) == st.Get(y) && st.Get(x) > 0 },
 		func(st *program.State) { st.Set(x, st.Get(x)-1) })
 
-	res, err := CheckPreserves(s, decX, leq, nil, Options{})
+	res, err := CheckPreservesContext(context.Background(), s, decX, leq, nil, Options{})
 	if err != nil {
 		t.Fatalf("CheckPreserves: %v", err)
 	}
@@ -53,7 +54,7 @@ func TestCheckPreservesViolation(t *testing.T) {
 		func(st *program.State) bool { return st.Get(x) == st.Get(y) && st.Get(x) < 4 },
 		func(st *program.State) { st.Set(x, st.Get(x)+1) })
 
-	res, err := CheckPreserves(s, incX, leq, nil, Options{})
+	res, err := CheckPreservesContext(context.Background(), s, incX, leq, nil, Options{})
 	if err != nil {
 		t.Fatalf("CheckPreserves: %v", err)
 	}
@@ -84,14 +85,14 @@ func TestCheckPreservesConditional(t *testing.T) {
 	lower := program.NewPredicate("a<=2", []program.VarID{a},
 		func(st *program.State) bool { return st.Get(a) <= 2 })
 
-	res, err := CheckPreserves(s, copyA, c, nil, Options{})
+	res, err := CheckPreservesContext(context.Background(), s, copyA, c, nil, Options{})
 	if err != nil {
 		t.Fatalf("CheckPreserves: %v", err)
 	}
 	if res.Preserves {
 		t.Error("copy preserves b<=2 unconditionally?")
 	}
-	res, err = CheckPreserves(s, copyA, c, []*program.Predicate{lower}, Options{})
+	res, err = CheckPreservesContext(context.Background(), s, copyA, c, []*program.Predicate{lower}, Options{})
 	if err != nil {
 		t.Fatalf("CheckPreserves: %v", err)
 	}
@@ -118,11 +119,11 @@ func TestProjectedAgreesWithExhaustive(t *testing.T) {
 	}
 	for _, a := range actions {
 		for _, c := range []*program.Predicate{neq, leq} {
-			ex, err := CheckPreserves(s, a, c, nil, Options{})
+			ex, err := CheckPreservesContext(context.Background(), s, a, c, nil, Options{})
 			if err != nil {
 				t.Fatalf("exhaustive: %v", err)
 			}
-			pr, err := CheckPreservesProjected(s, a, c, nil, Options{})
+			pr, err := CheckPreservesProjectedContext(context.Background(), s, a, c, nil, Options{})
 			if err != nil {
 				t.Fatalf("projected: %v", err)
 			}
@@ -145,10 +146,10 @@ func TestProjectedScalesToWideSchemas(t *testing.T) {
 	c := program.NewPredicate("v1>=v0", []program.VarID{ids[0], ids[1]},
 		func(st *program.State) bool { return st.Get(ids[1]) >= st.Get(ids[0]) })
 
-	if _, err := CheckPreserves(s, a, c, nil, Options{}); err == nil {
+	if _, err := CheckPreservesContext(context.Background(), s, a, c, nil, Options{}); err == nil {
 		t.Error("exhaustive check on 10^40 space succeeded")
 	}
-	res, err := CheckPreservesProjected(s, a, c, nil, Options{})
+	res, err := CheckPreservesProjectedContext(context.Background(), s, a, c, nil, Options{})
 	if err != nil {
 		t.Fatalf("projected: %v", err)
 	}
@@ -225,7 +226,7 @@ func TestFaultSpan(t *testing.T) {
 	init := program.NewPredicate("x=0", []program.VarID{x},
 		func(st *program.State) bool { return st.Get(x) == 0 })
 
-	res, err := FaultSpan(p, []*program.Action{fault}, init, Options{})
+	res, err := FaultSpanContext(context.Background(), p, []*program.Action{fault}, init, Options{})
 	if err != nil {
 		t.Fatalf("FaultSpan: %v", err)
 	}
@@ -252,7 +253,7 @@ func TestFaultSpanEmptyInit(t *testing.T) {
 	s := program.NewSchema()
 	s.MustDeclare("x", program.Bool())
 	p := program.New("p", s)
-	if _, err := FaultSpan(p, nil, program.False(), Options{}); err == nil {
+	if _, err := FaultSpanContext(context.Background(), p, nil, program.False(), Options{}); err == nil {
 		t.Error("FaultSpan with empty init succeeded")
 	}
 }
@@ -273,12 +274,12 @@ func TestFaultSpanIsClosedUnderProgramAndFaults(t *testing.T) {
 		func(st *program.State) { st.Set(x, st.Get(x)+1) })
 	init := program.NewPredicate("x=1", []program.VarID{x},
 		func(st *program.State) bool { return st.Get(x) == 1 })
-	res, err := FaultSpan(p, []*program.Action{fault}, init, Options{})
+	res, err := FaultSpanContext(context.Background(), p, []*program.Action{fault}, init, Options{})
 	if err != nil {
 		t.Fatalf("FaultSpan: %v", err)
 	}
 	all := p.Union("with-faults", fault)
-	sp, err := NewSpace(all, res.Span, program.True(), Options{})
+	sp, err := NewSpaceContext(context.Background(), all, res.Span, program.True(), Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}

@@ -25,6 +25,7 @@ package verify
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"nonmask/internal/program"
 )
@@ -49,20 +50,22 @@ type Space struct {
 	// built at most once per Check. nil when the edge set exceeds
 	// succIndexBudget (the passes then recompute successors on the fly).
 	idx *succIndex
+
+	// stepsMu guards the WorstDistances cache: the exact worst-case
+	// distance table, computed at most once per space (the metrics passes
+	// and the adversarial daemon both consume it).
+	stepsMu    sync.Mutex
+	stepsTab   []int32
+	stepsOK    bool
+	stepsKnown bool
 }
 
-// NewSpace enumerates the program's state space and evaluates S and T at
-// every state. It fails if the space exceeds opts.MaxStates.
-//
-// Deprecated: use Check for the full verdict bundle, or NewSpaceContext to
-// build a cancellable space for individual passes.
-func NewSpace(p *program.Program, S, T *program.Predicate, opts Options) (*Space, error) {
-	return NewSpaceContext(context.Background(), p, S, T, opts)
-}
-
-// NewSpaceContext is NewSpace with cancellation: enumeration, predicate
-// evaluation and successor-table construction are sharded across
-// opts.Workers goroutines and poll ctx between chunks.
+// NewSpaceContext enumerates the program's state space and evaluates S
+// and T at every state, failing if the space exceeds opts.MaxStates.
+// Enumeration, predicate evaluation and successor-table construction are
+// sharded across opts.Workers goroutines and poll ctx between chunks.
+// Most callers want Check instead; NewSpaceContext is for follow-up
+// passes on a space without a full verdict bundle.
 func NewSpaceContext(ctx context.Context, p *program.Program, S, T *program.Predicate, opts Options) (*Space, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -25,7 +26,7 @@ func counter(t *testing.T, max, target int32) (*program.Program, *program.Predic
 
 func TestNewSpaceBasics(t *testing.T) {
 	p, S, _ := counter(t, 5, 5)
-	sp, err := NewSpace(p, S, program.True(), Options{})
+	sp, err := NewSpaceContext(context.Background(), p, S, program.True(), Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -50,7 +51,7 @@ func TestNewSpaceRejectsHugeSpace(t *testing.T) {
 	s := program.NewSchema()
 	s.MustDeclareArray("x", 8, program.IntRange(0, 999))
 	p := program.New("huge", s)
-	_, err := NewSpace(p, program.True(), program.True(), Options{})
+	_, err := NewSpaceContext(context.Background(), p, program.True(), program.True(), Options{})
 	if err == nil || !strings.Contains(err.Error(), "too large") {
 		t.Errorf("NewSpace on huge space: %v", err)
 	}
@@ -60,7 +61,7 @@ func TestNewSpaceRejectsSNotSubsetT(t *testing.T) {
 	p, S, x := counter(t, 5, 5)
 	T := program.NewPredicate("x<3", []program.VarID{x},
 		func(st *program.State) bool { return st.Get(x) < 3 })
-	_, err := NewSpace(p, S, T, Options{})
+	_, err := NewSpaceContext(context.Background(), p, S, T, Options{})
 	if err == nil || !strings.Contains(err.Error(), "S does not imply T") {
 		t.Errorf("NewSpace with S ⊄ T: %v", err)
 	}
@@ -68,7 +69,7 @@ func TestNewSpaceRejectsSNotSubsetT(t *testing.T) {
 
 func TestCheckClosedHolds(t *testing.T) {
 	p, S, x := counter(t, 5, 5)
-	sp, err := NewSpace(p, S, program.True(), Options{})
+	sp, err := NewSpaceContext(context.Background(), p, S, program.True(), Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -86,7 +87,7 @@ func TestCheckClosedHolds(t *testing.T) {
 
 func TestCheckClosedViolation(t *testing.T) {
 	p, S, x := counter(t, 5, 5)
-	sp, err := NewSpace(p, S, program.True(), Options{})
+	sp, err := NewSpaceContext(context.Background(), p, S, program.True(), Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -114,7 +115,7 @@ func TestCheckClosedViolation(t *testing.T) {
 func TestClassify(t *testing.T) {
 	p, S, _ := counter(t, 5, 5)
 
-	masking, err := NewSpace(p, S, S, Options{})
+	masking, err := NewSpaceContext(context.Background(), p, S, S, Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -122,7 +123,7 @@ func TestClassify(t *testing.T) {
 		t.Errorf("Classify = %v, want Masking", got)
 	}
 
-	nonmasking, err := NewSpace(p, S, program.True(), Options{})
+	nonmasking, err := NewSpaceContext(context.Background(), p, S, program.True(), Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}

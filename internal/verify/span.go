@@ -21,22 +21,15 @@ type SpanResult struct {
 	Total int64
 }
 
-// FaultSpan computes the smallest closed fault-span containing the initial
-// region: the set of states reachable from any init state by program
-// actions and the given fault actions. This mechanizes the paper's view
-// that "all classes of faults can be represented as actions that change the
-// program state" (Section 3).
-//
-// Deprecated: use Check with WithFaults, or FaultSpanContext.
-func FaultSpan(p *program.Program, faults []*program.Action, init *program.Predicate,
-	opts Options) (*SpanResult, error) {
-	return FaultSpanContext(context.Background(), p, faults, init, opts)
-}
-
-// FaultSpanContext is FaultSpan with cancellation. The initial-region scan
-// and each BFS level are sharded across opts.Workers goroutines; frontier
-// deduplication uses atomic test-and-set on the span bitset, so the
-// computed span is exact for any worker count.
+// FaultSpanContext computes the smallest closed fault-span containing the
+// initial region: the set of states reachable from any init state by
+// program actions and the given fault actions. This mechanizes the
+// paper's view that "all classes of faults can be represented as actions
+// that change the program state" (Section 3). Check runs it when
+// WithFaults is given. The initial-region scan and each BFS level are
+// sharded across opts.Workers goroutines; frontier deduplication uses
+// atomic test-and-set on the span bitset, so the computed span is exact
+// for any worker count.
 func FaultSpanContext(ctx context.Context, p *program.Program, faults []*program.Action,
 	init *program.Predicate, opts Options) (*SpanResult, error) {
 	if err := opts.validate(); err != nil {

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -35,7 +36,7 @@ func twoPhase(t *testing.T) (*program.Program, *program.Predicate, *program.Pred
 
 func TestCheckStairAccepts(t *testing.T) {
 	p, mid, S := twoPhase(t)
-	sp, err := NewSpace(p, S, program.True(), Options{})
+	sp, err := NewSpaceContext(context.Background(), p, S, program.True(), Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -58,7 +59,7 @@ func TestCheckStairAccepts(t *testing.T) {
 
 func TestCheckStairRejectsUnnested(t *testing.T) {
 	p, _, S := twoPhase(t)
-	sp, err := NewSpace(p, S, program.True(), Options{})
+	sp, err := NewSpaceContext(context.Background(), p, S, program.True(), Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -77,7 +78,7 @@ func TestCheckStairRejectsOpenStage(t *testing.T) {
 	// construct explicitly: mid = a<=1 is closed (fix-a decreases a), but
 	// mid = a=1 is NOT closed (fix-a maps a=1 to a=0... that EXITS a=1).
 	p, _, S := twoPhase(t)
-	sp, err := NewSpace(p, S, program.True(), Options{})
+	sp, err := NewSpaceContext(context.Background(), p, S, program.True(), Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -91,7 +92,7 @@ func TestCheckStairRejectsOpenStage(t *testing.T) {
 
 func TestCheckStairEmptyIsPlainConvergence(t *testing.T) {
 	p, _, S := twoPhase(t)
-	sp, err := NewSpace(p, S, program.True(), Options{})
+	sp, err := NewSpaceContext(context.Background(), p, S, program.True(), Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -103,7 +104,7 @@ func TestCheckStairEmptyIsPlainConvergence(t *testing.T) {
 
 func TestCheckVariantAcceptsWorstDistances(t *testing.T) {
 	p, _, S := twoPhase(t)
-	sp, err := NewSpace(p, S, program.True(), Options{})
+	sp, err := NewSpaceContext(context.Background(), p, S, program.True(), Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -121,7 +122,7 @@ func TestCheckVariantAcceptsWorstDistances(t *testing.T) {
 
 func TestCheckVariantAcceptsHandWritten(t *testing.T) {
 	p, _, S := twoPhase(t)
-	sp, err := NewSpace(p, S, program.True(), Options{})
+	sp, err := NewSpaceContext(context.Background(), p, S, program.True(), Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -139,7 +140,7 @@ func TestCheckVariantAcceptsHandWritten(t *testing.T) {
 
 func TestCheckVariantRejectsNonDecreasing(t *testing.T) {
 	p, _, S := twoPhase(t)
-	sp, err := NewSpace(p, S, program.True(), Options{})
+	sp, err := NewSpaceContext(context.Background(), p, S, program.True(), Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}
@@ -155,7 +156,7 @@ func TestCheckVariantRejectsNonDecreasing(t *testing.T) {
 
 func TestCheckVariantRejectsNegative(t *testing.T) {
 	p, _, S := twoPhase(t)
-	sp, err := NewSpace(p, S, program.True(), Options{})
+	sp, err := NewSpaceContext(context.Background(), p, S, program.True(), Options{})
 	if err != nil {
 		t.Fatalf("NewSpace: %v", err)
 	}

@@ -42,6 +42,16 @@ const (
 	PassVariant = "variant"
 	// PassPreserve is one exhaustive preservation scan.
 	PassPreserve = "preserve"
+	// PassDistanceProfile is the metrics engine's distance-to-invariant
+	// BFS over the fault span (metrics.go).
+	PassDistanceProfile = "distance_profile"
+	// PassExpectedSteps is the uniform-random-daemon expected-stabilization
+	// value iteration (metrics.go).
+	PassExpectedSteps = "expected_steps"
+	// PassConstraintCost is one constraint's recovery-cost computation:
+	// stable-subset shrink plus the re-targeted convergence peel (which
+	// nests its own converge_unfair span).
+	PassConstraintCost = "constraint_cost"
 )
 
 // passSpan times one verifier pass. startPass resets the options'

@@ -176,24 +176,24 @@ var (
 	// WithFaults makes Check compute the fault-span of the given fault
 	// actions and use it as T.
 	WithFaults = verify.WithFaults
+	// WithMetrics makes Check additionally run the quantitative
+	// tolerance-metrics passes (distance profile, worst/expected
+	// stabilization time, per-constraint recovery costs).
+	WithMetrics = verify.WithMetrics
+	// WithConstraints supplies the invariant conjuncts the metrics break
+	// recovery costs down by.
+	WithConstraints = verify.WithConstraints
+)
 
-	// NewSpace enumerates a program's state space.
-	//
-	// Deprecated: use Check.
-	NewSpace = verify.NewSpace
-	// CheckPreserves decides preservation exhaustively.
-	//
-	// Deprecated: use verify.CheckPreservesContext.
-	CheckPreserves = verify.CheckPreserves
-	// CheckPreservesProjected decides preservation over footprints.
-	//
-	// Deprecated: use verify.CheckPreservesProjectedContext.
-	CheckPreservesProjected = verify.CheckPreservesProjected
-	// FaultSpan computes the reachable closure under program and fault
-	// actions.
-	//
-	// Deprecated: use Check with WithFaults.
-	FaultSpan = verify.FaultSpan
+// Tolerance metrics (internal/verify, DESIGN §10).
+type (
+	// ToleranceMetrics is the quantitative tolerance analysis attached to
+	// Report.Metrics by WithMetrics.
+	ToleranceMetrics = verify.ToleranceMetrics
+	// ConstraintCost is one constraint's recovery cost.
+	ConstraintCost = verify.ConstraintCost
+	// ConstraintSpec names one invariant conjunct for the cost breakdown.
+	ConstraintSpec = verify.ConstraintSpec
 )
 
 // Execution (internal/daemon, internal/fault, internal/sim).

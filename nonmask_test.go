@@ -1,6 +1,7 @@
 package nonmask_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -88,14 +89,18 @@ func TestFacadeFaultSpan(t *testing.T) {
 	if len(faults) != 4 {
 		t.Fatalf("fault actions = %d, want 4", len(faults))
 	}
-	span, err := nonmask.FaultSpan(d.TolerantProgram(), faults, d.S, nonmask.VerifyOptions{})
+	rep, err := nonmask.Check(context.Background(), d.TolerantProgram(), d.S, nil,
+		nonmask.WithFaults(faults...))
 	if err != nil {
-		t.Fatalf("FaultSpan: %v", err)
+		t.Fatalf("Check: %v", err)
+	}
+	if rep.Span == nil {
+		t.Fatal("Check with WithFaults returned no span")
 	}
 	// From y-corruption of S states, every (x, y) combination is reachable
 	// (the program itself advances x).
-	if span.States != 16 {
-		t.Errorf("span = %d states, want 16", span.States)
+	if rep.Span.States != 16 {
+		t.Errorf("span = %d states, want 16", rep.Span.States)
 	}
 	_ = x
 }
