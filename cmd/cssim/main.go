@@ -35,6 +35,7 @@ import (
 	"nonmask/internal/metrics"
 	"nonmask/internal/program"
 	"nonmask/internal/protocols/registry"
+	"nonmask/internal/saboteur"
 	"nonmask/internal/sim"
 	"nonmask/internal/verify"
 )
@@ -51,9 +52,18 @@ func main() {
 		runs     = flag.Int("runs", 100, "number of runs")
 		maxSteps = flag.Int("max-steps", 5_000_000, "step budget per run")
 		seed     = flag.Int64("seed", 1, "random seed (runs and random topologies)")
+		replay   = flag.String("replay", "", "replay a saboteur witness file (csverify -witness-out) and confirm its claimed cost")
 		list     = flag.Bool("list", false, "list the protocol catalog and exit")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		if err := runReplay(*replay, *runs, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "cssim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range registry.Entries() {
@@ -67,6 +77,87 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cssim:", err)
 		os.Exit(1)
 	}
+}
+
+// runReplay deterministically re-executes a saboteur witness and
+// confirms the claimed recovery cost three independent ways: the
+// program-level step-by-step replay (guards, assignments, span
+// membership), a fresh adversarial-daemon simulation from the witness's
+// peak state driven by the re-enumerated worst-case distance table, and
+// a random-daemon sample from the same peak showing the schedule really
+// is adversarial. Any mismatch exits non-zero.
+func runReplay(path string, runs int, seed int64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	w, err := saboteur.DecodeWitness(raw)
+	if err != nil {
+		return err
+	}
+	if w.Protocol == "" {
+		return fmt.Errorf("witness carries no protocol identity; re-synthesize it with csverify -sabotage -witness-out")
+	}
+	params := registry.Params{}
+	if w.Params != nil {
+		params = *w.Params
+	}
+	inst, err := registry.Build(w.Protocol, params)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replaying %s witness for %s: objective %s, k=%d, claimed cost %d\n",
+		path, inst.Name, w.Objective, w.K, w.Cost)
+
+	rp, err := w.Replay(inst.Program, inst.S, inst.T)
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	if rp.Cost != w.Cost {
+		return fmt.Errorf("replayed cost %d != claimed %d", rp.Cost, w.Cost)
+	}
+	fmt.Printf("step-by-step replay: ok (%d fault + %d recovery steps, cost %d)\n",
+		len(w.Steps), len(w.Recovery), rp.Cost)
+
+	if w.Objective == saboteur.ObjectiveEscape {
+		fmt.Printf("escape confirmed: %d faults leave the declared span T\n", rp.Cost)
+		return nil
+	}
+
+	// Independent confirmation: re-enumerate the space, rebuild the exact
+	// worst-case table, and let the adversarial daemon run free from the
+	// witness's peak state — it must need exactly the claimed steps.
+	_, worst := exactTables(inst)
+	if worst == nil {
+		return fmt.Errorf("instance not enumerable; cannot confirm the recovery cost exactly")
+	}
+	r := &sim.Runner{P: inst.Program, S: inst.S,
+		D: daemon.NewWorstCase(inst.Program.Schema, worst), StopAtS: true}
+	res := r.Run(rp.Peak, rand.New(rand.NewSource(seed)))
+	if !res.Converged || res.Steps != w.Cost {
+		return fmt.Errorf("adversarial simulation from the peak took %d steps (converged=%v), claimed %d",
+			res.Steps, res.Converged, w.Cost)
+	}
+	fmt.Printf("adversarial simulation from peak: %d steps (matches)\n", res.Steps)
+
+	// A random daemon from the same peak shows the margin the adversary
+	// bought: its mean must not beat the proven worst case.
+	if runs > 0 {
+		rng := rand.New(rand.NewSource(seed))
+		rr := &sim.Runner{P: inst.Program, S: inst.S, D: daemon.NewRandom(seed), StopAtS: true}
+		steps := make([]float64, 0, runs)
+		for i := 0; i < runs; i++ {
+			if rres := rr.Run(rp.Peak, rng); rres.Converged {
+				steps = append(steps, float64(rres.Steps))
+			}
+		}
+		if len(steps) > 0 {
+			s := metrics.Summarize(steps)
+			fmt.Printf("random daemon from the same peak (%d runs): mean %.1f steps, max %.0f (adversarial schedule forces %d)\n",
+				len(steps), s.Mean, s.Max, w.Cost)
+		}
+	}
+	return nil
 }
 
 // violationPreds picks the predicates the adversarial daemon tries to keep

@@ -31,6 +31,7 @@ import (
 	"nonmask/internal/core"
 	"nonmask/internal/obs"
 	"nonmask/internal/protocols/registry"
+	"nonmask/internal/saboteur"
 	"nonmask/internal/service"
 	"nonmask/internal/store"
 	"nonmask/internal/verify"
@@ -51,6 +52,10 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the machine-readable service.Result JSON instead of prose")
 		measure   = flag.Bool("measure", false, "additionally run the quantitative tolerance metrics (distance profile, worst/expected stabilization time, per-constraint recovery costs)")
 		storeDir  = flag.String("store", "", "persistent verdict store directory shared with csserved; hits skip the check")
+		sabotage  = flag.Int("sabotage", 0, "fault budget k: additionally search for the worst k-fault schedule (0 = off)")
+		objective = flag.String("objective", "recovery", "saboteur objective: recovery | escape")
+		budget    = flag.Int64("budget", 0, fmt.Sprintf("saboteur node-expansion budget (0 = default %d)", saboteur.DefaultBudget))
+		witOut    = flag.String("witness-out", "", "write the saboteur witness JSON to this file (replay with cssim -replay)")
 		trace     = flag.Bool("trace", false, "print the per-pass span table (states, frontier, wall time) on stderr")
 		progress  = flag.Bool("progress", false, "stream live per-pass progress lines on stderr")
 		list      = flag.Bool("list", false, "list the protocol catalog and exit")
@@ -91,9 +96,17 @@ func main() {
 
 	params := registry.Params{N: *n, K: *k, Tree: *tree, Graph: *graphStr, Variant: *variant, Seed: *seed}
 	var err error
-	if *storeDir != "" {
+	switch {
+	case *sabotage != 0:
+		if *storeDir != "" {
+			err = fmt.Errorf("-sabotage does not combine with -store (witnesses are not store records)")
+		} else {
+			sabOpts := saboteur.Options{K: *sabotage, Objective: *objective, Budget: *budget}
+			err = runSabotage(*protocol, params, opts, sabOpts, *jsonOut, *witOut)
+		}
+	case *storeDir != "":
 		err = runStored(*protocol, params, opts, *jsonOut, *storeDir)
-	} else {
+	default:
 		err = run(*protocol, params, opts, *jsonOut)
 	}
 	stopProgress()
@@ -144,6 +157,85 @@ func run(protocol string, params registry.Params, opts verify.Options, jsonOut b
 		return verifyDesign(inst.Design, opts)
 	}
 	return verifyPlain(inst, opts)
+}
+
+// runSabotage checks the instance, then runs the adversarial
+// fault-schedule search on the same enumerated space and reports the
+// worst k-fault schedule it proved. The witness (when the schedule does
+// damage) can be written out for cssim -replay.
+func runSabotage(protocol string, params registry.Params, opts verify.Options,
+	sabOpts saboteur.Options, jsonOut bool, witOut string) error {
+	normalized, err := registry.Normalize(protocol, params)
+	if err != nil {
+		return err
+	}
+	// Same pre-queue gate the service applies: the search enumerates the
+	// full space, so the advertised bound is enforced up front.
+	if err := registry.ValidateAnalyses(protocol, normalized,
+		[]string{registry.AnalysisSaboteur}, opts.MaxStates); err != nil {
+		return err
+	}
+	inst, err := registry.Build(protocol, normalized)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	rep, err := verify.Check(ctx, inst.Program, inst.S, inst.T,
+		verify.WithOptions(opts), verify.WithConstraints(registry.ConstraintSpecs(inst)...))
+	if err != nil {
+		return err
+	}
+	sabRes, err := saboteur.Search(ctx, rep.Space, sabOpts)
+	if err != nil {
+		return err
+	}
+	if w := sabRes.Witness; w != nil {
+		// Stamp the catalog identity so the witness file alone rebuilds
+		// the instance.
+		w.Protocol = protocol
+		w.Params = &normalized
+		if witOut != "" {
+			enc, err := w.Encode()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(witOut, enc, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "csverify: witness (%d fault + %d recovery steps) written to %s\n",
+				len(w.Steps), len(w.Recovery), witOut)
+		}
+	} else if witOut != "" {
+		fmt.Fprintf(os.Stderr, "csverify: no witness to write (no %d-fault schedule does damage)\n", sabRes.K)
+	}
+	if jsonOut {
+		res := service.ResultFromReport(inst.Name, rep)
+		res.Saboteur = service.SaboteurResultFrom(sabRes)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Printf("program %s: %d states\n", inst.Name, rep.Space.Count)
+	fmt.Printf("convergence: %s\n", rep.Unfair.Summary())
+	status := "optimal within k"
+	if !sabRes.Optimal {
+		status = fmt.Sprintf("budget %d exhausted, incumbent only", sabOpts.Budget)
+	}
+	switch sabRes.Objective {
+	case saboteur.ObjectiveEscape:
+		if sabRes.Escaped {
+			fmt.Printf("saboteur: escape with %d faults (%s; expanded %d nodes)\n",
+				sabRes.Cost, status, sabRes.Expanded)
+		} else {
+			fmt.Printf("saboteur: T confines every %d-fault schedule (%s; expanded %d nodes)\n",
+				sabRes.K, status, sabRes.Expanded)
+		}
+	default:
+		fmt.Printf("saboteur: worst %d-fault schedule forces %d recovery steps (%s; expanded %d nodes, %d rounds, Δmax %d)\n",
+			sabRes.K, sabRes.Cost, status, sabRes.Expanded, sabRes.Rounds, sabRes.DeltaMax)
+	}
+	fmt.Printf("search time: %v\n", sabRes.Elapsed)
+	return nil
 }
 
 // runStored checks a protocol instance through the shared persistent

@@ -180,6 +180,38 @@ type Entry struct {
 	Normalize func(Params) Params
 	// Build constructs the instance from normalized parameters.
 	Build func(Params) (*Instance, error)
+	// Analyses lists the analyses/job types the entry supports, as
+	// advertised by GET /v1/protocols. Empty means the full default set
+	// (see SupportedAnalyses); entries with structural restrictions list
+	// their subset explicitly.
+	Analyses []string
+}
+
+// Analysis names entries advertise and ValidateAnalyses checks. They
+// mirror the service's job-option spellings.
+const (
+	// AnalysisVerdict is the plain closure+convergence verdict.
+	AnalysisVerdict = "verdict"
+	// AnalysisMetrics is the quantitative tolerance-metrics suite.
+	AnalysisMetrics = "metrics"
+	// AnalysisSaboteur is the adversarial fault-schedule search; it
+	// additionally requires the instance to be enumerable (the search
+	// runs on the full transition graph).
+	AnalysisSaboteur = "saboteur"
+)
+
+// allAnalyses is the default advertisement: every current catalog entry
+// supports every analysis, saboteur subject to the per-instance
+// enumerability check in ValidateAnalyses.
+var allAnalyses = []string{AnalysisVerdict, AnalysisMetrics, AnalysisSaboteur}
+
+// SupportedAnalyses returns the entry's advertised analyses (the default
+// set when the entry lists none).
+func (e *Entry) SupportedAnalyses() []string {
+	if len(e.Analyses) > 0 {
+		return e.Analyses
+	}
+	return allAnalyses
 }
 
 // fromDesign adapts a layered design to an Instance.
@@ -534,6 +566,54 @@ func Validate(name string, p Params) error {
 	}
 	if err := e.Bounds.check(e.Normalize(p)); err != nil {
 		return fmt.Errorf("%s: %w", name, err)
+	}
+	return nil
+}
+
+// ValidateAnalyses extends Validate with per-analysis requirements: each
+// requested analysis must be advertised by the entry, and the saboteur —
+// whose product-graph search needs the fully enumerated transition graph
+// — rejects instances whose state space is not enumerable within
+// maxStates (<= 0 means verify.DefaultMaxStates), naming the advertised
+// bound in the error. Like Validate, it runs pre-queue: Build here only
+// constructs the schema, it does not enumerate anything.
+func ValidateAnalyses(name string, p Params, analyses []string, maxStates int64) error {
+	e, ok := byName[name]
+	if !ok {
+		return fmt.Errorf("unknown protocol %q (known: %v)", name, Names())
+	}
+	norm := e.Normalize(p)
+	if err := e.Bounds.check(norm); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	if maxStates <= 0 {
+		maxStates = verify.DefaultMaxStates
+	}
+	for _, an := range analyses {
+		supported := false
+		for _, s := range e.SupportedAnalyses() {
+			if s == an {
+				supported = true
+				break
+			}
+		}
+		if !supported {
+			return fmt.Errorf("%s: analysis %q not supported (advertised: %v)", name, an, e.SupportedAnalyses())
+		}
+		if an != AnalysisSaboteur {
+			continue
+		}
+		inst, err := e.Build(norm)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		count, ok := inst.Program.Schema.StateCount()
+		if !ok {
+			return fmt.Errorf("%s: saboteur requires an enumerable instance: state count overflows int64 (advertised bound: %d states)", name, maxStates)
+		}
+		if count > maxStates {
+			return fmt.Errorf("%s: saboteur requires an enumerable instance: %d states exceeds the advertised bound of %d states", name, count, maxStates)
+		}
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -169,5 +170,63 @@ func TestBuildRejectsBadParams(t *testing.T) {
 	}
 	if _, err := Build("xyz", Params{Variant: "bogus"}); err == nil {
 		t.Fatal("bad variant accepted")
+	}
+}
+
+func TestSupportedAnalyses(t *testing.T) {
+	for _, e := range Entries() {
+		got := e.SupportedAnalyses()
+		if len(got) == 0 {
+			t.Errorf("%s: advertises no analyses", e.Name)
+		}
+		found := false
+		for _, a := range got {
+			if a == AnalysisVerdict {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: does not advertise %q: %v", e.Name, AnalysisVerdict, got)
+		}
+	}
+}
+
+func TestValidateAnalyses(t *testing.T) {
+	// Enumerable instance, every advertised analysis accepted.
+	if err := ValidateAnalyses("diffusing", Params{N: 3},
+		[]string{AnalysisVerdict, AnalysisMetrics, AnalysisSaboteur}, 0); err != nil {
+		t.Errorf("enumerable saboteur rejected: %v", err)
+	}
+	// Unknown analysis named in the error.
+	err := ValidateAnalyses("diffusing", Params{N: 3}, []string{"seance"}, 0)
+	if err == nil || !strings.Contains(err.Error(), "seance") {
+		t.Errorf("unknown analysis error = %v", err)
+	}
+	// Saboteur on a non-enumerable instance is rejected pre-queue with
+	// the advertised bound in the error; the verdict analysis on the
+	// same instance stays accepted (it can still be capped at runtime).
+	big := Params{N: 12, K: 64} // 64^13 states, far beyond any cap
+	if err := ValidateAnalyses("tokenring-ring", big, []string{AnalysisVerdict}, 0); err != nil {
+		t.Errorf("verdict on big instance rejected: %v", err)
+	}
+	err = ValidateAnalyses("tokenring-ring", big, []string{AnalysisSaboteur}, 0)
+	if err == nil || !strings.Contains(err.Error(), "enumerable") {
+		t.Fatalf("saboteur on big instance: %v", err)
+	}
+	if !strings.Contains(err.Error(), fmt.Sprint(int64(1)<<26)) {
+		t.Errorf("error does not name the advertised bound: %v", err)
+	}
+	// A custom cap is honoured and named.
+	err = ValidateAnalyses("diffusing", Params{N: 5}, []string{AnalysisSaboteur}, 100)
+	if err == nil || !strings.Contains(err.Error(), "100") {
+		t.Errorf("custom cap error = %v", err)
+	}
+	// Out-of-bounds params still fail with the advertised range.
+	err = ValidateAnalyses("tokenring-ring", Params{N: 99}, []string{AnalysisVerdict}, 0)
+	if err == nil || !strings.Contains(err.Error(), "advertised range") {
+		t.Errorf("bounds error = %v", err)
+	}
+	if err := ValidateAnalyses("no-such", Params{}, nil, 0); err == nil {
+		t.Error("unknown protocol accepted")
 	}
 }

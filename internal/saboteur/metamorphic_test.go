@@ -1,0 +1,129 @@
+// Metamorphic replay suite (the issue's test-coverage satellite): on
+// every enumerable testdata/*.gcl model, a synthesized witness must
+// replay to the exact claimed cost through both independent paths —
+// program-level execution and the space's schedule-constrained transition
+// graph — and the whole result must be bit-identical across worker
+// counts. Models that do not converge under the arbitrary daemon have no
+// worst-case distance table; for those the suite pins the escape
+// objective and the recovery objective's refusal.
+package saboteur_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"nonmask/internal/gcl"
+	"nonmask/internal/saboteur"
+	"nonmask/internal/verify"
+)
+
+func gclModels(t *testing.T) map[string]*gcl.Module {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.gcl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no testdata/*.gcl models found")
+	}
+	models := make(map[string]*gcl.Module, len(paths))
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		file, err := gcl.Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", path, err)
+		}
+		m, err := gcl.Compile(file)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", path, err)
+		}
+		models[filepath.Base(path)] = m
+	}
+	return models
+}
+
+func TestWitnessReplayMetamorphic(t *testing.T) {
+	ctx := context.Background()
+	for name, m := range gclModels(t) {
+		t.Run(name, func(t *testing.T) {
+			if count, ok := m.Program.Schema.StateCount(); !ok || count > verify.DefaultMaxStates {
+				t.Skipf("not enumerable (%d states)", count)
+			}
+			var golden []byte
+			for _, workers := range []int{1, 2, runtime.NumCPU()} {
+				sp, err := verify.NewSpaceContext(ctx, m.Program, m.S, m.T, verify.Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, converges, err := sp.WorstDistancesContext(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				res, err := saboteur.Search(ctx, sp, saboteur.Options{K: 2})
+				if !converges {
+					if err == nil {
+						t.Fatal("recovery objective must refuse a non-convergent model")
+					}
+					res, err = saboteur.Search(ctx, sp, saboteur.Options{K: 2, Objective: saboteur.ObjectiveEscape})
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Optimal {
+					t.Fatalf("workers=%d: default budget did not prove optimality", workers)
+				}
+
+				if res.Witness != nil {
+					rp, err := res.Witness.Replay(m.Program, m.S, m.T)
+					if err != nil {
+						t.Fatalf("workers=%d: program-level replay: %v", workers, err)
+					}
+					rs, err := res.Witness.ReplaySpace(ctx, sp)
+					if err != nil {
+						t.Fatalf("workers=%d: space replay: %v", workers, err)
+					}
+					if rp.Cost != res.Cost || rs.Cost != res.Cost {
+						t.Fatalf("workers=%d: replayed costs (program %d, space %d) != claimed %d",
+							workers, rp.Cost, rs.Cost, res.Cost)
+					}
+				}
+
+				enc := []byte("no witness")
+				if res.Witness != nil {
+					if enc, err = res.Witness.Encode(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if golden == nil {
+					golden = enc
+					t.Logf("workers=%d: objective %s cost %d (witness %d attack + %d recovery steps)",
+						workers, res.Objective, res.Cost, len(witnessSteps(res)), len(witnessRecovery(res)))
+				} else if string(golden) != string(enc) {
+					t.Fatalf("workers=%d: witness differs from the single-worker run:\n%s\nvs\n%s",
+						workers, golden, enc)
+				}
+			}
+		})
+	}
+}
+
+func witnessSteps(r *saboteur.Result) []saboteur.Step {
+	if r.Witness == nil {
+		return nil
+	}
+	return r.Witness.Steps
+}
+
+func witnessRecovery(r *saboteur.Result) []saboteur.Step {
+	if r.Witness == nil {
+		return nil
+	}
+	return r.Witness.Recovery
+}

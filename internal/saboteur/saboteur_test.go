@@ -1,0 +1,420 @@
+package saboteur_test
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nonmask/internal/daemon"
+	"nonmask/internal/obs"
+	"nonmask/internal/program"
+	"nonmask/internal/protocols/registry"
+	"nonmask/internal/saboteur"
+	"nonmask/internal/sim"
+	"nonmask/internal/verify"
+)
+
+// chain builds the hand-solvable oracle program: one counter x in [0, hi]
+// with the single action x>0 -> x:=x-1 and invariant x=0. The worst-case
+// distance of state x is exactly x, so a k-fault saboteur's best schedule
+// is one fault x:=min(hi, span) and its cost is that value.
+func chain(t *testing.T, hi int32, spanMax int32) (*program.Program, *program.Predicate, *program.Predicate) {
+	t.Helper()
+	s := program.NewSchema()
+	x := s.MustDeclare("x", program.IntRange(0, hi))
+	p := program.New("chain", s)
+	p.Add(program.NewAction("dec", program.Convergence,
+		[]program.VarID{x}, []program.VarID{x},
+		func(st *program.State) bool { return st.Get(x) > 0 },
+		func(st *program.State) { st.Set(x, st.Get(x)-1) }))
+	S := program.NewPredicate("x=0", []program.VarID{x},
+		func(st *program.State) bool { return st.Get(x) == 0 })
+	T := program.True()
+	if spanMax >= 0 {
+		T = program.NewPredicate("x<=span", []program.VarID{x},
+			func(st *program.State) bool { return st.Get(x) <= spanMax })
+	}
+	return p, S, T
+}
+
+func mustSpace(t *testing.T, p *program.Program, S, T *program.Predicate, opts verify.Options) *verify.Space {
+	t.Helper()
+	sp, err := verify.NewSpaceContext(context.Background(), p, S, T, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// mustReplayBoth replays the witness at program level and through the
+// space's transition graph and requires both to reproduce the claimed
+// cost exactly.
+func mustReplayBoth(t *testing.T, sp *verify.Space, res *saboteur.Result) *saboteur.Replayed {
+	t.Helper()
+	if res.Witness == nil {
+		t.Fatal("result has no witness")
+	}
+	rp, err := res.Witness.Replay(sp.P, sp.S, sp.T)
+	if err != nil {
+		t.Fatalf("program-level replay: %v", err)
+	}
+	rs, err := res.Witness.ReplaySpace(context.Background(), sp)
+	if err != nil {
+		t.Fatalf("space replay: %v", err)
+	}
+	if rp.Cost != res.Cost || rs.Cost != res.Cost {
+		t.Fatalf("replayed costs (program %d, space %d) != claimed %d", rp.Cost, rs.Cost, res.Cost)
+	}
+	if rp.Escaped != res.Escaped || rs.Escaped != res.Escaped {
+		t.Fatalf("replayed escape (program %v, space %v) != claimed %v", rp.Escaped, rs.Escaped, res.Escaped)
+	}
+	return rp
+}
+
+// bruteForce enumerates every k-fault schedule by exhaustive BFS over the
+// (state, faults-spent) product graph — no heuristic, no dominance — and
+// returns the maximum worst-table score over all reachable nodes: the
+// ground-truth optimum the engine must match.
+func bruteForce(t *testing.T, sp *verify.Space, k int) int {
+	t.Helper()
+	worst, ok := sp.WorstDistances()
+	if !ok {
+		t.Fatal("no worst-case distance table")
+	}
+	alphabet := saboteur.Alphabet(sp.P)
+	type node struct {
+		i int64
+		f int
+	}
+	seen := make(map[node]bool)
+	var queue []node
+	push := func(n node) {
+		if !seen[n] {
+			seen[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for i := int64(0); i < sp.Count; i++ {
+		if sp.InS(i) {
+			push(node{i, 0})
+		}
+	}
+	best := 0
+	cur := sp.NewSuccCursor()
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if int(worst[n.i]) > best {
+			best = int(worst[n.i])
+		}
+		if n.f < k {
+			st := sp.State(n.i)
+			for _, a := range alphabet {
+				if !a.Guard(st) {
+					continue
+				}
+				j := sp.P.Schema.Index(a.Apply(st))
+				if sp.InT(j) {
+					push(node{j, n.f + 1})
+				}
+			}
+		}
+		cur.ForEach(n.i, func(a *program.Action, j int64) bool {
+			if a.Kind != program.Fault {
+				push(node{j, n.f})
+			}
+			return true
+		})
+	}
+	return best
+}
+
+func TestChainHandSolved(t *testing.T) {
+	p, S, T := chain(t, 5, -1)
+	sp := mustSpace(t, p, S, T, verify.Options{})
+	for _, k := range []int{1, 2} {
+		res, err := saboteur.Search(context.Background(), sp, saboteur.Options{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost != 5 {
+			t.Fatalf("k=%d: cost = %d, want 5 (one fault x:=5)", k, res.Cost)
+		}
+		if !res.Optimal {
+			t.Fatalf("k=%d: search did not prove optimality", k)
+		}
+		if res.DeltaMax != 5 {
+			t.Errorf("k=%d: DeltaMax = %d, want 5", k, res.DeltaMax)
+		}
+		rp := mustReplayBoth(t, sp, res)
+		if got := rp.Peak.String(); !strings.Contains(got, "5") {
+			t.Errorf("k=%d: peak = %s, want x=5", k, got)
+		}
+		if len(res.Witness.Recovery) != 5 {
+			t.Errorf("k=%d: recovery has %d steps, want 5", k, len(res.Witness.Recovery))
+		}
+	}
+}
+
+// TestInterleavingBruteForce uses a two-variable program where the best
+// 2-fault schedule must corrupt both variables: x in [0,3] decremented
+// only while the lock b is clear, plus an unlock action. worst(x,b)=x+b,
+// so k=1 yields 3 and k=2 yields 4.
+func TestInterleavingBruteForce(t *testing.T) {
+	s := program.NewSchema()
+	x := s.MustDeclare("x", program.IntRange(0, 3))
+	b := s.MustDeclare("b", program.Bool())
+	p := program.New("locked-chain", s)
+	p.Add(
+		program.NewAction("dec", program.Convergence,
+			[]program.VarID{x, b}, []program.VarID{x},
+			func(st *program.State) bool { return st.Get(x) > 0 && st.Get(b) == 0 },
+			func(st *program.State) { st.Set(x, st.Get(x)-1) }),
+		program.NewAction("unlock", program.Convergence,
+			[]program.VarID{b}, []program.VarID{b},
+			func(st *program.State) bool { return st.Get(b) == 1 },
+			func(st *program.State) { st.Set(b, 0) }),
+	)
+	S := program.NewPredicate("x=0 && !b", []program.VarID{x, b},
+		func(st *program.State) bool { return st.Get(x) == 0 && st.Get(b) == 0 })
+	sp := mustSpace(t, p, S, program.True(), verify.Options{})
+
+	for k, want := range map[int]int{1: 3, 2: 4} {
+		res, err := saboteur.Search(context.Background(), sp, saboteur.Options{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost != want {
+			t.Errorf("k=%d: cost = %d, want %d", k, res.Cost, want)
+		}
+		if got := bruteForce(t, sp, k); res.Cost != got {
+			t.Errorf("k=%d: engine cost %d != brute force %d", k, res.Cost, got)
+		}
+		if !res.Optimal {
+			t.Errorf("k=%d: optimality not proven", k)
+		}
+		mustReplayBoth(t, sp, res)
+	}
+}
+
+// TestRegistryProtocolsAcceptance is the issue's acceptance criterion on
+// two catalog protocols: the engine's claimed cost must equal the
+// brute-force optimum over all k-fault schedules, both replay paths must
+// reproduce it bit for bit, and it must strictly exceed the mean cost a
+// random daemon samples from the same peak.
+func TestRegistryProtocolsAcceptance(t *testing.T) {
+	cases := []struct {
+		protocol string
+		params   registry.Params
+	}{
+		{"diffusing", registry.Params{N: 3}},
+		{"tokenring-ring", registry.Params{N: 3, K: 5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.protocol, func(t *testing.T) {
+			inst, err := registry.Build(tc.protocol, tc.params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			T := inst.T
+			if T == nil {
+				T = program.True()
+			}
+			sp := mustSpace(t, inst.Program, inst.S, T, verify.Options{})
+			res, err := saboteur.Search(context.Background(), sp, saboteur.Options{K: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cost <= 0 {
+				t.Fatalf("cost = %d, want > 0", res.Cost)
+			}
+			if !res.Optimal {
+				t.Fatal("optimality not proven within default budget")
+			}
+			if got := bruteForce(t, sp, 2); res.Cost != got {
+				t.Fatalf("engine cost %d != brute-force optimum %d", res.Cost, got)
+			}
+			rp := mustReplayBoth(t, sp, res)
+
+			// The claimed cost is the worst case over daemon choices from
+			// the peak; a random daemon averaged over many runs must do
+			// strictly better.
+			r := &sim.Runner{P: inst.Program, S: inst.S, D: daemon.NewRandom(7), StopAtS: true}
+			rng := rand.New(rand.NewSource(7))
+			sum, runs := 0, 200
+			for i := 0; i < runs; i++ {
+				one := r.Run(rp.Peak, rng)
+				if !one.Converged {
+					t.Fatal("random-daemon run from the peak did not converge")
+				}
+				if one.Steps > res.Cost {
+					t.Fatalf("random daemon took %d steps from the peak, exceeding the claimed worst case %d", one.Steps, res.Cost)
+				}
+				sum += one.Steps
+			}
+			mean := float64(sum) / float64(runs)
+			if !(mean < float64(res.Cost)) {
+				t.Fatalf("mean random-daemon cost %.2f does not lie strictly below the claimed worst case %d", mean, res.Cost)
+			}
+			t.Logf("%s: cost %d (brute-force match), mean random cost %.2f over %d runs", tc.protocol, res.Cost, mean, runs)
+		})
+	}
+}
+
+// TestSpanConfinement pins the span semantics: with T = {x<=3} the
+// recovery saboteur cannot push x past 3, and the escape saboteur leaves
+// the span with a single fault.
+func TestSpanConfinement(t *testing.T) {
+	p, S, T := chain(t, 5, 3)
+	sp := mustSpace(t, p, S, T, verify.Options{})
+
+	res, err := saboteur.Search(context.Background(), sp, saboteur.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 3 || !res.Optimal {
+		t.Fatalf("recovery in span x<=3: cost %d (optimal %v), want 3 (true)", res.Cost, res.Optimal)
+	}
+	mustReplayBoth(t, sp, res)
+
+	esc, err := saboteur.Search(context.Background(), sp, saboteur.Options{K: 2, Objective: saboteur.ObjectiveEscape})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !esc.Escaped || esc.Cost != 1 || !esc.Optimal {
+		t.Fatalf("escape from x<=3: escaped %v cost %d optimal %v, want true 1 true", esc.Escaped, esc.Cost, esc.Optimal)
+	}
+	mustReplayBoth(t, sp, esc)
+}
+
+// TestEscapeConfined: with the trivial span T=true no schedule can
+// escape, and the search proves it.
+func TestEscapeConfined(t *testing.T) {
+	p, S, T := chain(t, 5, -1)
+	sp := mustSpace(t, p, S, T, verify.Options{})
+	res, err := saboteur.Search(context.Background(), sp, saboteur.Options{K: 2, Objective: saboteur.ObjectiveEscape})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Escaped || !res.Optimal || res.Witness != nil {
+		t.Fatalf("escape from T=true: escaped %v optimal %v witness %v, want false true nil", res.Escaped, res.Optimal, res.Witness)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	inst, err := registry.Build("diffusing", registry.Params{N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := mustSpace(t, inst.Program, inst.S, inst.T, verify.Options{})
+	res, err := saboteur.Search(context.Background(), sp, saboteur.Options{K: 2, Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimal {
+		t.Fatal("a 1-expansion budget cannot prove optimality")
+	}
+	if res.Expanded > 1 {
+		t.Fatalf("expanded %d nodes past a budget of 1", res.Expanded)
+	}
+}
+
+// TestDeterminism: the synthesized witness must be byte-identical across
+// worker counts — the canonical heap order makes the search sequentially
+// deterministic, and worker count only shards the Δmax scan.
+func TestDeterminism(t *testing.T) {
+	inst, err := registry.Build("tokenring-ring", registry.Params{N: 3, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden []byte
+	for _, workers := range []int{1, 4} {
+		sp := mustSpace(t, inst.Program, inst.S, program.True(), verify.Options{Workers: workers})
+		res, err := saboteur.Search(context.Background(), sp, saboteur.Options{K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := res.Witness.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if golden == nil {
+			golden = enc
+		} else if string(golden) != string(enc) {
+			t.Fatalf("witness differs between worker counts:\n%s\nvs\n%s", golden, enc)
+		}
+	}
+}
+
+func TestSearchEmitsSpan(t *testing.T) {
+	p, S, T := chain(t, 5, -1)
+	col := &obs.Collector{}
+	sp := mustSpace(t, p, S, T, verify.Options{Tracer: col})
+	if _, err := saboteur.Search(context.Background(), sp, saboteur.Options{K: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, stat := range col.Passes() {
+		if stat.Pass == saboteur.PassSearch {
+			if stat.States <= 0 {
+				t.Errorf("span reports %d expansions, want > 0", stat.States)
+			}
+			return
+		}
+	}
+	t.Fatalf("no %q span collected; got %v", saboteur.PassSearch, col.Passes())
+}
+
+func TestReplayRejectsTampering(t *testing.T) {
+	p, S, T := chain(t, 5, -1)
+	sp := mustSpace(t, p, S, T, verify.Options{})
+	res, err := saboteur.Search(context.Background(), sp, saboteur.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tamper := func(mut func(w *saboteur.Witness)) *saboteur.Witness {
+		enc, err := res.Witness.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := saboteur.DecodeWitness(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut(w)
+		return w
+	}
+
+	cases := map[string]*saboteur.Witness{
+		"inflated cost":    tamper(func(w *saboteur.Witness) { w.Cost++ }),
+		"wrong after":      tamper(func(w *saboteur.Witness) { w.Steps[0].After[0]++ }),
+		"unknown action":   tamper(func(w *saboteur.Witness) { w.Steps[0].Action = "no-such-fault" }),
+		"truncated":        tamper(func(w *saboteur.Witness) { w.Recovery = w.Recovery[:len(w.Recovery)-1] }),
+		"start outside S":  tamper(func(w *saboteur.Witness) { w.Start[0] = 2 }),
+		"overspent budget": tamper(func(w *saboteur.Witness) { w.K = 0 }),
+	}
+	for name, w := range cases {
+		if _, err := w.Replay(p, S, T); err == nil {
+			t.Errorf("%s: program-level replay accepted a tampered witness", name)
+		}
+		if _, err := w.ReplaySpace(context.Background(), sp); err == nil {
+			t.Errorf("%s: space replay accepted a tampered witness", name)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	p, S, T := chain(t, 2, -1)
+	sp := mustSpace(t, p, S, T, verify.Options{})
+	for name, opts := range map[string]saboteur.Options{
+		"k too small":     {K: 0},
+		"k too large":     {K: saboteur.MaxK + 1},
+		"bad objective":   {K: 1, Objective: "explode"},
+		"negative budget": {K: 1, Budget: -5},
+	} {
+		if _, err := saboteur.Search(context.Background(), sp, opts); err == nil {
+			t.Errorf("%s: Search accepted invalid options", name)
+		}
+	}
+}

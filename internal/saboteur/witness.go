@@ -1,0 +1,374 @@
+package saboteur
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"nonmask/internal/program"
+	"nonmask/internal/protocols/registry"
+	"nonmask/internal/verify"
+)
+
+// WitnessVersion is the wire version of the witness schedule format.
+const WitnessVersion = 1
+
+// Witness is the replayable form of a synthesized schedule: the seed
+// state, the attack interleaving of fault and program steps, and (for the
+// recovery objective) the worst-case recovery the daemon then forces.
+// Each step records the full valuation it produces, so replay verifies
+// the schedule transition by transition rather than trusting the engine.
+type Witness struct {
+	// Version is WitnessVersion.
+	Version int `json:"version"`
+	// Program names the program the schedule was synthesized on.
+	Program string `json:"program"`
+	// Protocol and Params identify the registry instance when the program
+	// came from the catalog, letting cssim -replay rebuild it. Empty for
+	// GCL-sourced programs.
+	Protocol string           `json:"protocol,omitempty"`
+	Params   *registry.Params `json:"params,omitempty"`
+	// Objective, K and Cost echo the search result the witness backs.
+	Objective string `json:"objective"`
+	K         int    `json:"k"`
+	Cost      int    `json:"cost"`
+	// Vars is the schema's variable names in declaration order; Start and
+	// every Step.After are valuations in that order.
+	Vars  []string `json:"vars"`
+	Start []int32  `json:"start"`
+	// Steps is the attack: fault steps (spending the budget) interleaved
+	// with program steps (daemon moves steering between faults). For the
+	// escape objective the final step is the one leaving the span.
+	Steps []Step `json:"steps"`
+	// Recovery is the worst-case daemon's descent after the attack
+	// (recovery objective only), exactly Cost steps ending in S.
+	Recovery []Step `json:"recovery,omitempty"`
+}
+
+// Step is one scheduled transition.
+type Step struct {
+	// Kind is "fault" or "program".
+	Kind string `json:"kind"`
+	// Action is the action name, resolved on replay against the program's
+	// actions (program steps) or its fault alphabet (fault steps).
+	Action string `json:"action"`
+	// After is the valuation the step produces.
+	After []int32 `json:"after"`
+}
+
+// step builds the wire form of applying a at the resulting state st.
+func step(a *program.Action, st *program.State) Step {
+	kind := "program"
+	if a.Kind == program.Fault {
+		kind = "fault"
+	}
+	return Step{Kind: kind, Action: a.Name, After: st.Values()}
+}
+
+// Encode renders the witness as indented JSON, the format cssim -replay
+// and csverify -witness-out exchange.
+func (w *Witness) Encode() ([]byte, error) {
+	return json.MarshalIndent(w, "", "  ")
+}
+
+// DecodeWitness parses an encoded witness, rejecting unknown versions.
+func DecodeWitness(data []byte) (*Witness, error) {
+	var w Witness
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("saboteur: bad witness: %w", err)
+	}
+	if w.Version != WitnessVersion {
+		return nil, fmt.Errorf("saboteur: witness version %d not supported (want %d)", w.Version, WitnessVersion)
+	}
+	return &w, nil
+}
+
+// Replayed reports what a replay reproduced.
+type Replayed struct {
+	// Peak is the state after the attack steps (before recovery).
+	Peak *program.State
+	// Cost is the independently recomputed objective value: recovery
+	// steps replayed, or faults spent escaping.
+	Cost int
+	// Escaped reports the final attack step left the span.
+	Escaped bool
+}
+
+// actionTable resolves step references: program steps against the
+// program's non-fault actions, fault steps against the alphabet.
+type actionTable struct {
+	prog, flt map[string]*program.Action
+}
+
+func tableFor(p *program.Program, alphabet []*program.Action) actionTable {
+	t := actionTable{
+		prog: make(map[string]*program.Action, len(p.Actions)),
+		flt:  make(map[string]*program.Action, len(alphabet)),
+	}
+	for _, a := range p.Actions {
+		if a.Kind != program.Fault {
+			t.prog[a.Name] = a
+		}
+	}
+	for _, a := range alphabet {
+		t.flt[a.Name] = a
+	}
+	return t
+}
+
+func (t actionTable) resolve(s Step) (*program.Action, error) {
+	var a *program.Action
+	switch s.Kind {
+	case "fault":
+		a = t.flt[s.Action]
+	case "program":
+		a = t.prog[s.Action]
+	default:
+		return nil, fmt.Errorf("saboteur: witness step has unknown kind %q", s.Kind)
+	}
+	if a == nil {
+		return nil, fmt.Errorf("saboteur: witness references unknown %s action %q", s.Kind, s.Action)
+	}
+	return a, nil
+}
+
+func valuesEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *Witness) checkSchema(p *program.Program) error {
+	if w.Version != WitnessVersion {
+		return fmt.Errorf("saboteur: witness version %d not supported (want %d)", w.Version, WitnessVersion)
+	}
+	names := p.Schema.Names()
+	if len(names) != len(w.Vars) {
+		return fmt.Errorf("saboteur: witness has %d vars, program %q has %d", len(w.Vars), p.Name, len(names))
+	}
+	for i, n := range names {
+		if w.Vars[i] != n {
+			return fmt.Errorf("saboteur: witness var %d is %q, program declares %q", i, w.Vars[i], n)
+		}
+	}
+	return nil
+}
+
+// Replay executes the witness at program level — no enumerated space
+// needed — verifying every transition: each step's action must exist and
+// be enabled, produce exactly the recorded valuation, keep the attack
+// inside T (recovery objective), spend at most K fault steps, and end
+// with a recovery that leaves S only behind it (recovery objective,
+// exactly Cost steps) or a final state outside T (escape objective,
+// Cost fault steps). Nil S or T mean the constant-true predicate.
+func (w *Witness) Replay(p *program.Program, S, T *program.Predicate) (*Replayed, error) {
+	if err := w.checkSchema(p); err != nil {
+		return nil, err
+	}
+	if T == nil {
+		T = program.True()
+	}
+	tab := tableFor(p, Alphabet(p))
+
+	st := p.Schema.NewState()
+	if err := st.SetValues(w.Start); err != nil {
+		return nil, fmt.Errorf("saboteur: bad witness start: %w", err)
+	}
+	if S != nil && !S.Holds(st) {
+		return nil, fmt.Errorf("saboteur: witness does not start in the invariant: %s", st)
+	}
+	faults := 0
+	for n, s := range w.Steps {
+		a, err := tab.resolve(s)
+		if err != nil {
+			return nil, fmt.Errorf("saboteur: attack step %d: %w", n, err)
+		}
+		if !a.Guard(st) {
+			return nil, fmt.Errorf("saboteur: attack step %d: %q is disabled at %s", n, a.Name, st)
+		}
+		st = a.Apply(st)
+		if !valuesEqual(st.Values(), s.After) {
+			return nil, fmt.Errorf("saboteur: attack step %d: %q produced %s, witness claims %v", n, a.Name, st, s.After)
+		}
+		if s.Kind == "fault" {
+			faults++
+		}
+		inT := T.Holds(st)
+		if w.Objective == ObjectiveEscape && n == len(w.Steps)-1 {
+			if inT {
+				return nil, fmt.Errorf("saboteur: escape witness ends inside the span at %s", st)
+			}
+		} else if !inT {
+			return nil, fmt.Errorf("saboteur: attack step %d leaves the span at %s", n, st)
+		}
+	}
+	if faults > w.K {
+		return nil, fmt.Errorf("saboteur: witness spends %d faults, budget is %d", faults, w.K)
+	}
+	rep := &Replayed{Peak: st.Clone()}
+
+	if w.Objective == ObjectiveEscape {
+		if len(w.Recovery) != 0 {
+			return nil, fmt.Errorf("saboteur: escape witness carries %d recovery steps", len(w.Recovery))
+		}
+		if faults != w.Cost {
+			return nil, fmt.Errorf("saboteur: escape witness spends %d faults, claims cost %d", faults, w.Cost)
+		}
+		rep.Cost = faults
+		rep.Escaped = true
+		return rep, nil
+	}
+
+	for n, s := range w.Recovery {
+		if S != nil && S.Holds(st) {
+			return nil, fmt.Errorf("saboteur: recovery reaches the invariant after %d steps, witness claims %d", n, len(w.Recovery))
+		}
+		a, err := tab.resolve(s)
+		if err != nil {
+			return nil, fmt.Errorf("saboteur: recovery step %d: %w", n, err)
+		}
+		if !a.Guard(st) {
+			return nil, fmt.Errorf("saboteur: recovery step %d: %q is disabled at %s", n, a.Name, st)
+		}
+		st = a.Apply(st)
+		if !valuesEqual(st.Values(), s.After) {
+			return nil, fmt.Errorf("saboteur: recovery step %d: %q produced %s, witness claims %v", n, a.Name, st, s.After)
+		}
+	}
+	if S != nil && !S.Holds(st) {
+		return nil, fmt.Errorf("saboteur: recovery ends outside the invariant at %s", st)
+	}
+	if len(w.Recovery) != w.Cost {
+		return nil, fmt.Errorf("saboteur: witness replays %d recovery steps, claims cost %d", len(w.Recovery), w.Cost)
+	}
+	rep.Cost = len(w.Recovery)
+	return rep, nil
+}
+
+// ReplaySpace replays the witness through an enumerated space's own
+// transition graph: every program step must be an actual edge of the CSR
+// index (schedule-constrained successor iteration), every intermediate
+// state a member of the space's bitsets, and — for the recovery objective
+// — the space's worst-case distance table must score the peak at exactly
+// the claimed cost, bit for bit. This is the strongest check: the replay
+// consults the same structures the verifier's verdicts are made of.
+func (w *Witness) ReplaySpace(ctx context.Context, sp *verify.Space) (*Replayed, error) {
+	if err := w.checkSchema(sp.P); err != nil {
+		return nil, err
+	}
+	tab := tableFor(sp.P, Alphabet(sp.P))
+	ownFaults := len(sp.P.OfKind(program.Fault)) > 0
+	cur := sp.NewSuccCursor()
+
+	st := sp.P.Schema.NewState()
+	if err := st.SetValues(w.Start); err != nil {
+		return nil, fmt.Errorf("saboteur: bad witness start: %w", err)
+	}
+	i := sp.P.Schema.Index(st)
+	if !sp.InS(i) {
+		return nil, fmt.Errorf("saboteur: witness does not start in the invariant: %s", st)
+	}
+
+	// stepTo takes one witness step from state index i, program steps
+	// strictly along graph edges.
+	stepTo := func(i int64, s Step, what string, n int) (int64, error) {
+		a, err := tab.resolve(s)
+		if err != nil {
+			return 0, fmt.Errorf("saboteur: %s step %d: %w", what, n, err)
+		}
+		j := int64(-1)
+		if s.Kind == "fault" && !ownFaults {
+			// Injected faults are not edges of a fault-free program's
+			// graph; apply the alphabet action directly. (Programs that
+			// declare their own fault actions carry them as graph edges
+			// and take the edge-matching path below.)
+			from := sp.State(i)
+			if !a.Guard(from) {
+				return 0, fmt.Errorf("saboteur: %s step %d: %q is disabled at %s", what, n, a.Name, from)
+			}
+			j = sp.P.Schema.Index(a.Apply(from))
+		} else {
+			cur.ForEach(i, func(b *program.Action, to int64) bool {
+				if b.Name == a.Name {
+					j = to
+					return false
+				}
+				return true
+			})
+			if j < 0 {
+				return 0, fmt.Errorf("saboteur: %s step %d: %q is not an enabled edge of state %s", what, n, a.Name, sp.State(i))
+			}
+		}
+		if !valuesEqual(sp.State(j).Values(), s.After) {
+			return 0, fmt.Errorf("saboteur: %s step %d: %q reaches %s, witness claims %v", what, n, a.Name, sp.State(j), s.After)
+		}
+		return j, nil
+	}
+
+	faults := 0
+	for n, s := range w.Steps {
+		j, err := stepTo(i, s, "attack", n)
+		if err != nil {
+			return nil, err
+		}
+		if s.Kind == "fault" {
+			faults++
+		}
+		if w.Objective == ObjectiveEscape && n == len(w.Steps)-1 {
+			if sp.InT(j) {
+				return nil, fmt.Errorf("saboteur: escape witness ends inside the span at %s", sp.State(j))
+			}
+		} else if !sp.InT(j) {
+			return nil, fmt.Errorf("saboteur: attack step %d leaves the span at %s", n, sp.State(j))
+		}
+		i = j
+	}
+	if faults > w.K {
+		return nil, fmt.Errorf("saboteur: witness spends %d faults, budget is %d", faults, w.K)
+	}
+	rep := &Replayed{Peak: sp.State(i)}
+
+	if w.Objective == ObjectiveEscape {
+		if faults != w.Cost {
+			return nil, fmt.Errorf("saboteur: escape witness spends %d faults, claims cost %d", faults, w.Cost)
+		}
+		rep.Cost = faults
+		rep.Escaped = true
+		return rep, nil
+	}
+
+	worst, ok, err := sp.WorstDistancesContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("saboteur: space has no worst-case distance table to score the witness against")
+	}
+	if int(worst[i]) != w.Cost {
+		return nil, fmt.Errorf("saboteur: worst table scores the peak at %d, witness claims %d", worst[i], w.Cost)
+	}
+	for n, s := range w.Recovery {
+		if sp.InS(i) {
+			return nil, fmt.Errorf("saboteur: recovery reaches the invariant after %d steps, witness claims %d", n, len(w.Recovery))
+		}
+		j, err := stepTo(i, s, "recovery", n)
+		if err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	if !sp.InS(i) {
+		return nil, fmt.Errorf("saboteur: recovery ends outside the invariant at %s", sp.State(i))
+	}
+	if len(w.Recovery) != w.Cost {
+		return nil, fmt.Errorf("saboteur: witness replays %d recovery steps, claims cost %d", len(w.Recovery), w.Cost)
+	}
+	rep.Cost = len(w.Recovery)
+	return rep, nil
+}

@@ -228,3 +228,28 @@ func TestConcurrentMixedLoad(t *testing.T) {
 		t.Fatalf("misses %v < %d distinct specs", misses, len(specs))
 	}
 }
+
+// TestProtocolsAdvertiseAnalyses: every catalog row must list its
+// supported analyses/job types so clients can discover the saboteur
+// without probing 400s.
+func TestProtocolsAdvertiseAnalyses(t *testing.T) {
+	_, c := newTestServer(t, service.Config{})
+	entries, err := c.Protocols(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty catalog")
+	}
+	for _, e := range entries {
+		found := map[string]bool{}
+		for _, a := range e.Analyses {
+			found[a] = true
+		}
+		for _, want := range []string{"verdict", "metrics", "saboteur"} {
+			if !found[want] {
+				t.Errorf("%s: analyses %v missing %q", e.Name, e.Analyses, want)
+			}
+		}
+	}
+}

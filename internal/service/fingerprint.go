@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"nonmask/internal/protocols/registry"
+	"nonmask/internal/saboteur"
 	"nonmask/internal/verify"
 )
 
@@ -48,6 +49,17 @@ func optionsKey(o verify.Options) string {
 	return key
 }
 
+// saboteurKey renders the normalized saboteur request. The caller must
+// pass normalized options (engineOptions) so "0 = default" budget
+// spellings share a cache line; verdict-only jobs (nil) contribute
+// nothing, keeping their keys byte-identical to pre-saboteur versions.
+func saboteurKey(sab *saboteur.Options) string {
+	if sab == nil {
+		return ""
+	}
+	return fmt.Sprintf(" saboteur=k:%d,objective:%s,budget:%d", sab.K, sab.Objective, sab.Budget)
+}
+
 func digest(parts ...string) string {
 	h := sha256.New()
 	for _, p := range parts {
@@ -62,18 +74,18 @@ func digest(parts ...string) string {
 // protocol, normalized params, and options hash to the same key whether
 // the check ran in-process or behind csserved.
 func FingerprintProtocol(name string, p registry.Params, o verify.Options) string {
-	return fingerprintProtocol(name, p, o)
+	return fingerprintProtocol(name, p, o, nil)
 }
 
 // fingerprintSource keys a GCL job by its canonical (pretty-printed)
 // source, so submissions differing only in whitespace or comments share a
 // cache entry.
-func fingerprintSource(canonical string, o verify.Options) string {
-	return digest("gcl", canonical, optionsKey(o))
+func fingerprintSource(canonical string, o verify.Options, sab *saboteur.Options) string {
+	return digest("gcl", canonical, optionsKey(o)+saboteurKey(sab))
 }
 
 // fingerprintProtocol keys a catalog job by protocol name and normalized
 // parameters.
-func fingerprintProtocol(name string, p registry.Params, o verify.Options) string {
-	return digest("protocol", name, p.String(), optionsKey(o))
+func fingerprintProtocol(name string, p registry.Params, o verify.Options, sab *saboteur.Options) string {
+	return digest("protocol", name, p.String(), optionsKey(o)+saboteurKey(sab))
 }

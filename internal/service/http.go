@@ -26,6 +26,10 @@ type ProtocolInfo struct {
 	// Bounds advertises the validated parameter ranges enforced at
 	// submission and batch-sweep expansion.
 	Bounds registry.Bounds `json:"bounds"`
+	// Analyses lists the analyses/job types the entry supports
+	// ("verdict", "metrics", "saboteur"); submissions requesting an
+	// unsupported one are rejected with 400.
+	Analyses []string `json:"analyses"`
 }
 
 // errorBody is the JSON error envelope.
@@ -239,6 +243,7 @@ func (s *Server) handleProtocols(w http.ResponseWriter, _ *http.Request) {
 			Description: e.Description,
 			Defaults:    e.Normalize(registry.Params{}),
 			Bounds:      e.Bounds,
+			Analyses:    e.SupportedAnalyses(),
 		})
 	}
 	writeJSON(w, http.StatusOK, out)

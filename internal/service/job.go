@@ -9,6 +9,7 @@ import (
 	"nonmask/internal/gcl"
 	"nonmask/internal/program"
 	"nonmask/internal/protocols/registry"
+	"nonmask/internal/saboteur"
 	"nonmask/internal/verify"
 )
 
@@ -44,6 +45,33 @@ type JobOptions struct {
 	// quantitative tolerance analyses and attaches the result's "metrics"
 	// block. Unknown analysis names are rejected at submission (400).
 	Analyses []string `json:"analyses,omitempty"`
+	// Saboteur, when set, runs the adversarial fault-schedule search
+	// after the check and attaches the result's "saboteur" block with a
+	// replayable witness. Requires an enumerable instance; non-enumerable
+	// submissions are rejected with 400 naming the advertised bound.
+	Saboteur *SaboteurOptions `json:"saboteur,omitempty"`
+}
+
+// SaboteurOptions is the wire form of the saboteur search knobs
+// (internal/saboteur.Options).
+type SaboteurOptions struct {
+	// K is the fault budget, in [1, 16].
+	K int `json:"k"`
+	// Objective is "recovery" (default) or "escape".
+	Objective string `json:"objective,omitempty"`
+	// Budget caps product-graph node expansions (0 = engine default).
+	Budget int64 `json:"budget,omitempty"`
+}
+
+// engineOptions validates the wire block and resolves the engine's
+// defaults, so submissions fail with 400 on a bad fault budget or
+// objective and the cache key sees one canonical spelling.
+func (o *SaboteurOptions) engineOptions() (*saboteur.Options, error) {
+	so, err := saboteur.Options{K: o.K, Objective: o.Objective, Budget: o.Budget}.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	return &so, nil
 }
 
 // Analysis names accepted in JobOptions.Analyses.
@@ -119,6 +147,9 @@ type compiled struct {
 	// aggregation (empty/zero for GCL source jobs).
 	protocol string
 	params   registry.Params
+	// saboteur is the normalized adversarial-search request, nil for
+	// verdict-only jobs.
+	saboteur *saboteur.Options
 }
 
 // verifyOptions resolves wire options against server defaults.
@@ -166,6 +197,12 @@ func compileSpec(spec JobSpec, cfg Config) (*compiled, error) {
 	if err := validateStaticOptions(opts); err != nil {
 		return nil, err
 	}
+	var sab *saboteur.Options
+	if spec.Options.Saboteur != nil {
+		if sab, err = spec.Options.Saboteur.engineOptions(); err != nil {
+			return nil, err
+		}
+	}
 	switch {
 	case spec.Source != "" && spec.Protocol != "":
 		return nil, fmt.Errorf("job sets both source and protocol; pick one")
@@ -181,14 +218,26 @@ func compileSpec(spec JobSpec, cfg Config) (*compiled, error) {
 		if err != nil {
 			return nil, fmt.Errorf("compile: %w", err)
 		}
+		if sab != nil {
+			// The saboteur enumerates the full space; reject instances
+			// over the effective cap at submission, like the catalog path.
+			max := opts.MaxStates
+			if max <= 0 {
+				max = verify.DefaultMaxStates
+			}
+			if count, ok := m.Program.Schema.StateCount(); !ok || count > max {
+				return nil, fmt.Errorf("saboteur requires an enumerable instance: %d states exceeds the advertised bound of %d states", count, max)
+			}
+		}
 		return &compiled{
 			name:        m.Name,
 			prog:        m.Program,
 			s:           m.S,
 			t:           m.T,
-			key:         fingerprintSource(canonical, opts),
+			key:         fingerprintSource(canonical, opts, sab),
 			opts:        opts,
 			constraints: specsFromSet(m.Set),
+			saboteur:    sab,
 		}, nil
 	case spec.Protocol != "":
 		params, err := registry.Normalize(spec.Protocol, spec.Params)
@@ -200,6 +249,15 @@ func compileSpec(spec JobSpec, cfg Config) (*compiled, error) {
 		if err := registry.Validate(spec.Protocol, params); err != nil {
 			return nil, err
 		}
+		if sab != nil {
+			// The registry advertises which analyses each entry supports
+			// and checks enumerability against the effective state cap;
+			// its error names the advertised bound.
+			if err := registry.ValidateAnalyses(spec.Protocol, params,
+				[]string{registry.AnalysisSaboteur}, opts.MaxStates); err != nil {
+				return nil, err
+			}
+		}
 		inst, err := registry.Build(spec.Protocol, params)
 		if err != nil {
 			return nil, err
@@ -209,11 +267,12 @@ func compileSpec(spec JobSpec, cfg Config) (*compiled, error) {
 			prog:        inst.Program,
 			s:           inst.S,
 			t:           inst.T,
-			key:         fingerprintProtocol(spec.Protocol, params, opts),
+			key:         fingerprintProtocol(spec.Protocol, params, opts, sab),
 			opts:        opts,
 			constraints: registry.ConstraintSpecs(inst),
 			protocol:    spec.Protocol,
 			params:      params,
+			saboteur:    sab,
 		}, nil
 	default:
 		return nil, fmt.Errorf("job sets neither source nor protocol")

@@ -94,6 +94,15 @@ type Metrics struct {
 	// Satisfied / Violated count completed jobs by verdict.
 	Satisfied atomic.Int64
 	Violated  atomic.Int64
+	// SaboteurJobs counts completed jobs that ran the adversarial
+	// fault-schedule search; SaboteurOptimal counts those that proved
+	// k-bounded optimality, SaboteurBudgetExhausted those that returned
+	// the incumbent after the expansion budget ran out, and
+	// SaboteurExpanded totals product-graph node expansions.
+	SaboteurJobs            atomic.Int64
+	SaboteurOptimal         atomic.Int64
+	SaboteurBudgetExhausted atomic.Int64
+	SaboteurExpanded        atomic.Int64
 
 	mu        sync.Mutex
 	latencies []float64 // seconds, newest-last, bounded window
@@ -165,6 +174,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("csserved_batch_jobs_total", "Member jobs admitted through batches.", m.BatchJobs.Load())
 	counter("csserved_verdict_satisfied_total", "Completed checks with a satisfied verdict.", m.Satisfied.Load())
 	counter("csserved_verdict_violated_total", "Completed checks with a violated verdict.", m.Violated.Load())
+	counter("csserved_saboteur_jobs_total", "Completed jobs that ran the saboteur search.", m.SaboteurJobs.Load())
+	counter("csserved_saboteur_optimal_total", "Saboteur searches that proved k-bounded optimality.", m.SaboteurOptimal.Load())
+	counter("csserved_saboteur_budget_exhausted_total", "Saboteur searches cut off by the expansion budget.", m.SaboteurBudgetExhausted.Load())
+	counter("csserved_saboteur_expanded_nodes_total", "Product-graph nodes expanded by saboteur searches.", m.SaboteurExpanded.Load())
 	gauge("csserved_queue_depth", "Jobs waiting in the queue.", m.QueueDepth.Load())
 	gauge("csserved_inflight_workers", "Executors currently running a check.", m.InFlight.Load())
 	gauge("csserved_batches_inflight", "Batches not yet terminal.", m.BatchesInFlight.Load())

@@ -1,9 +1,13 @@
 package service
 
 import (
+	"encoding/json"
+	"reflect"
+	"strings"
 	"time"
 
 	"nonmask/internal/obs"
+	"nonmask/internal/saboteur"
 	"nonmask/internal/verify"
 )
 
@@ -130,6 +134,48 @@ func metricsJSON(m *verify.ToleranceMetrics) *ToleranceMetrics {
 	return out
 }
 
+// SaboteurResult is the wire form of one adversarial fault-schedule
+// search, present on a Result only when the job set options.saboteur.
+// Additive under the schema_version policy: version 2 consumers that
+// predate the saboteur simply ignore the block.
+type SaboteurResult struct {
+	// K and Objective echo the normalized search request.
+	K         int    `json:"k"`
+	Objective string `json:"objective"`
+	// Cost is the incumbent schedule's objective value: worst-case
+	// recovery steps after the schedule (recovery), or faults spent to
+	// leave the span (escape, when Escaped).
+	Cost int `json:"cost"`
+	// Optimal reports that the search proved no k-bounded schedule beats
+	// the incumbent (false only when the expansion budget ran out).
+	Optimal bool `json:"optimal"`
+	// Escaped reports that an escape-objective search left the span.
+	Escaped bool `json:"escaped,omitempty"`
+	// Expanded counts product-graph node expansions; Rounds counts
+	// incumbent improvements of the iterate-and-exclude loop.
+	Expanded int64 `json:"expanded"`
+	Rounds   int   `json:"rounds"`
+	// DeltaMax is the admissible bound's per-fault gain (recovery only).
+	DeltaMax int `json:"delta_max,omitempty"`
+	// Witness is the replayable schedule (cssim -replay), nil when no
+	// fault does damage or no escape exists within the budget.
+	Witness *saboteur.Witness `json:"witness,omitempty"`
+}
+
+// SaboteurResultFrom converts an engine result into the wire form shared
+// by the job API and csverify -json.
+func SaboteurResultFrom(r *saboteur.Result) *SaboteurResult {
+	if r == nil {
+		return nil
+	}
+	return &SaboteurResult{
+		K: r.K, Objective: r.Objective, Cost: r.Cost,
+		Optimal: r.Optimal, Escaped: r.Escaped,
+		Expanded: r.Expanded, Rounds: r.Rounds, DeltaMax: r.DeltaMax,
+		Witness: r.Witness,
+	}
+}
+
 // Result is the machine-readable verdict of one verification: the JSON
 // encoding shared by the service's job API, csverify -json, and
 // gclrun -json, so every entry point emits the same shape.
@@ -167,6 +213,9 @@ type Result struct {
 	// Metrics is the quantitative tolerance analysis, present only when
 	// the job selected the "metrics" analysis.
 	Metrics *ToleranceMetrics `json:"metrics,omitempty"`
+	// Saboteur is the adversarial fault-schedule search outcome, present
+	// only when the job set options.saboteur.
+	Saboteur *SaboteurResult `json:"saboteur,omitempty"`
 	// Passes is the per-pass breakdown of the check: one span per
 	// verifier pass with exact state counts and wall time (see
 	// internal/obs and DESIGN §8). For a cached result it describes the
@@ -180,6 +229,75 @@ type Result struct {
 	// Cached reports whether this result was served from the
 	// content-addressed cache rather than a fresh verify.Check run.
 	Cached bool `json:"cached,omitempty"`
+
+	// extra preserves JSON fields this build does not recognize, so a
+	// record written by a newer (additive) producer survives this build's
+	// decode/re-encode round trip — the persistent store's read path
+	// re-stamps and re-serves records, and the schema policy promises
+	// additive fields are never silently dropped on the way through.
+	extra map[string]json.RawMessage
+}
+
+// resultAlias strips Result's methods so the custom (un)marshalers can
+// delegate to the standard struct encoding without recursing.
+type resultAlias Result
+
+// knownResultKeys is the JSON key set of the current schema, derived from
+// the struct tags so it cannot drift from the field list.
+var knownResultKeys = func() map[string]bool {
+	keys := make(map[string]bool)
+	t := reflect.TypeOf(Result{})
+	for i := 0; i < t.NumField(); i++ {
+		if name, _, _ := strings.Cut(t.Field(i).Tag.Get("json"), ","); name != "" && name != "-" {
+			keys[name] = true
+		}
+	}
+	return keys
+}()
+
+// UnmarshalJSON decodes the known schema and stashes every unrecognized
+// top-level field, so future additive blocks round-trip losslessly
+// through this build's cache and store.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var a resultAlias
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	for key := range raw {
+		if knownResultKeys[key] {
+			delete(raw, key)
+		}
+	}
+	if len(raw) == 0 {
+		raw = nil
+	}
+	*r = Result(a)
+	r.extra = raw
+	return nil
+}
+
+// MarshalJSON re-emits the preserved unknown fields alongside the known
+// schema. Known fields always win a name collision, so re-stamped values
+// (schema_version, cached) are never shadowed by a stale preserved copy.
+func (r Result) MarshalJSON() ([]byte, error) {
+	base, err := json.Marshal(resultAlias(r))
+	if err != nil || len(r.extra) == 0 {
+		return base, err
+	}
+	var merged map[string]json.RawMessage
+	if err := json.Unmarshal(base, &merged); err != nil {
+		return nil, err
+	}
+	for key, val := range r.extra {
+		if !knownResultKeys[key] {
+			merged[key] = val
+		}
+	}
+	return json.Marshal(merged)
 }
 
 func convergenceJSON(r *verify.ConvergenceResult) *Convergence {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"nonmask/internal/obs"
+	"nonmask/internal/saboteur"
 	"nonmask/internal/store"
 	"nonmask/internal/verify"
 )
@@ -520,6 +521,13 @@ func (s *Server) runJob(j *job) {
 	rep, err := verify.Check(ctx, j.c.prog, j.c.s, j.c.t,
 		verify.WithOptions(j.c.opts), verify.WithConstraints(j.c.constraints...),
 		verify.WithTracer(obs.LogTracer{Logger: jlog}))
+	var sabRes *saboteur.Result
+	if err == nil && j.c.saboteur != nil {
+		// The search runs on the check's own space, so its pass span joins
+		// the report's span collection (and the per-job debug log) like any
+		// verifier pass.
+		sabRes, err = saboteur.Search(ctx, rep.Space, *j.c.saboteur)
+	}
 	now := time.Now()
 	if err != nil {
 		state := StateFailed
@@ -540,6 +548,23 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	res := ResultFromReport(j.c.name, rep)
+	if sabRes != nil {
+		if w := sabRes.Witness; w != nil && j.c.protocol != "" {
+			// Stamp the catalog identity onto the witness so cssim -replay
+			// can rebuild the instance from the file alone.
+			w.Protocol = j.c.protocol
+			params := j.c.params
+			w.Params = &params
+		}
+		res.Saboteur = SaboteurResultFrom(sabRes)
+		s.metrics.SaboteurJobs.Add(1)
+		s.metrics.SaboteurExpanded.Add(sabRes.Expanded)
+		if sabRes.Optimal {
+			s.metrics.SaboteurOptimal.Add(1)
+		} else {
+			s.metrics.SaboteurBudgetExhausted.Add(1)
+		}
+	}
 	if perr := s.cache.put(j.c.key, res); perr != nil {
 		// A failed persistent write degrades durability, not correctness:
 		// the verdict still lands in the memory tier and the job record.

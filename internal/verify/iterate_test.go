@@ -1,0 +1,98 @@
+package verify_test
+
+import (
+	"context"
+	"testing"
+
+	"nonmask/internal/program"
+	"nonmask/internal/protocols/registry"
+	"nonmask/internal/verify"
+)
+
+// TestSuccCursorAgreesWithGraph drives the exported schedule-constrained
+// iteration over every state of a catalog instance, on both the CSR path
+// and the forced fallback, and requires identical (action, successor)
+// sequences — and that each reported edge is what the action's own
+// guard/apply semantics produce.
+func TestSuccCursorAgreesWithGraph(t *testing.T) {
+	inst, err := registry.Build("tokenring-ring", registry.Params{N: 3, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type edge struct {
+		name string
+		j    int64
+	}
+	collect := func(sp *verify.Space) [][]edge {
+		out := make([][]edge, sp.Count)
+		cur := sp.NewSuccCursor()
+		for i := int64(0); i < sp.Count; i++ {
+			cur.ForEach(i, func(a *program.Action, j int64) bool {
+				out[i] = append(out[i], edge{a.Name, j})
+				return true
+			})
+		}
+		return out
+	}
+	verifyEdges := func(sp *verify.Space, edges [][]edge) {
+		for i := int64(0); i < sp.Count; i++ {
+			st := sp.State(i)
+			n := 0
+			for _, a := range sp.P.Actions {
+				if !a.Guard(st) {
+					continue
+				}
+				want := sp.P.Schema.Index(a.Apply(st))
+				if n >= len(edges[i]) || edges[i][n].name != a.Name || edges[i][n].j != want {
+					t.Fatalf("state %d edge %d: got %v, want (%s, %d)", i, n, edges[i], a.Name, want)
+				}
+				n++
+			}
+			if n != len(edges[i]) {
+				t.Fatalf("state %d: cursor reported %d edges, guards enable %d", i, len(edges[i]), n)
+			}
+		}
+	}
+
+	ctx := context.Background()
+	sp, err := verify.NewSpaceContext(ctx, inst.Program, inst.S, program.True(), verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.HasSuccIndex() {
+		t.Fatal("expected the CSR index on the baseline space")
+	}
+	csr := collect(sp)
+	verifyEdges(sp, csr)
+
+	restore := verify.SetSuccIndexBudget(1)
+	defer restore()
+	fb, err := verify.NewSpaceContext(ctx, inst.Program, inst.S, program.True(), verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.HasSuccIndex() {
+		t.Fatal("tiny budget should force the fallback")
+	}
+	fallback := collect(fb)
+	for i := range csr {
+		if len(csr[i]) != len(fallback[i]) {
+			t.Fatalf("state %d: CSR has %d edges, fallback %d", i, len(csr[i]), len(fallback[i]))
+		}
+		for n := range csr[i] {
+			if csr[i][n] != fallback[i][n] {
+				t.Fatalf("state %d edge %d: CSR %v != fallback %v", i, n, csr[i][n], fallback[i][n])
+			}
+		}
+	}
+
+	// ForEach must stop when fn returns false.
+	stops := 0
+	sp.NewSuccCursor().ForEach(0, func(*program.Action, int64) bool {
+		stops++
+		return false
+	})
+	if stops > 1 {
+		t.Fatalf("ForEach continued %d edges past a false return", stops)
+	}
+}
