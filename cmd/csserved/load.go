@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sync"
 	"time"
 
 	"nonmask/internal/metrics"
+	"nonmask/internal/obs"
 	"nonmask/internal/protocols/registry"
 	"nonmask/internal/service"
 	"nonmask/internal/service/client"
@@ -41,6 +43,14 @@ func runLoad(cfg service.Config, jobs, clients int) error {
 	defer ts.Close()
 	fmt.Printf("csserved -load: %d jobs, %d clients, mix of %d instances, queue %d, executors %d\n",
 		jobs, clients, len(loadMix), cfg.QueueSize, cfg.Executors)
+
+	// Live progress rides the server's own event firehose over the real
+	// SSE path — the same stream an operator would curl mid-run. The
+	// watcher ends when drain closes the bus below.
+	watchCtx, stopWatch := context.WithCancel(context.Background())
+	defer stopWatch()
+	watched := make(chan int, 1)
+	go func() { watched <- watchLoad(watchCtx, ts.URL, jobs) }()
 
 	var (
 		mu        sync.Mutex
@@ -112,6 +122,10 @@ func runLoad(cfg service.Config, jobs, clients int) error {
 	if err := svc.Shutdown(ctx); err != nil {
 		return fmt.Errorf("drain after load: %w", err)
 	}
+	// Drain closed the bus, which ends the firehose stream cleanly; the
+	// watcher hands back how many terminal job events it streamed.
+	seen := <-watched
+	fmt.Printf("csserved -load: %d terminal job events streamed over /v1/events\n", seen)
 
 	sub := metrics.Summarize(submitMS)
 	tot := metrics.Summarize(totalMS)
@@ -155,4 +169,35 @@ func runLoad(cfg service.Config, jobs, clients int) error {
 		return fmt.Errorf("%d of %d jobs failed", len(failures), jobs)
 	}
 	return nil
+}
+
+// watchLoad tails the server's job firehose (GET /v1/events?types=job),
+// printing a live completion line at every tenth of the workload. It
+// returns the number of terminal job events streamed; the feed ends when
+// drain closes the event bus or ctx is canceled.
+func watchLoad(ctx context.Context, base string, total int) (terminal int) {
+	c := client.New(base, nil)
+	w, err := c.WatchEvents(ctx, 0, obs.EventJob)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csserved -load: event watch:", err)
+		return 0
+	}
+	defer w.Close()
+	step := total / 10
+	if step < 1 {
+		step = 1
+	}
+	for {
+		ev, done, err := w.Next()
+		if done || err != nil {
+			return terminal
+		}
+		if ev.Type == obs.EventJob && service.JobState(ev.State).Terminal() {
+			terminal++
+			if terminal%step == 0 {
+				fmt.Fprintf(os.Stderr, "csserved -load: %d/%d jobs finished (live via /v1/events)\n",
+					terminal, total)
+			}
+		}
+	}
 }

@@ -14,9 +14,11 @@
 // Endpoints: POST /v1/jobs, GET /v1/jobs[?limit=&offset=],
 // GET /v1/jobs/{id}[?wait=2s], DELETE /v1/jobs/{id}, POST /v1/batches,
 // GET /v1/batches/{id}[?wait=5s], DELETE /v1/batches/{id},
-// GET /v1/protocols, GET /healthz, GET /metrics (including per-pass
-// latency histograms). With -pprof, net/http/pprof is mounted under
-// /debug/pprof/.
+// GET /v1/jobs/{id}/events and /v1/batches/{id}/events (SSE streams,
+// replay + live tail), GET /v1/events (SSE firehose, ?types= filters),
+// GET /v1/protocols, GET /v1/version, GET /healthz, GET /metrics
+// (including per-pass latency histograms). With -pprof, net/http/pprof
+// is mounted under /debug/pprof/.
 //
 // With -store DIR, every verdict is written through to an append-only,
 // CRC-checksummed log in DIR, recovered on boot, and served read-through
@@ -59,6 +61,10 @@ func main() {
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight checks")
 		logLevel     = flag.String("log", "info", "structured log level on stderr: debug | info | warn | error | off (debug includes per-pass spans and request logs)")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the service address")
+		eventHist    = flag.Int("event-history", 0, "retained events per stream for SSE replay (0 = 1024 default)")
+		eventBuf     = flag.Int("event-buffer", 0, "per-subscriber event buffer; slow consumers drop beyond it (0 = 256 default)")
+		progressIvl  = flag.Duration("progress-interval", 0, "progress event sampling interval (0 = 250ms default, negative disables)")
+		heartbeat    = flag.Duration("heartbeat", 0, "SSE keepalive comment interval (0 = 15s default)")
 
 		load        = flag.Bool("load", false, "self-benchmark: hammer an in-process server and print a latency table")
 		loadJobs    = flag.Int("load-jobs", 200, "load mode: total submissions")
@@ -73,14 +79,18 @@ func main() {
 	}
 
 	cfg := service.Config{
-		QueueSize:    *queueSize,
-		Executors:    *executors,
-		CheckWorkers: *checkWorkers,
-		MaxStates:    *maxStates,
-		MaxDeadline:  *maxDeadline,
-		CacheSize:    *cacheSize,
-		RecordTTL:    *recordTTL,
-		Logger:       logger,
+		QueueSize:        *queueSize,
+		Executors:        *executors,
+		CheckWorkers:     *checkWorkers,
+		MaxStates:        *maxStates,
+		MaxDeadline:      *maxDeadline,
+		CacheSize:        *cacheSize,
+		RecordTTL:        *recordTTL,
+		EventHistory:     *eventHist,
+		EventBuffer:      *eventBuf,
+		ProgressInterval: *progressIvl,
+		Heartbeat:        *heartbeat,
+		Logger:           logger,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, store.Options{Logger: logger})

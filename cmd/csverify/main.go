@@ -16,6 +16,7 @@
 //	csverify -protocol xyz -variant out-tree
 //	csverify -protocol composed -n 4 -graph ring
 //	csverify -protocol threestate -n 5 -json
+//	csverify -watch http://127.0.0.1:8080 j-17
 //	csverify -list
 package main
 
@@ -25,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -33,6 +35,7 @@ import (
 	"nonmask/internal/protocols/registry"
 	"nonmask/internal/saboteur"
 	"nonmask/internal/service"
+	"nonmask/internal/service/client"
 	"nonmask/internal/store"
 	"nonmask/internal/verify"
 )
@@ -58,9 +61,22 @@ func main() {
 		witOut    = flag.String("witness-out", "", "write the saboteur witness JSON to this file (replay with cssim -replay)")
 		trace     = flag.Bool("trace", false, "print the per-pass span table (states, frontier, wall time) on stderr")
 		progress  = flag.Bool("progress", false, "stream live per-pass progress lines on stderr")
+		watch     = flag.String("watch", "", "tail a remote csserved job's event stream: -watch URL JOB-ID")
 		list      = flag.Bool("list", false, "list the protocol catalog and exit")
 	)
 	flag.Parse()
+
+	if *watch != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: csverify -watch URL JOB-ID")
+			os.Exit(2)
+		}
+		if err := runWatch(*watch, flag.Arg(0)); err != nil {
+			fmt.Fprintln(os.Stderr, "csverify:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range registry.Entries() {
@@ -117,6 +133,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "csverify:", err)
 		os.Exit(1)
 	}
+}
+
+// runWatch tails a remote job's SSE stream: the same per-pass lines
+// -progress prints locally, the same span table -trace prints, but fed by
+// a csserved across the network. The stream replays retained history
+// first, so attaching after completion still renders the full run.
+func runWatch(baseURL, jobID string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	c := client.New(baseURL, nil)
+	state, detail, stats, err := c.TailJob(ctx, jobID, 0, os.Stderr)
+	if err != nil {
+		return err
+	}
+	if len(stats) > 0 {
+		fmt.Fprint(os.Stderr, obs.FormatTable(stats))
+	}
+	fmt.Printf("job %s: %s", jobID, state)
+	if detail != "" {
+		fmt.Printf(" (%s)", detail)
+	}
+	fmt.Println()
+	if state != service.StateDone {
+		return fmt.Errorf("job finished %s", state)
+	}
+	return nil
 }
 
 // printSnapshot renders one -progress ticker line.

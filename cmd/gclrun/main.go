@@ -12,6 +12,7 @@
 //	gclrun -workers 1 -max-states 1000000 file.gcl
 //	gclrun -json file.gcl                     # service.Result JSON
 //	gclrun -trace -progress file.gcl          # pass table + live ticker on stderr
+//	gclrun -remote http://127.0.0.1:8080 file.gcl   # submit to csserved, watch live
 package main
 
 import (
@@ -20,11 +21,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"nonmask/internal/gcl"
 	"nonmask/internal/obs"
 	"nonmask/internal/service"
+	"nonmask/internal/service/client"
 	"nonmask/internal/verify"
 )
 
@@ -38,11 +41,19 @@ func main() {
 		measure   = flag.Bool("measure", false, "additionally run the quantitative tolerance metrics (distance profile, worst/expected stabilization time, per-constraint recovery costs)")
 		trace     = flag.Bool("trace", false, "print the per-pass span table (states, frontier, wall time) on stderr")
 		progress  = flag.Bool("progress", false, "stream live per-pass progress lines on stderr")
+		remote    = flag.String("remote", "", "submit the source to a csserved at this URL and watch its event stream instead of checking locally")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: gclrun [-print] [-json] [-trace] [-progress] [-strategy s] [-workers n] [-max-states n] <file.gcl>")
+		fmt.Fprintln(os.Stderr, "usage: gclrun [-print] [-json] [-trace] [-progress] [-remote URL] [-strategy s] [-workers n] [-max-states n] <file.gcl>")
 		os.Exit(2)
+	}
+	if *remote != "" {
+		if err := runRemote(*remote, flag.Arg(0), *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "gclrun:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	opts := verify.Options{Workers: *workers, MaxStates: *maxStates, Metrics: *measure}
 	if *strategy == "exhaustive" {
@@ -71,6 +82,50 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gclrun:", err)
 		os.Exit(1)
 	}
+}
+
+// runRemote ships the GCL source to a csserved as a job and tails its
+// event stream: the replayed history plus live pass spans and progress,
+// the final pass table, and the result fetched once the stream ends at
+// the terminal job event.
+func runRemote(baseURL, path string, jsonOut bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	c := client.New(baseURL, nil)
+	st, err := c.Submit(ctx, service.JobSpec{Source: string(src)})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "gclrun: submitted %s to %s\n", st.ID, baseURL)
+	state, detail, stats, err := c.TailJob(ctx, st.ID, 0, os.Stderr)
+	if err != nil {
+		return err
+	}
+	if len(stats) > 0 {
+		fmt.Fprint(os.Stderr, obs.FormatTable(stats))
+	}
+	final, err := c.Job(ctx, st.ID, 0)
+	if err != nil {
+		return err
+	}
+	if jsonOut && final.Result != nil {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(final.Result)
+	}
+	fmt.Printf("job %s: %s", st.ID, state)
+	if detail != "" {
+		fmt.Printf(" (%s)", detail)
+	}
+	fmt.Println()
+	if state != service.StateDone {
+		return fmt.Errorf("job finished %s: %s", state, final.Error)
+	}
+	return nil
 }
 
 // printSnapshot renders one -progress ticker line.

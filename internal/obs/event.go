@@ -1,0 +1,519 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The event layer turns the pass spans and counters of this package into
+// a live, replayable stream. A Bus holds one Stream per source (the
+// service keys streams by job and batch id); each Stream assigns its
+// events a monotonically increasing per-source sequence number, keeps a
+// bounded in-memory replay ring, and fans events out to subscribers over
+// bounded buffered channels. Publishing never blocks: a subscriber whose
+// buffer is full loses the event and its drop counter advances, so a
+// slow SSE client can never stall the verifier hot path.
+//
+// Overhead contract (the extension of the package's tracing contract):
+// with no subscriber attached, publishing an event is one mutex
+// round-trip, one time.Now, and a copy into a pre-grown ring slot — zero
+// allocations in steady state, pinned by an AllocsPerRun test here and
+// the events-idle Check benchmark in internal/verify.
+
+// EventType classifies bus events.
+type EventType string
+
+// Event types carried on the bus.
+const (
+	// EventPassStart marks the beginning of a verifier pass; Pass names
+	// it and Total carries the size hint (0 when unknown).
+	EventPassStart EventType = "pass_start"
+	// EventPassEnd delivers a completed pass span in Stat.
+	EventPassEnd EventType = "pass_end"
+	// EventProgress is a sampled progress snapshot: Pass, Done, Total.
+	EventProgress EventType = "progress"
+	// EventJob is a job lifecycle transition; State holds the new state
+	// and Detail the verdict or error.
+	EventJob EventType = "job"
+	// EventBatch is a batch lifecycle transition (running/done/canceled).
+	EventBatch EventType = "batch"
+	// EventBatchMember reports one batch member reaching a terminal
+	// state; Member is the job id, Data the member's curve point if it
+	// produced one.
+	EventBatchMember EventType = "batch_member"
+	// EventSaboteur reports a saboteur incumbent improvement: Cost is the
+	// new objective value, Faults the schedule's fault count, Done the
+	// nodes expanded so far.
+	EventSaboteur EventType = "saboteur"
+	// EventServer is a server lifecycle announcement (e.g. "draining").
+	EventServer EventType = "server"
+)
+
+// knownEventTypes validates firehose type filters.
+var knownEventTypes = map[EventType]bool{
+	EventPassStart: true, EventPassEnd: true, EventProgress: true,
+	EventJob: true, EventBatch: true, EventBatchMember: true,
+	EventSaboteur: true, EventServer: true,
+}
+
+// KnownEventType reports whether t is one of the defined event types.
+func KnownEventType(t EventType) bool { return knownEventTypes[t] }
+
+// Event is one bus event: a flat, wire-ready record. Only the fields the
+// Type calls for are set; everything else stays at its zero value and is
+// omitted from the JSON encoding.
+type Event struct {
+	// Seq is the per-source monotonic sequence number, assigned by
+	// Publish. SSE streams over one source use it as the event id, so
+	// Last-Event-ID resume is exact.
+	Seq uint64 `json:"seq"`
+	// BusSeq is the bus-global sequence number, assigned by Publish; the
+	// firehose stream uses it as the event id.
+	BusSeq uint64 `json:"bus_seq,omitempty"`
+	// Type classifies the event.
+	Type EventType `json:"type"`
+	// Source identifies the publishing stream (job id, batch id, "server").
+	Source string `json:"source,omitempty"`
+	// Time stamps publication.
+	Time time.Time `json:"time"`
+	// Pass names the verifier pass (pass_start, pass_end, progress).
+	Pass string `json:"pass,omitempty"`
+	// Done and Total carry progress counts (progress, batch progress) and
+	// the pass_start size hint (Total alone).
+	Done  int64 `json:"done,omitempty"`
+	Total int64 `json:"total,omitempty"`
+	// Stat is the completed span (pass_end).
+	Stat *PassStat `json:"stat,omitempty"`
+	// State is the new lifecycle state (job, batch, server events).
+	State string `json:"state,omitempty"`
+	// Detail is the human-readable particular: a verdict, an error, a
+	// cancellation reason.
+	Detail string `json:"detail,omitempty"`
+	// Member is the member job id (batch_member).
+	Member string `json:"member,omitempty"`
+	// Cost and Faults describe a saboteur incumbent (saboteur).
+	Cost   int64 `json:"cost,omitempty"`
+	Faults int   `json:"faults,omitempty"`
+	// Data is an optional source-specific JSON payload (e.g. a batch
+	// member's tolerance-curve point).
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// BusStats is a snapshot of the bus's fan-out counters.
+type BusStats struct {
+	// Subscribers is the number of currently attached subscribers
+	// (stream-scoped and firehose together).
+	Subscribers int64
+	// Published counts events accepted by Publish (recorded to replay
+	// rings whether or not anyone was listening).
+	Published int64
+	// Emitted counts deliveries into subscriber buffers — zero when no
+	// subscriber ever attached, however many events were published.
+	Emitted int64
+	// Dropped counts events lost at full subscriber buffers (slow
+	// consumers).
+	Dropped int64
+}
+
+// defaultHistory bounds a stream's replay ring when NewBus is given a
+// non-positive history.
+const defaultHistory = 1024
+
+// Bus is the process-wide event fan-out: per-source Streams with bounded
+// replay rings, plus bus-wide firehose subscribers. All methods are safe
+// for concurrent use. A single mutex guards the whole bus — event rates
+// are a handful per pass plus a governed progress sample, far below
+// contention range.
+type Bus struct {
+	history int
+
+	mu      sync.Mutex
+	closed  bool
+	busSeq  uint64
+	streams map[string]*Stream
+	subs    map[*Subscription]struct{} // firehose subscribers
+	global  ring                       // firehose replay ring
+
+	subscribers int64
+	published   int64
+	emitted     int64
+	dropped     int64
+}
+
+// NewBus creates a bus whose streams each retain up to history events
+// for replay (non-positive means a 1024-event default). The firehose
+// replay ring has the same bound.
+func NewBus(history int) *Bus {
+	if history <= 0 {
+		history = defaultHistory
+	}
+	return &Bus{
+		history: history,
+		streams: make(map[string]*Stream),
+		subs:    make(map[*Subscription]struct{}),
+		global:  ring{cap: history},
+	}
+}
+
+// Stream returns the source's stream, creating it on first use.
+func (b *Bus) Stream(source string) *Stream {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if st, ok := b.streams[source]; ok {
+		return st
+	}
+	st := &Stream{
+		bus:    b,
+		source: source,
+		hist:   ring{cap: b.history},
+		subs:   make(map[*Subscription]struct{}),
+	}
+	b.streams[source] = st
+	return st
+}
+
+// Remove drops a source's stream, closing its subscribers; publishing on
+// the removed stream becomes a no-op. Used when the record backing the
+// source is evicted.
+func (b *Bus) Remove(source string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.streams[source]
+	if !ok {
+		return
+	}
+	delete(b.streams, source)
+	st.removed = true
+	for sub := range st.subs {
+		sub.closeLocked()
+	}
+}
+
+// Subscribe attaches a firehose subscriber: it first returns the
+// retained events with BusSeq > after (filtered to types when any are
+// given, all types otherwise), then delivers every subsequent matching
+// event from any stream on the subscription's channel. buf bounds the
+// channel (non-positive means 1). The replay and the registration are
+// atomic: no event is missed or duplicated between them. A closed bus
+// returns the history and an already-closed subscription.
+func (b *Bus) Subscribe(after uint64, buf int, types ...EventType) ([]Event, *Subscription) {
+	filter := typeFilter(types)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	history := b.global.collect(after, true, filter, nil)
+	sub := newSubscription(b, nil, buf, filter)
+	if b.closed {
+		close(sub.ch)
+		sub.closed = true
+		return history, sub
+	}
+	b.subs[sub] = struct{}{}
+	b.subscribers++
+	return history, sub
+}
+
+// Close shuts the bus down: every subscriber's channel is closed and all
+// further publishes are dropped. Idempotent.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for sub := range b.subs {
+		sub.closeLocked()
+	}
+	for _, st := range b.streams {
+		for sub := range st.subs {
+			sub.closeLocked()
+		}
+	}
+}
+
+// Stats snapshots the fan-out counters.
+func (b *Bus) Stats() BusStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BusStats{
+		Subscribers: b.subscribers,
+		Published:   b.published,
+		Emitted:     b.emitted,
+		Dropped:     b.dropped,
+	}
+}
+
+func typeFilter(types []EventType) map[EventType]bool {
+	if len(types) == 0 {
+		return nil
+	}
+	m := make(map[EventType]bool, len(types))
+	for _, t := range types {
+		m[t] = true
+	}
+	return m
+}
+
+// ring is a bounded event log: it grows to cap, then wraps, overwriting
+// the oldest entry. Growing lazily keeps an idle stream at one small
+// allocation instead of cap pre-allocated slots.
+type ring struct {
+	buf   []Event
+	cap   int
+	start int // index of the oldest entry once wrapped
+}
+
+func (r *ring) push(ev Event) {
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.start] = ev
+	r.start = (r.start + 1) % r.cap
+}
+
+// collect appends retained events in order, keeping those whose sequence
+// (BusSeq when busSeq, Seq otherwise) exceeds after and whose type passes
+// the filter (nil = all).
+func (r *ring) collect(after uint64, busSeq bool, filter map[EventType]bool, out []Event) []Event {
+	n := len(r.buf)
+	for k := 0; k < n; k++ {
+		ev := r.buf[(r.start+k)%n]
+		seq := ev.Seq
+		if busSeq {
+			seq = ev.BusSeq
+		}
+		if seq <= after {
+			continue
+		}
+		if filter != nil && !filter[ev.Type] {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// Stream is one source's event sequence: monotonically numbered, logged
+// to a bounded replay ring, fanned out to the stream's subscribers and
+// the bus firehose. The zero value is not usable; obtain streams from
+// Bus.Stream. A nil *Stream ignores publishes, so optional wiring costs
+// callers one nil-check.
+type Stream struct {
+	bus    *Bus
+	source string
+
+	// All fields below are guarded by bus.mu.
+	seq     uint64
+	hist    ring
+	subs    map[*Subscription]struct{}
+	removed bool
+}
+
+// Source returns the stream's source id.
+func (s *Stream) Source() string { return s.source }
+
+// Publish stamps ev with the stream's next sequence number, the bus
+// sequence number, and the current time (when unset), records it in the
+// replay ring, and offers it to every subscriber without blocking —
+// subscribers with full buffers lose the event and are counted as drops.
+func (s *Stream) Publish(ev Event) {
+	if s == nil {
+		return
+	}
+	b := s.bus
+	b.mu.Lock()
+	if b.closed || s.removed {
+		b.mu.Unlock()
+		return
+	}
+	s.seq++
+	b.busSeq++
+	ev.Seq = s.seq
+	ev.BusSeq = b.busSeq
+	ev.Source = s.source
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	s.hist.push(ev)
+	b.global.push(ev)
+	b.published++
+	for sub := range s.subs {
+		sub.offer(ev)
+	}
+	for sub := range b.subs {
+		sub.offer(ev)
+	}
+	b.mu.Unlock()
+}
+
+// LastSeq returns the stream's most recently assigned sequence number.
+func (s *Stream) LastSeq() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.bus.mu.Lock()
+	defer s.bus.mu.Unlock()
+	return s.seq
+}
+
+// Subscribe attaches a subscriber to this stream: it first returns the
+// retained events with Seq > after, then delivers every subsequent event
+// on the subscription's channel. buf bounds the channel (non-positive
+// means 1). Replay and registration are atomic under the bus lock, so
+// attaching mid-run yields exactly the sequence an attach-from-the-start
+// subscriber saw: no gap, no duplicate. On a removed stream or closed
+// bus the subscription comes back already closed (history still
+// replays).
+func (s *Stream) Subscribe(after uint64, buf int) ([]Event, *Subscription) {
+	b := s.bus
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	history := s.hist.collect(after, false, nil, nil)
+	sub := newSubscription(b, s, buf, nil)
+	if b.closed || s.removed {
+		close(sub.ch)
+		sub.closed = true
+		return history, sub
+	}
+	s.subs[sub] = struct{}{}
+	b.subscribers++
+	return history, sub
+}
+
+// PassStart implements Tracer: the pass beginning becomes a pass_start
+// event carrying the size hint.
+func (s *Stream) PassStart(pass string, total int64) {
+	s.Publish(Event{Type: EventPassStart, Pass: pass, Total: total})
+}
+
+// PassEnd implements Tracer: the completed span becomes a pass_end event.
+func (s *Stream) PassEnd(stat PassStat) {
+	st := stat
+	s.Publish(Event{Type: EventPassEnd, Pass: stat.Pass, Stat: &st})
+}
+
+// Subscription is one subscriber's bounded event feed. Receive from
+// Events; the channel closes when the subscription, its stream, or the
+// bus is closed.
+type Subscription struct {
+	bus    *Bus
+	stream *Stream // nil for firehose subscribers
+	ch     chan Event
+	filter map[EventType]bool // nil = all (firehose only)
+
+	// closed and drops are guarded by bus.mu; the publisher only sends
+	// while holding it, so Close never races a send on the closed channel.
+	closed bool
+	drops  int64
+}
+
+func newSubscription(b *Bus, s *Stream, buf int, filter map[EventType]bool) *Subscription {
+	if buf <= 0 {
+		buf = 1
+	}
+	return &Subscription{bus: b, stream: s, ch: make(chan Event, buf), filter: filter}
+}
+
+// Events is the subscriber's feed. It closes on Close, stream removal,
+// or bus shutdown; events published while the buffer was full are
+// missing from it and counted by Dropped.
+func (sub *Subscription) Events() <-chan Event { return sub.ch }
+
+// Dropped returns how many events this subscriber lost to a full buffer.
+func (sub *Subscription) Dropped() int64 {
+	sub.bus.mu.Lock()
+	defer sub.bus.mu.Unlock()
+	return sub.drops
+}
+
+// Close detaches the subscriber and closes its channel. Idempotent.
+func (sub *Subscription) Close() {
+	b := sub.bus
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if sub.closed {
+		return
+	}
+	if sub.stream != nil {
+		delete(sub.stream.subs, sub)
+	} else {
+		delete(b.subs, sub)
+	}
+	sub.closeLocked()
+}
+
+// closeLocked closes the channel and releases the subscriber count; the
+// caller removes the subscription from its container. bus.mu held.
+func (sub *Subscription) closeLocked() {
+	if sub.closed {
+		return
+	}
+	sub.closed = true
+	sub.bus.subscribers--
+	close(sub.ch)
+}
+
+// offer delivers without blocking; bus.mu held (so the channel cannot be
+// concurrently closed).
+func (sub *Subscription) offer(ev Event) {
+	if sub.filter != nil && !sub.filter[ev.Type] {
+		return
+	}
+	select {
+	case sub.ch <- ev:
+		sub.bus.emitted++
+	default:
+		sub.drops++
+		sub.bus.dropped++
+	}
+}
+
+// FormatEventLine renders one event as the single human-readable line
+// the watch CLIs print (csverify -watch, gclrun -remote). Events with no
+// line form (pass_end, whose data feeds the final pass table instead)
+// return "".
+func FormatEventLine(ev Event) string {
+	switch ev.Type {
+	case EventPassStart:
+		if ev.Total > 0 {
+			return fmt.Sprintf("pass %-16s started (%d states expected)", ev.Pass, ev.Total)
+		}
+		return fmt.Sprintf("pass %-16s started", ev.Pass)
+	case EventPassEnd:
+		return ""
+	case EventProgress:
+		var b strings.Builder
+		fmt.Fprintf(&b, "pass %-16s %12d", ev.Pass, ev.Done)
+		if ev.Total > 0 {
+			fmt.Fprintf(&b, " / %d (%.1f%%)", ev.Total, 100*float64(ev.Done)/float64(ev.Total))
+		}
+		return b.String()
+	case EventJob:
+		line := fmt.Sprintf("job %s: %s", ev.Source, ev.State)
+		if ev.Detail != "" {
+			line += " — " + ev.Detail
+		}
+		return line
+	case EventBatch:
+		return fmt.Sprintf("batch %s: %s (%d/%d members terminal)", ev.Source, ev.State, ev.Done, ev.Total)
+	case EventBatchMember:
+		line := fmt.Sprintf("member %s: %s", ev.Member, ev.State)
+		if ev.Detail != "" {
+			line += " — " + ev.Detail
+		}
+		return line
+	case EventSaboteur:
+		return fmt.Sprintf("saboteur: incumbent cost %d with %d faults (%d nodes expanded)", ev.Cost, ev.Faults, ev.Done)
+	case EventServer:
+		line := "server: " + ev.State
+		if ev.Detail != "" {
+			line += " — " + ev.Detail
+		}
+		return line
+	}
+	return ""
+}

@@ -1,0 +1,348 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// collect drains everything currently buffered on the subscription.
+func drainBuffered(sub *Subscription) []Event {
+	var out []Event
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return out
+			}
+			out = append(out, ev)
+		default:
+			return out
+		}
+	}
+}
+
+func TestStreamSequencing(t *testing.T) {
+	b := NewBus(16)
+	s1 := b.Stream("j-1")
+	s2 := b.Stream("j-2")
+	for i := 0; i < 3; i++ {
+		s1.Publish(Event{Type: EventProgress})
+		s2.Publish(Event{Type: EventProgress})
+	}
+	if got := s1.LastSeq(); got != 3 {
+		t.Errorf("s1 LastSeq = %d, want 3 (per-source numbering)", got)
+	}
+	if got := s2.LastSeq(); got != 3 {
+		t.Errorf("s2 LastSeq = %d, want 3 (per-source numbering)", got)
+	}
+	hist, sub := s1.Subscribe(0, 4)
+	defer sub.Close()
+	for i, ev := range hist {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("event %d has Seq %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.Source != "j-1" {
+			t.Errorf("event %d has Source %q, want j-1", i, ev.Source)
+		}
+		if ev.Time.IsZero() {
+			t.Errorf("event %d missing publish timestamp", i)
+		}
+	}
+	// Bus-global numbering is strictly increasing across sources.
+	all, fsub := b.Subscribe(0, 4)
+	defer fsub.Close()
+	if len(all) != 6 {
+		t.Fatalf("firehose history has %d events, want 6", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].BusSeq <= all[i-1].BusSeq {
+			t.Fatalf("BusSeq not increasing: %d after %d", all[i].BusSeq, all[i-1].BusSeq)
+		}
+	}
+}
+
+// TestSubscribeReplayIdentity is the replay contract: a subscriber
+// attaching mid-run sees exactly the sequence (history + live tail) that
+// an attach-from-the-start subscriber saw — same ids, same order.
+func TestSubscribeReplayIdentity(t *testing.T) {
+	b := NewBus(64)
+	s := b.Stream("j-1")
+	earlyHist, early := s.Subscribe(0, 64)
+	if len(earlyHist) != 0 {
+		t.Fatalf("fresh stream replayed %d events", len(earlyHist))
+	}
+	for i := 0; i < 5; i++ {
+		s.Publish(Event{Type: EventProgress, Done: int64(i)})
+	}
+	midHist, mid := s.Subscribe(0, 64)
+	for i := 5; i < 10; i++ {
+		s.Publish(Event{Type: EventProgress, Done: int64(i)})
+	}
+	s.Publish(Event{Type: EventJob, State: "done"})
+	lateHist, late := s.Subscribe(0, 64)
+	late.Close()
+
+	seqs := func(evs []Event) []uint64 {
+		out := make([]uint64, len(evs))
+		for i, ev := range evs {
+			out[i] = ev.Seq
+		}
+		return out
+	}
+	earlySeen := seqs(drainBuffered(early))
+	midSeen := append(seqs(midHist), seqs(drainBuffered(mid))...)
+	lateSeen := seqs(lateHist)
+	early.Close()
+	mid.Close()
+
+	want := fmt.Sprint(earlySeen)
+	if got := fmt.Sprint(midSeen); got != want {
+		t.Errorf("mid-run attach saw %s, attach-from-start saw %s", got, want)
+	}
+	if got := fmt.Sprint(lateSeen); got != want {
+		t.Errorf("after-completion attach saw %s, attach-from-start saw %s", got, want)
+	}
+	if len(earlySeen) != 11 {
+		t.Errorf("attach-from-start saw %d events, want 11", len(earlySeen))
+	}
+}
+
+func TestSubscribeResume(t *testing.T) {
+	b := NewBus(64)
+	s := b.Stream("j-1")
+	for i := 1; i <= 8; i++ {
+		s.Publish(Event{Type: EventProgress, Done: int64(i)})
+	}
+	hist, sub := s.Subscribe(5, 8)
+	defer sub.Close()
+	if len(hist) != 3 {
+		t.Fatalf("resume after seq 5 replayed %d events, want 3", len(hist))
+	}
+	for i, ev := range hist {
+		if want := uint64(6 + i); ev.Seq != want {
+			t.Errorf("resumed event %d has Seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestSlowConsumerDrops(t *testing.T) {
+	b := NewBus(64)
+	s := b.Stream("j-1")
+	_, sub := s.Subscribe(0, 2)
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		s.Publish(Event{Type: EventProgress, Done: int64(i)})
+	}
+	if got := sub.Dropped(); got != 8 {
+		t.Errorf("subscriber dropped %d events, want 8 (buffer 2, published 10)", got)
+	}
+	st := b.Stats()
+	if st.Dropped != 8 || st.Emitted != 2 {
+		t.Errorf("bus counted emitted=%d dropped=%d, want 2/8", st.Emitted, st.Dropped)
+	}
+	// The replay ring is unaffected by the subscriber's losses.
+	hist, sub2 := s.Subscribe(0, 16)
+	sub2.Close()
+	if len(hist) != 10 {
+		t.Errorf("replay ring has %d events, want 10", len(hist))
+	}
+	// Publishing never blocked: we got here.
+}
+
+func TestHistoryBound(t *testing.T) {
+	b := NewBus(4)
+	s := b.Stream("j-1")
+	for i := 1; i <= 10; i++ {
+		s.Publish(Event{Type: EventProgress, Done: int64(i)})
+	}
+	hist, sub := s.Subscribe(0, 16)
+	sub.Close()
+	if len(hist) != 4 {
+		t.Fatalf("ring retained %d events, want 4", len(hist))
+	}
+	for i, ev := range hist {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Errorf("retained event %d has Seq %d, want %d (oldest evicted first)", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestFirehoseFilterAndResume(t *testing.T) {
+	b := NewBus(64)
+	s := b.Stream("j-1")
+	s.Publish(Event{Type: EventJob, State: "queued"})
+	s.Publish(Event{Type: EventProgress, Done: 1})
+	s.Publish(Event{Type: EventJob, State: "running"})
+	hist, sub := b.Subscribe(0, 8, EventJob)
+	defer sub.Close()
+	if len(hist) != 2 {
+		t.Fatalf("filtered firehose replayed %d events, want 2", len(hist))
+	}
+	s.Publish(Event{Type: EventProgress, Done: 2}) // filtered out
+	s.Publish(Event{Type: EventJob, State: "done"})
+	live := drainBuffered(sub)
+	if len(live) != 1 || live[0].State != "done" {
+		t.Fatalf("filtered live feed = %+v, want the single job event", live)
+	}
+	// Resume by BusSeq skips what was already seen.
+	hist2, sub2 := b.Subscribe(hist[1].BusSeq, 8, EventJob)
+	sub2.Close()
+	if len(hist2) != 1 || hist2[0].State != "done" {
+		t.Fatalf("firehose resume replayed %+v, want just the final job event", hist2)
+	}
+}
+
+func TestRemoveClosesSubscribers(t *testing.T) {
+	b := NewBus(16)
+	s := b.Stream("j-1")
+	_, sub := s.Subscribe(0, 4)
+	b.Remove("j-1")
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("subscription channel still open after stream removal")
+	}
+	s.Publish(Event{Type: EventProgress}) // no-op, must not panic
+	if got := b.Stats().Subscribers; got != 0 {
+		t.Errorf("Subscribers = %d after removal, want 0", got)
+	}
+	// Subscribing to a fresh stream under the same id starts over.
+	if got := b.Stream("j-1").LastSeq(); got != 0 {
+		t.Errorf("recreated stream LastSeq = %d, want 0", got)
+	}
+}
+
+func TestBusClose(t *testing.T) {
+	b := NewBus(16)
+	s := b.Stream("j-1")
+	s.Publish(Event{Type: EventJob, State: "done"})
+	_, streamSub := s.Subscribe(0, 4)
+	_, fireSub := b.Subscribe(0, 4)
+	drainBuffered(streamSub)
+	drainBuffered(fireSub)
+	b.Close()
+	b.Close() // idempotent
+	if _, ok := <-streamSub.Events(); ok {
+		t.Fatal("stream subscription open after bus close")
+	}
+	if _, ok := <-fireSub.Events(); ok {
+		t.Fatal("firehose subscription open after bus close")
+	}
+	s.Publish(Event{Type: EventProgress}) // dropped, must not panic
+	// History still replays from a closed bus; the subscription comes
+	// back already closed.
+	hist, sub := s.Subscribe(0, 4)
+	if len(hist) != 1 {
+		t.Errorf("closed-bus replay has %d events, want 1", len(hist))
+	}
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("closed-bus subscription channel open")
+	}
+}
+
+// TestStreamIsTracer pins the Stream side of the Tracer interface: pass
+// spans become pass_start/pass_end events with the span attached.
+func TestStreamIsTracer(t *testing.T) {
+	b := NewBus(16)
+	s := b.Stream("j-1")
+	var tr Tracer = s
+	tr.PassStart("closure", 42)
+	tr.PassEnd(PassStat{Pass: "closure", States: 42})
+	hist, sub := s.Subscribe(0, 4)
+	sub.Close()
+	if len(hist) != 2 {
+		t.Fatalf("got %d events, want 2", len(hist))
+	}
+	if hist[0].Type != EventPassStart || hist[0].Pass != "closure" || hist[0].Total != 42 {
+		t.Errorf("pass_start = %+v", hist[0])
+	}
+	if hist[1].Type != EventPassEnd || hist[1].Stat == nil || hist[1].Stat.States != 42 {
+		t.Errorf("pass_end = %+v", hist[1])
+	}
+}
+
+func TestNilStreamIsSafe(t *testing.T) {
+	var s *Stream
+	s.Publish(Event{Type: EventProgress})
+	s.PassStart("x", 0)
+	s.PassEnd(PassStat{Pass: "x"})
+	if got := s.LastSeq(); got != 0 {
+		t.Errorf("nil stream LastSeq = %d", got)
+	}
+}
+
+// TestPublishNoSubscriberAllocs pins the overhead-when-off contract:
+// once a stream's replay ring has grown to capacity, publishing with no
+// subscriber attached allocates nothing.
+func TestPublishNoSubscriberAllocs(t *testing.T) {
+	b := NewBus(64)
+	s := b.Stream("j-1")
+	// Warm the rings past capacity so steady state is pure overwrite.
+	for i := 0; i < 130; i++ {
+		s.Publish(Event{Type: EventProgress, Done: int64(i)})
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Publish(Event{Type: EventProgress, Done: 1})
+	})
+	if allocs != 0 {
+		t.Errorf("Publish with no subscriber allocates %.1f times per event, want 0", allocs)
+	}
+	if st := b.Stats(); st.Emitted != 0 || st.Subscribers != 0 {
+		t.Errorf("no-subscriber run emitted=%d subscribers=%d, want 0/0", st.Emitted, st.Subscribers)
+	}
+}
+
+// TestBusConcurrency exercises publish/subscribe/close races under the
+// race detector.
+func TestBusConcurrency(t *testing.T) {
+	b := NewBus(32)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			s := b.Stream(fmt.Sprintf("j-%d", p))
+			for i := 0; i < 200; i++ {
+				s.Publish(Event{Type: EventProgress, Done: int64(i)})
+			}
+		}(p)
+	}
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, sub := b.Subscribe(0, 8)
+			for i := 0; i < 50; i++ {
+				select {
+				case <-sub.Events():
+				default:
+				}
+			}
+			sub.Close()
+		}()
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Published != 800 {
+		t.Errorf("Published = %d, want 800", st.Published)
+	}
+	if st.Subscribers != 0 {
+		t.Errorf("Subscribers = %d after all closed, want 0", st.Subscribers)
+	}
+	b.Close()
+}
+
+// BenchmarkPublishNoSubscriber measures the no-listener publish cost the
+// <5% overhead-when-off contract leans on (one mutex round-trip, one
+// time.Now, one ring-slot copy).
+func BenchmarkPublishNoSubscriber(b *testing.B) {
+	bus := NewBus(1024)
+	s := bus.Stream("bench")
+	for i := 0; i < 2048; i++ {
+		s.Publish(Event{Type: EventProgress, Done: int64(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Publish(Event{Type: EventProgress, Done: int64(i)})
+	}
+}

@@ -75,8 +75,11 @@ func (p PassStat) StatesPerSecond() float64 {
 // convergence check) can emit while an outer span is open, and the
 // service traces many jobs at once through one sink.
 type Tracer interface {
-	// PassStart marks the beginning of the named pass.
-	PassStart(pass string)
+	// PassStart marks the beginning of the named pass. total is the
+	// pass's size hint in states/work items (0 when unknown), the same
+	// hint Progress.StartPass receives — live consumers use it to render
+	// completion percentages before the span ends.
+	PassStart(pass string, total int64)
 	// PassEnd delivers the completed pass's statistics.
 	PassEnd(stat PassStat)
 }
@@ -86,7 +89,7 @@ type Tracer interface {
 type Nop struct{}
 
 // PassStart does nothing.
-func (Nop) PassStart(string) {}
+func (Nop) PassStart(string, int64) {}
 
 // PassEnd does nothing.
 func (Nop) PassEnd(PassStat) {}
@@ -99,7 +102,7 @@ type Collector struct {
 }
 
 // PassStart implements Tracer; the collector only records completions.
-func (c *Collector) PassStart(string) {}
+func (c *Collector) PassStart(string, int64) {}
 
 // PassEnd appends the completed span.
 func (c *Collector) PassEnd(stat PassStat) {
@@ -118,9 +121,9 @@ func (c *Collector) Passes() []PassStat {
 // tee fans span events out to multiple tracers.
 type tee struct{ sinks []Tracer }
 
-func (t tee) PassStart(pass string) {
+func (t tee) PassStart(pass string, total int64) {
 	for _, s := range t.sinks {
-		s.PassStart(pass)
+		s.PassStart(pass, total)
 	}
 }
 
@@ -157,7 +160,7 @@ type LogTracer struct {
 }
 
 // PassStart is silent; the completion record carries the timing.
-func (LogTracer) PassStart(string) {}
+func (LogTracer) PassStart(string, int64) {}
 
 // PassEnd logs the span at debug level.
 func (t LogTracer) PassEnd(stat PassStat) {

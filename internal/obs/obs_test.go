@@ -15,7 +15,7 @@ func TestNopTracerAllocationFree(t *testing.T) {
 	var tr Tracer = Nop{}
 	stat := PassStat{Pass: "closure", States: 1 << 20, Workers: 8, ElapsedMS: 12.5}
 	if n := testing.AllocsPerRun(100, func() {
-		tr.PassStart("closure")
+		tr.PassStart("closure", 0)
 		tr.PassEnd(stat)
 	}); n != 0 {
 		t.Fatalf("Nop tracer allocates %.1f per span, want 0", n)
@@ -95,6 +95,34 @@ func TestProgressWatch(t *testing.T) {
 	}
 }
 
+// TestProgressWatchFinalSnapshot pins the stop contract: a pass
+// finishing between ticks is still reported with its final counts — the
+// watcher delivers one last snapshot on stop instead of leaving the
+// consumer on a stale sample.
+func TestProgressWatchFinalSnapshot(t *testing.T) {
+	p := &Progress{}
+	p.StartPass("convergence", 100)
+	var mu sync.Mutex
+	var got []Snapshot
+	// An hour-long interval guarantees no tick fires: every delivery below
+	// must come from the stop path.
+	stop := p.Watch(time.Hour, func(s Snapshot) {
+		mu.Lock()
+		got = append(got, s)
+		mu.Unlock()
+	})
+	p.Add(100)
+	stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("stop delivered %d snapshots, want exactly 1", len(got))
+	}
+	if s := got[0]; s.Pass != "convergence" || s.Done != 100 {
+		t.Fatalf("final snapshot %+v, want pass=convergence done=100", s)
+	}
+}
+
 func TestNilProgressWatch(t *testing.T) {
 	var p *Progress
 	stop := p.Watch(time.Millisecond, func(Snapshot) {
@@ -110,7 +138,7 @@ func TestCollectorOrder(t *testing.T) {
 	c := &Collector{}
 	names := []string{"enumerate", "succ_table", "closure", "converge_unfair"}
 	for i, name := range names {
-		c.PassStart(name)
+		c.PassStart(name, 0)
 		c.PassEnd(PassStat{Pass: name, States: int64(i + 1)})
 	}
 	got := c.Passes()
@@ -157,7 +185,7 @@ func TestTee(t *testing.T) {
 	}
 	c2 := &Collector{}
 	both := Tee(c, c2)
-	both.PassStart("x")
+	both.PassStart("x", 0)
 	both.PassEnd(PassStat{Pass: "x"})
 	if len(c.Passes()) != 1 || len(c2.Passes()) != 1 {
 		t.Fatalf("tee did not fan out: %d / %d", len(c.Passes()), len(c2.Passes()))

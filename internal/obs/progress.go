@@ -85,8 +85,9 @@ func (p *Progress) Snapshot() Snapshot {
 
 // Watch starts a goroutine sampling p every interval and invoking fn with
 // each snapshot; fn runs on the watcher goroutine. The returned stop
-// function halts the sampling and waits for in-flight fn calls; it is
-// idempotent. A nil Progress yields a no-op stop.
+// function halts the sampling after delivering one final snapshot (so the
+// last sample always reflects the counter's final counts) and waits for
+// in-flight fn calls; it is idempotent. A nil Progress yields a no-op stop.
 func (p *Progress) Watch(interval time.Duration, fn func(Snapshot)) (stop func()) {
 	if p == nil || interval <= 0 {
 		return func() {}
@@ -102,6 +103,10 @@ func (p *Progress) Watch(interval time.Duration, fn func(Snapshot)) (stop func()
 			case <-t.C:
 				fn(p.Snapshot())
 			case <-quit:
+				// One final snapshot, so a pass finishing between ticks is
+				// reported with its true final counts instead of leaving the
+				// consumer on a stale sample.
+				fn(p.Snapshot())
 				return
 			}
 		}

@@ -70,6 +70,13 @@ type Options struct {
 	Budget int64
 	// Faults overrides the fault alphabet; nil means Alphabet(p).
 	Faults []*program.Action
+	// OnImprove, when non-nil, is invoked on the search goroutine each
+	// time the incumbent improves: cost is the new objective value,
+	// faults the schedule's fault count, expanded the product-graph
+	// nodes expanded so far. Observation only — it must not block long
+	// and cannot influence the search, so setting it never perturbs the
+	// result (or any fingerprint derived from the other options).
+	OnImprove func(cost, faults int, expanded int64)
 }
 
 // Normalized validates the options against the engine's own bounds and
@@ -164,15 +171,16 @@ func Search(ctx context.Context, sp *verify.Space, opts Options) (*Result, error
 		return nil, fmt.Errorf("saboteur: empty fault alphabet for %q", sp.P.Name)
 	}
 	e := &engine{
-		sp:       sp,
-		cur:      sp.NewSuccCursor(),
-		st:       sp.P.Schema.NewState(),
-		tmp:      sp.P.Schema.NewState(),
-		k:        o.K,
-		budget:   o.Budget,
-		alphabet: alphabet,
-		minF:     make([]uint8, sp.Count),
-		parents:  make(map[uint64]parent),
+		sp:        sp,
+		cur:       sp.NewSuccCursor(),
+		st:        sp.P.Schema.NewState(),
+		tmp:       sp.P.Schema.NewState(),
+		k:         o.K,
+		budget:    o.Budget,
+		alphabet:  alphabet,
+		onImprove: o.OnImprove,
+		minF:      make([]uint8, sp.Count),
+		parents:   make(map[uint64]parent),
 	}
 	for i := range e.minF {
 		e.minF[i] = unseen
@@ -180,7 +188,7 @@ func Search(ctx context.Context, sp *verify.Space, opts Options) (*Result, error
 
 	tracer := sp.Tracer()
 	if tracer != nil {
-		tracer.PassStart(PassSearch)
+		tracer.PassStart(PassSearch, 0)
 	}
 	start := time.Now()
 	var res *Result
@@ -238,6 +246,9 @@ type engine struct {
 	minF    []uint8
 	parents map[uint64]parent
 	h       nodeHeap
+
+	// onImprove mirrors Options.OnImprove (nil when unset).
+	onImprove func(cost, faults int, expanded int64)
 
 	expanded int64
 }
@@ -369,6 +380,9 @@ func (e *engine) searchRecovery(ctx context.Context) (*Result, error) {
 		if w := int(worst[n.i]); w > incumbent {
 			incumbent, peak, havePeak = w, nkey(n.i, f), true
 			rounds++
+			if e.onImprove != nil {
+				e.onImprove(incumbent, f, e.expanded)
+			}
 		}
 		if f < e.k {
 			sp.P.Schema.StateInto(n.i, e.st)
@@ -429,6 +443,9 @@ func (e *engine) searchEscape(ctx context.Context) (*Result, error) {
 		if best == nil || cost < best.cost {
 			best = &escape{key: key, act: act, cost: cost}
 			rounds++
+			if e.onImprove != nil {
+				e.onImprove(cost, cost, e.expanded)
+			}
 		}
 	}
 

@@ -2,11 +2,13 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
 	"time"
 
+	"nonmask/internal/obs"
 	"nonmask/internal/protocols/registry"
 )
 
@@ -193,6 +195,14 @@ type batch struct {
 	canceled  bool
 	submitted time.Time
 	finished  time.Time
+	// terminalMembers counts members that reached a terminal state; it
+	// drives the batch stream's aggregate progress events.
+	terminalMembers int
+
+	// events is the batch's bus stream (registerBatchLocked attaches it):
+	// batch_member completions, aggregate progress, and the terminal
+	// batch event.
+	events *obs.Stream
 
 	// cancelCh is closed by cancel to wake the runner out of window waits
 	// and admission backoffs; done is closed on the terminal transition
@@ -233,18 +243,8 @@ func (b *batch) status() BatchStatus {
 			Cached: js.Cached, Error: js.Error}
 		if js.Result != nil {
 			ref.Verdict = js.Result.Verdict
-			if m := js.Result.Metrics; m != nil {
-				st.Curve = append(st.Curve, CurvePoint{
-					Program:          js.Program,
-					N:                j.c.params.N,
-					K:                j.c.params.K,
-					Seed:             j.c.params.Seed,
-					MaxDistance:      m.MaxDistance,
-					WorstMeasured:    m.WorstMeasured,
-					WorstSteps:       m.WorstSteps,
-					ExpectedMeasured: m.ExpectedMeasured,
-					ExpectedSteps:    m.ExpectedSteps,
-				})
+			if p, ok := curvePoint(j, js); ok {
+				st.Curve = append(st.Curve, p)
 			}
 		}
 		st.Jobs = append(st.Jobs, ref)
@@ -268,6 +268,27 @@ func (b *batch) status() BatchStatus {
 		}
 	}
 	return st
+}
+
+// curvePoint builds a member's tolerance-curve contribution, when it ran
+// with metrics and produced one. Shared by the status aggregation and the
+// batch event stream's running curve updates.
+func curvePoint(j *job, js JobStatus) (CurvePoint, bool) {
+	if js.Result == nil || js.Result.Metrics == nil {
+		return CurvePoint{}, false
+	}
+	m := js.Result.Metrics
+	return CurvePoint{
+		Program:          js.Program,
+		N:                j.c.params.N,
+		K:                j.c.params.K,
+		Seed:             j.c.params.Seed,
+		MaxDistance:      m.MaxDistance,
+		WorstMeasured:    m.WorstMeasured,
+		WorstSteps:       m.WorstSteps,
+		ExpectedMeasured: m.ExpectedMeasured,
+		ExpectedSteps:    m.ExpectedSteps,
+	}, true
 }
 
 // addJob records an admitted member.
@@ -312,6 +333,8 @@ func (b *batch) finish(now time.Time) BatchState {
 		b.state = BatchDone
 	}
 	b.finished = now
+	b.events.Publish(obs.Event{Type: obs.EventBatch, State: string(b.state),
+		Done: int64(b.terminalMembers), Total: int64(len(b.specs))})
 	close(b.done)
 	return b.state
 }
@@ -454,11 +477,15 @@ func (s *Server) SubmitBatch(spec BatchSpec) (BatchStatus, error) {
 	return b.status(), nil
 }
 
-// registerBatchLocked records a batch and evicts the oldest terminal
-// records past the retention bound (s.mu held).
+// registerBatchLocked records a batch, attaches its event stream
+// (publishing the opening "running" event with the expansion size), and
+// evicts the oldest terminal records past the retention bound (s.mu held).
 func (s *Server) registerBatchLocked(b *batch) {
 	s.batches[b.id] = b
 	s.batchOrder = append(s.batchOrder, b.id)
+	b.events = s.bus.Stream(b.id)
+	b.events.Publish(obs.Event{Type: obs.EventBatch, State: string(BatchRunning),
+		Total: int64(len(b.specs))})
 	for len(s.batches) > maxBatches {
 		evicted := false
 		for i, id := range s.batchOrder {
@@ -473,6 +500,7 @@ func (s *Server) registerBatchLocked(b *batch) {
 			bb.mu.Unlock()
 			if terminal {
 				delete(s.batches, id)
+				s.bus.Remove(id)
 				s.batchOrder = append(s.batchOrder[:i], s.batchOrder[i+1:]...)
 				evicted = true
 				break
@@ -492,6 +520,10 @@ func (s *Server) registerBatchLocked(b *batch) {
 func (s *Server) runBatch(b *batch) {
 	defer s.batchWG.Done()
 	sem := make(chan struct{}, b.concurrency)
+	// memberWG tracks the per-member watcher goroutines, which publish
+	// each member's completion on the batch stream. finish waits on it so
+	// the terminal batch event is strictly the stream's last.
+	var memberWG sync.WaitGroup
 admission:
 	for _, c := range b.specs {
 		select {
@@ -504,7 +536,13 @@ admission:
 			if err == nil {
 				b.addJob(j)
 				s.metrics.BatchJobs.Add(1)
-				go func(j *job) { <-j.done; <-sem }(j)
+				memberWG.Add(1)
+				go func(j *job) {
+					defer memberWG.Done()
+					<-j.done
+					b.publishMember(j)
+					<-sem
+				}(j)
 				break
 			}
 			if se, ok := err.(*submitError); ok && se.code == http.StatusTooManyRequests {
@@ -530,6 +568,7 @@ admission:
 	for _, j := range admitted {
 		<-j.done
 	}
+	memberWG.Wait()
 	state := b.finish(time.Now())
 	s.metrics.BatchesInFlight.Add(-1)
 	if state == BatchDone {
@@ -539,6 +578,33 @@ admission:
 	}
 	s.log.Info("batch "+string(state), "batch", b.id,
 		"admitted", len(admitted), "of", len(b.specs))
+}
+
+// publishMember streams one member's terminal state onto the batch's
+// event feed: a batch_member event (carrying the member's curve point as
+// Data when metrics produced one) followed by an aggregate progress
+// event, so a watcher sees the tolerance curve grow point by point.
+func (b *batch) publishMember(j *job) {
+	js := j.status()
+	ev := obs.Event{Type: obs.EventBatchMember, Member: js.ID, State: string(js.State)}
+	switch {
+	case js.Error != "":
+		ev.Detail = js.Error
+	case js.Result != nil:
+		ev.Detail = js.Result.Verdict
+	}
+	if p, ok := curvePoint(j, js); ok {
+		if data, err := json.Marshal(p); err == nil {
+			ev.Data = data
+		}
+	}
+	b.mu.Lock()
+	b.terminalMembers++
+	done := b.terminalMembers
+	b.mu.Unlock()
+	b.events.Publish(ev)
+	b.events.Publish(obs.Event{Type: obs.EventProgress,
+		Done: int64(done), Total: int64(len(b.specs))})
 }
 
 // Batch returns a batch's status by id.

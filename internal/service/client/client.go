@@ -216,6 +216,13 @@ func (c *Client) Protocols(ctx context.Context) ([]service.ProtocolInfo, error) 
 	return out, err
 }
 
+// Version fetches the server's build identity.
+func (c *Client) Version(ctx context.Context) (service.BuildInfo, error) {
+	var out service.BuildInfo
+	err := c.do(ctx, http.MethodGet, "/v1/version", nil, &out)
+	return out, err
+}
+
 // Healthz probes liveness.
 func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)

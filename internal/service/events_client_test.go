@@ -1,0 +1,174 @@
+package service_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"nonmask/internal/obs"
+	"nonmask/internal/protocols/registry"
+	"nonmask/internal/service"
+	"nonmask/internal/service/client"
+)
+
+// TestClientWatchJob drives the typed watcher end to end: submit, watch,
+// and read the replayed lifecycle through the terminal event.
+func TestClientWatchJob(t *testing.T) {
+	_, c := newTestServer(t, service.Config{})
+	ctx := context.Background()
+	st, err := c.Run(ctx, service.JobSpec{Protocol: "tokenring-ring", Params: registry.Params{N: 3, K: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.WatchJob(ctx, st.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var types []string
+	for {
+		ev, done, err := w.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		types = append(types, string(ev.Type))
+	}
+	joined := strings.Join(types, " ")
+	if !strings.HasPrefix(joined, "job job") { // queued, running
+		t.Errorf("stream begins %q, want two job lifecycle events", joined)
+	}
+	if types[len(types)-1] != "job" {
+		t.Errorf("stream ends with %q, want the terminal job event", types[len(types)-1])
+	}
+	if !strings.Contains(joined, "pass_start") || !strings.Contains(joined, "pass_end") {
+		t.Errorf("stream carries no pass spans: %q", joined)
+	}
+}
+
+// TestClientWatchUnknownJob maps the 404 to a typed APIError.
+func TestClientWatchUnknownJob(t *testing.T) {
+	_, c := newTestServer(t, service.Config{})
+	_, err := c.WatchJob(context.Background(), "nope", 0)
+	apiErr, ok := err.(*client.APIError)
+	if !ok || apiErr.Code != 404 {
+		t.Fatalf("err = %v, want APIError 404", err)
+	}
+}
+
+// TestClientTailJob covers the CLI helper: it renders event lines,
+// collects pass spans, and reports the terminal state.
+func TestClientTailJob(t *testing.T) {
+	_, c := newTestServer(t, service.Config{})
+	ctx := context.Background()
+	st, err := c.Run(ctx, service.JobSpec{Protocol: "tokenring-ring", Params: registry.Params{N: 3, K: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines strings.Builder
+	state, detail, stats, err := c.TailJob(ctx, st.ID, 0, &lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != service.StateDone {
+		t.Errorf("terminal state %s, want done", state)
+	}
+	if detail != service.VerdictSatisfied {
+		t.Errorf("terminal detail %q, want the verdict", detail)
+	}
+	if len(stats) == 0 {
+		t.Error("no pass spans collected")
+	}
+	if !strings.Contains(lines.String(), "pass ") || !strings.Contains(lines.String(), "job ") {
+		t.Errorf("rendered lines missing pass/job output:\n%s", lines.String())
+	}
+	// The collected spans feed the same table -trace prints locally.
+	if table := obs.FormatTable(stats); !strings.Contains(table, "pass") {
+		t.Errorf("span table unrenderable:\n%s", table)
+	}
+}
+
+// TestClientWatchBatch tails an aggregated batch stream to its terminal
+// event.
+func TestClientWatchBatch(t *testing.T) {
+	_, c := newTestServer(t, service.Config{})
+	ctx := context.Background()
+	bst, err := c.SubmitBatch(ctx, service.BatchSpec{Sweep: &service.SweepSpec{
+		Protocol: "tokenring-ring",
+		Params:   registry.Params{N: 3},
+		Ranges:   map[string]service.RangeSpec{"k": {From: 4, To: 6}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitBatch(ctx, bst.ID); err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.WatchBatch(ctx, bst.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	members := 0
+	var last obs.Event
+	for {
+		ev, done, err := w.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		if ev.Type == obs.EventBatchMember {
+			members++
+		}
+		last = ev
+	}
+	if members != 3 {
+		t.Errorf("saw %d member completions, want 3", members)
+	}
+	if last.Type != obs.EventBatch || last.State != string(service.BatchDone) {
+		t.Errorf("stream ended on %s/%s, want batch/done", last.Type, last.State)
+	}
+}
+
+// TestClientWatchEvents reads the firehose with a type filter and
+// cancels out (the firehose has no terminal event).
+func TestClientWatchEvents(t *testing.T) {
+	_, c := newTestServer(t, service.Config{})
+	ctx := context.Background()
+	if _, err := c.Run(ctx, service.JobSpec{Protocol: "tokenring-ring", Params: registry.Params{N: 3, K: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	w, err := c.WatchEvents(wctx, 0, obs.EventJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for seen := 0; seen < 3; seen++ {
+		ev, done, err := w.Next()
+		if err != nil || done {
+			t.Fatalf("firehose ended early (done=%v err=%v) after %d events", done, err, seen)
+		}
+		if ev.Type != obs.EventJob {
+			t.Fatalf("filter leaked a %s event", ev.Type)
+		}
+	}
+}
+
+// TestClientVersion exercises GET /v1/version through the typed client.
+func TestClientVersion(t *testing.T) {
+	_, c := newTestServer(t, service.Config{})
+	bi, err := c.Version(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi.Module == "" || !strings.HasPrefix(bi.GoVersion, "go") {
+		t.Errorf("build info %+v incomplete", bi)
+	}
+}

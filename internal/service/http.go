@@ -58,7 +58,11 @@ func writeError(w http.ResponseWriter, code int, format string, args ...interfac
 //	POST   /v1/batches       submit a batch (BatchSpec) → BatchStatus (202)
 //	GET    /v1/batches/{id}  batch status; ?wait=5s long-polls for the whole set
 //	DELETE /v1/batches/{id}  cancel a batch and its non-terminal members
+//	GET    /v1/jobs/{id}/events     SSE stream of one job's events (replay + tail)
+//	GET    /v1/batches/{id}/events  SSE stream of one batch's events
+//	GET    /v1/events        SSE firehose across every source; ?types=a,b filters
 //	GET    /v1/protocols     built-in protocol catalog with advertised bounds
+//	GET    /v1/version       build identity (module, version, go toolchain)
 //	GET    /healthz          liveness ("ok", or 503 once draining)
 //	GET    /metrics          Prometheus text exposition
 //
@@ -73,7 +77,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batches", s.handleSubmitBatch)
 	mux.HandleFunc("GET /v1/batches/{id}", s.handleGetBatch)
 	mux.HandleFunc("DELETE /v1/batches/{id}", s.handleCancelBatch)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/batches/{id}/events", s.handleBatchEvents)
+	mux.HandleFunc("GET /v1/events", s.handleFirehose)
 	mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.withRequestLog(mux)
@@ -92,6 +100,14 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer, so the SSE handlers can stream
+// through the request-log middleware.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // withRequestLog assigns each request an id, echoes it as X-Request-Id,
@@ -264,5 +280,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WritePrometheus(w)
+	s.writeEventMetrics(w)
+	writeBuildInfo(w)
 	s.writeStoreMetrics(w)
 }

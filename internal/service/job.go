@@ -7,6 +7,7 @@ import (
 
 	"nonmask/internal/constraint"
 	"nonmask/internal/gcl"
+	"nonmask/internal/obs"
 	"nonmask/internal/program"
 	"nonmask/internal/protocols/registry"
 	"nonmask/internal/saboteur"
@@ -100,6 +101,10 @@ const (
 func (s JobState) terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
+
+// Terminal reports whether the state is final — exported for stream
+// consumers deciding when a job's event feed is complete.
+func (s JobState) Terminal() bool { return s.terminal() }
 
 // JobStatus is the wire form of a job returned by the submission and
 // status endpoints.
@@ -329,6 +334,11 @@ type job struct {
 	// coalescing entry.
 	onTerminal func()
 
+	// events is the job's bus stream (registerLocked attaches it); its
+	// sequence is the replayable event log SSE subscribers drain. Nil on
+	// jobs never registered with a server (tests), which Publish tolerates.
+	events *obs.Stream
+
 	// done is closed on the terminal transition; long-polls wait on it.
 	done chan struct{}
 }
@@ -392,6 +402,19 @@ func (j *job) terminateLocked(state JobState, res *Result, err error, now time.T
 	j.cancel = nil
 	followers := j.followers
 	j.followers = nil
+	ev := obs.Event{Type: obs.EventJob, State: string(state)}
+	switch {
+	case err != nil:
+		ev.Detail = err.Error()
+	case res != nil:
+		ev.Detail = res.Verdict
+		if j.cached {
+			ev.Detail += " (cached)"
+		} else if j.coalesced {
+			ev.Detail += " (coalesced)"
+		}
+	}
+	j.events.Publish(ev)
 	close(j.done)
 	return followers, true
 }
@@ -433,6 +456,7 @@ func (j *job) markRunning(cancel func()) bool {
 	}
 	j.state = StateRunning
 	j.cancel = cancel
+	j.events.Publish(obs.Event{Type: obs.EventJob, State: string(StateRunning)})
 	return true
 }
 

@@ -22,6 +22,12 @@ const maxLatencySamples = 4096
 var passBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
 	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
 
+// queueWaitBuckets are the upper bounds (seconds) of the admit→run
+// latency histogram: sub-millisecond pickup on an idle server up to a
+// minute of queueing behind a saturated executor pool.
+var queueWaitBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
 // passHist is one pass's cumulative latency histogram plus the totals
 // backing its states/sec gauge and the index-size counters. Guarded by
 // Metrics.passMu.
@@ -109,6 +115,12 @@ type Metrics struct {
 
 	passMu sync.Mutex
 	passes map[string]*passHist // by pass name
+
+	// queueMu guards the admit→run wait histogram (queueWaitBuckets).
+	queueMu          sync.Mutex
+	queueWaitBuckets []int64
+	queueWaitCount   int64
+	queueWaitSum     float64 // seconds
 }
 
 // ObserveLatency records one check duration (in seconds).
@@ -136,6 +148,23 @@ func (m *Metrics) ObservePass(stat obs.PassStat) {
 		m.passes[stat.Pass] = h
 	}
 	h.observe(stat.ElapsedMS/1000, stat.States, stat.Edges, stat.Bytes)
+}
+
+// ObserveQueueWait records one job's admit→run latency (in seconds): the
+// time between queue admission and executor pickup.
+func (m *Metrics) ObserveQueueWait(seconds float64) {
+	m.queueMu.Lock()
+	defer m.queueMu.Unlock()
+	if m.queueWaitBuckets == nil {
+		m.queueWaitBuckets = make([]int64, len(queueWaitBuckets))
+	}
+	for i, le := range queueWaitBuckets {
+		if seconds <= le {
+			m.queueWaitBuckets[i]++
+		}
+	}
+	m.queueWaitCount++
+	m.queueWaitSum += seconds
 }
 
 // LatencySummary returns order statistics over the retained check-latency
@@ -191,7 +220,29 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "csserved_check_latency_seconds_sum %g\n", s.Mean*float64(s.N))
 	fmt.Fprintf(w, "csserved_check_latency_seconds_count %d\n", s.N)
 
+	m.writeQueueWait(w)
 	m.writePassMetrics(w)
+}
+
+// writeQueueWait renders the admit→run latency histogram. Emitted even
+// before the first observation, so dashboards can key off its presence.
+func (m *Metrics) writeQueueWait(w io.Writer) {
+	m.queueMu.Lock()
+	defer m.queueMu.Unlock()
+	fmt.Fprintf(w, "# HELP csserved_job_queue_wait_seconds Time jobs spent queued between admission and executor pickup.\n")
+	fmt.Fprintf(w, "# TYPE csserved_job_queue_wait_seconds histogram\n")
+	for i, le := range queueWaitBuckets {
+		var v int64
+		if m.queueWaitBuckets != nil {
+			// observe() increments every bucket at or above the value, so
+			// the stored counts are already cumulative as "le" expects.
+			v = m.queueWaitBuckets[i]
+		}
+		fmt.Fprintf(w, "csserved_job_queue_wait_seconds_bucket{le=\"%g\"} %d\n", le, v)
+	}
+	fmt.Fprintf(w, "csserved_job_queue_wait_seconds_bucket{le=\"+Inf\"} %d\n", m.queueWaitCount)
+	fmt.Fprintf(w, "csserved_job_queue_wait_seconds_sum %g\n", m.queueWaitSum)
+	fmt.Fprintf(w, "csserved_job_queue_wait_seconds_count %d\n", m.queueWaitCount)
 }
 
 // writePassMetrics renders the per-pass latency histograms and

@@ -23,12 +23,16 @@ import (
 
 // Defaults for Config's zero values.
 const (
-	defaultQueueSize   = 64
-	defaultExecutors   = 4
-	defaultMaxDeadline = 60 * time.Second
-	defaultMaxRecords  = 4096
-	defaultCacheSize   = 1024
-	defaultRecordTTL   = 15 * time.Minute
+	defaultQueueSize        = 64
+	defaultExecutors        = 4
+	defaultMaxDeadline      = 60 * time.Second
+	defaultMaxRecords       = 4096
+	defaultCacheSize        = 1024
+	defaultRecordTTL        = 15 * time.Minute
+	defaultEventHistory     = 1024
+	defaultEventBuffer      = 256
+	defaultProgressInterval = 250 * time.Millisecond
+	defaultHeartbeat        = 15 * time.Second
 )
 
 // Config sizes the server. The zero value is ready for production-ish
@@ -70,6 +74,22 @@ type Config struct {
 	// Logger receives the server's structured job-lifecycle and pass
 	// trace records (log/slog). Nil discards them.
 	Logger *slog.Logger
+	// EventHistory bounds each event stream's in-memory replay ring (the
+	// per-job/per-batch event log SSE attaches drain before tailing).
+	// Zero means 1024.
+	EventHistory int
+	// EventBuffer bounds each SSE subscriber's channel; a consumer
+	// falling further behind than this loses events (counted in
+	// csserved_events_dropped_total). Zero means 256.
+	EventBuffer int
+	// ProgressInterval governs how often a running job samples its
+	// progress counter into a "progress" event. Zero means 250ms;
+	// negative disables progress events (passes and lifecycle still
+	// stream).
+	ProgressInterval time.Duration
+	// Heartbeat is the SSE keepalive comment interval that keeps idle
+	// streams alive through proxies. Zero means 15s.
+	Heartbeat time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +118,20 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if c.EventHistory <= 0 {
+		c.EventHistory = defaultEventHistory
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = defaultEventBuffer
+	}
+	if c.ProgressInterval == 0 {
+		c.ProgressInterval = defaultProgressInterval
+	} else if c.ProgressInterval < 0 {
+		c.ProgressInterval = 0
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = defaultHeartbeat
+	}
 	return c
 }
 
@@ -109,6 +143,11 @@ type Server struct {
 	metrics Metrics
 	cache   *cache
 	log     *slog.Logger
+
+	// bus fans live events out to SSE subscribers; serverEvents is the
+	// bus's "server" stream, carrying lifecycle announcements (draining).
+	bus          *obs.Bus
+	serverEvents *obs.Stream
 
 	baseCtx context.Context // parent of every check context
 	stop    context.CancelFunc
@@ -150,9 +189,11 @@ func New(cfg Config) *Server {
 		jobs:      make(map[string]*job),
 		inflight:  make(map[string]*job),
 		batches:   make(map[string]*batch),
+		bus:       obs.NewBus(cfg.EventHistory),
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
 	}
+	s.serverEvents = s.bus.Stream("server")
 	for i := 0; i < cfg.Executors; i++ {
 		s.wg.Add(1)
 		go s.executor()
@@ -205,6 +246,7 @@ func (s *Server) sweepExpired(now time.Time) int {
 		j.mu.Unlock()
 		if expired {
 			delete(s.jobs, id)
+			s.bus.Remove(id)
 			evicted++
 			continue
 		}
@@ -407,11 +449,14 @@ func (s *Server) nextIDLocked() string {
 	return fmt.Sprintf("j-%08d", s.seq)
 }
 
-// registerLocked records a job and evicts the oldest finished records past
-// the retention bound (s.mu held).
+// registerLocked records a job, attaches its event stream (publishing the
+// "queued" lifecycle event every job's sequence starts with), and evicts
+// the oldest finished records past the retention bound (s.mu held).
 func (s *Server) registerLocked(j *job) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	j.events = s.bus.Stream(j.id)
+	j.events.Publish(obs.Event{Type: obs.EventJob, State: string(StateQueued)})
 	for len(s.jobs) > s.cfg.MaxRecords {
 		evicted := false
 		for i, id := range s.order {
@@ -421,6 +466,7 @@ func (s *Server) registerLocked(j *job) {
 				jj.mu.Unlock()
 				if terminal {
 					delete(s.jobs, id)
+					s.bus.Remove(id)
 					s.order = append(s.order[:i], s.order[i+1:]...)
 					evicted = true
 					break
@@ -510,24 +556,53 @@ func (s *Server) runJob(j *job) {
 	if testHookJobRunning != nil {
 		testHookJobRunning(j.id)
 	}
+	s.metrics.ObserveQueueWait(time.Since(j.submitted).Seconds())
 	s.metrics.InFlight.Add(1)
 	defer s.metrics.InFlight.Add(-1)
 
 	jlog := s.log.With("job", j.id, "program", j.c.name)
 	jlog.Info("job running")
 	start := time.Now()
+	// Sample the job's progress counter into "progress" events at the
+	// governed interval; the final snapshot on stop lands before the
+	// terminal transition, so a tailing stream always ends on the true
+	// final counts.
+	var prog *obs.Progress
+	stopProg := func() {}
+	if s.cfg.ProgressInterval > 0 {
+		prog = &obs.Progress{}
+		stopProg = prog.Watch(s.cfg.ProgressInterval, func(snap obs.Snapshot) {
+			if snap.Pass == "" {
+				return
+			}
+			j.events.Publish(obs.Event{Type: obs.EventProgress,
+				Pass: snap.Pass, Done: snap.Done, Total: snap.Total})
+		})
+	}
+	defer stopProg()
 	// The per-job LogTracer streams each pass span as a debug record tagged
-	// with the job id, in addition to the report's own span collection.
+	// with the job id, in addition to the report's own span collection; the
+	// job's event stream turns the same spans into pass_start/pass_end
+	// events for live subscribers.
 	rep, err := verify.Check(ctx, j.c.prog, j.c.s, j.c.t,
 		verify.WithOptions(j.c.opts), verify.WithConstraints(j.c.constraints...),
-		verify.WithTracer(obs.LogTracer{Logger: jlog}))
+		verify.WithTracer(obs.Tee(obs.LogTracer{Logger: jlog}, j.events)),
+		verify.WithProgress(prog))
 	var sabRes *saboteur.Result
 	if err == nil && j.c.saboteur != nil {
 		// The search runs on the check's own space, so its pass span joins
 		// the report's span collection (and the per-job debug log) like any
-		// verifier pass.
-		sabRes, err = saboteur.Search(ctx, rep.Space, *j.c.saboteur)
+		// verifier pass. Incumbent improvements stream as saboteur events.
+		sopts := *j.c.saboteur
+		sopts.OnImprove = func(cost, faults int, expanded int64) {
+			j.events.Publish(obs.Event{Type: obs.EventSaboteur,
+				Cost: int64(cost), Faults: faults, Done: expanded})
+		}
+		sabRes, err = saboteur.Search(ctx, rep.Space, sopts)
 	}
+	// Stop the progress watcher before the terminal transition: streams
+	// end at the terminal job event, so nothing may publish after it.
+	stopProg()
 	now := time.Now()
 	if err != nil {
 		state := StateFailed
@@ -600,6 +675,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.draining = true
 	s.mu.Unlock()
+	// Announce the drain on the firehose before canceling anything, so
+	// operators tailing /v1/events see why the job streams are ending.
+	s.serverEvents.Publish(obs.Event{Type: obs.EventServer, State: "draining"})
 	// Cancel everything still waiting in the queue. Draining the channel
 	// here (rather than letting executors see the canceled jobs) frees the
 	// executors to exit as soon as their current check completes. This runs
@@ -631,11 +709,26 @@ loop:
 	case <-done:
 		s.stop()
 		s.batchWG.Wait()
+		s.closeBus()
 		return nil
 	case <-ctx.Done():
 		s.stop() // hard-cancel in-flight checks
 		<-done
 		s.batchWG.Wait()
+		s.closeBus()
 		return ctx.Err()
 	}
 }
+
+// closeBus publishes the terminal server event and shuts the event bus
+// down, ending every SSE stream. It runs after the executors and batch
+// runners exit, so every job and batch stream has already carried its
+// terminal event.
+func (s *Server) closeBus() {
+	s.serverEvents.Publish(obs.Event{Type: obs.EventServer, State: "stopped"})
+	s.bus.Close()
+}
+
+// Bus exposes the server's event bus (read-only use: stats, test
+// subscriptions).
+func (s *Server) Bus() *obs.Bus { return s.bus }

@@ -113,6 +113,22 @@ func BenchmarkCheckTracerOverheadNop(b *testing.B) {
 	benchCheckTraced(b, verify.WithTracer(obs.Nop{}), verify.WithProgress(&obs.Progress{}))
 }
 
+// BenchmarkCheckEventsIdle runs the same 1<<20-state check with its pass
+// spans published to an event-bus stream nobody subscribes to — the
+// configuration every csserved job runs in when no SSE client watches.
+// The contract extends the tracer one: within 5% of
+// BenchmarkCheckTracerOverheadOff, since an idle publish is one mutex
+// round-trip, one time.Now, and a ring-slot copy per pass boundary (the
+// hot loops themselves only bump the progress counter once per chunk).
+//
+//	go test ./internal/verify -bench 'CheckTracerOverheadOff|CheckEventsIdle' -benchtime 5x -run '^$'
+func BenchmarkCheckEventsIdle(b *testing.B) {
+	bus := obs.NewBus(1024)
+	benchCheckTraced(b,
+		verify.WithTracer(bus.Stream("bench")),
+		verify.WithProgress(&obs.Progress{}))
+}
+
 // BenchmarkCheckMetricsOff is the analyses-API overhead guard: a
 // verdict-only Check after the metrics engine landed. The contract is
 // that it stays within 5% of BenchmarkCheckTracerOverheadOff as recorded

@@ -73,7 +73,7 @@ type passSpan struct {
 func startPass(opts Options, name string, total int64) passSpan {
 	opts.Progress.StartPass(name, total)
 	if opts.Tracer != nil {
-		opts.Tracer.PassStart(name)
+		opts.Tracer.PassStart(name, total)
 	}
 	return passSpan{opts: opts, name: name, start: time.Now()}
 }
