@@ -52,6 +52,9 @@ func main() {
 		strategy  = flag.String("strategy", "projected", "preservation strategy: projected | exhaustive")
 		workers   = flag.Int("workers", 0, "goroutines sharding the checker's passes (0 = all CPUs, 1 = sequential)")
 		maxStates = flag.Int64("max-states", 0, fmt.Sprintf("state-space cap (0 = default %d)", verify.DefaultMaxStates))
+		spaceMode = flag.String("space-mode", "auto", "state-space tier: auto (escalate full -> quotient -> spill as the instance outgrows RAM) | full | quotient | spill")
+		spillDir  = flag.String("spill-dir", "", "directory for the disk tier's CSR segments and frontier runs (empty = OS temp dir)")
+		quotMap   = flag.String("quotient-map", "fingerprint", "quotient representative lookup: fingerprint (64-bit, refuses on collision) | exact (binary search)")
 		jsonOut   = flag.Bool("json", false, "emit the machine-readable service.Result JSON instead of prose")
 		measure   = flag.Bool("measure", false, "additionally run the quantitative tolerance metrics (distance profile, worst/expected stabilization time, per-constraint recovery costs)")
 		storeDir  = flag.String("store", "", "persistent verdict store directory shared with csserved; hits skip the check")
@@ -85,11 +88,20 @@ func main() {
 		return
 	}
 
-	opts := verify.Options{Workers: *workers, MaxStates: *maxStates, Metrics: *measure}
+	opts := verify.Options{Workers: *workers, MaxStates: *maxStates, Metrics: *measure, SpillDir: *spillDir}
 	if *strategy == "exhaustive" {
 		opts.Strategy = verify.Exhaustive
 	} else {
 		opts.Strategy = verify.Projected
+	}
+	var flagErr error
+	if opts.SpaceMode, flagErr = verify.ParseSpaceMode(*spaceMode); flagErr != nil {
+		fmt.Fprintln(os.Stderr, "csverify:", flagErr)
+		os.Exit(2)
+	}
+	if opts.QuotientMap, flagErr = verify.ParseQuotientMap(*quotMap); flagErr != nil {
+		fmt.Fprintln(os.Stderr, "csverify:", flagErr)
+		os.Exit(2)
 	}
 	// -trace collects every pass span the check emits (including stair and
 	// fair-convergence follow-ups, which inherit the options' tracer) and
@@ -175,6 +187,20 @@ func printSnapshot(prefix string, s obs.Snapshot) {
 		prefix, s.Pass, s.Done, s.Elapsed.Round(time.Millisecond), rateString(s.Rate()))
 }
 
+// byteString compacts a byte count for the disk-tier summary line.
+func byteString(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
 // rateString compacts a states/second figure for the ticker line.
 func rateString(r float64) string {
 	switch {
@@ -187,16 +213,58 @@ func rateString(r float64) string {
 	}
 }
 
+// applySymmetry attaches the instance's advertised symmetry group to the
+// options under the same soundness policy csserved applies: no quotient
+// under the saboteur (the witness must replay on concrete states) and no
+// quotient when per-constraint metrics run on a layered design (the
+// constraint predicates are permuted by the group, not preserved — see
+// registry.Instance.Symmetry). Auto mode silently stays on the full/spill
+// ladder in those cases; an explicit -space-mode quotient errors with the
+// reason.
+func applySymmetry(opts verify.Options, inst *registry.Instance, sabotage bool) (verify.Options, error) {
+	sym := inst.Symmetry
+	switch {
+	case sabotage:
+		if opts.SpaceMode == verify.SpaceQuotient {
+			return opts, fmt.Errorf("-space-mode quotient does not combine with -sabotage: the fault-schedule witness must replay on concrete states, not orbit representatives")
+		}
+		sym = nil
+	case opts.Metrics && len(registry.ConstraintSpecs(inst)) > 0:
+		if opts.SpaceMode == verify.SpaceQuotient {
+			return opts, fmt.Errorf("-space-mode quotient does not combine with -measure on a layered design: per-constraint recovery costs are not symmetry-invariant")
+		}
+		sym = nil
+	}
+	if opts.SpaceMode == verify.SpaceQuotient && sym == nil {
+		return opts, fmt.Errorf("%s advertises no symmetry group; -space-mode quotient needs one", inst.Name)
+	}
+	opts.Symmetry = sym
+	return opts, nil
+}
+
 func run(protocol string, params registry.Params, opts verify.Options, jsonOut bool) error {
 	inst, err := registry.Build(protocol, params)
 	if err != nil {
 		return err
 	}
 	if jsonOut {
+		if opts, err = applySymmetry(opts, inst, false); err != nil {
+			return err
+		}
 		return verifyJSON(inst, opts)
 	}
 	if inst.Design != nil {
+		// The prose design path runs theorem validation and per-constraint
+		// closure/preservation scans, which evaluate node-indexed predicates
+		// the quotient does not preserve; it never engages the symmetry
+		// tier. The unified Check path behind -json does.
+		if opts.SpaceMode == verify.SpaceQuotient {
+			return fmt.Errorf("the design-validation output evaluates per-constraint predicates, which are not symmetry-invariant; use -json for the quotient check")
+		}
 		return verifyDesign(inst.Design, opts)
+	}
+	if opts, err = applySymmetry(opts, inst, false); err != nil {
+		return err
 	}
 	return verifyPlain(inst, opts)
 }
@@ -221,12 +289,16 @@ func runSabotage(protocol string, params registry.Params, opts verify.Options,
 	if err != nil {
 		return err
 	}
+	if opts, err = applySymmetry(opts, inst, true); err != nil {
+		return err
+	}
 	ctx := context.Background()
 	rep, err := verify.Check(ctx, inst.Program, inst.S, inst.T,
 		verify.WithOptions(opts), verify.WithConstraints(registry.ConstraintSpecs(inst)...))
 	if err != nil {
 		return err
 	}
+	defer rep.Close()
 	sabRes, err := saboteur.Search(ctx, rep.Space, sabOpts)
 	if err != nil {
 		return err
@@ -312,6 +384,9 @@ func runStored(protocol string, params registry.Params, opts verify.Options, jso
 	if err != nil {
 		return err
 	}
+	if opts, err = applySymmetry(opts, inst, false); err != nil {
+		return err
+	}
 	count, ok := inst.Program.Schema.StateCount()
 	if !ok || count > effectiveCap(opts) {
 		return fmt.Errorf("state space too large to enumerate (%d states)", count)
@@ -321,6 +396,7 @@ func runStored(protocol string, params registry.Params, opts verify.Options, jso
 	if err != nil {
 		return err
 	}
+	defer rep.Close()
 	res := service.ResultFromReport(inst.Name, rep)
 	raw, err := json.Marshal(res)
 	if err != nil {
@@ -393,6 +469,7 @@ func verifyJSON(inst *registry.Instance, opts verify.Options) error {
 	if err != nil {
 		return err
 	}
+	defer rep.Close()
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(service.ResultFromReport(inst.Name, rep))
@@ -473,7 +550,16 @@ func verifyPlain(inst *registry.Instance, opts verify.Options) error {
 	if err != nil {
 		return err
 	}
+	defer rep.Close()
 	fmt.Printf("program %s: %d states\n", inst.Name, count)
+	if sym := rep.Space.Symmetry(); sym != nil {
+		reps, _ := rep.Space.QuotientStats()
+		fmt.Printf("symmetry %s: quotient of %d orbit representatives\n", sym.Name, reps)
+	}
+	if seg, spooled := rep.Space.SpillStats(); seg+spooled > 0 {
+		fmt.Printf("disk tier: %s of CSR segments, %s spooled through frontier runs\n",
+			byteString(seg), byteString(spooled))
+	}
 	if rep.Closure != nil {
 		fmt.Printf("closure: VIOLATED — %v\n", rep.Closure)
 	} else {

@@ -37,6 +37,8 @@ func main() {
 		strategy  = flag.String("strategy", "projected", "preservation strategy: projected | exhaustive")
 		workers   = flag.Int("workers", 0, "goroutines sharding the checker's passes (0 = all CPUs, 1 = sequential)")
 		maxStates = flag.Int64("max-states", 0, fmt.Sprintf("state-space cap (0 = default %d)", verify.DefaultMaxStates))
+		spaceMode = flag.String("space-mode", "auto", "state-space tier: auto (escalate full -> spill as the instance outgrows RAM) | full | spill (quotient needs a catalog protocol; GCL sources advertise no symmetry)")
+		spillDir  = flag.String("spill-dir", "", "directory for the disk tier's CSR segments and frontier runs (empty = OS temp dir)")
 		jsonOut   = flag.Bool("json", false, "emit the machine-readable service.Result JSON instead of prose")
 		measure   = flag.Bool("measure", false, "additionally run the quantitative tolerance metrics (distance profile, worst/expected stabilization time, per-constraint recovery costs)")
 		trace     = flag.Bool("trace", false, "print the per-pass span table (states, frontier, wall time) on stderr")
@@ -55,11 +57,22 @@ func main() {
 		}
 		return
 	}
-	opts := verify.Options{Workers: *workers, MaxStates: *maxStates, Metrics: *measure}
+	opts := verify.Options{Workers: *workers, MaxStates: *maxStates, Metrics: *measure, SpillDir: *spillDir}
 	if *strategy == "exhaustive" {
 		opts.Strategy = verify.Exhaustive
 	} else {
 		opts.Strategy = verify.Projected
+	}
+	var flagErr error
+	if opts.SpaceMode, flagErr = verify.ParseSpaceMode(*spaceMode); flagErr != nil {
+		fmt.Fprintln(os.Stderr, "gclrun:", flagErr)
+		os.Exit(2)
+	}
+	if opts.SpaceMode == verify.SpaceQuotient {
+		// Mirrors the service's rejection: the quotient tier needs an
+		// advertised automorphism group, which only catalog protocols carry.
+		fmt.Fprintln(os.Stderr, "gclrun: -space-mode quotient needs an advertised symmetry group; GCL sources have none (use csverify -protocol for catalog instances)")
+		os.Exit(2)
 	}
 	// Both observability streams write stderr, keeping -json stdout clean.
 	var collector *obs.Collector
@@ -185,6 +198,7 @@ func run(path string, printOnly, jsonOut bool, opts verify.Options) error {
 		if err != nil {
 			return err
 		}
+		defer rep.Close()
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(service.ResultFromReport(m.Name, rep))
@@ -228,6 +242,7 @@ func run(path string, printOnly, jsonOut bool, opts verify.Options) error {
 	if err != nil {
 		return err
 	}
+	defer rep.Close()
 	fmt.Printf("state space: %d states, |S| = %d, |T| = %d\n", count, rep.Space.CountS(), rep.Space.CountT())
 	if rep.Closure != nil {
 		fmt.Printf("closure: VIOLATED — %v\n", rep.Closure)

@@ -52,6 +52,11 @@ type PassStat struct {
 	// (succ_table, pred_table). 0 when nothing was materialized — e.g. a
 	// succ_table span whose measured edge set busted the budget.
 	Bytes int64 `json:"bytes,omitempty"`
+	// SpilledBytes is the number of bytes the pass wrote to disk-backed
+	// spill storage (mmap'd CSR segment files, sorted frontier runs). Set
+	// only by spill-mode verification runs; the summary `spill` span
+	// carries the run's totals.
+	SpilledBytes int64 `json:"spilled_bytes,omitempty"`
 	// ElapsedMS is the pass's wall-clock time in milliseconds.
 	ElapsedMS float64 `json:"elapsed_ms"`
 }

@@ -97,6 +97,18 @@ type Instance struct {
 	// Stair lists intermediate predicates of a convergence stair
 	// (true -> Stair... -> S) for protocols that have one, outermost first.
 	Stair []*program.Predicate
+	// Symmetry is the instance's advertised automorphism group (a
+	// canonicalization hook for verify's quotient tier), nil when the entry
+	// knows none. The advertised group preserves S, T and every Stair
+	// predicate — the registry's tests discharge that obligation with
+	// verify.ValidateSymmetry on small instances of every advertising
+	// family (see symmetry.go). It does NOT preserve the per-constraint
+	// decomposition of layered designs (ConstraintSpecs): those predicates
+	// are node-indexed, so a subtree exchange permutes them among each
+	// other instead of fixing each one. Consumers that want per-constraint
+	// recovery costs must therefore check on the full space; verdicts,
+	// stairs and the whole-invariant metrics are quotient-safe.
+	Symmetry *verify.Symmetry
 }
 
 // IntRange is an inclusive validation range for an integer parameter.
@@ -334,7 +346,12 @@ func buildTreeDesign(build func(diffusing.Tree) (*core.Design, error)) func(Para
 		if err != nil {
 			return nil, err
 		}
-		return fromDesign(d), nil
+		inst := fromDesign(d)
+		// The tree-wave protocols treat children uniformly, so exchanging
+		// isomorphic sibling subtrees is an automorphism. Star and balanced
+		// binary shapes have many such exchanges; chains have none (nil).
+		inst.Symmetry = treeSymmetry(inst.Program.Schema, tr.Parent)
+		return inst, nil
 	}
 }
 
@@ -379,7 +396,17 @@ var catalog = []*Entry{
 			if err != nil {
 				return nil, err
 			}
-			return &Instance{Name: inst.P.Name, Program: inst.P, S: inst.S}, nil
+			return &Instance{
+				Name:    inst.P.Name,
+				Program: inst.P,
+				S:       inst.S,
+				// Adding a constant to every counter mod K commutes with
+				// both ring actions and preserves the privilege counts, so
+				// Z_K value rotation is an automorphism group; the quotient
+				// is K times smaller. The path variant's saturating
+				// increment does not commute, so it advertises nothing.
+				Symmetry: ringRotation(inst.X, int32(inst.K)),
+			}, nil
 		},
 	},
 	{

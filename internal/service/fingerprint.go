@@ -46,6 +46,15 @@ func optionsKey(o verify.Options) string {
 	if o.Metrics {
 		key += " analyses=metrics"
 	}
+	// The space-mode tier joins the key only when pinned away from auto:
+	// an explicit tier changes the result payload (a quotient result's
+	// "states" counts orbit representatives, and the pass list gains
+	// canonicalize/spill spans), so it must not share a cache line with the
+	// auto spelling. Auto itself contributes nothing, keeping pre-tier keys
+	// byte-identical so persistent stores keep answering across the upgrade.
+	if o.SpaceMode != verify.SpaceAuto {
+		key += " space_mode=" + o.SpaceMode.String()
+	}
 	return key
 }
 

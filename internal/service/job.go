@@ -40,6 +40,14 @@ type JobOptions struct {
 	// DeadlineMS bounds the check's wall-clock time in milliseconds
 	// (0 = server default; capped at the server's maximum).
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// SpaceMode pins the state-space tier: "auto" (default — escalate from
+	// the full product to a symmetry quotient to disk spill as the instance
+	// outgrows RAM), "full", "quotient", or "spill". "quotient" requires a
+	// catalog instance that advertises a symmetry group and is rejected for
+	// GCL source jobs, for saboteur jobs (the witness search runs on the
+	// concrete graph) and for metrics jobs on layered designs (per-constraint
+	// recovery costs are not symmetry-invariant; see registry.Instance).
+	SpaceMode string `json:"space_mode,omitempty"`
 	// Analyses selects what the job computes. "verdict" (the closure /
 	// convergence / classification check) is always on and is the default
 	// when the list is empty; adding "metrics" additionally runs the
@@ -179,6 +187,15 @@ func (o JobOptions) verifyOptions(cfg Config) (verify.Options, error) {
 		deadline = cfg.MaxDeadline
 	}
 	opts.Deadline = deadline
+	mode, err := verify.ParseSpaceMode(o.SpaceMode)
+	if err != nil {
+		return opts, err
+	}
+	opts.SpaceMode = mode
+	// The spill directory is server policy, never client input: a job may
+	// request the spill tier, but where segment and run files land is the
+	// operator's -spill-dir.
+	opts.SpillDir = cfg.SpillDir
 	for _, a := range o.Analyses {
 		switch a {
 		case AnalysisVerdict:
@@ -212,6 +229,9 @@ func compileSpec(spec JobSpec, cfg Config) (*compiled, error) {
 	case spec.Source != "" && spec.Protocol != "":
 		return nil, fmt.Errorf("job sets both source and protocol; pick one")
 	case spec.Source != "":
+		if opts.SpaceMode == verify.SpaceQuotient {
+			return nil, fmt.Errorf("space_mode=quotient requires a catalog protocol that advertises a symmetry group; GCL source jobs have none")
+		}
 		file, err := gcl.Parse(spec.Source)
 		if err != nil {
 			return nil, fmt.Errorf("parse: %w", err)
@@ -267,6 +287,31 @@ func compileSpec(spec JobSpec, cfg Config) (*compiled, error) {
 		if err != nil {
 			return nil, err
 		}
+		constraints := registry.ConstraintSpecs(inst)
+		// Attach the advertised symmetry group only to jobs the quotient is
+		// sound for: the saboteur searches the concrete transition graph
+		// (its witness must replay on real states), and the per-constraint
+		// recovery costs of layered designs are permuted — not preserved —
+		// by the group (registry.Instance documents the boundary). Auto mode
+		// silently stays on the full/spill ladder for those; an explicit
+		// quotient request is rejected with the reason.
+		sym := inst.Symmetry
+		switch {
+		case sab != nil:
+			if opts.SpaceMode == verify.SpaceQuotient {
+				return nil, fmt.Errorf("space_mode=quotient is incompatible with the saboteur: the fault-schedule witness must replay on concrete states, not orbit representatives")
+			}
+			sym = nil
+		case opts.Metrics && len(constraints) > 0:
+			if opts.SpaceMode == verify.SpaceQuotient {
+				return nil, fmt.Errorf("space_mode=quotient is incompatible with analyses=metrics on a layered design: per-constraint recovery costs are not symmetry-invariant; use space_mode=full or drop metrics")
+			}
+			sym = nil
+		}
+		if opts.SpaceMode == verify.SpaceQuotient && sym == nil {
+			return nil, fmt.Errorf("%s advertises no symmetry group; space_mode=quotient needs one", spec.Protocol)
+		}
+		opts.Symmetry = sym
 		return &compiled{
 			name:        inst.Name,
 			prog:        inst.Program,
@@ -274,7 +319,7 @@ func compileSpec(spec JobSpec, cfg Config) (*compiled, error) {
 			t:           inst.T,
 			key:         fingerprintProtocol(spec.Protocol, params, opts, sab),
 			opts:        opts,
-			constraints: registry.ConstraintSpecs(inst),
+			constraints: constraints,
 			protocol:    spec.Protocol,
 			params:      params,
 			saboteur:    sab,

@@ -9,6 +9,7 @@ import (
 
 	"nonmask/internal/metrics"
 	"nonmask/internal/obs"
+	"nonmask/internal/verify"
 )
 
 // maxLatencySamples bounds the retained check-latency sample window the
@@ -109,6 +110,10 @@ type Metrics struct {
 	SaboteurOptimal         atomic.Int64
 	SaboteurBudgetExhausted atomic.Int64
 	SaboteurExpanded        atomic.Int64
+	// SpilledBytes totals bytes the checker's disk tier wrote (mmap'd CSR
+	// segments plus frontier spool runs), summed over every completed
+	// job's pass spans.
+	SpilledBytes atomic.Int64
 
 	mu        sync.Mutex
 	latencies []float64 // seconds, newest-last, bounded window
@@ -148,6 +153,12 @@ func (m *Metrics) ObservePass(stat obs.PassStat) {
 		m.passes[stat.Pass] = h
 	}
 	h.observe(stat.ElapsedMS/1000, stat.States, stat.Edges, stat.Bytes)
+	// Only the per-check "spill" summary span counts toward the spill
+	// total: the index-building spans carry their own segment bytes, which
+	// the summary already includes — adding both would double-count.
+	if stat.Pass == verify.PassSpill && stat.SpilledBytes > 0 {
+		m.SpilledBytes.Add(stat.SpilledBytes)
+	}
 }
 
 // ObserveQueueWait records one job's admit→run latency (in seconds): the
@@ -207,6 +218,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("csserved_saboteur_optimal_total", "Saboteur searches that proved k-bounded optimality.", m.SaboteurOptimal.Load())
 	counter("csserved_saboteur_budget_exhausted_total", "Saboteur searches cut off by the expansion budget.", m.SaboteurBudgetExhausted.Load())
 	counter("csserved_saboteur_expanded_nodes_total", "Product-graph nodes expanded by saboteur searches.", m.SaboteurExpanded.Load())
+	counter("csserved_spill_bytes_total", "Bytes written by the checker's disk tier (CSR segments plus frontier spool runs).", m.SpilledBytes.Load())
 	gauge("csserved_queue_depth", "Jobs waiting in the queue.", m.QueueDepth.Load())
 	gauge("csserved_inflight_workers", "Executors currently running a check.", m.InFlight.Load())
 	gauge("csserved_batches_inflight", "Batches not yet terminal.", m.BatchesInFlight.Load())

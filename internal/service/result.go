@@ -186,8 +186,17 @@ type Result struct {
 	SchemaVersion int `json:"schema_version"`
 	// Program is the checked program's name.
 	Program string `json:"program"`
-	// States is the size of the enumerated state space.
+	// States is the size of the enumerated state space. When a symmetry
+	// quotient was engaged it counts orbit representatives; FullStates then
+	// carries the full product.
 	States int64 `json:"states"`
+	// SpaceMode names the state-space tier the check ran on ("quotient",
+	// "spill"); omitted for the default full-product tier. Additive under
+	// the schema_version policy.
+	SpaceMode string `json:"space_mode,omitempty"`
+	// FullStates is the full-product state count when a symmetry quotient
+	// was engaged (zero otherwise). Additive.
+	FullStates int64 `json:"full_states,omitempty"`
 	// StatesS and StatesT count the states satisfying S and T.
 	StatesS int64 `json:"states_s"`
 	// StatesT counts the states satisfying the fault-span T.
@@ -331,6 +340,12 @@ func ResultFromReport(name string, rep *verify.Report) *Result {
 	}
 	if rep.Closure != nil {
 		res.Closure = rep.Closure.Error()
+	}
+	if mode := rep.Space.Mode(); mode != verify.SpaceFull {
+		res.SpaceMode = mode.String()
+	}
+	if rep.Space.FullCount != rep.Space.Count {
+		res.FullStates = rep.Space.FullCount
 	}
 	switch {
 	case rep.Unfair != nil && rep.Unfair.Converges:

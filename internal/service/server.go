@@ -52,6 +52,11 @@ type Config struct {
 	CheckWorkers int
 	// MaxStates is the default state-space cap (0 = verify default).
 	MaxStates int64
+	// SpillDir is where the checker's disk tier puts CSR segment and
+	// frontier-run files when a job escalates (or pins itself) to spill
+	// mode. Empty means the OS temp directory. Server policy, never client
+	// input; cmd/csserved exposes it as -spill-dir.
+	SpillDir string
 	// MaxDeadline caps each job's wall-clock budget; job-requested
 	// deadlines beyond it are clamped (default 60s).
 	MaxDeadline time.Duration
@@ -588,6 +593,15 @@ func (s *Server) runJob(j *job) {
 		verify.WithOptions(j.c.opts), verify.WithConstraints(j.c.constraints...),
 		verify.WithTracer(obs.Tee(obs.LogTracer{Logger: jlog}, j.events)),
 		verify.WithProgress(prog))
+	if rep != nil {
+		// Release the space's disk tier (mmap'd CSR segments) once the job
+		// is settled; a no-op for in-RAM spaces.
+		defer func() {
+			if cerr := rep.Close(); cerr != nil {
+				jlog.Warn("space close failed", "error", cerr)
+			}
+		}()
+	}
 	var sabRes *saboteur.Result
 	if err == nil && j.c.saboteur != nil {
 		// The search runs on the check's own space, so its pass span joins

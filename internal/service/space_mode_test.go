@@ -1,0 +1,134 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"testing"
+)
+
+// TestSubmitRejectsQuotientMisuse exercises the submission-time policy
+// boundary for the symmetry quotient: every spec here must fail with 400
+// (and a reason), never occupy a queue slot, and never reach the checker.
+func TestSubmitRejectsQuotientMisuse(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	quot := JobOptions{SpaceMode: "quotient"}
+	for name, spec := range map[string]JobSpec{
+		// tokenring-path advertises no symmetry group (the endpoints break
+		// the rotation).
+		"no-symmetry": {Protocol: "tokenring-path", Options: quot},
+		// GCL source jobs never carry a group: there is no catalog entry to
+		// advertise one.
+		"source": {Source: "program p; var x : 0..1;", Options: quot},
+		// The diffusing design is layered; per-constraint recovery costs
+		// are permuted, not preserved, by any group, so metrics on the
+		// quotient would be unsound.
+		"metrics-layered": {Protocol: "diffusing",
+			Options: JobOptions{SpaceMode: "quotient", Analyses: []string{AnalysisMetrics}}},
+		// The saboteur's witness must replay on concrete states.
+		"saboteur": {Protocol: "tokenring-ring",
+			Options: JobOptions{SpaceMode: "quotient", Saboteur: &SaboteurOptions{K: 1}}},
+		"bad-mode": {Protocol: "tokenring-ring", Options: JobOptions{SpaceMode: "psychic"}},
+	} {
+		if _, err := s.Submit(spec); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if errorCode(err) != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400", name, errorCode(err))
+		}
+	}
+}
+
+// TestSubmitQuotientRunsAndReports runs a ring job on the quotient and
+// checks the wire result reports the tier, both state counts, and the
+// same verdict the full product gives.
+func TestSubmitQuotientRunsAndReports(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+
+	full, err := s.Submit(ringSpec(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSt := waitTerminal(t, s, full.ID)
+	if fullSt.State != StateDone {
+		t.Fatalf("full job %s: %s", fullSt.State, fullSt.Error)
+	}
+
+	spec := ringSpec(3, 4)
+	spec.Options.SpaceMode = "quotient"
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitTerminal(t, s, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("quotient job %s: %s", st.State, st.Error)
+	}
+	res := st.Result
+	if res.SpaceMode != "quotient" {
+		t.Fatalf("space_mode = %q, want quotient", res.SpaceMode)
+	}
+	if res.FullStates != fullSt.Result.States {
+		t.Fatalf("full_states = %d, want the full product's %d",
+			res.FullStates, fullSt.Result.States)
+	}
+	if res.States >= res.FullStates {
+		t.Fatalf("quotient did not shrink the space: %d reps of %d states",
+			res.States, res.FullStates)
+	}
+	if res.Verdict != fullSt.Result.Verdict || res.Classification != fullSt.Result.Classification {
+		t.Fatalf("quotient verdict %s/%s, full %s/%s",
+			res.Verdict, res.Classification, fullSt.Result.Verdict, fullSt.Result.Classification)
+	}
+}
+
+// TestSubmitSpillRunsAndReports pins the server's operator-owned spill
+// directory into a forced-spill job and checks the tier is reported.
+func TestSubmitSpillRunsAndReports(t *testing.T) {
+	s := New(Config{SpillDir: t.TempDir()})
+	defer s.Shutdown(context.Background())
+	spec := ringSpec(3, 4)
+	spec.Options.SpaceMode = "spill"
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitTerminal(t, s, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("spill job %s: %s", st.State, st.Error)
+	}
+	if st.Result.SpaceMode != "spill" {
+		t.Fatalf("space_mode = %q, want spill", st.Result.SpaceMode)
+	}
+	if st.Result.Verdict != VerdictSatisfied {
+		t.Fatalf("verdict = %s, want satisfied", st.Result.Verdict)
+	}
+}
+
+// TestSpaceModeCacheKeys checks the tier is part of the content address
+// exactly when it changes what runs: auto is the default spelling (same
+// key as leaving the option out), explicit tiers get their own entries.
+func TestSpaceModeCacheKeys(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	cfg := s.cfg
+	base := ringSpec(3, 4)
+	auto := ringSpec(3, 4)
+	auto.Options.SpaceMode = "auto"
+	if mustKey(t, base, cfg) != mustKey(t, auto, cfg) {
+		t.Fatal("space_mode=auto changed the cache key of the default spelling")
+	}
+	keys := map[string]string{"": mustKey(t, base, cfg)}
+	for _, mode := range []string{"full", "quotient", "spill"} {
+		spec := ringSpec(3, 4)
+		spec.Options.SpaceMode = mode
+		keys[mode] = mustKey(t, spec, cfg)
+	}
+	seen := map[string]string{}
+	for mode, key := range keys {
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("space_mode %q and %q share cache key %s", mode, prev, key)
+		}
+		seen[key] = mode
+	}
+}

@@ -30,6 +30,10 @@ import (
 const (
 	// logName is the log file inside the store directory.
 	logName = "verdicts.log"
+	// compactSuffix names the compaction rewrite temp next to the log;
+	// its rename over logName is the commit point, and Open sweeps any
+	// crash leftover.
+	compactSuffix = ".compact"
 	// headerSize is the per-record prefix: uint32 payload length plus
 	// uint32 CRC32C of the payload, both little-endian.
 	headerSize = 8
@@ -90,6 +94,10 @@ type Stats struct {
 	// TruncatedBytes counts trailing bytes the Open scan cut off as a torn
 	// tail.
 	TruncatedBytes int64
+	// SweptTempFiles counts crash-leftover compaction temps removed at
+	// Open (a kill between the temp write and its rename commit leaks the
+	// temp; the old log stays authoritative, so the leftover is garbage).
+	SweptTempFiles int64
 	// Appends counts Put calls that reached the log.
 	Appends int64
 	// Compactions counts completed compaction rewrites.
@@ -139,6 +147,15 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	path := filepath.Join(dir, logName)
+	// Sweep crash leftovers before touching the log: a process killed
+	// mid-compaction leaves <log>.compact behind (the rename never
+	// committed, so the old log is still the authoritative copy).
+	swept := int64(0)
+	if err := os.Remove(path + compactSuffix); err == nil {
+		swept++
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: sweep stale compaction temp: %w", err)
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -153,9 +170,13 @@ func Open(dir string, opts Options) (*Store, error) {
 		flushStop: make(chan struct{}),
 		flushDone: make(chan struct{}),
 	}
+	s.stats.SweptTempFiles = swept
 	if err := s.recover(); err != nil {
 		f.Close()
 		return nil, err
+	}
+	if swept > 0 {
+		s.log.Info("store: swept stale compaction temp", "path", path+compactSuffix)
 	}
 	go s.flusher()
 	return s, nil
@@ -375,7 +396,7 @@ func (s *Store) Compact() error {
 // commit point: a crash before it leaves the old log untouched, a crash
 // after it leaves the compacted log.
 func (s *Store) compactLocked() error {
-	tmpPath := s.path + ".compact"
+	tmpPath := s.path + compactSuffix
 	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err

@@ -292,3 +292,47 @@ func TestPutRejectsBadInput(t *testing.T) {
 		t.Fatalf("double close: %v", err)
 	}
 }
+
+// TestOpenSweepsStaleCompactionTemp simulates a process killed between
+// the compaction temp write and its rename commit: the leftover
+// <log>.compact must be removed by the next Open, the old log stays
+// authoritative, and a subsequent compaction works from a clean slate.
+func TestOpenSweepsStaleCompactionTemp(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	if err := s.Put("k", []byte(`{"n":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	stale := logPath(dir) + compactSuffix
+	if err := os.WriteFile(stale, []byte("partial compaction output"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, Options{})
+	if got := s2.Stats().SweptTempFiles; got != 1 {
+		t.Fatalf("SweptTempFiles = %d, want 1", got)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale compaction temp still present: %v", err)
+	}
+	if v, ok := s2.Get("k"); !ok || string(v) != `{"n":1}` {
+		t.Fatalf("old log no longer authoritative: %q %v", v, ok)
+	}
+	if err := s2.Compact(); err != nil {
+		t.Fatalf("compaction after sweep: %v", err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("compaction left its temp behind")
+	}
+	s2.Close()
+
+	// A clean reopen sweeps nothing.
+	s3 := openT(t, dir, Options{})
+	if got := s3.Stats().SweptTempFiles; got != 0 {
+		t.Fatalf("clean open swept %d temps, want 0", got)
+	}
+}

@@ -172,7 +172,26 @@ func Check(ctx context.Context, p *program.Program, S, T *program.Predicate, opt
 			return nil, err
 		}
 	}
+	if segBytes, spooled := sp.SpillStats(); segBytes > 0 || spooled > 0 {
+		// Summary span of the check's disk traffic: Bytes is the resident
+		// segment footprint, SpilledBytes the total written (segments plus
+		// frontier runs).
+		span := startPass(runOpts, PassSpill, 0)
+		span.addSpilled(segBytes + spooled)
+		span.endSized(sp.Count, 0, segBytes)
+	}
 	rep.Passes = rep.collector.Passes()
 	rep.Elapsed = time.Since(start)
 	return rep, nil
+}
+
+// Close releases the disk-backed resources of the report's space (spill
+// segment files); a no-op for in-RAM spaces. Call it when no follow-up
+// passes will run on Report.Space — after Close the space's CSR views are
+// invalid.
+func (r *Report) Close() error {
+	if r.Space == nil {
+		return nil
+	}
+	return r.Space.Close()
 }

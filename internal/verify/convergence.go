@@ -130,7 +130,7 @@ func (sp *Space) checkConvergenceKahn(ctx context.Context) (res *ConvergenceResu
 		}
 	}()
 	res = &ConvergenceResult{Converges: true, StatesT: sp.CountT(), StatesS: sp.CountS()}
-	res.StatesOutsideS = countAndNot(sp.inT, sp.inS)
+	res.StatesOutsideS = sp.weightedCountAndNot(sp.inT, sp.inS)
 	steps := make([]int32, sp.Count)
 	if res.StatesOutsideS == 0 {
 		return res, steps, nil
@@ -196,16 +196,18 @@ func (sp *Space) checkConvergenceKahn(ctx context.Context) (res *ConvergenceResu
 		return nil, nil, err
 	}
 
-	// Phase 3: wave loop.
+	// Phase 3: wave loop. processWave resolves one batch of wave states
+	// and hands every newly released predecessor to emit; on the spill
+	// tier waves overflow to sorted temp-file runs (frontierSpool), and
+	// processing a wave in sorted batches is sound because no wave member
+	// reads a same-wave steps entry — all its region successors resolved
+	// in strictly earlier waves.
 	wave := flatten(firstWave)
 	var resolved int64
-	for len(wave) > 0 {
-		span.observeFrontier(int64(len(wave)))
-		resolved += int64(len(wave))
-		next := make([][]int64, workers)
-		err := parallelRange(ctx, workers, int64(len(wave)), sp.opts.Progress, func(worker int, lo, hi int64) {
+	processWave := func(batch []int64, emit func(worker int, pp int64)) error {
+		return parallelRange(ctx, workers, int64(len(batch)), sp.opts.Progress, func(worker int, lo, hi int64) {
 			for w := lo; w < hi; w++ {
-				i := wave[w]
+				i := batch[w]
 				var best int32
 				for _, j := range sp.idx.out(i) {
 					jj := int64(j)
@@ -224,17 +226,46 @@ func (sp *Space) checkConvergenceKahn(ctx context.Context) (res *ConvergenceResu
 						continue
 					}
 					if atomic.AddInt32(&outstanding[pp], -1) == 0 {
-						next[worker] = append(next[worker], pp)
+						emit(worker, pp)
 					}
 				}
 			}
 		})
-		if err != nil {
-			return nil, nil, err
-		}
-		wave = flatten(next)
 	}
-	if resolved != res.StatesOutsideS {
+	if sp.spillFrontiers() {
+		cur := newFrontierSpool(sp.arena, workers)
+		for _, i := range wave {
+			cur.add(0, i)
+		}
+		for cur.size() > 0 {
+			span.observeFrontier(cur.size())
+			resolved += cur.size()
+			next := newFrontierSpool(sp.arena, workers)
+			if err := cur.drain(func(batch []int64) error {
+				return processWave(batch, next.add)
+			}); err != nil {
+				next.release()
+				return nil, nil, err
+			}
+			cur = next
+		}
+		cur.release()
+	} else {
+		for len(wave) > 0 {
+			span.observeFrontier(int64(len(wave)))
+			resolved += int64(len(wave))
+			next := make([][]int64, workers)
+			if err := processWave(wave, func(worker int, pp int64) {
+				next[worker] = append(next[worker], pp)
+			}); err != nil {
+				return nil, nil, err
+			}
+			wave = flatten(next)
+		}
+	}
+	// The peel counts representatives; compare against the region's rep
+	// count, not the orbit-weighted StatesOutsideS.
+	if resolved != countAndNot(sp.inT, sp.inS) {
 		// The peeling stalled: every unresolved region state still has an
 		// unresolved region successor, so the unresolved set contains a
 		// cycle an unfair daemon can circulate in forever.
@@ -243,8 +274,9 @@ func (sp *Space) checkConvergenceKahn(ctx context.Context) (res *ConvergenceResu
 		return res, nil, nil
 	}
 
-	// Aggregate the exact worst-case metric. The per-state sum is integer,
-	// so the mean is identical for every worker count.
+	// Aggregate the exact worst-case metric. The per-state sum is integer
+	// and orbit-weighted, so the mean is identical for every worker count
+	// and equals the full space's mean exactly in quotient mode.
 	var (
 		mu    sync.Mutex
 		worst int32
@@ -260,7 +292,7 @@ func (sp *Space) checkConvergenceKahn(ctx context.Context) (res *ConvergenceResu
 			if d := steps[i]; d > w {
 				w = d
 			}
-			s += int64(steps[i])
+			s += sp.weightOf(i) * int64(steps[i])
 		}
 		mu.Lock()
 		if w > worst {
@@ -363,7 +395,7 @@ func (sp *Space) checkConvergenceDFS(ctx context.Context) (res *ConvergenceResul
 		}
 	}()
 	res = &ConvergenceResult{Converges: true, StatesT: sp.CountT(), StatesS: sp.CountS()}
-	res.StatesOutsideS = countAndNot(sp.inT, sp.inS)
+	res.StatesOutsideS = sp.weightedCountAndNot(sp.inT, sp.inS)
 
 	// steps[i]: worst-case number of actions to reach S from i, computed
 	// during the DFS postorder.
@@ -447,7 +479,7 @@ func (sp *Space) checkConvergenceDFS(ctx context.Context) (res *ConvergenceResul
 		}
 	}
 
-	// Aggregate the exact worst-case metric.
+	// Aggregate the exact worst-case metric (orbit-weighted).
 	var sum int64
 	var n int64
 	for i := int64(0); i < sp.Count; i++ {
@@ -455,8 +487,8 @@ func (sp *Space) checkConvergenceDFS(ctx context.Context) (res *ConvergenceResul
 			if int(steps[i]) > res.WorstSteps {
 				res.WorstSteps = int(steps[i])
 			}
-			sum += int64(steps[i])
-			n++
+			sum += sp.weightOf(i) * int64(steps[i])
+			n += sp.weightOf(i)
 		}
 	}
 	if n > 0 {
@@ -544,7 +576,7 @@ func (sp *Space) CheckFairConvergenceContext(ctx context.Context) (res *Converge
 		}
 	}()
 	res = &ConvergenceResult{Converges: true, Fair: true, StatesT: sp.CountT(), StatesS: sp.CountS()}
-	res.StatesOutsideS = countAndNot(sp.inT, sp.inS)
+	res.StatesOutsideS = sp.weightedCountAndNot(sp.inT, sp.inS)
 	if res.StatesOutsideS == 0 {
 		return res, nil
 	}
@@ -702,7 +734,7 @@ func (sp *Space) buildRegionGraph(ctx context.Context, res *ConvergenceResult) (
 				deadlock.offer(i, 0)
 				continue
 			}
-			sp.P.Schema.StateInto(i, st)
+			sp.stateInto(i, st)
 			var edges []regionEdge
 			acts := make([]int32, 0, len(row))
 			rank := 0
@@ -764,7 +796,7 @@ func (sp *Space) buildRegionGraphSeq(res *ConvergenceResult, regionOut *[]int64,
 				continue
 			}
 			any = true
-			j := sp.P.Schema.Index(a.Apply(st))
+			j := sp.indexOf(a.Apply(st))
 			if !sp.inT.get(j) {
 				res.Converges = false
 				res.Escape = &ClosureViolation{Pred: sp.T, State: st, Action: a, Next: sp.State(j)}
@@ -937,7 +969,7 @@ func (sp *Space) worstDistancesLocked(ctx context.Context) ([]int32, bool, error
 			if !a.Guard(st) {
 				continue
 			}
-			j := sp.P.Schema.Index(a.Apply(st))
+			j := sp.indexOf(a.Apply(st))
 			d := int32(1)
 			if !sp.inS.get(j) {
 				d = 1 + visit(j)

@@ -30,7 +30,7 @@ func (sp *Space) NewSuccCursor() *SuccCursor {
 // through the scratch pair.
 func (c *SuccCursor) ForEach(i int64, fn func(a *program.Action, j int64) bool) {
 	sp := c.sp
-	sp.P.Schema.StateInto(i, c.st)
+	sp.stateInto(i, c.st)
 	if sp.idx != nil {
 		row := sp.idx.out(i)
 		rank := 0
@@ -51,7 +51,7 @@ func (c *SuccCursor) ForEach(i int64, fn func(a *program.Action, j int64) bool) 
 			continue
 		}
 		a.ApplyInto(c.st, c.tmp)
-		if !fn(a, sp.P.Schema.Index(c.tmp)) {
+		if !fn(a, sp.indexOf(c.tmp)) {
 			return
 		}
 	}

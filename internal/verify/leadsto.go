@@ -29,13 +29,13 @@ func (sp *Space) forEachSucc(i int64, scr statePair, fn func(j int64)) {
 		}
 		return
 	}
-	sp.P.Schema.StateInto(i, scr.st)
+	sp.stateInto(i, scr.st)
 	for _, a := range sp.P.Actions {
 		if !a.Guard(scr.st) {
 			continue
 		}
 		a.ApplyInto(scr.st, scr.tmp)
-		fn(sp.P.Schema.Index(scr.tmp))
+		fn(sp.indexOf(scr.tmp))
 	}
 }
 

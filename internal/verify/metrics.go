@@ -234,41 +234,78 @@ func (sp *Space) distanceProfile(ctx context.Context, m *ToleranceMetrics) ([]in
 		return nil, err
 	}
 	frontier := flatten(seed)
-	m.Profile = append(m.Profile, int64(len(frontier)))
+	m.Profile = append(m.Profile, sp.weightedLen(frontier))
 
 	if sp.idx != nil {
 		// Backward BFS over the reverse CSR. visited claims region states
 		// atomically, so a state reached through several edges of the same
-		// wave lands in exactly one worker's next-list.
+		// wave lands in exactly one worker's next-list (and batching a
+		// level is safe — expansion never reads dist). On the spill tier
+		// levels overflow to sorted temp-file runs.
 		revOff, revPred, err := sp.predIndex(ctx)
 		if err != nil {
 			return nil, err
 		}
 		visited := newBitset(sp.Count)
 		level := int32(0)
-		for len(frontier) > 0 {
-			span.observeFrontier(int64(len(frontier)))
-			level++
-			next := make([][]int64, workers)
-			err := parallelRange(ctx, workers, int64(len(frontier)), sp.opts.Progress, func(worker int, lo, hi int64) {
+		expand := func(batch []int64, emit func(worker int, pp int64)) error {
+			return parallelRange(ctx, workers, int64(len(batch)), sp.opts.Progress, func(worker int, lo, hi int64) {
 				for w := lo; w < hi; w++ {
-					j := frontier[w]
+					j := batch[w]
 					for _, p := range revPred[revOff[j]:revOff[j+1]] {
 						pp := int64(p)
 						if !sp.region(pp) || !visited.testAndSet(pp) {
 							continue
 						}
 						dist[pp] = level
-						next[worker] = append(next[worker], pp)
+						emit(worker, pp)
 					}
 				}
 			})
-			if err != nil {
-				return nil, err
+		}
+		if sp.spillFrontiers() {
+			cur := newFrontierSpool(sp.arena, workers)
+			for _, i := range frontier {
+				cur.add(0, i)
 			}
-			frontier = flatten(next)
-			if len(frontier) > 0 {
-				m.Profile = append(m.Profile, int64(len(frontier)))
+			for cur.size() > 0 {
+				span.observeFrontier(cur.size())
+				level++
+				next := newFrontierSpool(sp.arena, workers)
+				weights := make([]int64, workers)
+				if err := cur.drain(func(batch []int64) error {
+					return expand(batch, func(worker int, pp int64) {
+						next.add(worker, pp)
+						weights[worker] += sp.weightOf(pp)
+					})
+				}); err != nil {
+					next.release()
+					return nil, err
+				}
+				if next.size() > 0 {
+					var lw int64
+					for _, w := range weights {
+						lw += w
+					}
+					m.Profile = append(m.Profile, lw)
+				}
+				cur = next
+			}
+			cur.release()
+		} else {
+			for len(frontier) > 0 {
+				span.observeFrontier(int64(len(frontier)))
+				level++
+				next := make([][]int64, workers)
+				if err := expand(frontier, func(worker int, pp int64) {
+					next[worker] = append(next[worker], pp)
+				}); err != nil {
+					return nil, err
+				}
+				frontier = flatten(next)
+				if len(frontier) > 0 {
+					m.Profile = append(m.Profile, sp.weightedLen(frontier))
+				}
 			}
 		}
 	} else {
@@ -285,13 +322,13 @@ func (sp *Space) distanceProfile(ctx context.Context, m *ToleranceMetrics) ([]in
 					if !sp.region(i) || dist[i] >= 0 {
 						continue
 					}
-					sp.P.Schema.StateInto(i, st)
+					sp.stateInto(i, st)
 					for _, a := range sp.P.Actions {
 						if !a.Guard(st) {
 							continue
 						}
 						a.ApplyInto(st, tmp)
-						if dist[sp.P.Schema.Index(tmp)] >= 0 {
+						if dist[sp.indexOf(tmp)] >= 0 {
 							found[worker] = append(found[worker], i)
 							break
 						}
@@ -309,7 +346,7 @@ func (sp *Space) distanceProfile(ctx context.Context, m *ToleranceMetrics) ([]in
 			for _, i := range resolved {
 				dist[i] = level
 			}
-			m.Profile = append(m.Profile, int64(len(resolved)))
+			m.Profile = append(m.Profile, sp.weightedLen(resolved))
 		}
 	}
 
@@ -346,8 +383,8 @@ func (sp *Space) worstMetrics(ctx context.Context, m *ToleranceMetrics) error {
 		if steps[i] > worst {
 			worst = steps[i]
 		}
-		sum += int64(steps[i])
-		n++
+		sum += sp.weightOf(i) * int64(steps[i])
+		n += sp.weightOf(i)
 	}
 	m.WorstSteps = int(worst)
 	if n > 0 {
@@ -393,7 +430,7 @@ func (sp *Space) expectedSteps(ctx context.Context, dist []int32, m *ToleranceMe
 	var nMeasured int64
 	for i := int64(0); i < sp.Count; i++ {
 		if measured(i) {
-			nMeasured++
+			nMeasured += sp.weightOf(i)
 		}
 	}
 	if nMeasured == 0 {
@@ -430,14 +467,14 @@ func (sp *Space) expectedSteps(ctx context.Context, dist []int32, m *ToleranceMe
 					}
 				} else {
 					st, tmp := scr[worker].st, scr[worker].tmp
-					sp.P.Schema.StateInto(i, st)
+					sp.stateInto(i, st)
 					for _, a := range sp.P.Actions {
 						if !a.Guard(st) {
 							continue
 						}
 						deg++
 						a.ApplyInto(st, tmp)
-						if j := sp.P.Schema.Index(tmp); !sp.inS.get(j) {
+						if j := sp.indexOf(tmp); !sp.inS.get(j) {
 							sum += cur[j]
 						}
 					}
@@ -473,7 +510,9 @@ func (sp *Space) expectedSteps(ctx context.Context, dist []int32, m *ToleranceMe
 	m.ExpectedIterations = iters
 
 	// Aggregate: max is order-independent; the mean folds per-chunk sums
-	// sequentially so float addition order is fixed.
+	// sequentially so float addition order is fixed. The per-state terms
+	// are orbit-weighted (weight 1 multiplies exactly, so full-mode sums
+	// are bit-identical to the unweighted fold).
 	sums := make([]float64, nChunks)
 	maxes := make([]float64, nChunks)
 	err = parallelRange(ctx, workers, sp.Count, sp.opts.Progress, func(_ int, lo, hi int64) {
@@ -482,7 +521,7 @@ func (sp *Space) expectedSteps(ctx context.Context, dist []int32, m *ToleranceMe
 			if !measured(i) {
 				continue
 			}
-			s += cur[i]
+			s += float64(sp.weightOf(i)) * cur[i]
 			if cur[i] > mx {
 				mx = cur[i]
 			}
@@ -541,7 +580,7 @@ func (sp *Space) doomedStates(ctx context.Context, dist []int32) (bitset, error)
 					}
 				} else {
 					st, tmp := scr[worker].st, scr[worker].tmp
-					sp.P.Schema.StateInto(i, st)
+					sp.stateInto(i, st)
 					enabled := false
 					for _, a := range sp.P.Actions {
 						if !a.Guard(st) {
@@ -549,7 +588,7 @@ func (sp *Space) doomedStates(ctx context.Context, dist []int32) (bitset, error)
 						}
 						enabled = true
 						a.ApplyInto(st, tmp)
-						if !sp.inT.get(sp.P.Schema.Index(tmp)) {
+						if !sp.inT.get(sp.indexOf(tmp)) {
 							bad = true
 							break
 						}
@@ -607,13 +646,13 @@ func (sp *Space) doomedStates(ctx context.Context, dist []int32) (bitset, error)
 				if !sp.region(i) || doomed.get(i) {
 					continue
 				}
-				sp.P.Schema.StateInto(i, st)
+				sp.stateInto(i, st)
 				for _, a := range sp.P.Actions {
 					if !a.Guard(st) {
 						continue
 					}
 					a.ApplyInto(st, tmp)
-					if doomed.get(sp.P.Schema.Index(tmp)) {
+					if doomed.get(sp.indexOf(tmp)) {
 						found[worker] = append(found[worker], i)
 						break
 					}
@@ -657,14 +696,14 @@ func (sp *Space) constraintCost(ctx context.Context, spec ConstraintSpec) (Const
 	if err != nil {
 		return cost, err
 	}
-	cost.StableStates = stable.count()
+	cost.StableStates = sp.weightedCount(stable)
 
 	// Worst-case distance to the stable subset: re-target the convergence
 	// peel at S' = stable over the same transition graph. A stalled peel
 	// (cycle or deadlock avoiding the subset) means no finite cost exists.
 	name := fmt.Sprintf("stable(%s)", spec.Name)
 	pred := program.NewPredicate(name, nil, func(st *program.State) bool {
-		return stable.get(sp.P.Schema.Index(st))
+		return stable.get(sp.indexOf(st))
 	})
 	ds := sp.derived(pred, sp.T, stable, sp.inT)
 	var res *ConvergenceResult
@@ -716,13 +755,13 @@ func (sp *Space) stableSubset(ctx context.Context, good bitset) (bitset, error) 
 				}
 			} else {
 				st, tmp := scr[worker].st, scr[worker].tmp
-				sp.P.Schema.StateInto(i, st)
+				sp.stateInto(i, st)
 				for _, a := range sp.P.Actions {
 					if !a.Guard(st) {
 						continue
 					}
 					a.ApplyInto(st, tmp)
-					if !good.get(sp.P.Schema.Index(tmp)) {
+					if !good.get(sp.indexOf(tmp)) {
 						exit = true
 						break
 					}
@@ -770,13 +809,13 @@ func (sp *Space) stableSubset(ctx context.Context, good bitset) (bitset, error) 
 					if !inGood(i) {
 						continue
 					}
-					sp.P.Schema.StateInto(i, st)
+					sp.stateInto(i, st)
 					for _, a := range sp.P.Actions {
 						if !a.Guard(st) {
 							continue
 						}
 						a.ApplyInto(st, tmp)
-						if j := sp.P.Schema.Index(tmp); !inGood(j) {
+						if j := sp.indexOf(tmp); !inGood(j) {
 							found[worker] = append(found[worker], i)
 							break
 						}

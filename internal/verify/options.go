@@ -15,6 +15,98 @@ import (
 // bookkeeping capped out at 1<<22.
 const DefaultMaxStates = int64(1) << 26
 
+// SpaceMode selects how the state space is represented (DESIGN §13): the
+// scaling ladder from in-RAM full product, through symmetry quotients, to
+// disk-spilled CSR segments.
+type SpaceMode int
+
+const (
+	// SpaceAuto (the default) engages the ladder automatically: the full
+	// in-RAM representation when the CSR fits its memory budget, the
+	// symmetry quotient when one is advertised and the full CSR does not
+	// fit, the spill tier when a spill directory is configured and nothing
+	// smaller fits, and the on-the-fly fallback last.
+	SpaceAuto SpaceMode = iota
+	// SpaceFull forces the classic full-product representation (over
+	// budget means the on-the-fly fallback, never quotient or spill).
+	SpaceFull
+	// SpaceQuotient forces symmetry reduction: enumeration, the CSR and
+	// every pass run on canonical orbit representatives. Requires a
+	// Symmetry (WithSymmetry or a registry advertisement).
+	SpaceQuotient
+	// SpaceSpill forces disk-backed operation: the forward and reverse CSR
+	// are written as segment files and mmap'd read-only, and oversized BFS
+	// frontiers overflow to sorted temp-file runs.
+	SpaceSpill
+)
+
+// String returns the mode's flag spelling.
+func (m SpaceMode) String() string {
+	switch m {
+	case SpaceAuto:
+		return "auto"
+	case SpaceFull:
+		return "full"
+	case SpaceQuotient:
+		return "quotient"
+	case SpaceSpill:
+		return "spill"
+	}
+	return fmt.Sprintf("SpaceMode(%d)", int(m))
+}
+
+// ParseSpaceMode parses the -space-mode flag / job-option spelling. The
+// empty string means SpaceAuto.
+func ParseSpaceMode(s string) (SpaceMode, error) {
+	switch s {
+	case "", "auto":
+		return SpaceAuto, nil
+	case "full":
+		return SpaceFull, nil
+	case "quotient":
+		return SpaceQuotient, nil
+	case "spill":
+		return SpaceSpill, nil
+	}
+	return 0, fmt.Errorf("verify: unknown space mode %q (want auto | full | quotient | spill)", s)
+}
+
+// QuotientMap selects the canonical-state lookup structure of the
+// quotient tier.
+type QuotientMap int
+
+const (
+	// MapFingerprint (the default) looks representatives up through an
+	// open-addressed table of 64-bit state fingerprints. A fingerprint
+	// collision between two distinct representatives is detected at build
+	// time and makes the check refuse with a report naming both states —
+	// never a silent wrong verdict.
+	MapFingerprint QuotientMap = iota
+	// MapExact looks representatives up by binary search over the sorted
+	// representative index list: no hashing, no collision risk, O(log n)
+	// per lookup. The metamorphic suites cross-check the two.
+	MapExact
+)
+
+// String returns the map's flag spelling.
+func (m QuotientMap) String() string {
+	if m == MapExact {
+		return "exact"
+	}
+	return "fingerprint"
+}
+
+// ParseQuotientMap parses the -quotient-map flag spelling.
+func ParseQuotientMap(s string) (QuotientMap, error) {
+	switch s {
+	case "", "fingerprint":
+		return MapFingerprint, nil
+	case "exact":
+		return MapExact, nil
+	}
+	return 0, fmt.Errorf("verify: unknown quotient map %q (want fingerprint | exact)", s)
+}
+
 // Options configures the checker. The zero value is ready to use: default
 // state cap, one worker per CPU, projected preservation strategy, no
 // deadline.
@@ -52,6 +144,20 @@ type Options struct {
 	// result to Report.Metrics. Off by default: the verdict path pays
 	// nothing for the plumbing.
 	Metrics bool
+	// SpaceMode selects the state-space representation tier (DESIGN §13).
+	// Zero (SpaceAuto) engages the ladder automatically.
+	SpaceMode SpaceMode
+	// Symmetry, when non-nil, is the canonicalization hook the quotient
+	// tier reduces by. Registry entries advertise one per symmetric
+	// protocol; it is ignored outside the quotient tier.
+	Symmetry *Symmetry
+	// QuotientMap selects the representative lookup structure of the
+	// quotient tier (fingerprint table by default).
+	QuotientMap QuotientMap
+	// SpillDir is the directory the spill tier writes CSR segment files
+	// and frontier runs into. Empty means os.TempDir() when spill is
+	// forced; SpaceAuto never spills without an explicit directory.
+	SpillDir string
 }
 
 // validate rejects malformed options. Every entry point of this package
@@ -67,6 +173,15 @@ func (o Options) validate() error {
 	}
 	if o.Deadline < 0 {
 		return fmt.Errorf("verify: negative Deadline %v", o.Deadline)
+	}
+	if o.SpaceMode < SpaceAuto || o.SpaceMode > SpaceSpill {
+		return fmt.Errorf("verify: unknown SpaceMode %d", int(o.SpaceMode))
+	}
+	if o.QuotientMap < MapFingerprint || o.QuotientMap > MapExact {
+		return fmt.Errorf("verify: unknown QuotientMap %d", int(o.QuotientMap))
+	}
+	if o.SpaceMode == SpaceQuotient && o.Symmetry == nil {
+		return fmt.Errorf("verify: SpaceQuotient requires a Symmetry (the instance advertises none)")
 	}
 	return nil
 }
@@ -166,6 +281,33 @@ func WithMetrics() Option {
 // Options.Metrics) is also set.
 func WithConstraints(specs ...ConstraintSpec) Option {
 	return func(_ *Options, e *checkExtras) { e.constraints = specs }
+}
+
+// WithSpaceMode selects the state-space representation tier (DESIGN §13):
+// SpaceAuto engages the full → quotient → spill ladder automatically as
+// instances outgrow each tier; the explicit modes force one tier.
+func WithSpaceMode(m SpaceMode) Option {
+	return func(o *Options, _ *checkExtras) { o.SpaceMode = m }
+}
+
+// WithSymmetry supplies the canonicalization hook the quotient tier
+// reduces the space by. Registry instances carry their advertised
+// symmetry; hand-built programs can pass their own. Pass nil to clear.
+func WithSymmetry(sym *Symmetry) Option {
+	return func(o *Options, _ *checkExtras) { o.Symmetry = sym }
+}
+
+// WithQuotientMap selects the quotient tier's representative lookup
+// structure: the 64-bit fingerprint table (default, collision-refusing)
+// or the exact binary search.
+func WithQuotientMap(m QuotientMap) Option {
+	return func(o *Options, _ *checkExtras) { o.QuotientMap = m }
+}
+
+// WithSpillDir sets the directory the spill tier writes CSR segments and
+// frontier runs into, and enables the spill rung of the SpaceAuto ladder.
+func WithSpillDir(dir string) Option {
+	return func(o *Options, _ *checkExtras) { o.SpillDir = dir }
 }
 
 // WithOptions replaces the whole Options struct — the bridge for callers

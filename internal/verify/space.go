@@ -20,11 +20,17 @@
 // is sharded across a worker pool (Options.Workers) with context
 // cancellation polled between chunks. The unified entry point is Check;
 // the per-pass methods remain for callers that need individual verdicts.
+//
+// Instances that outgrow RAM climb the scaling ladder of DESIGN §13
+// (WithSpaceMode): symmetry-quotient spaces over canonical orbit
+// representatives, and disk-spilled spaces whose CSR lives in mmap'd
+// segment files with frontiers overflowing to sorted temp-file runs.
 package verify
 
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"sync"
 
 	"nonmask/internal/program"
@@ -36,13 +42,25 @@ import (
 // underlies all checks and the adversarial daemon's exact distance metric.
 // A Space's checks honour the Options it was built with (worker count in
 // particular).
+//
+// In quotient mode the space ranges over the orbit representatives of the
+// advertised Symmetry: Count is the representative count, state indices
+// are quotient ids, and FullCount keeps the full-product size. Reported
+// state counts (|S|, |T|, the distance profile, …) are orbit-weighted, so
+// they equal the full space's numbers exactly. In spill mode the CSR
+// arrays view mmap'd segment files owned by the space's arena; Close
+// releases them.
 type Space struct {
 	P     *program.Program
 	S     *program.Predicate
 	T     *program.Predicate
 	Count int64
+	// FullCount is the full cartesian-product state count; equal to Count
+	// except in quotient mode.
+	FullCount int64
 
 	opts     Options
+	mode     SpaceMode
 	inS, inT bitset
 	nA       int
 	// idx is the CSR transition graph over enabled edges, shared by
@@ -50,6 +68,14 @@ type Space struct {
 	// built at most once per Check. nil when the edge set exceeds
 	// succIndexBudget (the passes then recompute successors on the fly).
 	idx *succIndex
+
+	// quot is the symmetry quotient (reps, weights, canonical lookup);
+	// nil outside quotient mode.
+	quot *quotient
+	// arena owns the disk-backed artifacts of spill mode; nil otherwise.
+	// Derived stage spaces share it without owning it.
+	arena     *spillArena
+	ownsArena bool
 
 	// stepsMu guards the WorstDistances cache: the exact worst-case
 	// distance table, computed at most once per space (the metrics passes
@@ -66,21 +92,101 @@ type Space struct {
 // sharded across opts.Workers goroutines and poll ctx between chunks.
 // Most callers want Check instead; NewSpaceContext is for follow-up
 // passes on a space without a full verdict bundle.
+//
+// The space-mode ladder (DESIGN §13) resolves here. Explicit modes force
+// their tier; SpaceAuto tries the full in-RAM space first and, when the
+// measured edge set busts the CSR budget, escalates to the symmetry
+// quotient (if a Symmetry is advertised), then to the spill tier (if a
+// spill directory is configured), before settling for the on-the-fly
+// fallback. MaxStates always bounds the full-product count — enumeration
+// visits every full state once even in quotient mode.
 func NewSpaceContext(ctx context.Context, p *program.Program, S, T *program.Predicate, opts Options) (*Space, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	count, ok := p.Schema.StateCount()
-	if !ok || count > opts.maxStates() {
+	fullCount, ok := p.Schema.StateCount()
+	if !ok || fullCount > opts.maxStates() {
 		return nil, fmt.Errorf("verify: state space of %q too large (%d states, limit %d)",
-			p.Name, count, opts.maxStates())
+			p.Name, fullCount, opts.maxStates())
+	}
+	switch opts.SpaceMode {
+	case SpaceFull:
+		return newSpace(ctx, p, S, T, opts, SpaceFull, fullCount, nil, nil)
+	case SpaceQuotient:
+		q, err := buildQuotient(ctx, p, opts, fullCount)
+		if err != nil {
+			return nil, err
+		}
+		return newSpace(ctx, p, S, T, opts, SpaceQuotient, fullCount, q, nil)
+	case SpaceSpill:
+		arena, err := newSpillArena(opts.SpillDir)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := newSpace(ctx, p, S, T, opts, SpaceSpill, fullCount, nil, arena)
+		if err != nil {
+			_ = arena.close()
+			return nil, err
+		}
+		return sp, nil
+	}
+
+	// SpaceAuto: full first; each escalation only triggers when the tier
+	// below failed to materialize its CSR.
+	sp, err := newSpace(ctx, p, S, T, opts, SpaceFull, fullCount, nil, nil)
+	if err != nil || sp.idx != nil {
+		return sp, err
+	}
+	if opts.Symmetry != nil {
+		q, err := buildQuotient(ctx, p, opts, fullCount)
+		if err != nil {
+			return nil, err
+		}
+		qsp, err := newSpace(ctx, p, S, T, opts, SpaceQuotient, fullCount, q, nil)
+		if err != nil || qsp.idx != nil || opts.SpillDir == "" {
+			return qsp, err
+		}
+		arena, err := newSpillArena(opts.SpillDir)
+		if err != nil {
+			return nil, err
+		}
+		ssp, err := newSpace(ctx, p, S, T, opts, SpaceSpill, fullCount, q, arena)
+		if err != nil {
+			_ = arena.close()
+			return nil, err
+		}
+		return ssp, nil
+	}
+	if opts.SpillDir != "" {
+		arena, err := newSpillArena(opts.SpillDir)
+		if err != nil {
+			return nil, err
+		}
+		ssp, err := newSpace(ctx, p, S, T, opts, SpaceSpill, fullCount, nil, arena)
+		if err != nil {
+			_ = arena.close()
+			return nil, err
+		}
+		return ssp, nil
+	}
+	return sp, nil // on-the-fly fallback
+}
+
+// newSpace builds one tier: enumerate (over representatives in quotient
+// mode), evaluate S/T, build the CSR (arena-backed in spill mode).
+func newSpace(ctx context.Context, p *program.Program, S, T *program.Predicate, opts Options,
+	mode SpaceMode, fullCount int64, q *quotient, arena *spillArena) (*Space, error) {
+	count := fullCount
+	if q != nil {
+		count = int64(len(q.reps))
 	}
 	sp := &Space{
-		P: p, S: S, T: T, Count: count,
-		opts: opts,
-		nA:   len(p.Actions),
-		inS:  newBitset(count),
-		inT:  newBitset(count),
+		P: p, S: S, T: T, Count: count, FullCount: fullCount,
+		opts: opts, mode: mode, quot: q,
+		arena: arena, ownsArena: arena != nil,
+		nA:  len(p.Actions),
+		inS: newBitset(count),
+		inT: newBitset(count),
 	}
 	w := newWitness()
 	scr := sp.newStates()
@@ -88,7 +194,7 @@ func NewSpaceContext(ctx context.Context, p *program.Program, S, T *program.Pred
 	err := parallelRange(ctx, sp.workers(), count, sp.opts.Progress, func(worker int, lo, hi int64) {
 		st := scr[worker]
 		for i := lo; i < hi; i++ {
-			p.Schema.StateInto(i, st)
+			sp.stateInto(i, st)
 			s, t := S.Holds(st), T.Holds(st)
 			if s {
 				sp.inS.set(i)
@@ -116,8 +222,131 @@ func NewSpaceContext(ctx context.Context, p *program.Program, S, T *program.Pred
 
 func (sp *Space) workers() int { return sp.opts.workers() }
 
+// Mode reports the resolved space-representation tier this space was
+// built on (never SpaceAuto).
+func (sp *Space) Mode() SpaceMode { return sp.mode }
+
+// Symmetry returns the symmetry group a quotient space was reduced by,
+// nil for full and spill-without-quotient spaces.
+func (sp *Space) Symmetry() *Symmetry {
+	if sp.quot == nil {
+		return nil
+	}
+	return sp.quot.sym
+}
+
+// QuotientStats returns the representative count and the quotient
+// bookkeeping footprint in bytes (0, 0 outside quotient mode).
+func (sp *Space) QuotientStats() (reps, bytes int64) {
+	if sp.quot == nil {
+		return 0, 0
+	}
+	return int64(len(sp.quot.reps)), sp.quot.bytes()
+}
+
+// SpillStats returns the bytes materialized into mmap'd CSR segment files
+// and the bytes written through frontier spools (0, 0 outside spill mode).
+func (sp *Space) SpillStats() (segBytes, spooledBytes int64) {
+	if sp.arena == nil {
+		return 0, 0
+	}
+	return sp.arena.segmentBytes(), sp.arena.spooled.Load()
+}
+
+// Close releases the space's disk-backed resources (spill segment files
+// and any leftover frontier runs). It is a no-op for in-RAM spaces, safe
+// to call multiple times, and must be the last use of the space — the
+// CSR views die with the mappings. Derived stage spaces never own the
+// arena, so closing them is always a no-op.
+func (sp *Space) Close() error {
+	if sp.arena == nil || !sp.ownsArena {
+		return nil
+	}
+	return sp.arena.close()
+}
+
 // region reports whether state i lies in the convergence region T∧¬S.
 func (sp *Space) region(i int64) bool { return sp.inT.get(i) && !sp.inS.get(i) }
+
+// stateInto decodes state index i into st: a straight mixed-radix decode
+// in full/spill mode, an indirection through the representative list in
+// quotient mode. Every pass kernel routes decoding through here.
+func (sp *Space) stateInto(i int64, st *program.State) {
+	if sp.quot != nil {
+		i = sp.quot.reps[i]
+	}
+	sp.P.Schema.StateInto(i, st)
+}
+
+// indexOf encodes st back to a state index: a straight mixed-radix encode
+// in full/spill mode; in quotient mode st is canonicalized in place and
+// resolved through the quotient map. Callers therefore only pass scratch
+// states or freshly produced successors — never a state another kernel
+// still reads raw.
+func (sp *Space) indexOf(st *program.State) int64 {
+	if sp.quot == nil {
+		return sp.P.Schema.Index(st)
+	}
+	return sp.quot.indexOf(sp.P.Schema, st)
+}
+
+// weightOf returns the number of full-product states index i stands for:
+// 1 outside quotient mode, the orbit size within it.
+func (sp *Space) weightOf(i int64) int64 {
+	if sp.quot == nil {
+		return 1
+	}
+	return int64(sp.quot.weights[i])
+}
+
+// weightedCount counts the full-space states behind b's set bits.
+func (sp *Space) weightedCount(b bitset) int64 {
+	if sp.quot == nil {
+		return b.count()
+	}
+	var sum int64
+	for w, word := range b {
+		base := int64(w) * 64
+		for word != 0 {
+			sum += int64(sp.quot.weights[base+int64(bits.TrailingZeros64(word))])
+			word &= word - 1
+		}
+	}
+	return sum
+}
+
+// weightedCountAndNot counts the full-space states behind b∧¬not.
+func (sp *Space) weightedCountAndNot(b, not bitset) int64 {
+	if sp.quot == nil {
+		return countAndNot(b, not)
+	}
+	var sum int64
+	for w := range b {
+		word := b[w] &^ not[w]
+		base := int64(w) * 64
+		for word != 0 {
+			sum += int64(sp.quot.weights[base+int64(bits.TrailingZeros64(word))])
+			word &= word - 1
+		}
+	}
+	return sum
+}
+
+// weightedLen sums the weights of a frontier's states.
+func (sp *Space) weightedLen(idxs []int64) int64 {
+	if sp.quot == nil {
+		return int64(len(idxs))
+	}
+	var sum int64
+	for _, i := range idxs {
+		sum += int64(sp.quot.weights[i])
+	}
+	return sum
+}
+
+// spillFrontiers reports whether BFS/wave frontiers should overflow to
+// disk (spill mode with the CSR materialized).
+func (sp *Space) spillFrontiers() bool { return sp.arena != nil && sp.idx != nil }
 
 // newStates allocates one scratch state per worker.
 func (sp *Space) newStates() []*program.State {
@@ -153,7 +382,7 @@ func (sp *Space) evalPred(ctx context.Context, pred *program.Predicate) (bitset,
 	err := parallelRange(ctx, sp.workers(), sp.Count, sp.opts.Progress, func(worker int, lo, hi int64) {
 		st := scr[worker]
 		for i := lo; i < hi; i++ {
-			sp.P.Schema.StateInto(i, st)
+			sp.stateInto(i, st)
 			if pred.Eval(st) {
 				bits.set(i)
 			}
@@ -192,11 +421,13 @@ func (sp *Space) bitsFor(ctx context.Context, pred *program.Predicate) (bitset, 
 // with substituted membership bitsets — the convergence-stair and leads-to
 // passes re-target S and T without re-enumerating anything. The succIndex
 // is shared by pointer, so a reverse index built by any stage is reused by
-// every later pass of the same Check.
+// every later pass of the same Check; quotient and arena are shared
+// without ownership.
 func (sp *Space) derived(S, T *program.Predicate, inS, inT bitset) *Space {
 	return &Space{
-		P: sp.P, S: S, T: T, Count: sp.Count,
-		opts: sp.opts, nA: sp.nA, idx: sp.idx,
+		P: sp.P, S: S, T: T, Count: sp.Count, FullCount: sp.FullCount,
+		opts: sp.opts, mode: sp.mode, nA: sp.nA, idx: sp.idx,
+		quot: sp.quot, arena: sp.arena,
 		inS: inS, inT: inT,
 	}
 }
@@ -207,14 +438,21 @@ func (sp *Space) InS(i int64) bool { return sp.inS.get(i) }
 // InT reports whether state index i satisfies the fault-span.
 func (sp *Space) InT(i int64) bool { return sp.inT.get(i) }
 
-// CountS returns the number of states satisfying S.
-func (sp *Space) CountS() int64 { return sp.inS.count() }
+// CountS returns the number of states satisfying S (orbit-weighted in
+// quotient mode, so it equals the full space's |S| exactly).
+func (sp *Space) CountS() int64 { return sp.weightedCount(sp.inS) }
 
-// CountT returns the number of states satisfying T.
-func (sp *Space) CountT() int64 { return sp.inT.count() }
+// CountT returns the number of states satisfying T (orbit-weighted).
+func (sp *Space) CountT() int64 { return sp.weightedCount(sp.inT) }
 
-// State materializes the state with index i.
-func (sp *Space) State(i int64) *program.State { return sp.P.Schema.StateAt(i) }
+// State materializes the state with index i (the orbit representative in
+// quotient mode).
+func (sp *Space) State(i int64) *program.State {
+	if sp.quot != nil {
+		i = sp.quot.reps[i]
+	}
+	return sp.P.Schema.StateAt(i)
+}
 
 // successors appends the indices of all one-step successors of state index
 // i under the given actions, reusing buf. Actions whose body leaves the
@@ -222,14 +460,14 @@ func (sp *Space) State(i int64) *program.State { return sp.P.Schema.StateAt(i) }
 // allocation-tolerant form used by the sequential fallback passes; the
 // sharded passes read the successor table directly.
 func (sp *Space) successors(i int64, actions []*program.Action, buf []int64) []int64 {
-	st := sp.P.Schema.StateAt(i)
+	st := sp.State(i)
 	buf = buf[:0]
 	for _, a := range actions {
 		if !a.Guard(st) {
 			continue
 		}
 		next := a.Apply(st)
-		buf = append(buf, sp.P.Schema.Index(next))
+		buf = append(buf, sp.indexOf(next))
 	}
 	return buf
 }
@@ -297,13 +535,13 @@ func (sp *Space) CheckClosedContext(ctx context.Context, pred, within *program.P
 				continue
 			}
 			st, tmp := scr[worker].st, scr[worker].tmp
-			sp.P.Schema.StateInto(i, st)
+			sp.stateInto(i, st)
 			for k, a := range sp.P.Actions {
 				if !a.Guard(st) {
 					continue
 				}
 				a.ApplyInto(st, tmp)
-				if !predBits.get(sp.P.Schema.Index(tmp)) {
+				if !predBits.get(sp.indexOf(tmp)) {
 					w.offer(i, int64(k))
 					break
 				}

@@ -171,7 +171,7 @@ func (sp *Space) CheckVariantContext(ctx context.Context, variant func(*program.
 			if !sp.region(i) {
 				continue
 			}
-			sp.P.Schema.StateInto(i, st)
+			sp.stateInto(i, st)
 			before := variant(st)
 			if before < 0 {
 				w.offer(i, negative)
@@ -179,12 +179,15 @@ func (sp *Space) CheckVariantContext(ctx context.Context, variant func(*program.
 			}
 			if sp.idx != nil {
 				// The witness payload is the offending edge's rank among
-				// i's enabled actions (recovered by actionAt below).
+				// i's enabled actions (recovered by actionAt below). In
+				// quotient mode the variant is evaluated at the canonical
+				// successor — a symmetric variant (the only kind the
+				// quotient contract admits) gives the same value either way.
 				for k, j := range sp.idx.out(i) {
 					if sp.inS.get(int64(j)) {
 						continue
 					}
-					sp.P.Schema.StateInto(int64(j), tmp)
+					sp.stateInto(int64(j), tmp)
 					if variant(tmp) >= before {
 						w.offer(i, int64(k))
 						break
@@ -197,7 +200,7 @@ func (sp *Space) CheckVariantContext(ctx context.Context, variant func(*program.
 					continue
 				}
 				a.ApplyInto(st, tmp)
-				if sp.inS.get(sp.P.Schema.Index(tmp)) {
+				if sp.inS.get(sp.indexOf(tmp)) {
 					continue
 				}
 				if variant(tmp) >= before {

@@ -52,6 +52,15 @@ const (
 	// stable-subset shrink plus the re-targeted convergence peel (which
 	// nests its own converge_unfair span).
 	PassConstraintCost = "constraint_cost"
+	// PassCanonicalize is the symmetry-quotient construction: the
+	// representative-discovery and orbit-weight sweeps over the full
+	// product (DESIGN §13). Emitted once per quotient space.
+	PassCanonicalize = "canonicalize"
+	// PassSpill is the per-Check summary of disk traffic on the spill
+	// tier: its SpilledBytes field totals segment-file and frontier-run
+	// bytes, its Bytes field the resident segment footprint. The
+	// index-building passes additionally carry their own SpilledBytes.
+	PassSpill = "spill"
 )
 
 // passSpan times one verifier pass. startPass resets the options'
@@ -66,6 +75,7 @@ type passSpan struct {
 	name     string
 	start    time.Time
 	frontier int64
+	spilled  int64
 }
 
 // startPass begins the named pass. total is the progress size hint
@@ -85,6 +95,10 @@ func (s *passSpan) observeFrontier(n int64) {
 	}
 }
 
+// addSpilled accrues bytes written to disk during the pass (mmap'd CSR
+// segments, frontier spool runs).
+func (s *passSpan) addSpilled(n int64) { s.spilled += n }
+
 // end completes the span with the pass's exact processed-state count and
 // delivers it to the tracer.
 func (s *passSpan) end(states int64) { s.endSized(states, 0, 0) }
@@ -96,12 +110,13 @@ func (s *passSpan) endSized(states, edges, bytes int64) {
 		return
 	}
 	s.opts.Tracer.PassEnd(obs.PassStat{
-		Pass:      s.name,
-		States:    states,
-		Frontier:  s.frontier,
-		Workers:   s.opts.workers(),
-		Edges:     edges,
-		Bytes:     bytes,
-		ElapsedMS: float64(time.Since(s.start)) / float64(time.Millisecond),
+		Pass:         s.name,
+		States:       states,
+		Frontier:     s.frontier,
+		Workers:      s.opts.workers(),
+		Edges:        edges,
+		Bytes:        bytes,
+		SpilledBytes: s.spilled,
+		ElapsedMS:    float64(time.Since(s.start)) / float64(time.Millisecond),
 	})
 }
