@@ -10,15 +10,28 @@
 //	csserved -store ./verdicts                # crash-safe persistent results
 //	csserved -log debug -pprof                # per-pass spans + /debug/pprof/
 //	csserved -load -load-jobs 200 -load-clients 8   # self-benchmark
+//	csserved -peers http://a:8080,http://b:8080 -self http://a:8080 \
+//	         -cluster-token secret -store ./verdicts   # replica of a cluster
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs[?limit=&offset=],
 // GET /v1/jobs/{id}[?wait=2s], DELETE /v1/jobs/{id}, POST /v1/batches,
 // GET /v1/batches/{id}[?wait=5s], DELETE /v1/batches/{id},
 // GET /v1/jobs/{id}/events and /v1/batches/{id}/events (SSE streams,
 // replay + live tail), GET /v1/events (SSE firehose, ?types= filters),
-// GET /v1/protocols, GET /v1/version, GET /healthz, GET /metrics
-// (including per-pass latency histograms). With -pprof, net/http/pprof
-// is mounted under /debug/pprof/.
+// GET /v1/protocols, GET /v1/version, GET /healthz (liveness),
+// GET /readyz (readiness; 503 while draining), POST /v1/replicate
+// (peer anti-entropy), GET /metrics (including per-pass latency
+// histograms). With -pprof, net/http/pprof is mounted under
+// /debug/pprof/.
+//
+// With -peers, the server is one replica of a static cluster: job
+// fingerprints map to owner nodes by rendezvous hashing, submissions
+// and id-addressed reads are forwarded or proxied to the owner, and
+// (with -store) an anti-entropy loop converges every replica's verdict
+// store, so any node answers for any cached fingerprint even after the
+// owner dies. -tokens-file adds bearer-token tenants with per-tenant
+// rate limits and in-flight quotas; jobs may submit with
+// options.priority "high" to preempt queue order.
 //
 // With -store DIR, every verdict is written through to an append-only,
 // CRC-checksummed log in DIR, recovered on boot, and served read-through
@@ -40,9 +53,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"nonmask/internal/cluster"
 	"nonmask/internal/service"
 	"nonmask/internal/store"
 )
@@ -66,6 +81,13 @@ func main() {
 		eventBuf     = flag.Int("event-buffer", 0, "per-subscriber event buffer; slow consumers drop beyond it (0 = 256 default)")
 		progressIvl  = flag.Duration("progress-interval", 0, "progress event sampling interval (0 = 250ms default, negative disables)")
 		heartbeat    = flag.Duration("heartbeat", 0, "SSE keepalive comment interval (0 = 15s default)")
+
+		peers        = flag.String("peers", "", "comma-separated replica base URLs (self included) for cluster mode; empty = single node")
+		self         = flag.String("self", "", "this node's advertised base URL; must appear in -peers")
+		clusterToken = flag.String("cluster-token", "", "shared secret peers authenticate forwarded and replication calls with")
+		tokensFile   = flag.String("tokens-file", "", "bearer-token file enabling tenant auth: \"<token> <tenant> [quota=N] [rate=R] [burst=B]\" per line")
+		replicateIvl = flag.Duration("replicate-interval", 0, "anti-entropy pull cadence between replica stores (0 = 2s default; needs -peers and -store)")
+		drainGrace   = flag.Duration("drain-grace", 0, "how long shutdown keeps admitting after /readyz drops, so routers stop sending first")
 
 		load        = flag.Bool("load", false, "self-benchmark: hammer an in-process server and print a latency table")
 		loadJobs    = flag.Int("load-jobs", 200, "load mode: total submissions")
@@ -93,6 +115,17 @@ func main() {
 		ProgressInterval: *progressIvl,
 		Heartbeat:        *heartbeat,
 		Logger:           logger,
+		ClusterToken:     *clusterToken,
+		DrainGrace:       *drainGrace,
+	}
+	if *tokensFile != "" {
+		tenants, err := service.LoadTenantsFile(*tokensFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csserved: tokens file:", err)
+			os.Exit(1)
+		}
+		cfg.Tenants = tenants
+		fmt.Printf("csserved: auth on: %d tenants loaded from %s\n", len(tenants.Names()), *tokensFile)
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, store.Options{Logger: logger})
@@ -109,6 +142,26 @@ func main() {
 		}
 		fmt.Println()
 		cfg.Store = st
+	}
+
+	if *peers != "" {
+		cl, err := cluster.New(cluster.Config{
+			Self:              *self,
+			Peers:             strings.Split(*peers, ","),
+			ClusterToken:      *clusterToken,
+			Store:             cfg.Store,
+			ReplicateInterval: *replicateIvl,
+			Logger:            logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csserved:", err)
+			os.Exit(1)
+		}
+		cfg.NodeName = cl.NodeName()
+		cfg.Router = cl
+		cl.Start()
+		defer cl.Close()
+		fmt.Printf("csserved: cluster node %s of %v\n", cl.NodeName(), cl.Nodes())
 	}
 
 	if *load {

@@ -77,6 +77,10 @@ type Event struct {
 	Type EventType `json:"type"`
 	// Source identifies the publishing stream (job id, batch id, "server").
 	Source string `json:"source,omitempty"`
+	// Node names the cluster node that published the event (Bus.SetNode).
+	// Empty on a single-node server. It makes a firehose merged across
+	// replicas — or one forwarded from a job's owner — attributable.
+	Node string `json:"node,omitempty"`
 	// Time stamps publication.
 	Time time.Time `json:"time"`
 	// Pass names the verifier pass (pass_start, pass_end, progress).
@@ -131,6 +135,7 @@ type Bus struct {
 	history int
 
 	mu      sync.Mutex
+	node    string
 	closed  bool
 	busSeq  uint64
 	streams map[string]*Stream
@@ -156,6 +161,15 @@ func NewBus(history int) *Bus {
 		subs:    make(map[*Subscription]struct{}),
 		global:  ring{cap: history},
 	}
+}
+
+// SetNode sets the node name stamped onto every subsequently published
+// event (cluster mode). Events already in replay rings keep the name
+// they were published under.
+func (b *Bus) SetNode(node string) {
+	b.mu.Lock()
+	b.node = node
+	b.mu.Unlock()
 }
 
 // Stream returns the source's stream, creating it on first use.
@@ -335,6 +349,10 @@ func (s *Stream) Publish(ev Event) {
 	ev.Seq = s.seq
 	ev.BusSeq = b.busSeq
 	ev.Source = s.source
+	if ev.Node == "" {
+		// Forwarded events keep their origin node; local ones get ours.
+		ev.Node = b.node
+	}
 	if ev.Time.IsZero() {
 		ev.Time = time.Now()
 	}

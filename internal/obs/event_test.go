@@ -346,3 +346,28 @@ func BenchmarkPublishNoSubscriber(b *testing.B) {
 		s.Publish(Event{Type: EventProgress, Done: int64(i)})
 	}
 }
+
+func TestSetNodeStampsEvents(t *testing.T) {
+	b := NewBus(8)
+	s := b.Stream("j-1")
+	s.Publish(Event{Type: EventJob, State: "queued"})
+	b.SetNode("n1")
+	s.Publish(Event{Type: EventJob, State: "running"})
+	// A forwarded event keeps the node it was published under.
+	s.Publish(Event{Type: EventJob, State: "done", Node: "n0"})
+	history, sub := s.Subscribe(0, 1)
+	sub.Close()
+	if len(history) != 3 {
+		t.Fatalf("got %d events, want 3", len(history))
+	}
+	if history[0].Node != "" {
+		t.Errorf("pre-SetNode event node = %q, want empty", history[0].Node)
+	}
+	if history[1].Node != "n1" {
+		t.Errorf("local event node = %q, want n1", history[1].Node)
+	}
+	if history[2].Node != "n0" {
+		t.Errorf("forwarded event node = %q, want n0 preserved", history[2].Node)
+	}
+	b.Close()
+}

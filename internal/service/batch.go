@@ -449,24 +449,36 @@ func expandBatch(spec BatchSpec, cfg Config) ([]*compiled, int, error) {
 	return compiledSpecs, conc, nil
 }
 
-// SubmitBatch validates and expands a batch, registers its record, and
-// starts the fan-out runner. Validation is all-or-nothing and happens
-// before anything is queued.
+// SubmitBatch validates and expands an untenanted batch — the
+// single-node path and the tests' front door.
 func (s *Server) SubmitBatch(spec BatchSpec) (BatchStatus, error) {
+	return s.SubmitBatchAs(spec, "")
+}
+
+// SubmitBatchAs validates and expands a batch on behalf of tenant,
+// registers its record, and starts the fan-out runner. Validation is
+// all-or-nothing and happens before anything is queued. In a cluster,
+// members whose fingerprints other nodes own run there (shadow records
+// mirror the remote runs locally), so one sweep spreads across the
+// whole cluster.
+func (s *Server) SubmitBatchAs(spec BatchSpec, tenant string) (BatchStatus, error) {
 	specs, conc, err := expandBatch(spec, s.cfg)
 	if err != nil {
 		s.metrics.Rejected.Add(1)
-		return BatchStatus{}, &submitError{http.StatusBadRequest, err.Error()}
+		return BatchStatus{}, &submitError{code: http.StatusBadRequest, msg: err.Error(), tenant: tenant}
+	}
+	for _, c := range specs {
+		c.tenant = tenant
 	}
 	now := time.Now()
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		s.metrics.Rejected.Add(1)
-		return BatchStatus{}, &submitError{http.StatusServiceUnavailable, "server is draining"}
+		return BatchStatus{}, &submitError{code: http.StatusServiceUnavailable, msg: "server is draining", tenant: tenant}
 	}
 	s.batchSeq++
-	b := newBatch(fmt.Sprintf("b-%08d", s.batchSeq), specs, conc, now)
+	b := newBatch(s.prefixID(fmt.Sprintf("b-%08d", s.batchSeq)), specs, conc, now)
 	s.registerBatchLocked(b)
 	s.batchWG.Add(1)
 	s.mu.Unlock()
@@ -532,7 +544,7 @@ admission:
 			break admission
 		}
 		for {
-			j, err := s.admit(c)
+			j, err := s.admitMember(c)
 			if err == nil {
 				b.addJob(j)
 				s.metrics.BatchJobs.Add(1)
@@ -578,6 +590,71 @@ admission:
 	}
 	s.log.Info("batch "+string(state), "batch", b.id,
 		"admitted", len(admitted), "of", len(b.specs))
+}
+
+// admitMember routes one batch member: local admission for fingerprints
+// this node owns (or already has cached), a shadow record mirroring a
+// remote run for member keys a peer owns. That spread is what makes a
+// sweep a cluster-wide fan-out instead of one node's workload.
+func (s *Server) admitMember(c *compiled) (*job, error) {
+	if rt := s.cfg.Router; rt != nil {
+		if node, local := rt.Owner(c.key); !local {
+			if hit, _ := s.cache.get(c.key); hit == nil {
+				return s.admitShadow(c, node)
+			}
+		}
+	}
+	return s.admit(c)
+}
+
+// admitShadow registers a local shadow record for a batch member whose
+// fingerprint a peer owns and mirrors the remote run's terminal state
+// onto it. The shadow occupies the batch's concurrency window (bounding
+// remote fan-out) but no local queue slot or executor; canceling it
+// abandons the wait without touching the remote job. Quota is charged
+// on the node that runs the member, like any forwarded submission.
+func (s *Server) admitShadow(c *compiled, node string) (*job, error) {
+	now := time.Now()
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.Rejected.Add(1)
+		return nil, &submitError{code: http.StatusServiceUnavailable, msg: "server is draining", tenant: c.tenant}
+	}
+	j := s.admitLocked(c, now)
+	s.mu.Unlock()
+	s.metrics.Submitted.Add(1)
+	s.metrics.Forwarded.Add(1)
+	s.log.Info("batch member forwarded", "job", j.id, "owner", node, "key", c.key)
+	go func() {
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		defer cancel()
+		go func() {
+			// A local cancel (batch cancel, shutdown) abandons the wait.
+			<-j.done
+			cancel()
+		}()
+		st, err := s.cfg.Router.RunRemote(ctx, node, c.tenant, c.spec)
+		now := time.Now()
+		switch {
+		case err != nil:
+			j.transition(StateFailed, nil, fmt.Errorf("remote run on %s: %w", node, err), now)
+		case st.State == StateDone:
+			j.mu.Lock()
+			j.cached = st.Cached
+			j.mu.Unlock()
+			j.transition(StateDone, st.Result, nil, now)
+		case st.State == StateCanceled:
+			j.transition(StateCanceled, nil, fmt.Errorf("canceled on %s", node), now)
+		default:
+			msg := st.Error
+			if msg == "" {
+				msg = "remote job ended " + string(st.State)
+			}
+			j.transition(StateFailed, nil, fmt.Errorf("remote run on %s: %s", node, msg), now)
+		}
+	}()
+	return j, nil
 }
 
 // publishMember streams one member's terminal state onto the batch's

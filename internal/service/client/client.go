@@ -7,8 +7,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
@@ -22,8 +24,10 @@ const defaultPoll = 10 * time.Second
 
 // Client talks to one csserved instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	headers map[string]string
+	retry   RetryPolicy
 }
 
 // New returns a client for the server at base (e.g. "http://127.0.0.1:8080").
@@ -33,6 +37,71 @@ func New(base string, httpClient *http.Client) *Client {
 		httpClient = http.DefaultClient
 	}
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// WithToken sets the bearer token sent with every request. Configure
+// before sharing the client across goroutines; returns the client for
+// chaining.
+func (c *Client) WithToken(token string) *Client {
+	return c.WithHeader("Authorization", "Bearer "+token)
+}
+
+// WithHeader adds a header to every request (forwarding metadata, auth).
+// Configure before sharing the client across goroutines.
+func (c *Client) WithHeader(key, value string) *Client {
+	if c.headers == nil {
+		c.headers = make(map[string]string)
+	}
+	c.headers[key] = value
+	return c
+}
+
+// RetryPolicy retries requests that come back with admission-control
+// pushback (429/503), sleeping a jittered exponential backoff between
+// attempts. The zero value disables retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, including the first;
+	// values below 2 disable retries.
+	MaxAttempts int
+	// BaseDelay seeds the backoff: attempt n sleeps up to
+	// BaseDelay * 2^n, equal-jittered (uniform in [d/2, d)). Non-positive
+	// means 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps one sleep. Non-positive means 5s.
+	MaxDelay time.Duration
+}
+
+// WithRetry installs a retry policy. Only pushback responses (429/503)
+// are retried — transport errors and other status codes surface
+// immediately, and the request body is re-sent from scratch each
+// attempt, which is safe because submissions are content-addressed and
+// therefore idempotent. Configure before sharing the client.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	c.retry = p
+	return c
+}
+
+// backoffDelay returns the equal-jittered exponential delay for attempt
+// (0-based: the delay after the first failure is attempt 0).
+func (p RetryPolicy) backoffDelay(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Equal jitter: half deterministic, half uniform — spreads a thundering
+	// herd without ever collapsing the delay to ~zero.
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // APIError is a non-2xx response decoded from the service's error envelope.
@@ -51,7 +120,30 @@ func (e *APIError) IsRetryable() bool {
 	return e.Code == http.StatusTooManyRequests || e.Code == http.StatusServiceUnavailable
 }
 
+// HTTPStatus implements service.HTTPStatusError: a forwarding node uses
+// it to tell the remote's verdict (pass the status through) from a
+// transport failure (fall back to running locally).
+func (e *APIError) HTTPStatus() int { return e.Code }
+
 func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, in, out)
+		var apiErr *APIError
+		if err == nil || attempt+1 >= c.retry.MaxAttempts ||
+			!errors.As(err, &apiErr) || !apiErr.IsRetryable() {
+			return err
+		}
+		timer := time.NewTimer(c.retry.backoffDelay(attempt))
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return err
+		case <-timer.C:
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out interface{}) error {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -66,6 +158,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range c.headers {
+		req.Header.Set(k, v)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -228,11 +323,28 @@ func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
+// Readyz probes readiness: whether the node is accepting new work. A
+// draining node fails this while still answering Healthz.
+func (c *Client) Readyz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
+// Replicate pulls one page of the server's store log from the given
+// cursor (anti-entropy; see service.ReplicateRequest).
+func (c *Client) Replicate(ctx context.Context, req service.ReplicateRequest) (service.ReplicateResponse, error) {
+	var resp service.ReplicateResponse
+	err := c.do(ctx, http.MethodPost, "/v1/replicate", req, &resp)
+	return resp, err
+}
+
 // MetricsText fetches the raw Prometheus exposition.
 func (c *Client) MetricsText(ctx context.Context) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
 	if err != nil {
 		return "", err
+	}
+	for k, v := range c.headers {
+		req.Header.Set(k, v)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

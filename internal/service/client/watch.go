@@ -73,6 +73,9 @@ func (c *Client) watch(ctx context.Context, path string, after uint64) (*Watcher
 	if after > 0 {
 		req.Header.Set("Last-Event-ID", strconv.FormatUint(after, 10))
 	}
+	for k, v := range c.headers {
+		req.Header.Set(k, v)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err

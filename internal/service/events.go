@@ -93,6 +93,9 @@ func lastEventID(r *http.Request) (uint64, error) {
 
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.proxyByID(w, r, id) {
+		return
+	}
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
@@ -114,6 +117,9 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBatchEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.proxyByID(w, r, id) {
+		return
+	}
 	s.mu.Lock()
 	b, ok := s.batches[id]
 	s.mu.Unlock()

@@ -63,11 +63,17 @@ func writeError(w http.ResponseWriter, code int, format string, args ...interfac
 //	GET    /v1/events        SSE firehose across every source; ?types=a,b filters
 //	GET    /v1/protocols     built-in protocol catalog with advertised bounds
 //	GET    /v1/version       build identity (module, version, go toolchain)
-//	GET    /healthz          liveness ("ok", or 503 once draining)
+//	POST   /v1/replicate     anti-entropy pull: one page of the store log (peers)
+//	GET    /healthz          liveness (always "ok" while the process serves)
+//	GET    /readyz           readiness ("ok", or 503 once draining begins)
 //	GET    /metrics          Prometheus text exposition
 //
-// Every request is logged to the server's Logger with a request id, which
-// is also echoed in the X-Request-Id response header.
+// With a tokens file loaded, /v1/* requires a bearer token; in a
+// cluster, id-addressed requests for records on other nodes are
+// reverse-proxied to them, and submissions are forwarded to the
+// fingerprint's owner node. Every request is logged to the server's
+// Logger with a request id, which is also echoed in the X-Request-Id
+// response header.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -82,9 +88,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/events", s.handleFirehose)
 	mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
+	mux.HandleFunc("POST /v1/replicate", s.handleReplicate)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s.withRequestLog(mux)
+	return s.withRequestLog(s.withAuth(mux))
 }
 
 // reqSeq numbers requests across all servers in the process; the ids only
@@ -158,6 +166,16 @@ func queryInt(s string, def int) (int, error) {
 	return n, nil
 }
 
+// writeSubmitError renders a submission error, naming the charged tenant
+// in the X-CSServed-Tenant header so a 429's principal is identifiable
+// without parsing the body.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	if tenant := errorTenant(err); tenant != "" {
+		w.Header().Set(TenantHeader, tenant)
+	}
+	writeError(w, errorCode(err), "%v", err)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -166,9 +184,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decode job spec: %v", err)
 		return
 	}
-	st, err := s.Submit(spec)
+	info := tenantFrom(r.Context())
+	// The entry node charges the tenant's submission rate; forwarded
+	// hops must not double-charge.
+	if se := s.rateLimit(info); se != nil {
+		writeSubmitError(w, se)
+		return
+	}
+	forwarded := info.cluster && r.Header.Get(ForwardedHeader) != ""
+	st, err := s.SubmitAs(spec, info.name, forwarded)
 	if err != nil {
-		writeError(w, errorCode(err), "%v", err)
+		writeSubmitError(w, err)
 		return
 	}
 	code := http.StatusAccepted
@@ -180,6 +206,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.proxyByID(w, r, id) {
+		return
+	}
 	var wait time.Duration
 	if ws := r.URL.Query().Get("wait"); ws != "" {
 		d, err := time.ParseDuration(ws)
@@ -198,6 +227,9 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	if s.proxyByID(w, r, r.PathValue("id")) {
+		return
+	}
 	st, ok := s.Cancel(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
@@ -214,9 +246,16 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decode batch spec: %v", err)
 		return
 	}
-	st, err := s.SubmitBatch(spec)
+	info := tenantFrom(r.Context())
+	// One batch consumes one submission from the rate bucket; its
+	// members are bounded by the tenant's in-flight quota as they admit.
+	if se := s.rateLimit(info); se != nil {
+		writeSubmitError(w, se)
+		return
+	}
+	st, err := s.SubmitBatchAs(spec, info.name)
 	if err != nil {
-		writeError(w, errorCode(err), "%v", err)
+		writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, st)
@@ -224,6 +263,9 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGetBatch(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.proxyByID(w, r, id) {
+		return
+	}
 	var wait time.Duration
 	if ws := r.URL.Query().Get("wait"); ws != "" {
 		d, err := time.ParseDuration(ws)
@@ -242,6 +284,9 @@ func (s *Server) handleGetBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancelBatch(w http.ResponseWriter, r *http.Request) {
+	if s.proxyByID(w, r, r.PathValue("id")) {
+		return
+	}
 	st, ok := s.CancelBatch(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no batch %q", r.PathValue("id"))
@@ -265,11 +310,22 @@ func (s *Server) handleProtocols(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleHealthz is pure liveness: the process is up and serving. It
+// stays 200 through a drain — restarting a draining node would destroy
+// the very work the drain is preserving. Routability is /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: whether this node should receive new work.
+// Shutdown flips it before admission closes (DrainGrace), so balancers
+// and peers stop routing here while submissions still succeed.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	draining := s.draining
+	ready := !s.notReady && !s.draining
 	s.mu.Unlock()
-	if draining {
+	if !ready {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -283,4 +339,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.writeEventMetrics(w)
 	writeBuildInfo(w)
 	s.writeStoreMetrics(w)
+	if rt := s.cfg.Router; rt != nil {
+		rt.WriteMetrics(w)
+	}
 }

@@ -59,6 +59,12 @@ type JobOptions struct {
 	// replayable witness. Requires an enumerable instance; non-enumerable
 	// submissions are rejected with 400 naming the advertised bound.
 	Saboteur *SaboteurOptions `json:"saboteur,omitempty"`
+	// Priority is the admission class: "" or "normal" (default), or
+	// "high". High-priority jobs go to a queue executors drain first, so
+	// they preempt queue *order* — running checks are never interrupted.
+	// Priority does not enter the content-address: the verdict is the
+	// same either way, so both classes share cache entries.
+	Priority string `json:"priority,omitempty"`
 }
 
 // SaboteurOptions is the wire form of the saboteur search knobs
@@ -132,6 +138,12 @@ type JobStatus struct {
 	// in-flight job instead of running its own check; the result (when
 	// terminal) is the leader's.
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Node names the cluster node holding this job record (empty on a
+	// single-node server). Forwarded submissions return the owner's node.
+	Node string `json:"node,omitempty"`
+	// Tenant is the principal the job is accounted to (empty without
+	// bearer-token auth).
+	Tenant string `json:"tenant,omitempty"`
 	// Error is the failure detail when State is "failed".
 	Error string `json:"error,omitempty"`
 	// Result is the verdict when State is "done".
@@ -163,6 +175,13 @@ type compiled struct {
 	// saboteur is the normalized adversarial-search request, nil for
 	// verdict-only jobs.
 	saboteur *saboteur.Options
+	// spec is the submission as received, retained so a cluster node can
+	// forward it to the owner verbatim (same spec → same fingerprint).
+	spec JobSpec
+	// priority routes the job to the high-priority queue.
+	priority bool
+	// tenant is the principal the job is accounted to ("" untenanted).
+	tenant string
 }
 
 // verifyOptions resolves wire options against server defaults.
@@ -225,6 +244,14 @@ func compileSpec(spec JobSpec, cfg Config) (*compiled, error) {
 			return nil, err
 		}
 	}
+	var priority bool
+	switch spec.Options.Priority {
+	case "", "normal":
+	case "high":
+		priority = true
+	default:
+		return nil, fmt.Errorf("unknown priority %q (want normal | high)", spec.Options.Priority)
+	}
 	switch {
 	case spec.Source != "" && spec.Protocol != "":
 		return nil, fmt.Errorf("job sets both source and protocol; pick one")
@@ -263,6 +290,8 @@ func compileSpec(spec JobSpec, cfg Config) (*compiled, error) {
 			opts:        opts,
 			constraints: specsFromSet(m.Set),
 			saboteur:    sab,
+			spec:        spec,
+			priority:    priority,
 		}, nil
 	case spec.Protocol != "":
 		params, err := registry.Normalize(spec.Protocol, spec.Params)
@@ -323,6 +352,8 @@ func compileSpec(spec JobSpec, cfg Config) (*compiled, error) {
 			protocol:    spec.Protocol,
 			params:      params,
 			saboteur:    sab,
+			spec:        spec,
+			priority:    priority,
 		}, nil
 	default:
 		return nil, fmt.Errorf("job sets neither source nor protocol")
@@ -359,6 +390,8 @@ func validateStaticOptions(o verify.Options) error {
 type job struct {
 	id string
 	c  *compiled
+	// node is the server's cluster node name (registerLocked stamps it).
+	node string
 
 	mu        sync.Mutex
 	state     JobState
@@ -401,6 +434,8 @@ func (j *job) status() JobStatus {
 		State:       j.state,
 		Key:         j.c.key,
 		Program:     j.c.name,
+		Node:        j.node,
+		Tenant:      j.c.tenant,
 		Cached:      j.cached,
 		Coalesced:   j.coalesced,
 		SubmittedAt: j.submitted,

@@ -114,6 +114,24 @@ type Metrics struct {
 	// segments plus frontier spool runs), summed over every completed
 	// job's pass spans.
 	SpilledBytes atomic.Int64
+	// AuthFailures counts requests rejected with 401 (bad or missing
+	// bearer token, or a replication call without the cluster token).
+	AuthFailures atomic.Int64
+	// RateLimited counts submissions bounced by a tenant's token bucket;
+	// QuotaRejected counts those bounced by an in-flight quota. Both are
+	// subsets of Rejected.
+	RateLimited   atomic.Int64
+	QuotaRejected atomic.Int64
+	// HighPriority counts jobs admitted to the high-priority queue.
+	HighPriority atomic.Int64
+	// Forwarded counts submissions shipped to their owner node (direct
+	// forwards plus batch shadow members); ForwardFallbacks counts
+	// forwards that failed in transport and ran locally instead.
+	Forwarded        atomic.Int64
+	ForwardFallbacks atomic.Int64
+	// Proxied counts id-addressed requests reverse-proxied to the node
+	// named in the id prefix.
+	Proxied atomic.Int64
 
 	mu        sync.Mutex
 	latencies []float64 // seconds, newest-last, bounded window
@@ -219,6 +237,13 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("csserved_saboteur_budget_exhausted_total", "Saboteur searches cut off by the expansion budget.", m.SaboteurBudgetExhausted.Load())
 	counter("csserved_saboteur_expanded_nodes_total", "Product-graph nodes expanded by saboteur searches.", m.SaboteurExpanded.Load())
 	counter("csserved_spill_bytes_total", "Bytes written by the checker's disk tier (CSR segments plus frontier spool runs).", m.SpilledBytes.Load())
+	counter("csserved_auth_failures_total", "Requests rejected for a bad or missing bearer token.", m.AuthFailures.Load())
+	counter("csserved_rate_limited_total", "Submissions bounced by a tenant's token-bucket rate limit.", m.RateLimited.Load())
+	counter("csserved_quota_rejected_total", "Submissions bounced by a tenant's in-flight quota.", m.QuotaRejected.Load())
+	counter("csserved_high_priority_jobs_total", "Jobs admitted to the high-priority queue.", m.HighPriority.Load())
+	counter("csserved_forwarded_jobs_total", "Submissions forwarded to their owner node.", m.Forwarded.Load())
+	counter("csserved_forward_fallbacks_total", "Forwards that failed in transport and ran locally instead.", m.ForwardFallbacks.Load())
+	counter("csserved_proxied_requests_total", "Id-addressed requests reverse-proxied to the owning node.", m.Proxied.Load())
 	gauge("csserved_queue_depth", "Jobs waiting in the queue.", m.QueueDepth.Load())
 	gauge("csserved_inflight_workers", "Executors currently running a check.", m.InFlight.Load())
 	gauge("csserved_batches_inflight", "Batches not yet terminal.", m.BatchesInFlight.Load())

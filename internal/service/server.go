@@ -8,6 +8,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -95,6 +96,26 @@ type Config struct {
 	// Heartbeat is the SSE keepalive comment interval that keeps idle
 	// streams alive through proxies. Zero means 15s.
 	Heartbeat time.Duration
+	// NodeName names this node in a cluster (n0..nK). Job and batch ids
+	// are prefixed with it ("n1.j-00000042") so any peer can route an
+	// id-addressed request to the record's node; events carry it as their
+	// node field. Empty on a single-node server.
+	NodeName string
+	// Router is the peer layer (internal/cluster) that owns fingerprint
+	// routing, forwarding, and anti-entropy. Nil means single-node.
+	Router Router
+	// Tenants enables bearer-token auth and per-tenant admission limits
+	// (csserved -tokens-file). Nil disables auth entirely.
+	Tenants *Tenants
+	// ClusterToken is the shared secret peers authenticate with; requests
+	// carrying it bypass tenant rate limits and may assert a forwarded
+	// tenant identity. Empty disables peer auth (and locks down
+	// /v1/replicate only by Tenants, when set).
+	ClusterToken string
+	// DrainGrace is how long Shutdown keeps accepting work after flipping
+	// /readyz to 503, giving load balancers and peers time to stop
+	// routing here before submissions start bouncing.
+	DrainGrace time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -158,9 +179,14 @@ type Server struct {
 	stop    context.CancelFunc
 
 	mu       sync.Mutex
+	notReady bool // /readyz fails; admission still open (drain grace)
 	draining bool
-	queue    chan *job
-	jobs     map[string]*job
+	// queue and queueHigh are the two-level admission queues: executors
+	// drain queueHigh first (biased select), so high-priority jobs
+	// preempt queue order — never running work.
+	queue     chan *job
+	queueHigh chan *job
+	jobs      map[string]*job
 	order    []string // job ids, admission order, for record eviction
 	seq      uint64
 	// inflight maps a content-address to its leader job from enqueue until
@@ -191,6 +217,7 @@ func New(cfg Config) *Server {
 		baseCtx:   ctx,
 		stop:      cancel,
 		queue:     make(chan *job, cfg.QueueSize),
+		queueHigh: make(chan *job, cfg.QueueSize),
 		jobs:      make(map[string]*job),
 		inflight:  make(map[string]*job),
 		batches:   make(map[string]*batch),
@@ -198,6 +225,7 @@ func New(cfg Config) *Server {
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
 	}
+	s.bus.SetNode(cfg.NodeName)
 	s.serverEvents = s.bus.Stream("server")
 	for i := 0; i < cfg.Executors; i++ {
 		s.wg.Add(1)
@@ -286,36 +314,83 @@ func (s *Server) writeStoreMetrics(w io.Writer) {
 	line("csserved_store_syncs_total", "counter", "fsyncs issued by the store (batched flushes, compactions, close).", st.Syncs)
 }
 
-// submitError carries an HTTP status for the transport layer.
+// submitError carries an HTTP status for the transport layer, plus the
+// tenant a rejection charges (echoed as X-CSServed-Tenant).
 type submitError struct {
-	code int
-	msg  string
+	code   int
+	msg    string
+	tenant string
 }
 
 func (e *submitError) Error() string { return e.msg }
 
 // errorCode maps an error to its HTTP status (500 for unknown errors).
 func errorCode(err error) int {
-	if se, ok := err.(*submitError); ok {
-		return se.code
+	var he HTTPStatusError
+	if errors.As(err, &he) {
+		return he.HTTPStatus()
 	}
 	return http.StatusInternalServerError
 }
 
-// Submit validates, content-addresses, and admits a job. Cache hits
-// return an already-done job without touching the queue; misses are
-// enqueued unless the queue is full (429) or the server is draining (503).
+// Submit validates, content-addresses, and admits a job without a
+// tenant, as the entry node: the single-node path and the tests' front
+// door.
 func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	return s.SubmitAs(spec, "", false)
+}
+
+// SubmitAs validates, content-addresses, and admits a job on behalf of
+// tenant. Cache hits return an already-done job without touching the
+// queue. In a cluster, a submission whose fingerprint another node owns
+// is forwarded there (forwarded marks a submission already routed by a
+// peer, which always runs locally — the loop-free guarantee); if the
+// owner is unreachable the job runs here instead, trading placement for
+// availability. Misses are enqueued unless the tenant's quota is
+// exhausted (429), the queue is full (429), or the server is draining
+// (503).
+func (s *Server) SubmitAs(spec JobSpec, tenant string, forwarded bool) (JobStatus, error) {
 	c, err := compileSpec(spec, s.cfg)
 	if err != nil {
 		s.metrics.Rejected.Add(1)
-		return JobStatus{}, &submitError{http.StatusBadRequest, err.Error()}
+		return JobStatus{}, &submitError{code: http.StatusBadRequest, msg: err.Error(), tenant: tenant}
+	}
+	c.tenant = tenant
+	if rt := s.cfg.Router; rt != nil && !forwarded {
+		if node, local := rt.Owner(c.key); !local {
+			// A replicated verdict already on this node is served from here
+			// — any node can answer for any cached fingerprint.
+			if hit, _ := s.cache.get(c.key); hit == nil {
+				if st, err := s.forward(rt, node, tenant, spec); err == nil {
+					return st, nil
+				} else if he := HTTPStatusError(nil); errors.As(err, &he) {
+					// The owner answered: its rejection is the verdict.
+					return JobStatus{}, &submitError{code: he.HTTPStatus(), msg: err.Error(), tenant: tenant}
+				}
+				// Transport failure: the owner is unreachable. Run the job
+				// here so a dead peer degrades placement, not service.
+				s.metrics.ForwardFallbacks.Add(1)
+				s.log.Warn("forward failed; running locally", "owner", node, "key", c.key)
+			}
+		}
 	}
 	j, err := s.admit(c)
 	if err != nil {
 		return JobStatus{}, err
 	}
 	return j.status(), nil
+}
+
+// forward ships a submission to its owner node.
+func (s *Server) forward(rt Router, node, tenant string, spec JobSpec) (JobStatus, error) {
+	ctx, cancel := context.WithTimeout(s.baseCtx, 15*time.Second)
+	defer cancel()
+	st, err := rt.SubmitRemote(ctx, node, tenant, spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	s.metrics.Forwarded.Add(1)
+	return st, nil
 }
 
 // admit content-addresses and admits a compiled job: the shared back half
@@ -330,7 +405,7 @@ func (s *Server) admit(c *compiled) (*job, error) {
 	if s.draining {
 		s.mu.Unlock()
 		s.metrics.Rejected.Add(1)
-		return nil, &submitError{http.StatusServiceUnavailable, "server is draining"}
+		return nil, &submitError{code: http.StatusServiceUnavailable, msg: "server is draining", tenant: c.tenant}
 	}
 	if hit, fromStore := s.cache.get(c.key); hit != nil {
 		j := s.admitLocked(c, now)
@@ -363,26 +438,49 @@ func (s *Server) admit(c *compiled) (*job, error) {
 			"program", c.name, "key", c.key)
 		return j, nil
 	}
+	// Fresh work holds one of its tenant's in-flight quota slots from
+	// here to the terminal transition. Cache hits and coalesced followers
+	// never reach this point — they consume no executor, so no quota.
+	var tn *Tenant
+	if s.cfg.Tenants != nil && c.tenant != "" && c.tenant != ClusterTenant {
+		tn = s.cfg.Tenants.ByName(c.tenant)
+		if !tn.tryAcquire() {
+			s.mu.Unlock()
+			s.metrics.Rejected.Add(1)
+			s.metrics.QuotaRejected.Add(1)
+			return nil, &submitError{code: http.StatusTooManyRequests,
+				msg:    fmt.Sprintf("tenant %q quota exhausted (%d jobs in flight); retry later", c.tenant, tn.Limits().Quota),
+				tenant: c.tenant}
+		}
+	}
 	// Reserve a queue slot before registering the record so a rejected
 	// submission leaves no trace.
 	j := newJob(s.nextIDLocked(), c, now)
-	// The terminal transition releases the in-flight entry; wire the hook
-	// before the enqueue so an executor cannot finish the job first. The
-	// pointer comparison guards against a later leader reusing the key.
+	// The terminal transition releases the in-flight entry and the quota
+	// slot; wire the hook before the enqueue so an executor cannot finish
+	// the job first. The pointer comparison guards against a later leader
+	// reusing the key.
 	j.onTerminal = func() {
+		tn.release()
 		s.mu.Lock()
 		if s.inflight[c.key] == j {
 			delete(s.inflight, c.key)
 		}
 		s.mu.Unlock()
 	}
+	q := s.queue
+	if c.priority {
+		q = s.queueHigh
+	}
 	select {
-	case s.queue <- j:
+	case q <- j:
 	default:
+		tn.release()
 		s.mu.Unlock()
 		s.metrics.Rejected.Add(1)
-		return nil, &submitError{http.StatusTooManyRequests,
-			fmt.Sprintf("queue full (%d queued); retry later", s.cfg.QueueSize)}
+		return nil, &submitError{code: http.StatusTooManyRequests,
+			msg:    fmt.Sprintf("queue full (%d queued); retry later", s.cfg.QueueSize),
+			tenant: c.tenant}
 	}
 	s.inflight[c.key] = j
 	s.registerLocked(j)
@@ -390,7 +488,11 @@ func (s *Server) admit(c *compiled) (*job, error) {
 	s.metrics.Submitted.Add(1)
 	s.metrics.CacheMisses.Add(1)
 	s.metrics.QueueDepth.Add(1)
-	s.log.Info("job queued", "job", j.id, "program", c.name, "key", c.key)
+	if c.priority {
+		s.metrics.HighPriority.Add(1)
+	}
+	s.log.Info("job queued", "job", j.id, "program", c.name, "key", c.key,
+		"tenant", c.tenant, "priority", c.priority)
 	return j, nil
 }
 
@@ -451,13 +553,24 @@ func (s *Server) admitLocked(c *compiled, now time.Time) *job {
 
 func (s *Server) nextIDLocked() string {
 	s.seq++
-	return fmt.Sprintf("j-%08d", s.seq)
+	return s.prefixID(fmt.Sprintf("j-%08d", s.seq))
+}
+
+// prefixID stamps the node name onto an id in cluster mode
+// ("n1.j-00000042"): any peer routes an id-addressed request by the
+// prefix, without re-hashing or a lookup table.
+func (s *Server) prefixID(id string) string {
+	if s.cfg.NodeName == "" {
+		return id
+	}
+	return s.cfg.NodeName + "." + id
 }
 
 // registerLocked records a job, attaches its event stream (publishing the
 // "queued" lifecycle event every job's sequence starts with), and evicts
 // the oldest finished records past the retention bound (s.mu held).
 func (s *Server) registerLocked(j *job) {
+	j.node = s.cfg.NodeName
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	j.events = s.bus.Stream(j.id)
@@ -533,12 +646,50 @@ func (s *Server) Cancel(id string) (JobStatus, bool) {
 	return j.status(), true
 }
 
-// executor pulls jobs off the queue and runs them through verify.Check.
+// executor pulls jobs off the queues and runs them through verify.Check.
 func (s *Server) executor() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.nextJob()
+		if !ok {
+			return
+		}
 		s.metrics.QueueDepth.Add(-1)
 		s.runJob(j)
+	}
+}
+
+// nextJob dequeues the next job, high-priority first: a non-blocking
+// probe of queueHigh precedes every blocking wait, so a waiting
+// high-priority job always beats a waiting normal one — queue order,
+// never running work, is what priority preempts. Returns false once
+// both queues are closed and drained (shutdown).
+func (s *Server) nextJob() (*job, bool) {
+	for {
+		select {
+		case j, ok := <-s.queueHigh:
+			if ok {
+				return j, true
+			}
+			// High queue closed (shutdown): drain what's left of normal.
+			j, ok = <-s.queue
+			return j, ok
+		default:
+		}
+		select {
+		case j, ok := <-s.queueHigh:
+			if ok {
+				return j, true
+			}
+			j, ok = <-s.queue
+			return j, ok
+		case j, ok := <-s.queue:
+			if ok {
+				return j, true
+			}
+			j, ok = <-s.queueHigh
+			return j, ok
+		}
 	}
 }
 
@@ -677,40 +828,56 @@ func (s *Server) runJob(j *job) {
 		"states", res.States, "elapsed_ms", res.ElapsedMS)
 }
 
-// Shutdown drains the server: new submissions get 503, queued jobs are
-// canceled, and in-flight checks are given until ctx is done to finish
-// before being cancelled hard. It returns nil when every executor exited
-// cleanly.
+// Shutdown drains the server. Readiness flips first: /readyz fails while
+// admission stays open for DrainGrace, so load balancers and peers stop
+// routing here before anything bounces. Then new submissions get 503,
+// queued jobs are canceled, and in-flight checks are given until ctx is
+// done to finish before being cancelled hard. It returns nil when every
+// executor exited cleanly.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	if s.draining {
+	if s.notReady || s.draining {
 		s.mu.Unlock()
 		return fmt.Errorf("service: Shutdown called twice")
 	}
-	s.draining = true
+	s.notReady = true
 	s.mu.Unlock()
 	// Announce the drain on the firehose before canceling anything, so
 	// operators tailing /v1/events see why the job streams are ending.
 	s.serverEvents.Publish(obs.Event{Type: obs.EventServer, State: "draining"})
-	// Cancel everything still waiting in the queue. Draining the channel
+	if g := s.cfg.DrainGrace; g > 0 {
+		s.log.Info("drain grace: readiness down, admission still open", "grace", g)
+		t := time.NewTimer(g)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
+	}
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	// Cancel everything still waiting in the queues. Draining the channels
 	// here (rather than letting executors see the canceled jobs) frees the
 	// executors to exit as soon as their current check completes. This runs
 	// outside s.mu: draining is set, so no new submission can race the
 	// close, and the queued-cancel transitions must be free to take s.mu
 	// when they release their coalescing entries.
 	now := time.Now()
-loop:
-	for {
-		select {
-		case j := <-s.queue:
-			s.metrics.QueueDepth.Add(-1)
-			j.requestCancel(now)
-			s.metrics.Canceled.Add(1)
-		default:
-			break loop
+	for _, q := range []chan *job{s.queueHigh, s.queue} {
+	loop:
+		for {
+			select {
+			case j := <-q:
+				s.metrics.QueueDepth.Add(-1)
+				j.requestCancel(now)
+				s.metrics.Canceled.Add(1)
+			default:
+				break loop
+			}
 		}
+		close(q)
 	}
-	close(s.queue)
 	s.log.Info("draining")
 	close(s.sweepStop)
 	<-s.sweepDone

@@ -1,0 +1,271 @@
+package service
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The tenant layer is the service's multi-tenant admission control:
+// bearer tokens map to named tenants (csserved -tokens-file), each with
+// an optional token-bucket submission rate and an in-flight job quota.
+// Rates are consumed where a submission enters the cluster; quotas are
+// held on the node that runs (or coalesces/caches) the job and released
+// on its terminal transition, so a tenant's concurrent footprint is
+// bounded cluster-wide without any cross-node accounting protocol.
+
+// ClusterTenant is the pseudo-tenant peer nodes authenticate as with the
+// shared -cluster-token; it is exempt from rate limits (forwarded work
+// was already limited at its entry node).
+const ClusterTenant = "_cluster"
+
+// TenantLimits are one tenant's admission bounds. Zero values mean
+// unlimited.
+type TenantLimits struct {
+	// Quota caps the tenant's in-flight (queued or running) jobs.
+	Quota int
+	// Rate is the sustained submission rate (submissions per second).
+	Rate float64
+	// Burst is the token-bucket depth; defaults to ceil(Rate) (min 1)
+	// when a rate is set.
+	Burst int
+}
+
+// Tenant is one named principal with its live admission state.
+type Tenant struct {
+	name   string
+	limits TenantLimits
+
+	mu       sync.Mutex
+	tokens   float64
+	last     time.Time
+	inflight int
+}
+
+// Name returns the tenant's name.
+func (t *Tenant) Name() string { return t.name }
+
+// Limits returns the tenant's configured bounds.
+func (t *Tenant) Limits() TenantLimits { return t.limits }
+
+// InFlight returns the tenant's current in-flight job count.
+func (t *Tenant) InFlight() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.inflight
+}
+
+// AllowSubmit consumes one submission from the tenant's token bucket,
+// reporting whether the submission is within the rate. Tenants without a
+// rate always pass.
+func (t *Tenant) AllowSubmit() bool {
+	if t == nil || t.limits.Rate <= 0 {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	if !t.last.IsZero() {
+		t.tokens += now.Sub(t.last).Seconds() * t.limits.Rate
+	} else {
+		t.tokens = float64(t.limits.Burst) // a fresh bucket starts full
+	}
+	t.last = now
+	if max := float64(t.limits.Burst); t.tokens > max {
+		t.tokens = max
+	}
+	if t.tokens < 1 {
+		return false
+	}
+	t.tokens--
+	return true
+}
+
+// tryAcquire takes one in-flight quota slot, reporting false when the
+// quota is exhausted. Tenants without a quota always succeed.
+func (t *Tenant) tryAcquire() bool {
+	if t == nil {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.limits.Quota > 0 && t.inflight >= t.limits.Quota {
+		return false
+	}
+	t.inflight++
+	return true
+}
+
+// release returns one in-flight quota slot.
+func (t *Tenant) release() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.inflight > 0 {
+		t.inflight--
+	}
+	t.mu.Unlock()
+}
+
+// Tenants is the token → tenant registry. Safe for concurrent use.
+type Tenants struct {
+	mu      sync.Mutex
+	byToken map[string]*Tenant
+	byName  map[string]*Tenant
+}
+
+// NewTenants returns an empty registry.
+func NewTenants() *Tenants {
+	return &Tenants{byToken: make(map[string]*Tenant), byName: make(map[string]*Tenant)}
+}
+
+// Add registers a token for a tenant. Multiple tokens may map to the
+// same tenant (they share its limits and live state); the first token's
+// limits win and later ones must not contradict them.
+func (ts *Tenants) Add(token, name string, lim TenantLimits) error {
+	if token == "" || name == "" {
+		return fmt.Errorf("tenant entry needs a token and a name")
+	}
+	if strings.HasPrefix(name, "_") {
+		return fmt.Errorf("tenant name %q: the underscore prefix is reserved", name)
+	}
+	if lim.Rate > 0 && lim.Burst <= 0 {
+		lim.Burst = int(lim.Rate)
+		if float64(lim.Burst) < lim.Rate {
+			lim.Burst++
+		}
+		if lim.Burst < 1 {
+			lim.Burst = 1
+		}
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if _, dup := ts.byToken[token]; dup {
+		return fmt.Errorf("duplicate token")
+	}
+	t, ok := ts.byName[name]
+	if !ok {
+		t = &Tenant{name: name, limits: lim}
+		ts.byName[name] = t
+	} else if t.limits != lim {
+		return fmt.Errorf("tenant %q: conflicting limits across tokens", name)
+	}
+	ts.byToken[token] = t
+	return nil
+}
+
+// Lookup resolves a bearer token.
+func (ts *Tenants) Lookup(token string) (*Tenant, bool) {
+	if ts == nil {
+		return nil, false
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t, ok := ts.byToken[token]
+	return t, ok
+}
+
+// ByName resolves a tenant by name, creating an unlimited record on the
+// first reference. The create-on-miss path serves forwarded identities:
+// a peer attributes a job to a tenant this node's tokens file may not
+// list (files should match cluster-wide, but a mismatch must degrade to
+// unlimited accounting, not a dropped job).
+func (ts *Tenants) ByName(name string) *Tenant {
+	if ts == nil || name == "" {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t, ok := ts.byName[name]
+	if !ok {
+		t = &Tenant{name: name}
+		ts.byName[name] = t
+	}
+	return t
+}
+
+// Names lists the registered tenant names, sorted.
+func (ts *Tenants) Names() []string {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	names := make([]string, 0, len(ts.byName))
+	for n := range ts.byName {
+		names = append(names, n)
+	}
+	ts.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// LoadTenantsFile parses a tokens file: one entry per line,
+//
+//	<token> <tenant> [quota=N] [rate=R] [burst=B]
+//
+// with #-comments and blank lines ignored. quota bounds in-flight jobs,
+// rate is submissions per second (fractional allowed), burst the bucket
+// depth (default ceil(rate)).
+func LoadTenantsFile(path string) (*Tenants, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ts := NewTenants()
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%s:%d: want \"<token> <tenant> [quota=N] [rate=R] [burst=B]\"", path, lineNo)
+		}
+		var lim TenantLimits
+		for _, opt := range fields[2:] {
+			k, v, ok := strings.Cut(opt, "=")
+			if !ok {
+				return nil, fmt.Errorf("%s:%d: bad option %q (want key=value)", path, lineNo, opt)
+			}
+			switch k {
+			case "quota":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("%s:%d: bad quota %q", path, lineNo, v)
+				}
+				lim.Quota = n
+			case "rate":
+				r, err := strconv.ParseFloat(v, 64)
+				if err != nil || r < 0 {
+					return nil, fmt.Errorf("%s:%d: bad rate %q", path, lineNo, v)
+				}
+				lim.Rate = r
+			case "burst":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("%s:%d: bad burst %q", path, lineNo, v)
+				}
+				lim.Burst = n
+			default:
+				return nil, fmt.Errorf("%s:%d: unknown option %q (want quota, rate, or burst)", path, lineNo, k)
+			}
+		}
+		if err := ts.Add(fields[0], fields[1], lim); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}

@@ -133,6 +133,10 @@ type Store struct {
 	dirty bool
 	stats Stats
 	done  bool
+	// gen identifies this log's byte layout for replication cursors; it is
+	// process-unique at Open and bumps on every compaction, which rewrites
+	// the log and invalidates byte offsets (see Since in replicate.go).
+	gen uint64
 
 	flushStop chan struct{}
 	flushDone chan struct{}
@@ -167,6 +171,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		log:       opts.Logger,
 		f:         f,
 		index:     make(map[string]entry),
+		gen:       newGeneration(),
 		flushStop: make(chan struct{}),
 		flushDone: make(chan struct{}),
 	}
@@ -451,6 +456,7 @@ func (s *Store) compactLocked() error {
 	old.Close()
 	reclaimed := s.size - newSize
 	s.f = f
+	s.gen = newGeneration() // byte offsets changed; invalidate replication cursors
 	s.size = newSize
 	s.live = newSize
 	s.index = newIndex
